@@ -1,0 +1,43 @@
+//! # music-apps
+//!
+//! The two geo-distributed structuring paradigms MUSIC powers in
+//! production (§VII), packaged as reusable libraries:
+//!
+//! * [`scheduler`] — the **job-scheduler** paradigm of the VNF Homing
+//!   service (§VII-a): workers across sites vie for jobs through MUSIC
+//!   locks, execute each job *exclusively* from its *latest* state, and
+//!   survive worker failures without duplicating or losing work.
+//! * [`ownership`] — the **single-owner active replication** paradigm of
+//!   the Management Portal (§VII-b): each entity's updates are processed
+//!   by exactly one owning back end under a long-lived critical section,
+//!   amortizing the consensus cost of locking across many requests;
+//!   ownership moves only when an owner fails.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use music::MusicSystemBuilder;
+//! use music_apps::OwnedStore;
+//! use music_simnet::prelude::*;
+//! use bytes::Bytes;
+//!
+//! let system = MusicSystemBuilder::new().profile(LatencyProfile::one_us()).build();
+//! let sim = system.sim().clone();
+//! let backend = OwnedStore::new("be-1", system.replica(0).clone());
+//! sim.block_on(async move {
+//!     backend.write("alice", Bytes::from_static(b"admin")).await.unwrap();
+//!     assert_eq!(
+//!         backend.read("alice").await.unwrap(),
+//!         Some(Bytes::from_static(b"admin"))
+//!     );
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ownership;
+pub mod scheduler;
+
+pub use ownership::{OwnedStore, OwnershipError};
+pub use scheduler::{JobBoard, JobRecord, Worker, WorkerOutcome};

@@ -1,0 +1,199 @@
+//! The single-owner active replication paradigm (§VII-b): each entity is
+//! processed by exactly one owning back end under a long-lived critical
+//! section, with forced takeover on owner failure.
+//!
+//! Ownership details (`owner name`, `lockRef`) live in MUSIC itself under
+//! a lock-free key, cached at each back end; stale ownership information
+//! only costs an unnecessary ownership transition, never correctness.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use music::{AcquireOutcome, CriticalError, LockRef, MusicReplica};
+use music_simnet::time::SimDuration;
+
+/// Errors surfaced by the owned store.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OwnershipError {
+    /// The back-end could not reach its stores; the front end should retry
+    /// at the next-closest back end.
+    Unavailable,
+    /// This back end lost ownership mid-operation (a rival took over).
+    LostOwnership,
+}
+
+impl std::fmt::Display for OwnershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OwnershipError::Unavailable => write!(f, "back end could not reach the stores"),
+            OwnershipError::LostOwnership => write!(f, "ownership was taken over"),
+        }
+    }
+}
+
+impl std::error::Error for OwnershipError {}
+
+/// A back-end replica processing requests for the entities it owns.
+///
+/// Writes by the steady-state owner cost **one quorum put** — no consensus
+/// on the critical path; `createLockRef`/`acquireLock` run only at
+/// ownership transitions (initialization or predecessor failure).
+#[derive(Clone, Debug)]
+pub struct OwnedStore {
+    name: String,
+    replica: MusicReplica,
+    owned: Rc<RefCell<HashMap<String, LockRef>>>,
+}
+
+impl OwnedStore {
+    /// A back end identified as `name` (stable across the deployment).
+    pub fn new(name: impl Into<String>, replica: MusicReplica) -> Self {
+        OwnedStore {
+            name: name.into(),
+            replica,
+            owned: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// This back end's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Entities currently owned (locally cached view).
+    pub fn owned_count(&self) -> usize {
+        self.owned.borrow().len()
+    }
+
+    fn owner_key(entity: &str) -> String {
+        format!("{entity}-owner")
+    }
+
+    fn encode_owner(&self, lock_ref: LockRef) -> Bytes {
+        Bytes::from(format!("{}|{}", self.name, lock_ref.value()).into_bytes())
+    }
+
+    fn decode_owner(raw: &Bytes) -> Option<(String, LockRef)> {
+        let s = String::from_utf8(raw.to_vec()).ok()?;
+        let (owner, r) = s.split_once('|')?;
+        Some((owner.to_string(), LockRef::new(r.parse().ok()?)))
+    }
+
+    /// `own(entity)`: acquire the entity's lock and publish ownership
+    /// (§VII-b pseudo-code; "called infrequently").
+    async fn own(&self, entity: &str) -> Result<LockRef, OwnershipError> {
+        let sim = self.replica.data().net().sim().clone();
+        let lock_ref = self
+            .replica
+            .create_lock_ref(entity)
+            .await
+            .map_err(|_| OwnershipError::Unavailable)?;
+        loop {
+            match self.replica.acquire_lock(entity, lock_ref).await {
+                Ok(AcquireOutcome::Acquired) => break,
+                Ok(AcquireOutcome::NoLongerHolder) => return Err(OwnershipError::LostOwnership),
+                _ => sim.sleep(SimDuration::from_millis(2)).await,
+            }
+        }
+        self.replica
+            .put(&Self::owner_key(entity), self.encode_owner(lock_ref))
+            .await
+            .map_err(|_| OwnershipError::Unavailable)?;
+        self.owned.borrow_mut().insert(entity.to_string(), lock_ref);
+        Ok(lock_ref)
+    }
+
+    /// Ensures this back end owns `entity`, forcibly taking over from a
+    /// presumed-failed predecessor when the front end routes here.
+    async fn ensure_owner(&self, entity: &str) -> Result<LockRef, OwnershipError> {
+        if let Some(r) = self.owned.borrow().get(entity) {
+            return Ok(*r);
+        }
+        let details = self
+            .replica
+            .get(&Self::owner_key(entity))
+            .await
+            .map_err(|_| OwnershipError::Unavailable)?;
+        match details.as_ref().and_then(Self::decode_owner) {
+            None => self.own(entity).await, // first owner
+            Some((owner, prev_ref)) if owner == self.name => {
+                // We owned it before (cache lost, e.g. restart): reuse.
+                self.owned.borrow_mut().insert(entity.to_string(), prev_ref);
+                Ok(prev_ref)
+            }
+            Some((_, prev_ref)) => {
+                // Predecessor presumed failed: preempt and take over.
+                self.replica
+                    .forced_release(entity, prev_ref)
+                    .await
+                    .map_err(|_| OwnershipError::Unavailable)?;
+                self.own(entity).await
+            }
+        }
+    }
+
+    /// Processes one update for `entity`: the §VII-b back-end `write`.
+    ///
+    /// # Errors
+    ///
+    /// [`OwnershipError::LostOwnership`] if a rival back end took over
+    /// (the stale cache entry is dropped so a retry re-establishes
+    /// ownership), or [`OwnershipError::Unavailable`] on store trouble.
+    pub async fn write(&self, entity: &str, value: Bytes) -> Result<(), OwnershipError> {
+        let sim = self.replica.data().net().sim().clone();
+        let lock_ref = self.ensure_owner(entity).await?;
+        for _ in 0..8 {
+            match self.replica.critical_put(entity, lock_ref, value.clone()).await {
+                Ok(()) => return Ok(()),
+                Err(CriticalError::NotYetHolder) => {
+                    sim.sleep(SimDuration::from_millis(2)).await;
+                }
+                Err(CriticalError::NoLongerHolder) | Err(CriticalError::Expired) => {
+                    self.owned.borrow_mut().remove(entity);
+                    return Err(OwnershipError::LostOwnership);
+                }
+                Err(CriticalError::Store(_)) => return Err(OwnershipError::Unavailable),
+            }
+        }
+        Err(OwnershipError::Unavailable)
+    }
+
+    /// Reads `entity`'s latest value under this back end's ownership.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OwnedStore::write`].
+    pub async fn read(&self, entity: &str) -> Result<Option<Bytes>, OwnershipError> {
+        let lock_ref = self.ensure_owner(entity).await?;
+        match self.replica.critical_get(entity, lock_ref).await {
+            Ok(v) => Ok(v),
+            Err(CriticalError::NoLongerHolder) | Err(CriticalError::Expired) => {
+                self.owned.borrow_mut().remove(entity);
+                Err(OwnershipError::LostOwnership)
+            }
+            Err(_) => Err(OwnershipError::Unavailable),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_encoding_round_trips() {
+        let raw = Bytes::from_static(b"be-ohio|42");
+        assert_eq!(
+            OwnedStore::decode_owner(&raw),
+            Some(("be-ohio".to_string(), LockRef::new(42)))
+        );
+        assert_eq!(OwnedStore::decode_owner(&Bytes::from_static(b"garbage")), None);
+        assert_eq!(
+            OwnedStore::decode_owner(&Bytes::from_static(b"x|not-a-number")),
+            None
+        );
+    }
+}

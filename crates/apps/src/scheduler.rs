@@ -1,0 +1,326 @@
+//! The job-scheduler paradigm (§VII-a): a pool of pending jobs in MUSIC,
+//! claimed and executed exclusively by whichever worker locks them first.
+//!
+//! * the client API inserts job records with lock-free `put`s and polls
+//!   completion with lock-free `get`s — staleness is harmless;
+//! * each worker scans the pool (`getAllKeys`), tries to lock an
+//!   incomplete job, and runs `executeJobInCriticalSection`: read the
+//!   *latest* state with `criticalGet`, advance it step by step, and
+//!   checkpoint every step with `criticalPut` so a successor can resume
+//!   exactly where a failed worker stopped;
+//! * workers that lose the race evict their queued reference immediately
+//!   (`removeLockReference`) for timely garbage collection.
+
+use bytes::Bytes;
+
+use music::{AcquireOutcome, CriticalError, MusicReplica};
+use music_quorumstore::StoreError;
+use music_simnet::time::SimDuration;
+
+/// Record separator between execution state and description.
+const SEP: char = '\u{2}';
+
+/// The terminal execution state.
+pub const DONE: &str = "DONE";
+
+/// A job's stored record: dynamic execution state + static description
+/// (§VII-a: "the value of the key is a combination of the dynamic job
+/// execution state and a static job description").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobRecord {
+    /// Current execution state (e.g. a Fig. 3(b) stage).
+    pub state: String,
+    /// Static description the worker needs to resolve the job.
+    pub description: Bytes,
+}
+
+impl JobRecord {
+    /// Creates a record in `state`.
+    pub fn new(state: impl Into<String>, description: Bytes) -> Self {
+        JobRecord {
+            state: state.into(),
+            description,
+        }
+    }
+
+    /// Whether the job has completed.
+    pub fn is_done(&self) -> bool {
+        self.state == DONE
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.state.len() + 1 + self.description.len());
+        out.extend_from_slice(self.state.as_bytes());
+        out.extend_from_slice(SEP.to_string().as_bytes());
+        out.extend_from_slice(&self.description);
+        Bytes::from(out)
+    }
+
+    fn decode(raw: &Bytes) -> Option<JobRecord> {
+        let text_end = raw.iter().position(|&b| b == SEP as u8)?;
+        let state = String::from_utf8(raw[..text_end].to_vec()).ok()?;
+        Some(JobRecord {
+            state,
+            description: raw.slice(text_end + 1..),
+        })
+    }
+}
+
+/// The client-facing API of the scheduler (the "Client API" replicas of
+/// Fig. 3(a)).
+///
+/// # Examples
+///
+/// See `examples/vnf_homing.rs` and this crate's integration tests for
+/// end-to-end usage.
+#[derive(Clone, Debug)]
+pub struct JobBoard {
+    replica: MusicReplica,
+    prefix: String,
+}
+
+impl JobBoard {
+    /// A board whose job keys are namespaced under `prefix`.
+    pub fn new(replica: MusicReplica, prefix: impl Into<String>) -> Self {
+        JobBoard {
+            replica,
+            prefix: prefix.into(),
+        }
+    }
+
+    fn key(&self, job_id: &str) -> String {
+        format!("{}/{}", self.prefix, job_id)
+    }
+
+    /// Submits a job in `initial_state` — a lock-free `put` (§VII-a).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if no data-store replica acknowledges.
+    pub async fn submit(
+        &self,
+        job_id: &str,
+        initial_state: &str,
+        description: Bytes,
+    ) -> Result<(), StoreError> {
+        let record = JobRecord::new(initial_state, description);
+        self.replica.put(&self.key(job_id), record.encode()).await
+    }
+
+    /// Lock-free (possibly stale) view of a job.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the closest replica does not answer.
+    pub async fn status(&self, job_id: &str) -> Result<Option<JobRecord>, StoreError> {
+        let raw = self.replica.get(&self.key(job_id)).await?;
+        Ok(raw.as_ref().and_then(JobRecord::decode))
+    }
+
+    /// All job ids on the board (possibly stale), submission-key order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the closest replica does not answer.
+    pub async fn list(&self) -> Result<Vec<String>, StoreError> {
+        let keys = self.replica.get_all_keys().await?;
+        let prefix = format!("{}/", self.prefix);
+        Ok(keys
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&prefix).map(str::to_string))
+            .collect())
+    }
+
+    /// Whether every listed job is done (a stale view can only
+    /// under-report completion, never over-report it for a job it shows).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the closest replica does not answer.
+    pub async fn all_done(&self) -> Result<bool, StoreError> {
+        for id in self.list().await? {
+            match self.status(&id).await? {
+                Some(r) if r.is_done() => {}
+                _ => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// What one scheduling pass accomplished.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WorkerOutcome {
+    /// Ran `job_id` forward (to completion unless preempted).
+    Worked {
+        /// The job this worker processed.
+        job_id: String,
+        /// Whether the job reached [`DONE`].
+        completed: bool,
+        /// Checkpoints this worker wrote (0 = the job turned out to be
+        /// already finished when claimed — a wasted claim on a stale view).
+        steps: u32,
+    },
+    /// Every visible job was done or claimed by someone else.
+    Idle,
+}
+
+/// One scheduler worker (a "worker pool" member of Fig. 3(a)).
+#[derive(Clone, Debug)]
+pub struct Worker {
+    replica: MusicReplica,
+    board: JobBoard,
+    /// Simulated duration of one execution step (homing work is slow —
+    /// minutes in production, §I).
+    pub step_duration: SimDuration,
+    /// How many acquire polls a claim is given before the worker gives up
+    /// and evicts its reference. Zero patience (the literal §VII-a
+    /// pseudo-code) can livelock when several workers chase the same job:
+    /// each sees the others' transient references ahead of its own, gives
+    /// up, and re-enqueues in lockstep. A small patience window lets the
+    /// earliest reference win.
+    pub claim_patience: u32,
+}
+
+impl Worker {
+    /// A worker executing jobs from `board` through `replica`.
+    pub fn new(replica: MusicReplica, board: JobBoard) -> Self {
+        Worker {
+            replica,
+            board,
+            step_duration: SimDuration::from_millis(200),
+            claim_patience: 30,
+        }
+    }
+
+    /// The board this worker draws jobs from.
+    pub fn board(&self) -> &JobBoard {
+        &self.board
+    }
+
+    /// One scheduling pass: scan, claim the first incomplete job, and run
+    /// it forward with `advance` (state → next state, or `None` when the
+    /// input state is terminal). Checkpoints every step.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] only for scan failures; per-job trouble (lost races,
+    /// preemption) resolves to [`WorkerOutcome`] instead.
+    pub async fn run_once(
+        &self,
+        advance: impl Fn(&str, &Bytes) -> Option<String>,
+    ) -> Result<WorkerOutcome, StoreError> {
+        let sim = self.replica.data().net().sim().clone();
+        for job_id in self.board.list().await? {
+            let key = self.board.key(&job_id);
+            // Lock-free pre-check; stale values only cost a wasted claim.
+            let Ok(Some(record)) = self.board.status(&job_id).await else {
+                continue;
+            };
+            if record.is_done() {
+                continue;
+            }
+            // Vie for the job.
+            let Ok(lock_ref) = self.replica.create_lock_ref(&key).await else {
+                continue;
+            };
+            let mut polls = 0;
+            let granted = loop {
+                match self.replica.acquire_lock(&key, lock_ref).await {
+                    Ok(AcquireOutcome::Acquired) => break true,
+                    Ok(AcquireOutcome::NoLongerHolder) => break false,
+                    Ok(AcquireOutcome::NotYet) if polls < self.claim_patience => {
+                        polls += 1;
+                        sim.sleep(SimDuration::from_millis(10)).await;
+                    }
+                    Ok(AcquireOutcome::NotYet) => {
+                        // Still not ours after the patience window: someone
+                        // is executing the job. Evict our reference for
+                        // timely GC (removeLockReference) and move on.
+                        while self.replica.release_lock(&key, lock_ref).await.is_err() {
+                            sim.sleep(SimDuration::from_millis(5)).await;
+                        }
+                        break false;
+                    }
+                    Err(_) => sim.sleep(SimDuration::from_millis(5)).await,
+                }
+            };
+            if !granted {
+                continue;
+            }
+
+            // executeJobInCriticalSection (§VII-a pseudo-code).
+            let (completed, steps) = self.execute(&key, lock_ref, &advance).await;
+            while self.replica.release_lock(&key, lock_ref).await.is_err() {
+                sim.sleep(SimDuration::from_millis(5)).await;
+            }
+            return Ok(WorkerOutcome::Worked {
+                job_id,
+                completed,
+                steps,
+            });
+        }
+        Ok(WorkerOutcome::Idle)
+    }
+
+    async fn execute(
+        &self,
+        key: &str,
+        lock_ref: music::LockRef,
+        advance: &impl Fn(&str, &Bytes) -> Option<String>,
+    ) -> (bool, u32) {
+        let sim = self.replica.data().net().sim().clone();
+        let mut steps = 0;
+        // Resume from the *latest* state (the whole point of ECF).
+        let Ok(Some(raw)) = self.replica.critical_get(key, lock_ref).await else {
+            return (false, steps);
+        };
+        let Some(mut record) = JobRecord::decode(&raw) else {
+            return (false, steps);
+        };
+        while let Some(next) = advance(&record.state, &record.description) {
+            sim.sleep(self.step_duration).await; // the actual work
+            record.state = next;
+            match self
+                .replica
+                .critical_put(key, lock_ref, record.encode())
+                .await
+            {
+                Ok(()) => steps += 1,
+                Err(CriticalError::NotYetHolder) => {
+                    sim.sleep(SimDuration::from_millis(5)).await;
+                    continue; // transiently stale view; our state is intact
+                }
+                Err(_) => return (false, steps), // preempted or store trouble
+            }
+        }
+        (record.is_done(), steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips() {
+        let r = JobRecord::new("SOLVING", Bytes::from_static(b"vnf-chain"));
+        let decoded = JobRecord::decode(&r.encode()).unwrap();
+        assert_eq!(decoded, r);
+        assert!(!r.is_done());
+        assert!(JobRecord::new(DONE, Bytes::new()).is_done());
+    }
+
+    #[test]
+    fn record_with_binary_description() {
+        let desc = Bytes::from(vec![0u8, 255, 2, 3, 2, 1]);
+        let r = JobRecord::new("PENDING", desc.clone());
+        let decoded = JobRecord::decode(&r.encode()).unwrap();
+        assert_eq!(decoded.description, desc);
+    }
+
+    #[test]
+    fn malformed_records_decode_to_none() {
+        assert_eq!(JobRecord::decode(&Bytes::from_static(b"no-separator")), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! End-to-end behaviour of the §VII paradigms: exclusive job execution
+//! with crash takeover, and single-owner replication with fail-over.
+
+use bytes::Bytes;
+use music::{MusicConfig, MusicSystemBuilder, Watchdog};
+use music_apps::{JobBoard, OwnedStore, OwnershipError, Worker, WorkerOutcome};
+use music_simnet::prelude::*;
+
+fn quiet() -> NetConfig {
+    NetConfig {
+        service_fixed: SimDuration::ZERO,
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        loss: 0.0,
+        jitter_frac: 0.0,
+    }
+}
+
+fn system() -> music::MusicSystem {
+    MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .net_config(quiet())
+        .music_config(MusicConfig {
+            failure_timeout: SimDuration::from_secs(3),
+            ..MusicConfig::default()
+        })
+        .seed(55)
+        .build()
+}
+
+const STAGES: [&str; 4] = ["PENDING", "TRANSLATED", "SOLVING", "DONE"];
+
+fn advance(state: &str, _desc: &Bytes) -> Option<String> {
+    let i = STAGES.iter().position(|s| *s == state)?;
+    STAGES.get(i + 1).map(|s| s.to_string())
+}
+
+#[test]
+fn workers_share_the_pool_without_duplication() {
+    let sys = system();
+    let sim = sys.sim().clone();
+    let board = JobBoard::new(sys.replica(0).clone(), "jobs");
+
+    // Submit 4 jobs.
+    sim.block_on({
+        let board = board.clone();
+        async move {
+            for j in 0..4 {
+                board
+                    .submit(&format!("j{j}"), "PENDING", Bytes::from_static(b"chain"))
+                    .await
+                    .unwrap();
+            }
+        }
+    });
+    sim.run();
+
+    // Three workers drain the pool; count executed steps per worker.
+    // Wasted claims (a stale view showing an already-done job) report
+    // steps = 0 and must not count as work.
+    let steps_done = std::rc::Rc::new(std::cell::RefCell::new(vec![0u32; 3]));
+    let completions = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    let mut handles = Vec::new();
+    for w in 0..3 {
+        let worker = Worker::new(sys.replica(w).clone(), JobBoard::new(sys.replica(w).clone(), "jobs"));
+        let steps_done = std::rc::Rc::clone(&steps_done);
+        let completions = std::rc::Rc::clone(&completions);
+        let sim2 = sim.clone();
+        handles.push(sim.spawn(async move {
+            loop {
+                match worker.run_once(advance).await.unwrap() {
+                    WorkerOutcome::Worked { completed, steps, .. } => {
+                        steps_done.borrow_mut()[w] += steps;
+                        if completed && steps > 0 {
+                            completions.set(completions.get() + 1);
+                        }
+                    }
+                    WorkerOutcome::Idle => {
+                        if worker_board_done(&worker).await {
+                            break;
+                        }
+                        sim2.sleep(SimDuration::from_millis(100)).await;
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        sim.run_until_complete(h);
+    }
+    // 4 jobs × 3 stage transitions: every checkpoint executed exactly once
+    // across the pool (no duplicated work), and at most 4 completions
+    // counted (a completion can be split across workers after preemption,
+    // but here no failures occur).
+    let total_steps: u32 = steps_done.borrow().iter().sum();
+    assert_eq!(total_steps, 12, "steps per worker: {:?}", steps_done.borrow());
+    assert_eq!(completions.get(), 4, "each job driven to DONE exactly once");
+    let done = sim.block_on({
+        let board = board.clone();
+        async move { board.all_done().await.unwrap() }
+    });
+    assert!(done);
+}
+
+async fn worker_board_done(worker: &Worker) -> bool {
+    worker.board().all_done().await.unwrap_or(false)
+}
+
+#[test]
+fn crashed_worker_job_is_resumed_not_restarted() {
+    let sys = system();
+    let sim = sys.sim().clone();
+    let board = JobBoard::new(sys.replica(0).clone(), "work");
+    sim.block_on({
+        let board = board.clone();
+        async move {
+            board.submit("fragile", "PENDING", Bytes::new()).await.unwrap();
+        }
+    });
+    sim.run();
+
+    // Watchdog collects the crashed worker's lock.
+    let dog = Watchdog::new(sys.replica(1).clone(), SimDuration::from_millis(500));
+    dog.watch("work/fragile");
+    dog.spawn();
+
+    // Worker A advances the job two stages, then "crashes" (we abandon it
+    // mid-critical-section by advancing only until SOLVING and never
+    // releasing — simulated by a step function that panics... instead:
+    // run it inside a task we stop driving).
+    let a = sys.replica(0).clone();
+    sim.spawn({
+        let sim2 = sim.clone();
+        async move {
+            let key = "work/fragile".to_string();
+            let lr = a.create_lock_ref(&key).await.unwrap();
+            while a.acquire_lock(&key, lr).await.unwrap() != music::AcquireOutcome::Acquired {}
+            // Advance PENDING -> TRANSLATED with a checkpoint, then die.
+            let mut raw = b"TRANSLATED".to_vec();
+            raw.push(2); // the record separator
+            a.critical_put(&key, lr, Bytes::from(raw)).await.unwrap();
+            // Crash: never release; the task just parks forever.
+            sim2.sleep(SimDuration::from_secs(3600)).await;
+        }
+    });
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+
+    // Worker B takes over after the watchdog clears the lock, resuming
+    // from TRANSLATED (not from PENDING).
+    let b_worker = Worker::new(sys.replica(2).clone(), JobBoard::new(sys.replica(2).clone(), "work"));
+    let seen_states = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let seen2 = std::rc::Rc::clone(&seen_states);
+    let h = sim.spawn({
+        let sim2 = sim.clone();
+        async move {
+            loop {
+                let outcome = b_worker
+                    .run_once(|state, d| {
+                        seen2.borrow_mut().push(state.to_string());
+                        advance(state, d)
+                    })
+                    .await
+                    .unwrap();
+                if matches!(outcome, WorkerOutcome::Worked { completed: true, .. }) {
+                    break;
+                }
+                sim2.sleep(SimDuration::from_millis(200)).await;
+            }
+        }
+    });
+    sim.run_until_complete(h);
+    dog.stop();
+    assert!(
+        !seen_states.borrow().iter().any(|s| s == "PENDING"),
+        "resumed job must not restart from PENDING: {:?}",
+        seen_states.borrow()
+    );
+    let status = sim.block_on(async move { board.status("fragile").await.unwrap().unwrap() });
+    assert!(status.is_done());
+}
+
+#[test]
+fn ownership_amortizes_and_fails_over() {
+    let sys = system();
+    let sim = sys.sim().clone();
+    let be1 = OwnedStore::new("be-1", sys.replica(0).clone());
+    let be2 = OwnedStore::new("be-2", sys.replica(1).clone());
+
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        // be-1 becomes alice's owner on first write.
+        be1.write("alice", Bytes::from_static(b"viewer")).await.unwrap();
+        assert_eq!(be1.owned_count(), 1);
+
+        // Steady-state owner writes avoid consensus: they're quorum-put
+        // fast (~54ms on 1Us, not ~500ms).
+        let t0 = sim2.now();
+        be1.write("alice", Bytes::from_static(b"editor")).await.unwrap();
+        let steady = sim2.now() - t0;
+        assert!(steady.as_millis() < 120, "steady write took {steady}");
+
+        // be-1 fails; the front end routes to be-2, which takes over.
+        be2.write("alice", Bytes::from_static(b"admin")).await.unwrap();
+        assert_eq!(be2.read("alice").await.unwrap(), Some(Bytes::from_static(b"admin")));
+
+        // be-1 comes back, still believing it owns alice: it must be told.
+        let res = be1.write("alice", Bytes::from_static(b"stale")).await;
+        assert_eq!(res.unwrap_err(), OwnershipError::LostOwnership);
+        // After the error, a retry re-establishes ownership by takeover.
+        be1.write("alice", Bytes::from_static(b"back")).await.unwrap();
+        assert_eq!(be1.read("alice").await.unwrap(), Some(Bytes::from_static(b"back")));
+    });
+}

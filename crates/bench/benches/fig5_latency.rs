@@ -1,0 +1,87 @@
+//! Fig. 5 — mean operation latency.
+//!
+//! (a) CassaEV / MUSIC / MSCP mean latency per latency profile (single
+//!     client thread);
+//! (b) fine-grained breakdown of the MUSIC operations on 1Us:
+//!     createLockRef, acquireLock peek ('L'), acquireLock grant ('Q'),
+//!     criticalPut ('Q' / MSCP 'P'), releaseLock.
+//!
+//! Paper targets (1Us): createLockRef / releaseLock 219-230 ms (4 RTTs),
+//! peek ~0.67 ms, grant ~55 ms, MUSIC criticalPut ~93 ms, MSCP
+//! criticalPut ~270 ms — MUSIC ~30% below MSCP on cross-region profiles.
+
+use music::OpKind;
+use music_bench::music_runners::{cassa_ev_latency, music_cs_latency};
+use music_bench::setup::{fast_mode, Mode};
+use music_bench::{print_header, print_row, print_table};
+use music_simnet::topology::LatencyProfile;
+
+fn main() {
+    let sections = if fast_mode() { 5 } else { 50 };
+
+    print_header(
+        "Fig. 5(a)",
+        "mean write latency (ms), single thread, batch 1, 10 B",
+    );
+    let mut rows = Vec::new();
+    for profile in LatencyProfile::table_ii() {
+        let ev = cassa_ev_latency(profile.clone(), 10, sections, 5);
+        let music = music_cs_latency(profile.clone(), Mode::Music, 1, 10, sections, 5);
+        let mscp = music_cs_latency(profile.clone(), Mode::Mscp, 1, 10, sections, 5);
+        rows.push(vec![
+            profile.name().to_string(),
+            format!("{:.2}", ev.mean().as_millis_f64()),
+            format!("{:.1}", music.section.mean().as_millis_f64()),
+            format!("{:.1}", mscp.section.mean().as_millis_f64()),
+        ]);
+    }
+    print_table(&["profile", "CassaEV", "MUSIC CS", "MSCP CS"], &rows);
+    print_row("paper: CassaEV flat across profiles; MUSIC ~30% below MSCP on 1Us/1UsEu");
+
+    print_header("Fig. 5(b)", "operation latency breakdown on 1Us (ms)");
+    let music = music_cs_latency(LatencyProfile::one_us(), Mode::Music, 1, 10, sections, 6);
+    let mscp = music_cs_latency(LatencyProfile::one_us(), Mode::Mscp, 1, 10, sections, 6);
+    let mean = |res: &music_bench::music_runners::LatencyResult, kind: OpKind| {
+        let h = res.ops.histogram(kind);
+        if h.is_empty() {
+            f64::NAN
+        } else {
+            h.mean().as_millis_f64()
+        }
+    };
+    let rows = vec![
+        vec![
+            "createLockRef (consensus)".to_string(),
+            format!("{:.1}", mean(&music, OpKind::CreateLockRef)),
+            "219-230".to_string(),
+        ],
+        vec![
+            "acquireLock peek (L)".to_string(),
+            format!("{:.2}", mean(&music, OpKind::AcquirePeek)),
+            "~0.67".to_string(),
+        ],
+        vec![
+            "acquireLock grant (Q)".to_string(),
+            format!("{:.1}", mean(&music, OpKind::AcquireGrant)),
+            "~55".to_string(),
+        ],
+        vec![
+            "criticalPut MUSIC (Q)".to_string(),
+            format!("{:.1}", mean(&music, OpKind::CriticalPut)),
+            "~93".to_string(),
+        ],
+        vec![
+            "criticalPut MSCP (P)".to_string(),
+            format!("{:.1}", mean(&mscp, OpKind::MscpPut)),
+            "~270".to_string(),
+        ],
+        vec![
+            "releaseLock (consensus)".to_string(),
+            format!("{:.1}", mean(&music, OpKind::ReleaseLock)),
+            "219-230".to_string(),
+        ],
+    ];
+    print_table(&["operation", "measured ms", "paper ms"], &rows);
+    print_row("note: our criticalPut quorum reaches the nearest remote site (~54 ms);");
+    print_row("the paper's driver-to-coordinator routing adds ~1 extra hop (~93 ms).");
+}

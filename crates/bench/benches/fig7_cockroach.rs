@@ -1,0 +1,68 @@
+//! Fig. 7 — mean critical-section latency, MUSIC vs. a CockroachDB-style
+//! critical section with identical guarantees (1Us, single thread).
+//!
+//! Every state update in the CockroachDB version runs in its own exclusive
+//! transaction (2 consensus ops each, §X-B4), so its latency grows as
+//! ~2·x·C while MUSIC's grows as 2C + (x+1)·Q — the paper measures MUSIC
+//! ~2-4x faster across batch and data sizes.
+
+use music_bench::cdb_runners::cdb_cs_latency;
+use music_bench::music_runners::music_cs_latency;
+use music_bench::setup::{fast_mode, Mode};
+use music_bench::{print_header, print_row, print_table, ratio};
+use music_simnet::topology::LatencyProfile;
+use music_workload::sweep::{size_label, DATA_SIZES, DATA_SWEEP_BATCH};
+
+fn main() {
+    let fast = fast_mode();
+    let sections = if fast { 2 } else { 5 };
+    let batches: &[usize] = if fast { &[10, 100] } else { &[10, 100, 1000] };
+    let sizes: &[usize] = if fast { &[10, 16 * 1024] } else { &DATA_SIZES };
+
+    print_header(
+        "Fig. 7(a)",
+        "mean critical-section latency (s) vs batch size, 1Us, 10 B",
+    );
+    let mut rows = Vec::new();
+    for &batch in batches {
+        let music = music_cs_latency(LatencyProfile::one_us(), Mode::Music, batch, 10, sections, 9)
+            .section
+            .mean()
+            .as_secs_f64();
+        let cdb = cdb_cs_latency(LatencyProfile::one_us(), batch, 10, sections, 9)
+            .mean()
+            .as_secs_f64();
+        rows.push(vec![
+            batch.to_string(),
+            format!("{music:.2}"),
+            format!("{cdb:.2}"),
+            format!("{:.2}x", ratio(cdb, music)),
+        ]);
+    }
+    print_table(&["batch", "MUSIC (s)", "CockroachDB (s)", "Cdb/MUSIC"], &rows);
+    print_row("paper: CockroachDB ~2-4x slower, widening with batch size");
+
+    print_header(
+        "Fig. 7(b)",
+        "mean critical-section latency (s) vs data size, 1Us, batch 100",
+    );
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let music =
+            music_cs_latency(LatencyProfile::one_us(), Mode::Music, DATA_SWEEP_BATCH, size, sections, 9)
+                .section
+                .mean()
+                .as_secs_f64();
+        let cdb = cdb_cs_latency(LatencyProfile::one_us(), DATA_SWEEP_BATCH, size, sections, 9)
+            .mean()
+            .as_secs_f64();
+        rows.push(vec![
+            size_label(size),
+            format!("{music:.2}"),
+            format!("{cdb:.2}"),
+            format!("{:.2}x", ratio(cdb, music)),
+        ]);
+    }
+    print_table(&["size", "MUSIC (s)", "CockroachDB (s)", "Cdb/MUSIC"], &rows);
+    print_row("paper: ~2-4x across data sizes");
+}

@@ -1,0 +1,41 @@
+//! Fig. 8 — latency CDFs of MUSIC vs. MSCP critical sections on the 1l and
+//! 1Us profiles (single client thread, batch 1).
+//!
+//! Paper target: near-identical CDFs on 1l; MUSIC ~30% to the left of MSCP
+//! on the cross-region 1Us profile.
+
+use music_bench::music_runners::music_cs_latency;
+use music_bench::setup::{fast_mode, Mode};
+use music_bench::{print_header, print_row, print_table};
+use music_simnet::topology::LatencyProfile;
+
+fn main() {
+    let sections = if fast_mode() { 20 } else { 200 };
+    for profile in [LatencyProfile::one_l(), LatencyProfile::one_us()] {
+        print_header(
+            "Fig. 8",
+            &format!("critical-section latency CDF on {} (ms)", profile.name()),
+        );
+        let mut music = music_cs_latency(profile.clone(), Mode::Music, 1, 10, sections, 17).section;
+        let mut mscp = music_cs_latency(profile.clone(), Mode::Mscp, 1, 10, sections, 17).section;
+        let music_cdf = music.cdf(10);
+        let mscp_cdf = mscp.cdf(10);
+        let rows: Vec<Vec<String>> = music_cdf
+            .iter()
+            .zip(mscp_cdf.iter())
+            .map(|((m_lat, frac), (s_lat, _))| {
+                vec![
+                    format!("{:.0}%", frac * 100.0),
+                    format!("{:.1}", m_lat.as_millis_f64()),
+                    format!("{:.1}", s_lat.as_millis_f64()),
+                ]
+            })
+            .collect();
+        print_table(&["percentile", "MUSIC", "MSCP"], &rows);
+        let gap = 1.0 - music.mean().as_millis_f64() / mscp.mean().as_millis_f64();
+        print_row(&format!(
+            "mean gap: MUSIC is {:.0}% below MSCP (paper: ~0% on 1l, ~30% on 1Us)",
+            gap * 100.0
+        ));
+    }
+}

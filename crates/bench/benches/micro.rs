@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the building blocks: the `v2s` timestamp
+//! mapping, Zipfian sampling, executor scheduling, and one simulated
+//! quorum write.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bytes::Bytes;
+use music::{V2s, VectorTimestamp};
+use music_lockstore::LockRef;
+use music_quorumstore::{DataRow, Put, ReplicatedTable, TableConfig, WriteStamp};
+use music_simnet::prelude::*;
+use music_workload::Zipfian;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_v2s(c: &mut Criterion) {
+    let v2s = V2s::new(SimDuration::from_secs(600));
+    let ts = VectorTimestamp::new(LockRef::new(123_456), SimDuration::from_micros(777));
+    c.bench_function("v2s/scalar", |b| {
+        b.iter(|| std::hint::black_box(v2s.scalar(std::hint::black_box(ts))))
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let zipf = Zipfian::new(1_000_000);
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("zipfian/sample_scrambled", |b| {
+        b.iter(|| std::hint::black_box(zipf.sample_scrambled(&mut rng)))
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("simnet/spawn_sleep_1000_tasks", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..1000u64 {
+                let sim2 = sim.clone();
+                sim.spawn(async move {
+                    sim2.sleep(SimDuration::from_micros(i % 97)).await;
+                });
+            }
+            sim.run();
+        })
+    });
+}
+
+fn bench_quorum_write(c: &mut Criterion) {
+    c.bench_function("quorumstore/quorum_write_1us", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let net = Network::new(
+                sim.clone(),
+                LatencyProfile::one_us(),
+                NetConfig::default(),
+                1,
+            );
+            let nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+            let client = net.add_node(SiteId(0));
+            let table: ReplicatedTable<DataRow> =
+                ReplicatedTable::new(net, nodes, 3, TableConfig::default());
+            sim.block_on(async move {
+                table
+                    .write_quorum(client, "k", Put::value(Bytes::from_static(b"v")), WriteStamp::new(1))
+                    .await
+                    .unwrap();
+            });
+        })
+    });
+}
+
+criterion_group!(benches, bench_v2s, bench_zipfian, bench_executor, bench_quorum_write);
+criterion_main!(benches);

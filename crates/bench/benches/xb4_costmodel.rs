@@ -1,0 +1,55 @@
+//! §X-B4 — the qualitative cost model, analytic and measured.
+//!
+//! MUSIC critical section with x criticalPuts: `2C + (x+1)·Q`
+//! (createLockRef + releaseLock consensus; synchFlag read + x puts as
+//! quorum ops). Spanner/CockroachDB-style per-update exclusive
+//! transactions: `2·x·C`. With C ≈ 4 quorum RTTs (a Cassandra LWT) the
+//! MUSIC solution approaches an 8x analytic advantage as x grows; with a
+//! 1-RTT consensus (C = Q, the paper's generous assumption) the advantage
+//! tends to 2x — "the MUSIC-based solution is nearly two times faster".
+
+use music_bench::cdb_runners::cdb_cs_latency;
+use music_bench::music_runners::music_cs_latency;
+use music_bench::setup::{fast_mode, Mode};
+use music_bench::{print_header, print_row, print_table, ratio};
+use music_simnet::topology::LatencyProfile;
+
+fn main() {
+    let sections = if fast_mode() { 2 } else { 5 };
+    // Unit costs on 1Us: Q = quorum RTT (Ohio–N.Cal), C_lwt = 4 Q,
+    // C_raft = 1 Q (our CockroachDB baseline commits in one round).
+    let q_ms = 53.79;
+    let c_lwt = 4.0 * q_ms;
+    let c_raft = 1.0 * q_ms;
+
+    print_header(
+        "§X-B4",
+        "cost model: MUSIC 2C+(x+1)Q vs per-update exclusive txns 2xC (ms)",
+    );
+    let mut rows = Vec::new();
+    for x in [1usize, 3, 10, 100] {
+        let music_analytic = 2.0 * c_lwt + (x as f64 + 1.0) * q_ms;
+        let spanner_analytic = 2.0 * x as f64 * c_raft;
+        let music_measured = music_cs_latency(LatencyProfile::one_us(), Mode::Music, x, 10, sections, 29)
+            .section
+            .mean()
+            .as_millis_f64();
+        let cdb_measured = cdb_cs_latency(LatencyProfile::one_us(), x, 10, sections, 29)
+            .mean()
+            .as_millis_f64();
+        rows.push(vec![
+            x.to_string(),
+            format!("{music_analytic:.0}"),
+            format!("{spanner_analytic:.0}"),
+            format!("{music_measured:.0}"),
+            format!("{cdb_measured:.0}"),
+            format!("{:.2}x", ratio(cdb_measured, music_measured)),
+        ]);
+    }
+    print_table(
+        &["x", "MUSIC calc", "2xC calc", "MUSIC meas", "Cdb meas", "meas ratio"],
+        &rows,
+    );
+    print_row("paper: with C ~ Q the asymptotic advantage is ~2x; our Cdb commits in");
+    print_row("2 Raft rounds + per-txn client hops, hence the measured ratio lands 2-4x.");
+}

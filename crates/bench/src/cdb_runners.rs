@@ -1,0 +1,78 @@
+//! CockroachDB-baseline runner (Fig. 7): the §X-B3 critical-section
+//! pattern, each state update in its own exclusive transaction.
+
+use bytes::Bytes;
+
+use music_cdb::CdbCluster;
+use music_simnet::executor::Sim;
+use music_simnet::metrics::Histogram;
+use music_simnet::net::Network;
+use music_simnet::topology::{LatencyProfile, SiteId};
+use music_workload::sweep::payload;
+
+use crate::setup::bench_net_config;
+
+/// Mean latency of one CockroachDB critical section (entry lock txn +
+/// `batch` single-update exclusive txns + exit txn), single client thread
+/// at site 0.
+pub fn cdb_cs_latency(
+    profile: LatencyProfile,
+    batch: usize,
+    value_size: usize,
+    sections: usize,
+    seed: u64,
+) -> Histogram {
+    let sim = Sim::new();
+    let net = Network::new(sim.clone(), profile.clone(), bench_net_config(), seed);
+    let servers: Vec<_> = (0..profile.site_count() as u32)
+        .map(|s| net.add_node(SiteId(s)))
+        .collect();
+    let client_node = net.add_node(SiteId(0));
+    let cluster = CdbCluster::new(net, servers);
+    let value = Bytes::from(payload(value_size));
+
+    let sim2 = sim.clone();
+    let handle = sim.spawn(async move {
+        let session = cluster.session(client_node);
+        let mut hist = Histogram::new();
+        for s in 0..sections {
+            let lock_key = format!("lock-{s}");
+            let state_key = format!("state-{s}");
+            let t0 = sim2.now();
+            // Entry: lock-acquisition transaction (§X-B3).
+            let mut entry = session.transaction();
+            let _ = entry.select(&lock_key).await.unwrap();
+            entry.upsert(&lock_key, Bytes::from_static(b"ME")).await.unwrap();
+            entry.commit().await.unwrap();
+            // Body: each state update in an exclusive transaction.
+            for _ in 0..batch {
+                let mut t = session.transaction();
+                t.upsert(&state_key, value.clone()).await.unwrap();
+                t.commit().await.unwrap();
+            }
+            // Exit: unlock transaction.
+            let mut exit = session.transaction();
+            exit.upsert(&lock_key, Bytes::from_static(b"NONE")).await.unwrap();
+            exit.commit().await.unwrap();
+            hist.record(sim2.now() - t0);
+        }
+        hist
+    });
+    sim.run_until_complete(handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdb_cs_latency_scales_linearly_with_batch() {
+        let b1 = cdb_cs_latency(LatencyProfile::one_us(), 1, 10, 2, 1);
+        let b10 = cdb_cs_latency(LatencyProfile::one_us(), 10, 10, 2, 1);
+        let m1 = b1.mean().as_millis_f64();
+        let m10 = b10.mean().as_millis_f64();
+        // (1+2) txns vs (10+2) txns → roughly 4x.
+        let r = m10 / m1;
+        assert!((2.5..6.0).contains(&r), "scaling ratio {r} ({m1} → {m10})");
+    }
+}

@@ -1,0 +1,36 @@
+//! # music-bench
+//!
+//! Shared experiment runners for the reproduction of the MUSIC evaluation
+//! (§VIII and appendix §X-B). Each figure/table of the paper has a
+//! `harness = false` bench target under `benches/` that drives the runners
+//! in this crate and prints the same rows/series the paper reports,
+//! alongside the paper's published numbers for comparison.
+//!
+//! Methodology mirrors §VIII-a, adapted to the simulator:
+//!
+//! * three logical sites with the Table II WAN latency profiles;
+//! * one lock+data store node per site (RF = 3, one copy per site) unless
+//!   a run scales the cluster (Fig. 4(b));
+//! * throughput measured by saturating the deployment with many
+//!   closed-loop client tasks on **non-overlapping keys**, counting
+//!   completed writes in a virtual-time window after a warm-up;
+//! * latency measured with a single client thread;
+//! * no failures are injected during performance runs.
+//!
+//! Absolute numbers differ from the paper (its testbed is 8-core servers
+//! running real Cassandra; ours is a calibrated discrete-event model) —
+//! the reproduction targets are the *shapes*: who wins, by what factor,
+//! and where the crossovers sit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdb_runners;
+pub mod music_runners;
+pub mod report;
+pub mod setup;
+pub mod ycsb_runner;
+pub mod zk_runners;
+
+pub use report::{print_header, print_row, print_table, ratio};
+pub use setup::{bench_net_config, fast_mode, Mode};

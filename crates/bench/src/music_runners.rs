@@ -1,0 +1,277 @@
+//! MUSIC / MSCP / CassaEV experiment runners.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use music::{AcquireOutcome, MusicReplica, MusicSystem, OpKind, OpStats};
+use music_simnet::metrics::Histogram;
+use music_simnet::time::{SimDuration, SimTime};
+use music_simnet::topology::LatencyProfile;
+use music_workload::sweep::payload;
+
+use crate::setup::{music_system, Mode};
+
+/// Parameters of one saturating throughput run.
+#[derive(Clone, Debug)]
+pub struct ThroughputRun {
+    /// WAN profile.
+    pub profile: LatencyProfile,
+    /// MUSIC or MSCP.
+    pub mode: Mode,
+    /// Store nodes per site (1 = the 3-node cluster, 3 = the 9-node one).
+    pub nodes_per_site: usize,
+    /// Closed-loop client tasks (spread round-robin over sites).
+    pub threads: usize,
+    /// criticalPuts per critical section.
+    pub batch: usize,
+    /// Value payload bytes.
+    pub value_size: usize,
+    /// Warm-up before counting.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub window: SimDuration,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl ThroughputRun {
+    /// Defaults mirroring Fig. 4(a): batch 1, 10-byte values.
+    pub fn new(profile: LatencyProfile, mode: Mode) -> Self {
+        ThroughputRun {
+            profile,
+            mode,
+            nodes_per_site: 1,
+            threads: 384,
+            batch: 1,
+            value_size: 10,
+            warmup: SimDuration::from_secs(2),
+            window: SimDuration::from_secs(8),
+            seed: 7,
+        }
+    }
+}
+
+fn count_if_in_window(counter: &Rc<Cell<u64>>, now: SimTime, lo: SimTime, hi: SimTime) {
+    if now >= lo && now < hi {
+        counter.set(counter.get() + 1);
+    }
+}
+
+/// Peak write throughput (completed criticalPuts per second) of a MUSIC /
+/// MSCP deployment under `run`'s saturating closed loop. Each thread works
+/// a private key (non-overlapping ranges, §VIII-a).
+pub fn music_write_throughput(run: &ThroughputRun) -> f64 {
+    let sys = music_system(run.profile.clone(), run.mode, run.nodes_per_site, run.seed);
+    let sim = sys.sim().clone();
+    let replica_count = sys.replicas().len();
+    let counter = Rc::new(Cell::new(0u64));
+    let t_lo = SimTime::ZERO + run.warmup;
+    let t_hi = t_lo + run.window;
+    let value = Bytes::from(payload(run.value_size));
+
+    for t in 0..run.threads {
+        // Spread threads over every MUSIC replica (replicas scale with the
+        // store cluster, as in Fig. 1's production deployment).
+        let replica = sys.replicas()[t % replica_count].clone();
+        let key = format!("bench-{t}");
+        let counter = Rc::clone(&counter);
+        let sim2 = sim.clone();
+        let value = value.clone();
+        let batch = run.batch;
+        let stagger = SimDuration::from_micros((t as u64 * 7919) % 200_000);
+        sim.spawn(async move {
+            sim2.sleep(stagger).await;
+            loop {
+                let Ok(lock_ref) = replica.create_lock_ref(&key).await else {
+                    continue;
+                };
+                loop {
+                    match replica.acquire_lock(&key, lock_ref).await {
+                        Ok(AcquireOutcome::Acquired) => break,
+                        Ok(AcquireOutcome::NoLongerHolder) => return,
+                        _ => sim2.sleep(SimDuration::from_millis(2)).await,
+                    }
+                }
+                for _ in 0..batch {
+                    loop {
+                        match replica.critical_put(&key, lock_ref, value.clone()).await {
+                            Ok(()) => {
+                                count_if_in_window(&counter, sim2.now(), t_lo, t_hi);
+                                break;
+                            }
+                            Err(music::CriticalError::NotYetHolder) => {
+                                sim2.sleep(SimDuration::from_millis(1)).await;
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                }
+                // Retry the release until it sticks: an abandoned lock
+                // reference would wedge this thread's key forever.
+                while replica.release_lock(&key, lock_ref).await.is_err() {
+                    sim2.sleep(SimDuration::from_millis(5)).await;
+                }
+            }
+        });
+    }
+    sim.run_until(t_hi);
+    counter.get() as f64 / run.window.as_secs_f64()
+}
+
+/// Peak eventual-write throughput (the `CassaEV` upper bound): closed-loop
+/// lock-free `put`s.
+pub fn cassa_ev_throughput(
+    profile: LatencyProfile,
+    threads: usize,
+    value_size: usize,
+    warmup: SimDuration,
+    window: SimDuration,
+    seed: u64,
+) -> f64 {
+    let sys = music_system(profile.clone(), Mode::Music, 1, seed);
+    let sim = sys.sim().clone();
+    let sites = profile.site_count();
+    let counter = Rc::new(Cell::new(0u64));
+    let t_lo = SimTime::ZERO + warmup;
+    let t_hi = t_lo + window;
+    let value = Bytes::from(payload(value_size));
+
+    for t in 0..threads {
+        let replica = sys.replica(t % sites).clone();
+        let key = format!("ev-{t}");
+        let counter = Rc::clone(&counter);
+        let sim2 = sim.clone();
+        let value = value.clone();
+        let stagger = SimDuration::from_micros((t as u64 * 104729) % 5_000);
+        sim.spawn(async move {
+            sim2.sleep(stagger).await;
+            loop {
+                if replica.put(&key, value.clone()).await.is_ok() {
+                    count_if_in_window(&counter, sim2.now(), t_lo, t_hi);
+                }
+            }
+        });
+    }
+    sim.run_until(t_hi);
+    counter.get() as f64 / window.as_secs_f64()
+}
+
+/// Result of a single-threaded latency run.
+#[derive(Clone, Debug)]
+pub struct LatencyResult {
+    /// Latency of whole critical sections (enter → released).
+    pub section: Histogram,
+    /// Per-operation breakdown sink.
+    pub ops: OpStats,
+}
+
+/// Mean-latency run: one client thread at site 0 executing `sections`
+/// critical sections of `batch` puts each (§VIII-a "mean latency using a
+/// single thread of operation").
+pub fn music_cs_latency(
+    profile: LatencyProfile,
+    mode: Mode,
+    batch: usize,
+    value_size: usize,
+    sections: usize,
+    seed: u64,
+) -> LatencyResult {
+    let sys = music_system(profile, mode, 1, seed);
+    let sim = sys.sim().clone();
+    let replica = sys.replica(0).clone();
+    let value = Bytes::from(payload(value_size));
+    let section_hist = Rc::new(std::cell::RefCell::new(Histogram::new()));
+    let hist2 = Rc::clone(&section_hist);
+    let sim2 = sim.clone();
+    let handle = sim.spawn(async move {
+        for s in 0..sections {
+            let key = format!("lat-{s}");
+            let t0 = sim2.now();
+            let lock_ref = loop {
+                if let Ok(r) = replica.create_lock_ref(&key).await {
+                    break r;
+                }
+            };
+            loop {
+                match replica.acquire_lock(&key, lock_ref).await {
+                    Ok(AcquireOutcome::Acquired) => break,
+                    _ => sim2.sleep(SimDuration::from_millis(2)).await,
+                }
+            }
+            for _ in 0..batch {
+                while replica.critical_put(&key, lock_ref, value.clone()).await.is_err() {
+                    sim2.sleep(SimDuration::from_millis(1)).await;
+                }
+            }
+            while replica.release_lock(&key, lock_ref).await.is_err() {}
+            hist2.borrow_mut().record(sim2.now() - t0);
+        }
+    });
+    sys.stats().reset();
+    sim.run_until_complete(handle);
+    let section = section_hist.borrow().clone();
+    LatencyResult {
+        section,
+        ops: sys.stats().clone(),
+    }
+}
+
+/// Mean latency of the lock-free eventual put (CassaEV), single thread.
+pub fn cassa_ev_latency(
+    profile: LatencyProfile,
+    value_size: usize,
+    iterations: usize,
+    seed: u64,
+) -> Histogram {
+    let sys = music_system(profile, Mode::Music, 1, seed);
+    let sim = sys.sim().clone();
+    let replica = sys.replica(0).clone();
+    let value = Bytes::from(payload(value_size));
+    let handle = sim.spawn(async move {
+        for i in 0..iterations {
+            let key = format!("evlat-{i}");
+            while replica.put(&key, value.clone()).await.is_err() {}
+        }
+    });
+    sys.stats().reset();
+    sim.run_until_complete(handle);
+    sys.stats().histogram(OpKind::EventualPut)
+}
+
+/// Convenience: a system + replica pair for ad-hoc measurement code.
+pub fn single_replica(profile: LatencyProfile, mode: Mode, seed: u64) -> (MusicSystem, MusicReplica) {
+    let sys = music_system(profile, mode, 1, seed);
+    let replica = sys.replica(0).clone();
+    (sys, replica)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_runner_matches_protocol_costs() {
+        // 1Us, one section, one put: create(4 RTT) + grant(1 RTT) + put
+        // (1 RTT) + release(4 RTT) ≈ 540ms, far below MSCP's put.
+        let music = music_cs_latency(LatencyProfile::one_us(), Mode::Music, 1, 10, 3, 1);
+        let mscp = music_cs_latency(LatencyProfile::one_us(), Mode::Mscp, 1, 10, 3, 1);
+        let m = music.section.mean().as_millis_f64();
+        let s = mscp.section.mean().as_millis_f64();
+        assert!(m > 400.0 && m < 800.0, "MUSIC CS mean {m}ms");
+        assert!(s > m + 100.0, "MSCP {s}ms must exceed MUSIC {m}ms by ~3 RTT");
+        assert_eq!(music.ops.count(OpKind::CriticalPut), 3);
+        assert_eq!(mscp.ops.count(OpKind::MscpPut), 3);
+    }
+
+    #[test]
+    fn throughput_runner_produces_positive_rates() {
+        let mut run = ThroughputRun::new(LatencyProfile::one_us(), Mode::Music);
+        run.threads = 12;
+        run.warmup = SimDuration::from_millis(500);
+        run.window = SimDuration::from_secs(2);
+        let tput = music_write_throughput(&run);
+        assert!(tput > 0.0, "got {tput}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Plain-text table output for the figure reproductions.
+
+/// Prints a figure header with the paper reference.
+pub fn print_header(figure: &str, description: &str) {
+    println!();
+    println!("=== {figure} — {description} ===");
+}
+
+/// Prints a table: header row then data rows, column-aligned.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Prints one free-form row (for notes under a table).
+pub fn print_row(note: &str) {
+    println!("  {note}");
+}
+
+/// `a / b` guarded against division by zero.
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        f64::NAN
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert!(ratio(1.0, 0.0).is_nan());
+        assert_eq!(ratio(6.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_header("Fig. X", "smoke");
+        print_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        print_row("note");
+    }
+}

@@ -1,0 +1,113 @@
+//! Deployment construction shared by every experiment.
+
+use music::{MusicConfig, MusicSystem, MusicSystemBuilder, PutMode};
+use music_simnet::net::NetConfig;
+use music_simnet::time::SimDuration;
+use music_simnet::topology::LatencyProfile;
+
+/// Which system variant a MUSIC-side run exercises (§VIII-b).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// MUSIC proper: critical puts are quorum writes.
+    Music,
+    /// MSCP: critical puts are sequentially consistent LWT writes.
+    Mscp,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Music => write!(f, "MUSIC"),
+            Mode::Mscp => write!(f, "MSCP"),
+        }
+    }
+}
+
+impl Mode {
+    /// Both variants, paper order.
+    pub const BOTH: [Mode; 2] = [Mode::Music, Mode::Mscp];
+}
+
+/// The calibrated network cost model used by all experiments: 20 µs fixed
+/// service per message and 1 GB/s node bandwidth. Calibration note: this
+/// yields an eventual-write (CassaEV) ceiling in the tens of thousands of
+/// op/s on 3 nodes, the same order as the Datastax figure the paper quotes
+/// (§VIII-b); all comparisons are within-simulator.
+pub fn bench_net_config() -> NetConfig {
+    NetConfig {
+        service_fixed: SimDuration::from_micros(20),
+        bandwidth_bytes_per_sec: 1_000_000_000,
+        loss: 0.0,
+        jitter_frac: 0.0,
+    }
+}
+
+/// Whether `MUSIC_BENCH_FAST=1` is set: shrinks windows/thread counts so
+/// the whole suite runs in seconds (CI smoke mode).
+pub fn fast_mode() -> bool {
+    std::env::var("MUSIC_BENCH_FAST").map_or(false, |v| v == "1")
+}
+
+/// The benchmark `MusicConfig` for a mode: long `T` (performance runs
+/// never expire critical sections), quorum or LWT puts.
+pub fn bench_music_config(mode: Mode) -> MusicConfig {
+    MusicConfig {
+        put_mode: match mode {
+            Mode::Music => PutMode::Quorum,
+            Mode::Mscp => PutMode::Lwt,
+        },
+        t_max: SimDuration::from_secs(3_600),
+        ..MusicConfig::default()
+    }
+}
+
+/// Builds the standard benchmark deployment.
+pub fn music_system(
+    profile: LatencyProfile,
+    mode: Mode,
+    store_nodes_per_site: usize,
+    seed: u64,
+) -> MusicSystem {
+    music_system_with(profile, bench_music_config(mode), store_nodes_per_site, seed)
+}
+
+/// Builds a deployment with a custom `MusicConfig` (e.g. the YCSB run's
+/// aggressive failure detector). MUSIC replicas scale with the store
+/// cluster, as in the paper's 9-replica / 9-node production deployment
+/// (Fig. 1).
+pub fn music_system_with(
+    profile: LatencyProfile,
+    music_cfg: MusicConfig,
+    store_nodes_per_site: usize,
+    seed: u64,
+) -> MusicSystem {
+    MusicSystemBuilder::new()
+        .profile(profile)
+        .net_config(bench_net_config())
+        .music_config(music_cfg)
+        .store_nodes_per_site(store_nodes_per_site)
+        .replicas_per_site(store_nodes_per_site)
+        .replication_factor(3)
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_display_like_the_paper() {
+        assert_eq!(Mode::Music.to_string(), "MUSIC");
+        assert_eq!(Mode::Mscp.to_string(), "MSCP");
+    }
+
+    #[test]
+    fn system_builds_for_all_profiles() {
+        for p in LatencyProfile::table_ii() {
+            let sys = music_system(p, Mode::Music, 1, 1);
+            assert_eq!(sys.replicas().len(), 3);
+            assert_eq!(sys.store_nodes().len(), 3);
+        }
+    }
+}

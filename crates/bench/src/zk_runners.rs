@@ -1,0 +1,136 @@
+//! ZooKeeper-baseline runners (Fig. 6): critical sections via the lock
+//! recipe with Zab `setData` writes.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use music_simnet::executor::Sim;
+use music_simnet::net::Network;
+use music_simnet::time::SimDuration;
+use music_simnet::topology::{LatencyProfile, SiteId};
+use music_workload::sweep::payload;
+use music_zab::{CreateMode, ZkEnsemble, ZkLock};
+
+use crate::setup::bench_net_config;
+
+/// Builds a 3-server ensemble (one per site, leader at site 0) plus one
+/// client node per thread.
+fn build(profile: &LatencyProfile, threads: usize, seed: u64) -> (Sim, ZkEnsemble, Vec<music_simnet::net::NodeId>) {
+    let sim = Sim::new();
+    let net = Network::new(sim.clone(), profile.clone(), bench_net_config(), seed);
+    let servers: Vec<_> = (0..profile.site_count() as u32)
+        .map(|s| net.add_node(SiteId(s)))
+        .collect();
+    let clients: Vec<_> = (0..threads)
+        .map(|t| net.add_node(SiteId((t % profile.site_count()) as u32)))
+        .collect();
+    let ens = ZkEnsemble::new(net, servers);
+    (sim, ens, clients)
+}
+
+/// Peak `setData` throughput of critical sections over ZooKeeper: each
+/// thread holds its own lock (non-overlapping keys) and performs `batch`
+/// writes per section.
+pub fn zk_write_throughput(
+    profile: LatencyProfile,
+    threads: usize,
+    batch: usize,
+    value_size: usize,
+    warmup: SimDuration,
+    window: SimDuration,
+    seed: u64,
+) -> f64 {
+    let (sim, ens, clients) = build(&profile, threads, seed);
+    let counter = Rc::new(Cell::new(0u64));
+    let value = Bytes::from(payload(value_size));
+
+    // Pre-create the data parents from one session.
+    {
+        let ens2 = ens.clone();
+        let node = clients[0];
+        let threads2 = threads;
+        let h = sim.spawn(async move {
+            let s = ens2.connect(node);
+            let _ = s.create("/data", Bytes::new(), CreateMode::Persistent).await;
+            let _ = s.create("/locks", Bytes::new(), CreateMode::Persistent).await;
+            for t in 0..threads2 {
+                let _ = s
+                    .create(&format!("/data/t{t}"), Bytes::new(), CreateMode::Persistent)
+                    .await;
+            }
+        });
+        sim.run_until_complete(h);
+    }
+
+    // The measurement window starts only after the load phase: the
+    // pre-creates consume non-trivial virtual time themselves.
+    let t_lo = sim.now() + warmup;
+    let t_hi = t_lo + window;
+
+    for (t, &node) in clients.iter().enumerate() {
+        let ens = ens.clone();
+        let counter = Rc::clone(&counter);
+        let sim2 = sim.clone();
+        let value = value.clone();
+        let stagger = SimDuration::from_micros((t as u64 * 7919) % 200_000);
+        sim.spawn(async move {
+            sim2.sleep(stagger).await;
+            let session = ens.connect(node);
+            let data_path = format!("/data/t{t}");
+            let lock_path = format!("/locks/t{t}");
+            loop {
+                let mut lock = ZkLock::new(&session, lock_path.clone());
+                if lock.acquire().await.is_err() {
+                    continue;
+                }
+                for _ in 0..batch {
+                    if session.set_data(&data_path, value.clone()).await.is_ok() {
+                        let now = sim2.now();
+                        if now >= t_lo && now < t_hi {
+                            counter.set(counter.get() + 1);
+                        }
+                    }
+                }
+                while lock.release().await.is_err() {
+                    sim2.sleep(SimDuration::from_millis(5)).await;
+                }
+            }
+        });
+    }
+    sim.run_until(t_hi);
+    counter.get() as f64 / window.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zk_throughput_positive_and_batch_amortizes() {
+        let small = zk_write_throughput(
+            LatencyProfile::one_us(),
+            6,
+            1,
+            10,
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
+            3,
+        );
+        let big = zk_write_throughput(
+            LatencyProfile::one_us(),
+            6,
+            20,
+            10,
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
+            3,
+        );
+        assert!(small > 0.0);
+        assert!(
+            big > small,
+            "larger batches amortize the lock recipe: {big} vs {small}"
+        );
+    }
+}

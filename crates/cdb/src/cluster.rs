@@ -1,0 +1,421 @@
+//! The replicated SQL-ish KV store: Raft-replicated writes, leader reads,
+//! and exclusive transactions with row locks — enough surface to express
+//! the critical-section pattern of §X-B3 with the cost model of §X-B4
+//! (two consensus operations per exclusive read-write transaction).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use music_simnet::combinators::{quorum, timeout};
+use music_simnet::net::{Network, NodeId};
+use music_simnet::time::SimDuration;
+
+use crate::raft::{Index, RaftNode};
+
+const HEADER: usize = 48;
+
+/// Errors surfaced to transaction clients.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CdbError {
+    /// A row lock could not be acquired before the wait timeout.
+    LockTimeout,
+    /// The cluster could not replicate within the operation timeout.
+    Unavailable,
+}
+
+impl std::fmt::Display for CdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CdbError::LockTimeout => write!(f, "row lock wait timed out"),
+            CdbError::Unavailable => write!(f, "replication quorum unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for CdbError {}
+
+/// One replicated command: an atomic batch of row writes.
+type Command = Vec<(String, Option<Bytes>)>;
+
+struct Inner {
+    net: Network,
+    nodes: Vec<NodeId>,
+    leader: usize,
+    rafts: Vec<Rc<RefCell<RaftNode<Command>>>>,
+    kv: Vec<Rc<RefCell<HashMap<String, Bytes>>>>,
+    applied: Vec<Cell<Index>>,
+    /// Leader's replication progress per node (match index).
+    match_index: RefCell<Vec<Index>>,
+    /// Leader-side row lock table: key → owning txn.
+    locks: RefCell<HashMap<String, u64>>,
+    next_txn: Cell<u64>,
+    op_timeout: SimDuration,
+    lock_wait: SimDuration,
+}
+
+impl Inner {
+    fn apply_committed(&self, node: usize) {
+        let raft = self.rafts[node].borrow();
+        let from = self.applied[node].get();
+        for entry in raft.committed_after(from) {
+            let mut kv = self.kv[node].borrow_mut();
+            for (k, v) in &entry.command {
+                match v {
+                    Some(v) => {
+                        kv.insert(k.clone(), v.clone());
+                    }
+                    None => {
+                        kv.remove(k);
+                    }
+                }
+            }
+        }
+        self.applied[node].set(raft.commit_index());
+    }
+}
+
+/// A CockroachDB-like cluster with a stable leader at `nodes[0]`.
+#[derive(Clone)]
+pub struct CdbCluster {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for CdbCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CdbCluster")
+            .field("nodes", &self.inner.nodes)
+            .finish()
+    }
+}
+
+impl CdbCluster {
+    /// Creates a cluster over `nodes`; `nodes[0]` is the stable leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(net: Network, nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        let n = nodes.len();
+        let rafts: Vec<_> = (0..n)
+            .map(|i| Rc::new(RefCell::new(RaftNode::new(i as u32))))
+            .collect();
+        rafts[0].borrow_mut().become_leader(1);
+        CdbCluster {
+            inner: Rc::new(Inner {
+                net,
+                nodes,
+                leader: 0,
+                rafts,
+                kv: (0..n).map(|_| Rc::new(RefCell::new(HashMap::new()))).collect(),
+                applied: (0..n).map(|_| Cell::new(0)).collect(),
+                match_index: RefCell::new(vec![0; n]),
+                locks: RefCell::new(HashMap::new()),
+                next_txn: Cell::new(1),
+                op_timeout: SimDuration::from_secs(4),
+                lock_wait: SimDuration::from_secs(10),
+            }),
+        }
+    }
+
+    /// The leader's node id.
+    pub fn leader_node(&self) -> NodeId {
+        self.inner.nodes[self.inner.leader]
+    }
+
+    /// Opens a session from `client_node`.
+    pub fn session(&self, client_node: NodeId) -> CdbSession {
+        CdbSession {
+            cluster: self.clone(),
+            client_node,
+        }
+    }
+
+    /// Direct view of a node's applied KV state (tests/instrumentation).
+    pub fn peek_kv(&self, node: usize, key: &str) -> Option<Bytes> {
+        self.inner.apply_committed(node);
+        self.inner.kv[node].borrow().get(key).cloned()
+    }
+
+    /// One Raft consensus round: append `cmd` at the leader, replicate to a
+    /// quorum, advance commit, apply at the leader, and asynchronously
+    /// bring followers up to date.
+    async fn consensus(&self, cmd: Command) -> Result<(), CdbError> {
+        let inner = &self.inner;
+        let sim = inner.net.sim().clone();
+        let leader_node = inner.nodes[inner.leader];
+        let bytes: usize = HEADER
+            + cmd
+                .iter()
+                .map(|(k, v)| k.len() + v.as_ref().map_or(0, |b| b.len()))
+                .sum::<usize>();
+
+        let index = inner.rafts[inner.leader].borrow_mut().leader_append(cmd);
+        {
+            let mut mi = inner.match_index.borrow_mut();
+            mi[inner.leader] = index;
+        }
+
+        let mut acks = Vec::new();
+        for i in 0..inner.nodes.len() {
+            if i == inner.leader {
+                continue;
+            }
+            let net = inner.net.clone();
+            let follower_node = inner.nodes[i];
+            let leader_raft = Rc::clone(&inner.rafts[inner.leader]);
+            let follower_raft = Rc::clone(&inner.rafts[i]);
+            let this = self.clone();
+            acks.push(sim.spawn(async move {
+                let next = this.inner.match_index.borrow()[i] + 1;
+                let req = leader_raft.borrow().build_append(next);
+                let req_bytes = HEADER
+                    + req
+                        .entries
+                        .iter()
+                        .map(|e| {
+                            e.command
+                                .iter()
+                                .map(|(k, v)| k.len() + v.as_ref().map_or(0, |b| b.len()))
+                                .sum::<usize>()
+                        })
+                        .sum::<usize>();
+                net.transmit(leader_node, follower_node, req_bytes.max(bytes)).await;
+                let reply = follower_raft.borrow_mut().handle_append(&req);
+                this.inner.apply_committed(i);
+                net.transmit(follower_node, leader_node, HEADER).await;
+                (i, reply)
+            }));
+        }
+        let need = (inner.nodes.len() / 2 + 1).saturating_sub(1);
+        if need > 0 {
+            let replies = timeout(&sim, inner.op_timeout, quorum(acks, need))
+                .await
+                .map_err(|_| CdbError::Unavailable)?;
+            let mut mi = inner.match_index.borrow_mut();
+            for (_, (i, reply)) in replies {
+                if reply.success {
+                    mi[i] = mi[i].max(reply.last_index);
+                }
+            }
+        }
+        // Advance commit and apply at the leader.
+        {
+            let mi = inner.match_index.borrow().clone();
+            inner.rafts[inner.leader].borrow_mut().leader_advance_commit(&mi);
+        }
+        inner.apply_committed(inner.leader);
+        // Propagate the new commit index to followers asynchronously (the
+        // heartbeat piggyback of real Raft); detached stragglers are fine.
+        for i in 0..inner.nodes.len() {
+            if i == inner.leader {
+                continue;
+            }
+            let net = inner.net.clone();
+            let follower_node = inner.nodes[i];
+            let leader_raft = Rc::clone(&inner.rafts[inner.leader]);
+            let follower_raft = Rc::clone(&inner.rafts[i]);
+            let this = self.clone();
+            sim.spawn(async move {
+                let next = this.inner.match_index.borrow()[i] + 1;
+                let req = leader_raft.borrow().build_append(next);
+                net.transmit(leader_node, follower_node, HEADER).await;
+                let reply = follower_raft.borrow_mut().handle_append(&req);
+                if reply.success {
+                    let mut mi = this.inner.match_index.borrow_mut();
+                    mi[i] = mi[i].max(reply.last_index);
+                }
+                this.inner.apply_committed(i);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A client session (CockroachDB gateway connection).
+#[derive(Clone, Debug)]
+pub struct CdbSession {
+    cluster: CdbCluster,
+    client_node: NodeId,
+}
+
+impl CdbSession {
+    /// Begins an exclusive read-write transaction.
+    pub fn transaction(&self) -> CdbTxn {
+        let id = self.cluster.inner.next_txn.get();
+        self.cluster.inner.next_txn.set(id + 1);
+        CdbTxn {
+            cluster: self.cluster.clone(),
+            client_node: self.client_node,
+            id,
+            writes: Vec::new(),
+            held_locks: Vec::new(),
+            record_written: false,
+            finished: false,
+        }
+    }
+}
+
+/// An exclusive transaction: row locks at the leader, write intents + a
+/// transaction record replicated through Raft (one consensus op), and a
+/// commit (a second consensus op) — the 2C cost model of §X-B4.
+#[derive(Debug)]
+pub struct CdbTxn {
+    cluster: CdbCluster,
+    client_node: NodeId,
+    id: u64,
+    writes: Vec<(String, Option<Bytes>)>,
+    held_locks: Vec<String>,
+    record_written: bool,
+    finished: bool,
+}
+
+impl CdbTxn {
+    /// Waits for (then takes) the leader-side row lock on `key`.
+    async fn lock_row(&mut self, key: &str) -> Result<(), CdbError> {
+        if self.held_locks.iter().any(|k| k == key) {
+            return Ok(());
+        }
+        let inner = &self.cluster.inner;
+        let sim = inner.net.sim().clone();
+        let deadline = sim.now() + inner.lock_wait;
+        loop {
+            {
+                let mut locks = inner.locks.borrow_mut();
+                match locks.get(key) {
+                    None => {
+                        locks.insert(key.to_string(), self.id);
+                        self.held_locks.push(key.to_string());
+                        return Ok(());
+                    }
+                    Some(owner) if *owner == self.id => {
+                        self.held_locks.push(key.to_string());
+                        return Ok(());
+                    }
+                    Some(_) => {}
+                }
+            }
+            if sim.now() >= deadline {
+                return Err(CdbError::LockTimeout);
+            }
+            sim.sleep(SimDuration::from_millis(1)).await;
+        }
+    }
+
+    fn release_locks(&mut self) {
+        let mut locks = self.cluster.inner.locks.borrow_mut();
+        for k in self.held_locks.drain(..) {
+            if locks.get(&k) == Some(&self.id) {
+                locks.remove(&k);
+            }
+        }
+    }
+
+    /// `SELECT`: latest committed value at the leader (or this txn's own
+    /// buffered write). Costs a client→leader round trip.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible network-wise (reads are leader-local), but
+    /// kept fallible for interface stability.
+    pub async fn select(&self, key: &str) -> Result<Option<Bytes>, CdbError> {
+        if let Some((_, v)) = self.writes.iter().rev().find(|(k, _)| k == key) {
+            return Ok(v.clone());
+        }
+        let inner = &self.cluster.inner;
+        let leader = self.cluster.leader_node();
+        let kv = Rc::clone(&inner.kv[inner.leader]);
+        let key = key.to_string();
+        let leader_idx = inner.leader;
+        let cluster = self.cluster.clone();
+        let v = inner
+            .net
+            .rpc(self.client_node, leader, HEADER + key.len(), move || {
+                cluster.inner.apply_committed(leader_idx);
+                let v = kv.borrow().get(&key).cloned();
+                let bytes = HEADER + v.as_ref().map_or(0, |b| b.len());
+                (v, bytes)
+            })
+            .await;
+        Ok(v)
+    }
+
+    /// `UPSERT`: takes the row lock and buffers the write. The first write
+    /// of the transaction also replicates the transaction record + intent
+    /// (one consensus round, with the client→leader hop).
+    ///
+    /// # Errors
+    ///
+    /// [`CdbError::LockTimeout`] or [`CdbError::Unavailable`].
+    pub async fn upsert(&mut self, key: &str, value: Bytes) -> Result<(), CdbError> {
+        let net = self.cluster.inner.net.clone();
+        let leader_node = self.cluster.leader_node();
+        // Client → leader statement hop.
+        net.transmit(self.client_node, leader_node, HEADER + key.len() + value.len())
+            .await;
+        self.lock_row(key).await?;
+        self.writes.push((key.to_string(), Some(value)));
+        if !self.record_written {
+            self.record_written = true;
+            // Transaction record + first intent: consensus op #1.
+            self.cluster
+                .consensus(vec![(format!("~txn/{}", self.id), Some(Bytes::from_static(b"PENDING")))])
+                .await?;
+        }
+        // Ack back to the client.
+        net.transmit(leader_node, self.client_node, HEADER).await;
+        Ok(())
+    }
+
+    /// `DELETE` a row (buffered like an upsert).
+    ///
+    /// # Errors
+    ///
+    /// [`CdbError::LockTimeout`] or [`CdbError::Unavailable`].
+    pub async fn delete(&mut self, key: &str) -> Result<(), CdbError> {
+        self.lock_row(key).await?;
+        self.writes.push((key.to_string(), None));
+        Ok(())
+    }
+
+    /// `COMMIT`: replicates the write batch (consensus op #2), releases the
+    /// row locks, and acknowledges the client.
+    ///
+    /// # Errors
+    ///
+    /// [`CdbError::Unavailable`] if replication fails; locks are released
+    /// either way.
+    pub async fn commit(mut self) -> Result<(), CdbError> {
+        self.finished = true;
+        let mut batch = std::mem::take(&mut self.writes);
+        if self.record_written {
+            batch.push((format!("~txn/{}", self.id), None)); // resolve the record
+        }
+        let net = self.cluster.inner.net.clone();
+        net.transmit(self.client_node, self.cluster.leader_node(), HEADER)
+            .await;
+        let res = self.cluster.consensus(batch).await;
+        self.release_locks();
+        net.transmit(self.cluster.leader_node(), self.client_node, HEADER)
+            .await;
+        res
+    }
+
+    /// `ROLLBACK`: discards buffered writes and releases locks.
+    pub fn rollback(mut self) {
+        self.finished = true;
+        self.writes.clear();
+        self.release_locks();
+    }
+}
+
+impl Drop for CdbTxn {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.release_locks();
+        }
+    }
+}

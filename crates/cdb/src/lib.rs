@@ -1,0 +1,46 @@
+//! # music-cdb
+//!
+//! A CockroachDB-like geo-replicated transactional KV store, used as the
+//! transactional baseline of the MUSIC evaluation (Fig. 7): a mini-Raft
+//! replication core ([`raft`]) under a leaseholder-style stable leader,
+//! with exclusive read-write transactions that take row locks and cost two
+//! consensus operations each — exactly the cost model the paper analyzes in
+//! §X-B4 (`2C` per transaction, hence `2·x·C` for `x` state updates done in
+//! separate exclusive transactions).
+//!
+//! The critical-section pattern of §X-B3 (lock row → per-update exclusive
+//! transactions → unlock row) is exercised by the `fig7_cockroach` bench
+//! target and this crate's tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use music_simnet::prelude::*;
+//! use music_cdb::CdbCluster;
+//! use bytes::Bytes;
+//!
+//! let sim = Sim::new();
+//! let net = Network::new(sim.clone(), LatencyProfile::one_us(), NetConfig::default(), 7);
+//! let servers: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+//! let client = net.add_node(SiteId(0));
+//! let cluster = CdbCluster::new(net, servers);
+//!
+//! sim.block_on(async move {
+//!     let session = cluster.session(client);
+//!     let mut txn = session.transaction();
+//!     txn.upsert("row", Bytes::from_static(b"v")).await.unwrap();
+//!     txn.commit().await.unwrap(); // two consensus rounds total
+//!     let check = session.transaction();
+//!     assert_eq!(check.select("row").await.unwrap(), Some(Bytes::from_static(b"v")));
+//!     check.rollback();
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod raft;
+
+pub use cluster::{CdbCluster, CdbError, CdbSession, CdbTxn};
+pub use raft::{AppendEntries, AppendReply, Entry, RaftNode, RequestVote, VoteReply};

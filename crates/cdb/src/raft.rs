@@ -1,0 +1,411 @@
+//! A compact Raft core: leader election rules and log replication as pure
+//! state machines (no I/O), in the style of `music-paxos`.
+//!
+//! The benchmark driver (`cluster`) runs a stable leader — matching the
+//! paper's failure-free measurement methodology — but the state machines
+//! implement the full consistency checks (term comparison, log matching,
+//! commit rules, vote granting) so they are reusable and testable beyond
+//! the benchmark scenario.
+
+/// A term number.
+pub type Term = u64;
+/// A log index (1-based; 0 = "before the log").
+pub type Index = u64;
+
+/// One replicated log entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Entry<C> {
+    /// Term in which the entry was appended at the leader.
+    pub term: Term,
+    /// The replicated command.
+    pub command: C,
+}
+
+/// AppendEntries request (§5.3 of the Raft paper).
+#[derive(Clone, Debug)]
+pub struct AppendEntries<C> {
+    /// Leader's term.
+    pub term: Term,
+    /// Index of the entry immediately before `entries`.
+    pub prev_log_index: Index,
+    /// Term of the entry at `prev_log_index`.
+    pub prev_log_term: Term,
+    /// Entries to append (empty = heartbeat).
+    pub entries: Vec<Entry<C>>,
+    /// Leader's commit index.
+    pub leader_commit: Index,
+}
+
+/// AppendEntries response.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AppendReply {
+    /// Follower's current term (for leader step-down).
+    pub term: Term,
+    /// Whether the entries were appended.
+    pub success: bool,
+    /// Follower's last log index after the call (for fast next_index).
+    pub last_index: Index,
+}
+
+/// RequestVote request (§5.2).
+#[derive(Copy, Clone, Debug)]
+pub struct RequestVote {
+    /// Candidate's term.
+    pub term: Term,
+    /// Candidate id.
+    pub candidate: u32,
+    /// Candidate's last log position.
+    pub last_log_index: Index,
+    /// Term of the candidate's last entry.
+    pub last_log_term: Term,
+}
+
+/// RequestVote response.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct VoteReply {
+    /// Voter's current term.
+    pub term: Term,
+    /// Whether the vote was granted.
+    pub granted: bool,
+}
+
+/// Per-node Raft state (follower side plus what a leader needs).
+#[derive(Clone, Debug)]
+pub struct RaftNode<C> {
+    /// This node's id.
+    pub id: u32,
+    current_term: Term,
+    voted_for: Option<u32>,
+    log: Vec<Entry<C>>,
+    commit_index: Index,
+}
+
+impl<C: Clone> RaftNode<C> {
+    /// A fresh node at term 0 with an empty log.
+    pub fn new(id: u32) -> Self {
+        RaftNode {
+            id,
+            current_term: 0,
+            voted_for: None,
+            log: Vec::new(),
+            commit_index: 0,
+        }
+    }
+
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.current_term
+    }
+
+    /// Highest committed index.
+    pub fn commit_index(&self) -> Index {
+        self.commit_index
+    }
+
+    /// Last log index (0 if empty).
+    pub fn last_index(&self) -> Index {
+        self.log.len() as Index
+    }
+
+    /// Term of the last entry (0 if empty).
+    pub fn last_term(&self) -> Term {
+        self.log.last().map_or(0, |e| e.term)
+    }
+
+    /// The entry at `index` (1-based).
+    pub fn entry(&self, index: Index) -> Option<&Entry<C>> {
+        if index == 0 {
+            None
+        } else {
+            self.log.get(index as usize - 1)
+        }
+    }
+
+    /// Committed entries in `(after, commit_index]`, for application.
+    pub fn committed_after(&self, after: Index) -> &[Entry<C>] {
+        let lo = after.min(self.commit_index) as usize;
+        let hi = self.commit_index as usize;
+        &self.log[lo..hi]
+    }
+
+    /// Leader-side: bump into a new term as leader (driver decides
+    /// leadership; the benchmark uses a stable term-1 leader).
+    pub fn become_leader(&mut self, term: Term) {
+        assert!(term >= self.current_term, "terms never regress");
+        self.current_term = term;
+        self.voted_for = Some(self.id);
+    }
+
+    /// Leader-side: appends a command to the local log, returning its
+    /// index.
+    pub fn leader_append(&mut self, command: C) -> Index {
+        self.log.push(Entry {
+            term: self.current_term,
+            command,
+        });
+        self.last_index()
+    }
+
+    /// Leader-side: builds the AppendEntries request for a follower whose
+    /// log is known to match through `next_index - 1`.
+    pub fn build_append(&self, next_index: Index) -> AppendEntries<C> {
+        let prev = next_index - 1;
+        AppendEntries {
+            term: self.current_term,
+            prev_log_index: prev,
+            prev_log_term: self.entry(prev).map_or(0, |e| e.term),
+            entries: self.log[prev as usize..].to_vec(),
+            leader_commit: self.commit_index,
+        }
+    }
+
+    /// Leader-side: advance the commit index given the match indexes of
+    /// the whole cluster (including the leader itself). Only entries of the
+    /// current term commit by counting (§5.4.2).
+    pub fn leader_advance_commit(&mut self, match_indexes: &[Index]) {
+        let majority = match_indexes.len() / 2 + 1;
+        let mut candidates: Vec<Index> = match_indexes.to_vec();
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        let n = candidates[majority - 1];
+        if n > self.commit_index && self.entry(n).map_or(0, |e| e.term) == self.current_term {
+            self.commit_index = n;
+        }
+    }
+
+    /// Follower-side: handles AppendEntries.
+    pub fn handle_append(&mut self, req: &AppendEntries<C>) -> AppendReply {
+        if req.term < self.current_term {
+            return AppendReply {
+                term: self.current_term,
+                success: false,
+                last_index: self.last_index(),
+            };
+        }
+        if req.term > self.current_term {
+            self.current_term = req.term;
+            self.voted_for = None;
+        }
+        // Log-matching check.
+        if req.prev_log_index > 0 {
+            match self.entry(req.prev_log_index) {
+                Some(e) if e.term == req.prev_log_term => {}
+                _ => {
+                    return AppendReply {
+                        term: self.current_term,
+                        success: false,
+                        last_index: self.last_index(),
+                    }
+                }
+            }
+        }
+        // Append, truncating any conflicting suffix.
+        for (i, entry) in req.entries.iter().enumerate() {
+            let idx = req.prev_log_index + 1 + i as Index;
+            match self.entry(idx) {
+                Some(existing) if existing.term == entry.term => {}
+                Some(_) => {
+                    self.log.truncate(idx as usize - 1);
+                    self.log.push(entry.clone());
+                }
+                None => self.log.push(entry.clone()),
+            }
+        }
+        let new_last = (req.prev_log_index + req.entries.len() as Index).max(self.last_index());
+        if req.leader_commit > self.commit_index {
+            self.commit_index = req.leader_commit.min(new_last);
+        }
+        AppendReply {
+            term: self.current_term,
+            success: true,
+            last_index: new_last,
+        }
+    }
+
+    /// Follower-side: handles RequestVote.
+    pub fn handle_vote(&mut self, req: &RequestVote) -> VoteReply {
+        if req.term < self.current_term {
+            return VoteReply {
+                term: self.current_term,
+                granted: false,
+            };
+        }
+        if req.term > self.current_term {
+            self.current_term = req.term;
+            self.voted_for = None;
+        }
+        let log_ok = (req.last_log_term, req.last_log_index) >= (self.last_term(), self.last_index());
+        let granted = log_ok && self.voted_for.map_or(true, |v| v == req.candidate);
+        if granted {
+            self.voted_for = Some(req.candidate);
+        }
+        VoteReply {
+            term: self.current_term,
+            granted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replicate(leader: &mut RaftNode<u32>, followers: &mut [RaftNode<u32>]) {
+        // Push the full log to every follower and advance commit.
+        let mut matches = vec![leader.last_index()];
+        for f in followers.iter_mut() {
+            let req = leader.build_append(1);
+            let reply = f.handle_append(&req);
+            assert!(reply.success);
+            matches.push(reply.last_index);
+        }
+        leader.leader_advance_commit(&matches);
+    }
+
+    #[test]
+    fn happy_path_replication_commits() {
+        let mut leader = RaftNode::new(0);
+        leader.become_leader(1);
+        let mut f1 = RaftNode::new(1);
+        let mut f2 = RaftNode::new(2);
+        leader.leader_append(10);
+        leader.leader_append(20);
+        replicate(&mut leader, &mut [f1.clone(), f2.clone()][..]);
+        // Re-run with real followers to check their state too.
+        let mut fs = [&mut f1, &mut f2];
+        let mut matches = vec![leader.last_index()];
+        for f in fs.iter_mut() {
+            let reply = f.handle_append(&leader.build_append(1));
+            matches.push(reply.last_index);
+        }
+        leader.leader_advance_commit(&matches);
+        assert_eq!(leader.commit_index(), 2);
+        // Commit index propagates on the next append.
+        for f in fs.iter_mut() {
+            f.handle_append(&leader.build_append(3));
+            assert_eq!(f.commit_index(), 2);
+            assert_eq!(
+                f.committed_after(0).iter().map(|e| e.command).collect::<Vec<_>>(),
+                vec![10, 20]
+            );
+        }
+    }
+
+    #[test]
+    fn stale_term_append_rejected() {
+        let mut f = RaftNode::<u32>::new(1);
+        f.handle_vote(&RequestVote {
+            term: 5,
+            candidate: 2,
+            last_log_index: 0,
+            last_log_term: 0,
+        });
+        let reply = f.handle_append(&AppendEntries {
+            term: 3,
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![],
+            leader_commit: 0,
+        });
+        assert!(!reply.success);
+        assert_eq!(reply.term, 5);
+    }
+
+    #[test]
+    fn log_matching_rejects_gaps() {
+        let mut f = RaftNode::<u32>::new(1);
+        let reply = f.handle_append(&AppendEntries {
+            term: 1,
+            prev_log_index: 5,
+            prev_log_term: 1,
+            entries: vec![Entry { term: 1, command: 9 }],
+            leader_commit: 0,
+        });
+        assert!(!reply.success, "gap must be rejected");
+    }
+
+    #[test]
+    fn conflicting_suffix_is_truncated() {
+        let mut f = RaftNode::<u32>::new(1);
+        // Term-1 leader writes 2 entries.
+        f.handle_append(&AppendEntries {
+            term: 1,
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![Entry { term: 1, command: 1 }, Entry { term: 1, command: 2 }],
+            leader_commit: 0,
+        });
+        // A term-2 leader with a different entry at index 2.
+        let reply = f.handle_append(&AppendEntries {
+            term: 2,
+            prev_log_index: 1,
+            prev_log_term: 1,
+            entries: vec![Entry { term: 2, command: 99 }],
+            leader_commit: 0,
+        });
+        assert!(reply.success);
+        assert_eq!(f.entry(2).unwrap().command, 99);
+        assert_eq!(f.last_index(), 2);
+    }
+
+    #[test]
+    fn commit_never_exceeds_local_log() {
+        let mut f = RaftNode::<u32>::new(1);
+        f.handle_append(&AppendEntries {
+            term: 1,
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![Entry { term: 1, command: 1 }],
+            leader_commit: 10,
+        });
+        assert_eq!(f.commit_index(), 1);
+    }
+
+    #[test]
+    fn votes_respect_log_freshness_and_single_vote() {
+        let mut f = RaftNode::<u32>::new(1);
+        f.handle_append(&AppendEntries {
+            term: 2,
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![Entry { term: 2, command: 1 }],
+            leader_commit: 0,
+        });
+        // A candidate with a stale log is refused.
+        let stale = f.handle_vote(&RequestVote {
+            term: 3,
+            candidate: 7,
+            last_log_index: 0,
+            last_log_term: 0,
+        });
+        assert!(!stale.granted);
+        // A fresh candidate gets the vote; a second one in the same term
+        // does not.
+        let fresh = f.handle_vote(&RequestVote {
+            term: 4,
+            candidate: 8,
+            last_log_index: 5,
+            last_log_term: 3,
+        });
+        assert!(fresh.granted);
+        let rival = f.handle_vote(&RequestVote {
+            term: 4,
+            candidate: 9,
+            last_log_index: 9,
+            last_log_term: 3,
+        });
+        assert!(!rival.granted, "one vote per term");
+    }
+
+    #[test]
+    fn leader_commit_counts_only_current_term() {
+        let mut leader = RaftNode::<u32>::new(0);
+        leader.become_leader(2);
+        // A term-1 entry somehow in the log (from a previous leadership).
+        leader.log.push(Entry { term: 1, command: 1 });
+        leader.leader_advance_commit(&[1, 1, 1]);
+        assert_eq!(leader.commit_index(), 0, "old-term entries don't commit by counting");
+        leader.leader_append(2);
+        leader.leader_advance_commit(&[2, 2, 1]);
+        assert_eq!(leader.commit_index(), 2, "current-term commit covers older entries");
+    }
+}

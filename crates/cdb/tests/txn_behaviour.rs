@@ -1,0 +1,205 @@
+//! Transactional behaviour over the simulated WAN: atomicity, exclusive
+//! locking, the §X-B3 critical-section pattern, and the 2C cost model.
+
+use bytes::Bytes;
+use music_cdb::{CdbCluster, CdbError};
+use music_simnet::prelude::*;
+
+struct Fixture {
+    sim: Sim,
+    cluster: CdbCluster,
+    clients: Vec<NodeId>,
+}
+
+fn fixture() -> Fixture {
+    let sim = Sim::new();
+    let cfg = NetConfig {
+        service_fixed: SimDuration::ZERO,
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        loss: 0.0,
+        jitter_frac: 0.0,
+    };
+    let net = Network::new(sim.clone(), LatencyProfile::one_us(), cfg, 31);
+    let nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+    let clients: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+    let cluster = CdbCluster::new(net, nodes);
+    Fixture { sim, cluster, clients }
+}
+
+fn b(s: &'static str) -> Bytes {
+    Bytes::from_static(s.as_bytes())
+}
+
+#[test]
+fn txn_commit_is_atomic_and_replicated() {
+    let f = fixture();
+    let (cluster, me) = (f.cluster.clone(), f.clients[0]);
+    let cluster2 = f.cluster.clone();
+    f.sim.block_on(async move {
+        let s = cluster.session(me);
+        let mut t = s.transaction();
+        t.upsert("a", b("1")).await.unwrap();
+        t.upsert("b", b("2")).await.unwrap();
+        t.commit().await.unwrap();
+        let t2 = s.transaction();
+        assert_eq!(t2.select("a").await.unwrap(), Some(b("1")));
+        assert_eq!(t2.select("b").await.unwrap(), Some(b("2")));
+        t2.rollback();
+    });
+    f.sim.run();
+    // All three replicas converge.
+    for node in 0..3 {
+        assert_eq!(cluster2.peek_kv(node, "a"), Some(b("1")), "node {node}");
+        assert_eq!(cluster2.peek_kv(node, "b"), Some(b("2")), "node {node}");
+    }
+}
+
+#[test]
+fn uncommitted_writes_are_invisible() {
+    let f = fixture();
+    let (cluster, me) = (f.cluster.clone(), f.clients[1]);
+    f.sim.block_on(async move {
+        let s = cluster.session(me);
+        let mut t = s.transaction();
+        t.upsert("x", b("draft")).await.unwrap();
+        // Another txn (no lock conflict on reads) sees nothing.
+        let t2 = s.transaction();
+        assert_eq!(t2.select("x").await.unwrap(), None);
+        t2.rollback();
+        t.rollback();
+        let t3 = s.transaction();
+        assert_eq!(t3.select("x").await.unwrap(), None);
+        t3.rollback();
+    });
+}
+
+#[test]
+fn row_locks_are_exclusive_until_commit() {
+    let f = fixture();
+    let sim = f.sim.clone();
+    let cluster = f.cluster.clone();
+    let (c1, c2) = (f.clients[0], f.clients[1]);
+    let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let o1 = std::rc::Rc::clone(&order);
+    let o2 = std::rc::Rc::clone(&order);
+    let cl1 = cluster.clone();
+    let cl2 = cluster.clone();
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        let s = cl1.session(c1);
+        let mut t = s.transaction();
+        t.upsert("hot", b("t1")).await.unwrap();
+        o1.borrow_mut().push("t1-locked");
+        // Hold the lock for a while.
+        sim2.sleep(SimDuration::from_millis(500)).await;
+        t.commit().await.unwrap();
+        o1.borrow_mut().push("t1-committed");
+    });
+    let sim3 = sim.clone();
+    sim.spawn(async move {
+        // Start slightly later so t1 definitely holds the lock.
+        sim3.sleep(SimDuration::from_millis(100)).await;
+        let s = cl2.session(c2);
+        let mut t = s.transaction();
+        t.upsert("hot", b("t2")).await.unwrap();
+        o2.borrow_mut().push("t2-locked");
+        t.commit().await.unwrap();
+        o2.borrow_mut().push("t2-committed");
+    });
+    sim.run();
+    let order = order.borrow().clone();
+    assert_eq!(
+        order,
+        vec!["t1-locked", "t1-committed", "t2-locked", "t2-committed"],
+        "t2 must wait for t1's lock"
+    );
+    assert_eq!(cluster.peek_kv(0, "hot"), Some(b("t2")));
+}
+
+#[test]
+fn lock_wait_times_out() {
+    let f = fixture();
+    let sim = f.sim.clone();
+    let cluster = f.cluster.clone();
+    let (c1, c2) = (f.clients[0], f.clients[1]);
+    let cl1 = cluster.clone();
+    let outcome = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let oc = std::rc::Rc::clone(&outcome);
+    sim.spawn(async move {
+        let s = cl1.session(c1);
+        let mut t = s.transaction();
+        t.upsert("stuck", b("forever")).await.unwrap();
+        // Never commits: simulates a wedged client holding the lock.
+        std::mem::forget(t);
+    });
+    let cl2 = cluster.clone();
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        sim2.sleep(SimDuration::from_millis(50)).await;
+        let s = cl2.session(c2);
+        let mut t = s.transaction();
+        let res = t.upsert("stuck", b("mine")).await;
+        *oc.borrow_mut() = Some(res);
+        t.rollback();
+    });
+    sim.run();
+    assert_eq!(*outcome.borrow(), Some(Err(CdbError::LockTimeout)));
+}
+
+#[test]
+fn critical_section_pattern_of_xb3() {
+    // The paper's CockroachDB critical section: take a lock row in one
+    // exclusive txn, run each state update in its own txn, release.
+    let f = fixture();
+    let (cluster, me) = (f.cluster.clone(), f.clients[0]);
+    f.sim.block_on(async move {
+        let s = cluster.session(me);
+
+        // Entry: lock acquisition transaction.
+        let mut entry = s.transaction();
+        let holder = entry.select("lock").await.unwrap();
+        assert!(holder.is_none() || holder == Some(b("NONE")));
+        entry.upsert("lock", b("ME")).await.unwrap();
+        entry.commit().await.unwrap();
+
+        // Body: each state update in an exclusive transaction.
+        for i in 0..5u32 {
+            let mut t = s.transaction();
+            t.upsert("state", Bytes::from(format!("v{i}").into_bytes()))
+                .await
+                .unwrap();
+            t.commit().await.unwrap();
+        }
+
+        // Exit: unlock transaction.
+        let mut exit = s.transaction();
+        exit.upsert("lock", b("NONE")).await.unwrap();
+        exit.commit().await.unwrap();
+
+        let t = s.transaction();
+        assert_eq!(t.select("state").await.unwrap(), Some(b("v4")));
+        assert_eq!(t.select("lock").await.unwrap(), Some(b("NONE")));
+        t.rollback();
+    });
+}
+
+#[test]
+fn txn_costs_two_consensus_rounds() {
+    let f = fixture();
+    let (cluster, me, sim) = (f.cluster.clone(), f.clients[0], f.sim.clone());
+    let elapsed = f.sim.block_on(async move {
+        let s = cluster.session(me);
+        let t0 = sim.now();
+        let mut t = s.transaction();
+        t.upsert("k", b("v")).await.unwrap();
+        t.commit().await.unwrap();
+        sim.now() - t0
+    });
+    // Client co-located with the leader: 2 consensus rounds of one WAN RTT
+    // each (Ohio–N.Cal 53.79ms) + intra-site client hops.
+    let wan = 2 * 53_790;
+    assert!(
+        (elapsed.as_micros() as i64 - wan as i64).unsigned_abs() < 2_000,
+        "expected ~2 consensus RTTs, got {elapsed}"
+    );
+}

@@ -1,0 +1,437 @@
+//! The lock table's replica-side state: one [`LockPartition`] per key.
+
+use std::collections::BTreeMap;
+
+use music_quorumstore::{Partition, WriteStamp, HEADER_BYTES};
+use music_simnet::time::SimTime;
+
+/// A per-key lock reference: unique, increasing, good for one critical
+/// section (§III-A).
+///
+/// References start at 1; [`LockRef::NONE`] (0) is never enqueued.
+///
+/// # Examples
+///
+/// ```
+/// use music_lockstore::LockRef;
+///
+/// let first = LockRef::new(1);
+/// let second = LockRef::new(2);
+/// assert!(second > first);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LockRef(u64);
+
+impl LockRef {
+    /// The null reference (never granted).
+    pub const NONE: LockRef = LockRef(0);
+
+    /// Creates a reference from its counter value.
+    pub const fn new(v: u64) -> Self {
+        LockRef(v)
+    }
+
+    /// The raw counter value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The next reference after this one.
+    pub const fn next(self) -> LockRef {
+        LockRef(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for LockRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lr:{}", self.0)
+    }
+}
+
+/// One lock-queue row: presence (tombstoned on dequeue) and the
+/// critical-section start time, each an independently stamped LWW cell.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct LockEntry {
+    /// Whether the reference is still queued.
+    pub present: bool,
+    stamp: WriteStamp,
+    /// When the holder's critical section began (set on lock grant; used to
+    /// enforce the maximum critical-section duration `T`).
+    pub start_time: Option<SimTime>,
+    start_stamp: WriteStamp,
+    /// The creating client's idempotency token: a `createLockRef` retried
+    /// after its first attempt actually committed finds its own enqueue
+    /// instead of minting an orphan reference.
+    pub token: u64,
+}
+
+/// Mutations of a lock partition — each corresponds to one lock-table CQL
+/// statement in §X-A4.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LockMutation {
+    /// `createLockRef`'s batch: set `guard = lock_ref` and insert the
+    /// `(key, lock_ref)` row.
+    Enqueue {
+        /// The freshly minted reference.
+        lock_ref: LockRef,
+        /// The creating client's idempotency token.
+        token: u64,
+    },
+    /// `lsDequeue`: delete the `(key, lock_ref)` row.
+    Dequeue {
+        /// The reference to remove.
+        lock_ref: LockRef,
+    },
+    /// Record the critical-section start time for a granted reference.
+    SetStartTime {
+        /// The granted reference.
+        lock_ref: LockRef,
+        /// Grant instant.
+        at: SimTime,
+    },
+    /// Raise the guard counter without touching any row (used by read
+    /// repair; merges by `max`).
+    RaiseGuard {
+        /// Floor for the counter.
+        to: u64,
+    },
+}
+
+/// How far below the guard a dequeued reference's tombstone is retained.
+///
+/// Tombstones block stale straggler enqueues (late retransmissions or
+/// repairs) from resurrecting a collected reference, so they cannot be
+/// dropped immediately — but keeping them forever grows every hot key's
+/// partition by one dead row per critical section. Stragglers are bounded
+/// by the retransmission window (tens of seconds), while minting
+/// `TOMBSTONE_GRACE` new references on one key takes far longer, so pruning
+/// below `guard − TOMBSTONE_GRACE` is safe (Cassandra's `gc_grace_seconds`,
+/// expressed in references).
+const TOMBSTONE_GRACE: u64 = 1024;
+
+/// Replica-side state of one key's lock queue.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LockPartition {
+    /// The mint counter. Merges by `max` (it only ever grows), which makes
+    /// its convergence order-independent without a stamp.
+    guard: u64,
+    entries: BTreeMap<LockRef, LockEntry>,
+}
+
+impl LockPartition {
+    /// Current guard value (the last minted reference counter).
+    pub fn guard(&self) -> u64 {
+        self.guard
+    }
+
+    /// First (smallest) queued reference and its entry, if any — the
+    /// `lsPeek` result.
+    pub fn head(&self) -> Option<(LockRef, LockEntry)> {
+        self.entries
+            .iter()
+            .find(|(_, e)| e.present)
+            .map(|(r, e)| (*r, *e))
+    }
+
+    /// All queued references in queue (ascending) order.
+    pub fn queue(&self) -> Vec<LockRef> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.present)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Whether `lock_ref` is still queued.
+    pub fn contains(&self, lock_ref: LockRef) -> bool {
+        self.entries.get(&lock_ref).is_some_and(|e| e.present)
+    }
+
+    /// The entry for `lock_ref`, present or tombstoned.
+    pub fn entry(&self, lock_ref: LockRef) -> Option<LockEntry> {
+        self.entries.get(&lock_ref).copied()
+    }
+
+    /// The queued reference created under `token`, if any (idempotent
+    /// `createLockRef` lookup). Tombstoned entries do not count — if the
+    /// earlier enqueue was already collected, a retry mints a fresh one.
+    pub fn find_token(&self, token: u64) -> Option<LockRef> {
+        self.entries
+            .iter()
+            .find(|(_, e)| e.present && e.token == token)
+            .map(|(r, _)| *r)
+    }
+
+    /// Prunes tombstoned entries old enough that no straggler write for
+    /// them can still be in flight (bounding per-key memory; see
+    /// [`TOMBSTONE_GRACE`]).
+    fn gc_tombstones(&mut self) {
+        let cutoff = self.guard.saturating_sub(TOMBSTONE_GRACE);
+        if cutoff == 0 {
+            return;
+        }
+        self.entries
+            .retain(|r, e| e.present || r.value() >= cutoff);
+    }
+
+    fn merge_cell(&mut self, lock_ref: LockRef, other: &LockEntry) {
+        let e = self.entries.entry(lock_ref).or_default();
+        if other.stamp > e.stamp {
+            e.present = other.present;
+            e.stamp = other.stamp;
+            e.token = other.token;
+        }
+        if other.start_stamp > e.start_stamp {
+            e.start_time = other.start_time;
+            e.start_stamp = other.start_stamp;
+        }
+    }
+}
+
+impl Partition for LockPartition {
+    type Mutation = LockMutation;
+    /// Snapshots are whole partitions; reconciliation merges cell-wise.
+    type Snapshot = LockPartition;
+
+    fn snapshot(&self) -> LockPartition {
+        self.clone()
+    }
+
+    fn apply(&mut self, mutation: &LockMutation, stamp: WriteStamp) {
+        match *mutation {
+            LockMutation::Enqueue { lock_ref, token } => {
+                self.guard = self.guard.max(lock_ref.value());
+                let e = self.entries.entry(lock_ref).or_default();
+                if stamp > e.stamp {
+                    e.present = true;
+                    e.stamp = stamp;
+                    e.token = token;
+                }
+            }
+            LockMutation::Dequeue { lock_ref } => {
+                let e = self.entries.entry(lock_ref).or_default();
+                if stamp > e.stamp {
+                    e.present = false;
+                    e.stamp = stamp;
+                }
+            }
+            LockMutation::SetStartTime { lock_ref, at } => {
+                let e = self.entries.entry(lock_ref).or_default();
+                if stamp > e.start_stamp {
+                    e.start_time = Some(at);
+                    e.start_stamp = stamp;
+                }
+            }
+            LockMutation::RaiseGuard { to } => {
+                self.guard = self.guard.max(to);
+            }
+        }
+        self.gc_tombstones();
+    }
+
+    fn reconcile(mut a: LockPartition, b: LockPartition) -> LockPartition {
+        a.guard = a.guard.max(b.guard);
+        for (r, e) in &b.entries {
+            a.merge_cell(*r, e);
+        }
+        a.gc_tombstones();
+        a
+    }
+
+    fn snapshot_bytes(s: &LockPartition) -> usize {
+        HEADER_BYTES + 8 + 24 * s.entries.len()
+    }
+
+    fn mutation_bytes(_m: &LockMutation) -> usize {
+        24
+    }
+
+    fn exists(&self) -> bool {
+        self.guard > 0 || !self.entries.is_empty()
+    }
+
+    fn repair(newest: &LockPartition) -> Vec<(LockMutation, WriteStamp)> {
+        let mut out = Vec::with_capacity(newest.entries.len() * 2 + 1);
+        if newest.guard > 0 {
+            // Any stamp works: guard merges by max.
+            out.push((LockMutation::RaiseGuard { to: newest.guard }, WriteStamp::new(1)));
+        }
+        for (r, e) in &newest.entries {
+            if e.stamp > WriteStamp::ZERO {
+                let m = if e.present {
+                    LockMutation::Enqueue {
+                        lock_ref: *r,
+                        token: e.token,
+                    }
+                } else {
+                    LockMutation::Dequeue { lock_ref: *r }
+                };
+                out.push((m, e.stamp));
+            }
+            if let Some(at) = e.start_time {
+                out.push((LockMutation::SetStartTime { lock_ref: *r, at }, e.start_stamp));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> WriteStamp {
+        WriteStamp::new(v)
+    }
+
+    #[test]
+    fn enqueue_orders_queue_by_lock_ref() {
+        let mut p = LockPartition::default();
+        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(2), token: 0 }, ts(2));
+        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(3), token: 0 }, ts(3));
+        assert_eq!(p.queue(), vec![LockRef::new(1), LockRef::new(2), LockRef::new(3)]);
+        assert_eq!(p.head().unwrap().0, LockRef::new(1));
+        assert_eq!(p.guard(), 3);
+    }
+
+    #[test]
+    fn dequeue_tombstones_and_head_advances() {
+        let mut p = LockPartition::default();
+        for i in 1..=3 {
+            p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(i), token: 0 }, ts(i));
+        }
+        p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(4));
+        assert_eq!(p.head().unwrap().0, LockRef::new(2));
+        assert!(!p.contains(LockRef::new(1)));
+        // A stale (re-ordered) enqueue of 1 must not resurrect it.
+        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        assert!(!p.contains(LockRef::new(1)));
+    }
+
+    #[test]
+    fn dequeue_of_middle_entry_is_fine() {
+        // Workers that lose the acquire race evict their own (non-head)
+        // reference (`removeLockReference`, §VII-a).
+        let mut p = LockPartition::default();
+        for i in 1..=3 {
+            p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(i), token: 0 }, ts(i));
+        }
+        p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(2) }, ts(4));
+        assert_eq!(p.queue(), vec![LockRef::new(1), LockRef::new(3)]);
+    }
+
+    #[test]
+    fn start_time_is_an_independent_cell() {
+        let mut p = LockPartition::default();
+        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        p.apply(
+            &LockMutation::SetStartTime {
+                lock_ref: LockRef::new(1),
+                at: SimTime::from_micros(500),
+            },
+            ts(2),
+        );
+        let (_, e) = p.head().unwrap();
+        assert_eq!(e.start_time, Some(SimTime::from_micros(500)));
+        // Dequeue does not erase the recorded start time cell stampwise.
+        p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(3));
+        assert_eq!(p.entry(LockRef::new(1)).unwrap().start_time, Some(SimTime::from_micros(500)));
+    }
+
+    #[test]
+    fn reconcile_merges_cellwise() {
+        let mut a = LockPartition::default();
+        let mut b = LockPartition::default();
+        a.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        b.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        b.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(2));
+        b.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(2), token: 0 }, ts(3));
+        let m = LockPartition::reconcile(a, b.clone());
+        assert_eq!(m.queue(), vec![LockRef::new(2)]);
+        assert_eq!(m.guard(), 2);
+        // Reconcile is commutative for these states.
+        let mut a2 = LockPartition::default();
+        a2.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        let m2 = LockPartition::reconcile(b, a2);
+        assert_eq!(m2.queue(), vec![LockRef::new(2)]);
+    }
+
+    #[test]
+    fn apply_permutations_converge() {
+        let muts = [
+            (LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1)),
+            (LockMutation::Enqueue { lock_ref: LockRef::new(2), token: 0 }, ts(2)),
+            (LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(3)),
+        ];
+        let orders = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let mut results = Vec::new();
+        for order in orders {
+            let mut p = LockPartition::default();
+            for i in order {
+                let (m, s) = muts[i];
+                p.apply(&m, s);
+            }
+            results.push((p.queue(), p.guard()));
+        }
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(results[0].0, vec![LockRef::new(2)]);
+    }
+
+    #[test]
+    fn lock_ref_display_and_next() {
+        assert_eq!(LockRef::new(7).to_string(), "lr:7");
+        assert_eq!(LockRef::NONE.next(), LockRef::new(1));
+    }
+
+    #[test]
+    fn find_token_locates_live_enqueues_only() {
+        let mut p = LockPartition::default();
+        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 77 }, ts(1));
+        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(2), token: 88 }, ts(2));
+        assert_eq!(p.find_token(77), Some(LockRef::new(1)));
+        assert_eq!(p.find_token(88), Some(LockRef::new(2)));
+        assert_eq!(p.find_token(99), None);
+        // A collected (dequeued) reference no longer answers for its token:
+        // the retrying client must mint a fresh one.
+        p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(3));
+        assert_eq!(p.find_token(77), None);
+    }
+
+    #[test]
+    fn old_tombstones_are_pruned_but_recent_ones_survive() {
+        let mut p = LockPartition::default();
+        // Mint + collect far more references than the grace window.
+        for i in 1..=(TOMBSTONE_GRACE + 200) {
+            p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(i), token: i }, ts(2 * i));
+            p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(i) }, ts(2 * i + 1));
+        }
+        // Memory stays bounded by the grace window.
+        assert!(
+            p.entry(LockRef::new(1)).is_none(),
+            "ancient tombstone pruned"
+        );
+        assert!(
+            p.entry(LockRef::new(TOMBSTONE_GRACE + 150)).is_some(),
+            "recent tombstone retained (still blocks stale enqueues)"
+        );
+        // A stale straggler enqueue of a *recent* collected ref still loses.
+        let recent = LockRef::new(TOMBSTONE_GRACE + 150);
+        p.apply(&LockMutation::Enqueue { lock_ref: recent, token: 0 }, ts(1));
+        assert!(!p.contains(recent));
+        // Queue is empty and guard preserved.
+        assert!(p.head().is_none());
+        assert_eq!(p.guard(), TOMBSTONE_GRACE + 200);
+    }
+
+    #[test]
+    fn reconcile_carries_tokens() {
+        let mut a = LockPartition::default();
+        let mut b = LockPartition::default();
+        b.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 42 }, ts(5));
+        a = LockPartition::reconcile(a, b);
+        assert_eq!(a.find_token(42), Some(LockRef::new(1)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Coordinator-side lock store operations.
+
+use music_quorumstore::{ReplicatedTable, StoreError, TableConfig, WriteStamp};
+use music_simnet::net::{Network, NodeId};
+use music_simnet::time::SimTime;
+
+use crate::partition::{LockEntry, LockMutation, LockPartition, LockRef};
+
+/// The replicated lock store.
+///
+/// One [`LockStore`] is shared by every MUSIC replica in the simulation;
+/// operations take the calling replica's [`NodeId`] so messages originate
+/// from (and queue at) the right place.
+///
+/// `generate_and_enqueue` is **idempotent per invocation**: every call
+/// mints a unique client token included in the enqueue, and a retried LWT
+/// whose first attempt actually committed recognizes its own row instead
+/// of stranding an orphan reference in the queue (orphans still arise when
+/// the *client* dies between calls — `forcedRelease` collects those,
+/// §IV-B).
+///
+/// # Examples
+///
+/// ```
+/// use music_lockstore::LockStore;
+/// use music_quorumstore::TableConfig;
+/// use music_simnet::prelude::*;
+///
+/// let sim = Sim::new();
+/// let net = Network::new(sim.clone(), LatencyProfile::one_us(), NetConfig::default(), 1);
+/// let nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+/// let me = net.add_node(SiteId(0));
+/// let locks = LockStore::new(net, nodes, 3, TableConfig::default());
+///
+/// sim.block_on({
+///     let locks = locks.clone();
+///     async move {
+///         let r1 = locks.generate_and_enqueue(me, "job").await.unwrap();
+///         let r2 = locks.generate_and_enqueue(me, "job").await.unwrap();
+///         assert!(r2 > r1);
+///     }
+/// });
+/// ```
+#[derive(Clone, Debug)]
+pub struct LockStore {
+    table: ReplicatedTable<LockPartition>,
+    next_token: std::rc::Rc<std::cell::Cell<u64>>,
+}
+
+impl LockStore {
+    /// Creates a lock store replicated over `nodes` with replication factor
+    /// `rf`.
+    pub fn new(net: Network, nodes: Vec<NodeId>, rf: usize, cfg: TableConfig) -> Self {
+        Self::from_table(ReplicatedTable::new(net, nodes, rf, cfg))
+    }
+
+    /// Wraps an existing replicated table (for sharing nodes with a data
+    /// store in experiments).
+    pub fn from_table(table: ReplicatedTable<LockPartition>) -> Self {
+        LockStore {
+            table,
+            next_token: std::rc::Rc::new(std::cell::Cell::new(1)),
+        }
+    }
+
+    /// The underlying table (instrumentation and tests).
+    pub fn table(&self) -> &ReplicatedTable<LockPartition> {
+        &self.table
+    }
+
+    /// `lsGenerateAndEnqueue`: atomically mints the next per-key lock
+    /// reference and enqueues it, in **one** LWT (the batch trick of §VI:
+    /// increment the `guard` and insert the row in the same consensus
+    /// write).
+    ///
+    /// Cost: one LWT = 4 WAN round trips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] when a quorum is unreachable or the ballot
+    /// race is lost repeatedly. Per §III-A the caller retries, possibly at
+    /// another MUSIC replica; an enqueue that succeeded without the caller
+    /// learning the reference leaves an *orphan* lockRef that
+    /// `forcedRelease` eventually collects.
+    pub async fn generate_and_enqueue(
+        &self,
+        coord: NodeId,
+        key: &str,
+    ) -> Result<LockRef, StoreError> {
+        // Unique per invocation (coordinator id in the high bits).
+        let token = (u64::from(coord.0) << 40) | self.next_token.get();
+        self.next_token.set(self.next_token.get() + 1);
+        let minted = std::cell::Cell::new(LockRef::NONE);
+        self.table
+            .lwt(coord, key, |snap, suggested| {
+                if let Some(existing) = snap.find_token(token) {
+                    // A previous ballot attempt of this very call already
+                    // committed: adopt it rather than minting an orphan.
+                    minted.set(existing);
+                    return None;
+                }
+                let next = LockRef::new(snap.guard() + 1);
+                minted.set(next);
+                Some((
+                    LockMutation::Enqueue {
+                        lock_ref: next,
+                        token,
+                    },
+                    suggested,
+                ))
+            })
+            .await?;
+        Ok(minted.get())
+    }
+
+    /// `lsPeek`: eventual read of the **closest** replica's queue head.
+    /// Cheap (intra-site round trip), possibly stale — callers poll.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the local replica does not answer.
+    pub async fn peek_local(
+        &self,
+        coord: NodeId,
+        key: &str,
+    ) -> Result<Option<(LockRef, LockEntry)>, StoreError> {
+        let snap = self.table.read_one(coord, key).await?;
+        Ok(snap.head())
+    }
+
+    /// Quorum peek: reconciled view of the queue head across a majority.
+    /// Used by tests and by monitoring; the MUSIC algorithms themselves
+    /// only need the cheap [`LockStore::peek_local`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if a majority does not answer.
+    pub async fn peek_quorum(
+        &self,
+        coord: NodeId,
+        key: &str,
+    ) -> Result<Option<(LockRef, LockEntry)>, StoreError> {
+        let snap = self.table.read_quorum(coord, key).await?;
+        Ok(snap.head())
+    }
+
+    /// Queue heads of **all** keys at the closest replica, in one range
+    /// scan (monitoring sweeps / failure detection). The view may be
+    /// stale, exactly like a per-key [`LockStore::peek_local`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the replica does not answer.
+    pub async fn scan_heads(
+        &self,
+        coord: NodeId,
+    ) -> Result<Vec<(String, LockRef, LockEntry)>, StoreError> {
+        let rows = self.table.scan_local(coord, |p| p.head()).await?;
+        Ok(rows
+            .into_iter()
+            .filter_map(|(k, head)| head.map(|(r, e)| (k, r, e)))
+            .collect())
+    }
+
+    /// Full queue (ascending) from the closest replica — `getAllKeys`-style
+    /// monitoring helper.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the local replica does not answer.
+    pub async fn queue_local(&self, coord: NodeId, key: &str) -> Result<Vec<LockRef>, StoreError> {
+        let snap = self.table.read_one(coord, key).await?;
+        Ok(snap.queue())
+    }
+
+    /// `lsDequeue`: removes `lock_ref` from the queue with an LWT delete.
+    /// A no-op (still successful) if the reference is not queued.
+    ///
+    /// Cost: one LWT = 4 WAN round trips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] when a quorum is unreachable or ballot
+    /// contention persists.
+    pub async fn dequeue(
+        &self,
+        coord: NodeId,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<(), StoreError> {
+        self.table
+            .lwt(coord, key, |snap, suggested| {
+                if snap.contains(lock_ref) {
+                    Some((LockMutation::Dequeue { lock_ref }, suggested))
+                } else {
+                    None // already gone: no-op
+                }
+            })
+            .await?;
+        Ok(())
+    }
+
+    /// Records the critical-section start time for a just-granted
+    /// reference (initialized by `acquireLock` when it returns true, §VI).
+    ///
+    /// A cheap CL=ONE write (acknowledged by the closest replica,
+    /// propagated to the rest in the background): only the single lock
+    /// holder writes this cell, it is advisory metadata for the duration
+    /// bound `T`, and keeping it off the grant path preserves the paper's
+    /// ~1-quorum-RTT `acquireLock` grant cost (Fig. 5(b)).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if no replica acknowledges.
+    pub async fn set_start_time(
+        &self,
+        coord: NodeId,
+        key: &str,
+        lock_ref: LockRef,
+        at: SimTime,
+    ) -> Result<(), StoreError> {
+        // Stamped with the grant instant: unique per reference because a
+        // reference is granted at most once.
+        let stamp = WriteStamp::new(at.as_micros().max(1));
+        self.table
+            .write_one(coord, key, LockMutation::SetStartTime { lock_ref, at }, stamp)
+            .await
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests on the lock partition algebra: order-independent
+//! convergence, reconcile laws, and queue-head monotonicity under
+//! dequeues.
+
+use music_lockstore::{LockMutation, LockPartition, LockRef};
+use music_quorumstore::{Partition, WriteStamp};
+use music_simnet::time::SimTime;
+use proptest::prelude::*;
+
+fn arb_mutation() -> impl Strategy<Value = LockMutation> {
+    prop_oneof![
+        (1u64..6).prop_map(|r| LockMutation::Enqueue { lock_ref: LockRef::new(r), token: r }),
+        (1u64..6).prop_map(|r| LockMutation::Dequeue { lock_ref: LockRef::new(r) }),
+        (1u64..6, 0u64..1000).prop_map(|(r, t)| LockMutation::SetStartTime {
+            lock_ref: LockRef::new(r),
+            at: SimTime::from_micros(t),
+        }),
+    ]
+}
+
+fn fingerprint(p: &LockPartition) -> String {
+    format!("{:?} {:?}", p.guard(), p.queue())
+}
+
+proptest! {
+    /// Cell-wise LWW: applying stamped mutations in any order converges.
+    #[test]
+    fn apply_is_order_independent(
+        muts in proptest::collection::vec(arb_mutation(), 1..10),
+        seed in 0u64..1000,
+    ) {
+        // Stamp each mutation uniquely (stamps come from distinct LWT
+        // ballots / grant instants in the real system).
+        let stamped: Vec<(LockMutation, WriteStamp)> = muts
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| (m, WriteStamp::new(i as u64 + 1)))
+            .collect();
+        let mut a = LockPartition::default();
+        for (m, ts) in &stamped {
+            a.apply(m, *ts);
+        }
+        let mut shuffled = stamped.clone();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut b = LockPartition::default();
+        for (m, ts) in &shuffled {
+            b.apply(m, *ts);
+        }
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// Reconcile of two divergent replicas is commutative and absorbs
+    /// both sides' knowledge.
+    #[test]
+    fn reconcile_is_commutative(
+        left in proptest::collection::vec(arb_mutation(), 0..8),
+        right in proptest::collection::vec(arb_mutation(), 0..8),
+    ) {
+        let mut l = LockPartition::default();
+        for (i, m) in left.iter().enumerate() {
+            l.apply(m, WriteStamp::new(i as u64 * 2 + 1));
+        }
+        let mut r = LockPartition::default();
+        for (i, m) in right.iter().enumerate() {
+            r.apply(m, WriteStamp::new(i as u64 * 2 + 2));
+        }
+        let lr = LockPartition::reconcile(l.clone(), r.clone());
+        let rl = LockPartition::reconcile(r, l);
+        prop_assert_eq!(fingerprint(&lr), fingerprint(&rl));
+    }
+
+    /// In a single totally ordered history (as the LWT path guarantees),
+    /// the queue head only ever moves to *larger* lock references: grants
+    /// are fair and never regress.
+    #[test]
+    fn head_is_monotone_in_ordered_histories(ops in proptest::collection::vec(0u8..2, 1..30)) {
+        let mut p = LockPartition::default();
+        let mut stamp = 1u64;
+        let mut last_head = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let next = LockRef::new(p.guard() + 1);
+                    p.apply(&LockMutation::Enqueue { lock_ref: next, token: 0 }, WriteStamp::new(stamp));
+                }
+                _ => {
+                    if let Some((head, _)) = p.head() {
+                        p.apply(&LockMutation::Dequeue { lock_ref: head }, WriteStamp::new(stamp));
+                    }
+                }
+            }
+            stamp += 1;
+            if let Some((head, _)) = p.head() {
+                prop_assert!(head.value() >= last_head, "head regressed");
+                last_head = head.value();
+            }
+        }
+    }
+}

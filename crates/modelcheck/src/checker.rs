@@ -1,0 +1,281 @@
+//! A generic bounded explicit-state model checker: BFS over the state
+//! graph, invariant checks on every reached state, counterexample trace
+//! reconstruction.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A state-transition system with checkable invariants.
+pub trait Model {
+    /// A system state. Keep it small: the checker stores every distinct
+    /// state reached.
+    type State: Clone + Eq + Hash + std::fmt::Debug;
+
+    /// Initial states.
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// All enabled transitions from `state`, as `(event label, successor)`.
+    fn successors(&self, state: &Self::State) -> Vec<(String, Self::State)>;
+
+    /// Checks every invariant in `state`; returns the violated invariant's
+    /// description if any.
+    fn check(&self, state: &Self::State) -> Result<(), String>;
+}
+
+/// Result of a bounded exploration.
+#[derive(Clone, Debug)]
+pub enum CheckOutcome<S> {
+    /// Every reachable state (within bounds) satisfies the invariants.
+    Ok {
+        /// Distinct states explored.
+        states: usize,
+        /// Maximum BFS depth reached.
+        depth: usize,
+        /// Whether the bound cut exploration short.
+        truncated: bool,
+    },
+    /// A violation, with the event trace from an initial state.
+    Violation {
+        /// The invariant that failed.
+        message: String,
+        /// Event labels leading to the violating state.
+        trace: Vec<String>,
+        /// The violating state.
+        state: S,
+        /// Distinct states explored before the violation.
+        states: usize,
+    },
+}
+
+impl<S> CheckOutcome<S> {
+    /// Whether no violation was found.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CheckOutcome::Ok { .. })
+    }
+
+    /// Distinct states explored.
+    pub fn states_explored(&self) -> usize {
+        match self {
+            CheckOutcome::Ok { states, .. } | CheckOutcome::Violation { states, .. } => *states,
+        }
+    }
+}
+
+/// The breadth-first checker.
+#[derive(Clone, Debug)]
+pub struct Checker {
+    /// Stop after this many distinct states (bounded scopes, as in Alloy).
+    pub max_states: usize,
+    /// Stop expanding beyond this depth.
+    pub max_depth: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            max_states: 3_000_000,
+            max_depth: 64,
+        }
+    }
+}
+
+impl Checker {
+    /// Explores `model` breadth-first and checks invariants on every state.
+    pub fn run<M: Model>(&self, model: &M) -> CheckOutcome<M::State> {
+        // state -> (parent index, event label); roots have usize::MAX.
+        let mut seen: HashMap<M::State, usize> = HashMap::new();
+        let mut parents: Vec<(usize, String)> = Vec::new();
+        let mut order: Vec<M::State> = Vec::new();
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new(); // (idx, depth)
+        let mut max_depth_seen = 0;
+        let mut truncated = false;
+
+        let push = |state: M::State,
+                        parent: usize,
+                        label: String,
+                        seen: &mut HashMap<M::State, usize>,
+                        parents: &mut Vec<(usize, String)>,
+                        order: &mut Vec<M::State>|
+         -> Option<usize> {
+            if seen.contains_key(&state) {
+                return None;
+            }
+            let idx = order.len();
+            seen.insert(state.clone(), idx);
+            parents.push((parent, label));
+            order.push(state);
+            Some(idx)
+        };
+
+        for s in model.initial() {
+            if let Some(idx) = push(s, usize::MAX, "init".to_string(), &mut seen, &mut parents, &mut order)
+            {
+                queue.push_back((idx, 0));
+            }
+        }
+
+        let trace_of = |mut idx: usize, parents: &[(usize, String)]| -> Vec<String> {
+            let mut trace = Vec::new();
+            while idx != usize::MAX {
+                let (p, label) = &parents[idx];
+                trace.push(label.clone());
+                idx = *p;
+            }
+            trace.reverse();
+            trace
+        };
+
+        let mut cursor = 0;
+        while let Some((idx, depth)) = queue.pop_front() {
+            cursor += 1;
+            let _ = cursor;
+            max_depth_seen = max_depth_seen.max(depth);
+            let state = order[idx].clone();
+            if let Err(message) = model.check(&state) {
+                return CheckOutcome::Violation {
+                    message,
+                    trace: trace_of(idx, &parents),
+                    state,
+                    states: order.len(),
+                };
+            }
+            if depth >= self.max_depth {
+                truncated = true;
+                continue;
+            }
+            for (label, succ) in model.successors(&state) {
+                if order.len() >= self.max_states {
+                    truncated = true;
+                    break;
+                }
+                if let Some(new_idx) = push(succ, idx, label, &mut seen, &mut parents, &mut order) {
+                    queue.push_back((new_idx, depth + 1));
+                }
+            }
+        }
+
+        CheckOutcome::Ok {
+            states: order.len(),
+            depth: max_depth_seen,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that must stay below a limit; incrementing beyond it is a
+    /// violation reachable in exactly `limit` steps.
+    struct Counter {
+        limit: u32,
+        violation_at: Option<u32>,
+    }
+
+    impl Model for Counter {
+        type State = u32;
+
+        fn initial(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn successors(&self, s: &u32) -> Vec<(String, u32)> {
+            if *s >= self.limit {
+                vec![]
+            } else {
+                vec![(format!("inc->{}", s + 1), s + 1)]
+            }
+        }
+
+        fn check(&self, s: &u32) -> Result<(), String> {
+            match self.violation_at {
+                Some(v) if *s == v => Err(format!("counter hit {v}")),
+                _ => Ok(()),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_model_explores_fully() {
+        let out = Checker::default().run(&Counter {
+            limit: 10,
+            violation_at: None,
+        });
+        match out {
+            CheckOutcome::Ok { states, depth, truncated } => {
+                assert_eq!(states, 11);
+                assert_eq!(depth, 10);
+                assert!(!truncated);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn violation_reports_shortest_trace() {
+        let out = Checker::default().run(&Counter {
+            limit: 10,
+            violation_at: Some(3),
+        });
+        match out {
+            CheckOutcome::Violation { message, trace, state, .. } => {
+                assert_eq!(state, 3);
+                assert!(message.contains("3"));
+                assert_eq!(trace, vec!["init", "inc->1", "inc->2", "inc->3"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let out = Checker {
+            max_states: 1_000,
+            max_depth: 4,
+        }
+        .run(&Counter {
+            limit: 100,
+            violation_at: Some(50), // beyond the bound: not found
+        });
+        match out {
+            CheckOutcome::Ok { truncated, .. } => assert!(truncated),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Branching model to check deduplication: many paths, few states.
+    struct Diamond;
+
+    impl Model for Diamond {
+        type State = (u8, u8);
+
+        fn initial(&self) -> Vec<(u8, u8)> {
+            vec![(0, 0)]
+        }
+
+        fn successors(&self, &(a, b): &(u8, u8)) -> Vec<(String, (u8, u8))> {
+            let mut out = Vec::new();
+            if a < 4 {
+                out.push(("a".to_string(), (a + 1, b)));
+            }
+            if b < 4 {
+                out.push(("b".to_string(), (a, b + 1)));
+            }
+            out
+        }
+
+        fn check(&self, _: &(u8, u8)) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn states_are_deduplicated_across_paths() {
+        let out = Checker::default().run(&Diamond);
+        match out {
+            CheckOutcome::Ok { states, .. } => assert_eq!(states, 25), // 5x5 grid
+            other => panic!("{other:?}"),
+        }
+    }
+}

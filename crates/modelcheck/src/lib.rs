@@ -1,0 +1,46 @@
+//! # music-modelcheck
+//!
+//! An executable reproduction of the paper's formal verification (§V).
+//! The paper models MUSIC as a state-transition system in Alloy and checks
+//! its invariants by bounded exhaustive analysis; this crate does the same
+//! in Rust: a small explicit-state [`checker`] (breadth-first exploration
+//! with counterexample traces) runs over an abstract [`model`] of MUSIC
+//! that follows §V's modeling decisions:
+//!
+//! * the **lock store** is sequentially consistent, so its events are
+//!   larger-grained (atomic enqueue/dequeue);
+//! * the **data store** (and the `synchFlag`) are modeled only through the
+//!   properties MUSIC relies on (§V-C): a history of attempted write pairs
+//!   partitioned into *pending* and *succeeded*, where the *true pair* is
+//!   the one with the latest vector timestamp and the store is *defined*
+//!   iff the true pair succeeded;
+//! * clients can crash at any step; pending writes then stay pending
+//!   forever; a replica daemon can force-release any queue head at any
+//!   time (imperfect failure detection).
+//!
+//! Checked invariants (§IV, §V):
+//!
+//! * **Critical-Section Invariant** — if the lockholding client is in a
+//!   `Critical` or `Getting` state, the data store is defined as the true
+//!   value;
+//! * **SynchFlag Invariant** — a preempted-but-active client whose lockRef
+//!   is ≥ the true timestamp's lockRef implies the `synchFlag` is true;
+//! * **Latest-State Property** — a completed `criticalGet` by the
+//!   lockholder carries the true value;
+//! * queue sanity (unique, increasing lock references bounded by the
+//!   guard).
+//!
+//! The tests also check three *mutants* the way one probes an Alloy model:
+//! setting the `forcedRelease` timestamp bump δ to zero, skipping the
+//! synchronization in `acquireLock`, and dequeuing a forced reference
+//! before its `synchFlag` write is acknowledged must all produce
+//! counterexamples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod model;
+
+pub use checker::{CheckOutcome, Checker, Model};
+pub use model::{MusicModel, Scope};

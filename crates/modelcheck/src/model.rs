@@ -1,0 +1,553 @@
+//! The abstract MUSIC model (§V): clients, the sequentially consistent
+//! lock queue, and pending/succeeded write-pair views of the data store
+//! and `synchFlag`.
+
+use crate::checker::Model;
+
+/// A vector timestamp `(lockRef, time)`; lockRef dominates.
+pub type Ts = (u8, u8);
+
+/// One attempted data-store write (§V-C).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Pair {
+    /// Vector timestamp of the write.
+    pub ts: Ts,
+    /// Written value.
+    pub value: u8,
+    /// Writing client (255 = initialization).
+    pub writer: u8,
+    /// Pending (false) or succeeded (true).
+    pub acked: bool,
+}
+
+/// One attempted `synchFlag` write.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FlagPair {
+    /// Vector timestamp of the write.
+    pub ts: Ts,
+    /// Flag value written.
+    pub value: bool,
+    /// Pending or succeeded.
+    pub acked: bool,
+}
+
+/// Client protocol phase.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// Not yet started.
+    Idle,
+    /// Holds a lockRef, waiting to become queue head.
+    HasRef,
+    /// Acquire saw `synchFlag = true`; choosing the quorum-read result.
+    SyncRead,
+    /// Sync rewrite outstanding.
+    SyncWriteWait,
+    /// Flag reset outstanding.
+    FlagResetWait,
+    /// Inside the critical section.
+    Critical,
+    /// `criticalPut` outstanding.
+    PutWait,
+    /// `criticalGet` reply in flight, carrying the read value.
+    GetWait(u8),
+    /// Released and finished.
+    Done,
+    /// Crashed; pending writes stay pending forever.
+    Crashed,
+}
+
+/// Per-client state.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Client {
+    /// Protocol phase.
+    pub phase: Phase,
+    /// Held lockRef (0 = none).
+    pub lock_ref: u8,
+    /// Puts started so far.
+    pub puts: u8,
+    /// Time component of the next put.
+    pub next_t: u8,
+}
+
+/// Forced-release daemon progress.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Daemon {
+    /// Not forcing.
+    Idle,
+    /// `synchFlag := true` write outstanding for this ref.
+    FlagWait(u8),
+    /// Flag acked; dequeue pending.
+    Dequeue(u8),
+}
+
+/// A full system state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct State {
+    /// Lock-reference mint counter.
+    pub guard: u8,
+    /// The per-key lock queue (ascending lockRefs).
+    pub queue: Vec<u8>,
+    /// Clients.
+    pub clients: Vec<Client>,
+    /// Attempted data writes.
+    pub data: Vec<Pair>,
+    /// Attempted flag writes.
+    pub flag: Vec<FlagPair>,
+    /// Forced-release daemon.
+    pub daemon: Daemon,
+    /// Forced releases used (bound).
+    pub forced_used: u8,
+    /// Fresh-value counter for puts.
+    pub next_value: u8,
+}
+
+/// Exploration bounds, in the spirit of Alloy scopes.
+#[derive(Copy, Clone, Debug)]
+pub struct Scope {
+    /// Number of clients.
+    pub clients: usize,
+    /// Maximum `criticalPut`s per client.
+    pub max_puts: u8,
+    /// Maximum client crashes overall.
+    pub max_crashes: u8,
+    /// Maximum forced releases overall.
+    pub max_forced: u8,
+    /// Allow preempted clients to keep issuing puts (stale local lock
+    /// store view — the false-failure-detection scenario of §IV-B).
+    pub stale_puts: bool,
+}
+
+impl Default for Scope {
+    fn default() -> Self {
+        Scope {
+            clients: 2,
+            max_puts: 1,
+            max_crashes: 1,
+            max_forced: 2,
+            stale_puts: true,
+        }
+    }
+}
+
+/// The MUSIC model, with optional *mutations* used to validate that the
+/// checker actually catches bugs (as one would probe an Alloy model).
+#[derive(Clone, Debug)]
+pub struct MusicModel {
+    /// Bounds.
+    pub scope: Scope,
+    /// Mutant: `forcedRelease` stamps the flag with δ = 0, racing the
+    /// holder's own flag reset at the same timestamp (§IV-B says δ must be
+    /// > 0).
+    pub delta_zero: bool,
+    /// Mutant: `acquireLock` skips the synchronization even when the
+    /// `synchFlag` is set.
+    pub skip_sync: bool,
+    /// Mutant: `forcedRelease` dequeues the reference *before* its
+    /// `synchFlag` write is acknowledged. §IV-B argues the quorum write
+    /// must complete first — otherwise the next holder can read a stale
+    /// `false` flag and skip the synchronization.
+    pub dequeue_before_flag_ack: bool,
+}
+
+impl Default for MusicModel {
+    fn default() -> Self {
+        MusicModel::new(Scope::default())
+    }
+}
+
+impl MusicModel {
+    /// Model with the given scope, no mutations.
+    pub fn new(scope: Scope) -> Self {
+        MusicModel {
+            scope,
+            delta_zero: false,
+            skip_sync: false,
+            dequeue_before_flag_ack: false,
+        }
+    }
+
+    /// The true data pair: latest timestamp over *all* attempted writes.
+    fn true_pair(s: &State) -> Pair {
+        *s.data
+            .iter()
+            .max_by_key(|p| p.ts)
+            .expect("data store is initialized")
+    }
+
+    /// Whether the data store is defined (§V-C): the true pair succeeded.
+    fn data_defined(s: &State) -> bool {
+        Self::true_pair(s).acked
+    }
+
+    /// Values a data quorum read can return: the latest succeeded value,
+    /// plus (when the store is undefined) any pending value at or above
+    /// that timestamp.
+    fn data_read_candidates(s: &State) -> Vec<u8> {
+        let amax = s
+            .data
+            .iter()
+            .filter(|p| p.acked)
+            .max_by_key(|p| p.ts)
+            .expect("initial write is acked");
+        let mut out = vec![amax.value];
+        for p in &s.data {
+            if !p.acked && p.ts >= amax.ts && !out.contains(&p.value) {
+                out.push(p.value);
+            }
+        }
+        out
+    }
+
+    /// Flag values a quorum read can return (same structure as data).
+    fn flag_read_candidates(s: &State) -> Vec<bool> {
+        let amax_ts = s
+            .flag
+            .iter()
+            .filter(|p| p.acked)
+            .map(|p| p.ts)
+            .max()
+            .expect("initial flag is acked");
+        let mut out: Vec<bool> = s
+            .flag
+            .iter()
+            .filter(|p| p.acked && p.ts == amax_ts)
+            .map(|p| p.value)
+            .collect();
+        for p in &s.flag {
+            if !p.acked && p.ts >= amax_ts && !out.contains(&p.value) {
+                out.push(p.value);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All values the flag's *true pair(s)* carry (ties possible only in
+    /// the δ = 0 mutant).
+    fn flag_true_values(s: &State) -> Vec<bool> {
+        let max_ts = s.flag.iter().map(|p| p.ts).max().expect("initialized");
+        let mut out: Vec<bool> = s
+            .flag
+            .iter()
+            .filter(|p| p.ts == max_ts)
+            .map(|p| p.value)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn head(s: &State) -> Option<u8> {
+        s.queue.first().copied()
+    }
+
+    fn crashes_used(s: &State) -> u8 {
+        s.clients.iter().filter(|c| c.phase == Phase::Crashed).count() as u8
+    }
+
+    fn push_flag(s: &mut State, pair: FlagPair) {
+        if !s.flag.contains(&pair) {
+            s.flag.push(pair);
+        }
+    }
+}
+
+impl Model for MusicModel {
+    type State = State;
+
+    fn initial(&self) -> Vec<State> {
+        vec![State {
+            guard: 0,
+            queue: Vec::new(),
+            clients: vec![
+                Client {
+                    phase: Phase::Idle,
+                    lock_ref: 0,
+                    puts: 0,
+                    next_t: 1,
+                };
+                self.scope.clients
+            ],
+            data: vec![Pair {
+                ts: (0, 0),
+                value: 0,
+                writer: 255,
+                acked: true,
+            }],
+            flag: vec![FlagPair {
+                ts: (0, 0),
+                value: false,
+                acked: true,
+            }],
+            daemon: Daemon::Idle,
+            forced_used: 0,
+            next_value: 1,
+        }]
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn successors(&self, s: &State) -> Vec<(String, State)> {
+        let mut out: Vec<(String, State)> = Vec::new();
+        let head = Self::head(s);
+
+        for (ci, c) in s.clients.iter().enumerate() {
+            let is_head = head == Some(c.lock_ref) && c.lock_ref != 0;
+            match c.phase {
+                Phase::Idle => {
+                    let mut n = s.clone();
+                    n.guard += 1;
+                    n.queue.push(n.guard);
+                    n.clients[ci].lock_ref = n.guard;
+                    n.clients[ci].phase = Phase::HasRef;
+                    out.push((format!("c{ci}:createLockRef({})", n.guard), n));
+                }
+                Phase::HasRef if is_head => {
+                    for flag_val in Self::flag_read_candidates(s) {
+                        let mut n = s.clone();
+                        if flag_val && !self.skip_sync {
+                            n.clients[ci].phase = Phase::SyncRead;
+                            out.push((format!("c{ci}:acquire(flag=true)"), n));
+                        } else {
+                            n.clients[ci].phase = Phase::Critical;
+                            out.push((format!("c{ci}:acquire(flag={flag_val})"), n));
+                        }
+                    }
+                }
+                Phase::SyncRead => {
+                    for v in Self::data_read_candidates(s) {
+                        let mut n = s.clone();
+                        n.data.push(Pair {
+                            ts: (c.lock_ref, 0),
+                            value: v,
+                            writer: ci as u8,
+                            acked: false,
+                        });
+                        n.clients[ci].phase = Phase::SyncWriteWait;
+                        out.push((format!("c{ci}:syncRead({v})"), n));
+                    }
+                }
+                Phase::SyncWriteWait => {
+                    let mut n = s.clone();
+                    if let Some(p) = n
+                        .data
+                        .iter_mut()
+                        .find(|p| !p.acked && p.writer == ci as u8 && p.ts == (c.lock_ref, 0))
+                    {
+                        p.acked = true;
+                    }
+                    Self::push_flag(
+                        &mut n,
+                        FlagPair {
+                            ts: (c.lock_ref, 0),
+                            value: false,
+                            acked: false,
+                        },
+                    );
+                    n.clients[ci].phase = Phase::FlagResetWait;
+                    out.push((format!("c{ci}:syncWriteAck"), n));
+                }
+                Phase::FlagResetWait => {
+                    let mut n = s.clone();
+                    if let Some(p) = n
+                        .flag
+                        .iter_mut()
+                        .find(|p| !p.acked && p.ts == (c.lock_ref, 0) && !p.value)
+                    {
+                        p.acked = true;
+                    }
+                    n.clients[ci].phase = Phase::Critical;
+                    out.push((format!("c{ci}:flagResetAck"), n));
+                }
+                Phase::Critical => {
+                    // criticalPut — allowed while (apparently) the holder.
+                    let may_put = is_head
+                        || (self.scope.stale_puts && !s.queue.contains(&c.lock_ref));
+                    if may_put && c.puts < self.scope.max_puts {
+                        let mut n = s.clone();
+                        n.data.push(Pair {
+                            ts: (c.lock_ref, c.next_t),
+                            value: n.next_value,
+                            writer: ci as u8,
+                            acked: false,
+                        });
+                        n.next_value += 1;
+                        n.clients[ci].puts += 1;
+                        n.clients[ci].next_t += 1;
+                        n.clients[ci].phase = Phase::PutWait;
+                        out.push((format!("c{ci}:startPut"), n));
+                    }
+                    // criticalGet — only the true holder's gets are modeled
+                    // (a preempted client's get carries no guarantee).
+                    if is_head {
+                        for v in Self::data_read_candidates(s) {
+                            let mut n = s.clone();
+                            n.clients[ci].phase = Phase::GetWait(v);
+                            out.push((format!("c{ci}:startGet({v})"), n));
+                        }
+                    }
+                    // releaseLock.
+                    let mut n = s.clone();
+                    n.queue.retain(|r| *r != c.lock_ref);
+                    n.clients[ci].phase = Phase::Done;
+                    out.push((format!("c{ci}:release"), n));
+                }
+                Phase::PutWait => {
+                    let mut n = s.clone();
+                    if let Some(p) = n
+                        .data
+                        .iter_mut()
+                        .filter(|p| !p.acked && p.writer == ci as u8)
+                        .max_by_key(|p| p.ts)
+                    {
+                        p.acked = true;
+                    }
+                    n.clients[ci].phase = Phase::Critical;
+                    out.push((format!("c{ci}:ackPut"), n));
+                }
+                Phase::GetWait(_) => {
+                    let mut n = s.clone();
+                    n.clients[ci].phase = Phase::Critical;
+                    out.push((format!("c{ci}:getDone"), n));
+                }
+                _ => {}
+            }
+            // Crash: any live phase, bounded.
+            if !matches!(c.phase, Phase::Done | Phase::Crashed | Phase::Idle)
+                && Self::crashes_used(s) < self.scope.max_crashes
+            {
+                let mut n = s.clone();
+                n.clients[ci].phase = Phase::Crashed;
+                out.push((format!("c{ci}:crash"), n));
+            }
+        }
+
+        // Forced-release daemon (imperfect failure detection: may fire on
+        // any current head at any time).
+        match s.daemon {
+            Daemon::Idle => {
+                if s.forced_used < self.scope.max_forced {
+                    if let Some(r) = head {
+                        let mut n = s.clone();
+                        let delta = if self.delta_zero { 0 } else { 1 };
+                        Self::push_flag(
+                            &mut n,
+                            FlagPair {
+                                ts: (r, delta),
+                                value: true,
+                                acked: false,
+                            },
+                        );
+                        if self.dequeue_before_flag_ack {
+                            // Mutant: pop the queue immediately; the flag
+                            // write is still in flight.
+                            n.queue.retain(|q| *q != r);
+                        }
+                        n.daemon = Daemon::FlagWait(r);
+                        n.forced_used += 1;
+                        out.push((format!("daemon:forceFlag({r})"), n));
+                    }
+                }
+            }
+            Daemon::FlagWait(r) => {
+                let mut n = s.clone();
+                let delta = if self.delta_zero { 0 } else { 1 };
+                if let Some(p) = n
+                    .flag
+                    .iter_mut()
+                    .find(|p| !p.acked && p.ts == (r, delta) && p.value)
+                {
+                    p.acked = true;
+                }
+                n.daemon = Daemon::Dequeue(r);
+                out.push((format!("daemon:forceFlagAck({r})"), n));
+            }
+            Daemon::Dequeue(r) => {
+                let mut n = s.clone();
+                n.queue.retain(|q| *q != r);
+                n.daemon = Daemon::Idle;
+                out.push((format!("daemon:forceDequeue({r})"), n));
+            }
+        }
+
+        out
+    }
+
+    fn check(&self, s: &State) -> Result<(), String> {
+        // I1: queue sanity.
+        for w in s.queue.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("queue not strictly increasing: {:?}", s.queue));
+            }
+        }
+        if s.queue.iter().any(|r| *r == 0 || *r > s.guard) {
+            return Err(format!("queue outside minted refs: {:?}", s.queue));
+        }
+
+        let true_pair = Self::true_pair(s);
+        let head = Self::head(s);
+
+        for (ci, c) in s.clients.iter().enumerate() {
+            let is_head = head == Some(c.lock_ref) && c.lock_ref != 0;
+
+            // I2: Critical-Section Invariant — the lockholder in Critical
+            // or Getting state implies the data store is defined.
+            if is_head && matches!(c.phase, Phase::Critical | Phase::GetWait(_))
+                && !Self::data_defined(s)
+            {
+                return Err(format!(
+                    "critical-section invariant: holder c{ci} in {:?} but store undefined (true pair {:?})",
+                    c.phase, true_pair
+                ));
+            }
+
+            // Latest-State Property: a get reply waiting at the lockholder
+            // carries the true value.
+            if is_head {
+                if let Phase::GetWait(v) = c.phase {
+                    if v != true_pair.value {
+                        return Err(format!(
+                            "latest-state: holder c{ci} read {v} but true value is {}",
+                            true_pair.value
+                        ));
+                    }
+                }
+            }
+
+            // I3: SynchFlag Invariant — a preempted, still-active client
+            // whose ref is past and ≥ the true timestamp's lockRef implies
+            // the flag is true.
+            let active_cs = matches!(c.phase, Phase::Critical | Phase::PutWait | Phase::GetWait(_));
+            if active_cs
+                && c.lock_ref != 0
+                && !s.queue.contains(&c.lock_ref)
+                && c.lock_ref >= true_pair.ts.0
+            {
+                let tv = Self::flag_true_values(s);
+                if tv != vec![true] {
+                    return Err(format!(
+                        "synchFlag invariant: preempted c{ci} (ref {}) >= true lockRef {} but flag true-values are {tv:?}",
+                        c.lock_ref, true_pair.ts.0
+                    ));
+                }
+            }
+        }
+
+        // I3b: a pending true pair whose writer's ref left the queue means
+        // traces of a preempted write exist — the flag must be true.
+        if !true_pair.acked && true_pair.writer != 255 {
+            let writer = &s.clients[true_pair.writer as usize];
+            if !s.queue.contains(&writer.lock_ref) {
+                let tv = Self::flag_true_values(s);
+                if tv != vec![true] {
+                    return Err(format!(
+                        "synchFlag invariant (traces): pending true pair {:?} by dequeued writer but flag true-values are {tv:?}",
+                        true_pair
+                    ));
+                }
+            }
+        }
+
+        Ok(())
+    }
+}

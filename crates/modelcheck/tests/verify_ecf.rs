@@ -1,0 +1,182 @@
+//! Bounded verification of the ECF invariants (the §V reproduction), plus
+//! mutation tests showing the checker has teeth.
+
+use music_modelcheck::{CheckOutcome, Checker, MusicModel, Scope};
+
+#[test]
+fn default_scope_satisfies_all_invariants() {
+    let model = MusicModel::default();
+    let out = Checker::default().run(&model);
+    match &out {
+        CheckOutcome::Ok { states, truncated, .. } => {
+            assert!(!truncated, "scope must be fully explored");
+            assert!(*states > 10_000, "non-trivial state space, got {states}");
+        }
+        CheckOutcome::Violation { message, trace, .. } => {
+            panic!("unexpected violation: {message}\ntrace:\n  {}", trace.join("\n  "));
+        }
+    }
+}
+
+#[test]
+fn two_puts_per_client_scope_is_clean() {
+    let model = MusicModel::new(Scope {
+        max_puts: 2,
+        ..Scope::default()
+    });
+    let out = Checker::default().run(&model);
+    assert!(
+        out.is_ok(),
+        "violation in 2-put scope: {:?}",
+        match out {
+            CheckOutcome::Violation { message, trace, .. } =>
+                format!("{message}\n{}", trace.join("\n")),
+            _ => unreachable!(),
+        }
+    );
+}
+
+#[test]
+fn more_forced_releases_stay_safe() {
+    let model = MusicModel::new(Scope {
+        max_forced: 3,
+        max_crashes: 2,
+        ..Scope::default()
+    });
+    let out = Checker::default().run(&model);
+    assert!(out.is_ok(), "{out:?}");
+}
+
+#[test]
+fn mutant_delta_zero_is_caught() {
+    // §IV-B: δ must be strictly positive so a forcedRelease's flag write
+    // overrides the holder's concurrent flag reset. With δ = 0 the two
+    // writes tie and the flag may read false when it must be true.
+    let model = MusicModel {
+        delta_zero: true,
+        ..MusicModel::default()
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("synchFlag") || message.contains("latest-state")
+                    || message.contains("critical-section"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(!trace.is_empty());
+        }
+        CheckOutcome::Ok { .. } => panic!("δ=0 mutant must violate an invariant"),
+    }
+}
+
+#[test]
+fn mutant_skipping_synchronization_is_caught() {
+    // Without the acquireLock synchronization, a holder can enter its
+    // critical section over an undefined data store (a predecessor's
+    // unacknowledged put still haunting it).
+    let model = MusicModel {
+        skip_sync: true,
+        ..MusicModel::default()
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, .. } => {
+            assert!(
+                message.contains("critical-section") || message.contains("latest-state"),
+                "unexpected violation kind: {message}"
+            );
+        }
+        CheckOutcome::Ok { .. } => panic!("skip-sync mutant must violate an invariant"),
+    }
+}
+
+#[test]
+fn mutant_dequeue_before_flag_ack_is_caught() {
+    // §IV-B: "the quorum write is completed before the last lockRef is
+    // dequeued". Violating that ordering lets the next holder read a
+    // stale false flag, skip the synchronization, and enter a critical
+    // section over an undefined store.
+    let model = MusicModel {
+        dequeue_before_flag_ack: true,
+        ..MusicModel::default()
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("critical-section") || message.contains("latest-state"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(!trace.is_empty());
+        }
+        CheckOutcome::Ok { .. } => {
+            panic!("dequeue-before-flag-ack mutant must violate an invariant")
+        }
+    }
+}
+
+#[test]
+fn scope_without_stale_views_is_clean_and_smaller() {
+    // Disabling the stale-local-view events shrinks the space; the
+    // invariants must of course still hold.
+    let with_stale = MusicModel::new(Scope::default());
+    let without_stale = MusicModel::new(Scope {
+        stale_puts: false,
+        ..Scope::default()
+    });
+    let a = Checker::default().run(&with_stale);
+    let b = Checker::default().run(&without_stale);
+    assert!(a.is_ok() && b.is_ok());
+    assert!(
+        b.states_explored() < a.states_explored(),
+        "stale views add states: {} !< {}",
+        b.states_explored(),
+        a.states_explored()
+    );
+}
+
+/// The big scope (3 clients). Expensive — run with `--ignored` when
+/// touching the core algorithms.
+#[test]
+#[ignore = "large scope: minutes of exploration"]
+fn three_client_scope_is_clean() {
+    let model = MusicModel::new(Scope {
+        clients: 3,
+        max_puts: 1,
+        max_crashes: 1,
+        max_forced: 2,
+        stale_puts: true,
+    });
+    let out = Checker {
+        max_states: 20_000_000,
+        max_depth: 80,
+    }
+    .run(&model);
+    assert!(out.is_ok(), "{out:?}");
+}
+
+#[test]
+fn violation_traces_are_replayable() {
+    // The counterexample trace must be a genuine path: replay it through
+    // the model's successor function.
+    use music_modelcheck::Model;
+    let model = MusicModel {
+        skip_sync: true,
+        ..MusicModel::default()
+    };
+    let out = Checker::default().run(&model);
+    let CheckOutcome::Violation { trace, state, .. } = out else {
+        panic!("expected violation");
+    };
+    let mut current = model.initial().remove(0);
+    for label in trace.iter().skip(1) {
+        let succs = model.successors(&current);
+        let (_, next) = succs
+            .into_iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("label {label} not enabled"));
+        current = next;
+    }
+    assert_eq!(current, state, "trace replays to the violating state");
+}

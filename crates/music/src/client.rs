@@ -1,0 +1,417 @@
+//! The client-side view of MUSIC: replica fail-over, retry policy, and the
+//! ergonomic critical-section guard.
+//!
+//! Per §III-A, a client may use *any* non-failed MUSIC replica; when one
+//! nacks (back-end quorum unreachable) the client retries the operation at
+//! the next replica. [`MusicClient`] encodes exactly that policy, and
+//! [`CriticalSection`] packages the Listing-1 pattern (create → poll
+//! acquire → critical ops → release).
+
+use bytes::Bytes;
+
+use music_lockstore::LockRef;
+use music_quorumstore::StoreError;
+use music_simnet::executor::Sim;
+
+use crate::error::{AcquireOutcome, CriticalError, MusicError};
+use crate::replica::MusicReplica;
+use crate::stats::OpKind;
+
+/// A MUSIC client bound to an ordered list of replicas (closest first).
+///
+/// # Examples
+///
+/// See [`crate::system::MusicSystemBuilder`] for a runnable end-to-end
+/// example.
+#[derive(Clone, Debug)]
+pub struct MusicClient {
+    replicas: Vec<MusicReplica>,
+    sim: Sim,
+}
+
+impl MusicClient {
+    /// Creates a client that prefers `replicas[0]` and fails over in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(sim: Sim, replicas: Vec<MusicReplica>) -> Self {
+        assert!(!replicas.is_empty(), "a client needs at least one replica");
+        MusicClient { replicas, sim }
+    }
+
+    /// The replica currently preferred by this client.
+    pub fn primary(&self) -> &MusicReplica {
+        &self.replicas[0]
+    }
+
+    fn retries(&self) -> u32 {
+        self.primary().config().client_retries
+    }
+
+    /// Runs `op` against replicas in preference order until one succeeds,
+    /// up to the configured retry budget.
+    async fn with_failover<T, F, Fut>(&self, mut op: F) -> Result<T, MusicError>
+    where
+        F: FnMut(MusicReplica) -> Fut,
+        Fut: std::future::Future<Output = Result<T, StoreError>>,
+    {
+        let budget = self.retries().max(1);
+        for attempt in 0..budget {
+            let replica = self.replicas[attempt as usize % self.replicas.len()].clone();
+            match op(replica).await {
+                Ok(v) => return Ok(v),
+                Err(_) => continue,
+            }
+        }
+        Err(MusicError::Unavailable)
+    }
+
+    /// `createLockRef` with fail-over.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::Unavailable`] after the retry budget is exhausted.
+    pub async fn create_lock_ref(&self, key: &str) -> Result<LockRef, MusicError> {
+        self.with_failover(|r| {
+            let key = key.to_string();
+            async move { r.create_lock_ref(&key).await }
+        })
+        .await
+    }
+
+    /// Polls `acquireLock` (with the configured back-off) until the lock is
+    /// granted or the reference is preempted.
+    ///
+    /// # Errors
+    ///
+    /// * [`MusicError::NoLongerHolder`] — the reference was forcibly
+    ///   released before being granted.
+    /// * [`MusicError::Unavailable`] — repeated nacks from every replica.
+    pub async fn acquire_lock(&self, key: &str, lock_ref: LockRef) -> Result<(), MusicError> {
+        let base_poll = self.primary().config().acquire_poll;
+        // "Standard back-off mechanisms can be used to alleviate the cost
+        // of polling" (§III-A): exponential, capped at 64× the base.
+        let poll_cap = base_poll * 64;
+        let mut poll = base_poll;
+        let mut consecutive_failures = 0;
+        let mut replica_idx = 0usize;
+        loop {
+            let replica = &self.replicas[replica_idx % self.replicas.len()];
+            match replica.acquire_lock(key, lock_ref).await {
+                Ok(AcquireOutcome::Acquired) => return Ok(()),
+                Ok(AcquireOutcome::NotYet) => {
+                    consecutive_failures = 0;
+                    self.sim.sleep(poll).await;
+                    poll = (poll * 2).min(poll_cap);
+                }
+                Ok(AcquireOutcome::NoLongerHolder) => return Err(MusicError::NoLongerHolder),
+                Err(_) => {
+                    consecutive_failures += 1;
+                    if consecutive_failures >= self.retries().max(1) {
+                        return Err(MusicError::Unavailable);
+                    }
+                    replica_idx += 1; // fail over
+                    self.sim.sleep(poll).await;
+                    poll = (poll * 2).min(poll_cap);
+                }
+            }
+        }
+    }
+
+    /// One retried critical operation (put/get share this policy):
+    /// `NotYetHolder` and store nacks are retried (the latter with
+    /// fail-over); holder-loss and expiry abort.
+    async fn critical_with_retry<T, F, Fut>(&self, mut op: F) -> Result<T, MusicError>
+    where
+        F: FnMut(MusicReplica) -> Fut,
+        Fut: std::future::Future<Output = Result<T, CriticalError>>,
+    {
+        let poll = self.primary().config().acquire_poll;
+        let budget = self.retries().max(1);
+        let mut failures = 0;
+        let mut replica_idx = 0usize;
+        loop {
+            let replica = self.replicas[replica_idx % self.replicas.len()].clone();
+            match op(replica).await {
+                Ok(v) => return Ok(v),
+                Err(CriticalError::NotYetHolder) => {
+                    failures += 1;
+                    if failures >= budget {
+                        return Err(MusicError::Unavailable);
+                    }
+                    // A persistently stale local lock-store view at one
+                    // replica must not starve the holder: rotate replicas
+                    // after a few polls.
+                    if failures % 4 == 0 {
+                        replica_idx += 1;
+                    }
+                    self.sim.sleep(poll).await;
+                }
+                Err(CriticalError::NoLongerHolder) => return Err(MusicError::NoLongerHolder),
+                Err(CriticalError::Expired) => return Err(MusicError::Expired),
+                Err(CriticalError::Store(_)) => {
+                    failures += 1;
+                    if failures >= budget {
+                        return Err(MusicError::Unavailable);
+                    }
+                    replica_idx += 1;
+                    self.sim.sleep(poll).await;
+                }
+            }
+        }
+    }
+
+    /// `criticalPut` with retry/fail-over.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::NoLongerHolder`], [`MusicError::Expired`], or
+    /// [`MusicError::Unavailable`]. After `Unavailable` the client must not
+    /// attempt other MUSIC operations on this key in this critical section
+    /// (§III-A).
+    pub async fn critical_put(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        value: Bytes,
+    ) -> Result<(), MusicError> {
+        self.critical_with_retry(|r| {
+            let key = key.to_string();
+            let value = value.clone();
+            async move { r.critical_put(&key, lock_ref, value).await }
+        })
+        .await
+    }
+
+    /// `criticalGet` with retry/fail-over.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MusicClient::critical_put`].
+    pub async fn critical_get(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<Option<Bytes>, MusicError> {
+        self.critical_with_retry(|r| {
+            let key = key.to_string();
+            async move { r.critical_get(&key, lock_ref).await }
+        })
+        .await
+    }
+
+    /// `releaseLock` with fail-over.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::Unavailable`] after the retry budget is exhausted.
+    pub async fn release_lock(&self, key: &str, lock_ref: LockRef) -> Result<(), MusicError> {
+        self.with_failover(|r| {
+            let key = key.to_string();
+            async move { r.release_lock(&key, lock_ref).await }
+        })
+        .await
+    }
+
+    /// Lock-free eventual `get` with fail-over.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::Unavailable`] after the retry budget is exhausted.
+    pub async fn get(&self, key: &str) -> Result<Option<Bytes>, MusicError> {
+        self.with_failover(|r| {
+            let key = key.to_string();
+            async move { r.get(&key).await }
+        })
+        .await
+    }
+
+    /// Lock-free eventual `put` with fail-over.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::Unavailable`] after the retry budget is exhausted.
+    pub async fn put(&self, key: &str, value: Bytes) -> Result<(), MusicError> {
+        self.with_failover(|r| {
+            let key = key.to_string();
+            let value = value.clone();
+            async move { r.put(&key, value).await }
+        })
+        .await
+    }
+
+    /// Enters a critical section on `key`: `createLockRef` + blocking
+    /// `acquireLock` (Listing 1), returning a guard for the critical
+    /// operations.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MusicError`] from the two steps.
+    pub async fn enter(&self, key: &str) -> Result<CriticalSection, MusicError> {
+        let lock_ref = self.create_lock_ref(key).await?;
+        let entered_at = self.sim.now();
+        self.acquire_lock(key, lock_ref).await?;
+        Ok(CriticalSection {
+            client: self.clone(),
+            key: key.to_string(),
+            lock_ref,
+            entered_at,
+        })
+    }
+
+    /// Enters a critical section over *several* keys, following the
+    /// deadlock-avoidance rule of §III-A: locks are always acquired in
+    /// lexicographic order, and the multi-key acquire succeeds only if it
+    /// succeeds individually for every key. On any failure, already-held
+    /// locks are released before the error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MusicError`] from the per-key steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty.
+    pub async fn enter_many(&self, keys: &[&str]) -> Result<MultiCriticalSection, MusicError> {
+        assert!(!keys.is_empty(), "enter_many needs at least one key");
+        let mut sorted: Vec<&str> = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut sections: Vec<CriticalSection> = Vec::with_capacity(sorted.len());
+        for key in sorted {
+            match self.enter(key).await {
+                Ok(cs) => sections.push(cs),
+                Err(e) => {
+                    // Roll back in reverse order; best-effort (a failed
+                    // release is collected by the failure detector).
+                    while let Some(cs) = sections.pop() {
+                        let _ = cs.release().await;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(MultiCriticalSection { sections })
+    }
+}
+
+/// A critical section spanning several keys, held in lexicographic order.
+#[derive(Debug)]
+pub struct MultiCriticalSection {
+    sections: Vec<CriticalSection>,
+}
+
+impl MultiCriticalSection {
+    /// The held keys, in acquisition (lexicographic) order.
+    pub fn keys(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.key()).collect()
+    }
+
+    fn section(&self, key: &str) -> Result<&CriticalSection, MusicError> {
+        self.sections
+            .iter()
+            .find(|s| s.key() == key)
+            .ok_or(MusicError::NoLongerHolder)
+    }
+
+    /// `criticalGet` on one of the held keys.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::NoLongerHolder`] if `key` is not part of this critical
+    /// section; otherwise see [`MusicClient::critical_get`].
+    pub async fn get(&self, key: &str) -> Result<Option<Bytes>, MusicError> {
+        self.section(key)?.get().await
+    }
+
+    /// `criticalPut` on one of the held keys.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::NoLongerHolder`] if `key` is not part of this critical
+    /// section; otherwise see [`MusicClient::critical_put`].
+    pub async fn put(&self, key: &str, value: Bytes) -> Result<(), MusicError> {
+        self.section(key)?.put(value).await
+    }
+
+    /// Releases every held lock, in reverse (anti-lexicographic) order.
+    ///
+    /// # Errors
+    ///
+    /// The first release error, after attempting all releases.
+    pub async fn release(mut self) -> Result<(), MusicError> {
+        let mut first_err = None;
+        while let Some(cs) = self.sections.pop() {
+            if let Err(e) = cs.release().await {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// A held critical section: the Listing-1 pattern as a guard object.
+///
+/// Call [`CriticalSection::release`] when done; merely dropping the guard
+/// leaves the lock to the failure detector (as a crashed client would).
+#[derive(Debug)]
+pub struct CriticalSection {
+    client: MusicClient,
+    key: String,
+    lock_ref: LockRef,
+    entered_at: music_simnet::time::SimTime,
+}
+
+impl CriticalSection {
+    /// The lock reference held by this critical section.
+    pub fn lock_ref(&self) -> LockRef {
+        self.lock_ref
+    }
+
+    /// The key this critical section guards.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// `criticalGet` of the guarded key — guaranteed to return the *true
+    /// value* (Latest-State Property).
+    ///
+    /// # Errors
+    ///
+    /// See [`MusicClient::critical_get`].
+    pub async fn get(&self) -> Result<Option<Bytes>, MusicError> {
+        self.client.critical_get(&self.key, self.lock_ref).await
+    }
+
+    /// `criticalPut` of the guarded key — on success the written value is
+    /// the new true value.
+    ///
+    /// # Errors
+    ///
+    /// See [`MusicClient::critical_put`].
+    pub async fn put(&self, value: Bytes) -> Result<(), MusicError> {
+        self.client
+            .critical_put(&self.key, self.lock_ref, value)
+            .await
+    }
+
+    /// Exits the critical section, releasing the lock.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::Unavailable`] if no replica can reach the lock store.
+    pub async fn release(self) -> Result<(), MusicError> {
+        let res = self.client.release_lock(&self.key, self.lock_ref).await;
+        if res.is_ok() {
+            self.client.primary().stats().record(
+                OpKind::CriticalSection,
+                self.client.sim.now() - self.entered_at,
+            );
+        }
+        res
+    }
+}

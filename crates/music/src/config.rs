@@ -1,0 +1,94 @@
+//! MUSIC configuration knobs.
+
+use music_simnet::time::SimDuration;
+
+/// How `criticalPut` reaches the data store — the paper's MUSIC-vs-MSCP
+/// axis (§VIII-b).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum PutMode {
+    /// Quorum write (1 WAN RTT) — MUSIC proper.
+    #[default]
+    Quorum,
+    /// Sequentially consistent LWT write (4 WAN RTTs) — the MSCP baseline,
+    /// "a write in a MUSIC critical section using a SC LWT put rather than
+    /// a quorum put".
+    Lwt,
+}
+
+/// How `acquireLock`/critical guards read the lock queue head — an
+/// ablation knob for the paper's design choice (§IV-A): the peek is a
+/// *local* read precisely because clients poll it many times per critical
+/// section.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum PeekMode {
+    /// Eventual read of the closest lock-store replica (the paper's
+    /// design; intra-site round trip).
+    #[default]
+    Local,
+    /// Quorum read (one WAN round trip per poll) — what the design avoids;
+    /// used by the `ablation` bench to quantify the saving.
+    Quorum,
+}
+
+/// Tunables of a MUSIC deployment.
+#[derive(Clone, Debug)]
+pub struct MusicConfig {
+    /// `T`: the maximum duration of one critical section; bounds the time
+    /// component of `v2s` and lets replicas reject expired holders (§VI).
+    pub t_max: SimDuration,
+    /// `δ`: how far above `v2s(lockRef, 0)` a `forcedRelease` stamps the
+    /// `synchFlag` (1 µs in the paper's production deployment, §IV-B).
+    pub delta: SimDuration,
+    /// Client-side polling interval while waiting in `acquireLock`.
+    pub acquire_poll: SimDuration,
+    /// How many times a client retries a nacked operation (across MUSIC
+    /// replicas) before giving up, per the failure semantics of §III-A.
+    pub client_retries: u32,
+    /// How long a queue head may sit unchanged before a MUSIC replica's
+    /// failure detector presumes the holder dead and forcibly releases the
+    /// lock. Deliberately imperfect: a slow-but-alive holder will be
+    /// preempted (false failure detection, §IV-B).
+    pub failure_timeout: SimDuration,
+    /// How `criticalPut` writes the data store (MUSIC vs. MSCP).
+    pub put_mode: PutMode,
+    /// How lock-queue heads are peeked (local vs. quorum; ablation).
+    pub peek_mode: PeekMode,
+}
+
+impl Default for MusicConfig {
+    fn default() -> Self {
+        MusicConfig {
+            t_max: SimDuration::from_secs(600),
+            delta: SimDuration::from_micros(1),
+            acquire_poll: SimDuration::from_millis(2),
+            client_retries: 8,
+            failure_timeout: SimDuration::from_secs(30),
+            put_mode: PutMode::Quorum,
+            peek_mode: PeekMode::Local,
+        }
+    }
+}
+
+impl MusicConfig {
+    /// A config with the MSCP baseline's LWT critical puts.
+    pub fn mscp() -> Self {
+        MusicConfig {
+            put_mode: PutMode::Lwt,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MusicConfig::default();
+        assert!(c.delta < c.t_max);
+        assert!(c.acquire_poll < c.failure_timeout);
+        assert_eq!(c.put_mode, PutMode::Quorum);
+        assert_eq!(MusicConfig::mscp().put_mode, PutMode::Lwt);
+    }
+}

@@ -1,0 +1,107 @@
+//! MUSIC error and outcome types.
+
+use std::fmt;
+
+use music_quorumstore::StoreError;
+
+/// Outcome of one `acquireLock` poll (§IV-A).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AcquireOutcome {
+    /// The caller's lockRef is first in the queue: the critical section has
+    /// been entered (and the data store synchronized if needed).
+    Acquired,
+    /// The lockRef is not first yet — or the local lock-store replica has
+    /// not caught up. Poll again.
+    NotYet,
+    /// The lockRef is below the queue head: the lock was forcibly released.
+    /// "youAreNoLongerLockHolder".
+    NoLongerHolder,
+}
+
+/// Errors from critical operations (`criticalPut` / `criticalGet`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CriticalError {
+    /// The lockRef is not (visibly) first in the queue yet; retry shortly.
+    /// For an actual lockholder this means the serving replica's local
+    /// lock-store view is stale.
+    NotYetHolder,
+    /// The lock was forcibly released; the caller must abandon this
+    /// critical section (§III-A).
+    NoLongerHolder,
+    /// The critical section exceeded the maximum duration `T`; the
+    /// operation is rejected to keep `v2s` sound (§VI).
+    Expired,
+    /// The back-end store nacked (no quorum). Retry, possibly at a
+    /// different MUSIC replica.
+    Store(StoreError),
+}
+
+impl fmt::Display for CriticalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CriticalError::NotYetHolder => write!(f, "lock reference is not first in the queue"),
+            CriticalError::NoLongerHolder => write!(f, "you are no longer the lock holder"),
+            CriticalError::Expired => write!(f, "critical section exceeded its maximum duration"),
+            CriticalError::Store(e) => write!(f, "back-end store unavailable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CriticalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CriticalError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for CriticalError {
+    fn from(e: StoreError) -> Self {
+        CriticalError::Store(e)
+    }
+}
+
+/// Client-level errors after the retry policy of §III-A has been applied.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MusicError {
+    /// Retries across MUSIC replicas exhausted without success; the client
+    /// must not attempt further operations on this key in this critical
+    /// section.
+    Unavailable,
+    /// The client was told it is no longer the lock holder.
+    NoLongerHolder,
+    /// The critical section expired (duration bound `T`).
+    Expired,
+}
+
+impl fmt::Display for MusicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MusicError::Unavailable => write!(f, "operation failed after retries at all replicas"),
+            MusicError::NoLongerHolder => write!(f, "you are no longer the lock holder"),
+            MusicError::Expired => write!(f, "critical section exceeded its maximum duration"),
+        }
+    }
+}
+
+impl std::error::Error for MusicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_error_wraps_store_error() {
+        let e: CriticalError = StoreError::Unavailable.into();
+        assert_eq!(e, CriticalError::Store(StoreError::Unavailable));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn displays_are_prose() {
+        assert!(AcquireOutcome::Acquired == AcquireOutcome::Acquired);
+        assert!(MusicError::NoLongerHolder.to_string().contains("no longer"));
+        assert!(CriticalError::Expired.to_string().contains("maximum duration"));
+    }
+}

@@ -1,0 +1,429 @@
+//! The MUSIC replica: a stateless front-end executing the §IV algorithms
+//! against the lock store and data store.
+//!
+//! Clients send each operation to a MUSIC replica of their choice (usually
+//! the closest); the replica runs a single-threaded sequence of back-end
+//! requests and reports success or failure. All ECF guarantees come from
+//! the algorithms here plus the stores' semantics — replicas themselves
+//! hold no authoritative state and can be lost or bypassed freely.
+
+use bytes::Bytes;
+
+use music_lockstore::{LockRef, LockStore};
+use music_quorumstore::{DataRow, Put, ReplicatedTable, RowSnapshot, StoreError};
+use music_simnet::net::{Network, NodeId};
+use music_simnet::time::{SimDuration, SimTime};
+
+use crate::config::{MusicConfig, PeekMode, PutMode};
+use crate::error::{AcquireOutcome, CriticalError};
+use crate::stats::{OpKind, OpStats};
+use crate::timestamp::{V2s, VectorTimestamp};
+
+/// Reserved separator for internal keys; client keys must not contain it.
+const INTERNAL_SEP: char = '\u{1}';
+
+/// The data-store key holding `key`'s `synchFlag`.
+pub(crate) fn synch_key(key: &str) -> String {
+    format!("{key}{INTERNAL_SEP}synch")
+}
+
+fn is_internal_key(key: &str) -> bool {
+    key.contains(INTERNAL_SEP)
+}
+
+const FLAG_TRUE: Bytes = Bytes::from_static(b"1");
+const FLAG_FALSE: Bytes = Bytes::from_static(b"0");
+
+fn flag_is_true(snap: &RowSnapshot) -> bool {
+    snap.value.as_deref() == Some(b"1")
+}
+
+/// A MUSIC replica bound to a network node.
+///
+/// Cheap to clone; all clones share the same back-end handles and stats
+/// sink. Build deployments with [`crate::system::MusicSystemBuilder`].
+#[derive(Clone, Debug)]
+pub struct MusicReplica {
+    node: NodeId,
+    net: Network,
+    locks: LockStore,
+    data: ReplicatedTable<DataRow>,
+    v2s: V2s,
+    cfg: MusicConfig,
+    stats: OpStats,
+}
+
+impl MusicReplica {
+    /// Creates a replica at `node` over shared store handles.
+    pub fn new(
+        node: NodeId,
+        net: Network,
+        locks: LockStore,
+        data: ReplicatedTable<DataRow>,
+        cfg: MusicConfig,
+        stats: OpStats,
+    ) -> Self {
+        MusicReplica {
+            node,
+            net,
+            locks,
+            data,
+            v2s: V2s::new(cfg.t_max),
+            cfg,
+            stats,
+        }
+    }
+
+    /// The network node this replica runs at.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This replica's configuration.
+    pub fn config(&self) -> &MusicConfig {
+        &self.cfg
+    }
+
+    /// The shared stats sink.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// The lock store handle (instrumentation/tests).
+    pub fn locks(&self) -> &LockStore {
+        &self.locks
+    }
+
+    /// The data table handle (instrumentation/tests).
+    pub fn data(&self) -> &ReplicatedTable<DataRow> {
+        &self.data
+    }
+
+    fn now(&self) -> SimTime {
+        self.net.sim().now()
+    }
+
+    /// Lock-queue head view per the configured [`PeekMode`].
+    async fn peek(
+        &self,
+        key: &str,
+    ) -> Result<Option<(LockRef, music_lockstore::LockEntry)>, StoreError> {
+        match self.cfg.peek_mode {
+            PeekMode::Local => self.locks.peek_local(self.node, key).await,
+            PeekMode::Quorum => self.locks.peek_quorum(self.node, key).await,
+        }
+    }
+
+    fn assert_client_key(key: &str) {
+        assert!(
+            !is_internal_key(key),
+            "client keys must not contain the internal separator"
+        );
+    }
+
+    /// `createLockRef`: enqueues a per-key unique increasing identifier,
+    /// good for one critical section. Cost: one consensus write (LWT).
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] when the lock store cannot reach a quorum;
+    /// the client retries (§III-A). A nacked call may still have enqueued
+    /// an orphan reference, which `forcedRelease` eventually collects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` contains the reserved internal separator `'\u{1}'`.
+    pub async fn create_lock_ref(&self, key: &str) -> Result<LockRef, StoreError> {
+        Self::assert_client_key(key);
+        let t0 = self.now();
+        let r = self.locks.generate_and_enqueue(self.node, key).await;
+        if r.is_ok() {
+            self.stats.record(OpKind::CreateLockRef, self.now() - t0);
+        }
+        r
+    }
+
+    /// `acquireLock`: returns [`AcquireOutcome::Acquired`] iff `lock_ref`
+    /// is first in the queue; synchronizes the data store first when the
+    /// `synchFlag` is set (a previous holder was preempted mid-put).
+    ///
+    /// Cost: a local peek; plus, for the winning poll, a `synchFlag` quorum
+    /// read — and only after a forced release, a value quorum read, a value
+    /// quorum write, and a `synchFlag` quorum write (§IV-A).
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] if the data store cannot reach a quorum
+    /// during synchronization.
+    pub async fn acquire_lock(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<AcquireOutcome, StoreError> {
+        Self::assert_client_key(key);
+        let t0 = self.now();
+        let head = self.peek(key).await?;
+        self.stats.record(OpKind::AcquirePeek, self.now() - t0);
+        let Some((head, entry)) = head else {
+            // Local lock-store replica not updated yet: retry.
+            return Ok(AcquireOutcome::NotYet);
+        };
+        if lock_ref > head {
+            return Ok(AcquireOutcome::NotYet);
+        }
+        if lock_ref < head {
+            return Ok(AcquireOutcome::NoLongerHolder);
+        }
+
+        // We are first in the queue: the grant path.
+        let t0 = self.now();
+        let flag = self.data.read_quorum(self.node, &synch_key(key)).await?;
+        if flag_is_true(&flag) {
+            // A previous holder may have died mid-criticalPut: synchronize.
+            // Quorum-read the key, re-write the result under our lockRef
+            // (committing the non-deterministic choice of §III-A), then
+            // reset the flag.
+            let snap = self.data.read_quorum(self.node, key).await?;
+            let stamp = self
+                .v2s
+                .scalar(VectorTimestamp::new(lock_ref, SimDuration::ZERO));
+            let rewrite = match snap.value {
+                Some(v) => Put::value(v),
+                None => Put::delete(),
+            };
+            self.data
+                .write_quorum(self.node, key, rewrite, stamp)
+                .await?;
+            self.data
+                .write_quorum(self.node, &synch_key(key), Put::value(FLAG_FALSE), stamp)
+                .await?;
+        }
+        // Initialize startTime for the duration bound T (§VI). Re-granting
+        // an already-started entry (a duplicate winning poll) keeps the
+        // original start because the LWW stamp is the grant instant.
+        if entry.start_time.is_none() {
+            self.locks
+                .set_start_time(self.node, key, lock_ref, self.now())
+                .await?;
+        }
+        self.stats.record(OpKind::AcquireGrant, self.now() - t0);
+        Ok(AcquireOutcome::Acquired)
+    }
+
+    /// Guards shared by `criticalPut`/`criticalGet`: holder check via the
+    /// local peek, then the duration bound. Returns the elapsed-in-CS time.
+    async fn critical_guard(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<SimDuration, CriticalError> {
+        let head = self.peek(key).await?;
+        let Some((head, entry)) = head else {
+            return Err(CriticalError::NotYetHolder);
+        };
+        if lock_ref > head {
+            return Err(CriticalError::NotYetHolder);
+        }
+        if lock_ref < head {
+            return Err(CriticalError::NoLongerHolder);
+        }
+        let Some(start) = entry.start_time else {
+            // Granted, but this replica's local view lacks startTime yet.
+            return Err(CriticalError::NotYetHolder);
+        };
+        let elapsed = self.now() - start;
+        if elapsed >= self.cfg.t_max {
+            return Err(CriticalError::Expired);
+        }
+        Ok(elapsed)
+    }
+
+    /// `criticalPut`: writes the latest value of `key` for the current
+    /// lockholder. Cost: one value quorum write (or an LWT under
+    /// [`PutMode::Lwt`], the MSCP baseline).
+    ///
+    /// # Errors
+    ///
+    /// See [`CriticalError`]; on [`CriticalError::Store`] the write is
+    /// *unacknowledged* — it may or may not have landed, and the client
+    /// must retry until acknowledged or abandon the critical section.
+    pub async fn critical_put(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        value: Bytes,
+    ) -> Result<(), CriticalError> {
+        self.critical_put_with(key, lock_ref, Put::value(value), self.cfg.put_mode)
+            .await
+    }
+
+    /// `criticalPut`'s delete twin (footnote 3 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MusicReplica::critical_put`].
+    pub async fn critical_delete(&self, key: &str, lock_ref: LockRef) -> Result<(), CriticalError> {
+        self.critical_put_with(key, lock_ref, Put::delete(), self.cfg.put_mode)
+            .await
+    }
+
+    /// `criticalPut` with an explicit [`PutMode`] (benchmarks compare the
+    /// two).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MusicReplica::critical_put`].
+    pub async fn critical_put_with(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        put: Put,
+        mode: PutMode,
+    ) -> Result<(), CriticalError> {
+        Self::assert_client_key(key);
+        let t0 = self.now();
+        let elapsed = self.critical_guard(key, lock_ref).await?;
+        // Strictly above the synchronization re-write at elapsed 0.
+        let elapsed = elapsed.max(SimDuration::from_micros(1));
+        let stamp = self.v2s.scalar(VectorTimestamp::new(lock_ref, elapsed));
+        match mode {
+            PutMode::Quorum => {
+                self.data.write_quorum(self.node, key, put, stamp).await?;
+                self.stats.record(OpKind::CriticalPut, self.now() - t0);
+            }
+            PutMode::Lwt => {
+                self.data
+                    .lwt(self.node, key, |_, _| Some((put.clone(), stamp)))
+                    .await?;
+                self.stats.record(OpKind::MscpPut, self.now() - t0);
+            }
+        }
+        Ok(())
+    }
+
+    /// `criticalGet`: reads the latest (true) value of `key` for the
+    /// current lockholder. Cost: one value quorum read.
+    ///
+    /// # Errors
+    ///
+    /// See [`CriticalError`].
+    pub async fn critical_get(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<Option<Bytes>, CriticalError> {
+        Self::assert_client_key(key);
+        let t0 = self.now();
+        self.critical_guard(key, lock_ref).await?;
+        let snap = self.data.read_quorum(self.node, key).await?;
+        self.stats.record(OpKind::CriticalGet, self.now() - t0);
+        Ok(snap.value)
+    }
+
+    /// `releaseLock`: removes `lock_ref` from the queue. Succeeds (as a
+    /// no-op) if the lock was already forcibly released. Cost: one
+    /// consensus write (LWT).
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] when the lock store cannot reach a quorum.
+    pub async fn release_lock(&self, key: &str, lock_ref: LockRef) -> Result<(), StoreError> {
+        Self::assert_client_key(key);
+        let t0 = self.now();
+        if let Some((head, _)) = self.peek(key).await? {
+            if lock_ref < head {
+                return Ok(()); // lock was forcibly released already
+            }
+        }
+        self.locks.dequeue(self.node, key, lock_ref).await?;
+        self.stats.record(OpKind::ReleaseLock, self.now() - t0);
+        Ok(())
+    }
+
+    /// `forcedRelease`: preempts `lock_ref` on behalf of a presumed-failed
+    /// holder (internal; driven by the failure detector or by takeover
+    /// logic like the Portal's, §VII-b).
+    ///
+    /// Sets the `synchFlag` **before** dequeueing, stamped at
+    /// `v2s(lockRef, 0) + δ` so it overrides the holder's own concurrent
+    /// flag reset but yields to the next holder's (§IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] when either store cannot reach a quorum.
+    pub async fn forced_release(&self, key: &str, lock_ref: LockRef) -> Result<(), StoreError> {
+        Self::assert_client_key(key);
+        let t0 = self.now();
+        if let Some((head, _)) = self.peek(key).await? {
+            if lock_ref < head {
+                return Ok(()); // previously released
+            }
+        }
+        let stamp = self.v2s.forced_release_stamp(lock_ref, self.cfg.delta);
+        self.data
+            .write_quorum(self.node, &synch_key(key), Put::value(FLAG_TRUE), stamp)
+            .await?;
+        // No-op if lock_ref is not in the queue.
+        self.locks.dequeue(self.node, key, lock_ref).await?;
+        self.stats.record(OpKind::ForcedRelease, self.now() - t0);
+        Ok(())
+    }
+
+    /// Lock-free eventual `get` — only for keys where no ECF guarantees are
+    /// expected (§VI "Additional Functions").
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] if the closest replica does not answer.
+    pub async fn get(&self, key: &str) -> Result<Option<Bytes>, StoreError> {
+        Self::assert_client_key(key);
+        let t0 = self.now();
+        let snap = self.data.read_one(self.node, key).await?;
+        self.stats.record(OpKind::EventualGet, self.now() - t0);
+        Ok(snap.value)
+    }
+
+    /// Lock-free eventual `put` — only for keys where no ECF guarantees are
+    /// expected. Stamped with the local wall clock, far below any `v2s`
+    /// stamp, so it can never clobber critical writes.
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] if no replica acknowledges.
+    pub async fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
+        Self::assert_client_key(key);
+        let t0 = self.now();
+        let stamp = music_quorumstore::WriteStamp::new(self.now().as_micros().max(1));
+        self.data
+            .write_one(self.node, key, Put::value(value), stamp)
+            .await?;
+        self.stats.record(OpKind::EventualPut, self.now() - t0);
+        Ok(())
+    }
+
+    /// `getAllKeys`: all live client keys visible at the closest data-store
+    /// replica (possibly stale — the job-scheduler pattern tolerates that,
+    /// §VII-a).
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] if the replica does not answer.
+    pub async fn get_all_keys(&self) -> Result<Vec<String>, StoreError> {
+        let keys = self.data.list_keys_local(self.node).await?;
+        Ok(keys.into_iter().filter(|k| !is_internal_key(k)).collect())
+    }
+
+    /// The current queue head for `key` as seen by this replica's local
+    /// lock-store view (monitoring / failure detection).
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] if the replica does not answer.
+    pub async fn peek_holder(
+        &self,
+        key: &str,
+    ) -> Result<Option<(LockRef, Option<SimTime>)>, StoreError> {
+        let head = self.peek(key).await?;
+        Ok(head.map(|(r, e)| (r, e.start_time)))
+    }
+}

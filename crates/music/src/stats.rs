@@ -1,0 +1,156 @@
+//! Per-operation latency instrumentation, used to regenerate the paper's
+//! latency breakdown (Fig. 5(b)) and CDFs (Fig. 8).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use music_simnet::metrics::Histogram;
+use music_simnet::time::SimDuration;
+
+/// The instrumented MUSIC operations (and sub-operations).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// `createLockRef` — one LWT.
+    CreateLockRef,
+    /// The local peek inside `acquireLock` ('L' in Fig. 5(b)).
+    AcquirePeek,
+    /// The grant path of `acquireLock`: the synchFlag quorum read (plus
+    /// synchronization when needed) ('Q' in Fig. 5(b)).
+    AcquireGrant,
+    /// `criticalPut` with a quorum write (MUSIC).
+    CriticalPut,
+    /// `criticalPut` with an LWT write ('P' in Fig. 5(b) — MSCP).
+    MscpPut,
+    /// `criticalGet` — quorum read.
+    CriticalGet,
+    /// `releaseLock` — one LWT.
+    ReleaseLock,
+    /// Lock-free eventual `get`.
+    EventualGet,
+    /// Lock-free eventual `put` (the CassaEV baseline op).
+    EventualPut,
+    /// Internal `forcedRelease`.
+    ForcedRelease,
+    /// A whole critical section, entry to exit.
+    CriticalSection,
+}
+
+impl OpKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [OpKind; 11] = [
+        OpKind::CreateLockRef,
+        OpKind::AcquirePeek,
+        OpKind::AcquireGrant,
+        OpKind::CriticalPut,
+        OpKind::MscpPut,
+        OpKind::CriticalGet,
+        OpKind::ReleaseLock,
+        OpKind::EventualGet,
+        OpKind::EventualPut,
+        OpKind::ForcedRelease,
+        OpKind::CriticalSection,
+    ];
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpKind::CreateLockRef => "createLockRef",
+            OpKind::AcquirePeek => "acquireLock/peek",
+            OpKind::AcquireGrant => "acquireLock/grant",
+            OpKind::CriticalPut => "criticalPut",
+            OpKind::MscpPut => "criticalPut(LWT)",
+            OpKind::CriticalGet => "criticalGet",
+            OpKind::ReleaseLock => "releaseLock",
+            OpKind::EventualGet => "get",
+            OpKind::EventualPut => "put",
+            OpKind::ForcedRelease => "forcedRelease",
+            OpKind::CriticalSection => "criticalSection",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shared, cheaply clonable sink of per-operation latency samples.
+///
+/// # Examples
+///
+/// ```
+/// use music::stats::{OpKind, OpStats};
+/// use music_simnet::time::SimDuration;
+///
+/// let stats = OpStats::new();
+/// stats.record(OpKind::CriticalPut, SimDuration::from_millis(93));
+/// assert_eq!(stats.histogram(OpKind::CriticalPut).count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OpStats {
+    inner: Rc<RefCell<HashMap<OpKind, Histogram>>>,
+}
+
+impl OpStats {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, kind: OpKind, latency: SimDuration) {
+        self.inner
+            .borrow_mut()
+            .entry(kind)
+            .or_default()
+            .record(latency);
+    }
+
+    /// Snapshot of the histogram for `kind` (empty if never recorded).
+    pub fn histogram(&self, kind: OpKind) -> Histogram {
+        self.inner.borrow().get(&kind).cloned().unwrap_or_default()
+    }
+
+    /// Total samples recorded for `kind`.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.inner.borrow().get(&kind).map_or(0, |h| h.count())
+    }
+
+    /// Clears all recorded samples (e.g. after a warm-up phase).
+    pub fn reset(&self) {
+        self.inner.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_reset() {
+        let s = OpStats::new();
+        s.record(OpKind::CreateLockRef, SimDuration::from_millis(220));
+        s.record(OpKind::CreateLockRef, SimDuration::from_millis(230));
+        assert_eq!(s.count(OpKind::CreateLockRef), 2);
+        assert_eq!(
+            s.histogram(OpKind::CreateLockRef).mean(),
+            SimDuration::from_millis(225)
+        );
+        assert_eq!(s.count(OpKind::ReleaseLock), 0);
+        s.reset();
+        assert_eq!(s.count(OpKind::CreateLockRef), 0);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let a = OpStats::new();
+        let b = a.clone();
+        b.record(OpKind::EventualPut, SimDuration::from_micros(10));
+        assert_eq!(a.count(OpKind::EventualPut), 1);
+    }
+
+    #[test]
+    fn display_names_match_paper_vocabulary() {
+        assert_eq!(OpKind::CreateLockRef.to_string(), "createLockRef");
+        assert_eq!(OpKind::MscpPut.to_string(), "criticalPut(LWT)");
+        assert_eq!(OpKind::ALL.len(), 11);
+    }
+}

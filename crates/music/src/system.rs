@@ -1,0 +1,360 @@
+//! Deployment builder: wires the simulator, network, back-end stores, and
+//! MUSIC replicas into the Figure-1 topology.
+//!
+//! The default layout mirrors the paper's production deployment: per site,
+//! one (or more) back-end store node — used by *both* the lock store and
+//! the data store, as the production system uses one Cassandra cluster for
+//! both — plus one MUSIC replica, with clients talking to the closest
+//! replica.
+
+use bytes::Bytes;
+
+use music_lockstore::LockStore;
+use music_quorumstore::{DataRow, ReplicatedTable, TableConfig};
+use music_simnet::executor::Sim;
+use music_simnet::net::{NetConfig, Network, NodeId};
+use music_simnet::topology::{LatencyProfile, SiteId};
+
+use crate::client::MusicClient;
+use crate::config::MusicConfig;
+use crate::replica::{synch_key, MusicReplica};
+use crate::stats::OpStats;
+
+/// Builder for a complete simulated MUSIC deployment.
+///
+/// # Examples
+///
+/// ```
+/// use music::system::MusicSystemBuilder;
+/// use music_simnet::prelude::*;
+/// use bytes::Bytes;
+///
+/// let system = MusicSystemBuilder::new()
+///     .profile(LatencyProfile::one_us())
+///     .seed(42)
+///     .build();
+/// let client = system.client_at_site(0);
+/// let sim = system.sim().clone();
+/// sim.block_on(async move {
+///     let cs = client.enter("greeting").await.unwrap();
+///     cs.put(Bytes::from_static(b"hello")).await.unwrap();
+///     let v = cs.get().await.unwrap();
+///     assert_eq!(v.unwrap(), Bytes::from_static(b"hello"));
+///     cs.release().await.unwrap();
+/// });
+/// ```
+#[derive(Clone, Debug)]
+pub struct MusicSystemBuilder {
+    profile: LatencyProfile,
+    net_cfg: NetConfig,
+    table_cfg: TableConfig,
+    music_cfg: MusicConfig,
+    store_nodes_per_site: usize,
+    replicas_per_site: usize,
+    rf: usize,
+    seed: u64,
+}
+
+impl Default for MusicSystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MusicSystemBuilder {
+    /// A 3-site deployment on the `1Us` profile with one store node and one
+    /// MUSIC replica per site, RF = 3.
+    pub fn new() -> Self {
+        MusicSystemBuilder {
+            profile: LatencyProfile::one_us(),
+            net_cfg: NetConfig::default(),
+            table_cfg: TableConfig::default(),
+            music_cfg: MusicConfig::default(),
+            store_nodes_per_site: 1,
+            replicas_per_site: 1,
+            rf: 3,
+            seed: 0,
+        }
+    }
+
+    /// Sets the WAN latency profile (Table II or custom).
+    pub fn profile(mut self, profile: LatencyProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the network cost model.
+    pub fn net_config(mut self, cfg: NetConfig) -> Self {
+        self.net_cfg = cfg;
+        self
+    }
+
+    /// Sets store-operation tunables (timeouts, LWT retries).
+    pub fn table_config(mut self, cfg: TableConfig) -> Self {
+        self.table_cfg = cfg;
+        self
+    }
+
+    /// Sets the MUSIC configuration (T, δ, retry policy, put mode).
+    pub fn music_config(mut self, cfg: MusicConfig) -> Self {
+        self.music_cfg = cfg;
+        self
+    }
+
+    /// Sets how many store nodes each site hosts (Fig. 4(b) scales this
+    /// from 1 to 3 with RF fixed at 3, i.e. clusters of 3 → 9 nodes).
+    pub fn store_nodes_per_site(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one store node per site");
+        self.store_nodes_per_site = n;
+        self
+    }
+
+    /// Sets how many MUSIC replicas each site hosts. The paper's production
+    /// deployment pairs a 9-replica MUSIC cluster with a 9-node Cassandra
+    /// cluster (Fig. 1); scale this together with
+    /// [`MusicSystemBuilder::store_nodes_per_site`] to reproduce Fig. 4(b).
+    pub fn replicas_per_site(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one MUSIC replica per site");
+        self.replicas_per_site = n;
+        self
+    }
+
+    /// Sets the replication factor.
+    pub fn replication_factor(mut self, rf: usize) -> Self {
+        self.rf = rf;
+        self
+    }
+
+    /// Sets the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the deployment.
+    pub fn build(self) -> MusicSystem {
+        let sim = Sim::new();
+        let net = Network::new(sim.clone(), self.profile.clone(), self.net_cfg, self.seed);
+        let sites = self.profile.site_count();
+
+        // Store nodes, site-interleaved so ring neighbours sit on distinct
+        // sites (one copy of every key per site, as in the paper).
+        let mut store_nodes = Vec::new();
+        for round in 0..self.store_nodes_per_site {
+            let _ = round;
+            for s in 0..sites {
+                store_nodes.push(net.add_node(SiteId(s as u32)));
+            }
+        }
+
+        let data = ReplicatedTable::new(
+            net.clone(),
+            store_nodes.clone(),
+            self.rf,
+            self.table_cfg.clone(),
+        );
+        let locks = LockStore::new(
+            net.clone(),
+            store_nodes.clone(),
+            self.rf,
+            self.table_cfg.clone(),
+        );
+
+        let stats = OpStats::new();
+        // Site-interleaved (s0, s1, s2, s0, …) so `replica(site)` keeps
+        // addressing each site's first replica.
+        let mut replicas: Vec<MusicReplica> = Vec::with_capacity(sites * self.replicas_per_site);
+        for _round in 0..self.replicas_per_site {
+            for s in 0..sites {
+                let node = net.add_node(SiteId(s as u32));
+                replicas.push(MusicReplica::new(
+                    node,
+                    net.clone(),
+                    locks.clone(),
+                    data.clone(),
+                    self.music_cfg.clone(),
+                    stats.clone(),
+                ));
+            }
+        }
+
+        MusicSystem {
+            sim,
+            net,
+            data,
+            locks,
+            replicas,
+            store_nodes,
+            stats,
+        }
+    }
+}
+
+/// A fully wired MUSIC deployment (Fig. 1).
+#[derive(Clone, Debug)]
+pub struct MusicSystem {
+    sim: Sim,
+    net: Network,
+    data: ReplicatedTable<DataRow>,
+    locks: LockStore,
+    replicas: Vec<MusicReplica>,
+    store_nodes: Vec<NodeId>,
+    stats: OpStats,
+}
+
+impl MusicSystem {
+    /// The simulation driving this deployment.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The network (for failure injection).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// The shared data table.
+    pub fn data(&self) -> &ReplicatedTable<DataRow> {
+        &self.data
+    }
+
+    /// The shared lock store.
+    pub fn locks(&self) -> &LockStore {
+        &self.locks
+    }
+
+    /// All MUSIC replicas, site-interleaved (`s0, s1, s2, s0, …`).
+    pub fn replicas(&self) -> &[MusicReplica] {
+        &self.replicas
+    }
+
+    /// The first MUSIC replica at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn replica(&self, site: usize) -> &MusicReplica {
+        &self.replicas[site]
+    }
+
+    /// Back-end store node ids (site-interleaved).
+    pub fn store_nodes(&self) -> &[NodeId] {
+        &self.store_nodes
+    }
+
+    /// The shared per-operation stats sink.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// A client homed at `site`, failing over to other sites in distance
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn client_at_site(&self, site: usize) -> MusicClient {
+        assert!(site < self.replicas.len(), "no such site");
+        let home = self.replicas[site].node();
+        let mut ordered = self.replicas.clone();
+        ordered.sort_by_key(|r| self.net.propagation(home, r.node()));
+        MusicClient::new(self.sim.clone(), ordered)
+    }
+
+    /// Whether the data store is *defined* for `key` (§IV-A): fewer than a
+    /// quorum of the key's replicas hold a value different from the
+    /// plurality value. Returns the defining value if so.
+    ///
+    /// Instrumentation for invariant checks in tests; inspects replicas
+    /// directly without network traffic.
+    pub fn data_store_defined(&self, key: &str) -> Option<Option<Bytes>> {
+        let placement = self.data.placement();
+        let replicas = placement.replicas_of(key);
+        let quorum = placement.quorum();
+        let snaps: Vec<Option<Bytes>> = replicas
+            .iter()
+            .map(|&i| self.data.peek_replica(i, key).value)
+            .collect();
+        for candidate in &snaps {
+            let differing = snaps.iter().filter(|s| *s != candidate).count();
+            if differing < quorum {
+                return Some(candidate.clone());
+            }
+        }
+        None
+    }
+
+    /// The `synchFlag` value for `key` as held at each of its data
+    /// replicas (instrumentation).
+    pub fn synch_flags(&self, key: &str) -> Vec<Option<Bytes>> {
+        let skey = synch_key(key);
+        self.data
+            .placement()
+            .replicas_of(&skey)
+            .into_iter()
+            .map(|i| self.data.peek_replica(i, &skey).value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_is_one_replica_and_store_node_per_site() {
+        let sys = MusicSystemBuilder::new().build();
+        assert_eq!(sys.replicas().len(), 3);
+        assert_eq!(sys.store_nodes().len(), 3);
+        // replica(site) addresses the site's first replica.
+        for site in 0..3 {
+            assert_eq!(
+                sys.net().site_of(sys.replica(site).node()),
+                SiteId(site as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_layout_interleaves_replicas_by_site() {
+        let sys = MusicSystemBuilder::new()
+            .store_nodes_per_site(3)
+            .replicas_per_site(3)
+            .build();
+        assert_eq!(sys.replicas().len(), 9);
+        assert_eq!(sys.store_nodes().len(), 9);
+        for (i, r) in sys.replicas().iter().enumerate() {
+            assert_eq!(
+                sys.net().site_of(r.node()),
+                SiteId((i % 3) as u32),
+                "replica {i} must interleave"
+            );
+        }
+        // replica(site) still picks each site's first replica.
+        for site in 0..3 {
+            assert_eq!(
+                sys.replica(site).node(),
+                sys.replicas()[site].node()
+            );
+        }
+    }
+
+    #[test]
+    fn client_prefers_its_home_site() {
+        let sys = MusicSystemBuilder::new().replicas_per_site(2).build();
+        for site in 0..3 {
+            let client = sys.client_at_site(site);
+            assert_eq!(
+                sys.net().site_of(client.primary().node()),
+                SiteId(site as u32)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no such site")]
+    fn out_of_range_site_panics() {
+        let sys = MusicSystemBuilder::new().build();
+        let _ = sys.client_at_site(7);
+    }
+}

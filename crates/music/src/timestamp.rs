@@ -1,0 +1,199 @@
+//! Vector timestamps and the order-preserving `v2s` scalar mapping.
+//!
+//! MUSIC's data store orders writes by vector timestamps `(lockRef, time)`
+//! with the lock reference more significant (§III-B). Cassandra cells only
+//! hold scalar timestamps, so §VI maps vectors to scalars:
+//!
+//! ```text
+//! v2s(lockRef, time) = lockRef · T + (time − startTime)
+//! ```
+//!
+//! where `T` bounds the duration of any critical section and
+//! `time − startTime < T`. The lemma of §X-A2 (this mapping preserves
+//! vector order) is verified by the property tests in this module, and the
+//! overflow analysis of §X-A3 by [`V2s::max_lock_ref`].
+
+use music_lockstore::LockRef;
+use music_quorumstore::WriteStamp;
+use music_simnet::time::SimDuration;
+
+/// A MUSIC vector timestamp: `(lockRef, elapsed-in-critical-section)`.
+///
+/// Ordered lexicographically with the lock reference most significant.
+///
+/// # Examples
+///
+/// ```
+/// use music::timestamp::VectorTimestamp;
+/// use music_lockstore::LockRef;
+/// use music_simnet::time::SimDuration;
+///
+/// let earlier_cs = VectorTimestamp::new(LockRef::new(1), SimDuration::from_secs(100));
+/// let later_cs = VectorTimestamp::new(LockRef::new(2), SimDuration::ZERO);
+/// assert!(later_cs > earlier_cs, "lockRef dominates time");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VectorTimestamp {
+    /// The critical section's lock reference (most significant).
+    pub lock_ref: LockRef,
+    /// Time elapsed since the critical section began (`time − startTime`).
+    pub elapsed: SimDuration,
+}
+
+impl VectorTimestamp {
+    /// Creates a vector timestamp.
+    pub fn new(lock_ref: LockRef, elapsed: SimDuration) -> Self {
+        VectorTimestamp { lock_ref, elapsed }
+    }
+}
+
+impl std::fmt::Display for VectorTimestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.lock_ref, self.elapsed)
+    }
+}
+
+/// The vector→scalar mapping, parameterized by the maximum critical-section
+/// duration `T`.
+#[derive(Copy, Clone, Debug)]
+pub struct V2s {
+    t_micros: u64,
+}
+
+impl V2s {
+    /// Creates a mapping for critical sections bounded by `t_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_max` is zero.
+    pub fn new(t_max: SimDuration) -> Self {
+        assert!(t_max > SimDuration::ZERO, "T must be positive");
+        V2s {
+            t_micros: t_max.as_micros(),
+        }
+    }
+
+    /// The bound `T`.
+    pub fn t_max(&self) -> SimDuration {
+        SimDuration::from_micros(self.t_micros)
+    }
+
+    /// Maps a vector timestamp to the scalar stamp stored in the data
+    /// store: `lockRef · T + elapsed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `elapsed >= T` — callers must enforce the
+    /// critical-section duration bound *before* stamping (§VI's
+    /// `criticalPut` rejects such operations).
+    pub fn scalar(&self, ts: VectorTimestamp) -> WriteStamp {
+        debug_assert!(
+            ts.elapsed.as_micros() < self.t_micros,
+            "elapsed {} must be below T {}",
+            ts.elapsed,
+            self.t_max()
+        );
+        WriteStamp::new(
+            ts.lock_ref
+                .value()
+                .saturating_mul(self.t_micros)
+                .saturating_add(ts.elapsed.as_micros()),
+        )
+    }
+
+    /// Scalar stamp used by `forcedRelease` when setting the `synchFlag`:
+    /// `v2s(lockRef, 0) + δ`, strictly above the holder's own concurrent
+    /// flag reset (same `lockRef`, elapsed 0) yet below any stamp of the
+    /// next lock reference (δ ≪ T) — the race resolution of §IV-B.
+    pub fn forced_release_stamp(&self, lock_ref: LockRef, delta: SimDuration) -> WriteStamp {
+        debug_assert!(
+            delta > SimDuration::ZERO && delta.as_micros() < self.t_micros,
+            "δ must be in (0, T)"
+        );
+        WriteStamp::new(
+            lock_ref
+                .value()
+                .saturating_mul(self.t_micros)
+                .saturating_add(delta.as_micros()),
+        )
+    }
+
+    /// Largest lock reference representable without overflowing a signed
+    /// 64-bit Cassandra timestamp: `lockRef · T ≤ 2⁶³` (§X-A3).
+    pub fn max_lock_ref(&self) -> u64 {
+        (1u64 << 63) / self.t_micros
+    }
+
+    /// Inverse of [`V2s::scalar`] for instrumentation: which lock reference
+    /// stamped this scalar?
+    pub fn lock_ref_of(&self, stamp: WriteStamp) -> LockRef {
+        LockRef::new(stamp.value() / self.t_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v2s() -> V2s {
+        V2s::new(SimDuration::from_secs(600))
+    }
+
+    fn vt(lr: u64, us: u64) -> VectorTimestamp {
+        VectorTimestamp::new(LockRef::new(lr), SimDuration::from_micros(us))
+    }
+
+    #[test]
+    fn equal_vectors_map_equal() {
+        let m = v2s();
+        assert_eq!(m.scalar(vt(3, 100)), m.scalar(vt(3, 100)));
+    }
+
+    #[test]
+    fn same_lock_ref_ordered_by_time() {
+        let m = v2s();
+        assert!(m.scalar(vt(3, 100)) < m.scalar(vt(3, 101)));
+    }
+
+    #[test]
+    fn lock_ref_dominates_time() {
+        let m = v2s();
+        // Even a maximal elapsed in CS 3 loses to the first instant of CS 4.
+        let max_elapsed = 600_000_000 - 1;
+        assert!(m.scalar(vt(3, max_elapsed)) < m.scalar(vt(4, 0)));
+    }
+
+    #[test]
+    fn forced_release_stamp_sits_between_resets() {
+        let m = v2s();
+        let delta = SimDuration::from_micros(1);
+        let own_reset = m.scalar(vt(7, 0));
+        let forced = m.forced_release_stamp(LockRef::new(7), delta);
+        let next_reset = m.scalar(vt(8, 0));
+        assert!(forced > own_reset, "must override the same-lockRef reset");
+        assert!(forced < next_reset, "must lose to the next lockRef's reset");
+    }
+
+    #[test]
+    fn overflow_bound_matches_paper() {
+        // With time in milliseconds and T < 29 years the paper supports
+        // ~10 million lock references; our µs-granularity equivalent:
+        let m = V2s::new(SimDuration::from_secs(60 * 60 * 24 * 365)); // 1 year
+        assert!(m.max_lock_ref() > 290_000, "plenty of refs at T = 1 year");
+        let m = v2s(); // T = 600s
+        assert!(m.max_lock_ref() > 15_000_000_000);
+    }
+
+    #[test]
+    fn lock_ref_recoverable_from_stamp() {
+        let m = v2s();
+        let s = m.scalar(vt(42, 12345));
+        assert_eq!(m.lock_ref_of(s), LockRef::new(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_t_rejected() {
+        V2s::new(SimDuration::ZERO);
+    }
+}

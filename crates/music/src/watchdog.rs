@@ -1,0 +1,144 @@
+//! The failure detector: time-out based preemption of presumed-failed
+//! lockholders (§III-A "any MUSIC replica can preempt the lock from a
+//! lockholder that appears to have failed, using time-outs for failure
+//! detection").
+//!
+//! The detector is deliberately *imperfect*: it watches only the lock
+//! store's observable state (queue head and grant time). A holder that is
+//! alive but slow, partitioned, or stalled looks identical to a dead one
+//! and will be preempted — the false-failure-detection case whose safety
+//! the ECF semantics (and §IV-B) guarantee.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use music_lockstore::LockRef;
+use music_simnet::time::{SimDuration, SimTime};
+
+use crate::replica::MusicReplica;
+
+#[derive(Debug)]
+struct Observation {
+    head: LockRef,
+    first_seen: SimTime,
+}
+
+/// A watchdog task bound to one MUSIC replica.
+///
+/// Tracks each watched key's queue head. A head is preempted
+/// (`forcedRelease`) when it has not changed for `failure_timeout` —
+/// whether it was granted and the holder stopped progressing, was granted
+/// and expired, or was never granted at all (an *orphan* reference whose
+/// client died before acquiring, §IV-B).
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    replica: MusicReplica,
+    interval: SimDuration,
+    watched: Rc<RefCell<HashMap<String, Observation>>>,
+    running: Rc<std::cell::Cell<bool>>,
+    preemptions: Rc<std::cell::Cell<u64>>,
+}
+
+impl Watchdog {
+    /// Creates a watchdog that scans every `interval`.
+    pub fn new(replica: MusicReplica, interval: SimDuration) -> Self {
+        Watchdog {
+            replica,
+            interval,
+            watched: Rc::new(RefCell::new(HashMap::new())),
+            running: Rc::new(std::cell::Cell::new(false)),
+            preemptions: Rc::new(std::cell::Cell::new(0)),
+        }
+    }
+
+    /// Registers a key for failure monitoring.
+    pub fn watch(&self, key: &str) {
+        self.watched
+            .borrow_mut()
+            .entry(key.to_string())
+            .or_insert(Observation {
+                head: LockRef::NONE,
+                first_seen: SimTime::ZERO,
+            });
+    }
+
+    /// Stops the scan loop after its current iteration.
+    pub fn stop(&self) {
+        self.running.set(false);
+    }
+
+    /// Total forced releases issued by this watchdog.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions.get()
+    }
+
+    /// Spawns the periodic scan loop on the replica's simulation.
+    pub fn spawn(&self) {
+        if self.running.replace(true) {
+            return; // already running
+        }
+        let this = self.clone();
+        let sim = this.replica.data().net().sim().clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            while this.running.get() {
+                this.scan_once().await;
+                sim2.sleep(this.interval).await;
+            }
+        });
+    }
+
+    /// One scan over all watched keys (also callable directly for
+    /// deterministic tests). Uses a single range scan of the local
+    /// lock-store replica rather than one peek per key.
+    pub async fn scan_once(&self) {
+        let timeout = self.replica.config().failure_timeout;
+        let now = self.replica.data().net().sim().now();
+        let Ok(heads) = self.replica.locks().scan_heads(self.replica.node()).await else {
+            return; // store unavailable; try next round
+        };
+        let head_of: std::collections::HashMap<String, LockRef> =
+            heads.into_iter().map(|(k, r, _)| (k, r)).collect();
+        let keys: Vec<String> = self.watched.borrow().keys().cloned().collect();
+        for key in keys {
+            let Some(&head) = head_of.get(&key) else {
+                // Queue currently empty: reset the observation but keep
+                // watching — new references may arrive at any time.
+                if let Some(obs) = self.watched.borrow_mut().get_mut(&key) {
+                    obs.head = LockRef::NONE;
+                    obs.first_seen = now;
+                }
+                continue;
+            };
+            let stale_since = {
+                let mut watched = self.watched.borrow_mut();
+                let obs = watched.entry(key.clone()).or_insert(Observation {
+                    head: LockRef::NONE,
+                    first_seen: now,
+                });
+                if obs.head != head {
+                    obs.head = head;
+                    obs.first_seen = now;
+                }
+                obs.first_seen
+            };
+            if now - stale_since >= timeout {
+                if std::env::var("MUSIC_WATCHDOG_TRACE").is_ok() {
+                    eprintln!(
+                        "[watchdog] t={now} preempting {head} on {key} (stale since {stale_since})"
+                    );
+                }
+                // Presumed failed (or orphaned): preempt. The release is
+                // safe even if the holder is actually alive (ECF).
+                if self.replica.forced_release(&key, head).await.is_ok() {
+                    self.preemptions.set(self.preemptions.get() + 1);
+                    if let Some(obs) = self.watched.borrow_mut().get_mut(&key) {
+                        obs.head = LockRef::NONE;
+                        obs.first_seen = now;
+                    }
+                }
+            }
+        }
+    }
+}

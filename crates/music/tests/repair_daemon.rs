@@ -1,0 +1,89 @@
+//! The anti-entropy daemon: heals stale replicas left behind by long
+//! partitions, restoring the freshness of *local* reads (eventual `get`s
+//! and `lsPeek`) that quorum traffic never repairs.
+
+use bytes::Bytes;
+use music::{AcquireOutcome, MusicSystemBuilder, RepairDaemon};
+use music_simnet::prelude::*;
+
+fn b(s: &'static str) -> Bytes {
+    Bytes::from_static(s.as_bytes())
+}
+
+#[test]
+fn daemon_heals_stale_local_views_after_a_long_partition() {
+    let sys = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .net_config(NetConfig {
+            service_fixed: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            loss: 0.0,
+            jitter_frac: 0.0,
+        })
+        .seed(13)
+        .build();
+    let sim = sys.sim().clone();
+    let sys2 = sys.clone();
+
+    // Write while site 2 is cut off, for longer than the retransmission
+    // window (10 × 2 s): its replica stays stale.
+    sim.block_on({
+        let sys = sys2.clone();
+        async move {
+            let r = sys.replica(0).clone();
+            sys.net().partition_site(SiteId(2), true);
+            let lr = r.create_lock_ref("cfg").await.unwrap();
+            while r.acquire_lock("cfg", lr).await.unwrap() != AcquireOutcome::Acquired {}
+            r.critical_put("cfg", lr, b("fresh")).await.unwrap();
+            r.release_lock("cfg", lr).await.unwrap();
+            sys.sim().sleep(SimDuration::from_secs(30)).await;
+            sys.net().partition_site(SiteId(2), false);
+        }
+    });
+    sim.run();
+    // Site 2's local (eventual) view is stale.
+    let stale = sim.block_on({
+        let r = sys2.replica(2).clone();
+        async move { r.get("cfg").await.unwrap() }
+    });
+    assert_eq!(stale, None, "local read at the once-partitioned site is stale");
+
+    // One repair sweep heals both stores.
+    let daemon = RepairDaemon::new(sys2.replica(1).clone(), SimDuration::from_secs(60));
+    sim.block_on({
+        let daemon = daemon.clone();
+        async move { daemon.sweep_once().await }
+    });
+    sim.run();
+    assert!(daemon.repaired() >= 1, "repaired {} keys", daemon.repaired());
+
+    let healed = sim.block_on({
+        let r = sys2.replica(2).clone();
+        async move { r.get("cfg").await.unwrap() }
+    });
+    assert_eq!(healed, Some(b("fresh")), "local read healed without quorum traffic");
+}
+
+#[test]
+fn daemon_loop_runs_and_stops() {
+    let sys = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_l())
+        .seed(2)
+        .build();
+    let sim = sys.sim().clone();
+    // Seed one key so sweeps have something to enumerate.
+    sim.block_on({
+        let r = sys.replica(0).clone();
+        async move { r.put("k", b("v")).await.unwrap() }
+    });
+    let daemon = RepairDaemon::new(sys.replica(0).clone(), SimDuration::from_millis(500));
+    daemon.spawn();
+    daemon.spawn(); // idempotent
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+    assert!(daemon.sweeps() >= 4, "got {} sweeps", daemon.sweeps());
+    daemon.stop();
+    sim.run();
+    let t = sim.now();
+    sim.run();
+    assert_eq!(sim.now(), t, "no immortal periodic task after stop");
+}

@@ -1,0 +1,82 @@
+//! Property-based verification of the §X-A2 lemma (`v2s` preserves vector
+//! timestamp order) and the §X-A3 overflow analysis.
+
+use music::{V2s, VectorTimestamp};
+use music_lockstore::LockRef;
+use music_simnet::time::SimDuration;
+use proptest::prelude::*;
+
+const T_MICROS: u64 = 600_000_000; // T = 600 s
+
+fn v2s() -> V2s {
+    V2s::new(SimDuration::from_micros(T_MICROS))
+}
+
+prop_compose! {
+    /// A vector timestamp valid under T: elapsed < T, lockRef within the
+    /// overflow bound.
+    fn arb_ts()(lr in 1u64..10_000_000, t in 0u64..T_MICROS) -> VectorTimestamp {
+        VectorTimestamp::new(LockRef::new(lr), SimDuration::from_micros(t))
+    }
+}
+
+proptest! {
+    /// The lemma: t1 < t2 ⟺ v2s(t1) < v2s(t2), and equality maps to
+    /// equality.
+    #[test]
+    fn v2s_preserves_order(a in arb_ts(), b in arb_ts()) {
+        let m = v2s();
+        let (sa, sb) = (m.scalar(a), m.scalar(b));
+        prop_assert_eq!(a.cmp(&b), sa.cmp(&sb));
+    }
+
+    /// Same lock reference: ordered by elapsed time (the in-critical-
+    /// section case).
+    #[test]
+    fn same_lock_ref_ordered_by_time(lr in 1u64..1_000_000, t1 in 0u64..T_MICROS, t2 in 0u64..T_MICROS) {
+        let m = v2s();
+        let a = VectorTimestamp::new(LockRef::new(lr), SimDuration::from_micros(t1));
+        let b = VectorTimestamp::new(LockRef::new(lr), SimDuration::from_micros(t2));
+        prop_assert_eq!(t1.cmp(&t2), m.scalar(a).cmp(&m.scalar(b)));
+    }
+
+    /// Earlier critical sections always lose, no matter the elapsed times
+    /// (lockRef dominates).
+    #[test]
+    fn lock_ref_dominates(lr in 1u64..1_000_000, t1 in 0u64..T_MICROS, t2 in 0u64..T_MICROS) {
+        let m = v2s();
+        let early = VectorTimestamp::new(LockRef::new(lr), SimDuration::from_micros(t1));
+        let late = VectorTimestamp::new(LockRef::new(lr + 1), SimDuration::from_micros(t2));
+        prop_assert!(m.scalar(early) < m.scalar(late));
+    }
+
+    /// §X-A3: within the supported lockRef range, scalars stay below 2^63
+    /// (Cassandra timestamps are signed 64-bit).
+    #[test]
+    fn no_overflow_within_bound(t in 0u64..T_MICROS) {
+        let m = v2s();
+        let max_ref = m.max_lock_ref();
+        let ts = VectorTimestamp::new(LockRef::new(max_ref - 1), SimDuration::from_micros(t));
+        prop_assert!(m.scalar(ts).value() < (1u64 << 63) + T_MICROS);
+    }
+
+    /// The forcedRelease stamp sits strictly between the same reference's
+    /// reset and the next reference's reset, for any δ in (0, T).
+    #[test]
+    fn forced_release_stamp_is_between(lr in 1u64..1_000_000, delta_us in 1u64..T_MICROS) {
+        let m = v2s();
+        let delta = SimDuration::from_micros(delta_us);
+        let own_reset = m.scalar(VectorTimestamp::new(LockRef::new(lr), SimDuration::ZERO));
+        let next_reset = m.scalar(VectorTimestamp::new(LockRef::new(lr + 1), SimDuration::ZERO));
+        let forced = m.forced_release_stamp(LockRef::new(lr), delta);
+        prop_assert!(forced > own_reset);
+        prop_assert!(forced < next_reset);
+    }
+
+    /// Round trip: the lock reference is recoverable from the scalar.
+    #[test]
+    fn lock_ref_recoverable(ts in arb_ts()) {
+        let m = v2s();
+        prop_assert_eq!(m.lock_ref_of(m.scalar(ts)), ts.lock_ref);
+    }
+}

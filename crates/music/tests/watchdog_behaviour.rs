@@ -1,0 +1,142 @@
+//! Failure-detector behaviour: when the watchdog must preempt, when it
+//! must hold its fire, and how progress resets its timer.
+
+use bytes::Bytes;
+use music::{AcquireOutcome, MusicConfig, MusicSystemBuilder, Watchdog};
+use music_simnet::prelude::*;
+
+fn quiet() -> NetConfig {
+    NetConfig {
+        service_fixed: SimDuration::ZERO,
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        loss: 0.0,
+        jitter_frac: 0.0,
+    }
+}
+
+fn system(failure_timeout: SimDuration) -> music::MusicSystem {
+    MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .net_config(quiet())
+        .music_config(MusicConfig {
+            failure_timeout,
+            ..MusicConfig::default()
+        })
+        .seed(77)
+        .build()
+}
+
+#[test]
+fn healthy_turnover_is_never_preempted() {
+    let sys = system(SimDuration::from_secs(3));
+    let sim = sys.sim().clone();
+    let dog = Watchdog::new(sys.replica(1).clone(), SimDuration::from_millis(250));
+    dog.watch("busy");
+    dog.spawn();
+
+    // A steady stream of short critical sections: the head keeps changing,
+    // so the watchdog's staleness timer keeps resetting.
+    let replica = sys.replica(0).clone();
+    let sim2 = sim.clone();
+    let h = sim.spawn(async move {
+        for i in 0..8 {
+            let lr = replica.create_lock_ref("busy").await.unwrap();
+            while replica.acquire_lock("busy", lr).await.unwrap() != AcquireOutcome::Acquired {}
+            replica
+                .critical_put("busy", lr, Bytes::from(format!("{i}").into_bytes()))
+                .await
+                .unwrap();
+            // Hold briefly — well below the failure timeout.
+            sim2.sleep(SimDuration::from_millis(800)).await;
+            replica.release_lock("busy", lr).await.unwrap();
+        }
+    });
+    sim.run_until_complete(h);
+    dog.stop();
+    assert_eq!(dog.preemptions(), 0, "healthy holders must not be preempted");
+}
+
+#[test]
+fn slow_holder_is_preempted_exactly_once() {
+    let sys = system(SimDuration::from_secs(2));
+    let sim = sys.sim().clone();
+    let dog = Watchdog::new(sys.replica(1).clone(), SimDuration::from_millis(250));
+    dog.watch("slow");
+    dog.spawn();
+
+    let replica = sys.replica(0).clone();
+    let sys2 = sys.clone();
+    let h = sim.spawn(async move {
+        let lr = replica.create_lock_ref("slow").await.unwrap();
+        while replica.acquire_lock("slow", lr).await.unwrap() != AcquireOutcome::Acquired {}
+        replica.critical_put("slow", lr, Bytes::from_static(b"v")).await.unwrap();
+        // "Crash": stop driving this client entirely.
+        sys2.sim().sleep(SimDuration::from_secs(10)).await;
+    });
+    sim.run_until_complete(h);
+    dog.stop();
+    assert_eq!(dog.preemptions(), 1, "one dead holder, one preemption");
+}
+
+#[test]
+fn watchdog_is_idempotent_across_replicas() {
+    // Two watchdogs on different replicas race to preempt the same dead
+    // holder; the lock queue must stay sane and the next client proceeds.
+    let sys = system(SimDuration::from_secs(2));
+    let sim = sys.sim().clone();
+    let dog1 = Watchdog::new(sys.replica(1).clone(), SimDuration::from_millis(300));
+    let dog2 = Watchdog::new(sys.replica(2).clone(), SimDuration::from_millis(300));
+    for d in [&dog1, &dog2] {
+        d.watch("contested");
+        d.spawn();
+    }
+
+    let a = sys.replica(0).clone();
+    let sys2 = sys.clone();
+    let h = sim.spawn(async move {
+        let lr = a.create_lock_ref("contested").await.unwrap();
+        while a.acquire_lock("contested", lr).await.unwrap() != AcquireOutcome::Acquired {}
+        a.critical_put("contested", lr, Bytes::from_static(b"last")).await.unwrap();
+        // Holder dies.
+        sys2.sim().sleep(SimDuration::from_secs(6)).await;
+
+        // Next client gets the lock and the latest state.
+        let b = sys2.replica(1).clone();
+        let lr2 = b.create_lock_ref("contested").await.unwrap();
+        let deadline = sys2.sim().now() + SimDuration::from_secs(30);
+        loop {
+            match b.acquire_lock("contested", lr2).await.unwrap() {
+                AcquireOutcome::Acquired => break,
+                _ => {
+                    assert!(sys2.sim().now() < deadline);
+                    sys2.sim().sleep(SimDuration::from_millis(100)).await;
+                }
+            }
+        }
+        assert_eq!(
+            b.critical_get("contested", lr2).await.unwrap(),
+            Some(Bytes::from_static(b"last"))
+        );
+        b.release_lock("contested", lr2).await.unwrap();
+    });
+    sim.run_until_complete(h);
+    dog1.stop();
+    dog2.stop();
+    assert!(dog1.preemptions() + dog2.preemptions() >= 1);
+}
+
+#[test]
+fn stop_halts_the_scan_loop() {
+    let sys = system(SimDuration::from_secs(1));
+    let sim = sys.sim().clone();
+    let dog = Watchdog::new(sys.replica(0).clone(), SimDuration::from_millis(100));
+    dog.watch("k");
+    dog.spawn();
+    sim.run_until(SimTime::ZERO + SimDuration::from_millis(500));
+    dog.stop();
+    // After stop, the simulation quiesces (no immortal periodic task).
+    sim.run();
+    let t = sim.now();
+    sim.run();
+    assert_eq!(sim.now(), t, "no further watchdog activity after stop");
+}

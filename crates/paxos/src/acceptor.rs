@@ -1,0 +1,209 @@
+//! The acceptor role: durable per-key Paxos state at a replica.
+
+use crate::ballot::Ballot;
+
+/// Reply to a prepare (phase-1a) message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PrepareReply<V> {
+    /// Whether the acceptor promised this ballot.
+    pub promised: bool,
+    /// The acceptor's current promise (its own if `promised`, else the
+    /// higher ballot that caused the rejection).
+    pub current_promise: Ballot,
+    /// Most recent accepted-but-uncommitted proposal, if any. A proposer
+    /// must complete the highest such proposal it sees before proposing its
+    /// own value.
+    pub in_progress: Option<(Ballot, V)>,
+}
+
+/// Reply to an accept (phase-2a) message.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AcceptReply {
+    /// Whether the proposal was accepted.
+    pub accepted: bool,
+    /// The acceptor's current promise (for proposer back-off).
+    pub current_promise: Ballot,
+}
+
+/// Reply to a commit (learn) message.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CommitReply {
+    /// Whether this commit applied (false if already superseded).
+    pub applied: bool,
+}
+
+/// Per-key acceptor state, Cassandra-LWT style: the decided value is not
+/// retained in the Paxos state — committing *releases* the value to the
+/// caller (who writes it into the data row) and clears the in-progress slot,
+/// readying the instance for the next LWT on the same key.
+///
+/// # Examples
+///
+/// ```
+/// use music_paxos::{Acceptor, Ballot};
+///
+/// let mut acc: Acceptor<u32> = Acceptor::new();
+/// let b = Ballot::new(1, 0);
+/// assert!(acc.prepare(b).promised);
+/// assert!(acc.accept(b, 7).accepted);
+/// assert_eq!(acc.commit(b), Some(7));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Acceptor<V> {
+    promised: Ballot,
+    accepted: Option<(Ballot, V)>,
+    /// Highest ballot whose value was committed (applied to the data row).
+    committed: Ballot,
+}
+
+impl<V: Clone> Acceptor<V> {
+    /// A fresh acceptor that has promised nothing.
+    pub fn new() -> Self {
+        Acceptor {
+            promised: Ballot::ZERO,
+            accepted: None,
+            committed: Ballot::ZERO,
+        }
+    }
+
+    /// Highest ballot promised so far.
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+
+    /// Handles phase 1a: promise `ballot` if it is strictly greater than any
+    /// previous promise.
+    pub fn prepare(&mut self, ballot: Ballot) -> PrepareReply<V> {
+        if ballot > self.promised {
+            self.promised = ballot;
+            PrepareReply {
+                promised: true,
+                current_promise: self.promised,
+                in_progress: self.accepted.clone(),
+            }
+        } else {
+            PrepareReply {
+                promised: false,
+                current_promise: self.promised,
+                in_progress: None,
+            }
+        }
+    }
+
+    /// Handles phase 2a: accept `(ballot, value)` unless a higher ballot has
+    /// been promised since.
+    pub fn accept(&mut self, ballot: Ballot, value: V) -> AcceptReply {
+        if ballot >= self.promised {
+            self.promised = ballot;
+            self.accepted = Some((ballot, value));
+            AcceptReply {
+                accepted: true,
+                current_promise: self.promised,
+            }
+        } else {
+            AcceptReply {
+                accepted: false,
+                current_promise: self.promised,
+            }
+        }
+    }
+
+    /// Handles commit: if the in-progress proposal carries exactly `ballot`,
+    /// clears it and returns its value for the caller to apply to the data
+    /// row. Returns `None` if there is nothing matching to commit (stale or
+    /// duplicate commit).
+    pub fn commit(&mut self, ballot: Ballot) -> Option<V> {
+        match &self.accepted {
+            Some((b, _)) if *b == ballot => {
+                let (_, v) = self.accepted.take().expect("just matched");
+                self.committed = self.committed.max(ballot);
+                Some(v)
+            }
+            _ => {
+                // A commit for an older ballot than something already
+                // accepted, or a duplicate: record progress only.
+                if ballot > self.committed {
+                    self.committed = ballot;
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promise_rejects_lower_and_equal_ballots() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        assert!(a.prepare(Ballot::new(2, 0)).promised);
+        let r = a.prepare(Ballot::new(1, 9));
+        assert!(!r.promised);
+        assert_eq!(r.current_promise, Ballot::new(2, 0));
+        // Re-preparing the same ballot is also rejected (strictly greater).
+        assert!(!a.prepare(Ballot::new(2, 0)).promised);
+    }
+
+    #[test]
+    fn promise_reports_in_progress_proposal() {
+        let mut a: Acceptor<&str> = Acceptor::new();
+        let b1 = Ballot::new(1, 0);
+        a.prepare(b1);
+        a.accept(b1, "x");
+        let r = a.prepare(Ballot::new(2, 1));
+        assert!(r.promised);
+        assert_eq!(r.in_progress, Some((b1, "x")));
+    }
+
+    #[test]
+    fn accept_rejected_after_higher_promise() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        let low = Ballot::new(1, 0);
+        a.prepare(low);
+        a.prepare(Ballot::new(5, 1));
+        let r = a.accept(low, 42);
+        assert!(!r.accepted);
+        assert_eq!(r.current_promise, Ballot::new(5, 1));
+    }
+
+    #[test]
+    fn accept_allows_equal_ballot() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        let b = Ballot::new(1, 0);
+        a.prepare(b);
+        assert!(a.accept(b, 1).accepted);
+        // Idempotent re-accept of the same ballot.
+        assert!(a.accept(b, 1).accepted);
+    }
+
+    #[test]
+    fn commit_clears_in_progress_and_returns_value() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        let b = Ballot::new(1, 0);
+        a.prepare(b);
+        a.accept(b, 9);
+        assert_eq!(a.commit(b), Some(9));
+        // Second commit is a no-op.
+        assert_eq!(a.commit(b), None);
+        // Instance is reusable for the next LWT on the key.
+        let b2 = Ballot::new(2, 1);
+        assert!(a.prepare(b2).promised);
+        assert!(a.prepare(b2).in_progress.is_none());
+    }
+
+    #[test]
+    fn stale_commit_does_not_clobber_newer_proposal() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        let b1 = Ballot::new(1, 0);
+        let b2 = Ballot::new(2, 1);
+        a.prepare(b1);
+        a.accept(b1, 1);
+        a.prepare(b2);
+        a.accept(b2, 2);
+        // Commit for the old ballot must not release the new proposal.
+        assert_eq!(a.commit(b1), None);
+        assert_eq!(a.commit(b2), Some(2));
+    }
+}

@@ -1,0 +1,83 @@
+//! Ballot numbers: totally ordered `(round, proposer)` pairs.
+
+use std::fmt;
+
+/// A Paxos ballot number.
+///
+/// Ballots order lexicographically by `(round, proposer)`; the proposer id
+/// breaks ties so two proposers never share a ballot.
+///
+/// # Examples
+///
+/// ```
+/// use music_paxos::Ballot;
+///
+/// let a = Ballot::new(3, 1);
+/// let b = Ballot::new(3, 2);
+/// assert!(b > a);
+/// assert!(b.next_for(1) > b);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Ballot {
+    /// Monotonically increasing round counter.
+    pub round: u64,
+    /// Id of the proposing node, used as a tie-breaker.
+    pub proposer: u32,
+}
+
+impl Ballot {
+    /// The ballot smaller than every real ballot (round 0 is reserved).
+    pub const ZERO: Ballot = Ballot { round: 0, proposer: 0 };
+
+    /// Creates a ballot.
+    pub const fn new(round: u64, proposer: u32) -> Self {
+        Ballot { round, proposer }
+    }
+
+    /// The smallest ballot owned by `proposer` that is strictly greater
+    /// than `self`.
+    pub fn next_for(self, proposer: u32) -> Ballot {
+        if proposer > self.proposer {
+            Ballot::new(self.round, proposer)
+        } else {
+            Ballot::new(self.round + 1, proposer)
+        }
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.round, self.proposer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Ballot::new(2, 0) > Ballot::new(1, 9));
+        assert!(Ballot::new(1, 2) > Ballot::new(1, 1));
+        assert_eq!(Ballot::new(1, 1), Ballot::new(1, 1));
+    }
+
+    #[test]
+    fn next_for_is_strictly_greater_and_minimal() {
+        let b = Ballot::new(5, 3);
+        let hi = b.next_for(7);
+        assert!(hi > b);
+        assert_eq!(hi, Ballot::new(5, 7));
+        let lo = b.next_for(2);
+        assert!(lo > b);
+        assert_eq!(lo, Ballot::new(6, 2));
+        let same = b.next_for(3);
+        assert_eq!(same, Ballot::new(6, 3));
+    }
+
+    #[test]
+    fn zero_is_minimal() {
+        assert!(Ballot::ZERO < Ballot::new(0, 1));
+        assert!(Ballot::ZERO < Ballot::new(1, 0));
+    }
+}

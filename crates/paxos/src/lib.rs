@@ -1,0 +1,32 @@
+//! # music-paxos
+//!
+//! Pure (no-I/O) single-decree Paxos state machines, structured the way
+//! Cassandra's light-weight transactions (LWTs) drive Paxos per partition:
+//! **prepare/promise → read → propose/accept → commit**, four round trips
+//! (§X-A1 of the MUSIC paper).
+//!
+//! This crate contains only protocol logic — [`Acceptor`] reacts to
+//! messages, [`choose_value`] implements the proposer's value-selection
+//! rule — so safety can be tested exhaustively with property tests,
+//! independent of any network or runtime. The async driver that sequences
+//! the four phases over the simulated WAN lives in `music-quorumstore`.
+//!
+//! ## Protocol recap
+//!
+//! A *ballot* is a totally ordered `(round, proposer)` pair. An acceptor
+//! promises never to accept ballots lower than its `promised` ballot, and
+//! reports its most recent accepted-but-uncommitted proposal in the
+//! promise. A proposer that sees such an in-progress proposal must complete
+//! it before applying its own update — that rule is [`choose_value`], and it
+//! is what makes interrupted compare-and-set operations linearizable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acceptor;
+pub mod ballot;
+pub mod proposer;
+
+pub use acceptor::{AcceptReply, Acceptor, CommitReply, PrepareReply};
+pub use ballot::Ballot;
+pub use proposer::{choose_value, BallotGenerator, Chosen};

@@ -1,0 +1,185 @@
+//! Proposer-side decision logic: ballot generation and the value-selection
+//! rule.
+//!
+//! The async sequencing of the four LWT phases lives in
+//! `music-quorumstore`; everything here is a pure function of the replies,
+//! so the safety-critical rule ("complete the highest in-progress proposal
+//! you saw before proposing your own value") is testable exhaustively.
+
+use crate::acceptor::PrepareReply;
+use crate::ballot::Ballot;
+
+/// What a proposer must propose after a successful prepare round.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Chosen<V> {
+    /// No in-progress proposal was reported: the proposer is free to propose
+    /// its own value.
+    Free,
+    /// An earlier proposal `(ballot, value)` was accepted somewhere but
+    /// never committed; it must be completed (re-proposed under the new
+    /// ballot and committed) before the proposer's own update may run.
+    MustComplete(Ballot, V),
+}
+
+/// Applies the Paxos value-selection rule to a quorum of promises: pick the
+/// in-progress proposal with the highest ballot, if any.
+///
+/// # Panics
+///
+/// Panics if any reply in `promises` was not actually a promise — callers
+/// must filter rejections first.
+pub fn choose_value<V: Clone>(promises: &[PrepareReply<V>]) -> Chosen<V> {
+    let mut best: Option<(Ballot, V)> = None;
+    for p in promises {
+        assert!(p.promised, "choose_value fed a rejection");
+        if let Some((b, v)) = &p.in_progress {
+            if best.as_ref().map_or(true, |(bb, _)| b > bb) {
+                best = Some((*b, v.clone()));
+            }
+        }
+    }
+    match best {
+        Some((b, v)) => Chosen::MustComplete(b, v),
+        None => Chosen::Free,
+    }
+}
+
+/// Per-proposer ballot source that always produces ballots above everything
+/// it has observed (its own past ballots and any rejections received).
+///
+/// # Examples
+///
+/// ```
+/// use music_paxos::{Ballot, BallotGenerator};
+///
+/// let mut gen = BallotGenerator::new(3);
+/// let b1 = gen.next();
+/// gen.observe(Ballot::new(10, 7)); // rejected by a higher promise
+/// let b2 = gen.next();
+/// assert!(b2 > Ballot::new(10, 7));
+/// assert!(b2 > b1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BallotGenerator {
+    proposer: u32,
+    highest_seen: Ballot,
+}
+
+impl BallotGenerator {
+    /// Creates a generator for `proposer`.
+    pub fn new(proposer: u32) -> Self {
+        BallotGenerator {
+            proposer,
+            highest_seen: Ballot::ZERO,
+        }
+    }
+
+    /// Records a ballot observed in a reply (promise or rejection).
+    pub fn observe(&mut self, ballot: Ballot) {
+        self.highest_seen = self.highest_seen.max(ballot);
+    }
+
+    /// Produces the next ballot for this proposer, strictly above everything
+    /// observed.
+    pub fn next(&mut self) -> Ballot {
+        let b = self.highest_seen.next_for(self.proposer);
+        self.highest_seen = b;
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptor::Acceptor;
+
+    fn promise<V>(in_progress: Option<(Ballot, V)>) -> PrepareReply<V> {
+        PrepareReply {
+            promised: true,
+            current_promise: Ballot::new(9, 9),
+            in_progress,
+        }
+    }
+
+    #[test]
+    fn free_when_no_in_progress() {
+        let promises: Vec<PrepareReply<u32>> = vec![promise(None), promise(None)];
+        assert_eq!(choose_value(&promises), Chosen::Free);
+    }
+
+    #[test]
+    fn highest_in_progress_wins() {
+        let promises = vec![
+            promise(Some((Ballot::new(1, 0), "old"))),
+            promise(None),
+            promise(Some((Ballot::new(3, 2), "new"))),
+        ];
+        assert_eq!(
+            choose_value(&promises),
+            Chosen::MustComplete(Ballot::new(3, 2), "new")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rejection")]
+    fn rejections_must_be_filtered() {
+        let bad: PrepareReply<u32> = PrepareReply {
+            promised: false,
+            current_promise: Ballot::new(1, 1),
+            in_progress: None,
+        };
+        let _ = choose_value(&[bad]);
+    }
+
+    #[test]
+    fn generator_monotone_and_above_observed() {
+        let mut g = BallotGenerator::new(2);
+        let mut prev = Ballot::ZERO;
+        for i in 0..100u64 {
+            if i % 7 == 0 {
+                g.observe(Ballot::new(i * 3, 5));
+            }
+            let b = g.next();
+            assert!(b > prev);
+            assert_eq!(b.proposer, 2);
+            prev = b;
+        }
+    }
+
+    /// Full protocol exercise: two proposers race on three acceptors; the
+    /// second proposer must complete the first proposer's in-progress value.
+    #[test]
+    fn interrupted_proposal_is_completed_by_next_proposer() {
+        let mut accs: Vec<Acceptor<&str>> = vec![Acceptor::new(), Acceptor::new(), Acceptor::new()];
+
+        // Proposer 0 prepares on all three, but its accept only reaches
+        // acceptor 0 before it crashes.
+        let mut g0 = BallotGenerator::new(0);
+        let b0 = g0.next();
+        for a in accs.iter_mut() {
+            assert!(a.prepare(b0).promised);
+        }
+        assert!(accs[0].accept(b0, "from-p0").accepted);
+
+        // Proposer 1 now runs a full round with a quorum {0, 1}.
+        let mut g1 = BallotGenerator::new(1);
+        g1.observe(b0);
+        let b1 = g1.next();
+        let promises: Vec<_> = accs[..2].iter_mut().map(|a| a.prepare(b1)).collect();
+        assert!(promises.iter().all(|p| p.promised));
+        match choose_value(&promises) {
+            Chosen::MustComplete(b, v) => {
+                assert_eq!(b, b0);
+                assert_eq!(v, "from-p0");
+                // Complete it under the new ballot.
+                for a in accs.iter_mut() {
+                    assert!(a.accept(b1, v).accepted);
+                }
+                for a in accs.iter_mut() {
+                    assert_eq!(a.commit(b1), Some("from-p0"));
+                }
+            }
+            Chosen::Free => panic!("must have seen p0's in-progress proposal"),
+        }
+    }
+}

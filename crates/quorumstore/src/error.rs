@@ -1,0 +1,38 @@
+//! Store error types.
+
+use std::fmt;
+
+/// Errors surfaced by coordinator operations.
+///
+/// Failed operations mirror the paper's failure semantics (§III-A): the
+/// store nacks when it cannot reach a quorum of replicas, and the *client*
+/// is responsible for retrying (possibly at a different MUSIC replica).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StoreError {
+    /// A quorum of replicas did not answer within the operation timeout.
+    Unavailable,
+    /// An LWT lost the ballot race too many times in a row.
+    Contention,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Unavailable => write!(f, "quorum of replicas unavailable"),
+            StoreError::Contention => write!(f, "light-weight transaction lost ballot contention"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        assert_eq!(StoreError::Unavailable.to_string(), "quorum of replicas unavailable");
+        assert!(StoreError::Contention.to_string().contains("contention"));
+    }
+}

@@ -1,0 +1,292 @@
+//! The [`Partition`] abstraction: per-key replica state with last-write-wins
+//! cells, plus [`DataRow`] — the plain key-value partition used by the MUSIC
+//! data store.
+//!
+//! A partition is the unit of replication and of LWT serialization (exactly
+//! as in Cassandra, where Paxos runs per partition). All mutations are
+//! **absolute** cell writes carrying a [`WriteStamp`]; a replica applies a
+//! cell write only if its stamp exceeds the cell's current stamp. Absolute
+//! mutations are what make missed commits harmless — a straggler replica is
+//! repaired by any later propagation, with no re-execution logic.
+
+use bytes::Bytes;
+
+use crate::stamp::WriteStamp;
+
+/// Replica-side state of one key's partition.
+///
+/// Implementations must keep `apply` commutative-by-stamp: applying the same
+/// set of mutations in any order must converge to the same state. The
+/// provided [`DataRow`] and the lock store's partition both achieve this
+/// with per-cell last-write-wins.
+pub trait Partition: Default + Clone + std::fmt::Debug + 'static {
+    /// An absolute (read-free) state change, replicated through quorum
+    /// writes or LWT commits.
+    type Mutation: Clone + std::fmt::Debug + 'static;
+    /// The value returned by reads; must carry enough stamps for
+    /// [`Partition::reconcile`] to pick the newest, and be comparable so
+    /// the read path can detect divergent replicas (digest mismatch).
+    type Snapshot: Clone + PartialEq + std::fmt::Debug + 'static;
+
+    /// Reads the partition's current state.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Applies a mutation, honouring last-write-wins per cell.
+    fn apply(&mut self, mutation: &Self::Mutation, stamp: WriteStamp);
+
+    /// Combines two snapshots read from different replicas into the newest
+    /// view (Cassandra's read-path reconciliation).
+    fn reconcile(a: Self::Snapshot, b: Self::Snapshot) -> Self::Snapshot;
+
+    /// Approximate wire size of a snapshot, for the bandwidth model.
+    fn snapshot_bytes(s: &Self::Snapshot) -> usize;
+
+    /// Approximate wire size of a mutation, for the bandwidth model.
+    fn mutation_bytes(m: &Self::Mutation) -> usize;
+
+    /// Whether this partition holds live data (used by key scans; a
+    /// tombstoned or never-written partition returns `false`).
+    fn exists(&self) -> bool {
+        true
+    }
+
+    /// Stamped mutations that bring any replica up to (at least) the state
+    /// of `newest` — the write-back side of read repair. Last-write-wins
+    /// application makes them no-ops wherever a replica is already
+    /// current. Return an empty vector to opt a partition type out of
+    /// read repair.
+    fn repair(newest: &Self::Snapshot) -> Vec<(Self::Mutation, WriteStamp)> {
+        let _ = newest;
+        Vec::new()
+    }
+}
+
+/// Fixed per-message envelope size used by the cost model.
+pub const HEADER_BYTES: usize = 48;
+
+/// Total order on cell contents used to break *equal-stamp* ties, as
+/// Cassandra does: tombstones beat live values, live values compare
+/// lexicographically. Makes `apply` commutative even under stamp
+/// collisions.
+fn tie_break_wins(candidate: &Option<Bytes>, incumbent: &Option<Bytes>) -> bool {
+    match (candidate, incumbent) {
+        (None, Some(_)) => true,
+        (Some(_), None) | (None, None) => false,
+        (Some(a), Some(b)) => a > b,
+    }
+}
+
+/// A single key-value cell with last-write-wins semantics — the partition
+/// type of the MUSIC **data store**.
+///
+/// `value = None` is a tombstone (the row was deleted or never written).
+///
+/// # Examples
+///
+/// ```
+/// use music_quorumstore::{DataRow, Partition, Put, WriteStamp};
+/// use bytes::Bytes;
+///
+/// let mut row = DataRow::default();
+/// row.apply(&Put::value(Bytes::from_static(b"v1")), WriteStamp::new(5));
+/// // An older write loses:
+/// row.apply(&Put::value(Bytes::from_static(b"v0")), WriteStamp::new(3));
+/// assert_eq!(row.snapshot().value.unwrap(), Bytes::from_static(b"v1"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DataRow {
+    value: Option<Bytes>,
+    stamp: WriteStamp,
+}
+
+/// Mutation for [`DataRow`]: overwrite the cell (or delete it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Put {
+    /// New value, `None` to delete.
+    pub value: Option<Bytes>,
+}
+
+impl Put {
+    /// A put of `value`.
+    pub fn value(value: Bytes) -> Self {
+        Put { value: Some(value) }
+    }
+
+    /// A delete.
+    pub fn delete() -> Self {
+        Put { value: None }
+    }
+}
+
+/// Snapshot of a [`DataRow`]: the value (if any) and its stamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowSnapshot {
+    /// Current value; `None` if deleted/absent.
+    pub value: Option<Bytes>,
+    /// Stamp of the last applied write.
+    pub stamp: WriteStamp,
+}
+
+impl Partition for DataRow {
+    type Mutation = Put;
+    type Snapshot = RowSnapshot;
+
+    fn snapshot(&self) -> RowSnapshot {
+        RowSnapshot {
+            value: self.value.clone(),
+            stamp: self.stamp,
+        }
+    }
+
+    fn apply(&mut self, mutation: &Put, stamp: WriteStamp) {
+        if stamp > self.stamp
+            || (stamp == self.stamp && tie_break_wins(&mutation.value, &self.value))
+        {
+            self.value = mutation.value.clone();
+            self.stamp = stamp;
+        }
+    }
+
+    fn reconcile(a: RowSnapshot, b: RowSnapshot) -> RowSnapshot {
+        if b.stamp > a.stamp || (b.stamp == a.stamp && tie_break_wins(&b.value, &a.value)) {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn snapshot_bytes(s: &RowSnapshot) -> usize {
+        HEADER_BYTES + s.value.as_ref().map_or(0, |v| v.len())
+    }
+
+    fn mutation_bytes(m: &Put) -> usize {
+        HEADER_BYTES + m.value.as_ref().map_or(0, |v| v.len())
+    }
+
+    fn exists(&self) -> bool {
+        self.value.is_some()
+    }
+
+    fn repair(newest: &RowSnapshot) -> Vec<(Put, WriteStamp)> {
+        if newest.stamp == WriteStamp::ZERO {
+            Vec::new() // nothing ever written
+        } else {
+            vec![(
+                Put {
+                    value: newest.value.clone(),
+                },
+                newest.stamp,
+            )]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    #[test]
+    fn apply_is_last_write_wins() {
+        let mut row = DataRow::default();
+        row.apply(&Put::value(b("a")), WriteStamp::new(1));
+        row.apply(&Put::value(b("b")), WriteStamp::new(3));
+        row.apply(&Put::value(b("c")), WriteStamp::new(2));
+        let s = row.snapshot();
+        assert_eq!(s.value, Some(b("b")));
+        assert_eq!(s.stamp, WriteStamp::new(3));
+    }
+
+    #[test]
+    fn equal_stamps_break_ties_by_value() {
+        // Cassandra semantics: on equal timestamps the lexicographically
+        // greater value wins (and a tombstone beats any live value), so
+        // the outcome is order-independent.
+        let mut row = DataRow::default();
+        row.apply(&Put::value(b("a")), WriteStamp::new(1));
+        row.apply(&Put::value(b("z")), WriteStamp::new(1));
+        assert_eq!(row.snapshot().value, Some(b("z")));
+        let mut row2 = DataRow::default();
+        row2.apply(&Put::value(b("z")), WriteStamp::new(1));
+        row2.apply(&Put::value(b("a")), WriteStamp::new(1));
+        assert_eq!(row2.snapshot().value, Some(b("z")));
+        row.apply(&Put::delete(), WriteStamp::new(1));
+        assert_eq!(row.snapshot().value, None, "tombstone wins ties");
+    }
+
+    #[test]
+    fn delete_is_a_stamped_tombstone() {
+        let mut row = DataRow::default();
+        row.apply(&Put::value(b("a")), WriteStamp::new(1));
+        row.apply(&Put::delete(), WriteStamp::new(2));
+        assert_eq!(row.snapshot().value, None);
+        // A stale write after the tombstone does not resurrect the value.
+        row.apply(&Put::value(b("ghost")), WriteStamp::new(1));
+        assert_eq!(row.snapshot().value, None);
+    }
+
+    #[test]
+    fn reconcile_picks_newest() {
+        let a = RowSnapshot {
+            value: Some(b("old")),
+            stamp: WriteStamp::new(1),
+        };
+        let bb = RowSnapshot {
+            value: Some(b("new")),
+            stamp: WriteStamp::new(2),
+        };
+        assert_eq!(DataRow::reconcile(a.clone(), bb.clone()).value, Some(b("new")));
+        assert_eq!(DataRow::reconcile(bb, a).value, Some(b("new")));
+    }
+
+    #[test]
+    fn apply_order_converges() {
+        // Commutativity-by-stamp: any permutation converges.
+        let writes = [
+            (Put::value(b("a")), WriteStamp::new(5)),
+            (Put::delete(), WriteStamp::new(9)),
+            (Put::value(b("b")), WriteStamp::new(7)),
+            (Put::value(b("c")), WriteStamp::new(2)),
+        ];
+        let mut perms: Vec<Vec<usize>> = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    for l in 0..4 {
+                        let p = vec![i, j, k, l];
+                        let mut sorted = p.clone();
+                        sorted.sort_unstable();
+                        sorted.dedup();
+                        if sorted.len() == 4 {
+                            perms.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        let mut states = Vec::new();
+        for p in perms {
+            let mut row = DataRow::default();
+            for idx in p {
+                let (m, ts) = &writes[idx];
+                row.apply(m, *ts);
+            }
+            states.push(row.snapshot());
+        }
+        for s in &states {
+            assert_eq!(s, &states[0]);
+            assert_eq!(s.value, None); // tombstone at ts 9 wins
+        }
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = Put::value(b("x"));
+        let large = Put::value(Bytes::from(vec![0u8; 1000]));
+        assert!(DataRow::mutation_bytes(&large) > DataRow::mutation_bytes(&small));
+        assert_eq!(DataRow::mutation_bytes(&large), HEADER_BYTES + 1000);
+    }
+}

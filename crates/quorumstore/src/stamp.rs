@@ -1,0 +1,61 @@
+//! Scalar write timestamps, the store's last-write-wins ordering domain.
+
+use std::fmt;
+
+/// A scalar write timestamp, as stored in a Cassandra cell.
+///
+/// The store itself only compares stamps; *what* they encode is the caller's
+/// business. The MUSIC layer encodes vector timestamps `(lockRef, time)`
+/// through the order-preserving `v2s` mapping (§VI); the lock store encodes
+/// Paxos ballots.
+///
+/// # Examples
+///
+/// ```
+/// use music_quorumstore::WriteStamp;
+///
+/// let old = WriteStamp::new(10);
+/// let new = WriteStamp::new(11);
+/// assert!(new > old);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct WriteStamp(u64);
+
+impl WriteStamp {
+    /// The stamp smaller than every real write (cells start here).
+    pub const ZERO: WriteStamp = WriteStamp(0);
+
+    /// Creates a stamp from its scalar encoding.
+    pub const fn new(v: u64) -> Self {
+        WriteStamp(v)
+    }
+
+    /// The scalar encoding.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for WriteStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts:{}", self.0)
+    }
+}
+
+impl From<u64> for WriteStamp {
+    fn from(v: u64) -> Self {
+        WriteStamp(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_scalar() {
+        assert!(WriteStamp::new(2) > WriteStamp::new(1));
+        assert_eq!(WriteStamp::ZERO, WriteStamp::new(0));
+        assert_eq!(WriteStamp::from(7).value(), 7);
+    }
+}

@@ -1,0 +1,764 @@
+//! [`ReplicatedTable`]: a geo-replicated table of [`Partition`]s with
+//! Cassandra-style coordinator operations.
+//!
+//! * `read_one` / `write_one` — eventual consistency (CL=ONE): reads hit
+//!   the nearest replica; writes go to every replica but acknowledge after
+//!   the first. This is the `CassaEV` baseline of §VIII-b.
+//! * `read_quorum` / `write_quorum` — majority operations (CL=QUORUM),
+//!   one WAN round trip. These implement `dsGetQuorum` / `dsPutQuorum`.
+//! * `lwt` — Paxos-based compare-and-set in four phases
+//!   (prepare/promise → read → propose/accept → commit), exactly the
+//!   Cassandra LWT structure the paper builds its lock store on (§VI,
+//!   §X-A1). An in-progress proposal discovered during prepare is completed
+//!   before the caller's own update runs.
+//!
+//! Writes always propagate to *all* replicas; the consistency level only
+//! chooses how many acknowledgments the coordinator waits for. Straggler
+//! deliveries continue in the background (detached tasks), which is what
+//! makes the store eventually consistent.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use music_paxos::{choose_value, Acceptor, Ballot, BallotGenerator, Chosen};
+use music_simnet::combinators::{quorum, timeout};
+use music_simnet::executor::JoinHandle;
+use music_simnet::net::{Network, NodeId};
+use music_simnet::time::SimDuration;
+
+use crate::error::StoreError;
+use crate::partition::{Partition, HEADER_BYTES};
+use crate::ring::Placement;
+use crate::stamp::WriteStamp;
+
+/// Tunables for coordinator operations.
+#[derive(Clone, Debug)]
+pub struct TableConfig {
+    /// How long a coordinator waits for a quorum before nacking the client.
+    pub op_timeout: SimDuration,
+    /// Maximum LWT ballot-race retries before reporting
+    /// [`StoreError::Contention`].
+    pub lwt_retries: u32,
+    /// Base back-off between LWT retries (scaled by attempt and skewed per
+    /// coordinator to break livelock symmetry).
+    pub lwt_backoff: SimDuration,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            op_timeout: SimDuration::from_secs(4),
+            lwt_retries: 16,
+            lwt_backoff: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// A Paxos proposal replicated by the LWT path: an absolute mutation plus
+/// the stamp it will be applied with.
+pub struct Proposal<P: Partition> {
+    /// The mutation to apply on commit.
+    pub mutation: P::Mutation,
+    /// Stamp the mutation is applied with (last-write-wins).
+    pub stamp: WriteStamp,
+}
+
+impl<P: Partition> Clone for Proposal<P> {
+    fn clone(&self) -> Self {
+        Proposal {
+            mutation: self.mutation.clone(),
+            stamp: self.stamp,
+        }
+    }
+}
+
+impl<P: Partition> fmt::Debug for Proposal<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Proposal")
+            .field("mutation", &self.mutation)
+            .field("stamp", &self.stamp)
+            .finish()
+    }
+}
+
+/// Result of an [`ReplicatedTable::lwt`] call.
+pub struct LwtOutcome<P: Partition> {
+    /// Whether the caller's mutation was applied (`false` = the `decide`
+    /// closure declined, i.e. the compare failed).
+    pub applied: bool,
+    /// The reconciled quorum snapshot the decision was made against.
+    pub before: P::Snapshot,
+}
+
+impl<P: Partition> fmt::Debug for LwtOutcome<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LwtOutcome")
+            .field("applied", &self.applied)
+            .field("before", &self.before)
+            .finish()
+    }
+}
+
+struct TableReplica<P: Partition> {
+    partitions: HashMap<String, P>,
+    paxos: HashMap<String, Acceptor<Proposal<P>>>,
+}
+
+impl<P: Partition> TableReplica<P> {
+    fn new() -> Self {
+        TableReplica {
+            partitions: HashMap::new(),
+            paxos: HashMap::new(),
+        }
+    }
+
+    fn snapshot(&mut self, key: &str) -> P::Snapshot {
+        self.partitions.entry(key.to_string()).or_default().snapshot()
+    }
+
+    fn apply(&mut self, key: &str, mutation: &P::Mutation, stamp: WriteStamp) {
+        self.partitions
+            .entry(key.to_string())
+            .or_default()
+            .apply(mutation, stamp);
+    }
+
+    fn acceptor(&mut self, key: &str) -> &mut Acceptor<Proposal<P>> {
+        self.paxos.entry(key.to_string()).or_insert_with(Acceptor::new)
+    }
+}
+
+struct TableInner<P: Partition> {
+    net: Network,
+    nodes: Vec<NodeId>,
+    placement: Placement,
+    replicas: Vec<Rc<RefCell<TableReplica<P>>>>,
+    cfg: TableConfig,
+    /// Highest ballot each (coordinator, key) pair has observed.
+    ballots: RefCell<HashMap<(NodeId, String), BallotGenerator>>,
+}
+
+/// A replicated table of partitions, shared by all coordinators in the
+/// simulation. Clone handles freely.
+pub struct ReplicatedTable<P: Partition> {
+    inner: Rc<TableInner<P>>,
+}
+
+impl<P: Partition> Clone for ReplicatedTable<P> {
+    fn clone(&self) -> Self {
+        ReplicatedTable {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<P: Partition> fmt::Debug for ReplicatedTable<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicatedTable")
+            .field("nodes", &self.inner.nodes)
+            .field("rf", &self.inner.placement.rf())
+            .finish()
+    }
+}
+
+impl<P: Partition> ReplicatedTable<P> {
+    /// Creates a table replicated across `nodes` with replication factor
+    /// `rf`.
+    ///
+    /// For site-spread replicas, order `nodes` site-interleaved
+    /// (`s0n0, s1n0, s2n0, s0n1, …`) — see [`Placement`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rf` is zero or exceeds `nodes.len()`.
+    pub fn new(net: Network, nodes: Vec<NodeId>, rf: usize, cfg: TableConfig) -> Self {
+        let placement = Placement::new(nodes.len(), rf);
+        let replicas = (0..nodes.len())
+            .map(|_| Rc::new(RefCell::new(TableReplica::new())))
+            .collect();
+        ReplicatedTable {
+            inner: Rc::new(TableInner {
+                net,
+                nodes,
+                placement,
+                replicas,
+                cfg,
+                ballots: RefCell::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The network this table communicates over.
+    pub fn net(&self) -> &Network {
+        &self.inner.net
+    }
+
+    /// Placement (ring) of this table.
+    pub fn placement(&self) -> &Placement {
+        &self.inner.placement
+    }
+
+    /// Node ids of all store replicas.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.inner.nodes
+    }
+
+    /// Replica indices and node ids holding `key`.
+    fn replicas_of(&self, key: &str) -> Vec<(usize, NodeId)> {
+        self.inner
+            .placement
+            .replicas_of(key)
+            .into_iter()
+            .map(|i| (i, self.inner.nodes[i]))
+            .collect()
+    }
+
+    /// The replica of `key` closest to `coord` (ties: lowest index).
+    fn nearest_replica(&self, coord: NodeId, key: &str) -> (usize, NodeId) {
+        self.replicas_of(key)
+            .into_iter()
+            .min_by_key(|&(i, n)| (self.inner.net.propagation(coord, n), i))
+            .expect("rf >= 1")
+    }
+
+    fn quorum_size(&self) -> usize {
+        self.inner.placement.quorum()
+    }
+
+    /// Spawns one RPC per replica of `key`; `serve` runs at the replica on
+    /// delivery. Each RPC uses bounded retransmission (idempotent stamped
+    /// handlers), so a transient partition delays a replica's update
+    /// instead of dropping it forever — the hinted-handoff behaviour the
+    /// store's eventual consistency relies on.
+    fn fan_out<R: 'static>(
+        &self,
+        coord: NodeId,
+        key: &str,
+        req_bytes: usize,
+        serve: impl Fn(&mut TableReplica<P>) -> (R, usize) + Clone + 'static,
+    ) -> Vec<JoinHandle<R>> {
+        let sim = self.inner.net.sim().clone();
+        self.replicas_of(key)
+            .into_iter()
+            .map(|(idx, node)| {
+                let net = self.inner.net.clone();
+                let replica = Rc::clone(&self.inner.replicas[idx]);
+                let serve = serve.clone();
+                sim.spawn(async move {
+                    net.rpc_reliable(
+                        coord,
+                        node,
+                        req_bytes,
+                        move || serve(&mut replica.borrow_mut()),
+                        10,
+                        SimDuration::from_secs(2),
+                    )
+                    .await
+                })
+            })
+            .collect()
+    }
+
+    /// Eventual-consistency read (CL=ONE) from the replica of `key` nearest
+    /// to `coord`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the replica does not answer in time.
+    pub async fn read_one(&self, coord: NodeId, key: &str) -> Result<P::Snapshot, StoreError> {
+        let (idx, node) = self.nearest_replica(coord, key);
+        let net = self.inner.net.clone();
+        let replica = Rc::clone(&self.inner.replicas[idx]);
+        let key = key.to_string();
+        let fut = net.rpc(coord, node, HEADER_BYTES + key.len(), move || {
+            let snap = replica.borrow_mut().snapshot(&key);
+            let bytes = P::snapshot_bytes(&snap);
+            (snap, bytes)
+        });
+        timeout(self.inner.net.sim(), self.inner.cfg.op_timeout, fut)
+            .await
+            .map_err(|_| StoreError::Unavailable)
+    }
+
+    /// Eventual-consistency write (CL=ONE): ships the mutation to every
+    /// replica, acknowledges after the first, and lets the rest land in the
+    /// background.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if no replica acknowledges in time.
+    pub async fn write_one(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> Result<(), StoreError> {
+        self.write_with_cl(coord, key, mutation, stamp, 1).await
+    }
+
+    /// Quorum write (`dsPutQuorum`): acknowledged once a majority of the
+    /// key's replicas applied the mutation.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if a majority does not acknowledge in
+    /// time. The write may still land at some replicas — exactly the
+    /// "unacknowledged put" case MUSIC's `synchFlag` machinery exists for.
+    pub async fn write_quorum(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> Result<(), StoreError> {
+        let need = self.quorum_size();
+        self.write_with_cl(coord, key, mutation, stamp, need).await
+    }
+
+    async fn write_with_cl(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+        need: usize,
+    ) -> Result<(), StoreError> {
+        let bytes = HEADER_BYTES + key.len() + P::mutation_bytes(&mutation);
+        let key_owned = key.to_string();
+        let handles = self.fan_out(coord, key, bytes, move |rep| {
+            rep.apply(&key_owned, &mutation, stamp);
+            ((), HEADER_BYTES)
+        });
+        timeout(self.inner.net.sim(), self.inner.cfg.op_timeout, quorum(handles, need))
+            .await
+            .map(|_| ())
+            .map_err(|_| StoreError::Unavailable)
+    }
+
+    /// Fans a snapshot read out to every replica of `key`.
+    fn read_fan_out(&self, coord: NodeId, key: &str) -> Vec<JoinHandle<P::Snapshot>> {
+        let key_owned = key.to_string();
+        self.fan_out(coord, key, HEADER_BYTES + key.len(), move |rep| {
+            let snap = rep.snapshot(&key_owned);
+            let bytes = P::snapshot_bytes(&snap);
+            (snap, bytes)
+        })
+    }
+
+    /// Quorum read (`dsGetQuorum`): reconciles snapshots from a majority of
+    /// the key's replicas and returns the newest. When the replies
+    /// diverge (digest mismatch), the reconciled state is written back to
+    /// every replica in the background — Cassandra-style read repair.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if a majority does not answer in time.
+    pub async fn read_quorum(&self, coord: NodeId, key: &str) -> Result<P::Snapshot, StoreError> {
+        let need = self.quorum_size();
+        let handles = self.read_fan_out(coord, key);
+        let replies = timeout(self.inner.net.sim(), self.inner.cfg.op_timeout, quorum(handles, need))
+            .await
+            .map_err(|_| StoreError::Unavailable)?;
+        let snaps: Vec<P::Snapshot> = replies.into_iter().map(|(_, s)| s).collect();
+        let mut it = snaps.iter().cloned();
+        let first = it.next().expect("quorum >= 1");
+        let newest = it.fold(first, |acc, s| P::reconcile(acc, s));
+        if snaps.iter().any(|s| *s != newest) {
+            // Divergence observed: repair all replicas in the background.
+            for (mutation, stamp) in P::repair(&newest) {
+                let bytes = HEADER_BYTES + key.len() + P::mutation_bytes(&mutation);
+                let key_owned = key.to_string();
+                drop(self.fan_out(coord, key, bytes, move |rep| {
+                    rep.apply(&key_owned, &mutation, stamp);
+                    ((), HEADER_BYTES)
+                }));
+            }
+        }
+        Ok(newest)
+    }
+
+    /// Default stamp an LWT mutation gets if the `decide` closure keeps the
+    /// suggestion: derived from the ballot, so stamps of successive LWTs on
+    /// a key are strictly increasing. The round owns the high bits; the
+    /// proposer id must fit the low 20 bits or stamps could invert across
+    /// rounds.
+    fn ballot_stamp(ballot: Ballot) -> WriteStamp {
+        assert!(
+            u64::from(ballot.proposer) < (1 << 20),
+            "LWT coordinator node id {} exceeds the stamp's proposer field",
+            ballot.proposer
+        );
+        WriteStamp::new((ballot.round << 20) | u64::from(ballot.proposer))
+    }
+
+    /// Light-weight transaction: linearizable read-decide-write on one key
+    /// in four phases (prepare, read, propose, commit — 4 WAN round trips,
+    /// §X-A1).
+    ///
+    /// `decide` receives the reconciled quorum snapshot and a suggested
+    /// stamp (ballot-derived, strictly increasing per key); it returns the
+    /// mutation to apply, or `None` to abort (compare failed). It may run
+    /// multiple times if the LWT must retry after ballot races.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::Unavailable`] — some phase could not reach a quorum.
+    /// * [`StoreError::Contention`] — ballot races exhausted the retry
+    ///   budget.
+    pub async fn lwt(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mut decide: impl FnMut(&P::Snapshot, WriteStamp) -> Option<(P::Mutation, WriteStamp)>,
+    ) -> Result<LwtOutcome<P>, StoreError> {
+        let sim = self.inner.net.sim().clone();
+        for attempt in 0..self.inner.cfg.lwt_retries {
+            if attempt > 0 {
+                // Deterministic pseudo-random exponential back-off: racing
+                // proposers must desynchronize or they preempt each other
+                // forever (Cassandra uses randomized back-off here too).
+                let exp = 1u64 << attempt.min(6);
+                let jitter = crate::ring::key_hash(&format!("{}-{}-{}", coord.0, key, attempt))
+                    % (self.inner.cfg.lwt_backoff.as_micros().max(1) * exp);
+                let backoff = self.inner.cfg.lwt_backoff * exp / 2
+                    + SimDuration::from_micros(jitter);
+                sim.sleep(backoff).await;
+            }
+            let ballot = self.next_ballot(coord, key);
+
+            // Phase 1: prepare / promise.
+            let key_owned = key.to_string();
+            let handles = self.fan_out(coord, key, HEADER_BYTES + key.len(), move |rep| {
+                let reply = rep.acceptor(&key_owned).prepare(ballot);
+                let bytes = HEADER_BYTES
+                    + reply
+                        .in_progress
+                        .as_ref()
+                        .map_or(0, |(_, p)| P::mutation_bytes(&p.mutation));
+                (reply, bytes)
+            });
+            let need = self.quorum_size();
+            let replies = timeout(&sim, self.inner.cfg.op_timeout, quorum(handles, need))
+                .await
+                .map_err(|_| StoreError::Unavailable)?;
+            let mut promises = Vec::new();
+            let mut preempted = false;
+            for (_, reply) in replies {
+                self.observe_ballot(coord, key, reply.current_promise);
+                if reply.promised {
+                    promises.push(reply);
+                } else {
+                    preempted = true;
+                }
+            }
+            if preempted || promises.len() < need {
+                continue;
+            }
+
+            // Complete any in-progress proposal before our own update.
+            if let Chosen::MustComplete(_, proposal) = choose_value(&promises) {
+                if self.accept_quorum(coord, key, ballot, proposal.clone()).await? {
+                    self.commit_quorum(coord, key, ballot, &proposal).await?;
+                }
+                // Either way, re-run from prepare with a fresh view.
+                continue;
+            }
+
+            // Phase 2: quorum read of the current partition state.
+            let before = self.read_quorum(coord, key).await?;
+
+            // Phase 3: decide and propose.
+            let Some((mutation, stamp)) = decide(&before, Self::ballot_stamp(ballot)) else {
+                return Ok(LwtOutcome {
+                    applied: false,
+                    before,
+                });
+            };
+            let proposal = Proposal { mutation, stamp };
+            if !self.accept_quorum(coord, key, ballot, proposal.clone()).await? {
+                continue;
+            }
+
+            // Phase 4: commit (replicas apply the mutation).
+            self.commit_quorum(coord, key, ballot, &proposal).await?;
+            return Ok(LwtOutcome {
+                applied: true,
+                before,
+            });
+        }
+        Err(StoreError::Contention)
+    }
+
+    async fn accept_quorum(
+        &self,
+        coord: NodeId,
+        key: &str,
+        ballot: Ballot,
+        proposal: Proposal<P>,
+    ) -> Result<bool, StoreError> {
+        let bytes = HEADER_BYTES + key.len() + P::mutation_bytes(&proposal.mutation);
+        let key_owned = key.to_string();
+        let handles = self.fan_out(coord, key, bytes, move |rep| {
+            let reply = rep.acceptor(&key_owned).accept(ballot, proposal.clone());
+            (reply, HEADER_BYTES)
+        });
+        let need = self.quorum_size();
+        let replies = timeout(
+            self.inner.net.sim(),
+            self.inner.cfg.op_timeout,
+            quorum(handles, need),
+        )
+        .await
+        .map_err(|_| StoreError::Unavailable)?;
+        let mut ok = true;
+        for (_, reply) in &replies {
+            self.observe_ballot(coord, key, reply.current_promise);
+            ok &= reply.accepted;
+        }
+        Ok(ok)
+    }
+
+    /// Commit carries the proposal itself (as Cassandra's commit writes
+    /// the mutation into the table): a replica that missed the accept
+    /// still applies the committed value, so even CL=ONE reads converge.
+    async fn commit_quorum(
+        &self,
+        coord: NodeId,
+        key: &str,
+        ballot: Ballot,
+        proposal: &Proposal<P>,
+    ) -> Result<(), StoreError> {
+        let key_owned = key.to_string();
+        let proposal = proposal.clone();
+        let bytes = HEADER_BYTES + key.len() + P::mutation_bytes(&proposal.mutation);
+        let handles = self.fan_out(coord, key, bytes, move |rep| {
+            // Clear the Paxos round (no-op if this replica never accepted).
+            let _ = rep.acceptor(&key_owned).commit(ballot);
+            rep.apply(&key_owned, &proposal.mutation, proposal.stamp);
+            ((), HEADER_BYTES)
+        });
+        let need = self.quorum_size();
+        timeout(
+            self.inner.net.sim(),
+            self.inner.cfg.op_timeout,
+            quorum(handles, need),
+        )
+        .await
+        .map(|_| ())
+        .map_err(|_| StoreError::Unavailable)
+    }
+
+    fn next_ballot(&self, coord: NodeId, key: &str) -> Ballot {
+        let mut ballots = self.inner.ballots.borrow_mut();
+        let gen = ballots
+            .entry((coord, key.to_string()))
+            .or_insert_with(|| BallotGenerator::new(coord.0));
+        gen.next()
+    }
+
+    fn observe_ballot(&self, coord: NodeId, key: &str, ballot: Ballot) {
+        let mut ballots = self.inner.ballots.borrow_mut();
+        let gen = ballots
+            .entry((coord, key.to_string()))
+            .or_insert_with(|| BallotGenerator::new(coord.0));
+        gen.observe(ballot);
+    }
+
+    /// Scans the replica nearest to `coord` for all live keys, in sorted
+    /// order (Cassandra full-table scan at CL=ONE; the paper's
+    /// `getAllKeys` helper, §VII-a). The view may be stale, which the
+    /// paper's job-scheduler pattern explicitly tolerates.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the replica does not answer in time.
+    pub async fn list_keys_local(&self, coord: NodeId) -> Result<Vec<String>, StoreError> {
+        // Nearest store node overall (scans are not per-key routed).
+        let (idx, node) = (0..self.inner.nodes.len())
+            .map(|i| (i, self.inner.nodes[i]))
+            .min_by_key(|&(i, n)| (self.inner.net.propagation(coord, n), i))
+            .expect("at least one node");
+        let net = self.inner.net.clone();
+        let replica = Rc::clone(&self.inner.replicas[idx]);
+        let fut = net.rpc(coord, node, HEADER_BYTES, move || {
+            let rep = replica.borrow_mut();
+            let mut keys: Vec<String> = rep
+                .partitions
+                .iter()
+                .filter(|(_, p)| p.exists())
+                .map(|(k, _)| k.clone())
+                .collect();
+            keys.sort_unstable();
+            let bytes = HEADER_BYTES + keys.iter().map(|k| k.len() + 8).sum::<usize>();
+            (keys, bytes)
+        });
+        timeout(self.inner.net.sim(), self.inner.cfg.op_timeout, fut)
+            .await
+            .map_err(|_| StoreError::Unavailable)
+    }
+
+    /// Range scan at the replica nearest to `coord`: applies `extract` to
+    /// every live partition and returns the `(key, value)` pairs in one
+    /// round trip (Cassandra range query at CL=ONE). Used by monitoring
+    /// sweeps (the failure detector) that would otherwise issue one RPC
+    /// per key.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the replica does not answer in time.
+    pub async fn scan_local<R: 'static>(
+        &self,
+        coord: NodeId,
+        extract: impl Fn(&P) -> R + 'static,
+    ) -> Result<Vec<(String, R)>, StoreError> {
+        let (idx, node) = (0..self.inner.nodes.len())
+            .map(|i| (i, self.inner.nodes[i]))
+            .min_by_key(|&(i, n)| (self.inner.net.propagation(coord, n), i))
+            .expect("at least one node");
+        let net = self.inner.net.clone();
+        let replica = Rc::clone(&self.inner.replicas[idx]);
+        let fut = net.rpc(coord, node, HEADER_BYTES, move || {
+            let rep = replica.borrow();
+            let mut rows: Vec<(String, R)> = rep
+                .partitions
+                .iter()
+                .filter(|(_, p)| p.exists())
+                .map(|(k, p)| (k.clone(), extract(p)))
+                .collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            let bytes = HEADER_BYTES + rows.len() * 32;
+            (rows, bytes)
+        });
+        timeout(self.inner.net.sim(), self.inner.cfg.op_timeout, fut)
+            .await
+            .map_err(|_| StoreError::Unavailable)
+    }
+
+    /// Live keys at one specific replica (one round trip) — used by
+    /// anti-entropy to build the union key set.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the replica does not answer in time.
+    pub async fn list_keys_at(
+        &self,
+        coord: NodeId,
+        replica_idx: usize,
+    ) -> Result<Vec<String>, StoreError> {
+        let node = self.inner.nodes[replica_idx];
+        let net = self.inner.net.clone();
+        let replica = Rc::clone(&self.inner.replicas[replica_idx]);
+        let fut = net.rpc(coord, node, HEADER_BYTES, move || {
+            let rep = replica.borrow();
+            let mut keys: Vec<String> = rep
+                .partitions
+                .iter()
+                .filter(|(_, p)| p.exists())
+                .map(|(k, _)| k.clone())
+                .collect();
+            keys.sort_unstable();
+            let bytes = HEADER_BYTES + keys.iter().map(|k| k.len() + 8).sum::<usize>();
+            (keys, bytes)
+        });
+        timeout(self.inner.net.sim(), self.inner.cfg.op_timeout, fut)
+            .await
+            .map_err(|_| StoreError::Unavailable)
+    }
+
+    /// Anti-entropy repair of one key: reads every reachable replica,
+    /// reconciles, and writes the newest state back to all replicas
+    /// (`nodetool repair` for a single partition). Returns whether any
+    /// divergence was observed.
+    ///
+    /// Unlike the quorum path, this *tries* to hear from every replica
+    /// (falling back to a majority when some are down), so it heals
+    /// replicas that quorum traffic never touches.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if not even a majority answers.
+    pub async fn repair_key(&self, coord: NodeId, key: &str) -> Result<bool, StoreError> {
+        let sim = self.inner.net.sim().clone();
+        let rf = self.inner.placement.rf();
+        let handles = self.read_fan_out(coord, key);
+        // Prefer all rf replies; settle for a majority if stragglers hang.
+        let replies = match timeout(&sim, self.inner.cfg.op_timeout, quorum(handles, rf)).await {
+            Ok(r) => r,
+            Err(_) => {
+                // Down replicas: redo with a majority requirement.
+                let handles = self.read_fan_out(coord, key);
+                timeout(&sim, self.inner.cfg.op_timeout, quorum(handles, self.quorum_size()))
+                    .await
+                    .map_err(|_| StoreError::Unavailable)?
+            }
+        };
+        let snaps: Vec<P::Snapshot> = replies.into_iter().map(|(_, s)| s).collect();
+        let mut it = snaps.iter().cloned();
+        let first = it.next().expect("at least a majority");
+        let newest = it.fold(first, |acc, s| P::reconcile(acc, s));
+        let diverged = snaps.iter().any(|s| *s != newest);
+        if diverged {
+            for (mutation, stamp) in P::repair(&newest) {
+                let bytes = HEADER_BYTES + key.len() + P::mutation_bytes(&mutation);
+                let key_owned = key.to_string();
+                let handles = self.fan_out(coord, key, bytes, move |rep| {
+                    rep.apply(&key_owned, &mutation, stamp);
+                    ((), HEADER_BYTES)
+                });
+                // Wait for a majority of each repair write; stragglers
+                // continue in the background.
+                let _ = timeout(&sim, self.inner.cfg.op_timeout, quorum(handles, self.quorum_size()))
+                    .await;
+            }
+        }
+        Ok(diverged)
+    }
+
+    /// Anti-entropy sweep over the whole table: repairs every key present
+    /// at any reachable replica. Returns the number of keys that had
+    /// diverged.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if no replica can enumerate keys.
+    pub async fn repair_all(&self, coord: NodeId) -> Result<u64, StoreError> {
+        let mut keys = std::collections::BTreeSet::new();
+        let mut any_listed = false;
+        for idx in 0..self.inner.nodes.len() {
+            if let Ok(ks) = self.list_keys_at(coord, idx).await {
+                any_listed = true;
+                keys.extend(ks);
+            }
+        }
+        if !any_listed {
+            return Err(StoreError::Unavailable);
+        }
+        let mut repaired = 0;
+        for key in keys {
+            if self.repair_key(coord, &key).await? {
+                repaired += 1;
+            }
+        }
+        Ok(repaired)
+    }
+
+    /// Direct, network-free view of one replica's partition state — test
+    /// and experiment instrumentation only.
+    pub fn peek_replica(&self, replica_idx: usize, key: &str) -> P::Snapshot {
+        self.inner.replicas[replica_idx].borrow_mut().snapshot(key)
+    }
+
+    /// Whether every replica of `key` currently holds an identical
+    /// snapshot (by `Debug` rendering) — convergence check for tests.
+    pub fn converged(&self, key: &str) -> bool {
+        let snaps: Vec<String> = self
+            .replicas_of(key)
+            .into_iter()
+            .map(|(i, _)| format!("{:?}", self.peek_replica(i, key)))
+            .collect();
+        snaps.windows(2).all(|w| w[0] == w[1])
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests on the store's replica-state algebra: last-write-wins
+//! convergence (order independence), reconcile laws, and ring placement
+//! invariants.
+
+use bytes::Bytes;
+use music_quorumstore::{DataRow, Partition, Placement, Put, WriteStamp};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_write()(stamp in 1u64..50, val in 0u8..8, delete in proptest::bool::weighted(0.2))
+        -> (Put, WriteStamp)
+    {
+        let put = if delete {
+            Put::delete()
+        } else {
+            Put::value(Bytes::from(vec![val]))
+        };
+        (put, WriteStamp::new(stamp))
+    }
+}
+
+proptest! {
+    /// Applying the same multiset of writes in any two orders converges to
+    /// the same row — the property that makes missed LWT commits and
+    /// straggler quorum writes harmless.
+    #[test]
+    fn lww_apply_is_order_independent(
+        writes in proptest::collection::vec(arb_write(), 1..12),
+        seed in 0u64..1000,
+    ) {
+        let mut a = DataRow::default();
+        for (m, ts) in &writes {
+            a.apply(m, *ts);
+        }
+        // Deterministic shuffle.
+        let mut shuffled = writes.clone();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut b = DataRow::default();
+        for (m, ts) in &shuffled {
+            b.apply(m, *ts);
+        }
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    /// Reconcile is commutative and idempotent, and never goes backwards
+    /// in stamp.
+    #[test]
+    fn reconcile_laws(w1 in arb_write(), w2 in arb_write()) {
+        let mut r1 = DataRow::default();
+        r1.apply(&w1.0, w1.1);
+        let mut r2 = DataRow::default();
+        r2.apply(&w2.0, w2.1);
+        let (s1, s2) = (r1.snapshot(), r2.snapshot());
+        let ab = DataRow::reconcile(s1.clone(), s2.clone());
+        let ba = DataRow::reconcile(s2.clone(), s1.clone());
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.stamp >= s1.stamp && ab.stamp >= s2.stamp);
+        let aa = DataRow::reconcile(s1.clone(), s1.clone());
+        prop_assert_eq!(aa, s1);
+    }
+
+    /// Ring placement: always rf distinct replicas, deterministic, and —
+    /// with site-interleaved node ordering — spanning rf distinct sites.
+    #[test]
+    fn placement_invariants(
+        key in "[a-z0-9/-]{1,24}",
+        nodes_per_site in 1usize..5,
+    ) {
+        let sites = 3;
+        let p = Placement::new(sites * nodes_per_site, 3);
+        let r1 = p.replicas_of(&key);
+        let r2 = p.replicas_of(&key);
+        prop_assert_eq!(&r1, &r2, "deterministic");
+        prop_assert_eq!(r1.len(), 3);
+        let mut uniq = r1.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), 3, "distinct replicas");
+        let site_set: std::collections::HashSet<usize> =
+            r1.iter().map(|i| i % sites).collect();
+        prop_assert_eq!(site_set.len(), 3, "one replica per site");
+    }
+}

@@ -1,0 +1,525 @@
+//! End-to-end behaviour of the replicated store over the simulated WAN:
+//! latency structure, consistency levels, failure handling, and LWT
+//! linearizability.
+
+use bytes::Bytes;
+use music_quorumstore::{
+    DataRow, Partition, Put, ReplicatedTable, StoreError, TableConfig, WriteStamp,
+};
+use music_simnet::prelude::*;
+
+struct Fixture {
+    sim: Sim,
+    net: Network,
+    table: ReplicatedTable<DataRow>,
+    store_nodes: Vec<NodeId>,
+    clients: Vec<NodeId>,
+}
+
+/// One store node and one client per site of `profile`, zero service costs
+/// (pure latency structure).
+fn fixture(profile: LatencyProfile) -> Fixture {
+    fixture_with(profile, NetConfig {
+        service_fixed: SimDuration::ZERO,
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        loss: 0.0,
+        jitter_frac: 0.0,
+    })
+}
+
+fn fixture_with(profile: LatencyProfile, cfg: NetConfig) -> Fixture {
+    let sim = Sim::new();
+    let net = Network::new(sim.clone(), profile.clone(), cfg, 7);
+    let store_nodes: Vec<_> = (0..profile.site_count() as u32)
+        .map(|s| net.add_node(SiteId(s)))
+        .collect();
+    let clients: Vec<_> = (0..profile.site_count() as u32)
+        .map(|s| net.add_node(SiteId(s)))
+        .collect();
+    let table = ReplicatedTable::new(net.clone(), store_nodes.clone(), 3, TableConfig::default());
+    Fixture {
+        sim,
+        net,
+        table,
+        store_nodes,
+        clients,
+    }
+}
+
+fn b(s: &'static str) -> Bytes {
+    Bytes::from_static(s.as_bytes())
+}
+
+#[test]
+fn quorum_write_then_quorum_read_round_trips() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client) = (f.table.clone(), f.clients[0]);
+    f.sim.block_on(async move {
+        table
+            .write_quorum(client, "k", Put::value(b("hello")), WriteStamp::new(1))
+            .await
+            .unwrap();
+        let snap = table.read_quorum(client, "k").await.unwrap();
+        assert_eq!(snap.value, Some(b("hello")));
+        assert_eq!(snap.stamp, WriteStamp::new(1));
+    });
+}
+
+#[test]
+fn quorum_write_latency_is_one_rtt_to_second_nearest_replica() {
+    // Client at Ohio (site 0); replicas at Ohio/N.Cal/Oregon. Quorum = 2:
+    // the local replica (0.2ms RTT) and the nearest remote (N.Cal, 53.79ms).
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, sim) = (f.table.clone(), f.clients[0], f.sim.clone());
+    let elapsed = f.sim.block_on(async move {
+        let t0 = sim.now();
+        table
+            .write_quorum(client, "k", Put::value(b("x")), WriteStamp::new(1))
+            .await
+            .unwrap();
+        sim.now() - t0
+    });
+    assert_eq!(elapsed.as_micros(), 53_790);
+}
+
+#[test]
+fn eventual_write_acks_locally_and_converges_globally() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, sim) = (f.table.clone(), f.clients[0], f.sim.clone());
+    let table2 = f.table.clone();
+    let elapsed = f.sim.block_on(async move {
+        let t0 = sim.now();
+        table
+            .write_one(client, "k", Put::value(b("v")), WriteStamp::new(1))
+            .await
+            .unwrap();
+        sim.now() - t0
+    });
+    // Acknowledged by the intra-site replica: one intra-site RTT (0.2ms).
+    assert_eq!(elapsed.as_micros(), 200);
+    // Background propagation has not necessarily finished yet; drain it.
+    f.sim.run();
+    assert!(table2.converged("k"), "all replicas converge after propagation");
+}
+
+#[test]
+fn eventual_read_hits_nearest_replica_and_may_be_stale() {
+    let f = fixture(LatencyProfile::one_us());
+    let table = f.table.clone();
+    let (ohio_client, frankfurt_client) = (f.clients[0], f.clients[2]);
+    f.sim.block_on(async move {
+        table
+            .write_quorum(ohio_client, "k", Put::value(b("new")), WriteStamp::new(5))
+            .await
+            .unwrap();
+        // Quorum = Ohio + N.Cal; the Oregon replica may still be stale.
+        let near = table.read_one(frankfurt_client, "k").await.unwrap();
+        // Value is either stale (None) or new, but never corrupt.
+        assert!(near.value.is_none() || near.value == Some(b("new")));
+    });
+}
+
+#[test]
+fn quorum_survives_one_replica_crash_but_not_two() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, net) = (f.table.clone(), f.clients[0], f.net.clone());
+    let (s1, s2) = (f.store_nodes[1], f.store_nodes[2]);
+    f.sim.block_on(async move {
+        net.set_node_up(s2, false);
+        table
+            .write_quorum(client, "k", Put::value(b("v1")), WriteStamp::new(1))
+            .await
+            .expect("quorum of 2/3 still available");
+        net.set_node_up(s1, false);
+        let err = table
+            .write_quorum(client, "k", Put::value(b("v2")), WriteStamp::new(2))
+            .await
+            .unwrap_err();
+        assert_eq!(err, StoreError::Unavailable);
+        // Reads also fail without a quorum.
+        let err = table.read_quorum(client, "k").await.unwrap_err();
+        assert_eq!(err, StoreError::Unavailable);
+    });
+}
+
+#[test]
+fn unacknowledged_write_may_still_land() {
+    // The coordinator times out (no quorum), yet the surviving replica has
+    // applied the write: this is the "pending forever" case of §V-C that
+    // MUSIC's synchFlag machinery exists to repair.
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, net) = (f.table.clone(), f.clients[0], f.net.clone());
+    let (s1, s2) = (f.store_nodes[1], f.store_nodes[2]);
+    let table2 = f.table.clone();
+    f.sim.block_on(async move {
+        net.set_node_up(s1, false);
+        net.set_node_up(s2, false);
+        let err = table
+            .write_quorum(client, "k", Put::value(b("ghost")), WriteStamp::new(9))
+            .await
+            .unwrap_err();
+        assert_eq!(err, StoreError::Unavailable);
+    });
+    f.sim.run();
+    // Replica 0 (co-located with the client) applied it anyway.
+    let snap = table2.peek_replica(0, "k");
+    assert_eq!(snap.value, Some(b("ghost")));
+}
+
+#[test]
+fn lwt_takes_about_four_wan_round_trips() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, sim) = (f.table.clone(), f.clients[0], f.sim.clone());
+    let elapsed = f.sim.block_on(async move {
+        let t0 = sim.now();
+        table
+            .lwt(client, "k", |_, suggested| {
+                Some((Put::value(b("cas")), suggested))
+            })
+            .await
+            .unwrap();
+        sim.now() - t0
+    });
+    // 4 phases × quorum RTT (53.79ms) = ~215ms, matching the paper's
+    // measured 219-230ms for LWT operations on the 1Us profile (§VIII-b).
+    assert_eq!(elapsed.as_micros(), 4 * 53_790);
+}
+
+#[test]
+fn lwt_compare_failure_reports_current_state() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client) = (f.table.clone(), f.clients[0]);
+    f.sim.block_on(async move {
+        table
+            .write_quorum(client, "k", Put::value(b("taken")), WriteStamp::new(1))
+            .await
+            .unwrap();
+        let outcome = table
+            .lwt(client, "k", |snap, suggested| {
+                if snap.value.is_none() {
+                    Some((Put::value(b("mine")), suggested))
+                } else {
+                    None // compare failed: key already set
+                }
+            })
+            .await
+            .unwrap();
+        assert!(!outcome.applied);
+        assert_eq!(outcome.before.value, Some(b("taken")));
+        let snap = table.read_quorum(client, "k").await.unwrap();
+        assert_eq!(snap.value, Some(b("taken")));
+    });
+}
+
+#[test]
+fn racing_lwt_appends_apply_exactly_once() {
+    // Linearizability test with *idempotent* CAS operations (blind
+    // increments can legitimately double-apply under LWT retries, exactly
+    // as in Cassandra): each worker appends its unique tag only if the tag
+    // is not yet present. Every tag must end up present exactly once.
+    let f = fixture(LatencyProfile::one_us());
+    let table = f.table.clone();
+    let clients = f.clients.clone();
+    let sim = f.sim.clone();
+    let total: usize = 10;
+    let mut handles = Vec::new();
+    for i in 0..total {
+        let table = table.clone();
+        let client = clients[i % 3];
+        let tag = format!("w{i}");
+        handles.push(sim.spawn(async move {
+            loop {
+                let res = table
+                    .lwt(client, "set", |snap, suggested| {
+                        let cur = snap
+                            .value
+                            .as_ref()
+                            .map(|v| String::from_utf8(v.to_vec()).unwrap())
+                            .unwrap_or_default();
+                        if cur.split(',').any(|t| t == tag) {
+                            return None; // already applied
+                        }
+                        let next = if cur.is_empty() {
+                            tag.clone()
+                        } else {
+                            format!("{cur},{tag}")
+                        };
+                        Some((Put::value(Bytes::from(next.into_bytes())), suggested))
+                    })
+                    .await;
+                if res.is_ok() {
+                    break;
+                }
+                // Contention: client-level retry, per §III-A failure
+                // semantics.
+            }
+        }));
+    }
+    sim.run();
+    for h in &handles {
+        assert!(h.is_done(), "all appends completed");
+    }
+    let final_snap = f.sim.block_on({
+        let table = table.clone();
+        let client = clients[0];
+        async move { table.read_quorum(client, "set").await.unwrap() }
+    });
+    let text = String::from_utf8(final_snap.value.unwrap().to_vec()).unwrap();
+    let mut tags: Vec<&str> = text.split(',').collect();
+    tags.sort_unstable();
+    let mut expected: Vec<String> = (0..total).map(|i| format!("w{i}")).collect();
+    expected.sort();
+    assert_eq!(tags, expected, "each tag applied exactly once");
+}
+
+#[test]
+fn lwt_under_message_loss_still_linearizes() {
+    let mut cfg = NetConfig {
+        service_fixed: SimDuration::ZERO,
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        loss: 0.05,
+        jitter_frac: 0.1,
+    };
+    cfg.loss = 0.05;
+    let f = fixture_with(LatencyProfile::one_us(), cfg);
+    let table = f.table.clone();
+    let clients = f.clients.clone();
+    let sim = f.sim.clone();
+    let total: u64 = 6;
+    let done = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    for i in 0..total {
+        let table = table.clone();
+        let client = clients[(i % 3) as usize];
+        let done = std::rc::Rc::clone(&done);
+        sim.spawn(async move {
+            // Clients retry on Unavailable, as the paper's failure
+            // semantics require.
+            loop {
+                let res = table
+                    .lwt(client, "counter", |snap, suggested| {
+                        let cur = snap
+                            .value
+                            .as_ref()
+                            .map(|v| {
+                                let mut buf = [0u8; 8];
+                                buf.copy_from_slice(v);
+                                u64::from_be_bytes(buf)
+                            })
+                            .unwrap_or(0);
+                        Some((
+                            Put::value(Bytes::copy_from_slice(&(cur + 1).to_be_bytes())),
+                            suggested,
+                        ))
+                    })
+                    .await;
+                if res.is_ok() {
+                    done.set(done.get() + 1);
+                    break;
+                }
+            }
+        });
+    }
+    sim.run();
+    assert_eq!(done.get(), total, "all increments eventually succeeded");
+    let final_snap = f.sim.block_on({
+        let table = table.clone();
+        let client = clients[0];
+        async move { table.read_quorum(client, "counter").await.unwrap() }
+    });
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(final_snap.value.as_ref().unwrap());
+    // Loss can cause an unacknowledged LWT to be retried after it actually
+    // applied, so the counter may exceed `total` — but it can never be less.
+    assert!(u64::from_be_bytes(buf) >= total, "no lost updates under loss");
+}
+
+#[test]
+fn scan_local_lists_live_rows_in_order() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client) = (f.table.clone(), f.clients[0]);
+    let table2 = f.table.clone();
+    f.sim.block_on(async move {
+        for key in ["cherry", "apple", "banana"] {
+            table
+                .write_quorum(client, key, Put::value(b("x")), WriteStamp::new(1))
+                .await
+                .unwrap();
+        }
+        // A deleted row must not appear.
+        table
+            .write_quorum(client, "apple", Put::delete(), WriteStamp::new(2))
+            .await
+            .unwrap();
+    });
+    f.sim.run();
+    let rows = f.sim.block_on(async move {
+        table2
+            .scan_local(f.clients[0], |p: &DataRow| p.snapshot().value)
+            .await
+            .unwrap()
+    });
+    let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, vec!["banana", "cherry"], "sorted, tombstones excluded");
+}
+
+#[test]
+fn transient_partition_only_delays_propagation() {
+    // rpc_reliable retransmission: a replica cut off during a write still
+    // receives it after the partition heals (within the retry window).
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, net) = (f.table.clone(), f.clients[0], f.net.clone());
+    let s2 = f.store_nodes[2];
+    let table2 = f.table.clone();
+    f.sim.block_on(async move {
+        net.set_link(client, s2, false);
+        table
+            .write_quorum(client, "k", Put::value(b("through")), WriteStamp::new(3))
+            .await
+            .unwrap();
+        // Heal within the retransmission window (10 × 2 s).
+        net.sim().sleep(SimDuration::from_secs(5)).await;
+        net.set_link(client, s2, true);
+    });
+    f.sim.run();
+    assert_eq!(
+        table2.peek_replica(2, "k").value,
+        Some(b("through")),
+        "retransmission delivered the write after healing"
+    );
+}
+
+#[test]
+fn read_repair_heals_divergent_replicas() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, net) = (f.table.clone(), f.clients[0], f.net.clone());
+    let s2 = f.store_nodes[2];
+    let table2 = f.table.clone();
+    f.sim.block_on(async move {
+        // Write while one replica is dead: it stays stale even after its
+        // recovery (the propagation window has passed).
+        net.set_node_up(s2, false);
+        table
+            .write_quorum(client, "k", Put::value(b("fresh")), WriteStamp::new(7))
+            .await
+            .unwrap();
+    });
+    f.sim.run(); // exhaust retransmission attempts against the dead node
+    f.net.set_node_up(s2, true);
+    assert_eq!(f.table.peek_replica(2, "k").value, None, "replica 2 is stale");
+
+    // A quorum read that *sees the divergence* repairs all replicas.
+    // Force the read to include the stale replica by killing replica 0.
+    let (table, client, net) = (f.table.clone(), f.clients[1], f.net.clone());
+    let s0 = f.store_nodes[0];
+    f.sim.block_on(async move {
+        net.set_node_up(s0, false);
+        let snap = table.read_quorum(client, "k").await.unwrap();
+        assert_eq!(snap.value, Some(b("fresh")), "reconciled value is correct");
+        net.set_node_up(s0, true);
+    });
+    f.sim.run(); // let the repair writes land
+    assert_eq!(
+        table2.peek_replica(2, "k").value,
+        Some(b("fresh")),
+        "read repair healed the straggler"
+    );
+}
+
+#[test]
+fn anti_entropy_sweep_heals_everything() {
+    // Diverge one replica across several keys (writes during a partition,
+    // retransmission window exhausted), then one repair_all pass heals it.
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, net) = (f.table.clone(), f.clients[0], f.net.clone());
+    let s2 = f.store_nodes[2];
+    let table2 = f.table.clone();
+    f.sim.block_on(async move {
+        net.set_node_up(s2, false);
+        for i in 0..4 {
+            table
+                .write_quorum(
+                    client,
+                    &format!("ae-{i}"),
+                    Put::value(b("healed")),
+                    WriteStamp::new(5),
+                )
+                .await
+                .unwrap();
+        }
+    });
+    f.sim.run(); // exhaust retransmissions against the dead node
+    f.net.set_node_up(s2, true);
+    for i in 0..4 {
+        assert_eq!(f.table.peek_replica(2, &format!("ae-{i}")).value, None);
+    }
+
+    let (table, client) = (f.table.clone(), f.clients[1]);
+    let repaired = f
+        .sim
+        .block_on(async move { table.repair_all(client).await.unwrap() });
+    assert_eq!(repaired, 4, "all four keys were divergent");
+    f.sim.run(); // let straggler repair writes land
+    for i in 0..4 {
+        let key = format!("ae-{i}");
+        assert!(table2.converged(&key), "{key} healed everywhere");
+        assert_eq!(table2.peek_replica(2, &key).value, Some(b("healed")));
+    }
+
+    // A second sweep finds nothing to do.
+    let (table, client) = (f.table.clone(), f.clients[1]);
+    let repaired = f
+        .sim
+        .block_on(async move { table.repair_all(client).await.unwrap() });
+    assert_eq!(repaired, 0, "idempotent once converged");
+}
+
+#[test]
+fn anti_entropy_tolerates_a_down_replica() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, net) = (f.table.clone(), f.clients[0], f.net.clone());
+    let s1 = f.store_nodes[1];
+    f.sim.block_on(async move {
+        table
+            .write_quorum(client, "k", Put::value(b("v")), WriteStamp::new(1))
+            .await
+            .unwrap();
+        net.set_node_up(s1, false);
+        // Repair proceeds with the majority that answers.
+        let repaired = table.repair_all(client).await.unwrap();
+        let _ = repaired; // divergence depends on straggler timing; key point: no error
+        net.set_node_up(s1, true);
+    });
+}
+
+#[test]
+fn sharded_nine_node_cluster_places_and_serves_keys() {
+    let sim = Sim::new();
+    let profile = LatencyProfile::one_us();
+    let net = Network::new(sim.clone(), profile, NetConfig::default(), 3);
+    // 9 nodes, site-interleaved: s0 s1 s2 s0 s1 s2 s0 s1 s2.
+    let nodes: Vec<_> = (0..9).map(|i| net.add_node(SiteId(i % 3))).collect();
+    let client = net.add_node(SiteId(0));
+    let table: ReplicatedTable<DataRow> =
+        ReplicatedTable::new(net, nodes, 3, TableConfig::default());
+    let table2 = table.clone();
+    sim.block_on(async move {
+        for i in 0..30 {
+            let key = format!("key-{i}");
+            table
+                .write_quorum(client, &key, Put::value(b("v")), WriteStamp::new(1))
+                .await
+                .unwrap();
+            let snap = table.read_quorum(client, &key).await.unwrap();
+            assert_eq!(snap.value, Some(b("v")), "{key}");
+        }
+    });
+    // Each key has exactly 3 replicas on 3 distinct sites.
+    for i in 0..30 {
+        let key = format!("key-{i}");
+        let replicas = table2.placement().replicas_of(&key);
+        assert_eq!(replicas.len(), 3);
+        let sites: std::collections::HashSet<usize> =
+            replicas.iter().map(|r| r % 3).collect();
+        assert_eq!(sites.len(), 3, "{key} must span all sites");
+    }
+}

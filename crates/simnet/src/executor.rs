@@ -1,0 +1,617 @@
+//! A deterministic, single-threaded, virtual-time async executor.
+//!
+//! Every protocol in this workspace (quorum stores, Paxos, Zab, Raft, the
+//! MUSIC layer itself) runs as ordinary `async` tasks on this executor.
+//! Instead of wall-clock timers the executor keeps a virtual clock: when no
+//! task is runnable it jumps the clock to the earliest pending timer. A
+//! whole five-minute saturation experiment therefore executes in wall-clock
+//! milliseconds, and — because scheduling is a pure function of spawn/wake
+//! order and timer deadlines — two runs with the same seed are identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use music_simnet::executor::Sim;
+//! use music_simnet::time::SimDuration;
+//!
+//! let sim = Sim::new();
+//! let handle = sim.spawn({
+//!     let sim = sim.clone();
+//!     async move {
+//!         sim.sleep(SimDuration::from_millis(10)).await;
+//!         sim.now()
+//!     }
+//! });
+//! sim.run();
+//! assert_eq!(handle.try_result().unwrap().as_millis(), 10);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task, used internally for wakeups.
+type TaskId = usize;
+
+/// The shared ready queue. It is `Send + Sync` only because `std::task::Waker`
+/// demands it; the executor itself is strictly single-threaded.
+type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
+
+struct TaskWaker {
+    id: TaskId,
+    queued: AtomicBool,
+    ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::Relaxed) {
+            self.ready.lock().push_back(self.id);
+        }
+    }
+}
+
+struct TaskSlot {
+    future: RefCell<Pin<Box<dyn Future<Output = ()>>>>,
+    waker_state: Arc<TaskWaker>,
+    waker: Waker,
+}
+
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+    /// Set when the owning `Sleep` is dropped before firing: the entry is
+    /// discarded **without advancing the clock**. Without cancellation, a
+    /// dropped timeout would still fast-forward virtual time at quiesce,
+    /// corrupting every makespan measurement.
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct Inner {
+    now: Cell<SimTime>,
+    ready: ReadyQueue,
+    tasks: RefCell<Vec<Option<Rc<TaskSlot>>>>,
+    free: RefCell<Vec<TaskId>>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_seq: Cell<u64>,
+    live: Cell<usize>,
+}
+
+/// Handle to the simulation runtime: clock, spawner, and run loop.
+///
+/// `Sim` is a cheap reference-counted handle; clone it freely into tasks.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now())
+            .field("live_tasks", &self.inner.live.get())
+            .finish()
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates a fresh simulation with the clock at [`SimTime::ZERO`] and no
+    /// tasks.
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(SimTime::ZERO),
+                ready: Arc::new(Mutex::new(VecDeque::new())),
+                tasks: RefCell::new(Vec::new()),
+                free: RefCell::new(Vec::new()),
+                timers: RefCell::new(BinaryHeap::new()),
+                timer_seq: Cell::new(0),
+                live: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Number of tasks that have been spawned and not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live.get()
+    }
+
+    /// Spawns a task onto the executor and returns a [`JoinHandle`] for its
+    /// output.
+    ///
+    /// Dropping the handle detaches the task; it keeps running. Tasks only
+    /// make progress inside [`Sim::run`] / [`Sim::run_until`].
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = future.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(out);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        };
+
+        let id = {
+            let mut free = self.inner.free.borrow_mut();
+            if let Some(id) = free.pop() {
+                id
+            } else {
+                let mut tasks = self.inner.tasks.borrow_mut();
+                tasks.push(None);
+                tasks.len() - 1
+            }
+        };
+        let waker_state = Arc::new(TaskWaker {
+            id,
+            queued: AtomicBool::new(true),
+            ready: Arc::clone(&self.inner.ready),
+        });
+        let waker = Waker::from(Arc::clone(&waker_state));
+        let slot = Rc::new(TaskSlot {
+            future: RefCell::new(Box::pin(wrapped)),
+            waker_state,
+            waker,
+        });
+        self.inner.tasks.borrow_mut()[id] = Some(slot);
+        self.inner.live.set(self.inner.live.get() + 1);
+        self.inner.ready.lock().push_back(id);
+        JoinHandle { state }
+    }
+
+    /// Registers `waker` to fire at `deadline`, returning a cancellation
+    /// flag. Used by [`Sleep`].
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) -> Rc<Cell<bool>> {
+        let seq = self.inner.timer_seq.get();
+        self.inner.timer_seq.set(seq + 1);
+        let cancelled = Rc::new(Cell::new(false));
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+            cancelled: Rc::clone(&cancelled),
+        }));
+        cancelled
+    }
+
+    /// Returns a future that completes after `dur` of virtual time.
+    pub fn sleep(&self, dur: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + dur)
+    }
+
+    /// Returns a future that completes when the virtual clock reaches
+    /// `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registration: None,
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let slot = {
+            let tasks = self.inner.tasks.borrow();
+            match tasks.get(id).and_then(|s| s.clone()) {
+                Some(s) => s,
+                None => return, // already completed; stale wake
+            }
+        };
+        slot.waker_state.queued.store(false, Ordering::Relaxed);
+        let mut cx = Context::from_waker(&slot.waker);
+        let poll = slot.future.borrow_mut().as_mut().poll(&mut cx);
+        if poll.is_ready() {
+            self.inner.tasks.borrow_mut()[id] = None;
+            self.inner.free.borrow_mut().push(id);
+            self.inner.live.set(self.inner.live.get() - 1);
+        }
+    }
+
+    /// Runs one scheduler step: drains runnable tasks, then fires the
+    /// earliest timer (advancing the clock). Returns `false` when the
+    /// simulation has quiesced (no runnable tasks and no timers).
+    fn step(&self, horizon: SimTime) -> bool {
+        let mut polled_any = false;
+        loop {
+            let next = self.inner.ready.lock().pop_front();
+            match next {
+                Some(id) => {
+                    self.poll_task(id);
+                    polled_any = true;
+                }
+                None => break,
+            }
+        }
+        // No runnable tasks: advance the clock to the next *live* timer,
+        // silently discarding cancelled entries (they must not move time).
+        let entry = {
+            let mut timers = self.inner.timers.borrow_mut();
+            loop {
+                match timers.peek() {
+                    Some(Reverse(e)) if e.cancelled.get() => {
+                        timers.pop();
+                    }
+                    Some(Reverse(e)) if e.deadline <= horizon => {
+                        break timers.pop().map(|Reverse(e)| e);
+                    }
+                    _ => break None,
+                }
+            }
+        };
+        match entry {
+            Some(e) => {
+                debug_assert!(e.deadline >= self.inner.now.get(), "time went backwards");
+                self.inner.now.set(e.deadline.max(self.inner.now.get()));
+                e.waker.wake();
+                true
+            }
+            None => polled_any,
+        }
+    }
+
+    /// Runs until no task is runnable and no timer is pending.
+    ///
+    /// Tasks blocked forever (e.g. awaiting a message that was lost) do not
+    /// keep the loop alive — a quiesced simulation returns even if such
+    /// tasks exist.
+    pub fn run(&self) {
+        while self.step(SimTime::MAX) {}
+    }
+
+    /// Runs until the virtual clock reaches `deadline` (or the simulation
+    /// quiesces first). The clock is left at `min(deadline, quiesce time)`.
+    pub fn run_until(&self, deadline: SimTime) {
+        while self.inner.now.get() < deadline && self.step(deadline) {}
+        if self.inner.now.get() < deadline {
+            // Quiesced early: jump the clock so callers observe the full span.
+            self.inner.now.set(deadline);
+        }
+    }
+
+    /// Runs the simulation until `handle`'s task completes, returning its
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation quiesces before the task completes (i.e. the
+    /// task is deadlocked waiting on something that can never happen).
+    pub fn run_until_complete<T>(&self, handle: JoinHandle<T>) -> T {
+        loop {
+            if let Some(v) = handle.state.borrow_mut().result.take() {
+                return v;
+            }
+            if !self.step(SimTime::MAX) {
+                panic!("simulation quiesced before task completed (deadlock at {})", self.now());
+            }
+        }
+    }
+
+    /// Convenience: spawn `future` and run the simulation to its completion.
+    pub fn block_on<F>(&self, future: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let handle = self.spawn(future);
+        self.run_until_complete(handle)
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Future resolving to a spawned task's output.
+///
+/// Unlike some runtimes, dropping a `JoinHandle` never cancels the task —
+/// this mirrors real distributed systems, where a message already sent keeps
+/// having effects even if the sender stops waiting for the reply. Quorum
+/// operations rely on this: the straggler replica writes still land.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("done", &self.state.borrow().result.is_some())
+            .finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Takes the task output if the task has completed, without blocking.
+    pub fn try_result(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// Whether the task has completed (output may already be taken).
+    pub fn is_done(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        match s.result.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                s.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+///
+/// Dropping a `Sleep` before it fires cancels its timer: a dropped timer
+/// never advances the virtual clock (critical for [`crate::combinators::timeout`],
+/// which drops the loser of its race).
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registration: Option<(Rc<Cell<bool>>, Waker)>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            // Fired (or created in the past): nothing left to cancel.
+            self.registration = None;
+            Poll::Ready(())
+        } else {
+            // (Re-)register when unregistered or when the task's waker
+            // changed since the last poll — the heap entry holds the old
+            // waker and would otherwise wake the wrong task.
+            let needs_registration = match &self.registration {
+                None => true,
+                Some((_, registered)) => !registered.will_wake(cx.waker()),
+            };
+            if needs_registration {
+                if let Some((old, _)) = self.registration.take() {
+                    old.set(true); // cancel the stale entry
+                }
+                let deadline = self.deadline;
+                let waker = cx.waker().clone();
+                let flag = self.sim.register_timer(deadline, waker.clone());
+                self.registration = Some((flag, waker));
+            }
+            Poll::Pending
+        }
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some((flag, _)) = self.registration.take() {
+            flag.set(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new();
+        let h = sim.spawn({
+            let sim = sim.clone();
+            async move {
+                sim.sleep(SimDuration::from_millis(100)).await;
+                sim.sleep(SimDuration::from_millis(50)).await;
+                sim.now()
+            }
+        });
+        let t = sim.run_until_complete(h);
+        assert_eq!(t.as_millis(), 150);
+    }
+
+    #[test]
+    fn concurrent_sleeps_interleave_deterministically() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (name, ms) in [("a", 30u64), ("b", 10), ("c", 20)] {
+            let sim2 = sim.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(ms)).await;
+                order.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let h = sim.spawn(async { 42 });
+        sim.run();
+        assert_eq!(h.try_result(), Some(42));
+    }
+
+    #[test]
+    fn block_on_nested_spawns() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let total = sim.block_on(async move {
+            let mut handles = Vec::new();
+            for i in 0..10u64 {
+                let sim3 = sim2.clone();
+                handles.push(sim2.spawn(async move {
+                    sim3.sleep(SimDuration::from_micros(i)).await;
+                    i
+                }));
+            }
+            let mut sum = 0;
+            for h in handles {
+                sum += h.await;
+            }
+            sum
+        });
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new();
+        let fired = Rc::new(StdCell::new(false));
+        let fired2 = Rc::clone(&fired);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            sim2.sleep(SimDuration::from_secs(10)).await;
+            fired2.set(true);
+        });
+        sim.run_until(SimTime::from_micros(5_000_000));
+        assert!(!fired.get());
+        assert_eq!(sim.now(), SimTime::from_micros(5_000_000));
+        sim.run();
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn run_until_jumps_clock_when_quiesced() {
+        let sim = Sim::new();
+        sim.run_until(SimTime::from_micros(777));
+        assert_eq!(sim.now(), SimTime::from_micros(777));
+    }
+
+    #[test]
+    fn dropped_handle_detaches_but_task_still_runs() {
+        let sim = Sim::new();
+        let flag = Rc::new(StdCell::new(false));
+        let flag2 = Rc::clone(&flag);
+        let sim2 = sim.clone();
+        drop(sim.spawn(async move {
+            sim2.sleep(SimDuration::from_millis(1)).await;
+            flag2.set(true);
+        }));
+        sim.run();
+        assert!(flag.get());
+    }
+
+    #[test]
+    fn simulation_quiesces_with_forever_pending_tasks() {
+        let sim = Sim::new();
+        sim.spawn(std::future::pending::<()>());
+        sim.run(); // must terminate
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn run_until_complete_panics_on_deadlock() {
+        let sim = Sim::new();
+        let h = sim.spawn(std::future::pending::<()>());
+        sim.run_until_complete(h);
+    }
+
+    #[test]
+    fn task_slots_are_reused() {
+        let sim = Sim::new();
+        for _ in 0..100 {
+            let h = sim.spawn(async {});
+            sim.run();
+            assert!(h.is_done());
+        }
+        assert!(sim.inner.tasks.borrow().len() <= 2);
+    }
+
+    #[test]
+    fn dropped_sleep_does_not_advance_the_clock() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.block_on(async move {
+            // Create a far-future sleep and drop it immediately (what a
+            // timeout whose inner future wins does).
+            let long = sim2.sleep(SimDuration::from_secs(100));
+            drop(long);
+            sim2.sleep(SimDuration::from_millis(5)).await;
+        });
+        // Quiesce: the cancelled 100s timer must not fast-forward time.
+        sim.run();
+        assert_eq!(sim.now().as_millis(), 5, "clock stopped at the live timer");
+    }
+
+    #[test]
+    fn timers_with_same_deadline_fire_in_registration_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let sim2 = sim.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(7)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+}

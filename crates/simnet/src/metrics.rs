@@ -1,0 +1,274 @@
+//! Latency and throughput bookkeeping for experiments.
+//!
+//! [`Histogram`] records virtual-time latencies and answers the statistics
+//! the paper reports: mean, standard deviation, percentiles, and full CDFs
+//! (Fig. 8). [`Throughput`] converts an op count over a virtual interval
+//! into op/s.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simple exact histogram of durations (stores every sample).
+///
+/// Experiments here record at most a few hundred thousand samples, so exact
+/// storage is cheaper than maintaining bucketed sketches and keeps the
+/// percentile math trivial and precise.
+///
+/// # Examples
+///
+/// ```
+/// use music_simnet::metrics::Histogram;
+/// use music_simnet::time::SimDuration;
+///
+/// let mut h = Histogram::new();
+/// for ms in [1u64, 2, 3, 4, 100] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.percentile(0.5).as_millis(), 3);
+/// assert_eq!(h.max().as_millis(), 100);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_micros());
+        self.sorted = false;
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Arithmetic mean. Returns [`SimDuration::ZERO`] when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimDuration::from_micros((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Population standard deviation in milliseconds. Zero when empty.
+    pub fn stddev_millis(&self) -> f64 {
+        let n = self.samples.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.samples.iter().map(|&s| s as f64).sum::<f64>() / n as f64;
+        let var = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / 1_000.0
+    }
+
+    /// The `p`-th percentile (`0.0 ..= 1.0`, nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is out of range.
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&p), "percentile out of range");
+        assert!(!self.samples.is_empty(), "empty histogram");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        SimDuration::from_micros(self.samples[rank - 1])
+    }
+
+    /// Smallest sample. [`SimDuration::ZERO`] when empty.
+    pub fn min(&mut self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        SimDuration::from_micros(self.samples[0])
+    }
+
+    /// Largest sample. [`SimDuration::ZERO`] when empty.
+    pub fn max(&mut self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        SimDuration::from_micros(*self.samples.last().expect("non-empty"))
+    }
+
+    /// Full CDF sampled at `points` evenly spaced cumulative fractions,
+    /// returned as `(latency, fraction ≤ latency)` pairs — the series
+    /// plotted in Fig. 8.
+    pub fn cdf(&mut self, points: usize) -> Vec<(SimDuration, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((frac * n as f64).ceil() as usize).clamp(1, n) - 1;
+                (SimDuration::from_micros(self.samples[idx]), frac)
+            })
+            .collect()
+    }
+}
+
+/// Throughput accumulator over a virtual-time measurement window.
+#[derive(Copy, Clone, Debug)]
+pub struct Throughput {
+    started: SimTime,
+    ops: u64,
+}
+
+impl Throughput {
+    /// Starts a measurement window at `now`.
+    pub fn start(now: SimTime) -> Self {
+        Throughput { started: now, ops: 0 }
+    }
+
+    /// Counts `n` completed operations.
+    pub fn add(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Total operations counted.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Operations per virtual second as of `now`. Zero if no time elapsed.
+    pub fn ops_per_sec(&self, now: SimTime) -> f64 {
+        let secs = (now - self.started).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values_ms: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values_ms {
+            h.record(SimDuration::from_millis(v));
+        }
+        h
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let mut h = hist(&[10, 20, 30]);
+        assert_eq!(h.mean().as_millis(), 20);
+        assert_eq!(h.min().as_millis(), 10);
+        assert_eq!(h.max().as_millis(), 30);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = hist(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(h.percentile(0.5).as_millis(), 5);
+        assert_eq!(h.percentile(0.9).as_millis(), 9);
+        assert_eq!(h.percentile(0.99).as_millis(), 10);
+        assert_eq!(h.percentile(0.0).as_millis(), 1);
+        assert_eq!(h.percentile(1.0).as_millis(), 10);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let h = hist(&[5, 5, 5, 5]);
+        assert_eq!(h.stddev_millis(), 0.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        // samples 2ms,4ms,4ms,4ms,5ms,5ms,7ms,9ms: population stddev = 2ms
+        let h = hist(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((h.stddev_millis() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = hist(&[1, 2]);
+        let b = hist(&[3, 4]);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max().as_millis(), 4);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut h = hist(&[5, 1, 9, 3, 7, 2, 8, 4, 6, 10]);
+        let cdf = h.cdf(10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().0.as_millis(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert!(h.cdf(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn percentile_of_empty_panics() {
+        let mut h = Histogram::new();
+        let _ = h.percentile(0.5);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let mut t = Throughput::start(SimTime::ZERO);
+        t.add(500);
+        let now = SimTime::ZERO + SimDuration::from_secs(5);
+        assert_eq!(t.ops(), 500);
+        assert!((t.ops_per_sec(now) - 100.0).abs() < 1e-9);
+        assert_eq!(t.ops_per_sec(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,638 @@
+//! The simulated wide-area network: propagation delay, per-node service
+//! queues, message loss, partitions, and crash injection.
+//!
+//! Nodes are registered at a [`SiteId`]; the one-way propagation delay
+//! between two nodes is half the site-pair RTT of the active
+//! [`LatencyProfile`]. On top of propagation the model charges *service
+//! time* — a fixed per-message CPU cost plus a bandwidth-proportional cost —
+//! serialized through a FIFO queue at both the sender and the receiver.
+//! Service queues are what produce saturation and the consensus-leader
+//! queueing effects the paper observes in Fig. 6: a ZooKeeper-style leader
+//! funnels every proposal through one node's queue, while quorum writes
+//! spread coordination across replicas.
+//!
+//! Failure injection:
+//! * [`Network::set_link`] / [`Network::partition_site`] — drop traffic on
+//!   selected node pairs (network partition),
+//! * [`Network::set_node_up`] — crash / recover a node,
+//! * [`NetConfig::loss`] — iid message loss.
+//!
+//! A transmission that is lost, partitioned, or addressed to/from a dead
+//! node **never completes** — exactly what the sender of a lost packet
+//! observes. Callers recover with [`crate::combinators::timeout`].
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::combinators::never;
+use crate::executor::Sim;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LatencyProfile, SiteId};
+
+/// Identifier of a simulated node (replica, server, or client endpoint).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Tunable cost model of the network.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct NetConfig {
+    /// Fixed CPU/service cost charged per message at sender and receiver.
+    pub service_fixed: SimDuration,
+    /// Node NIC/processing bandwidth, bytes per second, for the
+    /// size-proportional part of the service cost.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Independent probability that any message is lost in flight.
+    pub loss: f64,
+    /// Propagation jitter: each delay is multiplied by a uniform factor in
+    /// `[1, 1 + jitter_frac]`.
+    pub jitter_frac: f64,
+}
+
+impl Default for NetConfig {
+    /// Defaults calibrated so a 3-node cluster sustains roughly the eventual
+    /// write throughput Datastax reports for Cassandra (≈40 K op/s, §VIII-b):
+    /// a 20 µs fixed cost and 1 GB/s of per-node bandwidth.
+    fn default() -> Self {
+        NetConfig {
+            service_fixed: SimDuration::from_micros(20),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            loss: 0.0,
+            jitter_frac: 0.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeState {
+    site: SiteId,
+    up: bool,
+    busy_until: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct NetStats {
+    messages: u64,
+    bytes: u64,
+    dropped: u64,
+}
+
+struct Inner {
+    sim: Sim,
+    profile: LatencyProfile,
+    cfg: NetConfig,
+    nodes: RefCell<Vec<NodeState>>,
+    /// Ordered pairs (from, to) whose traffic is dropped.
+    cut_links: RefCell<HashSet<(NodeId, NodeId)>>,
+    rng: RefCell<SmallRng>,
+    stats: RefCell<NetStats>,
+}
+
+/// Handle to the simulated network. Cheap to clone.
+#[derive(Clone)]
+pub struct Network {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("profile", &self.inner.profile.name())
+            .field("nodes", &self.inner.nodes.borrow().len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network over `profile` with the given cost model and RNG
+    /// seed (loss and jitter are deterministic per seed).
+    pub fn new(sim: Sim, profile: LatencyProfile, cfg: NetConfig, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.loss), "loss must be a probability");
+        assert!(cfg.jitter_frac >= 0.0, "jitter must be non-negative");
+        assert!(cfg.bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+        Network {
+            inner: Rc::new(Inner {
+                sim,
+                profile,
+                cfg,
+                nodes: RefCell::new(Vec::new()),
+                cut_links: RefCell::new(HashSet::new()),
+                rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+                stats: RefCell::new(NetStats::default()),
+            }),
+        }
+    }
+
+    /// The simulation this network runs on.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// The active latency profile.
+    pub fn profile(&self) -> &LatencyProfile {
+        &self.inner.profile
+    }
+
+    /// Registers a node at `site` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside the latency profile.
+    pub fn add_node(&self, site: SiteId) -> NodeId {
+        assert!(
+            (site.0 as usize) < self.inner.profile.site_count(),
+            "site {site} not in profile {}",
+            self.inner.profile.name()
+        );
+        let mut nodes = self.inner.nodes.borrow_mut();
+        nodes.push(NodeState {
+            site,
+            up: true,
+            busy_until: SimTime::ZERO,
+        });
+        NodeId(nodes.len() as u32 - 1)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.borrow().len()
+    }
+
+    /// The site a node lives at.
+    pub fn site_of(&self, node: NodeId) -> SiteId {
+        self.inner.nodes.borrow()[node.0 as usize].site
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.inner.nodes.borrow()[node.0 as usize].up
+    }
+
+    /// Crashes (`false`) or recovers (`true`) a node. While down, all
+    /// traffic to or from the node hangs.
+    pub fn set_node_up(&self, node: NodeId, up: bool) {
+        self.inner.nodes.borrow_mut()[node.0 as usize].up = up;
+    }
+
+    /// Cuts (`connected = false`) or heals the *bidirectional* link between
+    /// two nodes.
+    pub fn set_link(&self, a: NodeId, b: NodeId, connected: bool) {
+        let mut cut = self.inner.cut_links.borrow_mut();
+        if connected {
+            cut.remove(&(a, b));
+            cut.remove(&(b, a));
+        } else {
+            cut.insert((a, b));
+            cut.insert((b, a));
+        }
+    }
+
+    /// Partitions an entire site from the rest of the network (or heals it
+    /// when `isolated = false`). Intra-site traffic keeps flowing.
+    pub fn partition_site(&self, site: SiteId, isolated: bool) {
+        let nodes = self.inner.nodes.borrow();
+        let members: Vec<NodeId> = (0..nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| nodes[n.0 as usize].site == site)
+            .collect();
+        let others: Vec<NodeId> = (0..nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| nodes[n.0 as usize].site != site)
+            .collect();
+        drop(nodes);
+        for &m in &members {
+            for &o in &others {
+                self.set_link(m, o, !isolated);
+            }
+        }
+    }
+
+    /// One-way RTT-derived propagation delay between two nodes (no jitter,
+    /// no queueing) — useful for tests and cost analysis.
+    pub fn propagation(&self, from: NodeId, to: NodeId) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        let nodes = self.inner.nodes.borrow();
+        let a = nodes[from.0 as usize].site.0 as usize;
+        let b = nodes[to.0 as usize].site.0 as usize;
+        self.inner.profile.one_way(a, b)
+    }
+
+    /// Total messages sent, bytes carried, and messages dropped so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let s = self.inner.stats.borrow();
+        (s.messages, s.bytes, s.dropped)
+    }
+
+    fn service_time(&self, bytes: usize) -> SimDuration {
+        let bw = self.inner.cfg.bandwidth_bytes_per_sec;
+        let tx_us = (bytes as u64).saturating_mul(1_000_000) / bw;
+        self.inner.cfg.service_fixed + SimDuration::from_micros(tx_us)
+    }
+
+    /// Reserves service at `node`'s FIFO queue starting no earlier than
+    /// `earliest`, returning the completion instant.
+    fn reserve(&self, node: NodeId, earliest: SimTime, service: SimDuration) -> SimTime {
+        let mut nodes = self.inner.nodes.borrow_mut();
+        let st = &mut nodes[node.0 as usize];
+        let start = earliest.max(st.busy_until);
+        let done = start + service;
+        st.busy_until = done;
+        done
+    }
+
+    /// Transmits `bytes` from `from` to `to`, resolving when the message has
+    /// been fully serviced at the receiver (i.e. the receiver may now act on
+    /// it).
+    ///
+    /// Never resolves if the message is lost, the link is cut, or either
+    /// endpoint is down — use [`crate::combinators::timeout`] on top.
+    pub async fn transmit(&self, from: NodeId, to: NodeId, bytes: usize) {
+        {
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.messages += 1;
+            stats.bytes += bytes as u64;
+        }
+        let lost = {
+            let cfg = &self.inner.cfg;
+            let nodes = self.inner.nodes.borrow();
+            let dead = !nodes[from.0 as usize].up || !nodes[to.0 as usize].up;
+            let cut = self.inner.cut_links.borrow().contains(&(from, to));
+            let unlucky =
+                cfg.loss > 0.0 && self.inner.rng.borrow_mut().gen_bool(cfg.loss);
+            dead || cut || unlucky
+        };
+        if lost {
+            self.inner.stats.borrow_mut().dropped += 1;
+            return never().await;
+        }
+
+        let svc = self.service_time(bytes);
+        // Sender serializes its own transmissions (NIC + syscall cost).
+        // Reservations are always made at the *current* instant so that a
+        // slow message can never retroactively delay earlier traffic.
+        if from != to {
+            let tx_done = self.reserve(from, self.inner.sim.now(), svc);
+            self.inner.sim.sleep_until(tx_done).await;
+        }
+        let mut prop = self.propagation(from, to);
+        if self.inner.cfg.jitter_frac > 0.0 {
+            let f: f64 = self.inner.rng.borrow_mut().gen_range(0.0..=self.inner.cfg.jitter_frac);
+            prop = prop.mul_f64(1.0 + f);
+        }
+        self.inner.sim.sleep(prop).await;
+        // Receiver services messages in FIFO arrival order.
+        let rx_done = self.reserve(to, self.inner.sim.now(), svc);
+        self.inner.sim.sleep_until(rx_done).await;
+        // If the receiver crashed while the message was in flight, it never
+        // processes it.
+        if !self.is_up(to) {
+            self.inner.stats.borrow_mut().dropped += 1;
+            return never().await;
+        }
+    }
+
+    /// Round-trip helper: ship a request, run the (synchronous) server-side
+    /// `handler` at the receiver, ship the response back. Resolves with the
+    /// handler's output once the response has been serviced at `from`.
+    ///
+    /// The handler runs at the virtual instant the request is delivered; its
+    /// returned tuple is `(response, response_bytes)`.
+    pub async fn rpc<R>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        req_bytes: usize,
+        handler: impl FnOnce() -> (R, usize),
+    ) -> R {
+        self.transmit(from, to, req_bytes).await;
+        let (resp, resp_bytes) = handler();
+        self.transmit(to, from, resp_bytes).await;
+        resp
+    }
+
+    /// [`Network::rpc`] with bounded retransmission: each attempt is given
+    /// `retry_after` to complete; lost attempts are re-sent up to
+    /// `attempts` times. Models TCP retransmission plus hinted-handoff
+    /// style redelivery, so transient partitions delay (rather than
+    /// permanently drop) replica updates.
+    ///
+    /// The handler may run more than once (a response can be lost after
+    /// the request was served), so it must be idempotent — true for all
+    /// stamped LWW applications and Paxos message handlers.
+    ///
+    /// Never resolves if every attempt is lost; pair with a caller-side
+    /// timeout when that matters.
+    pub async fn rpc_reliable<R>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        req_bytes: usize,
+        handler: impl Fn() -> (R, usize),
+        attempts: u32,
+        retry_after: SimDuration,
+    ) -> R {
+        for attempt in 0..attempts.max(1) {
+            let last = attempt + 1 == attempts.max(1);
+            let fut = self.rpc(from, to, req_bytes, &handler);
+            if last {
+                return fut.await;
+            }
+            match crate::combinators::timeout(&self.inner.sim, retry_after, fut).await {
+                Ok(r) => return r,
+                Err(_) => continue,
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::{timeout, Elapsed};
+
+    fn quiet_cfg() -> NetConfig {
+        NetConfig {
+            service_fixed: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            loss: 0.0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    fn three_site_net(cfg: NetConfig) -> (Sim, Network, Vec<NodeId>) {
+        let sim = Sim::new();
+        let net = Network::new(sim.clone(), LatencyProfile::one_us(), cfg, 42);
+        let nodes = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+        (sim, net, nodes)
+    }
+
+    #[test]
+    fn transmit_takes_one_way_latency() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, c) = (n[0], n[2]);
+        let t = sim.block_on({
+            let net = net.clone();
+            async move {
+                net.transmit(a, c, 10).await;
+                net.sim().now()
+            }
+        });
+        // Ohio -> Oregon one-way = 72.14/2 ms.
+        assert_eq!(t.as_micros(), 36_070);
+    }
+
+    #[test]
+    fn rpc_takes_full_rtt() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        let t = sim.block_on({
+            let net = net.clone();
+            async move {
+                let v = net.rpc(a, b, 10, || (5u32, 10)).await;
+                assert_eq!(v, 5);
+                net.sim().now()
+            }
+        });
+        assert_eq!(t.as_micros(), 53_790);
+    }
+
+    #[test]
+    fn self_transmit_is_free_of_propagation() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let a = n[0];
+        let t = sim.block_on({
+            let net = net.clone();
+            async move {
+                net.transmit(a, a, 10).await;
+                net.sim().now()
+            }
+        });
+        assert_eq!(t.as_micros(), 0);
+    }
+
+    #[test]
+    fn service_queue_serializes_receiver() {
+        let mut cfg = quiet_cfg();
+        cfg.service_fixed = SimDuration::from_micros(100);
+        let sim = Sim::new();
+        let net = Network::new(sim.clone(), LatencyProfile::one_us(), cfg, 42);
+        // Two senders co-located at site 0: their messages arrive at the
+        // target simultaneously and must be serviced serially.
+        let a = net.add_node(SiteId(0));
+        let b = net.add_node(SiteId(0));
+        let target = net.add_node(SiteId(2));
+        // Two senders hit the same receiver at the same instant; receiver
+        // services serially, so completions are 100us apart.
+        let h1 = sim.spawn({
+            let net = net.clone();
+            async move {
+                net.transmit(a, target, 0).await;
+                net.sim().now()
+            }
+        });
+        let h2 = sim.spawn({
+            let net = net.clone();
+            async move {
+                net.transmit(b, target, 0).await;
+                net.sim().now()
+            }
+        });
+        sim.run();
+        let t1 = h1.try_result().unwrap();
+        let t2 = h2.try_result().unwrap();
+        let (first, second) = if t1 < t2 { (t1, t2) } else { (t2, t1) };
+        assert_eq!((second - first).as_micros(), 100);
+    }
+
+    #[test]
+    fn bandwidth_charges_large_payloads() {
+        let mut cfg = quiet_cfg();
+        cfg.bandwidth_bytes_per_sec = 1_000_000; // 1 MB/s
+        let (sim, net, n) = three_site_net(cfg);
+        let (a, b) = (n[0], n[1]);
+        let t = sim.block_on({
+            let net = net.clone();
+            async move {
+                net.transmit(a, b, 500_000).await; // 0.5s at sender + 0.5s at receiver
+                net.sim().now()
+            }
+        });
+        // 0.5s tx + 26.895ms propagation + 0.5s rx
+        assert_eq!(t.as_micros(), 500_000 + 26_895 + 500_000);
+    }
+
+    #[test]
+    fn cut_link_hangs_transmissions() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        net.set_link(a, b, false);
+        let out = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                timeout(&sim, SimDuration::from_millis(500), net.transmit(a, b, 1)).await
+            }
+        });
+        assert_eq!(out, Err(Elapsed));
+        // Heal and retry.
+        net.set_link(a, b, true);
+        let out = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                timeout(&sim, SimDuration::from_millis(500), net.transmit(a, b, 1)).await
+            }
+        });
+        assert_eq!(out, Ok(()));
+    }
+
+    #[test]
+    fn dead_node_receives_nothing() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        net.set_node_up(b, false);
+        let out = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                timeout(&sim, SimDuration::from_millis(500), net.transmit(a, b, 1)).await
+            }
+        });
+        assert_eq!(out, Err(Elapsed));
+    }
+
+    #[test]
+    fn partition_site_cuts_wan_not_lan() {
+        let sim = Sim::new();
+        let net = Network::new(sim.clone(), LatencyProfile::one_us(), quiet_cfg(), 1);
+        let a1 = net.add_node(SiteId(0));
+        let a2 = net.add_node(SiteId(0));
+        let b = net.add_node(SiteId(1));
+        net.partition_site(SiteId(0), true);
+        let (lan, wan) = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                let lan =
+                    timeout(&sim, SimDuration::from_millis(100), net.transmit(a1, a2, 1)).await;
+                let wan =
+                    timeout(&sim, SimDuration::from_millis(100), net.transmit(a1, b, 1)).await;
+                (lan, wan)
+            }
+        });
+        assert_eq!(lan, Ok(()));
+        assert_eq!(wan, Err(Elapsed));
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed: u64| -> u64 {
+            let sim = Sim::new();
+            let mut cfg = quiet_cfg();
+            cfg.loss = 0.5;
+            let net = Network::new(sim.clone(), LatencyProfile::one_l(), cfg, seed);
+            let a = net.add_node(SiteId(0));
+            let b = net.add_node(SiteId(1));
+            for _ in 0..100 {
+                let net2 = net.clone();
+                sim.spawn(async move {
+                    net2.transmit(a, b, 1).await;
+                });
+            }
+            sim.run();
+            net.stats().2
+        };
+        assert_eq!(run(7), run(7));
+        // At 50% loss the count is binomially concentrated around 50.
+        for seed in [7, 8, 9] {
+            let dropped = run(seed);
+            assert!((20..=80).contains(&dropped), "seed {seed}: {dropped}/100 dropped");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in profile")]
+    fn adding_node_at_unknown_site_panics() {
+        let sim = Sim::new();
+        let net = Network::new(sim, LatencyProfile::one_l(), NetConfig::default(), 0);
+        net.add_node(SiteId(9));
+    }
+
+    #[test]
+    fn net_config_and_times_are_serde_capable() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<NetConfig>();
+        assert_serde::<SimTime>();
+        assert_serde::<SimDuration>();
+    }
+
+    #[test]
+    fn rpc_reliable_retransmits_through_a_transient_cut() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        net.set_link(a, b, false);
+        // Heal the link after 3 seconds (within the retry budget).
+        {
+            let net2 = net.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_secs(3)).await;
+                net2.set_link(a, b, true);
+            });
+        }
+        let calls = Rc::new(std::cell::Cell::new(0u32));
+        let calls2 = Rc::clone(&calls);
+        let out = sim.block_on({
+            let net = net.clone();
+            async move {
+                net.rpc_reliable(
+                    a,
+                    b,
+                    16,
+                    move || {
+                        calls2.set(calls2.get() + 1);
+                        (7u32, 16)
+                    },
+                    10,
+                    SimDuration::from_secs(2),
+                )
+                .await
+            }
+        });
+        assert_eq!(out, 7);
+        assert_eq!(calls.get(), 1, "handler ran exactly once after healing");
+    }
+
+    #[test]
+    fn rpc_reliable_gives_up_after_the_attempt_budget() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        net.set_link(a, b, false); // never healed
+        let out = sim.block_on({
+            let net = net.clone();
+            let sim2 = sim.clone();
+            async move {
+                timeout(
+                    &sim2,
+                    SimDuration::from_secs(30),
+                    net.rpc_reliable(a, b, 16, || ((), 16), 3, SimDuration::from_secs(2)),
+                )
+                .await
+            }
+        });
+        // 3 attempts × 2s, then the last attempt hangs: outer timeout fires.
+        assert_eq!(out, Err(Elapsed));
+    }
+}

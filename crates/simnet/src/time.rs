@@ -1,0 +1,249 @@
+//! Virtual time types for the simulation.
+//!
+//! All simulated clocks tick in **microseconds**. Microsecond granularity is
+//! deliberate: the MUSIC paper's `forcedRelease` timestamp bump `δ` is one
+//! microsecond in the production deployment (§IV-B), so the native tick of
+//! the simulator can express it exactly.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulation's virtual clock, in microseconds since the
+/// start of the run.
+///
+/// `SimTime` is totally ordered and starts at [`SimTime::ZERO`]. It only ever
+/// moves forward while the simulation executes.
+///
+/// # Examples
+///
+/// ```
+/// use music_simnet::time::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// ```
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time so far in the future that no simulation reaches it.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Returns the time as microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as (truncated) milliseconds since the origin.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the time as fractional seconds since the origin.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of virtual time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use music_simnet::time::SimDuration;
+///
+/// let rtt = SimDuration::from_millis_f64(53.79);
+/// assert_eq!(rtt.as_micros(), 53_790);
+/// assert_eq!(rtt / 2, SimDuration::from_micros(26_895));
+/// ```
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from fractional milliseconds (e.g. Table II RTTs
+    /// such as `53.79`), rounding to the nearest microsecond.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration((ms * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Returns the duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to the nearest
+    /// microsecond.
+    pub fn mul_f64(self, factor: f64) -> Self {
+        debug_assert!(factor >= 0.0, "duration factor must be non-negative");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_millis(3);
+        assert_eq!(t1 - t0, SimDuration::from_micros(3_000));
+        assert_eq!(t1.as_millis(), 3);
+    }
+
+    #[test]
+    fn saturating_subtraction_never_underflows() {
+        let early = SimTime::from_micros(10);
+        let late = SimTime::from_micros(50);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_micros(40));
+    }
+
+    #[test]
+    fn fractional_millis_round_to_micros() {
+        assert_eq!(SimDuration::from_millis_f64(0.2).as_micros(), 200);
+        assert_eq!(SimDuration::from_millis_f64(150.74).as_micros(), 150_740);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_micros(100);
+        assert_eq!(d * 3, SimDuration::from_micros(300));
+        assert_eq!(d / 4, SimDuration::from_micros(25));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::from_secs(2)).to_string(),
+            "2.000000s"
+        );
+    }
+
+    #[test]
+    fn max_time_is_after_everything() {
+        assert!(SimTime::MAX > SimTime::from_micros(u64::MAX - 1));
+        // Adding to MAX saturates rather than wrapping.
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+    }
+}

@@ -1,0 +1,194 @@
+//! Site topology and the WAN latency profiles of Table II.
+//!
+//! A *site* is a data center at a physical location; sites are connected by
+//! a WAN whose round-trip times are given by a symmetric RTT matrix. The
+//! paper's three 3-site profiles (`1l`, `1Us`, `1UsEu`, Table II) are
+//! provided as constructors, and arbitrary matrices can be built for larger
+//! deployments (e.g. the 9-node sharded cluster of Fig. 4(b)).
+
+use crate::time::SimDuration;
+
+/// Identifier of a geographic site (data center).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SiteId(pub u32);
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// A named set of sites plus the symmetric RTT matrix between them.
+///
+/// # Examples
+///
+/// ```
+/// use music_simnet::topology::LatencyProfile;
+///
+/// let p = LatencyProfile::one_us();
+/// assert_eq!(p.site_count(), 3);
+/// // Ohio <-> Oregon RTT from Table II.
+/// assert_eq!(p.rtt(0, 2).as_micros(), 72_140);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyProfile {
+    name: String,
+    site_names: Vec<String>,
+    /// Full symmetric RTT matrix (ms), diagonal = intra-site RTT.
+    rtt_ms: Vec<Vec<f64>>,
+}
+
+/// Intra-site RTT used on the matrix diagonal (same-rack networking).
+const INTRA_SITE_RTT_MS: f64 = 0.2;
+
+impl LatencyProfile {
+    /// Builds a profile from a list of site names and the upper-triangle
+    /// RTTs in row-major order: for `n` sites, `upper` holds
+    /// `rtt(0,1), rtt(0,2), …, rtt(0,n-1), rtt(1,2), …` — the same order
+    /// Table II uses (`Site1-Site2, Site1-Site3, Site2-Site3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper.len() != n*(n-1)/2` or any RTT is negative.
+    pub fn from_upper_triangle(
+        name: impl Into<String>,
+        site_names: &[&str],
+        upper: &[f64],
+    ) -> Self {
+        let n = site_names.len();
+        assert_eq!(upper.len(), n * (n - 1) / 2, "wrong upper-triangle length");
+        assert!(upper.iter().all(|&x| x >= 0.0), "negative RTT");
+        let mut rtt_ms = vec![vec![INTRA_SITE_RTT_MS; n]; n];
+        let mut it = upper.iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = *it.next().expect("length checked");
+                rtt_ms[i][j] = v;
+                rtt_ms[j][i] = v;
+            }
+        }
+        LatencyProfile {
+            name: name.into(),
+            site_names: site_names.iter().map(|s| s.to_string()).collect(),
+            rtt_ms,
+        }
+    }
+
+    /// Table II profile `1l`: Ohio, Ohio, N. Virginia — within one AWS
+    /// region plus one nearby region.
+    pub fn one_l() -> Self {
+        Self::from_upper_triangle("1l", &["Ohio", "Ohio", "N.Virginia"], &[0.2, 15.14, 15.14])
+    }
+
+    /// Table II profile `1Us`: Ohio, N. California, Oregon — cross-region,
+    /// within the US.
+    pub fn one_us() -> Self {
+        Self::from_upper_triangle(
+            "1Us",
+            &["Ohio", "N.California", "Oregon"],
+            &[53.79, 72.14, 24.2],
+        )
+    }
+
+    /// Table II profile `1UsEu`: Ohio, N. California, Frankfurt —
+    /// intercontinental.
+    pub fn one_us_eu() -> Self {
+        Self::from_upper_triangle(
+            "1UsEu",
+            &["Ohio", "N.California", "Frankfurt"],
+            &[53.79, 100.56, 150.74],
+        )
+    }
+
+    /// The three Table II profiles in paper order.
+    pub fn table_ii() -> Vec<LatencyProfile> {
+        vec![Self::one_l(), Self::one_us(), Self::one_us_eu()]
+    }
+
+    /// Profile name (e.g. `"1Us"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.site_names.len()
+    }
+
+    /// Human-readable name of a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn site_name(&self, site: usize) -> &str {
+        &self.site_names[site]
+    }
+
+    /// Round-trip time between two sites (intra-site on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn rtt(&self, a: usize, b: usize) -> SimDuration {
+        SimDuration::from_millis_f64(self.rtt_ms[a][b])
+    }
+
+    /// One-way propagation delay between two sites (half the RTT).
+    pub fn one_way(&self, a: usize, b: usize) -> SimDuration {
+        SimDuration::from_millis_f64(self.rtt_ms[a][b] / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_matches_paper() {
+        let p = LatencyProfile::one_l();
+        assert_eq!(p.rtt(0, 1).as_micros(), 200);
+        assert_eq!(p.rtt(0, 2).as_micros(), 15_140);
+        assert_eq!(p.rtt(1, 2).as_micros(), 15_140);
+
+        let p = LatencyProfile::one_us();
+        assert_eq!(p.rtt(0, 1).as_micros(), 53_790);
+        assert_eq!(p.rtt(0, 2).as_micros(), 72_140);
+        assert_eq!(p.rtt(1, 2).as_micros(), 24_200);
+
+        let p = LatencyProfile::one_us_eu();
+        assert_eq!(p.rtt(0, 1).as_micros(), 53_790);
+        assert_eq!(p.rtt(0, 2).as_micros(), 100_560);
+        assert_eq!(p.rtt(1, 2).as_micros(), 150_740);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for p in LatencyProfile::table_ii() {
+            for a in 0..p.site_count() {
+                for b in 0..p.site_count() {
+                    assert_eq!(p.rtt(a, b), p.rtt(b, a), "{} rtt({a},{b})", p.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_is_half_rtt() {
+        let p = LatencyProfile::one_us();
+        assert_eq!(p.one_way(0, 2).as_micros(), 36_070);
+    }
+
+    #[test]
+    fn diagonal_is_intra_site() {
+        let p = LatencyProfile::one_us_eu();
+        for a in 0..3 {
+            assert_eq!(p.rtt(a, a).as_micros(), 200);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong upper-triangle length")]
+    fn bad_triangle_length_panics() {
+        LatencyProfile::from_upper_triangle("x", &["a", "b", "c"], &[1.0]);
+    }
+}

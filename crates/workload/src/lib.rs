@@ -1,0 +1,16 @@
+//! # music-workload
+//!
+//! Workload generation for the MUSIC experiments: a YCSB-faithful Zipfian
+//! key chooser ([`zipfian`]), the R / UR / U operation mixes of Fig. 9
+//! ([`ycsb`]), and the batch-size / data-size sweep constants of
+//! Figs. 6–7 ([`sweep`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sweep;
+pub mod ycsb;
+pub mod zipfian;
+
+pub use ycsb::{Op, WorkloadKind, WorkloadSpec, YcsbGenerator};
+pub use zipfian::Zipfian;

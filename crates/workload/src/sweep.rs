@@ -1,0 +1,54 @@
+//! Sweep constants shared by the Fig. 6 / Fig. 7 reproductions.
+
+/// Batch sizes (criticalPuts per critical section) of Fig. 6(a) / 7(a).
+pub const BATCH_SIZES: [usize; 3] = [10, 100, 1000];
+
+/// Data sizes of Fig. 6(b) / 7(b), 10 B – 256 KB at a fixed batch of 100.
+pub const DATA_SIZES: [usize; 5] = [10, 1_024, 16 * 1_024, 64 * 1_024, 256 * 1_024];
+
+/// The fixed batch size used in the data-size sweeps.
+pub const DATA_SWEEP_BATCH: usize = 100;
+
+/// The default small value size (10 bytes) used everywhere else.
+pub const DEFAULT_VALUE_SIZE: usize = 10;
+
+/// Human-readable size label (10B, 1KB, 256KB) as the paper prints them.
+pub fn size_label(bytes: usize) -> String {
+    if bytes < 1_024 {
+        format!("{bytes}B")
+    } else {
+        format!("{}KB", bytes / 1_024)
+    }
+}
+
+/// A deterministic payload of `size` bytes (compressible, but the
+/// simulator only meters lengths).
+pub fn payload(size: usize) -> Vec<u8> {
+    (0..size).map(|i| (i % 251) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_axis() {
+        assert_eq!(size_label(10), "10B");
+        assert_eq!(size_label(1024), "1KB");
+        assert_eq!(size_label(262_144), "256KB");
+    }
+
+    #[test]
+    fn payload_has_requested_length() {
+        assert_eq!(payload(0).len(), 0);
+        assert_eq!(payload(12345).len(), 12345);
+    }
+
+    #[test]
+    fn sweep_constants_match_figures() {
+        assert_eq!(BATCH_SIZES, [10, 100, 1000]);
+        assert_eq!(DATA_SIZES[0], 10);
+        assert_eq!(*DATA_SIZES.last().unwrap(), 256 * 1024);
+        assert_eq!(DATA_SWEEP_BATCH, 100);
+    }
+}

@@ -1,0 +1,188 @@
+//! The Zipfian integer generator used by YCSB (Gray et al., "Quickly
+//! generating billion-record synthetic databases", SIGMOD '94), with the
+//! standard YCSB skew constant θ = 0.99.
+
+use rand::Rng;
+
+/// Zipfian-distributed values over `0..n`.
+///
+/// Item 0 is the most popular; popularity decays as `1/rank^θ`.
+///
+/// # Examples
+///
+/// ```
+/// use music_workload::Zipfian;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let zipf = Zipfian::new(1000);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let v = zipf.sample(&mut rng);
+/// assert!(v < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// Creates a generator over `0..n` with the default θ = 0.99.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, Self::DEFAULT_THETA)
+    }
+
+    /// Creates a generator over `0..n` with skew `theta` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// The generalized harmonic number `H_{n,θ}` (exposed for tests).
+    pub fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// The population size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one value in `0..n` (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Draws a *scrambled* value: Zipfian popularity spread uniformly over
+    /// the key space (YCSB's `ScrambledZipfianGenerator`), avoiding
+    /// hot-spot clustering on consecutive keys.
+    pub fn sample_scrambled<R: Rng>(&self, rng: &mut R) -> u64 {
+        let v = self.sample(rng);
+        // FNV-1a scramble.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h % self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipfian::new(100);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+            assert!(z.sample_scrambled(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn most_popular_item_dominates() {
+        let z = Zipfian::new(1000);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut count0 = 0;
+        let trials = 100_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        // Theory: P(0) = 1/zetan ≈ 0.128 for n=1000, θ=0.99.
+        let p0 = count0 as f64 / trials as f64;
+        assert!((0.10..0.16).contains(&p0), "P(item 0) = {p0}");
+    }
+
+    #[test]
+    fn distribution_is_monotone_decreasing_in_rank() {
+        let z = Zipfian::new(50);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = vec![0u64; 50];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Compare coarse buckets to tolerate noise.
+        let head: u64 = counts[..5].iter().sum();
+        let mid: u64 = counts[5..20].iter().sum();
+        let tail: u64 = counts[20..].iter().sum();
+        assert!(head > mid, "head {head} vs mid {mid}");
+        assert!(mid > tail, "mid {mid} vs tail {tail}");
+    }
+
+    #[test]
+    fn scrambled_spreads_the_hot_key() {
+        let z = Zipfian::new(1000);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut hot = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *hot.entry(z.sample_scrambled(&mut rng)).or_insert(0u64) += 1;
+        }
+        // The hottest scrambled key is NOT key 0 in general, but some key
+        // still receives the Zipfian head mass.
+        let (_, max) = hot.iter().max_by_key(|(_, c)| **c).unwrap();
+        assert!(*max > 800, "head mass preserved after scrambling");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let z = Zipfian::new(500);
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    #[test]
+    fn zeta_values_sane() {
+        assert!((Zipfian::zeta(2, 0.5) - (1.0 + 1.0 / 2f64.sqrt())).abs() < 1e-12);
+        assert!((Zipfian::zeta(1, 0.99) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_population_panics() {
+        Zipfian::new(0);
+    }
+}

@@ -1,0 +1,716 @@
+//! The replicated ensemble: Zab-style total-order broadcast with a stable
+//! leader, plus client sessions.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use music_simnet::combinators::{quorum, timeout};
+use music_simnet::net::{Network, NodeId};
+use music_simnet::time::SimDuration;
+
+use crate::znode::{CreateMode, TreeError, Znode, ZnodeTree};
+
+/// Fixed per-message envelope for the cost model.
+const HEADER: usize = 48;
+
+/// Errors surfaced to ZooKeeper clients.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ZkError {
+    /// Create of an existing path.
+    NodeExists,
+    /// Operation on a missing path.
+    NoNode,
+    /// Delete of a non-empty node.
+    NotEmpty,
+    /// The ensemble could not commit within the timeout.
+    ConnectionLoss,
+}
+
+impl std::fmt::Display for ZkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZkError::NodeExists => write!(f, "node already exists"),
+            ZkError::NoNode => write!(f, "no such node"),
+            ZkError::NotEmpty => write!(f, "node has children"),
+            ZkError::ConnectionLoss => write!(f, "connection loss"),
+        }
+    }
+}
+
+impl std::error::Error for ZkError {}
+
+impl From<TreeError> for ZkError {
+    fn from(e: TreeError) -> Self {
+        match e {
+            TreeError::NodeExists => ZkError::NodeExists,
+            TreeError::NoNode => ZkError::NoNode,
+            TreeError::NotEmpty => ZkError::NotEmpty,
+        }
+    }
+}
+
+/// A sequenced transaction (created at the leader, applied everywhere in
+/// zxid order).
+#[derive(Clone, Debug)]
+enum Txn {
+    Create {
+        actual_path: String,
+        data: Bytes,
+        mode: CreateMode,
+        session: u64,
+    },
+    SetData {
+        path: String,
+        data: Bytes,
+    },
+    Delete {
+        path: String,
+    },
+}
+
+impl Txn {
+    fn wire_bytes(&self) -> usize {
+        HEADER
+            + match self {
+                Txn::Create { actual_path, data, .. } => actual_path.len() + data.len(),
+                Txn::SetData { path, data } => path.len() + data.len(),
+                Txn::Delete { path } => path.len(),
+            }
+    }
+}
+
+struct ServerState {
+    tree: ZnodeTree,
+    last_applied: u64,
+    pending: BTreeMap<u64, Txn>,
+}
+
+impl ServerState {
+    fn new() -> Self {
+        ServerState {
+            tree: ZnodeTree::new(),
+            last_applied: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Buffers a committed txn and applies everything in-order; returns
+    /// the txns actually applied this call (for watch triggering).
+    fn commit(&mut self, zxid: u64, txn: Txn) -> Vec<Txn> {
+        self.pending.insert(zxid, txn);
+        let mut applied = Vec::new();
+        while let Some(entry) = self.pending.first_entry() {
+            if *entry.key() != self.last_applied + 1 {
+                break;
+            }
+            let (zxid, txn) = self.pending.pop_first().expect("non-empty");
+            // Application is infallible: the leader validated against its
+            // own tree, and all trees evolve identically in zxid order.
+            match &txn {
+                Txn::Create { actual_path, data, mode, session } => {
+                    // Recreate with the leader-assigned name: bypass the
+                    // sequential logic by creating the exact path.
+                    let mode = if mode.is_ephemeral() {
+                        CreateMode::Ephemeral
+                    } else {
+                        CreateMode::Persistent
+                    };
+                    let _ = self.tree.create(actual_path, data.clone(), mode, Some(*session));
+                }
+                Txn::SetData { path, data } => {
+                    let _ = self.tree.set_data(path, data.clone());
+                }
+                Txn::Delete { path } => {
+                    let _ = self.tree.delete(path);
+                }
+            }
+            self.last_applied = zxid;
+            applied.push(txn);
+        }
+        applied
+    }
+}
+
+/// What a watch observes (one-shot, like ZooKeeper's).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum WatchKind {
+    /// Data change or deletion of the path.
+    Data(String),
+    /// Child set change under the path.
+    Children(String),
+}
+
+/// Client-side state of a registered watch.
+#[derive(Debug, Default)]
+struct WatchCell {
+    fired: Cell<bool>,
+    waker: RefCell<Option<std::task::Waker>>,
+}
+
+impl WatchCell {
+    fn fire(&self) {
+        self.fired.set(true);
+        if let Some(w) = self.waker.borrow_mut().take() {
+            w.wake();
+        }
+    }
+}
+
+/// A pending one-shot watch notification target.
+struct WatchEntry {
+    client: NodeId,
+    cell: Rc<WatchCell>,
+}
+
+struct Inner {
+    net: Network,
+    nodes: Vec<NodeId>,
+    servers: Vec<Rc<RefCell<ServerState>>>,
+    /// Leader's shadow tree used only for validation and sequence-suffix
+    /// assignment at proposal time (it evolves exactly like the replicas).
+    leader_tree: RefCell<ZnodeTree>,
+    leader: usize,
+    next_zxid: Cell<u64>,
+    next_session: Cell<u64>,
+    op_timeout: SimDuration,
+    /// Watches registered per (server, aspect).
+    watches: RefCell<std::collections::HashMap<(usize, WatchKind), Vec<WatchEntry>>>,
+    /// Set when the leader fails to replicate to a quorum: a real leader
+    /// without a quorum steps down, and this stable-leader model (no
+    /// elections) has nobody to take over — so the ensemble stops
+    /// accepting writes rather than letting the leader's shadow tree
+    /// drift ahead of the replicas.
+    degraded: Cell<bool>,
+}
+
+/// A ZooKeeper-like ensemble with a stable leader at `nodes[0]`.
+#[derive(Clone)]
+pub struct ZkEnsemble {
+    inner: Rc<Inner>,
+}
+
+impl std::fmt::Debug for ZkEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZkEnsemble")
+            .field("nodes", &self.inner.nodes)
+            .field("leader", &self.inner.leader)
+            .finish()
+    }
+}
+
+impl ZkEnsemble {
+    /// Creates an ensemble over `nodes`; `nodes[0]` is the stable leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(net: Network, nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "ensemble needs at least one server");
+        let servers = (0..nodes.len())
+            .map(|_| Rc::new(RefCell::new(ServerState::new())))
+            .collect();
+        ZkEnsemble {
+            inner: Rc::new(Inner {
+                net,
+                nodes,
+                servers,
+                leader_tree: RefCell::new(ZnodeTree::new()),
+                leader: 0,
+                next_zxid: Cell::new(0),
+                next_session: Cell::new(1),
+                op_timeout: SimDuration::from_secs(4),
+                watches: RefCell::new(std::collections::HashMap::new()),
+                degraded: Cell::new(false),
+            }),
+        }
+    }
+
+    /// Whether the leader lost its quorum and stepped down (writes are
+    /// refused from then on; see `Inner::degraded`).
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.get()
+    }
+
+    fn parent_of(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) | None => "/".to_string(),
+            Some(i) => path[..i].to_string(),
+        }
+    }
+
+    /// Applies committed txns at `server_idx` and fires any watches the
+    /// applications trigger (notifications travel server → client).
+    fn commit_at(&self, server_idx: usize, zxid: u64, txn: Txn) {
+        let applied = self.inner.servers[server_idx].borrow_mut().commit(zxid, txn);
+        for txn in applied {
+            let kinds: Vec<WatchKind> = match &txn {
+                Txn::Create { actual_path, .. } => {
+                    vec![WatchKind::Children(Self::parent_of(actual_path))]
+                }
+                Txn::SetData { path, .. } => vec![WatchKind::Data(path.clone())],
+                Txn::Delete { path } => vec![
+                    WatchKind::Data(path.clone()),
+                    WatchKind::Children(Self::parent_of(path)),
+                ],
+            };
+            for kind in kinds {
+                let entries = self
+                    .inner
+                    .watches
+                    .borrow_mut()
+                    .remove(&(server_idx, kind))
+                    .unwrap_or_default();
+                for entry in entries {
+                    let net = self.inner.net.clone();
+                    let server_node = self.inner.nodes[server_idx];
+                    self.inner.net.sim().spawn(async move {
+                        net.transmit(server_node, entry.client, HEADER).await;
+                        entry.cell.fire();
+                    });
+                }
+            }
+        }
+    }
+
+    /// Node id of the stable leader.
+    pub fn leader_node(&self) -> NodeId {
+        self.inner.nodes[self.inner.leader]
+    }
+
+    /// Opens a session from `client_node`, connected to the closest server
+    /// (as ZooKeeper clients do).
+    pub fn connect(&self, client_node: NodeId) -> ZkSession {
+        let server_idx = (0..self.inner.nodes.len())
+            .min_by_key(|&i| {
+                (
+                    self.inner.net.propagation(client_node, self.inner.nodes[i]),
+                    i,
+                )
+            })
+            .expect("non-empty ensemble");
+        let id = self.inner.next_session.get();
+        self.inner.next_session.set(id + 1);
+        ZkSession {
+            ens: self.clone(),
+            client_node,
+            server_idx,
+            id,
+            closed: Cell::new(false),
+        }
+    }
+
+    /// Validates + sequences a request at the leader, returning the zxid
+    /// and the concrete txn.
+    fn sequence(&self, req: Request, session: u64) -> Result<(u64, Txn, String), ZkError> {
+        let mut tree = self.inner.leader_tree.borrow_mut();
+        let (txn, reply_path) = match req {
+            Request::Create { path, data, mode } => {
+                let actual = tree.create(&path, data.clone(), mode, Some(session))?;
+                (
+                    Txn::Create {
+                        actual_path: actual.clone(),
+                        data,
+                        mode,
+                        session,
+                    },
+                    actual,
+                )
+            }
+            Request::SetData { path, data } => {
+                tree.set_data(&path, data.clone())?;
+                (Txn::SetData { path: path.clone(), data }, path)
+            }
+            Request::Delete { path } => {
+                tree.delete(&path)?;
+                (Txn::Delete { path: path.clone() }, path)
+            }
+        };
+        let zxid = self.inner.next_zxid.get() + 1;
+        self.inner.next_zxid.set(zxid);
+        Ok((zxid, txn, reply_path))
+    }
+
+    /// The full write path: forward → propose → quorum ack → commit.
+    async fn submit(
+        &self,
+        client_node: NodeId,
+        server_idx: usize,
+        session: u64,
+        req: Request,
+    ) -> Result<String, ZkError> {
+        let inner = &self.inner;
+        let net = &inner.net;
+        let sim = net.sim().clone();
+        let leader_node = self.leader_node();
+        let server_node = inner.nodes[server_idx];
+        let req_bytes = req.wire_bytes();
+
+        if inner.degraded.get() {
+            return Err(ZkError::ConnectionLoss);
+        }
+
+        // Client → connected server (→ leader if connected to a follower).
+        net.transmit(client_node, server_node, req_bytes).await;
+        if server_idx != inner.leader {
+            net.transmit(server_node, leader_node, req_bytes).await;
+        }
+
+        // Leader: validate, assign zxid, build the txn.
+        let (zxid, txn, reply_path) = match self.sequence(req, session) {
+            Ok(v) => v,
+            Err(e) => {
+                // Error reply travels back over the network too.
+                if server_idx != inner.leader {
+                    net.transmit(leader_node, server_node, HEADER).await;
+                }
+                net.transmit(server_node, client_node, HEADER).await;
+                return Err(e);
+            }
+        };
+
+        // Propose to all followers; quorum counts the leader itself.
+        let txn_bytes = txn.wire_bytes();
+        let mut acks = Vec::new();
+        for (i, &follower) in inner.nodes.iter().enumerate() {
+            if i == inner.leader {
+                continue;
+            }
+            let net = net.clone();
+            acks.push(sim.spawn(async move {
+                net.transmit(leader_node, follower, txn_bytes).await;
+                net.transmit(follower, leader_node, HEADER).await;
+            }));
+        }
+        let need = (inner.nodes.len() / 2 + 1).saturating_sub(1); // minus leader self-ack
+        if need > 0
+            && timeout(&sim, inner.op_timeout, quorum(acks, need))
+                .await
+                .is_err()
+        {
+            // No quorum: the leader steps down (its shadow tree is now
+            // ahead of the replicas and must not keep validating writes).
+            inner.degraded.set(true);
+            return Err(ZkError::ConnectionLoss);
+        }
+
+        // Commit: apply at the leader, broadcast COMMIT to followers.
+        self.commit_at(inner.leader, zxid, txn.clone());
+        let mut committed_at_server = inner.leader == server_idx;
+        let mut commit_handles = Vec::new();
+        for (i, &follower) in inner.nodes.iter().enumerate() {
+            if i == inner.leader {
+                continue;
+            }
+            let net2 = net.clone();
+            let this = self.clone();
+            let txn2 = txn.clone();
+            let h = sim.spawn(async move {
+                net2.transmit(leader_node, follower, HEADER).await;
+                this.commit_at(i, zxid, txn2);
+            });
+            if i == server_idx {
+                // The connected server must apply before replying.
+                timeout(&sim, inner.op_timeout, h)
+                    .await
+                    .map_err(|_| ZkError::ConnectionLoss)?;
+                committed_at_server = true;
+            } else {
+                commit_handles.push(h); // detached
+            }
+        }
+        debug_assert!(committed_at_server);
+
+        // Reply to the client via the connected server.
+        if server_idx != inner.leader {
+            // (commit doubled as the leader→server hop above)
+        } else {
+            // leader == connected server: nothing extra.
+        }
+        net.transmit(server_node, client_node, HEADER).await;
+        drop(commit_handles);
+        Ok(reply_path)
+    }
+
+    /// Local (possibly stale) read at a server.
+    async fn read_at<R: 'static>(
+        &self,
+        client_node: NodeId,
+        server_idx: usize,
+        resp_bytes_hint: usize,
+        f: impl FnOnce(&ZnodeTree) -> R,
+    ) -> R {
+        let net = &self.inner.net;
+        let server_node = self.inner.nodes[server_idx];
+        let state = Rc::clone(&self.inner.servers[server_idx]);
+        net.rpc(client_node, server_node, HEADER, move || {
+            let out = f(&state.borrow().tree);
+            (out, resp_bytes_hint)
+        })
+        .await
+    }
+
+    /// Local read that also registers a one-shot watch at the server.
+    async fn read_with_watch<R: 'static>(
+        &self,
+        client_node: NodeId,
+        server_idx: usize,
+        kind: WatchKind,
+        resp_bytes_hint: usize,
+        f: impl FnOnce(&ZnodeTree) -> R + 'static,
+    ) -> (R, Watch) {
+        let cell = Rc::new(WatchCell::default());
+        let cell2 = Rc::clone(&cell);
+        let this = self.clone();
+        let out = self
+            .read_at(client_node, server_idx, resp_bytes_hint, move |tree| {
+                this.inner
+                    .watches
+                    .borrow_mut()
+                    .entry((server_idx, kind))
+                    .or_default()
+                    .push(WatchEntry {
+                        client: client_node,
+                        cell: cell2,
+                    });
+                f(tree)
+            })
+            .await;
+        (out, Watch { cell })
+    }
+
+    /// Direct view of a server's tree (tests/instrumentation).
+    pub fn peek_tree<R>(&self, server_idx: usize, f: impl FnOnce(&ZnodeTree) -> R) -> R {
+        f(&self.inner.servers[server_idx].borrow().tree)
+    }
+}
+
+/// A one-shot watch notification, as delivered by ZooKeeper: resolves when
+/// the watched aspect changes *at the connected server* (the notification
+/// travels the network like any message).
+#[derive(Debug)]
+pub struct Watch {
+    cell: Rc<WatchCell>,
+}
+
+impl Watch {
+    /// Whether the watch already fired.
+    pub fn fired(&self) -> bool {
+        self.cell.fired.get()
+    }
+}
+
+impl std::future::Future for Watch {
+    type Output = ();
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<()> {
+        if self.cell.fired.get() {
+            std::task::Poll::Ready(())
+        } else {
+            *self.cell.waker.borrow_mut() = Some(cx.waker().clone());
+            std::task::Poll::Pending
+        }
+    }
+}
+
+enum Request {
+    Create {
+        path: String,
+        data: Bytes,
+        mode: CreateMode,
+    },
+    SetData {
+        path: String,
+        data: Bytes,
+    },
+    Delete {
+        path: String,
+    },
+}
+
+impl Request {
+    fn wire_bytes(&self) -> usize {
+        HEADER
+            + match self {
+                Request::Create { path, data, .. } => path.len() + data.len(),
+                Request::SetData { path, data } => path.len() + data.len(),
+                Request::Delete { path } => path.len(),
+            }
+    }
+}
+
+/// A client session connected to one server of the ensemble.
+#[derive(Debug)]
+pub struct ZkSession {
+    ens: ZkEnsemble,
+    client_node: NodeId,
+    server_idx: usize,
+    id: u64,
+    closed: Cell<bool>,
+}
+
+impl ZkSession {
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The simulation driving this session's ensemble (used by recipes for
+    /// poll timing).
+    pub fn ens_sim(&self) -> music_simnet::executor::Sim {
+        self.ens.inner.net.sim().clone()
+    }
+
+    /// Index of the server this session is connected to.
+    pub fn server_idx(&self) -> usize {
+        self.server_idx
+    }
+
+    /// Creates a znode; returns the actual path (with sequence suffix for
+    /// sequential modes).
+    ///
+    /// # Errors
+    ///
+    /// [`ZkError::NodeExists`], [`ZkError::NoNode`] (missing parent), or
+    /// [`ZkError::ConnectionLoss`].
+    pub async fn create(
+        &self,
+        path: &str,
+        data: Bytes,
+        mode: CreateMode,
+    ) -> Result<String, ZkError> {
+        self.ens
+            .submit(
+                self.client_node,
+                self.server_idx,
+                self.id,
+                Request::Create {
+                    path: path.to_string(),
+                    data,
+                    mode,
+                },
+            )
+            .await
+    }
+
+    /// Overwrites a znode's data.
+    ///
+    /// # Errors
+    ///
+    /// [`ZkError::NoNode`] or [`ZkError::ConnectionLoss`].
+    pub async fn set_data(&self, path: &str, data: Bytes) -> Result<(), ZkError> {
+        self.ens
+            .submit(
+                self.client_node,
+                self.server_idx,
+                self.id,
+                Request::SetData {
+                    path: path.to_string(),
+                    data,
+                },
+            )
+            .await
+            .map(|_| ())
+    }
+
+    /// Deletes a znode.
+    ///
+    /// # Errors
+    ///
+    /// [`ZkError::NoNode`], [`ZkError::NotEmpty`], or
+    /// [`ZkError::ConnectionLoss`].
+    pub async fn delete(&self, path: &str) -> Result<(), ZkError> {
+        self.ens
+            .submit(
+                self.client_node,
+                self.server_idx,
+                self.id,
+                Request::Delete {
+                    path: path.to_string(),
+                },
+            )
+            .await
+            .map(|_| ())
+    }
+
+    /// Reads a znode's data from the connected server (possibly stale).
+    pub async fn get_data(&self, path: &str) -> Option<Bytes> {
+        let path = path.to_string();
+        self.ens
+            .read_at(self.client_node, self.server_idx, 256, move |t| {
+                t.get(&path).map(|n: &Znode| n.data.clone())
+            })
+            .await
+    }
+
+    /// Sorted child names of `path` from the connected server (possibly
+    /// stale).
+    pub async fn get_children(&self, path: &str) -> Vec<String> {
+        let path = path.to_string();
+        self.ens
+            .read_at(self.client_node, self.server_idx, 256, move |t| {
+                t.children(&path)
+            })
+            .await
+    }
+
+    /// Like [`ZkSession::get_data`], additionally registering a one-shot
+    /// [`Watch`] that resolves when the node's data changes or the node is
+    /// deleted (as seen by the connected server).
+    pub async fn get_data_watch(&self, path: &str) -> (Option<Bytes>, Watch) {
+        let p = path.to_string();
+        self.ens
+            .read_with_watch(
+                self.client_node,
+                self.server_idx,
+                WatchKind::Data(path.to_string()),
+                256,
+                move |t| t.get(&p).map(|n: &Znode| n.data.clone()),
+            )
+            .await
+    }
+
+    /// Like [`ZkSession::get_children`], additionally registering a
+    /// one-shot [`Watch`] on the child set.
+    pub async fn get_children_watch(&self, path: &str) -> (Vec<String>, Watch) {
+        let p = path.to_string();
+        self.ens
+            .read_with_watch(
+                self.client_node,
+                self.server_idx,
+                WatchKind::Children(path.to_string()),
+                256,
+                move |t| t.children(&p),
+            )
+            .await
+    }
+
+    /// Closes the session, deleting its ephemerals (replicated like any
+    /// other writes).
+    ///
+    /// # Errors
+    ///
+    /// [`ZkError::ConnectionLoss`] if cleanup writes cannot commit.
+    pub async fn close(self) -> Result<(), ZkError> {
+        self.closed.set(true);
+        let paths = {
+            let tree = self.ens.inner.leader_tree.borrow();
+            tree.ephemerals_of(self.id)
+        };
+        for p in paths {
+            self.ens
+                .submit(
+                    self.client_node,
+                    self.server_idx,
+                    self.id,
+                    Request::Delete { path: p },
+                )
+                .await?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,342 @@
+//! The znode tree: hierarchical key space with versions, sequential
+//! counters, and ephemeral owners.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+/// How a znode is created.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CreateMode {
+    /// Plain persistent node.
+    Persistent,
+    /// Persistent node whose name gets a monotonically increasing suffix.
+    PersistentSequential,
+    /// Node deleted automatically when its owning session closes.
+    Ephemeral,
+    /// Ephemeral + sequential — the lock-recipe workhorse.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    /// Whether the name receives a sequence suffix.
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CreateMode::PersistentSequential | CreateMode::EphemeralSequential
+        )
+    }
+
+    /// Whether the node dies with its session.
+    pub fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+}
+
+/// One node of the tree.
+#[derive(Clone, Debug)]
+pub struct Znode {
+    /// Payload.
+    pub data: Bytes,
+    /// Data version, incremented on every `setData`.
+    pub version: u64,
+    /// Children-change version (drives sequential suffixes).
+    pub cversion: u64,
+    /// Owning session for ephemeral nodes.
+    pub ephemeral_owner: Option<u64>,
+}
+
+/// A flat-map znode tree (children resolved by path prefix).
+///
+/// Deterministic and replica-deterministic: the same transaction sequence
+/// applied to two trees yields identical trees.
+///
+/// # Examples
+///
+/// ```
+/// use music_zab::znode::{CreateMode, ZnodeTree};
+/// use bytes::Bytes;
+///
+/// let mut t = ZnodeTree::new();
+/// t.create("/locks", Bytes::new(), CreateMode::Persistent, None).unwrap();
+/// let p1 = t.create("/locks/lock-", Bytes::new(), CreateMode::EphemeralSequential, Some(1)).unwrap();
+/// let p2 = t.create("/locks/lock-", Bytes::new(), CreateMode::EphemeralSequential, Some(2)).unwrap();
+/// assert!(p2 > p1, "sequence suffixes increase");
+/// assert_eq!(t.children("/locks").len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZnodeTree {
+    nodes: HashMap<String, Znode>,
+}
+
+/// Tree-level errors (mirroring ZooKeeper's `KeeperException` codes).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TreeError {
+    /// Create of an existing path.
+    NodeExists,
+    /// Operation on a missing path (or missing parent).
+    NoNode,
+    /// Delete of a node that still has children.
+    NotEmpty,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::NodeExists => write!(f, "node already exists"),
+            TreeError::NoNode => write!(f, "no such node"),
+            TreeError::NotEmpty => write!(f, "node has children"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl Default for ZnodeTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) => "/",
+        Some(i) => &path[..i],
+        None => "/",
+    }
+}
+
+impl ZnodeTree {
+    /// A tree containing only the root `/`.
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            "/".to_string(),
+            Znode {
+                data: Bytes::new(),
+                version: 0,
+                cversion: 0,
+                ephemeral_owner: None,
+            },
+        );
+        ZnodeTree { nodes }
+    }
+
+    /// Creates a node, returning the **actual** path (sequence suffix
+    /// appended for sequential modes).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::NodeExists`] for duplicate non-sequential paths,
+    /// [`TreeError::NoNode`] if the parent is missing.
+    pub fn create(
+        &mut self,
+        path: &str,
+        data: Bytes,
+        mode: CreateMode,
+        session: Option<u64>,
+    ) -> Result<String, TreeError> {
+        assert!(path.starts_with('/') && path.len() > 1, "bad path: {path}");
+        let parent = parent_of(path).to_string();
+        let cversion = {
+            let p = self.nodes.get_mut(&parent).ok_or(TreeError::NoNode)?;
+            let c = p.cversion;
+            p.cversion += 1;
+            c
+        };
+        let actual = if mode.is_sequential() {
+            format!("{path}{cversion:010}")
+        } else {
+            path.to_string()
+        };
+        if self.nodes.contains_key(&actual) {
+            return Err(TreeError::NodeExists);
+        }
+        self.nodes.insert(
+            actual.clone(),
+            Znode {
+                data,
+                version: 0,
+                cversion: 0,
+                ephemeral_owner: if mode.is_ephemeral() { session } else { None },
+            },
+        );
+        Ok(actual)
+    }
+
+    /// Overwrites a node's data, bumping its version.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::NoNode`] if the path is missing.
+    pub fn set_data(&mut self, path: &str, data: Bytes) -> Result<u64, TreeError> {
+        let n = self.nodes.get_mut(path).ok_or(TreeError::NoNode)?;
+        n.data = data;
+        n.version += 1;
+        Ok(n.version)
+    }
+
+    /// Reads a node.
+    pub fn get(&self, path: &str) -> Option<&Znode> {
+        self.nodes.get(path)
+    }
+
+    /// Deletes a leaf node.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::NoNode`] if missing, [`TreeError::NotEmpty`] if it has
+    /// children.
+    pub fn delete(&mut self, path: &str) -> Result<(), TreeError> {
+        if !self.nodes.contains_key(path) {
+            return Err(TreeError::NoNode);
+        }
+        if !self.children(path).is_empty() {
+            return Err(TreeError::NotEmpty);
+        }
+        self.nodes.remove(path);
+        Ok(())
+    }
+
+    /// Sorted child *names* (not full paths) of `path`.
+    pub fn children(&self, path: &str) -> Vec<String> {
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        let mut out: Vec<String> = self
+            .nodes
+            .keys()
+            .filter(|k| {
+                k.starts_with(&prefix) && *k != path && !k[prefix.len()..].contains('/')
+            })
+            .map(|k| k[prefix.len()..].to_string())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Paths of all ephemerals owned by `session` (for session-close
+    /// cleanup), sorted.
+    pub fn ephemerals_of(&self, session: u64) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.ephemeral_owner == Some(session))
+            .map(|(k, _)| k.clone())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    #[test]
+    fn create_get_set_delete_cycle() {
+        let mut t = ZnodeTree::new();
+        t.create("/a", b("1"), CreateMode::Persistent, None).unwrap();
+        assert_eq!(t.get("/a").unwrap().data, b("1"));
+        assert_eq!(t.set_data("/a", b("2")).unwrap(), 1);
+        assert_eq!(t.get("/a").unwrap().version, 1);
+        t.delete("/a").unwrap();
+        assert!(t.get("/a").is_none());
+    }
+
+    #[test]
+    fn create_requires_parent() {
+        let mut t = ZnodeTree::new();
+        assert_eq!(
+            t.create("/a/b", b(""), CreateMode::Persistent, None),
+            Err(TreeError::NoNode)
+        );
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut t = ZnodeTree::new();
+        t.create("/a", b(""), CreateMode::Persistent, None).unwrap();
+        assert_eq!(
+            t.create("/a", b(""), CreateMode::Persistent, None),
+            Err(TreeError::NodeExists)
+        );
+    }
+
+    #[test]
+    fn delete_of_parent_with_children_rejected() {
+        let mut t = ZnodeTree::new();
+        t.create("/a", b(""), CreateMode::Persistent, None).unwrap();
+        t.create("/a/b", b(""), CreateMode::Persistent, None).unwrap();
+        assert_eq!(t.delete("/a"), Err(TreeError::NotEmpty));
+        t.delete("/a/b").unwrap();
+        t.delete("/a").unwrap();
+    }
+
+    #[test]
+    fn sequential_suffixes_strictly_increase_even_after_deletes() {
+        let mut t = ZnodeTree::new();
+        t.create("/l", b(""), CreateMode::Persistent, None).unwrap();
+        let p1 = t.create("/l/n-", b(""), CreateMode::PersistentSequential, None).unwrap();
+        t.delete(&p1).unwrap();
+        let p2 = t.create("/l/n-", b(""), CreateMode::PersistentSequential, None).unwrap();
+        assert!(p2 > p1, "cversion never regresses: {p1} then {p2}");
+    }
+
+    #[test]
+    fn children_are_sorted_names() {
+        let mut t = ZnodeTree::new();
+        t.create("/l", b(""), CreateMode::Persistent, None).unwrap();
+        t.create("/l/b", b(""), CreateMode::Persistent, None).unwrap();
+        t.create("/l/a", b(""), CreateMode::Persistent, None).unwrap();
+        t.create("/l/a/deep", b(""), CreateMode::Persistent, None).unwrap();
+        assert_eq!(t.children("/l"), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(t.children("/"), vec!["l".to_string()]);
+    }
+
+    #[test]
+    fn ephemerals_tracked_per_session() {
+        let mut t = ZnodeTree::new();
+        t.create("/l", b(""), CreateMode::Persistent, None).unwrap();
+        t.create("/l/e1", b(""), CreateMode::Ephemeral, Some(7)).unwrap();
+        let seq = t
+            .create("/l/e-", b(""), CreateMode::EphemeralSequential, Some(7))
+            .unwrap();
+        t.create("/l/other", b(""), CreateMode::Ephemeral, Some(8)).unwrap();
+        let mine = t.ephemerals_of(7);
+        assert_eq!(mine, vec!["/l/e-0000000001".to_string(), "/l/e1".to_string()]);
+        assert_eq!(seq, "/l/e-0000000001");
+    }
+
+    #[test]
+    fn determinism_same_ops_same_tree() {
+        let ops = |t: &mut ZnodeTree| {
+            t.create("/x", b("d"), CreateMode::Persistent, None).unwrap();
+            t.create("/x/s-", b(""), CreateMode::PersistentSequential, None).unwrap();
+            t.set_data("/x", b("d2")).unwrap();
+        };
+        let mut t1 = ZnodeTree::new();
+        let mut t2 = ZnodeTree::new();
+        ops(&mut t1);
+        ops(&mut t2);
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.get("/x").unwrap().version, t2.get("/x").unwrap().version);
+        assert_eq!(t1.children("/x"), t2.children("/x"));
+    }
+}

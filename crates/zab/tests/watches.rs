@@ -1,0 +1,108 @@
+//! Watch semantics: one-shot firing on data changes, child changes, and
+//! deletions, delivered over the network to the registering client.
+
+use bytes::Bytes;
+use music_simnet::prelude::*;
+use music_zab::{CreateMode, ZkEnsemble};
+
+fn fixture() -> (Sim, ZkEnsemble, Vec<NodeId>) {
+    let sim = Sim::new();
+    let cfg = NetConfig {
+        service_fixed: SimDuration::ZERO,
+        bandwidth_bytes_per_sec: u64::MAX / 2,
+        loss: 0.0,
+        jitter_frac: 0.0,
+    };
+    let net = Network::new(sim.clone(), LatencyProfile::one_us(), cfg, 41);
+    let nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+    let clients: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+    let ens = ZkEnsemble::new(net, nodes);
+    (sim, ens, clients)
+}
+
+fn b(s: &'static str) -> Bytes {
+    Bytes::from_static(s.as_bytes())
+}
+
+#[test]
+fn data_watch_fires_on_set_data() {
+    let (sim, ens, clients) = fixture();
+    let me = clients[0];
+    sim.block_on(async move {
+        let s = ens.connect(me);
+        s.create("/n", b("v0"), CreateMode::Persistent).await.unwrap();
+        let (data, watch) = s.get_data_watch("/n").await;
+        assert_eq!(data, Some(b("v0")));
+        assert!(!watch.fired());
+        s.set_data("/n", b("v1")).await.unwrap();
+        watch.await; // resolves after the change reaches the server + client
+        assert_eq!(s.get_data("/n").await, Some(b("v1")));
+    });
+}
+
+#[test]
+fn data_watch_fires_on_delete() {
+    let (sim, ens, clients) = fixture();
+    let me = clients[1];
+    sim.block_on(async move {
+        let s = ens.connect(me);
+        s.create("/gone", b(""), CreateMode::Persistent).await.unwrap();
+        let (_, watch) = s.get_data_watch("/gone").await;
+        s.delete("/gone").await.unwrap();
+        watch.await;
+        assert_eq!(s.get_data("/gone").await, None);
+    });
+}
+
+#[test]
+fn children_watch_fires_once_per_registration() {
+    let (sim, ens, clients) = fixture();
+    let me = clients[0];
+    sim.block_on(async move {
+        let s = ens.connect(me);
+        s.create("/dir", b(""), CreateMode::Persistent).await.unwrap();
+        let (children, watch) = s.get_children_watch("/dir").await;
+        assert!(children.is_empty());
+        s.create("/dir/a", b(""), CreateMode::Persistent).await.unwrap();
+        watch.await;
+        // One-shot: a new change needs a new registration.
+        let (children, watch2) = s.get_children_watch("/dir").await;
+        assert_eq!(children, vec!["a".to_string()]);
+        s.create("/dir/b", b(""), CreateMode::Persistent).await.unwrap();
+        watch2.await;
+        assert_eq!(s.get_children("/dir").await.len(), 2);
+    });
+}
+
+#[test]
+fn watch_fires_at_remote_followers_too() {
+    let (sim, ens, clients) = fixture();
+    let (writer, watcher) = (clients[0], clients[2]);
+    sim.block_on(async move {
+        let w = ens.connect(writer);
+        w.create("/x", b("0"), CreateMode::Persistent).await.unwrap();
+        let sess = ens.connect(watcher); // connected to the Oregon follower
+        let (_, watch) = sess.get_data_watch("/x").await;
+        let t0 = sess.ens_sim().now();
+        w.set_data("/x", b("1")).await.unwrap();
+        watch.await;
+        // The notification waited for the commit to reach the follower,
+        // then crossed the follower→client (intra-site) hop.
+        let elapsed = sess.ens_sim().now() - t0;
+        assert!(elapsed.as_millis() >= 30, "took {elapsed}");
+    });
+}
+
+#[test]
+fn unrelated_changes_do_not_fire_watches() {
+    let (sim, ens, clients) = fixture();
+    let me = clients[0];
+    sim.block_on(async move {
+        let s = ens.connect(me);
+        s.create("/a", b(""), CreateMode::Persistent).await.unwrap();
+        s.create("/b", b(""), CreateMode::Persistent).await.unwrap();
+        let (_, watch) = s.get_data_watch("/a").await;
+        s.set_data("/b", b("other")).await.unwrap();
+        assert!(!watch.fired(), "watch on /a must ignore /b");
+    });
+}

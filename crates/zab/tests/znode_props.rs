@@ -1,0 +1,99 @@
+//! Property test: the znode tree agrees with a simple model (a map of
+//! paths) under arbitrary valid operation sequences, and sequential
+//! suffixes never collide.
+
+use bytes::Bytes;
+use music_zab::znode::{CreateMode, ZnodeTree};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum OpKind {
+    CreateTop(u8),
+    CreateSeq(u8),
+    SetData(u8, u8),
+    Delete(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (0u8..5).prop_map(OpKind::CreateTop),
+        (0u8..5).prop_map(OpKind::CreateSeq),
+        (0u8..5, 0u8..250).prop_map(|(p, v)| OpKind::SetData(p, v)),
+        (0u8..5).prop_map(OpKind::Delete),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tree_matches_model(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut tree = ZnodeTree::new();
+        // Model: path -> (data, version).
+        let mut model: BTreeMap<String, (Vec<u8>, u64)> = BTreeMap::new();
+        let mut seq_paths: Vec<String> = Vec::new();
+
+        for op in ops {
+            match op {
+                OpKind::CreateTop(p) => {
+                    let path = format!("/top{p}");
+                    let res = tree.create(&path, Bytes::from_static(b"init"), CreateMode::Persistent, None);
+                    if model.contains_key(&path) {
+                        prop_assert!(res.is_err(), "duplicate create must fail");
+                    } else {
+                        prop_assert_eq!(res.unwrap(), path.clone());
+                        model.insert(path, (b"init".to_vec(), 0));
+                    }
+                }
+                OpKind::CreateSeq(p) => {
+                    let parent = format!("/top{p}");
+                    let res = tree.create(
+                        &format!("{parent}/s-"),
+                        Bytes::new(),
+                        CreateMode::PersistentSequential,
+                        None,
+                    );
+                    if model.contains_key(&parent) {
+                        let actual = res.unwrap();
+                        prop_assert!(!seq_paths.contains(&actual), "suffixes never collide");
+                        seq_paths.push(actual.clone());
+                        model.insert(actual, (Vec::new(), 0));
+                    } else {
+                        prop_assert!(res.is_err(), "missing parent must fail");
+                    }
+                }
+                OpKind::SetData(p, v) => {
+                    let path = format!("/top{p}");
+                    let res = tree.set_data(&path, Bytes::from(vec![v]));
+                    match model.get_mut(&path) {
+                        Some((data, version)) => {
+                            *data = vec![v];
+                            *version += 1;
+                            prop_assert_eq!(res.unwrap(), *version);
+                        }
+                        None => prop_assert!(res.is_err()),
+                    }
+                }
+                OpKind::Delete(p) => {
+                    let path = format!("/top{p}");
+                    let has_children = model.keys().any(|k| k.starts_with(&format!("{path}/")));
+                    let res = tree.delete(&path);
+                    if !model.contains_key(&path) || has_children {
+                        prop_assert!(res.is_err());
+                    } else {
+                        prop_assert!(res.is_ok());
+                        model.remove(&path);
+                    }
+                }
+            }
+            // Full-state check every step: same nodes, same data/version.
+            for (path, (data, version)) in &model {
+                let node = tree.get(path);
+                prop_assert!(node.is_some(), "model has {path} but tree lost it");
+                let node = node.unwrap();
+                prop_assert_eq!(node.data.as_ref(), data.as_slice(), "{}", path);
+                prop_assert_eq!(node.version, *version, "{}", path);
+            }
+            prop_assert_eq!(tree.len(), model.len() + 1, "node counts (plus root) agree");
+        }
+    }
+}

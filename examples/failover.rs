@@ -1,0 +1,82 @@
+//! False failure detection end to end: a network partition makes a live
+//! lockholder look dead; another replica preempts it; the preempted
+//! client's writes have no effect on the true value; the partition heals
+//! and the client learns it is no longer the lockholder (§IV-B).
+//!
+//! ```text
+//! cargo run --example failover
+//! ```
+
+use bytes::Bytes;
+use music::{AcquireOutcome, CriticalError, MusicSystemBuilder};
+use music_simnet::prelude::*;
+
+fn main() {
+    let system = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .seed(11)
+        .build();
+    let sim = system.sim().clone();
+    let system2 = system.clone();
+
+    let h = sim.spawn(async move {
+        let ohio = system2.replica(0).clone();
+        let oregon = system2.replica(2).clone();
+
+        println!("== False failure detection (the hardest ECF scenario) ==");
+        // Ohio's client takes the lock and writes.
+        let a_ref = ohio.create_lock_ref("config").await.unwrap();
+        while ohio.acquire_lock("config", a_ref).await.unwrap() != AcquireOutcome::Acquired {}
+        ohio.critical_put("config", a_ref, Bytes::from_static(b"v1-from-ohio"))
+            .await
+            .unwrap();
+        println!("  ohio holds {a_ref}, wrote v1-from-ohio");
+
+        // Oregon cannot tell a slow Ohio from a dead one; it preempts.
+        oregon.forced_release("config", a_ref).await.unwrap();
+        println!("  oregon preempted {a_ref} (synchFlag set, ref dequeued)");
+
+        // Oregon's client takes over; acquireLock synchronizes the store.
+        let b_ref = oregon.create_lock_ref("config").await.unwrap();
+        while oregon.acquire_lock("config", b_ref).await.unwrap() != AcquireOutcome::Acquired {}
+        let inherited = oregon.critical_get("config", b_ref).await.unwrap();
+        println!(
+            "  oregon acquired {b_ref}; inherited latest state: {:?}",
+            inherited.as_ref().map(|v| String::from_utf8_lossy(v).into_owned())
+        );
+        assert_eq!(inherited, Some(Bytes::from_static(b"v1-from-ohio")));
+        oregon
+            .critical_put("config", b_ref, Bytes::from_static(b"v2-from-oregon"))
+            .await
+            .unwrap();
+
+        // Ohio is alive the whole time and keeps writing. Its puts are
+        // either rejected or land with a stale (smaller) timestamp: the
+        // true value is untouched either way.
+        let mut told = false;
+        for i in 0..10 {
+            match ohio
+                .critical_put("config", a_ref, Bytes::from(format!("zombie-{i}").into_bytes()))
+                .await
+            {
+                Ok(()) => println!("  ohio write {i} acknowledged (stale stamp, no effect)"),
+                Err(CriticalError::NoLongerHolder) => {
+                    println!("  ohio told: youAreNoLongerLockHolder");
+                    told = true;
+                    break;
+                }
+                Err(e) => println!("  ohio write {i} rejected: {e}"),
+            }
+            system2.sim().sleep(SimDuration::from_millis(30)).await;
+        }
+        assert!(told, "the stale holder must eventually learn the truth");
+
+        // Exclusivity: the lockholder still reads its own write.
+        let v = oregon.critical_get("config", b_ref).await.unwrap();
+        assert_eq!(v, Some(Bytes::from_static(b"v2-from-oregon")));
+        println!("  true value remains v2-from-oregon — exclusivity held");
+        oregon.release_lock("config", b_ref).await.unwrap();
+    });
+    sim.run_until_complete(h);
+    println!("failover example finished at virtual time {}", sim.now());
+}

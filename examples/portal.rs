@@ -1,0 +1,160 @@
+//! The Management Portal service of §VII-b: active replication with
+//! fail-over, where each user's role updates are processed by exactly one
+//! owning back-end replica from the latest state.
+//!
+//! Ownership is a long-lived MUSIC critical section: a back end becomes a
+//! user's owner by (forcibly) taking the lock once, then serves many
+//! `criticalPut`s under the same lock reference — amortizing the consensus
+//! cost of locking across requests. When the owner fails, the front end
+//! retries at the next-closest back end, which takes over ownership.
+//!
+//! ```text
+//! cargo run --example portal
+//! ```
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use music::{AcquireOutcome, LockRef, MusicReplica, MusicSystemBuilder};
+use music_simnet::prelude::*;
+
+/// A Portal back-end replica: processes role updates for users it owns.
+struct BackEnd {
+    name: &'static str,
+    replica: MusicReplica,
+    sim: Sim,
+    /// Locally cached lock references for owned users.
+    owned: HashMap<String, LockRef>,
+    alive: bool,
+}
+
+impl BackEnd {
+    fn owner_key(user: &str) -> String {
+        format!("{user}-owner")
+    }
+
+    /// `own(userID)`: acquire the user's lock and publish ownership.
+    async fn own(&mut self, user: &str) -> Result<LockRef, ()> {
+        let lock_ref = self.replica.create_lock_ref(user).await.map_err(|_| ())?;
+        loop {
+            match self.replica.acquire_lock(user, lock_ref).await {
+                Ok(AcquireOutcome::Acquired) => break,
+                Ok(AcquireOutcome::NoLongerHolder) => return Err(()),
+                _ => self.sim.sleep(SimDuration::from_millis(2)).await,
+            }
+        }
+        // Publish (owner, lockRef) — no locks needed (§VII-b).
+        self.replica
+            .put(
+                &Self::owner_key(user),
+                Bytes::from(format!("{}|{}", self.name, lock_ref.value()).into_bytes()),
+            )
+            .await
+            .map_err(|_| ())?;
+        self.owned.insert(user.to_string(), lock_ref);
+        Ok(lock_ref)
+    }
+
+    /// `write(userID, role)` at a back end: become owner if needed (forcibly
+    /// releasing a failed predecessor), then one criticalPut.
+    async fn write(&mut self, user: &str, role: &str) -> Result<(), ()> {
+        if !self.alive {
+            return Err(());
+        }
+        let lock_ref = match self.owned.get(user) {
+            Some(r) => *r,
+            None => {
+                // Look up current ownership (cached in production).
+                let details = self.replica.get(&Self::owner_key(user)).await.map_err(|_| ())?;
+                match details {
+                    None => self.own(user).await?, // first owner
+                    Some(v) => {
+                        let s = String::from_utf8(v.to_vec()).expect("utf8");
+                        let (owner, prev_ref) = s.split_once('|').expect("owner|ref");
+                        if owner == self.name {
+                            LockRef::new(prev_ref.parse().expect("ref"))
+                        } else {
+                            // Previous owner presumed failed: take over.
+                            let prev = LockRef::new(prev_ref.parse().expect("ref"));
+                            self.replica.forced_release(user, prev).await.map_err(|_| ())?;
+                            self.own(user).await?
+                        }
+                    }
+                }
+            }
+        };
+        self.replica
+            .critical_put(user, lock_ref, Bytes::from(role.as_bytes().to_vec()))
+            .await
+            .map_err(|_| ())
+    }
+}
+
+fn main() {
+    let system = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .seed(3)
+        .build();
+    let sim = system.sim().clone();
+
+    let mut backends: Vec<BackEnd> = (0..3)
+        .map(|i| BackEnd {
+            name: ["be-ohio", "be-ncal", "be-oregon"][i],
+            replica: system.replica(i).clone(),
+            sim: sim.clone(),
+            owned: HashMap::new(),
+            alive: true,
+        })
+        .collect();
+
+    let system2 = system.clone();
+    let h = sim.spawn(async move {
+        // Front end routes alice's first requests; be-ohio becomes owner.
+        println!("== Portal: role updates with single-owner semantics ==");
+        for (round, role) in ["viewer", "editor", "admin"].iter().enumerate() {
+            backends[0].write("alice", role).await.expect("owner write");
+            println!("  round {round}: be-ohio wrote alice={role}");
+        }
+
+        // The owner fails; the front end retries at the next-closest
+        // back end, which forcibly takes over ownership.
+        backends[0].alive = false;
+        println!("  be-ohio FAILS");
+        let res = backends[0].write("alice", "suspended").await;
+        assert!(res.is_err(), "dead backend cannot serve");
+        backends[1].write("alice", "suspended").await.expect("takeover write");
+        println!("  be-ncal took over and wrote alice=suspended");
+
+        // Subsequent requests reuse be-ncal's cached lock reference: no
+        // further consensus on the critical path.
+        let t0 = backends[1].sim.now();
+        backends[1].write("alice", "restored").await.expect("steady-state write");
+        let steady = backends[1].sim.now() - t0;
+        println!("  steady-state owner write took {steady} (one quorum put)");
+        assert!(steady.as_millis() < 120, "owner writes must avoid consensus");
+
+        // The latest state is exactly the last processed update.
+        let check = system2.replica(2).clone();
+        let lock_ref = backends[1].owned["alice"];
+        let v = check
+            .critical_get("alice", lock_ref)
+            .await
+            .ok()
+            .flatten();
+        // (critical_get via another replica still sees the true value
+        // because be-ncal holds the lock; read through the owner instead.)
+        let v = match v {
+            Some(v) => v,
+            None => backends[1]
+                .replica
+                .critical_get("alice", lock_ref)
+                .await
+                .expect("owner read")
+                .expect("value"),
+        };
+        assert_eq!(v, Bytes::from_static(b"restored"));
+        println!("  final role: {}", String::from_utf8(v.to_vec()).unwrap());
+    });
+    sim.run_until_complete(h);
+    println!("portal example finished at virtual time {}", sim.now());
+}

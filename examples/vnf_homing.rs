@@ -1,0 +1,201 @@
+//! The VNF Homing service of §VII-a: a multi-site job scheduler where
+//! worker replicas vie for homing jobs through MUSIC locks, execute them
+//! from their latest state, and survive worker failures without losing or
+//! duplicating work.
+//!
+//! A homing job walks the execution states of Fig. 3(b); a worker updates
+//! the job's state in MUSIC with `criticalPut` after each step, so when a
+//! worker dies mid-job, the next worker resumes exactly where it left off.
+//!
+//! ```text
+//! cargo run --example vnf_homing
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use music::{AcquireOutcome, MusicConfig, MusicReplica, MusicSystemBuilder, Watchdog};
+use music_simnet::prelude::*;
+
+/// The homing pipeline of Fig. 3(b).
+const STATES: [&str; 5] = ["PENDING", "TEMPLATE", "TRANSLATED", "SOLVING", "DONE"];
+
+fn next_state(cur: &str) -> Option<&'static str> {
+    let idx = STATES.iter().position(|s| *s == cur)?;
+    STATES.get(idx + 1).copied()
+}
+
+fn job_value(state: &str, desc: &str) -> Bytes {
+    Bytes::from(format!("{state}|{desc}").into_bytes())
+}
+
+fn parse_job(v: &Bytes) -> (String, String) {
+    let s = String::from_utf8(v.to_vec()).expect("utf8 job state");
+    let (state, desc) = s.split_once('|').expect("state|description");
+    (state.to_string(), desc.to_string())
+}
+
+/// One worker: scan all jobs, try to lock an incomplete one, and progress
+/// it state by state (the `executeJobInCriticalSection` pseudo-code).
+async fn worker(
+    name: &'static str,
+    replica: MusicReplica,
+    sim: Sim,
+    die_at_state: Option<&'static str>,
+    log: Rc<RefCell<Vec<String>>>,
+) {
+    loop {
+        let Ok(jobs) = replica.get_all_keys().await else {
+            sim.sleep(SimDuration::from_millis(50)).await;
+            continue;
+        };
+        let mut claimed_any = false;
+        for job_id in jobs {
+            // Lock-free peek at the job state; staleness is harmless here.
+            let Ok(Some(v)) = replica.get(&job_id).await else { continue };
+            let (state, desc) = parse_job(&v);
+            if state == "DONE" {
+                continue;
+            }
+            // Vie for the job.
+            let Ok(lock_ref) = replica.create_lock_ref(&job_id).await else { continue };
+            let granted = loop {
+                match replica.acquire_lock(&job_id, lock_ref).await {
+                    Ok(AcquireOutcome::Acquired) => break true,
+                    Ok(AcquireOutcome::NoLongerHolder) => break false,
+                    Ok(AcquireOutcome::NotYet) => {
+                        // Another worker is on it: evict our reference for
+                        // timely garbage collection (removeLockReference).
+                        let _ = replica.release_lock(&job_id, lock_ref).await;
+                        break false;
+                    }
+                    Err(_) => sim.sleep(SimDuration::from_millis(5)).await,
+                }
+            };
+            if !granted {
+                continue;
+            }
+            claimed_any = true;
+            let _ = desc;
+            // executeJobInCriticalSection: progress from the *latest* state.
+            let Ok(Some(v)) = replica.critical_get(&job_id, lock_ref).await else {
+                let _ = replica.release_lock(&job_id, lock_ref).await;
+                continue;
+            };
+            let (mut state, desc) = parse_job(&v);
+            log.borrow_mut().push(format!("{name} picked {job_id} at {state}"));
+            while let Some(next) = next_state(&state) {
+                // "Execute" the step (optimization work takes time).
+                sim.sleep(SimDuration::from_millis(400)).await;
+                if die_at_state == Some(next) {
+                    log.borrow_mut().push(format!("{name} CRASHED before {job_id} -> {next}"));
+                    return; // worker dies holding the lock
+                }
+                if replica
+                    .critical_put(&job_id, lock_ref, job_value(next, &desc))
+                    .await
+                    .is_err()
+                {
+                    // Preempted or store trouble: abandon; someone else
+                    // resumes from the last acknowledged state.
+                    log.borrow_mut().push(format!("{name} lost {job_id} at {state}"));
+                    break;
+                }
+                state = next.to_string();
+                log.borrow_mut().push(format!("{name} moved {job_id} -> {state}"));
+            }
+            let _ = replica.release_lock(&job_id, lock_ref).await;
+        }
+        if !claimed_any {
+            sim.sleep(SimDuration::from_millis(200)).await;
+        }
+    }
+}
+
+fn main() {
+    let system = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .music_config(MusicConfig {
+            // Aggressive failure detection so the demo converges quickly.
+            failure_timeout: SimDuration::from_secs(4),
+            ..MusicConfig::default()
+        })
+        .seed(7)
+        .build();
+    let sim = system.sim().clone();
+    let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+
+    // Client API replicas insert three homing requests (no locks needed).
+    {
+        let replica = system.replica(0).clone();
+        let h = sim.spawn(async move {
+            for j in 0..3 {
+                let job_id = format!("job-{j}");
+                replica
+                    .put(&job_id, job_value("PENDING", &format!("vnf-chain-{j}")))
+                    .await
+                    .expect("insert job");
+            }
+        });
+        sim.run_until_complete(h);
+        sim.run();
+    }
+
+    // A watchdog collects locks of crashed workers.
+    let dog = Watchdog::new(system.replica(1).clone(), SimDuration::from_secs(1));
+    for j in 0..3 {
+        dog.watch(&format!("job-{j}"));
+    }
+    dog.spawn();
+
+    // Three workers, one per site; the Oregon worker dies mid-job.
+    for (i, (name, die)) in [
+        ("worker-ohio", None),
+        ("worker-ncal", None),
+        ("worker-oregon", Some("TRANSLATED")),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let replica = system.replica(i).clone();
+        let sim2 = sim.clone();
+        let log2 = Rc::clone(&log);
+        sim.spawn(async move { worker(name, replica, sim2, die, log2).await });
+    }
+
+    // Run until every job reports DONE (bounded virtual time).
+    let deadline = SimTime::ZERO + SimDuration::from_secs(120);
+    loop {
+        sim.run_until(sim.now() + SimDuration::from_secs(1));
+        let system2 = system.clone();
+        let sim2 = sim.clone();
+        let done = sim2.block_on(async move {
+            let replica = system2.replica(0).clone();
+            let mut done = 0;
+            for j in 0..3 {
+                if let Ok(Some(v)) = replica.get(&format!("job-{j}")).await {
+                    if parse_job(&v).0 == "DONE" {
+                        done += 1;
+                    }
+                }
+            }
+            done
+        });
+        if done == 3 {
+            break;
+        }
+        assert!(sim.now() < deadline, "jobs did not finish in time");
+    }
+    dog.stop();
+
+    println!("== VNF homing event log (virtual time {}) ==", sim.now());
+    for line in log.borrow().iter() {
+        println!("  {line}");
+    }
+    println!("all 3 homing jobs DONE; watchdog preemptions: {}", dog.preemptions());
+    assert!(
+        log.borrow().iter().any(|l| l.contains("CRASHED")),
+        "the demo should include a worker crash"
+    );
+}

@@ -1,0 +1,168 @@
+//! `music-sim` — command-line driver for the MUSIC reproduction.
+//!
+//! ```text
+//! music-sim demo                  # a narrated critical section on 1Us
+//! music-sim latency [profile]     # Fig. 5(b)-style operation breakdown
+//! music-sim throughput [profile]  # quick Fig. 4(a)-style comparison
+//! music-sim verify                # bounded model check of the ECF invariants
+//! music-sim profiles              # print the Table II latency profiles
+//! ```
+//!
+//! Everything runs in simulated (virtual) time and is deterministic.
+
+use bytes::Bytes;
+use music::{MusicSystemBuilder, OpKind};
+use music_bench::music_runners::{
+    cassa_ev_throughput, music_cs_latency, music_write_throughput, ThroughputRun,
+};
+use music_bench::setup::Mode;
+use music_simnet::prelude::*;
+
+fn profile_by_name(name: Option<&str>) -> LatencyProfile {
+    match name.unwrap_or("1Us") {
+        "1l" => LatencyProfile::one_l(),
+        "1UsEu" => LatencyProfile::one_us_eu(),
+        _ => LatencyProfile::one_us(),
+    }
+}
+
+fn cmd_profiles() {
+    println!("Table II latency profiles (RTT in ms):");
+    for p in LatencyProfile::table_ii() {
+        print!("  {:<6}", p.name());
+        for a in 0..p.site_count() {
+            for b in (a + 1)..p.site_count() {
+                print!(
+                    " {}-{}: {:>7.2}",
+                    p.site_name(a),
+                    p.site_name(b),
+                    p.rtt(a, b).as_millis_f64()
+                );
+            }
+        }
+        println!();
+    }
+}
+
+fn cmd_demo(profile: LatencyProfile) {
+    println!("== MUSIC critical section on the {} profile ==", profile.name());
+    let system = MusicSystemBuilder::new().profile(profile).seed(1).build();
+    let sim = system.sim().clone();
+    let client = system.client_at_site(0);
+    let stats = system.stats().clone();
+    sim.block_on(async move {
+        let cs = client.enter("demo-key").await.expect("enter");
+        println!("  entered critical section with {}", cs.lock_ref());
+        let before = cs.get().await.expect("get");
+        println!("  criticalGet  -> {before:?} (guaranteed latest)");
+        cs.put(Bytes::from_static(b"hello-from-the-cli")).await.expect("put");
+        println!("  criticalPut  -> acknowledged at a quorum");
+        let after = cs.get().await.expect("get");
+        println!(
+            "  criticalGet  -> {:?}",
+            after.map(|v| String::from_utf8_lossy(&v).into_owned())
+        );
+        cs.release().await.expect("release");
+        println!("  released");
+    });
+    println!("\nper-operation mean latency:");
+    for kind in OpKind::ALL {
+        let h = stats.histogram(kind);
+        if !h.is_empty() {
+            println!("  {kind:<20} {:>9.2} ms", h.mean().as_millis_f64());
+        }
+    }
+    println!("(virtual time elapsed: {})", system.sim().now());
+}
+
+fn cmd_latency(profile: LatencyProfile) {
+    println!(
+        "== operation latency breakdown on {} (5 critical sections) ==",
+        profile.name()
+    );
+    let music = music_cs_latency(profile.clone(), Mode::Music, 1, 10, 5, 2);
+    let mscp = music_cs_latency(profile, Mode::Mscp, 1, 10, 5, 2);
+    let rows = [
+        ("createLockRef", music.ops.histogram(OpKind::CreateLockRef)),
+        ("acquireLock peek", music.ops.histogram(OpKind::AcquirePeek)),
+        ("acquireLock grant", music.ops.histogram(OpKind::AcquireGrant)),
+        ("criticalPut (MUSIC)", music.ops.histogram(OpKind::CriticalPut)),
+        ("criticalPut (MSCP)", mscp.ops.histogram(OpKind::MscpPut)),
+        ("releaseLock", music.ops.histogram(OpKind::ReleaseLock)),
+    ];
+    for (name, h) in rows {
+        if !h.is_empty() {
+            println!("  {name:<22} {:>9.2} ms", h.mean().as_millis_f64());
+        }
+    }
+    println!(
+        "  whole critical section: MUSIC {:.1} ms, MSCP {:.1} ms",
+        music.section.mean().as_millis_f64(),
+        mscp.section.mean().as_millis_f64()
+    );
+}
+
+fn cmd_throughput(profile: LatencyProfile) {
+    println!(
+        "== quick write-throughput comparison on {} (reduced load) ==",
+        profile.name()
+    );
+    let warmup = SimDuration::from_millis(500);
+    let window = SimDuration::from_secs(2);
+    let ev = cassa_ev_throughput(profile.clone(), 12, 10, warmup, window, 3);
+    let mut run = ThroughputRun::new(profile.clone(), Mode::Music);
+    run.threads = 48;
+    run.warmup = warmup;
+    run.window = window;
+    let music = music_write_throughput(&run);
+    run.mode = Mode::Mscp;
+    let mscp = music_write_throughput(&run);
+    println!("  CassaEV (eventual writes): {ev:>8.0} op/s");
+    println!("  MUSIC   (critical section): {music:>7.0} op/s");
+    println!("  MSCP    (LWT critical put): {mscp:>7.0} op/s");
+    println!("  (full sweeps: cargo bench -p music-bench)");
+}
+
+fn cmd_verify() {
+    use music_repro::modelcheck::{CheckOutcome, Checker, MusicModel};
+    println!("== bounded model check of the ECF invariants (§V) ==");
+    let out = Checker::default().run(&MusicModel::default());
+    match out {
+        CheckOutcome::Ok { states, depth, truncated } => {
+            println!("  OK: {states} states explored (depth {depth}, truncated: {truncated})");
+            println!("  invariants: critical-section, synchFlag, latest-state, queue sanity");
+        }
+        CheckOutcome::Violation { message, trace, .. } => {
+            println!("  VIOLATION: {message}");
+            for step in trace {
+                println!("    {step}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cmd = args.get(1).map(String::as_str).unwrap_or("help");
+    let profile = profile_by_name(args.get(2).map(String::as_str));
+    match cmd {
+        "demo" => cmd_demo(profile),
+        "latency" => cmd_latency(profile),
+        "throughput" => cmd_throughput(profile),
+        "verify" => cmd_verify(),
+        "profiles" => cmd_profiles(),
+        _ => {
+            println!("music-sim — MUSIC (ICDCS 2020) reproduction driver");
+            println!();
+            println!("usage: music-sim <command> [profile]");
+            println!("  demo        narrated critical section");
+            println!("  latency     per-operation latency breakdown (Fig. 5(b))");
+            println!("  throughput  quick CassaEV / MUSIC / MSCP comparison (Fig. 4(a))");
+            println!("  verify      bounded model check of the ECF invariants (§V)");
+            println!("  profiles    print the Table II latency profiles");
+            println!();
+            println!("profiles: 1l | 1Us (default) | 1UsEu");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # music-repro
+//!
+//! Facade crate for the MUSIC reproduction workspace (ICDCS 2020:
+//! *MUSIC: Multi-Site Critical Sections over Geo-Distributed State*).
+//! Re-exports every member crate under a short name so the examples and
+//! integration tests depend on a single crate.
+//!
+//! Layering (bottom up):
+//!
+//! * [`simnet`] — deterministic discrete-event runtime + WAN model,
+//! * [`paxos`] — pure single-decree Paxos state machines,
+//! * [`quorumstore`] — Cassandra-like replicated store (eventual / quorum /
+//!   LWT paths),
+//! * [`lockstore`] — per-key lock-reference queues over LWTs,
+//! * [`music`] — the critical-section abstraction with ECF semantics,
+//! * [`zab`], [`cdb`] — ZooKeeper-like and CockroachDB-like baselines,
+//! * [`modelcheck`] — bounded verification of the ECF invariants,
+//! * [`workload`] — YCSB-style generators.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use music;
+pub use music_apps as apps;
+pub use music_cdb as cdb;
+pub use music_lockstore as lockstore;
+pub use music_modelcheck as modelcheck;
+pub use music_paxos as paxos;
+pub use music_quorumstore as quorumstore;
+pub use music_simnet as simnet;
+pub use music_workload as workload;
+pub use music_zab as zab;

@@ -1,0 +1,255 @@
+//! Cross-crate integration tests: the whole stack (simnet → quorumstore →
+//! lockstore → music) under realistic fault scenarios, plus baseline
+//! cross-checks.
+
+use bytes::Bytes;
+use music_repro::music::{
+    AcquireOutcome, MusicConfig, MusicSystemBuilder, Watchdog,
+};
+use music_repro::simnet::prelude::*;
+
+fn b(s: &'static str) -> Bytes {
+    Bytes::from_static(s.as_bytes())
+}
+
+/// A long chaos run: clients keep running critical sections on a handful
+/// of keys while the network drops messages and sites flap; at the end,
+/// every key's value history must be consistent (each counter increment
+/// applied exactly once — increments are made idempotent via tags).
+#[test]
+fn chaos_critical_sections_preserve_history() {
+    let sys = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .net_config(NetConfig {
+            service_fixed: SimDuration::from_micros(10),
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            loss: 0.01,
+            jitter_frac: 0.1,
+        })
+        .music_config(MusicConfig {
+            failure_timeout: SimDuration::from_secs(5),
+            client_retries: 32,
+            ..MusicConfig::default()
+        })
+        .seed(1234)
+        .build();
+    let sim = sys.sim().clone();
+
+    // Watchdogs on every key (crashed holders must not wedge the run).
+    let dog = Watchdog::new(sys.replica(1).clone(), SimDuration::from_secs(2));
+    for k in 0..2 {
+        dog.watch(&format!("chaos-{k}"));
+    }
+    dog.spawn();
+
+    let done = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    let total_workers = 6u32;
+    for w in 0..total_workers {
+        let client = sys.client_at_site((w % 3) as usize);
+        let key = format!("chaos-{}", w % 2);
+        let tag = format!("w{w}");
+        let done = std::rc::Rc::clone(&done);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let trace = std::env::var("MUSIC_CHAOS_TRACE").is_ok();
+            // Append our tag exactly once, retrying whole critical
+            // sections on failure.
+            loop {
+                if trace {
+                    eprintln!("[chaos] t={} {tag} entering {key}", sim2.now());
+                }
+                let Ok(cs) = client.enter(&key).await else {
+                    if trace {
+                        eprintln!("[chaos] t={} {tag} enter failed", sim2.now());
+                    }
+                    sim2.sleep(SimDuration::from_millis(50)).await;
+                    continue;
+                };
+                let cur = match cs.get().await {
+                    Ok(v) => v,
+                    Err(e) => {
+                        if trace {
+                            eprintln!("[chaos] t={} {tag} get failed: {e}", sim2.now());
+                        }
+                        let _ = cs.release().await;
+                        continue;
+                    }
+                };
+                let text = cur
+                    .map(|v| String::from_utf8(v.to_vec()).unwrap())
+                    .unwrap_or_default();
+                if !text.split(',').any(|t| t == tag) {
+                    let next = if text.is_empty() {
+                        tag.clone()
+                    } else {
+                        format!("{text},{tag}")
+                    };
+                    if let Err(e) = cs.put(Bytes::from(next.into_bytes())).await {
+                        if trace {
+                            eprintln!("[chaos] t={} {tag} put failed: {e}", sim2.now());
+                        }
+                        let _ = cs.release().await;
+                        continue;
+                    }
+                }
+                match cs.release().await {
+                    Ok(()) => {
+                        done.set(done.get() + 1);
+                        break;
+                    }
+                    Err(e) => {
+                        if trace {
+                            eprintln!("[chaos] t={} {tag} release failed: {e}", sim2.now());
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // Flap site 2 a few times while the workers run.
+    {
+        let net = sys.net().clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..3 {
+                sim2.sleep(SimDuration::from_secs(3)).await;
+                net.partition_site(SiteId(2), true);
+                sim2.sleep(SimDuration::from_secs(2)).await;
+                net.partition_site(SiteId(2), false);
+            }
+        });
+    }
+
+    // Generous horizon: orphan collection under loss + flapping partitions
+    // serializes recoveries.
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(600));
+    dog.stop();
+    assert_eq!(done.get(), total_workers, "all workers finished");
+
+    // Verify: each key's chain holds each of its workers exactly once.
+    let sys2 = sys.clone();
+    let chains = sim.block_on(async move {
+        let replica = sys2.replica(0).clone();
+        let mut out = Vec::new();
+        for k in 0..2 {
+            let key = format!("chaos-{k}");
+            let cs_ref = replica.create_lock_ref(&key).await.unwrap();
+            loop {
+                match replica.acquire_lock(&key, cs_ref).await {
+                    Ok(AcquireOutcome::Acquired) => break,
+                    _ => sys2.sim().sleep(SimDuration::from_millis(10)).await,
+                }
+            }
+            let v = replica.critical_get(&key, cs_ref).await.unwrap().unwrap();
+            replica.release_lock(&key, cs_ref).await.unwrap();
+            out.push(String::from_utf8(v.to_vec()).unwrap());
+        }
+        out
+    });
+    for (k, chain) in chains.iter().enumerate() {
+        let mut tags: Vec<&str> = chain.split(',').collect();
+        tags.sort_unstable();
+        let before = tags.len();
+        tags.dedup();
+        assert_eq!(tags.len(), before, "key {k}: duplicate tags in {chain}");
+        assert_eq!(tags.len(), 3, "key {k}: expected 3 workers in {chain}");
+    }
+}
+
+/// The facade re-exports compose: run a mini experiment touching every
+/// crate through `music_repro`.
+#[test]
+fn facade_smoke_all_crates() {
+    use music_repro::{cdb, lockstore, modelcheck, paxos, quorumstore, workload, zab};
+
+    // paxos
+    let mut acc: paxos::Acceptor<u8> = paxos::Acceptor::new();
+    let ballot = paxos::Ballot::new(1, 0);
+    assert!(acc.prepare(ballot).promised);
+
+    // workload
+    let zipf = workload::Zipfian::new(10);
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    use rand::RngCore;
+    let _ = rng.next_u64();
+    let _ = zipf;
+
+    // modelcheck (tiny scope for speed)
+    let model = modelcheck::MusicModel::new(modelcheck::Scope {
+        clients: 1,
+        max_puts: 1,
+        max_crashes: 1,
+        max_forced: 1,
+        stale_puts: true,
+    });
+    let out = modelcheck::Checker::default().run(&model);
+    assert!(out.is_ok());
+
+    // simnet + quorumstore + lockstore + zab + cdb all share one sim.
+    let sim = Sim::new();
+    let net = Network::new(sim.clone(), LatencyProfile::one_l(), NetConfig::default(), 1);
+    let store_nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+    let zk_nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+    let cdb_nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
+    let client = net.add_node(SiteId(0));
+
+    let table: quorumstore::ReplicatedTable<quorumstore::DataRow> = quorumstore::ReplicatedTable::new(
+        net.clone(),
+        store_nodes.clone(),
+        3,
+        quorumstore::TableConfig::default(),
+    );
+    let locks = lockstore::LockStore::new(net.clone(), store_nodes, 3, quorumstore::TableConfig::default());
+    let zk = zab::ZkEnsemble::new(net.clone(), zk_nodes);
+    let cdb = cdb::CdbCluster::new(net, cdb_nodes);
+
+    sim.block_on(async move {
+        table
+            .write_quorum(client, "k", quorumstore::Put::value(b("v")), quorumstore::WriteStamp::new(1))
+            .await
+            .unwrap();
+        let r = locks.generate_and_enqueue(client, "k").await.unwrap();
+        locks.dequeue(client, "k", r).await.unwrap();
+
+        let s = zk.connect(client);
+        s.create("/x", b("z"), zab::CreateMode::Persistent).await.unwrap();
+
+        let session = cdb.session(client);
+        let mut t = session.transaction();
+        t.upsert("row", b("1")).await.unwrap();
+        t.commit().await.unwrap();
+    });
+}
+
+/// Latency-structure regression across the whole stack: a full critical
+/// section (1 put) on 1Us lands in the window the paper's Fig. 5(b)
+/// breakdown implies (2 LWTs + grant + put ≈ 0.5-0.6 s).
+#[test]
+fn full_critical_section_latency_structure() {
+    let sys = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .net_config(NetConfig {
+            service_fixed: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            loss: 0.0,
+            jitter_frac: 0.0,
+        })
+        .seed(6)
+        .build();
+    let sim = sys.sim().clone();
+    let client = sys.client_at_site(0);
+    let elapsed = sim.block_on({
+        let sim = sys.sim().clone();
+        async move {
+            let t0 = sim.now();
+            let cs = client.enter("k").await.unwrap();
+            cs.put(b("v")).await.unwrap();
+            cs.release().await.unwrap();
+            sim.now() - t0
+        }
+    });
+    let ms = elapsed.as_millis_f64();
+    // createLockRef ~215 + grant ~54 + put ~54 + release ~215 ≈ 538.
+    assert!((500.0..650.0).contains(&ms), "CS took {ms} ms");
+}
