@@ -146,7 +146,11 @@ impl OwnedStore {
         let sim = self.replica.data().net().sim().clone();
         let lock_ref = self.ensure_owner(entity).await?;
         for _ in 0..8 {
-            match self.replica.critical_put(entity, lock_ref, value.clone()).await {
+            match self
+                .replica
+                .critical_put(entity, lock_ref, value.clone())
+                .await
+            {
                 Ok(()) => return Ok(()),
                 Err(CriticalError::NotYetHolder) => {
                     sim.sleep(SimDuration::from_millis(2)).await;
@@ -190,7 +194,10 @@ mod tests {
             OwnedStore::decode_owner(&raw),
             Some(("be-ohio".to_string(), LockRef::new(42)))
         );
-        assert_eq!(OwnedStore::decode_owner(&Bytes::from_static(b"garbage")), None);
+        assert_eq!(
+            OwnedStore::decode_owner(&Bytes::from_static(b"garbage")),
+            None
+        );
         assert_eq!(
             OwnedStore::decode_owner(&Bytes::from_static(b"x|not-a-number")),
             None

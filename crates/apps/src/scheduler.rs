@@ -321,6 +321,9 @@ mod tests {
 
     #[test]
     fn malformed_records_decode_to_none() {
-        assert_eq!(JobRecord::decode(&Bytes::from_static(b"no-separator")), None);
+        assert_eq!(
+            JobRecord::decode(&Bytes::from_static(b"no-separator")),
+            None
+        );
     }
 }

@@ -61,14 +61,19 @@ fn workers_share_the_pool_without_duplication() {
     let completions = std::rc::Rc::new(std::cell::Cell::new(0u32));
     let mut handles = Vec::new();
     for w in 0..3 {
-        let worker = Worker::new(sys.replica(w).clone(), JobBoard::new(sys.replica(w).clone(), "jobs"));
+        let worker = Worker::new(
+            sys.replica(w).clone(),
+            JobBoard::new(sys.replica(w).clone(), "jobs"),
+        );
         let steps_done = std::rc::Rc::clone(&steps_done);
         let completions = std::rc::Rc::clone(&completions);
         let sim2 = sim.clone();
         handles.push(sim.spawn(async move {
             loop {
                 match worker.run_once(advance).await.unwrap() {
-                    WorkerOutcome::Worked { completed, steps, .. } => {
+                    WorkerOutcome::Worked {
+                        completed, steps, ..
+                    } => {
                         steps_done.borrow_mut()[w] += steps;
                         if completed && steps > 0 {
                             completions.set(completions.get() + 1);
@@ -92,7 +97,12 @@ fn workers_share_the_pool_without_duplication() {
     // counted (a completion can be split across workers after preemption,
     // but here no failures occur).
     let total_steps: u32 = steps_done.borrow().iter().sum();
-    assert_eq!(total_steps, 12, "steps per worker: {:?}", steps_done.borrow());
+    assert_eq!(
+        total_steps,
+        12,
+        "steps per worker: {:?}",
+        steps_done.borrow()
+    );
     assert_eq!(completions.get(), 4, "each job driven to DONE exactly once");
     let done = sim.block_on({
         let board = board.clone();
@@ -113,7 +123,10 @@ fn crashed_worker_job_is_resumed_not_restarted() {
     sim.block_on({
         let board = board.clone();
         async move {
-            board.submit("fragile", "PENDING", Bytes::new()).await.unwrap();
+            board
+                .submit("fragile", "PENDING", Bytes::new())
+                .await
+                .unwrap();
         }
     });
     sim.run();
@@ -146,7 +159,10 @@ fn crashed_worker_job_is_resumed_not_restarted() {
 
     // Worker B takes over after the watchdog clears the lock, resuming
     // from TRANSLATED (not from PENDING).
-    let b_worker = Worker::new(sys.replica(2).clone(), JobBoard::new(sys.replica(2).clone(), "work"));
+    let b_worker = Worker::new(
+        sys.replica(2).clone(),
+        JobBoard::new(sys.replica(2).clone(), "work"),
+    );
     let seen_states = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
     let seen2 = std::rc::Rc::clone(&seen_states);
     let h = sim.spawn({
@@ -160,7 +176,13 @@ fn crashed_worker_job_is_resumed_not_restarted() {
                     })
                     .await
                     .unwrap();
-                if matches!(outcome, WorkerOutcome::Worked { completed: true, .. }) {
+                if matches!(
+                    outcome,
+                    WorkerOutcome::Worked {
+                        completed: true,
+                        ..
+                    }
+                ) {
                     break;
                 }
                 sim2.sleep(SimDuration::from_millis(200)).await;
@@ -188,25 +210,39 @@ fn ownership_amortizes_and_fails_over() {
     let sim2 = sim.clone();
     sim.block_on(async move {
         // be-1 becomes alice's owner on first write.
-        be1.write("alice", Bytes::from_static(b"viewer")).await.unwrap();
+        be1.write("alice", Bytes::from_static(b"viewer"))
+            .await
+            .unwrap();
         assert_eq!(be1.owned_count(), 1);
 
         // Steady-state owner writes avoid consensus: they're quorum-put
         // fast (~54ms on 1Us, not ~500ms).
         let t0 = sim2.now();
-        be1.write("alice", Bytes::from_static(b"editor")).await.unwrap();
+        be1.write("alice", Bytes::from_static(b"editor"))
+            .await
+            .unwrap();
         let steady = sim2.now() - t0;
         assert!(steady.as_millis() < 120, "steady write took {steady}");
 
         // be-1 fails; the front end routes to be-2, which takes over.
-        be2.write("alice", Bytes::from_static(b"admin")).await.unwrap();
-        assert_eq!(be2.read("alice").await.unwrap(), Some(Bytes::from_static(b"admin")));
+        be2.write("alice", Bytes::from_static(b"admin"))
+            .await
+            .unwrap();
+        assert_eq!(
+            be2.read("alice").await.unwrap(),
+            Some(Bytes::from_static(b"admin"))
+        );
 
         // be-1 comes back, still believing it owns alice: it must be told.
         let res = be1.write("alice", Bytes::from_static(b"stale")).await;
         assert_eq!(res.unwrap_err(), OwnershipError::LostOwnership);
         // After the error, a retry re-establishes ownership by takeover.
-        be1.write("alice", Bytes::from_static(b"back")).await.unwrap();
-        assert_eq!(be1.read("alice").await.unwrap(), Some(Bytes::from_static(b"back")));
+        be1.write("alice", Bytes::from_static(b"back"))
+            .await
+            .unwrap();
+        assert_eq!(
+            be1.read("alice").await.unwrap(),
+            Some(Bytes::from_static(b"back"))
+        );
     });
 }

@@ -50,9 +50,16 @@ fn contended_makespan(peek_mode: PeekMode, waiters: usize) -> (f64, u64) {
 /// deadline, client-level retries)`.
 fn create_race_within(backoff: SimDuration, racers: usize, deadline: SimDuration) -> (u64, u64) {
     let sim = Sim::new();
-    let net = Network::new(sim.clone(), LatencyProfile::one_us(), bench_net_config(), 23);
+    let net = Network::new(
+        sim.clone(),
+        LatencyProfile::one_us(),
+        bench_net_config(),
+        23,
+    );
     let nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
-    let clients: Vec<_> = (0..racers).map(|i| net.add_node(SiteId((i % 3) as u32))).collect();
+    let clients: Vec<_> = (0..racers)
+        .map(|i| net.add_node(SiteId((i % 3) as u32)))
+        .collect();
     let locks = LockStore::new(
         net,
         nodes,
@@ -95,8 +102,16 @@ fn main() {
     print_table(
         &["peek", "makespan (s)", "messages"],
         &[
-            vec!["local".into(), format!("{local_s:.2}"), local_msgs.to_string()],
-            vec!["quorum".into(), format!("{quorum_s:.2}"), quorum_msgs.to_string()],
+            vec![
+                "local".into(),
+                format!("{local_s:.2}"),
+                local_msgs.to_string(),
+            ],
+            vec![
+                "quorum".into(),
+                format!("{quorum_s:.2}"),
+                quorum_msgs.to_string(),
+            ],
         ],
     );
     print_row(&format!(
@@ -112,11 +127,17 @@ fn main() {
     let sections = if fast { 2 } else { 5 };
     let mut rows = Vec::new();
     for batch in [1usize, 10, 100, 1000] {
-        let cs =
-            music_cs_latency(LatencyProfile::one_us(), Mode::Music, batch, 10, sections, 31)
-                .section
-                .mean()
-                .as_millis_f64();
+        let cs = music_cs_latency(
+            LatencyProfile::one_us(),
+            Mode::Music,
+            batch,
+            10,
+            sections,
+            31,
+        )
+        .section
+        .mean()
+        .as_millis_f64();
         rows.push(vec![
             batch.to_string(),
             format!("{cs:.0}"),

@@ -17,9 +17,19 @@ use music_simnet::topology::LatencyProfile;
 fn main() {
     let fast = fast_mode();
     let (threads, ev_threads, warmup, window) = if fast {
-        (48, 12, SimDuration::from_millis(500), SimDuration::from_secs(2))
+        (
+            48,
+            12,
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
+        )
     } else {
-        (384, 48, SimDuration::from_secs(2), SimDuration::from_secs(8))
+        (
+            384,
+            48,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(8),
+        )
     };
 
     print_header(
@@ -44,7 +54,10 @@ fn main() {
             format!("{:.2}x", ratio(music, mscp)),
         ]);
     }
-    print_table(&["profile", "CassaEV", "MUSIC", "MSCP", "MUSIC/MSCP"], &rows);
+    print_table(
+        &["profile", "CassaEV", "MUSIC", "MSCP", "MUSIC/MSCP"],
+        &rows,
+    );
     print_row("paper: CassaEV ~41000; MUSIC ~885; MUSIC/MSCP ~1.3x on every profile");
 
     print_header(

@@ -84,4 +84,7 @@ fn main() {
     print_table(&["operation", "measured ms", "paper ms"], &rows);
     print_row("note: our criticalPut quorum reaches the nearest remote site (~54 ms);");
     print_row("the paper's driver-to-coordinator routing adds ~1 extra hop (~93 ms).");
+
+    print_header("Fig. 5(b) counters", "protocol counters for the MUSIC run");
+    music_bench::report::print_metrics(&music.counters);
 }

@@ -15,7 +15,14 @@ use music_simnet::time::SimDuration;
 use music_simnet::topology::LatencyProfile;
 use music_workload::sweep::{size_label, BATCH_SIZES, DATA_SIZES, DATA_SWEEP_BATCH};
 
-fn cell(mode: Mode, threads: usize, batch: usize, vsize: usize, warmup: SimDuration, window: SimDuration) -> f64 {
+fn cell(
+    mode: Mode,
+    threads: usize,
+    batch: usize,
+    vsize: usize,
+    warmup: SimDuration,
+    window: SimDuration,
+) -> f64 {
     let mut run = ThroughputRun::new(LatencyProfile::one_us(), mode);
     run.threads = threads;
     run.batch = batch;
@@ -62,7 +69,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["batch", "MUSIC", "MSCP", "ZooKeeper", "MUSIC/ZK", "MUSIC/MSCP"],
+        &[
+            "batch",
+            "MUSIC",
+            "MSCP",
+            "ZooKeeper",
+            "MUSIC/ZK",
+            "MUSIC/MSCP",
+        ],
         &rows,
     );
     print_row("paper: MUSIC/ZK ~1.4-2.3x, MUSIC/MSCP ~2-3.5x; MUSIC roughly doubles 10->1000");
@@ -94,7 +108,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["size", "MUSIC", "MSCP", "ZooKeeper", "MUSIC/ZK", "MUSIC/MSCP"],
+        &[
+            "size",
+            "MUSIC",
+            "MSCP",
+            "ZooKeeper",
+            "MUSIC/ZK",
+            "MUSIC/MSCP",
+        ],
         &rows,
     );
     print_row("paper: MUSIC/ZK widens to ~2.45-17.17x with data size");

@@ -25,10 +25,17 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &batch in batches {
-        let music = music_cs_latency(LatencyProfile::one_us(), Mode::Music, batch, 10, sections, 9)
-            .section
-            .mean()
-            .as_secs_f64();
+        let music = music_cs_latency(
+            LatencyProfile::one_us(),
+            Mode::Music,
+            batch,
+            10,
+            sections,
+            9,
+        )
+        .section
+        .mean()
+        .as_secs_f64();
         let cdb = cdb_cs_latency(LatencyProfile::one_us(), batch, 10, sections, 9)
             .mean()
             .as_secs_f64();
@@ -39,7 +46,10 @@ fn main() {
             format!("{:.2}x", ratio(cdb, music)),
         ]);
     }
-    print_table(&["batch", "MUSIC (s)", "CockroachDB (s)", "Cdb/MUSIC"], &rows);
+    print_table(
+        &["batch", "MUSIC (s)", "CockroachDB (s)", "Cdb/MUSIC"],
+        &rows,
+    );
     print_row("paper: CockroachDB ~2-4x slower, widening with batch size");
 
     print_header(
@@ -48,14 +58,26 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &size in sizes {
-        let music =
-            music_cs_latency(LatencyProfile::one_us(), Mode::Music, DATA_SWEEP_BATCH, size, sections, 9)
-                .section
-                .mean()
-                .as_secs_f64();
-        let cdb = cdb_cs_latency(LatencyProfile::one_us(), DATA_SWEEP_BATCH, size, sections, 9)
-            .mean()
-            .as_secs_f64();
+        let music = music_cs_latency(
+            LatencyProfile::one_us(),
+            Mode::Music,
+            DATA_SWEEP_BATCH,
+            size,
+            sections,
+            9,
+        )
+        .section
+        .mean()
+        .as_secs_f64();
+        let cdb = cdb_cs_latency(
+            LatencyProfile::one_us(),
+            DATA_SWEEP_BATCH,
+            size,
+            sections,
+            9,
+        )
+        .mean()
+        .as_secs_f64();
         rows.push(vec![
             size_label(size),
             format!("{music:.2}"),
@@ -63,6 +85,9 @@ fn main() {
             format!("{:.2}x", ratio(cdb, music)),
         ]);
     }
-    print_table(&["size", "MUSIC (s)", "CockroachDB (s)", "Cdb/MUSIC"], &rows);
+    print_table(
+        &["size", "MUSIC (s)", "CockroachDB (s)", "Cdb/MUSIC"],
+        &rows,
+    );
     print_row("paper: ~2-4x across data sizes");
 }

@@ -25,7 +25,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut collision_rates = Vec::new();
     for kind in WorkloadKind::ALL {
-        let music = run_ycsb(LatencyProfile::one_us(), Mode::Music, kind, threads, ops, 23);
+        let music = run_ycsb(
+            LatencyProfile::one_us(),
+            Mode::Music,
+            kind,
+            threads,
+            ops,
+            23,
+        );
         let mscp = run_ycsb(LatencyProfile::one_us(), Mode::Mscp, kind, threads, ops, 23);
         let mean = |h: &music_simnet::metrics::Histogram| {
             if h.is_empty() {
@@ -48,7 +55,14 @@ fn main() {
     }
     print_table(
         &[
-            "load", "MUSIC tput", "MSCP tput", "ratio", "M read", "S read", "M upd", "S upd",
+            "load",
+            "MUSIC tput",
+            "MSCP tput",
+            "ratio",
+            "M read",
+            "S read",
+            "M upd",
+            "S upd",
         ],
         &rows,
     );

@@ -60,7 +60,12 @@ fn bench_quorum_write(c: &mut Criterion) {
                 ReplicatedTable::new(net, nodes, 3, TableConfig::default());
             sim.block_on(async move {
                 table
-                    .write_quorum(client, "k", Put::value(Bytes::from_static(b"v")), WriteStamp::new(1))
+                    .write_quorum(
+                        client,
+                        "k",
+                        Put::value(Bytes::from_static(b"v")),
+                        WriteStamp::new(1),
+                    )
                     .await
                     .unwrap();
             });
@@ -68,5 +73,11 @@ fn bench_quorum_write(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_v2s, bench_zipfian, bench_executor, bench_quorum_write);
+criterion_group!(
+    benches,
+    bench_v2s,
+    bench_zipfian,
+    bench_executor,
+    bench_quorum_write
+);
 criterion_main!(benches);

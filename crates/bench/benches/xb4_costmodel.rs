@@ -30,10 +30,11 @@ fn main() {
     for x in [1usize, 3, 10, 100] {
         let music_analytic = 2.0 * c_lwt + (x as f64 + 1.0) * q_ms;
         let spanner_analytic = 2.0 * x as f64 * c_raft;
-        let music_measured = music_cs_latency(LatencyProfile::one_us(), Mode::Music, x, 10, sections, 29)
-            .section
-            .mean()
-            .as_millis_f64();
+        let music_measured =
+            music_cs_latency(LatencyProfile::one_us(), Mode::Music, x, 10, sections, 29)
+                .section
+                .mean()
+                .as_millis_f64();
         let cdb_measured = cdb_cs_latency(LatencyProfile::one_us(), x, 10, sections, 29)
             .mean()
             .as_millis_f64();
@@ -47,7 +48,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["x", "MUSIC calc", "2xC calc", "MUSIC meas", "Cdb meas", "meas ratio"],
+        &[
+            "x",
+            "MUSIC calc",
+            "2xC calc",
+            "MUSIC meas",
+            "Cdb meas",
+            "meas ratio",
+        ],
         &rows,
     );
     print_row("paper: with C ~ Q the asymptotic advantage is ~2x; our Cdb commits in");

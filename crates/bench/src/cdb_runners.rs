@@ -42,7 +42,10 @@ pub fn cdb_cs_latency(
             // Entry: lock-acquisition transaction (§X-B3).
             let mut entry = session.transaction();
             let _ = entry.select(&lock_key).await.unwrap();
-            entry.upsert(&lock_key, Bytes::from_static(b"ME")).await.unwrap();
+            entry
+                .upsert(&lock_key, Bytes::from_static(b"ME"))
+                .await
+                .unwrap();
             entry.commit().await.unwrap();
             // Body: each state update in an exclusive transaction.
             for _ in 0..batch {
@@ -52,7 +55,9 @@ pub fn cdb_cs_latency(
             }
             // Exit: unlock transaction.
             let mut exit = session.transaction();
-            exit.upsert(&lock_key, Bytes::from_static(b"NONE")).await.unwrap();
+            exit.upsert(&lock_key, Bytes::from_static(b"NONE"))
+                .await
+                .unwrap();
             exit.commit().await.unwrap();
             hist.record(sim2.now() - t0);
         }

@@ -165,6 +165,8 @@ pub struct LatencyResult {
     pub section: Histogram,
     /// Per-operation breakdown sink.
     pub ops: OpStats,
+    /// Protocol counter snapshot for the run (messages, retries, grants…).
+    pub counters: music_telemetry::MetricsSnapshot,
 }
 
 /// Mean-latency run: one client thread at site 0 executing `sections`
@@ -201,7 +203,11 @@ pub fn music_cs_latency(
                 }
             }
             for _ in 0..batch {
-                while replica.critical_put(&key, lock_ref, value.clone()).await.is_err() {
+                while replica
+                    .critical_put(&key, lock_ref, value.clone())
+                    .await
+                    .is_err()
+                {
                     sim2.sleep(SimDuration::from_millis(1)).await;
                 }
             }
@@ -215,6 +221,7 @@ pub fn music_cs_latency(
     LatencyResult {
         section,
         ops: sys.stats().clone(),
+        counters: sys.recorder().metrics(),
     }
 }
 
@@ -241,7 +248,11 @@ pub fn cassa_ev_latency(
 }
 
 /// Convenience: a system + replica pair for ad-hoc measurement code.
-pub fn single_replica(profile: LatencyProfile, mode: Mode, seed: u64) -> (MusicSystem, MusicReplica) {
+pub fn single_replica(
+    profile: LatencyProfile,
+    mode: Mode,
+    seed: u64,
+) -> (MusicSystem, MusicReplica) {
     let sys = music_system(profile, mode, 1, seed);
     let replica = sys.replica(0).clone();
     (sys, replica)
@@ -260,7 +271,10 @@ mod tests {
         let m = music.section.mean().as_millis_f64();
         let s = mscp.section.mean().as_millis_f64();
         assert!(m > 400.0 && m < 800.0, "MUSIC CS mean {m}ms");
-        assert!(s > m + 100.0, "MSCP {s}ms must exceed MUSIC {m}ms by ~3 RTT");
+        assert!(
+            s > m + 100.0,
+            "MSCP {s}ms must exceed MUSIC {m}ms by ~3 RTT"
+        );
         assert_eq!(music.ops.count(OpKind::CriticalPut), 3);
         assert_eq!(mscp.ops.count(OpKind::MscpPut), 3);
     }

@@ -1,5 +1,7 @@
 //! Plain-text table output for the figure reproductions.
 
+use music_telemetry::MetricsSnapshot;
+
 /// Prints a figure header with the paper reference.
 pub fn print_header(figure: &str, description: &str) {
     println!();
@@ -26,7 +28,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -35,6 +40,20 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 /// Prints one free-form row (for notes under a table).
 pub fn print_row(note: &str) {
     println!("  {note}");
+}
+
+/// Prints a telemetry counter snapshot as a scope/name/value table
+/// (skipped entirely when the snapshot is empty, i.e. recording was off).
+pub fn print_metrics(snapshot: &MetricsSnapshot) {
+    if snapshot.is_empty() {
+        return;
+    }
+    let rows: Vec<Vec<String>> = snapshot
+        .entries
+        .iter()
+        .map(|e| vec![e.scope.to_string(), e.name.to_string(), e.value.to_string()])
+        .collect();
+    print_table(&["scope", "counter", "value"], &rows);
 }
 
 /// `a / b` guarded against division by zero.

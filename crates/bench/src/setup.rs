@@ -45,7 +45,7 @@ pub fn bench_net_config() -> NetConfig {
 /// Whether `MUSIC_BENCH_FAST=1` is set: shrinks windows/thread counts so
 /// the whole suite runs in seconds (CI smoke mode).
 pub fn fast_mode() -> bool {
-    std::env::var("MUSIC_BENCH_FAST").map_or(false, |v| v == "1")
+    std::env::var("MUSIC_BENCH_FAST").is_ok_and(|v| v == "1")
 }
 
 /// The benchmark `MusicConfig` for a mode: long `T` (performance runs
@@ -68,7 +68,12 @@ pub fn music_system(
     store_nodes_per_site: usize,
     seed: u64,
 ) -> MusicSystem {
-    music_system_with(profile, bench_music_config(mode), store_nodes_per_site, seed)
+    music_system_with(
+        profile,
+        bench_music_config(mode),
+        store_nodes_per_site,
+        seed,
+    )
 }
 
 /// Builds a deployment with a custom `MusicConfig` (e.g. the YCSB run's
@@ -81,6 +86,8 @@ pub fn music_system_with(
     store_nodes_per_site: usize,
     seed: u64,
 ) -> MusicSystem {
+    // Counting is zero-perturbation, so every figure can print its
+    // counter table next to its latency rows (report::print_metrics).
     MusicSystemBuilder::new()
         .profile(profile)
         .net_config(bench_net_config())
@@ -89,6 +96,7 @@ pub fn music_system_with(
         .replicas_per_site(store_nodes_per_site)
         .replication_factor(3)
         .seed(seed)
+        .telemetry(music_telemetry::Recorder::metrics_only())
         .build()
 }
 

@@ -17,7 +17,11 @@ use crate::setup::bench_net_config;
 
 /// Builds a 3-server ensemble (one per site, leader at site 0) plus one
 /// client node per thread.
-fn build(profile: &LatencyProfile, threads: usize, seed: u64) -> (Sim, ZkEnsemble, Vec<music_simnet::net::NodeId>) {
+fn build(
+    profile: &LatencyProfile,
+    threads: usize,
+    seed: u64,
+) -> (Sim, ZkEnsemble, Vec<music_simnet::net::NodeId>) {
     let sim = Sim::new();
     let net = Network::new(sim.clone(), profile.clone(), bench_net_config(), seed);
     let servers: Vec<_> = (0..profile.site_count() as u32)
@@ -53,8 +57,12 @@ pub fn zk_write_throughput(
         let threads2 = threads;
         let h = sim.spawn(async move {
             let s = ens2.connect(node);
-            let _ = s.create("/data", Bytes::new(), CreateMode::Persistent).await;
-            let _ = s.create("/locks", Bytes::new(), CreateMode::Persistent).await;
+            let _ = s
+                .create("/data", Bytes::new(), CreateMode::Persistent)
+                .await;
+            let _ = s
+                .create("/locks", Bytes::new(), CreateMode::Persistent)
+                .await;
             for t in 0..threads2 {
                 let _ = s
                     .create(&format!("/data/t{t}"), Bytes::new(), CreateMode::Persistent)

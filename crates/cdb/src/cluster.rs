@@ -110,7 +110,9 @@ impl CdbCluster {
                 nodes,
                 leader: 0,
                 rafts,
-                kv: (0..n).map(|_| Rc::new(RefCell::new(HashMap::new()))).collect(),
+                kv: (0..n)
+                    .map(|_| Rc::new(RefCell::new(HashMap::new())))
+                    .collect(),
                 applied: (0..n).map(|_| Cell::new(0)).collect(),
                 match_index: RefCell::new(vec![0; n]),
                 locks: RefCell::new(HashMap::new()),
@@ -183,7 +185,8 @@ impl CdbCluster {
                                 .sum::<usize>()
                         })
                         .sum::<usize>();
-                net.transmit(leader_node, follower_node, req_bytes.max(bytes)).await;
+                net.transmit(leader_node, follower_node, req_bytes.max(bytes))
+                    .await;
                 let reply = follower_raft.borrow_mut().handle_append(&req);
                 this.inner.apply_committed(i);
                 net.transmit(follower_node, leader_node, HEADER).await;
@@ -205,7 +208,9 @@ impl CdbCluster {
         // Advance commit and apply at the leader.
         {
             let mi = inner.match_index.borrow().clone();
-            inner.rafts[inner.leader].borrow_mut().leader_advance_commit(&mi);
+            inner.rafts[inner.leader]
+                .borrow_mut()
+                .leader_advance_commit(&mi);
         }
         inner.apply_committed(inner.leader);
         // Propagate the new commit index to followers asynchronously (the
@@ -354,15 +359,22 @@ impl CdbTxn {
         let net = self.cluster.inner.net.clone();
         let leader_node = self.cluster.leader_node();
         // Client → leader statement hop.
-        net.transmit(self.client_node, leader_node, HEADER + key.len() + value.len())
-            .await;
+        net.transmit(
+            self.client_node,
+            leader_node,
+            HEADER + key.len() + value.len(),
+        )
+        .await;
         self.lock_row(key).await?;
         self.writes.push((key.to_string(), Some(value)));
         if !self.record_written {
             self.record_written = true;
             // Transaction record + first intent: consensus op #1.
             self.cluster
-                .consensus(vec![(format!("~txn/{}", self.id), Some(Bytes::from_static(b"PENDING")))])
+                .consensus(vec![(
+                    format!("~txn/{}", self.id),
+                    Some(Bytes::from_static(b"PENDING")),
+                )])
                 .await?;
         }
         // Ack back to the client.

@@ -233,8 +233,9 @@ impl<C: Clone> RaftNode<C> {
             self.current_term = req.term;
             self.voted_for = None;
         }
-        let log_ok = (req.last_log_term, req.last_log_index) >= (self.last_term(), self.last_index());
-        let granted = log_ok && self.voted_for.map_or(true, |v| v == req.candidate);
+        let log_ok =
+            (req.last_log_term, req.last_log_index) >= (self.last_term(), self.last_index());
+        let granted = log_ok && self.voted_for.is_none_or(|v| v == req.candidate);
         if granted {
             self.voted_for = Some(req.candidate);
         }
@@ -284,7 +285,10 @@ mod tests {
             f.handle_append(&leader.build_append(3));
             assert_eq!(f.commit_index(), 2);
             assert_eq!(
-                f.committed_after(0).iter().map(|e| e.command).collect::<Vec<_>>(),
+                f.committed_after(0)
+                    .iter()
+                    .map(|e| e.command)
+                    .collect::<Vec<_>>(),
                 vec![10, 20]
             );
         }
@@ -317,7 +321,10 @@ mod tests {
             term: 1,
             prev_log_index: 5,
             prev_log_term: 1,
-            entries: vec![Entry { term: 1, command: 9 }],
+            entries: vec![Entry {
+                term: 1,
+                command: 9,
+            }],
             leader_commit: 0,
         });
         assert!(!reply.success, "gap must be rejected");
@@ -331,7 +338,16 @@ mod tests {
             term: 1,
             prev_log_index: 0,
             prev_log_term: 0,
-            entries: vec![Entry { term: 1, command: 1 }, Entry { term: 1, command: 2 }],
+            entries: vec![
+                Entry {
+                    term: 1,
+                    command: 1,
+                },
+                Entry {
+                    term: 1,
+                    command: 2,
+                },
+            ],
             leader_commit: 0,
         });
         // A term-2 leader with a different entry at index 2.
@@ -339,7 +355,10 @@ mod tests {
             term: 2,
             prev_log_index: 1,
             prev_log_term: 1,
-            entries: vec![Entry { term: 2, command: 99 }],
+            entries: vec![Entry {
+                term: 2,
+                command: 99,
+            }],
             leader_commit: 0,
         });
         assert!(reply.success);
@@ -354,7 +373,10 @@ mod tests {
             term: 1,
             prev_log_index: 0,
             prev_log_term: 0,
-            entries: vec![Entry { term: 1, command: 1 }],
+            entries: vec![Entry {
+                term: 1,
+                command: 1,
+            }],
             leader_commit: 10,
         });
         assert_eq!(f.commit_index(), 1);
@@ -367,7 +389,10 @@ mod tests {
             term: 2,
             prev_log_index: 0,
             prev_log_term: 0,
-            entries: vec![Entry { term: 2, command: 1 }],
+            entries: vec![Entry {
+                term: 2,
+                command: 1,
+            }],
             leader_commit: 0,
         });
         // A candidate with a stale log is refused.
@@ -401,11 +426,22 @@ mod tests {
         let mut leader = RaftNode::<u32>::new(0);
         leader.become_leader(2);
         // A term-1 entry somehow in the log (from a previous leadership).
-        leader.log.push(Entry { term: 1, command: 1 });
+        leader.log.push(Entry {
+            term: 1,
+            command: 1,
+        });
         leader.leader_advance_commit(&[1, 1, 1]);
-        assert_eq!(leader.commit_index(), 0, "old-term entries don't commit by counting");
+        assert_eq!(
+            leader.commit_index(),
+            0,
+            "old-term entries don't commit by counting"
+        );
         leader.leader_append(2);
         leader.leader_advance_commit(&[2, 2, 1]);
-        assert_eq!(leader.commit_index(), 2, "current-term commit covers older entries");
+        assert_eq!(
+            leader.commit_index(),
+            2,
+            "current-term commit covers older entries"
+        );
     }
 }

@@ -23,7 +23,11 @@ fn fixture() -> Fixture {
     let nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
     let clients: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
     let cluster = CdbCluster::new(net, nodes);
-    Fixture { sim, cluster, clients }
+    Fixture {
+        sim,
+        cluster,
+        clients,
+    }
 }
 
 fn b(s: &'static str) -> Bytes {

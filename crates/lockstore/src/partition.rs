@@ -170,8 +170,7 @@ impl LockPartition {
         if cutoff == 0 {
             return;
         }
-        self.entries
-            .retain(|r, e| e.present || r.value() >= cutoff);
+        self.entries.retain(|r, e| e.present || r.value() >= cutoff);
     }
 
     fn merge_cell(&mut self, lock_ref: LockRef, other: &LockEntry) {
@@ -254,7 +253,10 @@ impl Partition for LockPartition {
         let mut out = Vec::with_capacity(newest.entries.len() * 2 + 1);
         if newest.guard > 0 {
             // Any stamp works: guard merges by max.
-            out.push((LockMutation::RaiseGuard { to: newest.guard }, WriteStamp::new(1)));
+            out.push((
+                LockMutation::RaiseGuard { to: newest.guard },
+                WriteStamp::new(1),
+            ));
         }
         for (r, e) in &newest.entries {
             if e.stamp > WriteStamp::ZERO {
@@ -269,7 +271,10 @@ impl Partition for LockPartition {
                 out.push((m, e.stamp));
             }
             if let Some(at) = e.start_time {
-                out.push((LockMutation::SetStartTime { lock_ref: *r, at }, e.start_stamp));
+                out.push((
+                    LockMutation::SetStartTime { lock_ref: *r, at },
+                    e.start_stamp,
+                ));
             }
         }
         out
@@ -287,10 +292,31 @@ mod tests {
     #[test]
     fn enqueue_orders_queue_by_lock_ref() {
         let mut p = LockPartition::default();
-        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(2), token: 0 }, ts(2));
-        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
-        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(3), token: 0 }, ts(3));
-        assert_eq!(p.queue(), vec![LockRef::new(1), LockRef::new(2), LockRef::new(3)]);
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(2),
+                token: 0,
+            },
+            ts(2),
+        );
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 0,
+            },
+            ts(1),
+        );
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(3),
+                token: 0,
+            },
+            ts(3),
+        );
+        assert_eq!(
+            p.queue(),
+            vec![LockRef::new(1), LockRef::new(2), LockRef::new(3)]
+        );
         assert_eq!(p.head().unwrap().0, LockRef::new(1));
         assert_eq!(p.guard(), 3);
     }
@@ -299,13 +325,30 @@ mod tests {
     fn dequeue_tombstones_and_head_advances() {
         let mut p = LockPartition::default();
         for i in 1..=3 {
-            p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(i), token: 0 }, ts(i));
+            p.apply(
+                &LockMutation::Enqueue {
+                    lock_ref: LockRef::new(i),
+                    token: 0,
+                },
+                ts(i),
+            );
         }
-        p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(4));
+        p.apply(
+            &LockMutation::Dequeue {
+                lock_ref: LockRef::new(1),
+            },
+            ts(4),
+        );
         assert_eq!(p.head().unwrap().0, LockRef::new(2));
         assert!(!p.contains(LockRef::new(1)));
         // A stale (re-ordered) enqueue of 1 must not resurrect it.
-        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 0,
+            },
+            ts(1),
+        );
         assert!(!p.contains(LockRef::new(1)));
     }
 
@@ -315,16 +358,33 @@ mod tests {
         // reference (`removeLockReference`, §VII-a).
         let mut p = LockPartition::default();
         for i in 1..=3 {
-            p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(i), token: 0 }, ts(i));
+            p.apply(
+                &LockMutation::Enqueue {
+                    lock_ref: LockRef::new(i),
+                    token: 0,
+                },
+                ts(i),
+            );
         }
-        p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(2) }, ts(4));
+        p.apply(
+            &LockMutation::Dequeue {
+                lock_ref: LockRef::new(2),
+            },
+            ts(4),
+        );
         assert_eq!(p.queue(), vec![LockRef::new(1), LockRef::new(3)]);
     }
 
     #[test]
     fn start_time_is_an_independent_cell() {
         let mut p = LockPartition::default();
-        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 0,
+            },
+            ts(1),
+        );
         p.apply(
             &LockMutation::SetStartTime {
                 lock_ref: LockRef::new(1),
@@ -335,24 +395,61 @@ mod tests {
         let (_, e) = p.head().unwrap();
         assert_eq!(e.start_time, Some(SimTime::from_micros(500)));
         // Dequeue does not erase the recorded start time cell stampwise.
-        p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(3));
-        assert_eq!(p.entry(LockRef::new(1)).unwrap().start_time, Some(SimTime::from_micros(500)));
+        p.apply(
+            &LockMutation::Dequeue {
+                lock_ref: LockRef::new(1),
+            },
+            ts(3),
+        );
+        assert_eq!(
+            p.entry(LockRef::new(1)).unwrap().start_time,
+            Some(SimTime::from_micros(500))
+        );
     }
 
     #[test]
     fn reconcile_merges_cellwise() {
         let mut a = LockPartition::default();
         let mut b = LockPartition::default();
-        a.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
-        b.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
-        b.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(2));
-        b.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(2), token: 0 }, ts(3));
+        a.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 0,
+            },
+            ts(1),
+        );
+        b.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 0,
+            },
+            ts(1),
+        );
+        b.apply(
+            &LockMutation::Dequeue {
+                lock_ref: LockRef::new(1),
+            },
+            ts(2),
+        );
+        b.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(2),
+                token: 0,
+            },
+            ts(3),
+        );
         let m = LockPartition::reconcile(a, b.clone());
         assert_eq!(m.queue(), vec![LockRef::new(2)]);
         assert_eq!(m.guard(), 2);
         // Reconcile is commutative for these states.
         let mut a2 = LockPartition::default();
-        a2.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1));
+        a2.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 0,
+            },
+            ts(1),
+        );
         let m2 = LockPartition::reconcile(b, a2);
         assert_eq!(m2.queue(), vec![LockRef::new(2)]);
     }
@@ -360,11 +457,35 @@ mod tests {
     #[test]
     fn apply_permutations_converge() {
         let muts = [
-            (LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 0 }, ts(1)),
-            (LockMutation::Enqueue { lock_ref: LockRef::new(2), token: 0 }, ts(2)),
-            (LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(3)),
+            (
+                LockMutation::Enqueue {
+                    lock_ref: LockRef::new(1),
+                    token: 0,
+                },
+                ts(1),
+            ),
+            (
+                LockMutation::Enqueue {
+                    lock_ref: LockRef::new(2),
+                    token: 0,
+                },
+                ts(2),
+            ),
+            (
+                LockMutation::Dequeue {
+                    lock_ref: LockRef::new(1),
+                },
+                ts(3),
+            ),
         ];
-        let orders = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let orders = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         let mut results = Vec::new();
         for order in orders {
             let mut p = LockPartition::default();
@@ -389,14 +510,31 @@ mod tests {
     #[test]
     fn find_token_locates_live_enqueues_only() {
         let mut p = LockPartition::default();
-        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 77 }, ts(1));
-        p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(2), token: 88 }, ts(2));
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 77,
+            },
+            ts(1),
+        );
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(2),
+                token: 88,
+            },
+            ts(2),
+        );
         assert_eq!(p.find_token(77), Some(LockRef::new(1)));
         assert_eq!(p.find_token(88), Some(LockRef::new(2)));
         assert_eq!(p.find_token(99), None);
         // A collected (dequeued) reference no longer answers for its token:
         // the retrying client must mint a fresh one.
-        p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(1) }, ts(3));
+        p.apply(
+            &LockMutation::Dequeue {
+                lock_ref: LockRef::new(1),
+            },
+            ts(3),
+        );
         assert_eq!(p.find_token(77), None);
     }
 
@@ -405,8 +543,19 @@ mod tests {
         let mut p = LockPartition::default();
         // Mint + collect far more references than the grace window.
         for i in 1..=(TOMBSTONE_GRACE + 200) {
-            p.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(i), token: i }, ts(2 * i));
-            p.apply(&LockMutation::Dequeue { lock_ref: LockRef::new(i) }, ts(2 * i + 1));
+            p.apply(
+                &LockMutation::Enqueue {
+                    lock_ref: LockRef::new(i),
+                    token: i,
+                },
+                ts(2 * i),
+            );
+            p.apply(
+                &LockMutation::Dequeue {
+                    lock_ref: LockRef::new(i),
+                },
+                ts(2 * i + 1),
+            );
         }
         // Memory stays bounded by the grace window.
         assert!(
@@ -419,7 +568,13 @@ mod tests {
         );
         // A stale straggler enqueue of a *recent* collected ref still loses.
         let recent = LockRef::new(TOMBSTONE_GRACE + 150);
-        p.apply(&LockMutation::Enqueue { lock_ref: recent, token: 0 }, ts(1));
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: recent,
+                token: 0,
+            },
+            ts(1),
+        );
         assert!(!p.contains(recent));
         // Queue is empty and guard preserved.
         assert!(p.head().is_none());
@@ -430,7 +585,13 @@ mod tests {
     fn reconcile_carries_tokens() {
         let mut a = LockPartition::default();
         let mut b = LockPartition::default();
-        b.apply(&LockMutation::Enqueue { lock_ref: LockRef::new(1), token: 42 }, ts(5));
+        b.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 42,
+            },
+            ts(5),
+        );
         a = LockPartition::reconcile(a, b);
         assert_eq!(a.find_token(42), Some(LockRef::new(1)));
     }

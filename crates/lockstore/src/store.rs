@@ -110,6 +110,19 @@ impl LockStore {
                 ))
             })
             .await?;
+        let rec = self.table.net().recorder();
+        if rec.is_tracing() {
+            let sim = self.table.net().sim();
+            rec.record(
+                sim.now().as_micros(),
+                sim.trace(),
+                coord.0,
+                music_telemetry::EventKind::LockEnqueue {
+                    key: key.to_string(),
+                    lock_ref: minted.get().value(),
+                },
+            );
+        }
         Ok(minted.get())
     }
 
@@ -223,7 +236,12 @@ impl LockStore {
         // reference is granted at most once.
         let stamp = WriteStamp::new(at.as_micros().max(1));
         self.table
-            .write_one(coord, key, LockMutation::SetStartTime { lock_ref, at }, stamp)
+            .write_one(
+                coord,
+                key,
+                LockMutation::SetStartTime { lock_ref, at },
+                stamp,
+            )
             .await
     }
 }

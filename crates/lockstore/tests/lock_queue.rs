@@ -153,7 +153,9 @@ fn scan_heads_sweeps_all_keys_in_one_call() {
         locks.dequeue(me, "job-c", r).await.unwrap();
     });
     f.sim.run();
-    let heads = f.sim.block_on(async move { locks2.scan_heads(f.coords[0]).await.unwrap() });
+    let heads = f
+        .sim
+        .block_on(async move { locks2.scan_heads(f.coords[0]).await.unwrap() });
     let keys: Vec<&str> = heads.iter().map(|(k, _, _)| k.as_str()).collect();
     assert_eq!(keys, vec!["job-a", "job-b"]);
     for (_, r, _) in &heads {

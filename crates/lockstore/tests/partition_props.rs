@@ -9,8 +9,13 @@ use proptest::prelude::*;
 
 fn arb_mutation() -> impl Strategy<Value = LockMutation> {
     prop_oneof![
-        (1u64..6).prop_map(|r| LockMutation::Enqueue { lock_ref: LockRef::new(r), token: r }),
-        (1u64..6).prop_map(|r| LockMutation::Dequeue { lock_ref: LockRef::new(r) }),
+        (1u64..6).prop_map(|r| LockMutation::Enqueue {
+            lock_ref: LockRef::new(r),
+            token: r
+        }),
+        (1u64..6).prop_map(|r| LockMutation::Dequeue {
+            lock_ref: LockRef::new(r)
+        }),
         (1u64..6, 0u64..1000).prop_map(|(r, t)| LockMutation::SetStartTime {
             lock_ref: LockRef::new(r),
             at: SimTime::from_micros(t),
@@ -80,9 +85,8 @@ proptest! {
     #[test]
     fn head_is_monotone_in_ordered_histories(ops in proptest::collection::vec(0u8..2, 1..30)) {
         let mut p = LockPartition::default();
-        let mut stamp = 1u64;
         let mut last_head = 0u64;
-        for op in ops {
+        for (op, stamp) in ops.into_iter().zip(1u64..) {
             match op {
                 0 => {
                     let next = LockRef::new(p.guard() + 1);
@@ -94,7 +98,6 @@ proptest! {
                     }
                 }
             }
-            stamp += 1;
             if let Some((head, _)) = p.head() {
                 prop_assert!(head.value() >= last_head, "head regressed");
                 last_head = head.value();

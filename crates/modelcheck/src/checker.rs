@@ -91,11 +91,11 @@ impl Checker {
         let mut truncated = false;
 
         let push = |state: M::State,
-                        parent: usize,
-                        label: String,
-                        seen: &mut HashMap<M::State, usize>,
-                        parents: &mut Vec<(usize, String)>,
-                        order: &mut Vec<M::State>|
+                    parent: usize,
+                    label: String,
+                    seen: &mut HashMap<M::State, usize>,
+                    parents: &mut Vec<(usize, String)>,
+                    order: &mut Vec<M::State>|
          -> Option<usize> {
             if seen.contains_key(&state) {
                 return None;
@@ -108,8 +108,14 @@ impl Checker {
         };
 
         for s in model.initial() {
-            if let Some(idx) = push(s, usize::MAX, "init".to_string(), &mut seen, &mut parents, &mut order)
-            {
+            if let Some(idx) = push(
+                s,
+                usize::MAX,
+                "init".to_string(),
+                &mut seen,
+                &mut parents,
+                &mut order,
+            ) {
                 queue.push_back((idx, 0));
             }
         }
@@ -203,7 +209,11 @@ mod tests {
             violation_at: None,
         });
         match out {
-            CheckOutcome::Ok { states, depth, truncated } => {
+            CheckOutcome::Ok {
+                states,
+                depth,
+                truncated,
+            } => {
                 assert_eq!(states, 11);
                 assert_eq!(depth, 10);
                 assert!(!truncated);
@@ -219,7 +229,12 @@ mod tests {
             violation_at: Some(3),
         });
         match out {
-            CheckOutcome::Violation { message, trace, state, .. } => {
+            CheckOutcome::Violation {
+                message,
+                trace,
+                state,
+                ..
+            } => {
                 assert_eq!(state, 3);
                 assert!(message.contains("3"));
                 assert_eq!(trace, vec!["init", "inc->1", "inc->2", "inc->3"]);

@@ -243,7 +243,10 @@ impl MusicModel {
     }
 
     fn crashes_used(s: &State) -> u8 {
-        s.clients.iter().filter(|c| c.phase == Phase::Crashed).count() as u8
+        s.clients
+            .iter()
+            .filter(|c| c.phase == Phase::Crashed)
+            .count() as u8
     }
 
     fn push_flag(s: &mut State, pair: FlagPair) {
@@ -361,8 +364,8 @@ impl Model for MusicModel {
                 }
                 Phase::Critical => {
                     // criticalPut — allowed while (apparently) the holder.
-                    let may_put = is_head
-                        || (self.scope.stale_puts && !s.queue.contains(&c.lock_ref));
+                    let may_put =
+                        is_head || (self.scope.stale_puts && !s.queue.contains(&c.lock_ref));
                     if may_put && c.puts < self.scope.max_puts {
                         let mut n = s.clone();
                         n.data.push(Pair {
@@ -492,7 +495,8 @@ impl Model for MusicModel {
 
             // I2: Critical-Section Invariant — the lockholder in Critical
             // or Getting state implies the data store is defined.
-            if is_head && matches!(c.phase, Phase::Critical | Phase::GetWait(_))
+            if is_head
+                && matches!(c.phase, Phase::Critical | Phase::GetWait(_))
                 && !Self::data_defined(s)
             {
                 return Err(format!(
@@ -517,7 +521,10 @@ impl Model for MusicModel {
             // I3: SynchFlag Invariant — a preempted, still-active client
             // whose ref is past and ≥ the true timestamp's lockRef implies
             // the flag is true.
-            let active_cs = matches!(c.phase, Phase::Critical | Phase::PutWait | Phase::GetWait(_));
+            let active_cs = matches!(
+                c.phase,
+                Phase::Critical | Phase::PutWait | Phase::GetWait(_)
+            );
             if active_cs
                 && c.lock_ref != 0
                 && !s.queue.contains(&c.lock_ref)

@@ -8,12 +8,17 @@ fn default_scope_satisfies_all_invariants() {
     let model = MusicModel::default();
     let out = Checker::default().run(&model);
     match &out {
-        CheckOutcome::Ok { states, truncated, .. } => {
+        CheckOutcome::Ok {
+            states, truncated, ..
+        } => {
             assert!(!truncated, "scope must be fully explored");
             assert!(*states > 10_000, "non-trivial state space, got {states}");
         }
         CheckOutcome::Violation { message, trace, .. } => {
-            panic!("unexpected violation: {message}\ntrace:\n  {}", trace.join("\n  "));
+            panic!(
+                "unexpected violation: {message}\ntrace:\n  {}",
+                trace.join("\n  ")
+            );
         }
     }
 }
@@ -60,7 +65,8 @@ fn mutant_delta_zero_is_caught() {
     match out {
         CheckOutcome::Violation { message, trace, .. } => {
             assert!(
-                message.contains("synchFlag") || message.contains("latest-state")
+                message.contains("synchFlag")
+                    || message.contains("latest-state")
                     || message.contains("critical-section"),
                 "unexpected violation kind: {message}"
             );

@@ -49,9 +49,31 @@ impl MusicClient {
         self.primary().config().client_retries
     }
 
+    /// Records one replica fail-over: bumps the global counter and, when
+    /// tracing, emits a `clientFailover` event under the current trace.
+    fn note_failover(&self, op: &'static str, attempt: u32) {
+        let rec = self.primary().recorder();
+        if !rec.is_on() {
+            return;
+        }
+        rec.count(music_telemetry::Scope::Global, "client_failovers", 1);
+        if rec.is_tracing() {
+            rec.record(
+                self.sim.now().as_micros(),
+                self.sim.trace(),
+                self.primary().node().0,
+                music_telemetry::EventKind::ClientFailover { op, attempt },
+            );
+        }
+    }
+
     /// Runs `op` against replicas in preference order until one succeeds,
     /// up to the configured retry budget.
-    async fn with_failover<T, F, Fut>(&self, mut op: F) -> Result<T, MusicError>
+    async fn with_failover<T, F, Fut>(
+        &self,
+        op_name: &'static str,
+        mut op: F,
+    ) -> Result<T, MusicError>
     where
         F: FnMut(MusicReplica) -> Fut,
         Fut: std::future::Future<Output = Result<T, StoreError>>,
@@ -61,7 +83,10 @@ impl MusicClient {
             let replica = self.replicas[attempt as usize % self.replicas.len()].clone();
             match op(replica).await {
                 Ok(v) => return Ok(v),
-                Err(_) => continue,
+                Err(_) => {
+                    self.note_failover(op_name, attempt + 1);
+                    continue;
+                }
             }
         }
         Err(MusicError::Unavailable)
@@ -73,7 +98,7 @@ impl MusicClient {
     ///
     /// [`MusicError::Unavailable`] after the retry budget is exhausted.
     pub async fn create_lock_ref(&self, key: &str) -> Result<LockRef, MusicError> {
-        self.with_failover(|r| {
+        self.with_failover("createLockRef", |r| {
             let key = key.to_string();
             async move { r.create_lock_ref(&key).await }
         })
@@ -112,6 +137,7 @@ impl MusicClient {
                         return Err(MusicError::Unavailable);
                     }
                     replica_idx += 1; // fail over
+                    self.note_failover("acquireLock", consecutive_failures);
                     self.sim.sleep(poll).await;
                     poll = (poll * 2).min(poll_cap);
                 }
@@ -122,7 +148,11 @@ impl MusicClient {
     /// One retried critical operation (put/get share this policy):
     /// `NotYetHolder` and store nacks are retried (the latter with
     /// fail-over); holder-loss and expiry abort.
-    async fn critical_with_retry<T, F, Fut>(&self, mut op: F) -> Result<T, MusicError>
+    async fn critical_with_retry<T, F, Fut>(
+        &self,
+        op_name: &'static str,
+        mut op: F,
+    ) -> Result<T, MusicError>
     where
         F: FnMut(MusicReplica) -> Fut,
         Fut: std::future::Future<Output = Result<T, CriticalError>>,
@@ -145,6 +175,7 @@ impl MusicClient {
                     // after a few polls.
                     if failures % 4 == 0 {
                         replica_idx += 1;
+                        self.note_failover(op_name, failures);
                     }
                     self.sim.sleep(poll).await;
                 }
@@ -156,6 +187,7 @@ impl MusicClient {
                         return Err(MusicError::Unavailable);
                     }
                     replica_idx += 1;
+                    self.note_failover(op_name, failures);
                     self.sim.sleep(poll).await;
                 }
             }
@@ -176,7 +208,7 @@ impl MusicClient {
         lock_ref: LockRef,
         value: Bytes,
     ) -> Result<(), MusicError> {
-        self.critical_with_retry(|r| {
+        self.critical_with_retry("criticalPut", |r| {
             let key = key.to_string();
             let value = value.clone();
             async move { r.critical_put(&key, lock_ref, value).await }
@@ -194,7 +226,7 @@ impl MusicClient {
         key: &str,
         lock_ref: LockRef,
     ) -> Result<Option<Bytes>, MusicError> {
-        self.critical_with_retry(|r| {
+        self.critical_with_retry("criticalGet", |r| {
             let key = key.to_string();
             async move { r.critical_get(&key, lock_ref).await }
         })
@@ -207,7 +239,7 @@ impl MusicClient {
     ///
     /// [`MusicError::Unavailable`] after the retry budget is exhausted.
     pub async fn release_lock(&self, key: &str, lock_ref: LockRef) -> Result<(), MusicError> {
-        self.with_failover(|r| {
+        self.with_failover("releaseLock", |r| {
             let key = key.to_string();
             async move { r.release_lock(&key, lock_ref).await }
         })
@@ -220,7 +252,7 @@ impl MusicClient {
     ///
     /// [`MusicError::Unavailable`] after the retry budget is exhausted.
     pub async fn get(&self, key: &str) -> Result<Option<Bytes>, MusicError> {
-        self.with_failover(|r| {
+        self.with_failover("eventualGet", |r| {
             let key = key.to_string();
             async move { r.get(&key).await }
         })
@@ -233,7 +265,7 @@ impl MusicClient {
     ///
     /// [`MusicError::Unavailable`] after the retry budget is exhausted.
     pub async fn put(&self, key: &str, value: Bytes) -> Result<(), MusicError> {
-        self.with_failover(|r| {
+        self.with_failover("eventualPut", |r| {
             let key = key.to_string();
             let value = value.clone();
             async move { r.put(&key, value).await }

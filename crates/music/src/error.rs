@@ -102,6 +102,8 @@ mod tests {
     fn displays_are_prose() {
         assert!(AcquireOutcome::Acquired == AcquireOutcome::Acquired);
         assert!(MusicError::NoLongerHolder.to_string().contains("no longer"));
-        assert!(CriticalError::Expired.to_string().contains("maximum duration"));
+        assert!(CriticalError::Expired
+            .to_string()
+            .contains("maximum duration"));
     }
 }

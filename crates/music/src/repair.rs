@@ -56,13 +56,30 @@ impl RepairDaemon {
     /// callable directly for deterministic tests).
     pub async fn sweep_once(&self) {
         let node = self.replica.node();
+        let mut round = 0;
         if let Ok(n) = self.replica.data().repair_all(node).await {
             self.repaired.set(self.repaired.get() + n);
+            round += n;
         }
         if let Ok(n) = self.replica.locks().table().repair_all(node).await {
             self.repaired.set(self.repaired.get() + n);
+            round += n;
         }
         self.sweeps.set(self.sweeps.get() + 1);
+        let rec = self.replica.recorder();
+        if rec.is_on() {
+            rec.count(music_telemetry::Scope::Node(node.0), "repair_sweeps", 1);
+            rec.count(music_telemetry::Scope::Node(node.0), "keys_repaired", round);
+            if rec.is_tracing() {
+                let sim = self.replica.data().net().sim();
+                rec.record(
+                    sim.now().as_micros(),
+                    sim.trace(),
+                    node.0,
+                    music_telemetry::EventKind::RepairRound { repaired: round },
+                );
+            }
+        }
     }
 
     /// Spawns the periodic sweep loop.

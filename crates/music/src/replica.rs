@@ -13,6 +13,7 @@ use music_lockstore::{LockRef, LockStore};
 use music_quorumstore::{DataRow, Put, ReplicatedTable, RowSnapshot, StoreError};
 use music_simnet::net::{Network, NodeId};
 use music_simnet::time::{SimDuration, SimTime};
+use music_telemetry::{EventKind, Recorder, Scope, TraceId};
 
 use crate::config::{MusicConfig, PeekMode, PutMode};
 use crate::error::{AcquireOutcome, CriticalError};
@@ -103,6 +104,76 @@ impl MusicReplica {
         self.net.sim().now()
     }
 
+    /// The telemetry recorder shared through the network (see
+    /// [`crate::system::MusicSystemBuilder::telemetry`]).
+    pub fn recorder(&self) -> Recorder {
+        self.net.recorder()
+    }
+
+    /// Emits a telemetry event attributed to this replica's node, under the
+    /// running task's trace tag. No-op unless tracing.
+    fn emit(&self, kind: impl FnOnce() -> EventKind) {
+        let rec = self.net.recorder();
+        if rec.is_tracing() {
+            let sim = self.net.sim();
+            rec.record(sim.now().as_micros(), sim.trace(), self.node.0, kind());
+        }
+    }
+
+    /// Bumps a per-node counter. No-op when the recorder is off.
+    fn count(&self, name: &'static str, n: u64) {
+        let rec = self.net.recorder();
+        if rec.is_on() {
+            rec.count(Scope::Node(self.node.0), name, n);
+        }
+    }
+
+    /// Opens an operation span: mints a fresh trace id, tags the current
+    /// task with it (so every message the operation sends inherits the id),
+    /// and emits `opStart`. Returns the tag to restore in
+    /// [`MusicReplica::span_end`]. No-op (returns 0) unless tracing.
+    fn span_start(&self, op: &'static str, key: &str) -> TraceId {
+        let rec = self.net.recorder();
+        if !rec.is_tracing() {
+            return 0;
+        }
+        let sim = self.net.sim();
+        let prev = sim.trace();
+        let trace = rec.next_trace();
+        sim.set_trace(trace);
+        rec.record(
+            sim.now().as_micros(),
+            trace,
+            self.node.0,
+            EventKind::OpStart {
+                op,
+                key: key.to_string(),
+            },
+        );
+        prev
+    }
+
+    /// Closes an operation span: emits `opEnd` and restores the task's
+    /// previous trace tag.
+    fn span_end(&self, prev: TraceId, op: &'static str, key: &str, ok: bool) {
+        let rec = self.net.recorder();
+        if !rec.is_tracing() {
+            return;
+        }
+        let sim = self.net.sim();
+        rec.record(
+            sim.now().as_micros(),
+            sim.trace(),
+            self.node.0,
+            EventKind::OpEnd {
+                op,
+                key: key.to_string(),
+                ok,
+            },
+        );
+        sim.set_trace(prev);
+    }
+
     /// Lock-queue head view per the configured [`PeekMode`].
     async fn peek(
         &self,
@@ -135,11 +206,13 @@ impl MusicReplica {
     /// Panics if `key` contains the reserved internal separator `'\u{1}'`.
     pub async fn create_lock_ref(&self, key: &str) -> Result<LockRef, StoreError> {
         Self::assert_client_key(key);
+        let span = self.span_start("createLockRef", key);
         let t0 = self.now();
         let r = self.locks.generate_and_enqueue(self.node, key).await;
         if r.is_ok() {
             self.stats.record(OpKind::CreateLockRef, self.now() - t0);
         }
+        self.span_end(span, "createLockRef", key, r.is_ok());
         r
     }
 
@@ -161,6 +234,24 @@ impl MusicReplica {
         lock_ref: LockRef,
     ) -> Result<AcquireOutcome, StoreError> {
         Self::assert_client_key(key);
+        let span = self.span_start("acquireLock", key);
+        let r = self.acquire_lock_inner(key, lock_ref).await;
+        if matches!(r, Ok(AcquireOutcome::Acquired)) {
+            self.count("lock_grants", 1);
+            self.emit(|| EventKind::LockGrant {
+                key: key.to_string(),
+                lock_ref: lock_ref.value(),
+            });
+        }
+        self.span_end(span, "acquireLock", key, r.is_ok());
+        r
+    }
+
+    async fn acquire_lock_inner(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<AcquireOutcome, StoreError> {
         let t0 = self.now();
         let head = self.peek(key).await?;
         self.stats.record(OpKind::AcquirePeek, self.now() - t0);
@@ -281,11 +372,33 @@ impl MusicReplica {
         mode: PutMode,
     ) -> Result<(), CriticalError> {
         Self::assert_client_key(key);
+        let span = self.span_start("criticalPut", key);
+        let r = self.critical_put_inner(key, lock_ref, put, mode).await;
+        self.span_end(span, "criticalPut", key, r.is_ok());
+        r
+    }
+
+    async fn critical_put_inner(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        put: Put,
+        mode: PutMode,
+    ) -> Result<(), CriticalError> {
         let t0 = self.now();
         let elapsed = self.critical_guard(key, lock_ref).await?;
         // Strictly above the synchronization re-write at elapsed 0.
         let elapsed = elapsed.max(SimDuration::from_micros(1));
         let stamp = self.v2s.scalar(VectorTimestamp::new(lock_ref, elapsed));
+        // Deletes have no digest; the checker tracks valued writes only.
+        let digest = put.value.as_deref().map(music_telemetry::digest);
+        if let Some(d) = digest {
+            self.emit(|| EventKind::CritPutStart {
+                key: key.to_string(),
+                lock_ref: lock_ref.value(),
+                digest: d,
+            });
+        }
         match mode {
             PutMode::Quorum => {
                 self.data.write_quorum(self.node, key, put, stamp).await?;
@@ -297,6 +410,14 @@ impl MusicReplica {
                     .await?;
                 self.stats.record(OpKind::MscpPut, self.now() - t0);
             }
+        }
+        self.count("crit_puts", 1);
+        if let Some(d) = digest {
+            self.emit(|| EventKind::CritPutAck {
+                key: key.to_string(),
+                lock_ref: lock_ref.value(),
+                digest: d,
+            });
         }
         Ok(())
     }
@@ -313,10 +434,27 @@ impl MusicReplica {
         lock_ref: LockRef,
     ) -> Result<Option<Bytes>, CriticalError> {
         Self::assert_client_key(key);
+        let span = self.span_start("criticalGet", key);
+        let r = self.critical_get_inner(key, lock_ref).await;
+        self.span_end(span, "criticalGet", key, r.is_ok());
+        r
+    }
+
+    async fn critical_get_inner(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<Option<Bytes>, CriticalError> {
         let t0 = self.now();
         self.critical_guard(key, lock_ref).await?;
         let snap = self.data.read_quorum(self.node, key).await?;
         self.stats.record(OpKind::CriticalGet, self.now() - t0);
+        self.count("crit_gets", 1);
+        self.emit(|| EventKind::CritGet {
+            key: key.to_string(),
+            lock_ref: lock_ref.value(),
+            digest: snap.value.as_deref().map(music_telemetry::digest),
+        });
         Ok(snap.value)
     }
 
@@ -329,6 +467,13 @@ impl MusicReplica {
     /// Nacks with [`StoreError`] when the lock store cannot reach a quorum.
     pub async fn release_lock(&self, key: &str, lock_ref: LockRef) -> Result<(), StoreError> {
         Self::assert_client_key(key);
+        let span = self.span_start("releaseLock", key);
+        let r = self.release_lock_inner(key, lock_ref).await;
+        self.span_end(span, "releaseLock", key, r.is_ok());
+        r
+    }
+
+    async fn release_lock_inner(&self, key: &str, lock_ref: LockRef) -> Result<(), StoreError> {
         let t0 = self.now();
         if let Some((head, _)) = self.peek(key).await? {
             if lock_ref < head {
@@ -337,6 +482,10 @@ impl MusicReplica {
         }
         self.locks.dequeue(self.node, key, lock_ref).await?;
         self.stats.record(OpKind::ReleaseLock, self.now() - t0);
+        self.emit(|| EventKind::LockRelease {
+            key: key.to_string(),
+            lock_ref: lock_ref.value(),
+        });
         Ok(())
     }
 
@@ -353,6 +502,13 @@ impl MusicReplica {
     /// Nacks with [`StoreError`] when either store cannot reach a quorum.
     pub async fn forced_release(&self, key: &str, lock_ref: LockRef) -> Result<(), StoreError> {
         Self::assert_client_key(key);
+        let span = self.span_start("forcedRelease", key);
+        let r = self.forced_release_inner(key, lock_ref).await;
+        self.span_end(span, "forcedRelease", key, r.is_ok());
+        r
+    }
+
+    async fn forced_release_inner(&self, key: &str, lock_ref: LockRef) -> Result<(), StoreError> {
         let t0 = self.now();
         if let Some((head, _)) = self.peek(key).await? {
             if lock_ref < head {
@@ -366,6 +522,11 @@ impl MusicReplica {
         // No-op if lock_ref is not in the queue.
         self.locks.dequeue(self.node, key, lock_ref).await?;
         self.stats.record(OpKind::ForcedRelease, self.now() - t0);
+        self.count("forced_releases", 1);
+        self.emit(|| EventKind::LockForcedRelease {
+            key: key.to_string(),
+            lock_ref: lock_ref.value(),
+        });
         Ok(())
     }
 
@@ -377,10 +538,14 @@ impl MusicReplica {
     /// Nacks with [`StoreError`] if the closest replica does not answer.
     pub async fn get(&self, key: &str) -> Result<Option<Bytes>, StoreError> {
         Self::assert_client_key(key);
+        let span = self.span_start("eventualGet", key);
         let t0 = self.now();
-        let snap = self.data.read_one(self.node, key).await?;
-        self.stats.record(OpKind::EventualGet, self.now() - t0);
-        Ok(snap.value)
+        let r = self.data.read_one(self.node, key).await;
+        if r.is_ok() {
+            self.stats.record(OpKind::EventualGet, self.now() - t0);
+        }
+        self.span_end(span, "eventualGet", key, r.is_ok());
+        r.map(|snap| snap.value)
     }
 
     /// Lock-free eventual `put` — only for keys where no ECF guarantees are
@@ -392,13 +557,18 @@ impl MusicReplica {
     /// Nacks with [`StoreError`] if no replica acknowledges.
     pub async fn put(&self, key: &str, value: Bytes) -> Result<(), StoreError> {
         Self::assert_client_key(key);
+        let span = self.span_start("eventualPut", key);
         let t0 = self.now();
         let stamp = music_quorumstore::WriteStamp::new(self.now().as_micros().max(1));
-        self.data
+        let r = self
+            .data
             .write_one(self.node, key, Put::value(value), stamp)
-            .await?;
-        self.stats.record(OpKind::EventualPut, self.now() - t0);
-        Ok(())
+            .await;
+        if r.is_ok() {
+            self.stats.record(OpKind::EventualPut, self.now() - t0);
+        }
+        self.span_end(span, "eventualPut", key, r.is_ok());
+        r
     }
 
     /// `getAllKeys`: all live client keys visible at the closest data-store

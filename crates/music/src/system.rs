@@ -53,6 +53,7 @@ pub struct MusicSystemBuilder {
     replicas_per_site: usize,
     rf: usize,
     seed: u64,
+    recorder: music_telemetry::Recorder,
 }
 
 impl Default for MusicSystemBuilder {
@@ -74,7 +75,18 @@ impl MusicSystemBuilder {
             replicas_per_site: 1,
             rf: 3,
             seed: 0,
+            recorder: music_telemetry::Recorder::off(),
         }
+    }
+
+    /// Installs a telemetry recorder: every layer (network, stores, MUSIC
+    /// replicas, clients, daemons) reports counters — and, for a tracing
+    /// recorder, causal events — into it. Recording never perturbs the
+    /// simulation: a seeded run produces the identical schedule with
+    /// telemetry on or off.
+    pub fn telemetry(mut self, recorder: music_telemetry::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Sets the WAN latency profile (Table II or custom).
@@ -135,6 +147,7 @@ impl MusicSystemBuilder {
     pub fn build(self) -> MusicSystem {
         let sim = Sim::new();
         let net = Network::new(sim.clone(), self.profile.clone(), self.net_cfg, self.seed);
+        net.set_recorder(self.recorder.clone());
         let sites = self.profile.site_count();
 
         // Store nodes, site-interleaved so ring neighbours sit on distinct
@@ -247,6 +260,13 @@ impl MusicSystem {
         &self.stats
     }
 
+    /// The telemetry recorder every layer reports into (a no-op recorder
+    /// unless one was installed via
+    /// [`MusicSystemBuilder::telemetry`]).
+    pub fn recorder(&self) -> music_telemetry::Recorder {
+        self.net.recorder()
+    }
+
     /// A client homed at `site`, failing over to other sites in distance
     /// order.
     ///
@@ -332,10 +352,7 @@ mod tests {
         }
         // replica(site) still picks each site's first replica.
         for site in 0..3 {
-            assert_eq!(
-                sys.replica(site).node(),
-                sys.replicas()[site].node()
-            );
+            assert_eq!(sys.replica(site).node(), sys.replicas()[site].node());
         }
     }
 

@@ -133,6 +133,27 @@ impl Watchdog {
                 // safe even if the holder is actually alive (ECF).
                 if self.replica.forced_release(&key, head).await.is_ok() {
                     self.preemptions.set(self.preemptions.get() + 1);
+                    let rec = self.replica.recorder();
+                    if rec.is_on() {
+                        let node = self.replica.node().0;
+                        rec.count(
+                            music_telemetry::Scope::Node(node),
+                            "watchdog_preemptions",
+                            1,
+                        );
+                        if rec.is_tracing() {
+                            let sim = self.replica.data().net().sim();
+                            rec.record(
+                                sim.now().as_micros(),
+                                sim.trace(),
+                                node,
+                                music_telemetry::EventKind::WatchdogPreempt {
+                                    key: key.clone(),
+                                    lock_ref: head.value(),
+                                },
+                            );
+                        }
+                    }
                     if let Some(obs) = self.watched.borrow_mut().get_mut(&key) {
                         obs.head = LockRef::NONE;
                         obs.first_seen = now;

@@ -4,8 +4,7 @@
 
 use bytes::Bytes;
 use music::{
-    AcquireOutcome, CriticalError, MusicConfig, MusicSystem, MusicSystemBuilder,
-    Watchdog,
+    AcquireOutcome, CriticalError, MusicConfig, MusicSystem, MusicSystemBuilder, Watchdog,
 };
 use music_simnet::prelude::*;
 
@@ -147,7 +146,11 @@ fn false_failure_detection_preserves_exclusivity() {
         // ineffective (stale window); the true value must stay B's.
         for i in 0..5 {
             let res = a
-                .critical_put("job", a_ref, Bytes::from(format!("intruder-{i}").into_bytes()))
+                .critical_put(
+                    "job",
+                    a_ref,
+                    Bytes::from(format!("intruder-{i}").into_bytes()),
+                )
                 .await;
             match res {
                 Ok(()) | Err(CriticalError::NotYetHolder) => {}
@@ -262,13 +265,19 @@ fn watchdog_collects_dead_holder_and_orphans() {
             match c.acquire_lock("task", c_ref).await.unwrap() {
                 AcquireOutcome::Acquired => break,
                 _ => {
-                    assert!(sys2.sim().now() < deadline, "watchdog failed to clear queue");
+                    assert!(
+                        sys2.sim().now() < deadline,
+                        "watchdog failed to clear queue"
+                    );
                     sys2.sim().sleep(SimDuration::from_millis(100)).await;
                 }
             }
         }
         // Latest state survives the takeover.
-        assert_eq!(c.critical_get("task", c_ref).await.unwrap(), Some(b("progress")));
+        assert_eq!(
+            c.critical_get("task", c_ref).await.unwrap(),
+            Some(b("progress"))
+        );
         assert!(dog.preemptions() >= 2, "dead holder + orphan preempted");
         dog.stop();
         c.release_lock("task", c_ref).await.unwrap();
@@ -374,7 +383,11 @@ fn critical_delete_removes_the_true_value() {
         while r.acquire_lock("doomed", lr2).await.unwrap() != AcquireOutcome::Acquired {}
         assert_eq!(r.critical_get("doomed", lr2).await.unwrap(), None);
         r.release_lock("doomed", lr2).await.unwrap();
-        assert!(!r.get_all_keys().await.unwrap().contains(&"doomed".to_string()));
+        assert!(!r
+            .get_all_keys()
+            .await
+            .unwrap()
+            .contains(&"doomed".to_string()));
     });
 }
 

@@ -3,9 +3,7 @@
 //! interplay, and multi-replica-per-site deployments.
 
 use bytes::Bytes;
-use music::{
-    AcquireOutcome, MusicConfig, MusicSystemBuilder, RepairDaemon, Watchdog,
-};
+use music::{AcquireOutcome, MusicConfig, MusicSystemBuilder, RepairDaemon, Watchdog};
 use music_simnet::prelude::*;
 
 fn quiet() -> NetConfig {

@@ -3,7 +3,7 @@
 //! deadlock-freedom under inverse acquisition patterns.
 
 use bytes::Bytes;
-use music::{MusicSystemBuilder, MusicError};
+use music::{MusicError, MusicSystemBuilder};
 use music_simnet::prelude::*;
 
 fn b(s: &'static str) -> Bytes {
@@ -29,7 +29,10 @@ fn multi_key_section_reads_and_writes_all_keys() {
     let sim = sys.sim().clone();
     let client = sys.client_at_site(0);
     sim.block_on(async move {
-        let mcs = client.enter_many(&["beta", "alpha", "alpha"]).await.unwrap();
+        let mcs = client
+            .enter_many(&["beta", "alpha", "alpha"])
+            .await
+            .unwrap();
         // Deduplicated, lexicographically ordered.
         assert_eq!(mcs.keys(), vec!["alpha", "beta"]);
         mcs.put("alpha", b("a1")).await.unwrap();
@@ -62,7 +65,10 @@ fn inverse_acquisition_orders_do_not_deadlock() {
         .build();
     let sim = sys.sim().clone();
     let mut handles = Vec::new();
-    for (i, keys) in [["acct-a", "acct-b"], ["acct-b", "acct-a"]].into_iter().enumerate() {
+    for (i, keys) in [["acct-a", "acct-b"], ["acct-b", "acct-a"]]
+        .into_iter()
+        .enumerate()
+    {
         let client = sys.client_at_site(i);
         handles.push(sim.spawn(async move {
             let mcs = client.enter_many(&keys).await.unwrap();

@@ -46,7 +46,10 @@ fn daemon_heals_stale_local_views_after_a_long_partition() {
         let r = sys2.replica(2).clone();
         async move { r.get("cfg").await.unwrap() }
     });
-    assert_eq!(stale, None, "local read at the once-partitioned site is stale");
+    assert_eq!(
+        stale, None,
+        "local read at the once-partitioned site is stale"
+    );
 
     // One repair sweep heals both stores.
     let daemon = RepairDaemon::new(sys2.replica(1).clone(), SimDuration::from_secs(60));
@@ -55,13 +58,21 @@ fn daemon_heals_stale_local_views_after_a_long_partition() {
         async move { daemon.sweep_once().await }
     });
     sim.run();
-    assert!(daemon.repaired() >= 1, "repaired {} keys", daemon.repaired());
+    assert!(
+        daemon.repaired() >= 1,
+        "repaired {} keys",
+        daemon.repaired()
+    );
 
     let healed = sim.block_on({
         let r = sys2.replica(2).clone();
         async move { r.get("cfg").await.unwrap() }
     });
-    assert_eq!(healed, Some(b("fresh")), "local read healed without quorum traffic");
+    assert_eq!(
+        healed,
+        Some(b("fresh")),
+        "local read healed without quorum traffic"
+    );
 }
 
 #[test]

@@ -53,7 +53,11 @@ fn healthy_turnover_is_never_preempted() {
     });
     sim.run_until_complete(h);
     dog.stop();
-    assert_eq!(dog.preemptions(), 0, "healthy holders must not be preempted");
+    assert_eq!(
+        dog.preemptions(),
+        0,
+        "healthy holders must not be preempted"
+    );
 }
 
 #[test]
@@ -69,7 +73,10 @@ fn slow_holder_is_preempted_exactly_once() {
     let h = sim.spawn(async move {
         let lr = replica.create_lock_ref("slow").await.unwrap();
         while replica.acquire_lock("slow", lr).await.unwrap() != AcquireOutcome::Acquired {}
-        replica.critical_put("slow", lr, Bytes::from_static(b"v")).await.unwrap();
+        replica
+            .critical_put("slow", lr, Bytes::from_static(b"v"))
+            .await
+            .unwrap();
         // "Crash": stop driving this client entirely.
         sys2.sim().sleep(SimDuration::from_secs(10)).await;
     });
@@ -96,7 +103,9 @@ fn watchdog_is_idempotent_across_replicas() {
     let h = sim.spawn(async move {
         let lr = a.create_lock_ref("contested").await.unwrap();
         while a.acquire_lock("contested", lr).await.unwrap() != AcquireOutcome::Acquired {}
-        a.critical_put("contested", lr, Bytes::from_static(b"last")).await.unwrap();
+        a.critical_put("contested", lr, Bytes::from_static(b"last"))
+            .await
+            .unwrap();
         // Holder dies.
         sys2.sim().sleep(SimDuration::from_secs(6)).await;
 

@@ -27,7 +27,10 @@ pub struct Ballot {
 
 impl Ballot {
     /// The ballot smaller than every real ballot (round 0 is reserved).
-    pub const ZERO: Ballot = Ballot { round: 0, proposer: 0 };
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        proposer: 0,
+    };
 
     /// Creates a ballot.
     pub const fn new(round: u64, proposer: u32) -> Self {

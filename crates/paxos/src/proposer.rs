@@ -33,7 +33,7 @@ pub fn choose_value<V: Clone>(promises: &[PrepareReply<V>]) -> Chosen<V> {
     for p in promises {
         assert!(p.promised, "choose_value fed a rejection");
         if let Some((b, v)) = &p.in_progress {
-            if best.as_ref().map_or(true, |(bb, _)| b > bb) {
+            if best.as_ref().is_none_or(|(bb, _)| b > bb) {
                 best = Some((*b, v.clone()));
             }
         }
@@ -80,7 +80,9 @@ impl BallotGenerator {
     }
 
     /// Produces the next ballot for this proposer, strictly above everything
-    /// observed.
+    /// observed. (Not an iterator: every call mutates `highest_seen` and
+    /// never ends.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Ballot {
         let b = self.highest_seen.next_for(self.proposer);
         self.highest_seen = b;

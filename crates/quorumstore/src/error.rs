@@ -32,7 +32,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_prose() {
-        assert_eq!(StoreError::Unavailable.to_string(), "quorum of replicas unavailable");
+        assert_eq!(
+            StoreError::Unavailable.to_string(),
+            "quorum of replicas unavailable"
+        );
         assert!(StoreError::Contention.to_string().contains("contention"));
     }
 }

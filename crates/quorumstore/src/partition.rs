@@ -238,7 +238,10 @@ mod tests {
             value: Some(b("new")),
             stamp: WriteStamp::new(2),
         };
-        assert_eq!(DataRow::reconcile(a.clone(), bb.clone()).value, Some(b("new")));
+        assert_eq!(
+            DataRow::reconcile(a.clone(), bb.clone()).value,
+            Some(b("new"))
+        );
         assert_eq!(DataRow::reconcile(bb, a).value, Some(b("new")));
     }
 

@@ -121,7 +121,10 @@ mod tests {
         for i in 0..200 {
             seen.insert(p.replicas_of(&format!("key-{i}"))[0]);
         }
-        assert!(seen.len() >= 8, "expected most primaries used, got {seen:?}");
+        assert!(
+            seen.len() >= 8,
+            "expected most primaries used, got {seen:?}"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use music_simnet::combinators::{quorum, timeout};
 use music_simnet::executor::JoinHandle;
 use music_simnet::net::{Network, NodeId};
 use music_simnet::time::SimDuration;
+use music_telemetry::{EventKind, LwtPhase, Scope};
 
 use crate::error::StoreError;
 use crate::partition::{Partition, HEADER_BYTES};
@@ -115,7 +116,10 @@ impl<P: Partition> TableReplica<P> {
     }
 
     fn snapshot(&mut self, key: &str) -> P::Snapshot {
-        self.partitions.entry(key.to_string()).or_default().snapshot()
+        self.partitions
+            .entry(key.to_string())
+            .or_default()
+            .snapshot()
     }
 
     fn apply(&mut self, key: &str, mutation: &P::Mutation, stamp: WriteStamp) {
@@ -126,7 +130,9 @@ impl<P: Partition> TableReplica<P> {
     }
 
     fn acceptor(&mut self, key: &str) -> &mut Acceptor<Proposal<P>> {
-        self.paxos.entry(key.to_string()).or_insert_with(Acceptor::new)
+        self.paxos
+            .entry(key.to_string())
+            .or_insert_with(Acceptor::new)
     }
 }
 
@@ -225,6 +231,25 @@ impl<P: Partition> ReplicatedTable<P> {
 
     fn quorum_size(&self) -> usize {
         self.inner.placement.quorum()
+    }
+
+    /// Emits a telemetry event attributed to `node`, stamped with the
+    /// current virtual time and the running task's trace tag. No-op unless
+    /// the network's recorder is tracing.
+    fn emit(&self, node: NodeId, kind: impl FnOnce() -> EventKind) {
+        let rec = self.inner.net.recorder();
+        if rec.is_tracing() {
+            let sim = self.inner.net.sim();
+            rec.record(sim.now().as_micros(), sim.trace(), node.0, kind());
+        }
+    }
+
+    /// Bumps a per-node counter on the network's recorder.
+    fn count(&self, node: NodeId, name: &'static str, n: u64) {
+        let rec = self.inner.net.recorder();
+        if rec.is_on() {
+            rec.count(Scope::Node(node.0), name, n);
+        }
     }
 
     /// Spawns one RPC per replica of `key`; `serve` runs at the replica on
@@ -332,10 +357,20 @@ impl<P: Partition> ReplicatedTable<P> {
             rep.apply(&key_owned, &mutation, stamp);
             ((), HEADER_BYTES)
         });
-        timeout(self.inner.net.sim(), self.inner.cfg.op_timeout, quorum(handles, need))
-            .await
-            .map(|_| ())
-            .map_err(|_| StoreError::Unavailable)
+        timeout(
+            self.inner.net.sim(),
+            self.inner.cfg.op_timeout,
+            quorum(handles, need),
+        )
+        .await
+        .map(|_| ())
+        .map_err(|_| StoreError::Unavailable)?;
+        self.count(coord, "quorum_writes", 1);
+        self.emit(coord, || EventKind::QuorumWrite {
+            key: key.to_string(),
+            acks: need as u32,
+        });
+        Ok(())
     }
 
     /// Fans a snapshot read out to every replica of `key`.
@@ -359,15 +394,28 @@ impl<P: Partition> ReplicatedTable<P> {
     pub async fn read_quorum(&self, coord: NodeId, key: &str) -> Result<P::Snapshot, StoreError> {
         let need = self.quorum_size();
         let handles = self.read_fan_out(coord, key);
-        let replies = timeout(self.inner.net.sim(), self.inner.cfg.op_timeout, quorum(handles, need))
-            .await
-            .map_err(|_| StoreError::Unavailable)?;
+        let replies = timeout(
+            self.inner.net.sim(),
+            self.inner.cfg.op_timeout,
+            quorum(handles, need),
+        )
+        .await
+        .map_err(|_| StoreError::Unavailable)?;
         let snaps: Vec<P::Snapshot> = replies.into_iter().map(|(_, s)| s).collect();
+        self.count(coord, "quorum_reads", 1);
+        self.emit(coord, || EventKind::QuorumRead {
+            key: key.to_string(),
+            replies: snaps.len() as u32,
+        });
         let mut it = snaps.iter().cloned();
         let first = it.next().expect("quorum >= 1");
         let newest = it.fold(first, |acc, s| P::reconcile(acc, s));
         if snaps.iter().any(|s| *s != newest) {
             // Divergence observed: repair all replicas in the background.
+            self.count(coord, "read_repairs", 1);
+            self.emit(coord, || EventKind::ReadRepair {
+                key: key.to_string(),
+            });
             for (mutation, stamp) in P::repair(&newest) {
                 let bytes = HEADER_BYTES + key.len() + P::mutation_bytes(&mutation);
                 let key_owned = key.to_string();
@@ -417,17 +465,28 @@ impl<P: Partition> ReplicatedTable<P> {
         let sim = self.inner.net.sim().clone();
         for attempt in 0..self.inner.cfg.lwt_retries {
             if attempt > 0 {
+                self.count(coord, "lwt_retries", 1);
+                self.emit(coord, || EventKind::LwtRetry {
+                    key: key.to_string(),
+                    attempt,
+                });
                 // Deterministic pseudo-random exponential back-off: racing
                 // proposers must desynchronize or they preempt each other
                 // forever (Cassandra uses randomized back-off here too).
                 let exp = 1u64 << attempt.min(6);
                 let jitter = crate::ring::key_hash(&format!("{}-{}-{}", coord.0, key, attempt))
                     % (self.inner.cfg.lwt_backoff.as_micros().max(1) * exp);
-                let backoff = self.inner.cfg.lwt_backoff * exp / 2
-                    + SimDuration::from_micros(jitter);
+                let backoff =
+                    self.inner.cfg.lwt_backoff * exp / 2 + SimDuration::from_micros(jitter);
                 sim.sleep(backoff).await;
             }
             let ballot = self.next_ballot(coord, key);
+            let ballot_code = (ballot.round << 20) | u64::from(ballot.proposer);
+            self.emit(coord, || EventKind::Lwt {
+                key: key.to_string(),
+                phase: LwtPhase::Prepare,
+                ballot: ballot_code,
+            });
 
             // Phase 1: prepare / promise.
             let key_owned = key.to_string();
@@ -460,7 +519,15 @@ impl<P: Partition> ReplicatedTable<P> {
 
             // Complete any in-progress proposal before our own update.
             if let Chosen::MustComplete(_, proposal) = choose_value(&promises) {
-                if self.accept_quorum(coord, key, ballot, proposal.clone()).await? {
+                self.emit(coord, || EventKind::Lwt {
+                    key: key.to_string(),
+                    phase: LwtPhase::MustComplete,
+                    ballot: ballot_code,
+                });
+                if self
+                    .accept_quorum(coord, key, ballot, proposal.clone())
+                    .await?
+                {
                     self.commit_quorum(coord, key, ballot, &proposal).await?;
                 }
                 // Either way, re-run from prepare with a fresh view.
@@ -468,27 +535,56 @@ impl<P: Partition> ReplicatedTable<P> {
             }
 
             // Phase 2: quorum read of the current partition state.
+            self.emit(coord, || EventKind::Lwt {
+                key: key.to_string(),
+                phase: LwtPhase::Read,
+                ballot: ballot_code,
+            });
             let before = self.read_quorum(coord, key).await?;
 
             // Phase 3: decide and propose.
             let Some((mutation, stamp)) = decide(&before, Self::ballot_stamp(ballot)) else {
+                self.emit(coord, || EventKind::LwtResult {
+                    key: key.to_string(),
+                    applied: false,
+                    attempts: attempt + 1,
+                });
                 return Ok(LwtOutcome {
                     applied: false,
                     before,
                 });
             };
+            self.emit(coord, || EventKind::Lwt {
+                key: key.to_string(),
+                phase: LwtPhase::Propose,
+                ballot: ballot_code,
+            });
             let proposal = Proposal { mutation, stamp };
-            if !self.accept_quorum(coord, key, ballot, proposal.clone()).await? {
+            if !self
+                .accept_quorum(coord, key, ballot, proposal.clone())
+                .await?
+            {
                 continue;
             }
 
             // Phase 4: commit (replicas apply the mutation).
+            self.emit(coord, || EventKind::Lwt {
+                key: key.to_string(),
+                phase: LwtPhase::Commit,
+                ballot: ballot_code,
+            });
             self.commit_quorum(coord, key, ballot, &proposal).await?;
+            self.emit(coord, || EventKind::LwtResult {
+                key: key.to_string(),
+                applied: true,
+                attempts: attempt + 1,
+            });
             return Ok(LwtOutcome {
                 applied: true,
                 before,
             });
         }
+        self.count(coord, "lwt_contention", 1);
         Err(StoreError::Contention)
     }
 
@@ -690,9 +786,13 @@ impl<P: Partition> ReplicatedTable<P> {
             Err(_) => {
                 // Down replicas: redo with a majority requirement.
                 let handles = self.read_fan_out(coord, key);
-                timeout(&sim, self.inner.cfg.op_timeout, quorum(handles, self.quorum_size()))
-                    .await
-                    .map_err(|_| StoreError::Unavailable)?
+                timeout(
+                    &sim,
+                    self.inner.cfg.op_timeout,
+                    quorum(handles, self.quorum_size()),
+                )
+                .await
+                .map_err(|_| StoreError::Unavailable)?
             }
         };
         let snaps: Vec<P::Snapshot> = replies.into_iter().map(|(_, s)| s).collect();
@@ -710,8 +810,12 @@ impl<P: Partition> ReplicatedTable<P> {
                 });
                 // Wait for a majority of each repair write; stragglers
                 // continue in the background.
-                let _ = timeout(&sim, self.inner.cfg.op_timeout, quorum(handles, self.quorum_size()))
-                    .await;
+                let _ = timeout(
+                    &sim,
+                    self.inner.cfg.op_timeout,
+                    quorum(handles, self.quorum_size()),
+                )
+                .await;
             }
         }
         Ok(diverged)

@@ -19,12 +19,15 @@ struct Fixture {
 /// One store node and one client per site of `profile`, zero service costs
 /// (pure latency structure).
 fn fixture(profile: LatencyProfile) -> Fixture {
-    fixture_with(profile, NetConfig {
-        service_fixed: SimDuration::ZERO,
-        bandwidth_bytes_per_sec: u64::MAX / 2,
-        loss: 0.0,
-        jitter_frac: 0.0,
-    })
+    fixture_with(
+        profile,
+        NetConfig {
+            service_fixed: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            loss: 0.0,
+            jitter_frac: 0.0,
+        },
+    )
 }
 
 fn fixture_with(profile: LatencyProfile, cfg: NetConfig) -> Fixture {
@@ -99,7 +102,10 @@ fn eventual_write_acks_locally_and_converges_globally() {
     assert_eq!(elapsed.as_micros(), 200);
     // Background propagation has not necessarily finished yet; drain it.
     f.sim.run();
-    assert!(table2.converged("k"), "all replicas converge after propagation");
+    assert!(
+        table2.converged("k"),
+        "all replicas converge after propagation"
+    );
 }
 
 #[test]
@@ -330,7 +336,10 @@ fn lwt_under_message_loss_still_linearizes() {
     buf.copy_from_slice(final_snap.value.as_ref().unwrap());
     // Loss can cause an unacknowledged LWT to be retried after it actually
     // applied, so the counter may exceed `total` — but it can never be less.
-    assert!(u64::from_be_bytes(buf) >= total, "no lost updates under loss");
+    assert!(
+        u64::from_be_bytes(buf) >= total,
+        "no lost updates under loss"
+    );
 }
 
 #[test]
@@ -359,7 +368,11 @@ fn scan_local_lists_live_rows_in_order() {
             .unwrap()
     });
     let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
-    assert_eq!(keys, vec!["banana", "cherry"], "sorted, tombstones excluded");
+    assert_eq!(
+        keys,
+        vec!["banana", "cherry"],
+        "sorted, tombstones excluded"
+    );
 }
 
 #[test]
@@ -405,7 +418,11 @@ fn read_repair_heals_divergent_replicas() {
     });
     f.sim.run(); // exhaust retransmission attempts against the dead node
     f.net.set_node_up(s2, true);
-    assert_eq!(f.table.peek_replica(2, "k").value, None, "replica 2 is stale");
+    assert_eq!(
+        f.table.peek_replica(2, "k").value,
+        None,
+        "replica 2 is stale"
+    );
 
     // A quorum read that *sees the divergence* repairs all replicas.
     // Force the read to include the stale replica by killing replica 0.
@@ -518,8 +535,7 @@ fn sharded_nine_node_cluster_places_and_serves_keys() {
         let key = format!("key-{i}");
         let replicas = table2.placement().replicas_of(&key);
         assert_eq!(replicas.len(), 3);
-        let sites: std::collections::HashSet<usize> =
-            replicas.iter().map(|r| r % 3).collect();
+        let sites: std::collections::HashSet<usize> = replicas.iter().map(|r| r % 3).collect();
         assert_eq!(sites.len(), 3, "{key} must span all sites");
     }
 }

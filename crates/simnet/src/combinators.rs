@@ -99,7 +99,12 @@ pub async fn join_all<F: Future>(futures: Vec<F>) -> Vec<F::Output> {
             }
         }
         if all_done {
-            Poll::Ready(results.iter_mut().map(|s| s.take().expect("done")).collect())
+            Poll::Ready(
+                results
+                    .iter_mut()
+                    .map(|s| s.take().expect("done"))
+                    .collect(),
+            )
         } else {
             Poll::Pending
         }
@@ -243,7 +248,10 @@ mod tests {
                 }));
             }
             let res = quorum(handles, 2).await;
-            (sim2.now(), res.into_iter().map(|(i, _)| i).collect::<Vec<_>>())
+            (
+                sim2.now(),
+                res.into_iter().map(|(i, _)| i).collect::<Vec<_>>(),
+            )
         });
         // Quorum of 2 reached at the second completion (20ms).
         assert_eq!(at.as_millis(), 20);
@@ -273,22 +281,24 @@ mod tests {
     fn quorum_larger_than_replica_set_panics() {
         let sim = Sim::new();
         let handles = vec![sim.spawn(async { 1 })];
-        let _ = quorum(handles, 2);
+        drop(quorum(handles, 2));
     }
 
     #[test]
     fn quorum_of_zero_resolves_immediately() {
         let sim = Sim::new();
-        let out = sim.block_on(async move {
-            quorum(Vec::<crate::executor::JoinHandle<u32>>::new(), 0).await
-        });
+        let out =
+            sim.block_on(
+                async move { quorum(Vec::<crate::executor::JoinHandle<u32>>::new(), 0).await },
+            );
         assert!(out.is_empty());
     }
 
     #[test]
     fn join_all_of_nothing_is_empty() {
         let sim = Sim::new();
-        let out = sim.block_on(async move { join_all(Vec::<std::future::Ready<u32>>::new()).await });
+        let out =
+            sim.block_on(async move { join_all(Vec::<std::future::Ready<u32>>::new()).await });
         assert!(out.is_empty());
     }
 

@@ -70,6 +70,9 @@ struct TaskSlot {
     future: RefCell<Pin<Box<dyn Future<Output = ()>>>>,
     waker_state: Arc<TaskWaker>,
     waker: Waker,
+    /// Telemetry trace tag: saved across polls so a span id set inside a
+    /// task survives its awaits, and inherited by tasks it spawns.
+    trace_tag: Cell<u64>,
 }
 
 struct TimerEntry {
@@ -108,6 +111,10 @@ struct Inner {
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     timer_seq: Cell<u64>,
     live: Cell<usize>,
+    /// Trace tag of the code currently running (the polled task's tag, or
+    /// the ambient tag between polls). Purely observational bookkeeping —
+    /// it never influences scheduling.
+    current_trace: Cell<u64>,
 }
 
 /// Handle to the simulation runtime: clock, spawner, and run loop.
@@ -146,6 +153,7 @@ impl Sim {
                 timers: RefCell::new(BinaryHeap::new()),
                 timer_seq: Cell::new(0),
                 live: Cell::new(0),
+                current_trace: Cell::new(0),
             }),
         }
     }
@@ -158,6 +166,20 @@ impl Sim {
     /// Number of tasks that have been spawned and not yet completed.
     pub fn live_tasks(&self) -> usize {
         self.inner.live.get()
+    }
+
+    /// The telemetry trace tag of the currently running task (`0` = no
+    /// active span). Tags are inherited by spawned tasks and preserved
+    /// across awaits, so a tag set at the start of a client operation is
+    /// visible from every network transmission that operation causes.
+    pub fn trace(&self) -> u64 {
+        self.inner.current_trace.get()
+    }
+
+    /// Sets the current task's trace tag (see [`Sim::trace`]). Purely
+    /// observational: scheduling, timers, and randomness are unaffected.
+    pub fn set_trace(&self, tag: u64) {
+        self.inner.current_trace.set(tag);
     }
 
     /// Spawns a task onto the executor and returns a [`JoinHandle`] for its
@@ -204,6 +226,9 @@ impl Sim {
             future: RefCell::new(Box::pin(wrapped)),
             waker_state,
             waker,
+            // Causal inheritance: a spawned task belongs to the span that
+            // spawned it until it opens a span of its own.
+            trace_tag: Cell::new(self.inner.current_trace.get()),
         });
         self.inner.tasks.borrow_mut()[id] = Some(slot);
         self.inner.live.set(self.inner.live.get() + 1);
@@ -251,7 +276,13 @@ impl Sim {
         };
         slot.waker_state.queued.store(false, Ordering::Relaxed);
         let mut cx = Context::from_waker(&slot.waker);
+        // Swap the task's trace tag in around the poll so `Sim::trace`
+        // always names the span of the code actually running, across
+        // awaits and interleavings.
+        let outer_trace = self.inner.current_trace.replace(slot.trace_tag.get());
         let poll = slot.future.borrow_mut().as_mut().poll(&mut cx);
+        slot.trace_tag
+            .set(self.inner.current_trace.replace(outer_trace));
         if poll.is_ready() {
             self.inner.tasks.borrow_mut()[id] = None;
             self.inner.free.borrow_mut().push(id);
@@ -333,7 +364,10 @@ impl Sim {
                 return v;
             }
             if !self.step(SimTime::MAX) {
-                panic!("simulation quiesced before task completed (deadlock at {})", self.now());
+                panic!(
+                    "simulation quiesced before task completed (deadlock at {})",
+                    self.now()
+                );
             }
         }
     }
@@ -597,6 +631,41 @@ mod tests {
         // Quiesce: the cancelled 100s timer must not fast-forward time.
         sim.run();
         assert_eq!(sim.now().as_millis(), 5, "clock stopped at the live timer");
+    }
+
+    #[test]
+    fn trace_tags_survive_awaits_and_are_isolated_per_task() {
+        let sim = Sim::new();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        for (tag, ms) in [(1u64, 30u64), (2, 10), (3, 20)] {
+            let sim2 = sim.clone();
+            let seen = Rc::clone(&seen);
+            sim.spawn(async move {
+                sim2.set_trace(tag);
+                sim2.sleep(SimDuration::from_millis(ms)).await;
+                // Interleaved with the other tasks, yet each observes its
+                // own tag after resuming.
+                seen.borrow_mut().push((tag, sim2.trace()));
+            });
+        }
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![(2, 2), (3, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn spawned_tasks_inherit_the_spawners_trace_tag() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let child_tag = sim.block_on(async move {
+            sim2.set_trace(7);
+            let sim3 = sim2.clone();
+            let h = sim2.spawn(async move {
+                sim3.sleep(SimDuration::from_millis(1)).await;
+                sim3.trace()
+            });
+            h.await
+        });
+        assert_eq!(child_tag, 7);
     }
 
     #[test]

@@ -100,14 +100,43 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics if the histogram is empty or `p` is out of range.
+    /// Panics if the histogram is empty or `p` is out of range. Prefer
+    /// [`Histogram::try_percentile`] when the histogram may be empty
+    /// (e.g. rendering a report for an operation that never ran).
     pub fn percentile(&mut self, p: f64) -> SimDuration {
+        self.try_percentile(p).expect("empty histogram")
+    }
+
+    /// The `p`-th percentile (`0.0 ..= 1.0`, nearest-rank), or `None`
+    /// when no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn try_percentile(&mut self, p: f64) -> Option<SimDuration> {
         assert!((0.0..=1.0).contains(&p), "percentile out of range");
-        assert!(!self.samples.is_empty(), "empty histogram");
+        if self.samples.is_empty() {
+            return None;
+        }
         self.ensure_sorted();
         let n = self.samples.len();
         let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
-        SimDuration::from_micros(self.samples[rank - 1])
+        Some(SimDuration::from_micros(self.samples[rank - 1]))
+    }
+
+    /// The standard report row: count, mean, p50/p95/p99, and max.
+    /// Safe on an empty histogram (the percentile/max fields are `None`
+    /// and render as `-`).
+    pub fn summary(&mut self) -> Summary {
+        let count = self.count();
+        Summary {
+            count,
+            mean: self.mean(),
+            p50: self.try_percentile(0.50),
+            p95: self.try_percentile(0.95),
+            p99: self.try_percentile(0.99),
+            max: (count > 0).then(|| self.max()),
+        }
     }
 
     /// Smallest sample. [`SimDuration::ZERO`] when empty.
@@ -147,6 +176,51 @@ impl Histogram {
     }
 }
 
+/// One-line latency digest of a [`Histogram`] (see [`Histogram::summary`]).
+///
+/// `Display` renders milliseconds with `-` for statistics an empty
+/// histogram cannot provide, so report tables stay aligned even for
+/// operations that never ran.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean ([`SimDuration::ZERO`] when empty).
+    pub mean: SimDuration,
+    /// Median, if any samples exist.
+    pub p50: Option<SimDuration>,
+    /// 95th percentile, if any samples exist.
+    pub p95: Option<SimDuration>,
+    /// 99th percentile, if any samples exist.
+    pub p99: Option<SimDuration>,
+    /// Largest sample, if any samples exist.
+    pub max: Option<SimDuration>,
+}
+
+impl Summary {
+    fn fmt_opt(d: Option<SimDuration>) -> String {
+        match d {
+            Some(d) => format!("{:.2}", d.as_millis_f64()),
+            None => "-".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count,
+            Self::fmt_opt((self.count > 0).then_some(self.mean)),
+            Self::fmt_opt(self.p50),
+            Self::fmt_opt(self.p95),
+            Self::fmt_opt(self.p99),
+            Self::fmt_opt(self.max),
+        )
+    }
+}
+
 /// Throughput accumulator over a virtual-time measurement window.
 #[derive(Copy, Clone, Debug)]
 pub struct Throughput {
@@ -157,7 +231,10 @@ pub struct Throughput {
 impl Throughput {
     /// Starts a measurement window at `now`.
     pub fn start(now: SimTime) -> Self {
-        Throughput { started: now, ops: 0 }
+        Throughput {
+            started: now,
+            ops: 0,
+        }
     }
 
     /// Counts `n` completed operations.
@@ -260,6 +337,47 @@ mod tests {
     fn percentile_of_empty_panics() {
         let mut h = Histogram::new();
         let _ = h.percentile(0.5);
+    }
+
+    #[test]
+    fn try_percentile_is_total() {
+        let mut empty = Histogram::new();
+        assert_eq!(empty.try_percentile(0.5), None);
+        let mut h = hist(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(h.try_percentile(0.5).unwrap().as_millis(), 5);
+        assert_eq!(h.try_percentile(0.5), Some(h.percentile(0.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn try_percentile_still_validates_p() {
+        let mut h = hist(&[1]);
+        let _ = h.try_percentile(1.5);
+    }
+
+    #[test]
+    fn summary_reports_the_standard_row() {
+        let mut h = hist(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.mean.as_millis(), 5);
+        assert_eq!(s.p50.unwrap().as_millis(), 5);
+        assert_eq!(s.p95.unwrap().as_millis(), 10);
+        assert_eq!(s.p99.unwrap().as_millis(), 10);
+        assert_eq!(s.max.unwrap().as_millis(), 10);
+        assert_eq!(
+            s.to_string(),
+            "n=10 mean=5.50 p50=5.00 p95=10.00 p99=10.00 max=10.00"
+        );
+    }
+
+    #[test]
+    fn summary_of_empty_renders_dashes() {
+        let mut h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, None);
+        assert_eq!(s.to_string(), "n=0 mean=- p50=- p95=- p99=- max=-");
     }
 
     #[test]

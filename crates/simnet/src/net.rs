@@ -22,11 +22,13 @@
 //! observes. Callers recover with [`crate::combinators::timeout`].
 
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use music_telemetry::{DropReason, EventKind, Recorder, Scope};
 
 use crate::combinators::never;
 use crate::executor::Sim;
@@ -86,6 +88,19 @@ struct NetStats {
     dropped: u64,
 }
 
+/// Per-directed-link traffic statistics (always collected; cheap counters).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages that entered the link.
+    pub sent: u64,
+    /// Messages fully serviced at the receiver.
+    pub delivered: u64,
+    /// Messages lost (loss, partition, or dead endpoint).
+    pub dropped: u64,
+    /// Payload bytes that entered the link.
+    pub bytes: u64,
+}
+
 struct Inner {
     sim: Sim,
     profile: LatencyProfile,
@@ -95,6 +110,8 @@ struct Inner {
     cut_links: RefCell<HashSet<(NodeId, NodeId)>>,
     rng: RefCell<SmallRng>,
     stats: RefCell<NetStats>,
+    link_stats: RefCell<BTreeMap<(NodeId, NodeId), LinkStats>>,
+    recorder: RefCell<Recorder>,
 }
 
 /// Handle to the simulated network. Cheap to clone.
@@ -116,9 +133,15 @@ impl Network {
     /// Creates a network over `profile` with the given cost model and RNG
     /// seed (loss and jitter are deterministic per seed).
     pub fn new(sim: Sim, profile: LatencyProfile, cfg: NetConfig, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&cfg.loss), "loss must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&cfg.loss),
+            "loss must be a probability"
+        );
         assert!(cfg.jitter_frac >= 0.0, "jitter must be non-negative");
-        assert!(cfg.bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+        assert!(
+            cfg.bandwidth_bytes_per_sec > 0,
+            "bandwidth must be positive"
+        );
         Network {
             inner: Rc::new(Inner {
                 sim,
@@ -128,6 +151,8 @@ impl Network {
                 cut_links: RefCell::new(HashSet::new()),
                 rng: RefCell::new(SmallRng::seed_from_u64(seed)),
                 stats: RefCell::new(NetStats::default()),
+                link_stats: RefCell::new(BTreeMap::new()),
+                recorder: RefCell::new(Recorder::off()),
             }),
         }
     }
@@ -234,6 +259,44 @@ impl Network {
         (s.messages, s.bytes, s.dropped)
     }
 
+    /// Traffic statistics of one directed link (zeros if never used).
+    pub fn link_stats(&self, from: NodeId, to: NodeId) -> LinkStats {
+        self.inner
+            .link_stats
+            .borrow()
+            .get(&(from, to))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Statistics of every directed link that carried traffic, sorted by
+    /// `(from, to)` — a deterministic snapshot.
+    pub fn all_link_stats(&self) -> Vec<((NodeId, NodeId), LinkStats)> {
+        self.inner
+            .link_stats
+            .borrow()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Installs a telemetry recorder; all subsequent traffic emits events
+    /// and counters into it. The default recorder is off.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        *self.inner.recorder.borrow_mut() = recorder;
+    }
+
+    /// The currently installed telemetry recorder (clone of the handle).
+    pub fn recorder(&self) -> Recorder {
+        self.inner.recorder.borrow().clone()
+    }
+
+    fn link(&self, from: NodeId, to: NodeId) -> std::cell::RefMut<'_, LinkStats> {
+        std::cell::RefMut::map(self.inner.link_stats.borrow_mut(), |m| {
+            m.entry((from, to)).or_default()
+        })
+    }
+
     fn service_time(&self, bytes: usize) -> SimDuration {
         let bw = self.inner.cfg.bandwidth_bytes_per_sec;
         let tx_us = (bytes as u64).saturating_mul(1_000_000) / bw;
@@ -243,11 +306,24 @@ impl Network {
     /// Reserves service at `node`'s FIFO queue starting no earlier than
     /// `earliest`, returning the completion instant.
     fn reserve(&self, node: NodeId, earliest: SimTime, service: SimDuration) -> SimTime {
-        let mut nodes = self.inner.nodes.borrow_mut();
-        let st = &mut nodes[node.0 as usize];
-        let start = earliest.max(st.busy_until);
-        let done = start + service;
-        st.busy_until = done;
+        let (start, done) = {
+            let mut nodes = self.inner.nodes.borrow_mut();
+            let st = &mut nodes[node.0 as usize];
+            let start = earliest.max(st.busy_until);
+            let done = start + service;
+            st.busy_until = done;
+            (start, done)
+        };
+        // Service-queue depth, expressed as the backlog this message waited
+        // behind (high-water mark per node).
+        let rec = self.inner.recorder.borrow();
+        if rec.is_on() {
+            rec.gauge_max(
+                Scope::Node(node.0),
+                "svc_backlog_us_max",
+                (start - earliest).as_micros(),
+            );
+        }
         done
     }
 
@@ -263,17 +339,32 @@ impl Network {
             stats.messages += 1;
             stats.bytes += bytes as u64;
         }
+        {
+            let mut link = self.link(from, to);
+            link.sent += 1;
+            link.bytes += bytes as u64;
+        }
+        self.telemetry_send(from, to, bytes);
         let lost = {
             let cfg = &self.inner.cfg;
             let nodes = self.inner.nodes.borrow();
             let dead = !nodes[from.0 as usize].up || !nodes[to.0 as usize].up;
             let cut = self.inner.cut_links.borrow().contains(&(from, to));
-            let unlucky =
-                cfg.loss > 0.0 && self.inner.rng.borrow_mut().gen_bool(cfg.loss);
-            dead || cut || unlucky
+            let unlucky = cfg.loss > 0.0 && self.inner.rng.borrow_mut().gen_bool(cfg.loss);
+            if dead {
+                Some(DropReason::EndpointDown)
+            } else if cut {
+                Some(DropReason::Cut)
+            } else if unlucky {
+                Some(DropReason::Loss)
+            } else {
+                None
+            }
         };
-        if lost {
+        if let Some(reason) = lost {
             self.inner.stats.borrow_mut().dropped += 1;
+            self.link(from, to).dropped += 1;
+            self.telemetry_drop(from, to, bytes, reason);
             return never().await;
         }
 
@@ -287,7 +378,11 @@ impl Network {
         }
         let mut prop = self.propagation(from, to);
         if self.inner.cfg.jitter_frac > 0.0 {
-            let f: f64 = self.inner.rng.borrow_mut().gen_range(0.0..=self.inner.cfg.jitter_frac);
+            let f: f64 = self
+                .inner
+                .rng
+                .borrow_mut()
+                .gen_range(0.0..=self.inner.cfg.jitter_frac);
             prop = prop.mul_f64(1.0 + f);
         }
         self.inner.sim.sleep(prop).await;
@@ -298,7 +393,79 @@ impl Network {
         // processes it.
         if !self.is_up(to) {
             self.inner.stats.borrow_mut().dropped += 1;
+            self.link(from, to).dropped += 1;
+            self.telemetry_drop(from, to, bytes, DropReason::ReceiverCrashed);
             return never().await;
+        }
+        self.link(from, to).delivered += 1;
+        self.telemetry_deliver(from, to, bytes);
+    }
+
+    fn telemetry_send(&self, from: NodeId, to: NodeId, bytes: usize) {
+        let rec = self.inner.recorder.borrow();
+        if !rec.is_on() {
+            return;
+        }
+        rec.count(Scope::Node(from.0), "msgs_sent", 1);
+        rec.count(Scope::Node(from.0), "bytes_sent", bytes as u64);
+        rec.count(Scope::Site(self.site_of(from).0), "msgs_sent", 1);
+        rec.count(Scope::Link(from.0, to.0), "msgs_sent", 1);
+        rec.count(Scope::Link(from.0, to.0), "bytes_sent", bytes as u64);
+        if rec.is_tracing() {
+            rec.record(
+                self.inner.sim.now().as_micros(),
+                self.inner.sim.trace(),
+                from.0,
+                EventKind::MsgSend {
+                    from: from.0,
+                    to: to.0,
+                    bytes: bytes as u64,
+                },
+            );
+        }
+    }
+
+    fn telemetry_deliver(&self, from: NodeId, to: NodeId, bytes: usize) {
+        let rec = self.inner.recorder.borrow();
+        if !rec.is_on() {
+            return;
+        }
+        rec.count(Scope::Node(to.0), "msgs_delivered", 1);
+        rec.count(Scope::Site(self.site_of(to).0), "msgs_delivered", 1);
+        rec.count(Scope::Link(from.0, to.0), "msgs_delivered", 1);
+        if rec.is_tracing() {
+            rec.record(
+                self.inner.sim.now().as_micros(),
+                self.inner.sim.trace(),
+                to.0,
+                EventKind::MsgDeliver {
+                    from: from.0,
+                    to: to.0,
+                    bytes: bytes as u64,
+                },
+            );
+        }
+    }
+
+    fn telemetry_drop(&self, from: NodeId, to: NodeId, bytes: usize, reason: DropReason) {
+        let rec = self.inner.recorder.borrow();
+        if !rec.is_on() {
+            return;
+        }
+        rec.count(Scope::Node(from.0), "msgs_dropped", 1);
+        rec.count(Scope::Link(from.0, to.0), "msgs_dropped", 1);
+        if rec.is_tracing() {
+            rec.record(
+                self.inner.sim.now().as_micros(),
+                self.inner.sim.trace(),
+                from.0,
+                EventKind::MsgDrop {
+                    from: from.0,
+                    to: to.0,
+                    bytes: bytes as u64,
+                    reason,
+                },
+            );
         }
     }
 
@@ -350,7 +517,25 @@ impl Network {
             }
             match crate::combinators::timeout(&self.inner.sim, retry_after, fut).await {
                 Ok(r) => return r,
-                Err(_) => continue,
+                Err(_) => {
+                    let rec = self.inner.recorder.borrow();
+                    if rec.is_on() {
+                        rec.count(Scope::Node(from.0), "retransmits", 1);
+                        if rec.is_tracing() {
+                            rec.record(
+                                self.inner.sim.now().as_micros(),
+                                self.inner.sim.trace(),
+                                from.0,
+                                EventKind::Retransmit {
+                                    from: from.0,
+                                    to: to.0,
+                                    attempt,
+                                },
+                            );
+                        }
+                    }
+                    continue;
+                }
             }
         }
         unreachable!("loop returns on the last attempt")
@@ -558,8 +743,88 @@ mod tests {
         // At 50% loss the count is binomially concentrated around 50.
         for seed in [7, 8, 9] {
             let dropped = run(seed);
-            assert!((20..=80).contains(&dropped), "seed {seed}: {dropped}/100 dropped");
+            assert!(
+                (20..=80).contains(&dropped),
+                "seed {seed}: {dropped}/100 dropped"
+            );
         }
+    }
+
+    #[test]
+    fn link_stats_track_sent_delivered_bytes() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        sim.block_on({
+            let net = net.clone();
+            async move {
+                net.transmit(a, b, 100).await;
+                net.transmit(a, b, 50).await;
+                net.transmit(b, a, 10).await;
+            }
+        });
+        let ab = net.link_stats(a, b);
+        assert_eq!(ab.sent, 2);
+        assert_eq!(ab.delivered, 2);
+        assert_eq!(ab.dropped, 0);
+        assert_eq!(ab.bytes, 150);
+        let ba = net.link_stats(b, a);
+        assert_eq!((ba.sent, ba.delivered, ba.bytes), (1, 1, 10));
+        // Unused links report zeros; the snapshot lists only used links.
+        assert_eq!(net.link_stats(a, n[2]), LinkStats::default());
+        let all = net.all_link_stats();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].0 < all[1].0, "snapshot sorted by (from, to)");
+    }
+
+    #[test]
+    fn link_stats_count_drops_per_link() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b, c) = (n[0], n[1], n[2]);
+        net.set_link(a, b, false);
+        sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                let _ = timeout(&sim, SimDuration::from_millis(10), net.transmit(a, b, 5)).await;
+                let _ = timeout(&sim, SimDuration::from_secs(1), net.transmit(a, c, 5)).await;
+            }
+        });
+        let ab = net.link_stats(a, b);
+        assert_eq!((ab.sent, ab.delivered, ab.dropped), (1, 0, 1));
+        let ac = net.link_stats(a, c);
+        assert_eq!((ac.sent, ac.delivered, ac.dropped), (1, 1, 0));
+        // The aggregate counters agree with the per-link breakdown.
+        let (messages, _, dropped) = net.stats();
+        assert_eq!(messages, 2);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn recorder_captures_net_events_and_counters() {
+        use music_telemetry::{EventKind, Recorder, Scope};
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        let rec = Recorder::tracing();
+        net.set_recorder(rec.clone());
+        sim.block_on({
+            let net = net.clone();
+            async move {
+                net.transmit(a, b, 64).await;
+            }
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::MsgSend { bytes: 64, .. }
+        ));
+        assert!(matches!(events[1].kind, EventKind::MsgDeliver { .. }));
+        assert!(events[0].seq < events[1].seq);
+        assert_eq!(events[1].at_us, 26_895, "delivery at one-way latency");
+        let snap = rec.metrics();
+        assert_eq!(snap.get(Scope::Node(a.0), "msgs_sent"), 1);
+        assert_eq!(snap.get(Scope::Link(a.0, b.0), "bytes_sent"), 64);
+        assert_eq!(snap.get(Scope::Node(b.0), "msgs_delivered"), 1);
     }
 
     #[test]

@@ -23,7 +23,17 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!(t.as_micros(), 5_000);
 /// ```
 #[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+    Copy,
+    Clone,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Debug,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct SimTime(u64);
 
@@ -79,7 +89,17 @@ impl fmt::Display for SimTime {
 /// assert_eq!(rtt / 2, SimDuration::from_micros(26_895));
 /// ```
 #[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+    Copy,
+    Clone,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Debug,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct SimDuration(u64);
 

@@ -60,6 +60,8 @@ impl LatencyProfile {
         assert!(upper.iter().all(|&x| x >= 0.0), "negative RTT");
         let mut rtt_ms = vec![vec![INTRA_SITE_RTT_MS; n]; n];
         let mut it = upper.iter();
+        // Symmetric fill: [i][j] and [j][i] from one triangle entry.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in (i + 1)..n {
                 let v = *it.next().expect("length checked");

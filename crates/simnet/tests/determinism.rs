@@ -35,8 +35,12 @@ fn run_scenario(seed: u64) -> Vec<(u64, u64)> {
             for round in 0..5u64 {
                 let fut = net.rpc(from, to, 100 + (t as usize % 900), || ((), 64));
                 match timeout(&sim2, SimDuration::from_millis(400), fut).await {
-                    Ok(()) => trace.borrow_mut().push((sim2.now().as_micros(), t * 10 + round)),
-                    Err(_) => trace.borrow_mut().push((sim2.now().as_micros(), u64::MAX - t)),
+                    Ok(()) => trace
+                        .borrow_mut()
+                        .push((sim2.now().as_micros(), t * 10 + round)),
+                    Err(_) => trace
+                        .borrow_mut()
+                        .push((sim2.now().as_micros(), u64::MAX - t)),
                 }
             }
         });
@@ -52,7 +56,11 @@ fn identical_seeds_produce_identical_traces() {
     let b = run_scenario(1234);
     assert_eq!(a.len(), b.len());
     assert_eq!(a, b, "same seed must replay the exact same schedule");
-    assert!(a.len() >= 900, "most of the 1000 rpcs complete: {}", a.len());
+    assert!(
+        a.len() >= 900,
+        "most of the 1000 rpcs complete: {}",
+        a.len()
+    );
 }
 
 #[test]

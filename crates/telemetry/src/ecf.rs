@@ -1,0 +1,452 @@
+//! Trace-based checker of the ECF properties (§IV of the paper).
+//!
+//! Replays a recorded event log and verifies, per key:
+//!
+//! * **Exclusivity** — lock grants never overlap: between a
+//!   `lockGrant(r)` and the matching `lockRelease`/`lockForcedRelease`,
+//!   no other reference is granted; and every successful critical read
+//!   was issued by the reference holding the lock at that instant.
+//! * **Latest-State** — every `critGet` by the holder returns the *true
+//!   value*: the digest of the most recent quorum-acknowledged
+//!   `critPutAck`, refined (as the paper refines it, §IV-B) when the
+//!   previous holder was forcibly released mid-put: a put that was
+//!   started but never acknowledged before the preemption **may** be
+//!   what the next holder reads, because the resynchronization rewrite
+//!   pins whichever value the grant-time quorum read observed.
+//!
+//! The checker is deliberately conservative about acknowledged writes
+//! from *preempted* holders (the false-failure-detection case): such
+//! acks are counted as `stale_put_acks`, not violations — MUSIC's
+//! `v2s` stamping makes them invisible rather than impossible, so a
+//! correct run can contain them. A holder's read is the authoritative
+//! observation that collapses the acceptable set back to one value.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::event::{Event, EventKind};
+
+/// Outcome of replaying one event log through the checker.
+#[derive(Clone, Debug, Default)]
+pub struct EcfReport {
+    /// Violations found (empty iff `ok`).
+    pub violations: Vec<String>,
+    /// Lock grants checked for overlap.
+    pub grants: u64,
+    /// Critical reads whose value was verified.
+    pub reads_checked: u64,
+    /// Critical put acks observed from the current holder.
+    pub put_acks: u64,
+    /// Put acks from a reference that no longer held the lock (allowed:
+    /// their stamps are dominated, §IV-B).
+    pub stale_put_acks: u64,
+    /// Forced releases observed.
+    pub forced_releases: u64,
+}
+
+impl EcfReport {
+    /// Whether both ECF properties held over the whole trace.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One JSON object on a single line, e.g.
+    /// `{"kind":"ecf","ok":true,"grants":3,...,"violations":[]}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"kind\":\"ecf\"");
+        let _ = write!(
+            out,
+            ",\"ok\":{},\"grants\":{},\"readsChecked\":{},\"putAcks\":{},\
+             \"stalePutAcks\":{},\"forcedReleases\":{},\"violations\":[",
+            self.ok(),
+            self.grants,
+            self.reads_checked,
+            self.put_acks,
+            self.stale_put_acks,
+            self.forced_releases
+        );
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::push_str(&mut out, v);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Display for EcfReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ecf: {} ({} grants, {} reads checked, {} put acks ({} stale), {} forced releases",
+            if self.ok() { "OK" } else { "VIOLATED" },
+            self.grants,
+            self.reads_checked,
+            self.put_acks,
+            self.stale_put_acks,
+            self.forced_releases
+        )?;
+        if !self.ok() {
+            write!(f, "; {} violations", self.violations.len())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[derive(Debug, Default)]
+struct KeyState {
+    /// Reference currently holding the lock, if any.
+    holder: Option<u64>,
+    /// Digest of the authoritative ("true") value once one is known.
+    /// `Some(None)` = the key is known absent; `None` = not yet pinned.
+    true_value: Option<Option<u64>>,
+    /// Digests that may legitimately be observed instead of
+    /// `true_value`: writes in flight when their writer lost the lock,
+    /// plus dominated acks (see module docs).
+    acceptable: BTreeSet<u64>,
+    /// Un-acknowledged put digests per reference.
+    in_flight: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+/// Replays `events` (in slice order, which must be seq order) and checks
+/// the ECF properties. See the module docs for the exact rules.
+pub fn check(events: &[Event]) -> EcfReport {
+    let mut report = EcfReport::default();
+    let mut keys: BTreeMap<&str, KeyState> = BTreeMap::new();
+    let mut last_seq: Option<u64> = None;
+
+    for e in events {
+        if let Some(prev) = last_seq {
+            if e.seq <= prev {
+                report
+                    .violations
+                    .push(format!("seq order broken: {} after {prev}", e.seq));
+            }
+        }
+        last_seq = Some(e.seq);
+
+        match &e.kind {
+            EventKind::LockGrant { key, lock_ref } => {
+                let st = keys.entry(key).or_default();
+                report.grants += 1;
+                // Re-granting the reference that already holds the lock is
+                // a duplicate winning poll, not an overlap.
+                if let Some(holder) = st.holder {
+                    if holder != *lock_ref {
+                        report.violations.push(format!(
+                            "exclusivity: grant of {lock_ref} on {key:?} at seq {} \
+                             while {holder} still holds the lock",
+                            e.seq
+                        ));
+                    }
+                }
+                st.holder = Some(*lock_ref);
+            }
+            EventKind::LockRelease { key, lock_ref }
+            | EventKind::LockForcedRelease { key, lock_ref } => {
+                let forced = matches!(e.kind, EventKind::LockForcedRelease { .. });
+                if forced {
+                    report.forced_releases += 1;
+                }
+                let st = keys.entry(key).or_default();
+                if st.holder == Some(*lock_ref) {
+                    st.holder = None;
+                }
+                // Whatever this reference still had in flight may have
+                // landed (and may be pinned by the next grant's
+                // resynchronization): keep those digests acceptable.
+                if let Some(pending) = st.in_flight.remove(lock_ref) {
+                    st.acceptable.extend(pending);
+                }
+            }
+            EventKind::CritPutStart {
+                key,
+                lock_ref,
+                digest,
+            } => {
+                let st = keys.entry(key).or_default();
+                st.in_flight.entry(*lock_ref).or_default().insert(*digest);
+            }
+            EventKind::CritPutAck {
+                key,
+                lock_ref,
+                digest,
+            } => {
+                let st = keys.entry(key).or_default();
+                if let Some(fl) = st.in_flight.get_mut(lock_ref) {
+                    fl.remove(digest);
+                }
+                if st.holder == Some(*lock_ref) {
+                    // Acknowledged by the current holder: this is the new
+                    // true value, superseding everything else.
+                    report.put_acks += 1;
+                    st.true_value = Some(Some(*digest));
+                    st.acceptable.clear();
+                } else {
+                    // Ack from a preempted holder: dominated, not the
+                    // true value — but a grant-time resynchronization may
+                    // still pin it, so it stays acceptable.
+                    report.stale_put_acks += 1;
+                    st.acceptable.insert(*digest);
+                }
+            }
+            EventKind::CritGet {
+                key,
+                lock_ref,
+                digest,
+            } => {
+                let st = keys.entry(key).or_default();
+                if st.holder != Some(*lock_ref) {
+                    report.violations.push(format!(
+                        "exclusivity: critical read on {key:?} at seq {} by {lock_ref}, \
+                         which does not hold the lock (holder: {:?})",
+                        e.seq, st.holder
+                    ));
+                    continue;
+                }
+                report.reads_checked += 1;
+                let observed = *digest;
+                let acceptable = match st.true_value {
+                    None => true, // nothing pinned yet: first observation
+                    Some(t) => {
+                        observed == t || observed.is_some_and(|d| st.acceptable.contains(&d))
+                    }
+                };
+                if acceptable {
+                    // The holder's read fixes the true value (Latest-State:
+                    // what it saw is what subsequent holders must build on).
+                    st.true_value = Some(observed);
+                    st.acceptable.clear();
+                } else {
+                    report.violations.push(format!(
+                        "latest-state: critical read on {key:?} at seq {} returned \
+                         {observed:016x?}, expected {:016x?} (or one of {} pending)",
+                        e.seq,
+                        st.true_value.unwrap(),
+                        st.acceptable.len()
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceId;
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            at_us: seq * 10,
+            trace: TraceId::default(),
+            node: 0,
+            kind,
+        }
+    }
+
+    fn grant(seq: u64, r: u64) -> Event {
+        ev(
+            seq,
+            EventKind::LockGrant {
+                key: "k".into(),
+                lock_ref: r,
+            },
+        )
+    }
+
+    fn release(seq: u64, r: u64) -> Event {
+        ev(
+            seq,
+            EventKind::LockRelease {
+                key: "k".into(),
+                lock_ref: r,
+            },
+        )
+    }
+
+    fn put_ack(seq: u64, r: u64, d: u64) -> Event {
+        ev(
+            seq,
+            EventKind::CritPutAck {
+                key: "k".into(),
+                lock_ref: r,
+                digest: d,
+            },
+        )
+    }
+
+    fn get(seq: u64, r: u64, d: Option<u64>) -> Event {
+        ev(
+            seq,
+            EventKind::CritGet {
+                key: "k".into(),
+                lock_ref: r,
+                digest: d,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_handoff_passes() {
+        let trace = [
+            grant(0, 1),
+            get(1, 1, None),
+            put_ack(2, 1, 0xa),
+            release(3, 1),
+            grant(4, 2),
+            get(5, 2, Some(0xa)),
+            put_ack(6, 2, 0xb),
+            get(7, 2, Some(0xb)),
+            release(8, 2),
+        ];
+        let r = check(&trace);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.grants, 2);
+        assert_eq!(r.reads_checked, 3);
+    }
+
+    #[test]
+    fn overlapping_grants_are_flagged() {
+        let trace = [grant(0, 1), grant(1, 2)];
+        let r = check(&trace);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("exclusivity"));
+    }
+
+    #[test]
+    fn regrant_of_the_same_reference_is_benign() {
+        // Duplicate winning poll: acquireLock returned Acquired twice for
+        // the same reference before the holder proceeded.
+        let trace = [grant(0, 1), grant(1, 1), release(2, 1)];
+        let r = check(&trace);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.grants, 2);
+    }
+
+    #[test]
+    fn stale_read_of_old_value_is_flagged() {
+        let trace = [
+            grant(0, 1),
+            get(1, 1, None),
+            put_ack(2, 1, 0xa),
+            release(3, 1),
+            grant(4, 2),
+            get(5, 2, None), // lost the acknowledged write
+        ];
+        let r = check(&trace);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("latest-state"));
+    }
+
+    #[test]
+    fn mid_put_preemption_accepts_either_value() {
+        let put_start = ev(
+            2,
+            EventKind::CritPutStart {
+                key: "k".into(),
+                lock_ref: 1,
+                digest: 0xb,
+            },
+        );
+        let forced = ev(
+            3,
+            EventKind::LockForcedRelease {
+                key: "k".into(),
+                lock_ref: 1,
+            },
+        );
+        // The dying holder's put may or may not have landed: both the old
+        // acknowledged value and the in-flight one are acceptable.
+        for observed in [Some(0xa), Some(0xb)] {
+            let trace = [
+                grant(0, 1),
+                put_ack(1, 1, 0xa),
+                put_start.clone(),
+                forced.clone(),
+                grant(4, 2),
+                get(5, 2, observed),
+            ];
+            let r = check(&trace);
+            assert!(r.ok(), "observed {observed:?}: {:?}", r.violations);
+            assert_eq!(r.forced_releases, 1);
+        }
+        // ... but a third value nobody wrote is a violation.
+        let trace = [
+            grant(0, 1),
+            put_ack(1, 1, 0xa),
+            put_start,
+            forced,
+            grant(4, 2),
+            get(5, 2, Some(0xc)),
+        ];
+        assert!(!check(&trace).ok());
+    }
+
+    #[test]
+    fn read_collapses_the_acceptable_set() {
+        let trace = [
+            grant(0, 1),
+            put_ack(1, 1, 0xa),
+            ev(
+                2,
+                EventKind::CritPutStart {
+                    key: "k".into(),
+                    lock_ref: 1,
+                    digest: 0xb,
+                },
+            ),
+            ev(
+                3,
+                EventKind::LockForcedRelease {
+                    key: "k".into(),
+                    lock_ref: 1,
+                },
+            ),
+            grant(4, 2),
+            get(5, 2, Some(0xa)), // holder observed the old value: pinned
+            get(6, 2, Some(0xb)), // ...so the in-flight one is now wrong
+        ];
+        let r = check(&trace);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn non_holder_read_is_flagged() {
+        let trace = [grant(0, 1), get(1, 2, None)];
+        let r = check(&trace);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("does not hold"));
+    }
+
+    #[test]
+    fn stale_ack_is_counted_not_flagged() {
+        let trace = [
+            grant(0, 1),
+            ev(
+                1,
+                EventKind::LockForcedRelease {
+                    key: "k".into(),
+                    lock_ref: 1,
+                },
+            ),
+            put_ack(2, 1, 0xd), // preempted holder's write still acked
+            grant(3, 2),
+            get(4, 2, Some(0xd)), // resynchronization pinned it: fine
+        ];
+        let r = check(&trace);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.stale_put_acks, 1);
+    }
+
+    #[test]
+    fn seq_regression_is_flagged() {
+        let trace = [grant(5, 1), release(3, 1)];
+        assert!(!check(&trace).ok());
+    }
+}

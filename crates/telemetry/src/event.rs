@@ -1,0 +1,507 @@
+//! The typed event schema and its JSON-lines rendering.
+
+use crate::json::{push_hex, push_str};
+
+/// Identifier grouping all events of one client-visible operation span.
+/// `0` means "no active trace" (background tasks before their first span).
+pub type TraceId = u64;
+
+/// Why a network message was dropped.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Independent random loss (`NetConfig::loss`).
+    Loss,
+    /// The (from, to) link is cut by a partition.
+    Cut,
+    /// Sender or receiver was down at send time.
+    EndpointDown,
+    /// The receiver crashed while the message was in flight.
+    ReceiverCrashed,
+}
+
+impl DropReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::Cut => "cut",
+            DropReason::EndpointDown => "endpointDown",
+            DropReason::ReceiverCrashed => "receiverCrashed",
+        }
+    }
+}
+
+/// Phase of a Paxos light-weight transaction (§X-A1 of the paper:
+/// prepare/promise → read → propose/accept → commit).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LwtPhase {
+    /// Prepare/promise quorum achieved.
+    Prepare,
+    /// An in-progress proposal from an earlier coordinator is being
+    /// completed before the caller's own update.
+    MustComplete,
+    /// Quorum read of the current partition state.
+    Read,
+    /// Propose/accept quorum achieved.
+    Propose,
+    /// Commit applied at a quorum.
+    Commit,
+}
+
+impl LwtPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            LwtPhase::Prepare => "prepare",
+            LwtPhase::MustComplete => "mustComplete",
+            LwtPhase::Read => "read",
+            LwtPhase::Propose => "propose",
+            LwtPhase::Commit => "commit",
+        }
+    }
+}
+
+/// What happened. One variant per protocol transition the trace records.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A message entered the network.
+    MsgSend {
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A message was fully serviced at its receiver.
+    MsgDeliver {
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A message was lost.
+    MsgDrop {
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// Payload size.
+        bytes: u64,
+        /// Why it was lost.
+        reason: DropReason,
+    },
+    /// An RPC attempt timed out and is being re-sent.
+    Retransmit {
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// Zero-based attempt that just failed.
+        attempt: u32,
+    },
+    /// A quorum read reconciled replies from a majority.
+    QuorumRead {
+        /// Key read.
+        key: String,
+        /// Replies reconciled.
+        replies: u32,
+    },
+    /// A write was acknowledged at its consistency level.
+    QuorumWrite {
+        /// Key written.
+        key: String,
+        /// Acknowledgments waited for (1 = CL.ONE).
+        acks: u32,
+    },
+    /// A quorum read observed divergent replicas and scheduled repair
+    /// writes.
+    ReadRepair {
+        /// Key repaired.
+        key: String,
+    },
+    /// An LWT phase completed.
+    Lwt {
+        /// Key the transaction runs on.
+        key: String,
+        /// Which phase.
+        phase: LwtPhase,
+        /// Ballot of the attempt, encoded `(round << 20) | proposer`.
+        ballot: u64,
+    },
+    /// An LWT attempt lost a ballot race and is retrying.
+    LwtRetry {
+        /// Key the transaction runs on.
+        key: String,
+        /// Zero-based attempt about to run.
+        attempt: u32,
+    },
+    /// An LWT finished.
+    LwtResult {
+        /// Key the transaction ran on.
+        key: String,
+        /// Whether the caller's mutation was applied.
+        applied: bool,
+        /// Attempts used (1 = no contention).
+        attempts: u32,
+    },
+    /// A lock reference was minted and enqueued (`lsGenerateAndEnqueue`).
+    LockEnqueue {
+        /// Lock queue key.
+        key: String,
+        /// The minted reference.
+        lock_ref: u64,
+    },
+    /// A queued reference was granted the lock (`acquireLock` → true).
+    LockGrant {
+        /// Lock queue key.
+        key: String,
+        /// The granted reference.
+        lock_ref: u64,
+    },
+    /// The holder released the lock (`releaseLock` dequeued it).
+    LockRelease {
+        /// Lock queue key.
+        key: String,
+        /// The released reference.
+        lock_ref: u64,
+    },
+    /// A reference was forcibly released (`forcedRelease`, §IV-B).
+    LockForcedRelease {
+        /// Lock queue key.
+        key: String,
+        /// The preempted reference.
+        lock_ref: u64,
+    },
+    /// A MUSIC operation span began.
+    OpStart {
+        /// Operation name (paper vocabulary: `criticalPut`, …).
+        op: &'static str,
+        /// Key operated on.
+        key: String,
+    },
+    /// A MUSIC operation span ended.
+    OpEnd {
+        /// Operation name.
+        op: &'static str,
+        /// Key operated on.
+        key: String,
+        /// Whether the operation succeeded.
+        ok: bool,
+    },
+    /// A `criticalPut` passed its holder guard and is writing.
+    CritPutStart {
+        /// Key written.
+        key: String,
+        /// Holder reference the writer believes it holds.
+        lock_ref: u64,
+        /// FNV-1a digest of the value.
+        digest: u64,
+    },
+    /// A `criticalPut` was acknowledged at a quorum.
+    CritPutAck {
+        /// Key written.
+        key: String,
+        /// Holder reference.
+        lock_ref: u64,
+        /// FNV-1a digest of the value.
+        digest: u64,
+    },
+    /// A `criticalGet` returned successfully.
+    CritGet {
+        /// Key read.
+        key: String,
+        /// Holder reference.
+        lock_ref: u64,
+        /// Digest of the returned value (`None` = key absent).
+        digest: Option<u64>,
+    },
+    /// A client abandoned a replica and moved to the next one.
+    ClientFailover {
+        /// Operation being retried.
+        op: &'static str,
+        /// Failures so far in this operation.
+        attempt: u32,
+    },
+    /// The watchdog preempted a presumed-failed holder.
+    WatchdogPreempt {
+        /// Lock queue key.
+        key: String,
+        /// The preempted reference.
+        lock_ref: u64,
+    },
+    /// The anti-entropy daemon finished one sweep.
+    RepairRound {
+        /// Keys that had diverged and were repaired this sweep.
+        repaired: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable camel-case name used as the JSON `kind` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MsgSend { .. } => "msgSend",
+            EventKind::MsgDeliver { .. } => "msgDeliver",
+            EventKind::MsgDrop { .. } => "msgDrop",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::QuorumRead { .. } => "quorumRead",
+            EventKind::QuorumWrite { .. } => "quorumWrite",
+            EventKind::ReadRepair { .. } => "readRepair",
+            EventKind::Lwt { .. } => "lwt",
+            EventKind::LwtRetry { .. } => "lwtRetry",
+            EventKind::LwtResult { .. } => "lwtResult",
+            EventKind::LockEnqueue { .. } => "lockEnqueue",
+            EventKind::LockGrant { .. } => "lockGrant",
+            EventKind::LockRelease { .. } => "lockRelease",
+            EventKind::LockForcedRelease { .. } => "lockForcedRelease",
+            EventKind::OpStart { .. } => "opStart",
+            EventKind::OpEnd { .. } => "opEnd",
+            EventKind::CritPutStart { .. } => "critPutStart",
+            EventKind::CritPutAck { .. } => "critPutAck",
+            EventKind::CritGet { .. } => "critGet",
+            EventKind::ClientFailover { .. } => "clientFailover",
+            EventKind::WatchdogPreempt { .. } => "watchdogPreempt",
+            EventKind::RepairRound { .. } => "repairRound",
+        }
+    }
+
+    fn write_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            EventKind::MsgSend { from, to, bytes } | EventKind::MsgDeliver { from, to, bytes } => {
+                let _ = write!(out, ",\"from\":{from},\"to\":{to},\"bytes\":{bytes}");
+            }
+            EventKind::MsgDrop {
+                from,
+                to,
+                bytes,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":{from},\"to\":{to},\"bytes\":{bytes},\"reason\":\"{}\"",
+                    reason.as_str()
+                );
+            }
+            EventKind::Retransmit { from, to, attempt } => {
+                let _ = write!(out, ",\"from\":{from},\"to\":{to},\"attempt\":{attempt}");
+            }
+            EventKind::QuorumRead { key, replies } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"replies\":{replies}");
+            }
+            EventKind::QuorumWrite { key, acks } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"acks\":{acks}");
+            }
+            EventKind::ReadRepair { key } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+            }
+            EventKind::Lwt { key, phase, ballot } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"phase\":\"{}\",\"ballot\":{ballot}", phase.as_str());
+            }
+            EventKind::LwtRetry { key, attempt } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            EventKind::LwtResult {
+                key,
+                applied,
+                attempts,
+            } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"applied\":{applied},\"attempts\":{attempts}");
+            }
+            EventKind::LockEnqueue { key, lock_ref }
+            | EventKind::LockGrant { key, lock_ref }
+            | EventKind::LockRelease { key, lock_ref }
+            | EventKind::LockForcedRelease { key, lock_ref }
+            | EventKind::WatchdogPreempt { key, lock_ref } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"ref\":{lock_ref}");
+            }
+            EventKind::OpStart { op, key } => {
+                let _ = write!(out, ",\"op\":\"{op}\",\"key\":");
+                push_str(out, key);
+            }
+            EventKind::OpEnd { op, key, ok } => {
+                let _ = write!(out, ",\"op\":\"{op}\",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"ok\":{ok}");
+            }
+            EventKind::CritPutStart {
+                key,
+                lock_ref,
+                digest,
+            }
+            | EventKind::CritPutAck {
+                key,
+                lock_ref,
+                digest,
+            } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"ref\":{lock_ref},\"digest\":");
+                push_hex(out, *digest);
+            }
+            EventKind::CritGet {
+                key,
+                lock_ref,
+                digest,
+            } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"ref\":{lock_ref},\"digest\":");
+                match digest {
+                    Some(d) => push_hex(out, *d),
+                    None => out.push_str("null"),
+                }
+            }
+            EventKind::ClientFailover { op, attempt } => {
+                let _ = write!(out, ",\"op\":\"{op}\",\"attempt\":{attempt}");
+            }
+            EventKind::RepairRound { repaired } => {
+                let _ = write!(out, ",\"repaired\":{repaired}");
+            }
+        }
+    }
+}
+
+/// One record of the causally-ordered event log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Monotone sequence number: the total (and, in a single-threaded
+    /// simulation, causal) order of the log.
+    pub seq: u64,
+    /// Virtual time of the event, in microseconds.
+    pub at_us: u64,
+    /// Operation span this event belongs to (`0` = none).
+    pub trace: TraceId,
+    /// Node that emitted the event.
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Appends this event as one JSON object (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t_us\":{},\"trace\":{},\"node\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.at_us,
+            self.trace,
+            self.node,
+            self.kind.name()
+        );
+        self.kind.write_fields(out);
+        out.push('}');
+    }
+
+    /// This event as a standalone JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Renders an event slice as JSON lines (one event per line, trailing
+/// newline after each).
+pub fn to_json_lines(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        e.write_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_schema_is_stable() {
+        let e = Event {
+            seq: 3,
+            at_us: 36_070,
+            trace: 2,
+            node: 1,
+            kind: EventKind::MsgSend {
+                from: 1,
+                to: 4,
+                bytes: 64,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"seq\":3,\"t_us\":36070,\"trace\":2,\"node\":1,\
+             \"kind\":\"msgSend\",\"from\":1,\"to\":4,\"bytes\":64}"
+        );
+    }
+
+    #[test]
+    fn digests_render_as_hex_strings() {
+        let e = Event {
+            seq: 0,
+            at_us: 0,
+            trace: 0,
+            node: 0,
+            kind: EventKind::CritGet {
+                key: "k".into(),
+                lock_ref: 7,
+                digest: Some(u64::MAX),
+            },
+        };
+        assert!(e.to_json().contains("\"digest\":\"ffffffffffffffff\""));
+        let e2 = Event {
+            kind: EventKind::CritGet {
+                key: "k".into(),
+                lock_ref: 7,
+                digest: None,
+            },
+            ..e
+        };
+        assert!(e2.to_json().contains("\"digest\":null"));
+    }
+
+    #[test]
+    fn keys_are_escaped() {
+        let e = Event {
+            seq: 0,
+            at_us: 0,
+            trace: 0,
+            node: 0,
+            kind: EventKind::ReadRepair {
+                key: "a\u{1}synch".into(),
+            },
+        };
+        assert!(e.to_json().contains("\"key\":\"a\\u0001synch\""));
+    }
+
+    #[test]
+    fn json_lines_end_each_event() {
+        let e = Event {
+            seq: 0,
+            at_us: 1,
+            trace: 0,
+            node: 0,
+            kind: EventKind::RepairRound { repaired: 2 },
+        };
+        let lines = to_json_lines(&[e.clone(), e]);
+        assert_eq!(lines.lines().count(), 2);
+        assert!(lines.ends_with('}') || lines.ends_with('\n'));
+    }
+}

@@ -1,0 +1,48 @@
+//! Minimal JSON emission helpers (strings and hex digests only; every
+//! other field in the schema is a plain integer or boolean).
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a digest as a fixed-width hex JSON string (u64 values exceed
+/// the 2^53 range JSON numbers can carry exactly).
+pub(crate) fn push_hex(out: &mut String, v: u64) {
+    out.push('"');
+    out.push_str(&format!("{v:016x}"));
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\u{1}e");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001e\"");
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        let mut out = String::new();
+        push_hex(&mut out, 0x2a);
+        assert_eq!(out, "\"000000000000002a\"");
+    }
+}

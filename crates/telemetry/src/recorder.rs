@@ -1,0 +1,185 @@
+//! The shared recording handle injected into every instrumented layer.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::event::{Event, EventKind, TraceId};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, Scope};
+
+#[derive(Debug)]
+struct Inner {
+    capture_events: bool,
+    seq: Cell<u64>,
+    next_trace: Cell<u64>,
+    events: RefCell<Vec<Event>>,
+    metrics: RefCell<MetricsRegistry>,
+}
+
+/// A cheap, clonable handle to one telemetry sink.
+///
+/// Three modes:
+/// * [`Recorder::off`] (the default) — every call is a no-op behind one
+///   `Option` check; nothing allocates;
+/// * [`Recorder::metrics_only`] — counters and gauges accumulate, the
+///   event log stays empty;
+/// * [`Recorder::tracing`] — counters *and* the full typed event log.
+///
+/// Recording is purely synchronous bookkeeping: no randomness, no task
+/// spawning, no timers. A seeded simulation therefore executes the
+/// identical virtual-time schedule whichever mode is active.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Rc<Inner>>,
+}
+
+impl Recorder {
+    /// A disabled recorder (all calls are no-ops).
+    pub fn off() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder accumulating metrics but no events.
+    pub fn metrics_only() -> Self {
+        Self::with_capture(false)
+    }
+
+    /// A recorder capturing the event log and metrics.
+    pub fn tracing() -> Self {
+        Self::with_capture(true)
+    }
+
+    fn with_capture(capture_events: bool) -> Self {
+        Recorder {
+            inner: Some(Rc::new(Inner {
+                capture_events,
+                seq: Cell::new(0),
+                next_trace: Cell::new(0),
+                events: RefCell::new(Vec::new()),
+                metrics: RefCell::new(MetricsRegistry::new()),
+            })),
+        }
+    }
+
+    /// Whether any recording (metrics or events) is active.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether the event log is being captured. Instrumentation sites
+    /// check this before building event payloads (key strings etc.) so a
+    /// disabled recorder costs one branch.
+    pub fn is_tracing(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.capture_events)
+    }
+
+    /// Mints the next trace id (monotone from 1). Returns `0` when the
+    /// event log is off, so spans collapse to the "no trace" id.
+    pub fn next_trace(&self) -> TraceId {
+        match &self.inner {
+            Some(i) if i.capture_events => {
+                let t = i.next_trace.get() + 1;
+                i.next_trace.set(t);
+                t
+            }
+            _ => 0,
+        }
+    }
+
+    /// Appends one event (no-op unless tracing). `at_us` is the virtual
+    /// timestamp; the recorder assigns the sequence number.
+    pub fn record(&self, at_us: u64, trace: TraceId, node: u32, kind: EventKind) {
+        let Some(i) = &self.inner else { return };
+        if !i.capture_events {
+            return;
+        }
+        let seq = i.seq.get();
+        i.seq.set(seq + 1);
+        i.events.borrow_mut().push(Event {
+            seq,
+            at_us,
+            trace,
+            node,
+            kind,
+        });
+    }
+
+    /// Adds `n` to a counter (no-op when off).
+    pub fn count(&self, scope: Scope, name: &'static str, n: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.borrow_mut().add(scope, name, n);
+        }
+    }
+
+    /// Raises a high-water-mark gauge (no-op when off).
+    pub fn gauge_max(&self, scope: Scope, name: &'static str, v: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.borrow_mut().set_max(scope, name, v);
+        }
+    }
+
+    /// A copy of the event log so far, in sequence order.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(i) => i.events.borrow().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.events.borrow().len())
+    }
+
+    /// A deterministic snapshot of all metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(i) => i.metrics.borrow().snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_is_inert() {
+        let r = Recorder::off();
+        assert!(!r.is_on());
+        assert!(!r.is_tracing());
+        assert_eq!(r.next_trace(), 0);
+        r.record(1, 0, 0, EventKind::RepairRound { repaired: 0 });
+        r.count(Scope::Global, "x", 1);
+        assert!(r.events().is_empty());
+        assert!(r.metrics().is_empty());
+    }
+
+    #[test]
+    fn metrics_only_skips_events() {
+        let r = Recorder::metrics_only();
+        assert!(r.is_on());
+        assert!(!r.is_tracing());
+        r.record(1, 0, 0, EventKind::RepairRound { repaired: 0 });
+        r.count(Scope::Global, "x", 2);
+        assert!(r.events().is_empty());
+        assert_eq!(r.metrics().get(Scope::Global, "x"), 2);
+    }
+
+    #[test]
+    fn tracing_assigns_monotone_seq_and_traces() {
+        let r = Recorder::tracing();
+        assert_eq!(r.next_trace(), 1);
+        assert_eq!(r.next_trace(), 2);
+        r.record(5, 1, 0, EventKind::RepairRound { repaired: 0 });
+        r.record(6, 2, 0, EventKind::RepairRound { repaired: 1 });
+        let ev = r.events();
+        assert_eq!(ev[0].seq, 0);
+        assert_eq!(ev[1].seq, 1);
+        assert_eq!(r.event_count(), 2);
+        // Clones share the sink.
+        let r2 = r.clone();
+        r2.record(7, 0, 0, EventKind::RepairRound { repaired: 2 });
+        assert_eq!(r.event_count(), 3);
+    }
+}

@@ -153,7 +153,11 @@ impl Iterator for YcsbGenerator {
         };
         let key = format!("user{idx}");
         let is_read = self.rng.gen_bool(self.read_fraction.clamp(0.0, 1.0));
-        Some(if is_read { Op::Read(key) } else { Op::Update(key) })
+        Some(if is_read {
+            Op::Read(key)
+        } else {
+            Op::Update(key)
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -75,7 +75,9 @@ impl Txn {
     fn wire_bytes(&self) -> usize {
         HEADER
             + match self {
-                Txn::Create { actual_path, data, .. } => actual_path.len() + data.len(),
+                Txn::Create {
+                    actual_path, data, ..
+                } => actual_path.len() + data.len(),
                 Txn::SetData { path, data } => path.len() + data.len(),
                 Txn::Delete { path } => path.len(),
             }
@@ -110,7 +112,12 @@ impl ServerState {
             // Application is infallible: the leader validated against its
             // own tree, and all trees evolve identically in zxid order.
             match &txn {
-                Txn::Create { actual_path, data, mode, session } => {
+                Txn::Create {
+                    actual_path,
+                    data,
+                    mode,
+                    session,
+                } => {
                     // Recreate with the leader-assigned name: bypass the
                     // sequential logic by creating the exact path.
                     let mode = if mode.is_ephemeral() {
@@ -118,7 +125,9 @@ impl ServerState {
                     } else {
                         CreateMode::Persistent
                     };
-                    let _ = self.tree.create(actual_path, data.clone(), mode, Some(*session));
+                    let _ = self
+                        .tree
+                        .create(actual_path, data.clone(), mode, Some(*session));
                 }
                 Txn::SetData { path, data } => {
                     let _ = self.tree.set_data(path, data.clone());
@@ -244,7 +253,9 @@ impl ZkEnsemble {
     /// Applies committed txns at `server_idx` and fires any watches the
     /// applications trigger (notifications travel server → client).
     fn commit_at(&self, server_idx: usize, zxid: u64, txn: Txn) {
-        let applied = self.inner.servers[server_idx].borrow_mut().commit(zxid, txn);
+        let applied = self.inner.servers[server_idx]
+            .borrow_mut()
+            .commit(zxid, txn);
         for txn in applied {
             let kinds: Vec<WatchKind> = match &txn {
                 Txn::Create { actual_path, .. } => {
@@ -321,7 +332,13 @@ impl ZkEnsemble {
             }
             Request::SetData { path, data } => {
                 tree.set_data(&path, data.clone())?;
-                (Txn::SetData { path: path.clone(), data }, path)
+                (
+                    Txn::SetData {
+                        path: path.clone(),
+                        data,
+                    },
+                    path,
+                )
             }
             Request::Delete { path } => {
                 tree.delete(&path)?;

@@ -53,9 +53,7 @@ impl<'s> ZkLock<'s> {
 
     /// The name of this handle's queue node, if enqueued.
     fn my_name(&self) -> Option<&str> {
-        self.my_path
-            .as_deref()
-            .and_then(|p| p.rsplit('/').next())
+        self.my_path.as_deref().and_then(|p| p.rsplit('/').next())
     }
 
     /// Blocks (polling) until the lock is held.

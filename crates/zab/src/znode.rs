@@ -29,7 +29,10 @@ impl CreateMode {
 
     /// Whether the node dies with its session.
     pub fn is_ephemeral(self) -> bool {
-        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+        matches!(
+            self,
+            CreateMode::Ephemeral | CreateMode::EphemeralSequential
+        )
     }
 }
 
@@ -208,9 +211,7 @@ impl ZnodeTree {
         let mut out: Vec<String> = self
             .nodes
             .keys()
-            .filter(|k| {
-                k.starts_with(&prefix) && *k != path && !k[prefix.len()..].contains('/')
-            })
+            .filter(|k| k.starts_with(&prefix) && *k != path && !k[prefix.len()..].contains('/'))
             .map(|k| k[prefix.len()..].to_string())
             .collect();
         out.sort_unstable();
@@ -252,7 +253,8 @@ mod tests {
     #[test]
     fn create_get_set_delete_cycle() {
         let mut t = ZnodeTree::new();
-        t.create("/a", b("1"), CreateMode::Persistent, None).unwrap();
+        t.create("/a", b("1"), CreateMode::Persistent, None)
+            .unwrap();
         assert_eq!(t.get("/a").unwrap().data, b("1"));
         assert_eq!(t.set_data("/a", b("2")).unwrap(), 1);
         assert_eq!(t.get("/a").unwrap().version, 1);
@@ -283,7 +285,8 @@ mod tests {
     fn delete_of_parent_with_children_rejected() {
         let mut t = ZnodeTree::new();
         t.create("/a", b(""), CreateMode::Persistent, None).unwrap();
-        t.create("/a/b", b(""), CreateMode::Persistent, None).unwrap();
+        t.create("/a/b", b(""), CreateMode::Persistent, None)
+            .unwrap();
         assert_eq!(t.delete("/a"), Err(TreeError::NotEmpty));
         t.delete("/a/b").unwrap();
         t.delete("/a").unwrap();
@@ -293,9 +296,13 @@ mod tests {
     fn sequential_suffixes_strictly_increase_even_after_deletes() {
         let mut t = ZnodeTree::new();
         t.create("/l", b(""), CreateMode::Persistent, None).unwrap();
-        let p1 = t.create("/l/n-", b(""), CreateMode::PersistentSequential, None).unwrap();
+        let p1 = t
+            .create("/l/n-", b(""), CreateMode::PersistentSequential, None)
+            .unwrap();
         t.delete(&p1).unwrap();
-        let p2 = t.create("/l/n-", b(""), CreateMode::PersistentSequential, None).unwrap();
+        let p2 = t
+            .create("/l/n-", b(""), CreateMode::PersistentSequential, None)
+            .unwrap();
         assert!(p2 > p1, "cversion never regresses: {p1} then {p2}");
     }
 
@@ -303,9 +310,12 @@ mod tests {
     fn children_are_sorted_names() {
         let mut t = ZnodeTree::new();
         t.create("/l", b(""), CreateMode::Persistent, None).unwrap();
-        t.create("/l/b", b(""), CreateMode::Persistent, None).unwrap();
-        t.create("/l/a", b(""), CreateMode::Persistent, None).unwrap();
-        t.create("/l/a/deep", b(""), CreateMode::Persistent, None).unwrap();
+        t.create("/l/b", b(""), CreateMode::Persistent, None)
+            .unwrap();
+        t.create("/l/a", b(""), CreateMode::Persistent, None)
+            .unwrap();
+        t.create("/l/a/deep", b(""), CreateMode::Persistent, None)
+            .unwrap();
         assert_eq!(t.children("/l"), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(t.children("/"), vec!["l".to_string()]);
     }
@@ -314,21 +324,28 @@ mod tests {
     fn ephemerals_tracked_per_session() {
         let mut t = ZnodeTree::new();
         t.create("/l", b(""), CreateMode::Persistent, None).unwrap();
-        t.create("/l/e1", b(""), CreateMode::Ephemeral, Some(7)).unwrap();
+        t.create("/l/e1", b(""), CreateMode::Ephemeral, Some(7))
+            .unwrap();
         let seq = t
             .create("/l/e-", b(""), CreateMode::EphemeralSequential, Some(7))
             .unwrap();
-        t.create("/l/other", b(""), CreateMode::Ephemeral, Some(8)).unwrap();
+        t.create("/l/other", b(""), CreateMode::Ephemeral, Some(8))
+            .unwrap();
         let mine = t.ephemerals_of(7);
-        assert_eq!(mine, vec!["/l/e-0000000001".to_string(), "/l/e1".to_string()]);
+        assert_eq!(
+            mine,
+            vec!["/l/e-0000000001".to_string(), "/l/e1".to_string()]
+        );
         assert_eq!(seq, "/l/e-0000000001");
     }
 
     #[test]
     fn determinism_same_ops_same_tree() {
         let ops = |t: &mut ZnodeTree| {
-            t.create("/x", b("d"), CreateMode::Persistent, None).unwrap();
-            t.create("/x/s-", b(""), CreateMode::PersistentSequential, None).unwrap();
+            t.create("/x", b("d"), CreateMode::Persistent, None)
+                .unwrap();
+            t.create("/x/s-", b(""), CreateMode::PersistentSequential, None)
+                .unwrap();
             t.set_data("/x", b("d2")).unwrap();
         };
         let mut t1 = ZnodeTree::new();

@@ -2,8 +2,8 @@
 //! recipe, and ephemeral cleanup.
 
 use bytes::Bytes;
-use music_zab::{CreateMode, ZkEnsemble, ZkError, ZkLock};
 use music_simnet::prelude::*;
+use music_zab::{CreateMode, ZkEnsemble, ZkError, ZkLock};
 
 struct Fixture {
     sim: Sim,
@@ -44,7 +44,9 @@ fn write_then_read_round_trips() {
     let (ens, me) = (f.ens.clone(), f.clients[0]);
     f.sim.block_on(async move {
         let s = ens.connect(me);
-        s.create("/app", b("cfg"), CreateMode::Persistent).await.unwrap();
+        s.create("/app", b("cfg"), CreateMode::Persistent)
+            .await
+            .unwrap();
         s.set_data("/app", b("cfg2")).await.unwrap();
         assert_eq!(s.get_data("/app").await, Some(b("cfg2")));
     });
@@ -57,7 +59,9 @@ fn leader_site_write_takes_one_wan_rtt() {
     let elapsed = f.sim.block_on(async move {
         let s = ens.connect(me); // connected to the leader (same site)
         let t0 = sim.now();
-        s.create("/n", b("x"), CreateMode::Persistent).await.unwrap();
+        s.create("/n", b("x"), CreateMode::Persistent)
+            .await
+            .unwrap();
         sim.now() - t0
     });
     // client->leader intra (0.2) + propose/ack to the nearer follower
@@ -72,7 +76,9 @@ fn follower_site_write_pays_the_forwarding_hop() {
     let elapsed = f.sim.block_on(async move {
         let s = ens.connect(me); // Oregon follower
         let t0 = sim.now();
-        s.create("/n", b("x"), CreateMode::Persistent).await.unwrap();
+        s.create("/n", b("x"), CreateMode::Persistent)
+            .await
+            .unwrap();
         sim.now() - t0
     });
     // intra hop + forward Oregon->Ohio (36.07) + propose quorum (53.79/2
@@ -88,7 +94,9 @@ fn followers_apply_in_zxid_order_and_converge() {
     let ens2 = f.ens.clone();
     f.sim.block_on(async move {
         let s = ens.connect(me);
-        s.create("/seq", b("0"), CreateMode::Persistent).await.unwrap();
+        s.create("/seq", b("0"), CreateMode::Persistent)
+            .await
+            .unwrap();
         for i in 1..=20 {
             s.set_data("/seq", Bytes::from(format!("{i}").into_bytes()))
                 .await
@@ -116,7 +124,9 @@ fn sequential_creates_from_different_sites_are_totally_ordered() {
         let me = f.clients[0];
         async move {
             let s = ens.connect(me);
-            s.create("/q", Bytes::new(), CreateMode::Persistent).await.unwrap();
+            s.create("/q", Bytes::new(), CreateMode::Persistent)
+                .await
+                .unwrap();
         }
     });
     for i in 0..6 {
@@ -146,7 +156,9 @@ fn duplicate_create_errors_cross_the_network() {
     let (ens, me) = (f.ens.clone(), f.clients[1]);
     f.sim.block_on(async move {
         let s = ens.connect(me);
-        s.create("/once", b(""), CreateMode::Persistent).await.unwrap();
+        s.create("/once", b(""), CreateMode::Persistent)
+            .await
+            .unwrap();
         assert_eq!(
             s.create("/once", b(""), CreateMode::Persistent).await,
             Err(ZkError::NodeExists)
@@ -168,7 +180,10 @@ fn lock_recipe_grants_in_sequence_order() {
             let s = ens.connect(me);
             let mut lock = ZkLock::new(&s, "/locks/job");
             // Ensure the parent exists for the nested path.
-            match s.create("/locks", Bytes::new(), CreateMode::Persistent).await {
+            match s
+                .create("/locks", Bytes::new(), CreateMode::Persistent)
+                .await
+            {
                 Ok(_) | Err(ZkError::NodeExists) => {}
                 Err(e) => panic!("{e}"),
             }
@@ -192,7 +207,9 @@ fn leader_without_quorum_steps_down() {
     let (f1, f2) = (f.servers[1], f.servers[2]);
     f.sim.block_on(async move {
         let s = ens.connect(me);
-        s.create("/ok", b("1"), CreateMode::Persistent).await.unwrap();
+        s.create("/ok", b("1"), CreateMode::Persistent)
+            .await
+            .unwrap();
 
         // Both followers die: the next write cannot reach a quorum, the
         // client sees ConnectionLoss, and the leader steps down rather
@@ -207,7 +224,9 @@ fn leader_without_quorum_steps_down() {
         // down for writes (a real deployment would elect a new leader).
         net.set_node_up(f1, true);
         net.set_node_up(f2, true);
-        let res = s.create("/still-lost", b("x"), CreateMode::Persistent).await;
+        let res = s
+            .create("/still-lost", b("x"), CreateMode::Persistent)
+            .await;
         assert_eq!(res, Err(ZkError::ConnectionLoss));
 
         // Reads (local) keep working.
@@ -223,8 +242,12 @@ fn session_close_cleans_ephemerals() {
     f.sim.block_on(async move {
         let s = ens.connect(me);
         s.create("/l", b(""), CreateMode::Persistent).await.unwrap();
-        s.create("/l/e-", b(""), CreateMode::EphemeralSequential).await.unwrap();
-        s.create("/l/keep", b(""), CreateMode::Persistent).await.unwrap();
+        s.create("/l/e-", b(""), CreateMode::EphemeralSequential)
+            .await
+            .unwrap();
+        s.create("/l/keep", b(""), CreateMode::Persistent)
+            .await
+            .unwrap();
         s.close().await.unwrap();
         let s2 = ens.connect(me);
         assert_eq!(s2.get_children("/l").await, vec!["keep".to_string()]);
@@ -232,6 +255,9 @@ fn session_close_cleans_ephemerals() {
     f.sim.run();
     // Converged everywhere.
     for idx in 0..3 {
-        assert_eq!(ens2.peek_tree(idx, |t| t.children("/l")), vec!["keep".to_string()]);
+        assert_eq!(
+            ens2.peek_tree(idx, |t| t.children("/l")),
+            vec!["keep".to_string()]
+        );
     }
 }

@@ -30,7 +30,9 @@ fn data_watch_fires_on_set_data() {
     let me = clients[0];
     sim.block_on(async move {
         let s = ens.connect(me);
-        s.create("/n", b("v0"), CreateMode::Persistent).await.unwrap();
+        s.create("/n", b("v0"), CreateMode::Persistent)
+            .await
+            .unwrap();
         let (data, watch) = s.get_data_watch("/n").await;
         assert_eq!(data, Some(b("v0")));
         assert!(!watch.fired());
@@ -46,7 +48,9 @@ fn data_watch_fires_on_delete() {
     let me = clients[1];
     sim.block_on(async move {
         let s = ens.connect(me);
-        s.create("/gone", b(""), CreateMode::Persistent).await.unwrap();
+        s.create("/gone", b(""), CreateMode::Persistent)
+            .await
+            .unwrap();
         let (_, watch) = s.get_data_watch("/gone").await;
         s.delete("/gone").await.unwrap();
         watch.await;
@@ -60,15 +64,21 @@ fn children_watch_fires_once_per_registration() {
     let me = clients[0];
     sim.block_on(async move {
         let s = ens.connect(me);
-        s.create("/dir", b(""), CreateMode::Persistent).await.unwrap();
+        s.create("/dir", b(""), CreateMode::Persistent)
+            .await
+            .unwrap();
         let (children, watch) = s.get_children_watch("/dir").await;
         assert!(children.is_empty());
-        s.create("/dir/a", b(""), CreateMode::Persistent).await.unwrap();
+        s.create("/dir/a", b(""), CreateMode::Persistent)
+            .await
+            .unwrap();
         watch.await;
         // One-shot: a new change needs a new registration.
         let (children, watch2) = s.get_children_watch("/dir").await;
         assert_eq!(children, vec!["a".to_string()]);
-        s.create("/dir/b", b(""), CreateMode::Persistent).await.unwrap();
+        s.create("/dir/b", b(""), CreateMode::Persistent)
+            .await
+            .unwrap();
         watch2.await;
         assert_eq!(s.get_children("/dir").await.len(), 2);
     });
@@ -80,7 +90,9 @@ fn watch_fires_at_remote_followers_too() {
     let (writer, watcher) = (clients[0], clients[2]);
     sim.block_on(async move {
         let w = ens.connect(writer);
-        w.create("/x", b("0"), CreateMode::Persistent).await.unwrap();
+        w.create("/x", b("0"), CreateMode::Persistent)
+            .await
+            .unwrap();
         let sess = ens.connect(watcher); // connected to the Oregon follower
         let (_, watch) = sess.get_data_watch("/x").await;
         let t0 = sess.ens_sim().now();

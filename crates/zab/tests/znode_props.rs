@@ -37,11 +37,14 @@ proptest! {
                 OpKind::CreateTop(p) => {
                     let path = format!("/top{p}");
                     let res = tree.create(&path, Bytes::from_static(b"init"), CreateMode::Persistent, None);
-                    if model.contains_key(&path) {
-                        prop_assert!(res.is_err(), "duplicate create must fail");
-                    } else {
-                        prop_assert_eq!(res.unwrap(), path.clone());
-                        model.insert(path, (b"init".to_vec(), 0));
+                    match model.entry(path) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            prop_assert!(res.is_err(), "duplicate create must fail");
+                        }
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            prop_assert_eq!(&res.unwrap(), e.key());
+                            e.insert((b"init".to_vec(), 0));
+                        }
                     }
                 }
                 OpKind::CreateSeq(p) => {

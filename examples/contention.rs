@@ -40,7 +40,9 @@ fn main() {
                 Some(v) => format!("{} -> c{c}", String::from_utf8_lossy(&v)),
                 None => format!("c{c}"),
             };
-            cs.put(Bytes::from(chain.clone().into_bytes())).await.expect("put");
+            cs.put(Bytes::from(chain.clone().into_bytes()))
+                .await
+                .expect("put");
             log.borrow_mut().push(format!(
                 "c{c} (site {}) held lock {} at {} — chain: {chain}",
                 c % 3,

@@ -42,7 +42,9 @@ fn main() {
         let inherited = oregon.critical_get("config", b_ref).await.unwrap();
         println!(
             "  oregon acquired {b_ref}; inherited latest state: {:?}",
-            inherited.as_ref().map(|v| String::from_utf8_lossy(v).into_owned())
+            inherited
+                .as_ref()
+                .map(|v| String::from_utf8_lossy(v).into_owned())
         );
         assert_eq!(inherited, Some(Bytes::from_static(b"v1-from-ohio")));
         oregon
@@ -56,7 +58,11 @@ fn main() {
         let mut told = false;
         for i in 0..10 {
             match ohio
-                .critical_put("config", a_ref, Bytes::from(format!("zombie-{i}").into_bytes()))
+                .critical_put(
+                    "config",
+                    a_ref,
+                    Bytes::from(format!("zombie-{i}").into_bytes()),
+                )
                 .await
             {
                 Ok(()) => println!("  ohio write {i} acknowledged (stale stamp, no effect)"),

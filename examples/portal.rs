@@ -65,7 +65,11 @@ impl BackEnd {
             Some(r) => *r,
             None => {
                 // Look up current ownership (cached in production).
-                let details = self.replica.get(&Self::owner_key(user)).await.map_err(|_| ())?;
+                let details = self
+                    .replica
+                    .get(&Self::owner_key(user))
+                    .await
+                    .map_err(|_| ())?;
                 match details {
                     None => self.own(user).await?, // first owner
                     Some(v) => {
@@ -76,7 +80,10 @@ impl BackEnd {
                         } else {
                             // Previous owner presumed failed: take over.
                             let prev = LockRef::new(prev_ref.parse().expect("ref"));
-                            self.replica.forced_release(user, prev).await.map_err(|_| ())?;
+                            self.replica
+                                .forced_release(user, prev)
+                                .await
+                                .map_err(|_| ())?;
                             self.own(user).await?
                         }
                     }
@@ -122,25 +129,30 @@ fn main() {
         println!("  be-ohio FAILS");
         let res = backends[0].write("alice", "suspended").await;
         assert!(res.is_err(), "dead backend cannot serve");
-        backends[1].write("alice", "suspended").await.expect("takeover write");
+        backends[1]
+            .write("alice", "suspended")
+            .await
+            .expect("takeover write");
         println!("  be-ncal took over and wrote alice=suspended");
 
         // Subsequent requests reuse be-ncal's cached lock reference: no
         // further consensus on the critical path.
         let t0 = backends[1].sim.now();
-        backends[1].write("alice", "restored").await.expect("steady-state write");
+        backends[1]
+            .write("alice", "restored")
+            .await
+            .expect("steady-state write");
         let steady = backends[1].sim.now() - t0;
         println!("  steady-state owner write took {steady} (one quorum put)");
-        assert!(steady.as_millis() < 120, "owner writes must avoid consensus");
+        assert!(
+            steady.as_millis() < 120,
+            "owner writes must avoid consensus"
+        );
 
         // The latest state is exactly the last processed update.
         let check = system2.replica(2).clone();
         let lock_ref = backends[1].owned["alice"];
-        let v = check
-            .critical_get("alice", lock_ref)
-            .await
-            .ok()
-            .flatten();
+        let v = check.critical_get("alice", lock_ref).await.ok().flatten();
         // (critical_get via another replica still sees the true value
         // because be-ncal holds the lock; read through the owner instead.)
         let v = match v {

@@ -45,7 +45,11 @@ fn main() -> Result<(), MusicError> {
     for kind in music::OpKind::ALL {
         let h = stats.histogram(kind);
         if !h.is_empty() {
-            println!("  {kind:<20} {:>9.2} ms x{}", h.mean().as_millis_f64(), h.count());
+            println!(
+                "  {kind:<20} {:>9.2} ms x{}",
+                h.mean().as_millis_f64(),
+                h.count()
+            );
         }
     }
     Ok(())

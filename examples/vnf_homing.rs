@@ -53,13 +53,17 @@ async fn worker(
         let mut claimed_any = false;
         for job_id in jobs {
             // Lock-free peek at the job state; staleness is harmless here.
-            let Ok(Some(v)) = replica.get(&job_id).await else { continue };
+            let Ok(Some(v)) = replica.get(&job_id).await else {
+                continue;
+            };
             let (state, desc) = parse_job(&v);
             if state == "DONE" {
                 continue;
             }
             // Vie for the job.
-            let Ok(lock_ref) = replica.create_lock_ref(&job_id).await else { continue };
+            let Ok(lock_ref) = replica.create_lock_ref(&job_id).await else {
+                continue;
+            };
             let granted = loop {
                 match replica.acquire_lock(&job_id, lock_ref).await {
                     Ok(AcquireOutcome::Acquired) => break true,
@@ -84,12 +88,14 @@ async fn worker(
                 continue;
             };
             let (mut state, desc) = parse_job(&v);
-            log.borrow_mut().push(format!("{name} picked {job_id} at {state}"));
+            log.borrow_mut()
+                .push(format!("{name} picked {job_id} at {state}"));
             while let Some(next) = next_state(&state) {
                 // "Execute" the step (optimization work takes time).
                 sim.sleep(SimDuration::from_millis(400)).await;
                 if die_at_state == Some(next) {
-                    log.borrow_mut().push(format!("{name} CRASHED before {job_id} -> {next}"));
+                    log.borrow_mut()
+                        .push(format!("{name} CRASHED before {job_id} -> {next}"));
                     return; // worker dies holding the lock
                 }
                 if replica
@@ -99,11 +105,13 @@ async fn worker(
                 {
                     // Preempted or store trouble: abandon; someone else
                     // resumes from the last acknowledged state.
-                    log.borrow_mut().push(format!("{name} lost {job_id} at {state}"));
+                    log.borrow_mut()
+                        .push(format!("{name} lost {job_id} at {state}"));
                     break;
                 }
                 state = next.to_string();
-                log.borrow_mut().push(format!("{name} moved {job_id} -> {state}"));
+                log.borrow_mut()
+                    .push(format!("{name} moved {job_id} -> {state}"));
             }
             let _ = replica.release_lock(&job_id, lock_ref).await;
         }
@@ -193,7 +201,10 @@ fn main() {
     for line in log.borrow().iter() {
         println!("  {line}");
     }
-    println!("all 3 homing jobs DONE; watchdog preemptions: {}", dog.preemptions());
+    println!(
+        "all 3 homing jobs DONE; watchdog preemptions: {}",
+        dog.preemptions()
+    );
     assert!(
         log.borrow().iter().any(|l| l.contains("CRASHED")),
         "the demo should include a worker crash"

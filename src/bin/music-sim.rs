@@ -4,6 +4,7 @@
 //! music-sim demo                  # a narrated critical section on 1Us
 //! music-sim latency [profile]     # Fig. 5(b)-style operation breakdown
 //! music-sim throughput [profile]  # quick Fig. 4(a)-style comparison
+//! music-sim trace [p] [--seed N]  # seeded chaos run as a JSON-lines trace
 //! music-sim verify                # bounded model check of the ECF invariants
 //! music-sim profiles              # print the Table II latency profiles
 //! ```
@@ -45,8 +46,15 @@ fn cmd_profiles() {
 }
 
 fn cmd_demo(profile: LatencyProfile) {
-    println!("== MUSIC critical section on the {} profile ==", profile.name());
-    let system = MusicSystemBuilder::new().profile(profile).seed(1).build();
+    println!(
+        "== MUSIC critical section on the {} profile ==",
+        profile.name()
+    );
+    let system = MusicSystemBuilder::new()
+        .profile(profile)
+        .seed(1)
+        .telemetry(music_repro::telemetry::Recorder::metrics_only())
+        .build();
     let sim = system.sim().clone();
     let client = system.client_at_site(0);
     let stats = system.stats().clone();
@@ -55,7 +63,9 @@ fn cmd_demo(profile: LatencyProfile) {
         println!("  entered critical section with {}", cs.lock_ref());
         let before = cs.get().await.expect("get");
         println!("  criticalGet  -> {before:?} (guaranteed latest)");
-        cs.put(Bytes::from_static(b"hello-from-the-cli")).await.expect("put");
+        cs.put(Bytes::from_static(b"hello-from-the-cli"))
+            .await
+            .expect("put");
         println!("  criticalPut  -> acknowledged at a quorum");
         let after = cs.get().await.expect("get");
         println!(
@@ -72,6 +82,8 @@ fn cmd_demo(profile: LatencyProfile) {
             println!("  {kind:<20} {:>9.2} ms", h.mean().as_millis_f64());
         }
     }
+    println!("\nprotocol counters:");
+    music_bench::report::print_metrics(&system.recorder().metrics());
     println!("(virtual time elapsed: {})", system.sim().now());
 }
 
@@ -85,8 +97,14 @@ fn cmd_latency(profile: LatencyProfile) {
     let rows = [
         ("createLockRef", music.ops.histogram(OpKind::CreateLockRef)),
         ("acquireLock peek", music.ops.histogram(OpKind::AcquirePeek)),
-        ("acquireLock grant", music.ops.histogram(OpKind::AcquireGrant)),
-        ("criticalPut (MUSIC)", music.ops.histogram(OpKind::CriticalPut)),
+        (
+            "acquireLock grant",
+            music.ops.histogram(OpKind::AcquireGrant),
+        ),
+        (
+            "criticalPut (MUSIC)",
+            music.ops.histogram(OpKind::CriticalPut),
+        ),
         ("criticalPut (MSCP)", mscp.ops.histogram(OpKind::MscpPut)),
         ("releaseLock", music.ops.histogram(OpKind::ReleaseLock)),
     ];
@@ -123,12 +141,31 @@ fn cmd_throughput(profile: LatencyProfile) {
     println!("  (full sweeps: cargo bench -p music-bench)");
 }
 
+/// `music-sim trace [profile] [--seed N]`: runs the seeded chaos scenario
+/// with full tracing and prints JSON lines — one per event, then a
+/// `metrics` line, then an `ecf` verdict line. Output is byte-identical
+/// across runs with the same seed and profile.
+fn cmd_trace(profile: LatencyProfile, seed: u64) {
+    use music_repro::telemetry::{to_json_lines, Recorder};
+    let run = music_repro::trace::run_chaos(profile, seed, Recorder::tracing());
+    print!("{}", to_json_lines(&run.events));
+    println!("{}", run.metrics.to_json());
+    println!("{}", run.report.to_json());
+    if !run.report.ok() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_verify() {
     use music_repro::modelcheck::{CheckOutcome, Checker, MusicModel};
     println!("== bounded model check of the ECF invariants (§V) ==");
     let out = Checker::default().run(&MusicModel::default());
     match out {
-        CheckOutcome::Ok { states, depth, truncated } => {
+        CheckOutcome::Ok {
+            states,
+            depth,
+            truncated,
+        } => {
             println!("  OK: {states} states explored (depth {depth}, truncated: {truncated})");
             println!("  invariants: critical-section, synchFlag, latest-state, queue sanity");
         }
@@ -145,20 +182,38 @@ fn cmd_verify() {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let cmd = args.get(1).map(String::as_str).unwrap_or("help");
-    let profile = profile_by_name(args.get(2).map(String::as_str));
+    // Flags may appear anywhere after the command; the first free operand
+    // is the latency profile.
+    let mut seed = 1u64;
+    let mut profile_arg: Option<&str> = None;
+    let mut rest = args[2.min(args.len())..].iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = rest
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            other => profile_arg = Some(other),
+        }
+    }
+    let profile = profile_by_name(profile_arg);
     match cmd {
         "demo" => cmd_demo(profile),
         "latency" => cmd_latency(profile),
         "throughput" => cmd_throughput(profile),
+        "trace" => cmd_trace(profile, seed),
         "verify" => cmd_verify(),
         "profiles" => cmd_profiles(),
         _ => {
             println!("music-sim — MUSIC (ICDCS 2020) reproduction driver");
             println!();
-            println!("usage: music-sim <command> [profile]");
+            println!("usage: music-sim <command> [profile] [--seed N]");
             println!("  demo        narrated critical section");
             println!("  latency     per-operation latency breakdown (Fig. 5(b))");
             println!("  throughput  quick CassaEV / MUSIC / MSCP comparison (Fig. 4(a))");
+            println!("  trace       seeded chaos run -> JSON-lines event trace + ECF verdict");
             println!("  verify      bounded model check of the ECF invariants (§V)");
             println!("  profiles    print the Table II latency profiles");
             println!();

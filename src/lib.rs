@@ -15,10 +15,14 @@
 //! * [`music`] — the critical-section abstraction with ECF semantics,
 //! * [`zab`], [`cdb`] — ZooKeeper-like and CockroachDB-like baselines,
 //! * [`modelcheck`] — bounded verification of the ECF invariants,
-//! * [`workload`] — YCSB-style generators.
+//! * [`workload`] — YCSB-style generators,
+//! * [`telemetry`] — causal event tracing, counters, and the trace-based
+//!   ECF checker (see [`trace`] for the `music-sim trace` scenario).
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
 //! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub mod trace;
 
 pub use music;
 pub use music_apps as apps;
@@ -28,5 +32,6 @@ pub use music_modelcheck as modelcheck;
 pub use music_paxos as paxos;
 pub use music_quorumstore as quorumstore;
 pub use music_simnet as simnet;
+pub use music_telemetry as telemetry;
 pub use music_workload as workload;
 pub use music_zab as zab;

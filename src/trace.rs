@@ -1,0 +1,159 @@
+//! The `music-sim trace` scenario: a short, seeded chaos run that
+//! exercises every instrumented code path — clean critical sections, a
+//! lockholder crash mid-`criticalPut` (the §IV-B case), watchdog
+//! preemption, a site partition with client fail-over, and an
+//! anti-entropy sweep — while a [`Recorder`] captures the causal event
+//! log and per-node counters.
+//!
+//! The scenario is *deterministic*: a given `(seed, profile)` pair always
+//! produces the identical virtual-time schedule, and — because recording
+//! is pure bookkeeping — the schedule is byte-for-byte the same whether
+//! the recorder is off, counting, or tracing.
+
+use bytes::Bytes;
+use music::{AcquireOutcome, MusicConfig, MusicSystemBuilder, RepairDaemon, Watchdog};
+use music_simnet::prelude::*;
+use music_telemetry::{check, EcfReport, Event, MetricsSnapshot, Recorder};
+
+/// Everything a chaos run produces: the op-outcome log (for determinism
+/// comparisons), the recorded telemetry, and the ECF verdict.
+#[derive(Debug)]
+pub struct TraceRun {
+    /// Human-readable outcome of every scripted operation, in order.
+    pub outcomes: Vec<String>,
+    /// Final virtual time, in microseconds.
+    pub final_time_us: u64,
+    /// The recorded event log (empty unless the recorder was tracing).
+    pub events: Vec<Event>,
+    /// Counter snapshot (empty if the recorder was off).
+    pub metrics: MetricsSnapshot,
+    /// ECF checker verdict over `events`.
+    pub report: EcfReport,
+}
+
+/// Runs the seeded chaos scenario with `recorder` installed and returns
+/// the recorded telemetry plus the replayed ECF verdict.
+pub fn run_chaos(profile: LatencyProfile, seed: u64, recorder: Recorder) -> TraceRun {
+    let net_cfg = NetConfig {
+        loss: 0.01,
+        jitter_frac: 0.05,
+        ..NetConfig::default()
+    };
+    let music_cfg = MusicConfig {
+        failure_timeout: SimDuration::from_secs(2),
+        ..MusicConfig::default()
+    };
+    let sys = MusicSystemBuilder::new()
+        .profile(profile)
+        .net_config(net_cfg)
+        .music_config(music_cfg)
+        .seed(seed)
+        .telemetry(recorder.clone())
+        .build();
+    let sim = sys.sim().clone();
+    let sys2 = sys.clone();
+    let outcomes = sim.block_on(async move {
+        let mut log: Vec<String> = Vec::new();
+        let b = |s: &str| Bytes::from(s.as_bytes().to_vec());
+
+        // Phase 1 — a clean critical section from site 0.
+        let client = sys2.client_at_site(0);
+        let cs = client.enter("alpha").await.expect("enter alpha");
+        log.push(format!("alpha: entered with {}", cs.lock_ref()));
+        log.push(format!("alpha: get -> {:?}", cs.get().await.expect("get")));
+        cs.put(b("alpha-v1")).await.expect("put");
+        log.push("alpha: put acknowledged".into());
+        let v = cs.get().await.expect("get");
+        log.push(format!("alpha: get -> {:?}", v.map(|v| v.len())));
+        cs.release().await.expect("release");
+        log.push("alpha: released".into());
+
+        // Phase 2 — lockholder crash mid-criticalPut (§IV-B). Seed an
+        // acknowledged value, re-acquire, partition the holder's site so
+        // its next put cannot reach a quorum, and abandon it (crash).
+        let dog = Watchdog::new(sys2.replica(1).clone(), SimDuration::from_millis(500));
+        dog.watch("beta");
+        dog.spawn();
+        let holder = sys2.replica(0).clone();
+        let r0 = holder.create_lock_ref("beta").await.expect("lockref");
+        while holder.acquire_lock("beta", r0).await.expect("acquire") != AcquireOutcome::Acquired {
+            sys2.sim().sleep(SimDuration::from_millis(10)).await;
+        }
+        holder
+            .critical_put("beta", r0, b("beta-stable"))
+            .await
+            .expect("put");
+        log.push("beta: stable value acknowledged".into());
+        sys2.net().partition_site(SiteId(0), true);
+        let res = holder.critical_put("beta", r0, b("beta-halfway")).await;
+        log.push(format!(
+            "beta: mid-put under partition -> ok={}",
+            res.is_ok()
+        ));
+        // The holder crashes here: nobody releases r0. Heal the site so
+        // the in-flight write may still trickle in (the interesting case).
+        sys2.net().partition_site(SiteId(0), false);
+
+        // The watchdog preempts the dead holder; a new client takes over.
+        let takeover = sys2.replica(2).clone();
+        let r1 = takeover.create_lock_ref("beta").await.expect("lockref");
+        let deadline = sys2.sim().now() + SimDuration::from_secs(30);
+        loop {
+            match takeover.acquire_lock("beta", r1).await.expect("acquire") {
+                AcquireOutcome::Acquired => break,
+                _ => {
+                    assert!(sys2.sim().now() < deadline, "watchdog never cleared beta");
+                    sys2.sim().sleep(SimDuration::from_millis(100)).await;
+                }
+            }
+        }
+        let v = takeover.critical_get("beta", r1).await.expect("get");
+        log.push(format!(
+            "beta: takeover read -> {:?}",
+            v.map(|v| String::from_utf8_lossy(&v).into_owned())
+        ));
+        takeover
+            .critical_put("beta", r1, b("beta-recovered"))
+            .await
+            .expect("put");
+        takeover.release_lock("beta", r1).await.expect("release");
+        log.push(format!(
+            "beta: recovered ({} preemptions)",
+            dog.preemptions()
+        ));
+        dog.stop();
+
+        // Phase 3 — a remote-site flap while a critical section runs, then
+        // an anti-entropy sweep to heal whatever the flap left behind.
+        sys2.net().partition_site(SiteId(2), true);
+        let cs = client.enter("gamma").await.expect("enter gamma");
+        cs.put(b("gamma-v1")).await.expect("put");
+        cs.release().await.expect("release");
+        log.push("gamma: critical section under site-2 partition".into());
+        sys2.net().partition_site(SiteId(2), false);
+        let fixer = RepairDaemon::new(sys2.replica(1).clone(), SimDuration::from_secs(60));
+        fixer.sweep_once().await;
+        log.push(format!("repair: {} keys healed", fixer.repaired()));
+
+        // Phase 4 — lock-free traffic for the eventual paths.
+        let r = sys2.replica(1).clone();
+        r.put("notes", b("eventual")).await.expect("put");
+        log.push(format!(
+            "notes: get -> {:?}",
+            r.get("notes").await.expect("get").map(|v| v.len())
+        ));
+        log
+    });
+
+    let final_time_us = sys.sim().now().as_micros();
+    let events = recorder.events();
+    let metrics = recorder.metrics();
+    let report = check(&events);
+    TraceRun {
+        outcomes,
+        final_time_us,
+        events,
+        metrics,
+        report,
+    }
+}

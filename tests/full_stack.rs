@@ -3,9 +3,7 @@
 //! cross-checks.
 
 use bytes::Bytes;
-use music_repro::music::{
-    AcquireOutcome, MusicConfig, MusicSystemBuilder, Watchdog,
-};
+use music_repro::music::{AcquireOutcome, MusicConfig, MusicSystemBuilder, Watchdog};
 use music_repro::simnet::prelude::*;
 
 fn b(s: &'static str) -> Bytes {
@@ -188,32 +186,50 @@ fn facade_smoke_all_crates() {
 
     // simnet + quorumstore + lockstore + zab + cdb all share one sim.
     let sim = Sim::new();
-    let net = Network::new(sim.clone(), LatencyProfile::one_l(), NetConfig::default(), 1);
+    let net = Network::new(
+        sim.clone(),
+        LatencyProfile::one_l(),
+        NetConfig::default(),
+        1,
+    );
     let store_nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
     let zk_nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
     let cdb_nodes: Vec<_> = (0..3).map(|s| net.add_node(SiteId(s))).collect();
     let client = net.add_node(SiteId(0));
 
-    let table: quorumstore::ReplicatedTable<quorumstore::DataRow> = quorumstore::ReplicatedTable::new(
+    let table: quorumstore::ReplicatedTable<quorumstore::DataRow> =
+        quorumstore::ReplicatedTable::new(
+            net.clone(),
+            store_nodes.clone(),
+            3,
+            quorumstore::TableConfig::default(),
+        );
+    let locks = lockstore::LockStore::new(
         net.clone(),
-        store_nodes.clone(),
+        store_nodes,
         3,
         quorumstore::TableConfig::default(),
     );
-    let locks = lockstore::LockStore::new(net.clone(), store_nodes, 3, quorumstore::TableConfig::default());
     let zk = zab::ZkEnsemble::new(net.clone(), zk_nodes);
     let cdb = cdb::CdbCluster::new(net, cdb_nodes);
 
     sim.block_on(async move {
         table
-            .write_quorum(client, "k", quorumstore::Put::value(b("v")), quorumstore::WriteStamp::new(1))
+            .write_quorum(
+                client,
+                "k",
+                quorumstore::Put::value(b("v")),
+                quorumstore::WriteStamp::new(1),
+            )
             .await
             .unwrap();
         let r = locks.generate_and_enqueue(client, "k").await.unwrap();
         locks.dequeue(client, "k", r).await.unwrap();
 
         let s = zk.connect(client);
-        s.create("/x", b("z"), zab::CreateMode::Persistent).await.unwrap();
+        s.create("/x", b("z"), zab::CreateMode::Persistent)
+            .await
+            .unwrap();
 
         let session = cdb.session(client);
         let mut t = session.transaction();

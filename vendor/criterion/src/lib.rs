@@ -1,0 +1,118 @@
+//! Offline stand-in for `criterion` (API-compatible subset).
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop reporting ns/iter — enough to compare hot
+//! paths locally, with none of the real crate's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            target_time: self.target_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{id:<48} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("{id:<48} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Per-benchmark measurement context.
+pub struct Bencher {
+    target_time: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: grow the batch until it is long enough to time.
+        let mut iters: u64 = 1;
+        let elapsed = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= self.target_time || iters >= 1 << 20 {
+                break took;
+            }
+            let growth = if took.is_zero() {
+                16
+            } else {
+                (self.target_time.as_nanos() / took.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(growth);
+        };
+        self.report = Some((iters, elapsed));
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = super::Criterion {
+            target_time: std::time::Duration::from_micros(50),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+}

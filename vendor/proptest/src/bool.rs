@@ -1,0 +1,41 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `true` with probability `probability`.
+pub fn weighted(probability: f64) -> Weighted {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "weight {probability} out of range"
+    );
+    Weighted { probability }
+}
+
+/// See [`weighted`].
+#[derive(Copy, Clone, Debug)]
+pub struct Weighted {
+    probability: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_rate_is_roughly_right() {
+        let mut rng = TestRng::deterministic("weighted");
+        let w = weighted(0.2);
+        let hits = (0..10_000).filter(|_| w.sample(&mut rng)).count();
+        assert!((1_500..2_500).contains(&hits), "got {hits}");
+        assert!(!weighted(0.0).sample(&mut rng));
+        assert!(weighted(1.0).sample(&mut rng));
+    }
+}

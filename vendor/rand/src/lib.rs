@@ -1,0 +1,314 @@
+//! Offline stand-in for the `rand` facade (API-compatible subset).
+//!
+//! The workspace builds hermetically — no network, no registry — so the
+//! external `rand` crate is replaced by this vendored implementation of
+//! exactly the surface the repo uses: [`RngCore`], [`SeedableRng`], the
+//! [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`), the
+//! deterministic [`rngs::SmallRng`] (xoshiro256++) and the test helper
+//! [`rngs::mock::StepRng`].
+//!
+//! Statistical quality matters here: workload generators assert Zipfian
+//! head probabilities and uniform spreads, so the generator is a real
+//! xoshiro256++, not a toy LCG.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (high half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only the `seed_from_u64` entry point is used by
+/// this workspace, so that is the trait's required method.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with SplitMix64
+    /// (the expansion recommended by the xoshiro authors).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution (uniform over the
+/// type's natural domain; `[0, 1)` for floats).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiplies a 64-bit draw into `[0, span)` without modulo bias
+/// (Lemire's multiply-shift; the residual bias is < 2^-64 per draw).
+#[inline]
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + f64::sample_standard(rng) * (end - start)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution (`[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator: xoshiro256++.
+    ///
+    /// Matches the role (not the bit stream) of `rand`'s `SmallRng`:
+    /// not cryptographically secure, excellent statistical quality,
+    /// reproducible per seed.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = Self::splitmix64(&mut state);
+            }
+            // All-zero state is the one degenerate case for xoshiro.
+            if s == [0, 0, 0, 0] {
+                s = [0x9e3779b97f4a7c15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Mock generators for tests.
+    pub mod mock {
+        use super::RngCore;
+
+        /// Returns `initial`, `initial + increment`, … — a predictable
+        /// sequence for plumbing tests.
+        #[derive(Clone, Debug)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates the stepping generator.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = |seed| {
+            let mut r = SmallRng::seed_from_u64(seed);
+            (0..32).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_spread() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut lo = 0usize;
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            if f < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!((4_500..5_500).contains(&lo), "half below 0.5, got {lo}");
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let f = r.gen_range(0.0..=0.0);
+            assert_eq!(f, 0.0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut r = StepRng::new(0, 1);
+        assert_eq!(r.next_u64(), 0);
+        assert_eq!(r.next_u64(), 1);
+        assert_eq!(r.next_u64(), 2);
+    }
+}

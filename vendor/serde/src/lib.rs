@@ -1,0 +1,52 @@
+//! Offline stand-in for `serde` (marker-trait subset).
+//!
+//! The workspace asserts at compile time that its config types are
+//! serde-capable (`fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>()`)
+//! without linking a format crate, so these traits carry no methods; the
+//! paired stub derives in `serde_derive` emit empty impls.
+
+/// Marker for serializable types.
+pub trait Serialize {}
+
+/// Marker for deserializable types.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}

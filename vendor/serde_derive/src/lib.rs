@@ -1,0 +1,90 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses serde purely as a *compile-time marker* — configs
+//! derive `Serialize`/`Deserialize` to guarantee they stay persistable
+//! (C-SERDE), but no wire format crate is linked. These derives therefore
+//! emit empty marker-trait impls. The `serde` helper attribute (e.g.
+//! `#[serde(default)]`) is accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name (and simple generic parameter list, if any)
+/// from a `struct`/`enum`/`union` item.
+fn type_header(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde_derive stub: expected type name, got {other:?}"),
+                };
+                let mut params = Vec::new();
+                if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    iter.next();
+                    let mut depth = 1usize;
+                    let mut current = String::new();
+                    for tt in iter.by_ref() {
+                        match &tt {
+                            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                params.push(std::mem::take(&mut current));
+                                continue;
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                                panic!("serde_derive stub: generic bounds unsupported on `{name}`");
+                            }
+                            _ => {}
+                        }
+                        current.push_str(&tt.to_string());
+                    }
+                    if !current.is_empty() {
+                        params.push(current);
+                    }
+                }
+                return (name, params);
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum found in derive input");
+}
+
+fn marker_impl(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, params) = type_header(input);
+    let generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let code = if serialize {
+        format!("impl{generics} ::serde::Serialize for {name}{generics} {{}}")
+    } else {
+        let mut with_de = vec!["'de".to_string()];
+        with_de.extend(params.iter().cloned());
+        format!(
+            "impl<{}> ::serde::Deserialize<'de> for {name}{generics} {{}}",
+            with_de.join(", ")
+        )
+    };
+    code.parse()
+        .expect("serde_derive stub: generated impl parses")
+}
+
+/// Marker derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
+
+/// Marker derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}
