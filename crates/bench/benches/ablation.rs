@@ -10,6 +10,9 @@
 //! 3. **LWT retry back-off** — racing proposers must desynchronize;
 //!    near-zero back-off livelocks the ballot race (why Cassandra, and this
 //!    reproduction, randomize it).
+//! 4. **Pipeline window** — how deep an in-flight put window pays off
+//!    inside one critical section (the beyond-the-paper `WriteMode`
+//!    series): returns diminish once the window covers the batch.
 
 use bytes::Bytes;
 use music::PeekMode;
@@ -166,4 +169,32 @@ fn main() {
     }
     print_table(&["back-off", "completed", "client retries"], &rows);
     print_row("too little back-off livelocks the ballot race; too much wastes idle time");
+
+    print_header(
+        "Ablation 4",
+        "pipeline window sweep: CS latency (s), batch 100, 1Us",
+    );
+    let mut rows = Vec::new();
+    let mut sync_s = 0.0;
+    for window in [1usize, 4, 16, 64] {
+        let mode = if window == 1 {
+            Mode::Music
+        } else {
+            Mode::MusicPipelined(window)
+        };
+        let cs = music_cs_latency(LatencyProfile::one_us(), mode, 100, 10, sections, 31)
+            .section
+            .mean()
+            .as_secs_f64();
+        if window == 1 {
+            sync_s = cs;
+        }
+        rows.push(vec![
+            window.to_string(),
+            format!("{cs:.2}"),
+            format!("{:.2}x", ratio(sync_s, cs)),
+        ]);
+    }
+    print_table(&["window", "CS latency (s)", "speedup vs sync"], &rows);
+    print_row("speedup saturates once the window covers the batch's quorum round-trips");
 }

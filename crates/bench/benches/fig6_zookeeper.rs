@@ -49,6 +49,7 @@ fn main() {
     let mut rows = Vec::new();
     for &batch in batches {
         let music = cell(Mode::Music, threads, batch, 10, warmup, window);
+        let piped = cell(Mode::MusicPipelined(16), threads, batch, 10, warmup, window);
         let mscp = cell(Mode::Mscp, threads, batch, 10, warmup, window);
         let zk = zk_write_throughput(
             LatencyProfile::one_us(),
@@ -62,24 +63,29 @@ fn main() {
         rows.push(vec![
             batch.to_string(),
             format!("{music:.0}"),
+            format!("{piped:.0}"),
             format!("{mscp:.0}"),
             format!("{zk:.0}"),
             format!("{:.2}x", ratio(music, zk)),
             format!("{:.2}x", ratio(music, mscp)),
+            format!("{:.2}x", ratio(piped, music)),
         ]);
     }
     print_table(
         &[
             "batch",
             "MUSIC",
+            "MUSIC-P16",
             "MSCP",
             "ZooKeeper",
             "MUSIC/ZK",
             "MUSIC/MSCP",
+            "P16/MUSIC",
         ],
         &rows,
     );
     print_row("paper: MUSIC/ZK ~1.4-2.3x, MUSIC/MSCP ~2-3.5x; MUSIC roughly doubles 10->1000");
+    print_row("beyond the paper: MUSIC-P16 pipelines critical puts (window 16, flush on release)");
 
     print_header(
         "Fig. 6(b)",

@@ -36,21 +36,42 @@ fn main() {
         .section
         .mean()
         .as_secs_f64();
+        let piped = music_cs_latency(
+            LatencyProfile::one_us(),
+            Mode::MusicPipelined(16),
+            batch,
+            10,
+            sections,
+            9,
+        )
+        .section
+        .mean()
+        .as_secs_f64();
         let cdb = cdb_cs_latency(LatencyProfile::one_us(), batch, 10, sections, 9)
             .mean()
             .as_secs_f64();
         rows.push(vec![
             batch.to_string(),
             format!("{music:.2}"),
+            format!("{piped:.2}"),
             format!("{cdb:.2}"),
             format!("{:.2}x", ratio(cdb, music)),
+            format!("{:.2}x", ratio(music, piped)),
         ]);
     }
     print_table(
-        &["batch", "MUSIC (s)", "CockroachDB (s)", "Cdb/MUSIC"],
+        &[
+            "batch",
+            "MUSIC (s)",
+            "MUSIC-P16 (s)",
+            "CockroachDB (s)",
+            "Cdb/MUSIC",
+            "MUSIC/P16",
+        ],
         &rows,
     );
     print_row("paper: CockroachDB ~2-4x slower, widening with batch size");
+    print_row("beyond the paper: MUSIC-P16 pipelines the batch's puts (flush on release)");
 
     print_header(
         "Fig. 7(b)",

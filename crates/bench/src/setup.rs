@@ -1,6 +1,6 @@
 //! Deployment construction shared by every experiment.
 
-use music::{MusicConfig, MusicSystem, MusicSystemBuilder, PutMode};
+use music::{MusicConfig, MusicSystem, MusicSystemBuilder, PutMode, WriteMode};
 use music_simnet::net::NetConfig;
 use music_simnet::time::SimDuration;
 use music_simnet::topology::LatencyProfile;
@@ -12,6 +12,9 @@ pub enum Mode {
     Music,
     /// MSCP: critical puts are sequentially consistent LWT writes.
     Mscp,
+    /// MUSIC with pipelined critical puts: quorum writes issued with this
+    /// in-flight window, flushed at release (the beyond-the-paper series).
+    MusicPipelined(usize),
 }
 
 impl std::fmt::Display for Mode {
@@ -19,13 +22,22 @@ impl std::fmt::Display for Mode {
         match self {
             Mode::Music => write!(f, "MUSIC"),
             Mode::Mscp => write!(f, "MSCP"),
+            Mode::MusicPipelined(w) => write!(f, "MUSIC-P{w}"),
         }
     }
 }
 
 impl Mode {
-    /// Both variants, paper order.
+    /// Both paper variants, paper order.
     pub const BOTH: [Mode; 2] = [Mode::Music, Mode::Mscp];
+
+    /// The in-flight put window runners should use (1 = synchronous).
+    pub fn window(self) -> usize {
+        match self {
+            Mode::MusicPipelined(w) => w.max(1),
+            _ => 1,
+        }
+    }
 }
 
 /// The calibrated network cost model used by all experiments: 20 µs fixed
@@ -53,8 +65,12 @@ pub fn fast_mode() -> bool {
 pub fn bench_music_config(mode: Mode) -> MusicConfig {
     MusicConfig {
         put_mode: match mode {
-            Mode::Music => PutMode::Quorum,
+            Mode::Music | Mode::MusicPipelined(_) => PutMode::Quorum,
             Mode::Mscp => PutMode::Lwt,
+        },
+        write_mode: match mode {
+            Mode::MusicPipelined(w) => WriteMode::Pipelined { window: w },
+            _ => WriteMode::Sync,
         },
         t_max: SimDuration::from_secs(3_600),
         ..MusicConfig::default()
@@ -108,6 +124,13 @@ mod tests {
     fn modes_display_like_the_paper() {
         assert_eq!(Mode::Music.to_string(), "MUSIC");
         assert_eq!(Mode::Mscp.to_string(), "MSCP");
+        assert_eq!(Mode::MusicPipelined(16).to_string(), "MUSIC-P16");
+        assert_eq!(Mode::Music.window(), 1);
+        assert_eq!(Mode::MusicPipelined(16).window(), 16);
+        assert_eq!(Mode::MusicPipelined(0).window(), 1);
+        assert!(bench_music_config(Mode::MusicPipelined(8))
+            .write_mode
+            .is_pipelined());
     }
 
     #[test]

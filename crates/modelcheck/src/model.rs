@@ -67,6 +67,8 @@ pub struct Client {
     pub puts: u8,
     /// Time component of the next put.
     pub next_t: u8,
+    /// Issued-but-unacked pipelined puts (always 0 in the sync model).
+    pub pending: u8,
 }
 
 /// Forced-release daemon progress.
@@ -115,6 +117,11 @@ pub struct Scope {
     /// Allow preempted clients to keep issuing puts (stale local lock
     /// store view — the false-failure-detection scenario of §IV-B).
     pub stale_puts: bool,
+    /// In-flight window for pipelined `criticalPut`s (0 = synchronous
+    /// puts, the unextended model). With a window, a client may issue up
+    /// to this many puts without awaiting their acks; `criticalGet` and
+    /// `release` are flush barriers (enabled only at zero pending).
+    pub pipeline_window: u8,
 }
 
 impl Default for Scope {
@@ -125,6 +132,7 @@ impl Default for Scope {
             max_crashes: 1,
             max_forced: 2,
             stale_puts: true,
+            pipeline_window: 0,
         }
     }
 }
@@ -147,6 +155,13 @@ pub struct MusicModel {
     /// must complete first — otherwise the next holder can read a stale
     /// `false` flag and skip the synchronization.
     pub dequeue_before_flag_ack: bool,
+    /// Mutant: a pipelined `criticalGet` skips the flush barrier and may
+    /// read while own puts are still in flight — must break Latest-State.
+    pub get_without_flush: bool,
+    /// Mutant: a pipelined `release` skips the flush barrier, handing the
+    /// lock off with puts still in flight — must break the
+    /// critical-section invariant for the next holder.
+    pub release_without_flush: bool,
 }
 
 impl Default for MusicModel {
@@ -163,6 +178,8 @@ impl MusicModel {
             delta_zero: false,
             skip_sync: false,
             dequeue_before_flag_ack: false,
+            get_without_flush: false,
+            release_without_flush: false,
         }
     }
 
@@ -269,6 +286,7 @@ impl Model for MusicModel {
                     lock_ref: 0,
                     puts: 0,
                     next_t: 1,
+                    pending: 0,
                 };
                 self.scope.clients
             ],
@@ -363,10 +381,14 @@ impl Model for MusicModel {
                     out.push((format!("c{ci}:flagResetAck"), n));
                 }
                 Phase::Critical => {
+                    let window = self.scope.pipeline_window;
                     // criticalPut — allowed while (apparently) the holder.
                     let may_put =
                         is_head || (self.scope.stale_puts && !s.queue.contains(&c.lock_ref));
-                    if may_put && c.puts < self.scope.max_puts {
+                    if may_put
+                        && c.puts < self.scope.max_puts
+                        && (window == 0 || c.pending < window)
+                    {
                         let mut n = s.clone();
                         n.data.push(Pair {
                             ts: (c.lock_ref, c.next_t),
@@ -377,23 +399,48 @@ impl Model for MusicModel {
                         n.next_value += 1;
                         n.clients[ci].puts += 1;
                         n.clients[ci].next_t += 1;
-                        n.clients[ci].phase = Phase::PutWait;
+                        if window == 0 {
+                            n.clients[ci].phase = Phase::PutWait;
+                        } else {
+                            // Pipelined: stay in the critical section with
+                            // one more put in flight.
+                            n.clients[ci].pending += 1;
+                        }
                         out.push((format!("c{ci}:startPut"), n));
                     }
+                    // Pipelined acks arrive in any order, one at a time.
+                    if c.pending > 0 {
+                        for (pi, p) in s.data.iter().enumerate() {
+                            if !p.acked
+                                && p.writer == ci as u8
+                                && p.ts.0 == c.lock_ref
+                                && p.ts.1 >= 1
+                            {
+                                let mut n = s.clone();
+                                n.data[pi].acked = true;
+                                n.clients[ci].pending -= 1;
+                                out.push((format!("c{ci}:ackPut(t={})", p.ts.1), n));
+                            }
+                        }
+                    }
                     // criticalGet — only the true holder's gets are modeled
-                    // (a preempted client's get carries no guarantee).
-                    if is_head {
+                    // (a preempted client's get carries no guarantee). With
+                    // pipelining the get is a flush barrier: enabled only
+                    // once every own put is acked.
+                    if is_head && (c.pending == 0 || self.get_without_flush) {
                         for v in Self::data_read_candidates(s) {
                             let mut n = s.clone();
                             n.clients[ci].phase = Phase::GetWait(v);
                             out.push((format!("c{ci}:startGet({v})"), n));
                         }
                     }
-                    // releaseLock.
-                    let mut n = s.clone();
-                    n.queue.retain(|r| *r != c.lock_ref);
-                    n.clients[ci].phase = Phase::Done;
-                    out.push((format!("c{ci}:release"), n));
+                    // releaseLock — also a flush barrier under pipelining.
+                    if c.pending == 0 || self.release_without_flush {
+                        let mut n = s.clone();
+                        n.queue.retain(|r| *r != c.lock_ref);
+                        n.clients[ci].phase = Phase::Done;
+                        out.push((format!("c{ci}:release"), n));
+                    }
                 }
                 Phase::PutWait => {
                     let mut n = s.clone();
@@ -494,9 +541,12 @@ impl Model for MusicModel {
             let is_head = head == Some(c.lock_ref) && c.lock_ref != 0;
 
             // I2: Critical-Section Invariant — the lockholder in Critical
-            // or Getting state implies the data store is defined.
+            // or Getting state implies the data store is defined. A holder
+            // with pipelined puts still in flight is mid-put (the analogue
+            // of PutWait), so the invariant applies only at zero pending.
             if is_head
                 && matches!(c.phase, Phase::Critical | Phase::GetWait(_))
+                && c.pending == 0
                 && !Self::data_defined(s)
             {
                 return Err(format!(

@@ -153,6 +153,7 @@ fn three_client_scope_is_clean() {
         max_crashes: 1,
         max_forced: 2,
         stale_puts: true,
+        pipeline_window: 0,
     });
     let out = Checker {
         max_states: 20_000_000,
@@ -160,6 +161,92 @@ fn three_client_scope_is_clean() {
     }
     .run(&model);
     assert!(out.is_ok(), "{out:?}");
+}
+
+#[test]
+fn pipelined_scope_satisfies_all_invariants() {
+    // Pipelined puts: up to 2 in flight, acks in any order, flush barriers
+    // on get and release. The invariants must hold exactly as in the sync
+    // model.
+    let model = MusicModel::new(Scope {
+        max_puts: 2,
+        pipeline_window: 2,
+        ..Scope::default()
+    });
+    let out = Checker::default().run(&model);
+    match &out {
+        CheckOutcome::Ok {
+            states, truncated, ..
+        } => {
+            assert!(!truncated, "scope must be fully explored");
+            assert!(*states > 10_000, "non-trivial state space, got {states}");
+        }
+        CheckOutcome::Violation { message, trace, .. } => {
+            panic!(
+                "unexpected violation: {message}\ntrace:\n  {}",
+                trace.join("\n  ")
+            );
+        }
+    }
+}
+
+#[test]
+fn mutant_get_without_flush_is_caught() {
+    // A pipelined criticalGet that skips the flush barrier can read a
+    // value older than an own in-flight put — breaking Latest-State.
+    let model = MusicModel {
+        get_without_flush: true,
+        ..MusicModel::new(Scope {
+            max_puts: 2,
+            pipeline_window: 2,
+            ..Scope::default()
+        })
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("latest-state"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(!trace.is_empty());
+        }
+        CheckOutcome::Ok { .. } => panic!("get-without-flush mutant must violate Latest-State"),
+    }
+}
+
+#[test]
+fn mutant_release_without_flush_is_caught() {
+    // A pipelined release that skips the flush barrier hands the lock off
+    // while a put is still unacknowledged: the next holder enters a
+    // critical section over an undefined store.
+    let model = MusicModel {
+        release_without_flush: true,
+        ..MusicModel::new(Scope {
+            max_puts: 2,
+            pipeline_window: 2,
+            ..Scope::default()
+        })
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            // The earliest manifestation is the synchFlag-traces invariant:
+            // an unacknowledged write left behind by a dequeued writer with
+            // no flag raised; deeper in the space the next holder's
+            // critical-section invariant breaks too.
+            assert!(
+                message.contains("critical-section")
+                    || message.contains("latest-state")
+                    || message.contains("synchFlag"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(!trace.is_empty());
+        }
+        CheckOutcome::Ok { .. } => {
+            panic!("release-without-flush mutant must violate an invariant")
+        }
+    }
 }
 
 #[test]

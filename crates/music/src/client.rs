@@ -6,6 +6,21 @@
 //! the next replica. [`MusicClient`] encodes exactly that policy, and
 //! [`CriticalSection`] packages the Listing-1 pattern (create → poll
 //! acquire → critical ops → release).
+//!
+//! # Write modes
+//!
+//! Under [`WriteMode::Sync`] every [`CriticalSection::put`] awaits its
+//! quorum acknowledgment (one WAN RTT per put). Under
+//! [`WriteMode::Pipelined`] puts are *issued* and return immediately, with
+//! a bounded in-flight window; [`CriticalSection::flush`] — run implicitly
+//! by `release`, `get`, and multi-key crossings — awaits every outstanding
+//! ack before the section proceeds. A failed flush marks the `synchFlag`
+//! (the next holder resynchronizes, §IV-B), poisons the section, and fails
+//! the release, so entry consistency is preserved even when acknowledgments
+//! never arrive.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 
 use bytes::Bytes;
 
@@ -13,8 +28,9 @@ use music_lockstore::LockRef;
 use music_quorumstore::StoreError;
 use music_simnet::executor::Sim;
 
+use crate::config::WriteMode;
 use crate::error::{AcquireOutcome, CriticalError, MusicError};
-use crate::replica::MusicReplica;
+use crate::replica::{MusicReplica, PendingPut};
 use crate::stats::OpKind;
 
 /// A MUSIC client bound to an ordered list of replicas (closest first).
@@ -27,17 +43,39 @@ use crate::stats::OpKind;
 pub struct MusicClient {
     replicas: Vec<MusicReplica>,
     sim: Sim,
+    /// Per-client override of the deployment's configured write mode.
+    write_mode: Option<WriteMode>,
 }
 
 impl MusicClient {
     /// Creates a client that prefers `replicas[0]` and fails over in order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `replicas` is empty.
-    pub fn new(sim: Sim, replicas: Vec<MusicReplica>) -> Self {
-        assert!(!replicas.is_empty(), "a client needs at least one replica");
-        MusicClient { replicas, sim }
+    /// [`MusicError::NoReplicas`] if `replicas` is empty.
+    pub fn new(sim: Sim, replicas: Vec<MusicReplica>) -> Result<Self, MusicError> {
+        if replicas.is_empty() {
+            return Err(MusicError::NoReplicas);
+        }
+        Ok(MusicClient {
+            replicas,
+            sim,
+            write_mode: None,
+        })
+    }
+
+    /// This client with its write mode overridden (sections entered through
+    /// it pipeline or not regardless of the deployment config).
+    #[must_use]
+    pub fn with_write_mode(mut self, mode: WriteMode) -> Self {
+        self.write_mode = Some(mode);
+        self
+    }
+
+    /// The write mode sections entered through this client use.
+    pub fn write_mode(&self) -> WriteMode {
+        self.write_mode
+            .unwrap_or(self.primary().config().write_mode)
     }
 
     /// The replica currently preferred by this client.
@@ -51,7 +89,7 @@ impl MusicClient {
 
     /// Records one replica fail-over: bumps the global counter and, when
     /// tracing, emits a `clientFailover` event under the current trace.
-    fn note_failover(&self, op: &'static str, attempt: u32) {
+    fn note_failover(&self, op: &'static str, attempt: u32, cause: &'static str) {
         let rec = self.primary().recorder();
         if !rec.is_on() {
             return;
@@ -62,7 +100,49 @@ impl MusicClient {
                 self.sim.now().as_micros(),
                 self.sim.trace(),
                 self.primary().node().0,
-                music_telemetry::EventKind::ClientFailover { op, attempt },
+                music_telemetry::EventKind::ClientFailover { op, attempt, cause },
+            );
+        }
+    }
+
+    /// Records the start of a flush barrier over `pending` in-flight puts.
+    fn note_flush(&self, key: &str, lock_ref: LockRef, pending: u64) {
+        let rec = self.primary().recorder();
+        if !rec.is_on() {
+            return;
+        }
+        rec.count(music_telemetry::Scope::Global, "cs_flushes", 1);
+        if rec.is_tracing() {
+            rec.record(
+                self.sim.now().as_micros(),
+                self.sim.trace(),
+                self.primary().node().0,
+                music_telemetry::EventKind::CsFlush {
+                    key: key.to_string(),
+                    lock_ref: lock_ref.value(),
+                    pending,
+                },
+            );
+        }
+    }
+
+    /// Records a flush that could not acknowledge every in-flight put.
+    fn note_flush_failure(&self) {
+        let rec = self.primary().recorder();
+        if rec.is_on() {
+            rec.count(music_telemetry::Scope::Global, "flush_failures", 1);
+        }
+    }
+
+    /// Records one pipelined issue and the in-flight high-water mark.
+    fn note_inflight(&self, depth: usize) {
+        let rec = self.primary().recorder();
+        if rec.is_on() {
+            rec.count(music_telemetry::Scope::Global, "pipelined_puts", 1);
+            rec.gauge_max(
+                music_telemetry::Scope::Global,
+                "cs_inflight_peak",
+                depth as u64,
             );
         }
     }
@@ -79,30 +159,19 @@ impl MusicClient {
         Fut: std::future::Future<Output = Result<T, StoreError>>,
     {
         let budget = self.retries().max(1);
+        let mut last = None;
         for attempt in 0..budget {
             let replica = self.replicas[attempt as usize % self.replicas.len()].clone();
             match op(replica).await {
                 Ok(v) => return Ok(v),
-                Err(_) => {
-                    self.note_failover(op_name, attempt + 1);
+                Err(e) => {
+                    last = Some(e);
+                    self.note_failover(op_name, attempt + 1, e.code());
                     continue;
                 }
             }
         }
-        Err(MusicError::Unavailable)
-    }
-
-    /// `createLockRef` with fail-over.
-    ///
-    /// # Errors
-    ///
-    /// [`MusicError::Unavailable`] after the retry budget is exhausted.
-    pub async fn create_lock_ref(&self, key: &str) -> Result<LockRef, MusicError> {
-        self.with_failover("createLockRef", |r| {
-            let key = key.to_string();
-            async move { r.create_lock_ref(&key).await }
-        })
-        .await
+        Err(MusicError::Unavailable { last })
     }
 
     /// Polls `acquireLock` (with the configured back-off) until the lock is
@@ -113,7 +182,12 @@ impl MusicClient {
     /// * [`MusicError::NoLongerHolder`] — the reference was forcibly
     ///   released before being granted.
     /// * [`MusicError::Unavailable`] — repeated nacks from every replica.
-    pub async fn acquire_lock(&self, key: &str, lock_ref: LockRef) -> Result<(), MusicError> {
+    pub async fn acquire_lock(
+        &self,
+        key: impl AsRef<str>,
+        lock_ref: LockRef,
+    ) -> Result<(), MusicError> {
+        let key = key.as_ref();
         let base_poll = self.primary().config().acquire_poll;
         // "Standard back-off mechanisms can be used to alleviate the cost
         // of polling" (§III-A): exponential, capped at 64× the base.
@@ -131,18 +205,32 @@ impl MusicClient {
                     poll = (poll * 2).min(poll_cap);
                 }
                 Ok(AcquireOutcome::NoLongerHolder) => return Err(MusicError::NoLongerHolder),
-                Err(_) => {
+                Err(e) => {
                     consecutive_failures += 1;
                     if consecutive_failures >= self.retries().max(1) {
-                        return Err(MusicError::Unavailable);
+                        return Err(MusicError::Unavailable { last: Some(e) });
                     }
                     replica_idx += 1; // fail over
-                    self.note_failover("acquireLock", consecutive_failures);
+                    self.note_failover("acquireLock", consecutive_failures, e.code());
                     self.sim.sleep(poll).await;
                     poll = (poll * 2).min(poll_cap);
                 }
             }
         }
+    }
+
+    /// `createLockRef` with fail-over.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::Unavailable`] after the retry budget is exhausted.
+    pub async fn create_lock_ref(&self, key: impl AsRef<str>) -> Result<LockRef, MusicError> {
+        let key = key.as_ref();
+        self.with_failover("createLockRef", |r| {
+            let key = key.to_string();
+            async move { r.create_lock_ref(&key).await }
+        })
+        .await
     }
 
     /// One retried critical operation (put/get share this policy):
@@ -160,6 +248,7 @@ impl MusicClient {
         let poll = self.primary().config().acquire_poll;
         let budget = self.retries().max(1);
         let mut failures = 0;
+        let mut last = None;
         let mut replica_idx = 0usize;
         loop {
             let replica = self.replicas[replica_idx % self.replicas.len()].clone();
@@ -168,26 +257,27 @@ impl MusicClient {
                 Err(CriticalError::NotYetHolder) => {
                     failures += 1;
                     if failures >= budget {
-                        return Err(MusicError::Unavailable);
+                        return Err(MusicError::Unavailable { last });
                     }
                     // A persistently stale local lock-store view at one
                     // replica must not starve the holder: rotate replicas
                     // after a few polls.
                     if failures % 4 == 0 {
                         replica_idx += 1;
-                        self.note_failover(op_name, failures);
+                        self.note_failover(op_name, failures, "notYetHolder");
                     }
                     self.sim.sleep(poll).await;
                 }
                 Err(CriticalError::NoLongerHolder) => return Err(MusicError::NoLongerHolder),
                 Err(CriticalError::Expired) => return Err(MusicError::Expired),
-                Err(CriticalError::Store(_)) => {
+                Err(CriticalError::Store(e)) => {
                     failures += 1;
+                    last = Some(e);
                     if failures >= budget {
-                        return Err(MusicError::Unavailable);
+                        return Err(MusicError::Unavailable { last });
                     }
                     replica_idx += 1;
-                    self.note_failover(op_name, failures);
+                    self.note_failover(op_name, failures, e.code());
                     self.sim.sleep(poll).await;
                 }
             }
@@ -204,10 +294,12 @@ impl MusicClient {
     /// (§III-A).
     pub async fn critical_put(
         &self,
-        key: &str,
+        key: impl AsRef<str>,
         lock_ref: LockRef,
-        value: Bytes,
+        value: impl Into<Bytes>,
     ) -> Result<(), MusicError> {
+        let key = key.as_ref();
+        let value = value.into();
         self.critical_with_retry("criticalPut", |r| {
             let key = key.to_string();
             let value = value.clone();
@@ -223,9 +315,10 @@ impl MusicClient {
     /// Same as [`MusicClient::critical_put`].
     pub async fn critical_get(
         &self,
-        key: &str,
+        key: impl AsRef<str>,
         lock_ref: LockRef,
     ) -> Result<Option<Bytes>, MusicError> {
+        let key = key.as_ref();
         self.critical_with_retry("criticalGet", |r| {
             let key = key.to_string();
             async move { r.critical_get(&key, lock_ref).await }
@@ -238,7 +331,12 @@ impl MusicClient {
     /// # Errors
     ///
     /// [`MusicError::Unavailable`] after the retry budget is exhausted.
-    pub async fn release_lock(&self, key: &str, lock_ref: LockRef) -> Result<(), MusicError> {
+    pub async fn release_lock(
+        &self,
+        key: impl AsRef<str>,
+        lock_ref: LockRef,
+    ) -> Result<(), MusicError> {
+        let key = key.as_ref();
         self.with_failover("releaseLock", |r| {
             let key = key.to_string();
             async move { r.release_lock(&key, lock_ref).await }
@@ -251,7 +349,8 @@ impl MusicClient {
     /// # Errors
     ///
     /// [`MusicError::Unavailable`] after the retry budget is exhausted.
-    pub async fn get(&self, key: &str) -> Result<Option<Bytes>, MusicError> {
+    pub async fn get(&self, key: impl AsRef<str>) -> Result<Option<Bytes>, MusicError> {
+        let key = key.as_ref();
         self.with_failover("eventualGet", |r| {
             let key = key.to_string();
             async move { r.get(&key).await }
@@ -264,7 +363,13 @@ impl MusicClient {
     /// # Errors
     ///
     /// [`MusicError::Unavailable`] after the retry budget is exhausted.
-    pub async fn put(&self, key: &str, value: Bytes) -> Result<(), MusicError> {
+    pub async fn put(
+        &self,
+        key: impl AsRef<str>,
+        value: impl Into<Bytes>,
+    ) -> Result<(), MusicError> {
+        let key = key.as_ref();
+        let value = value.into();
         self.with_failover("eventualPut", |r| {
             let key = key.to_string();
             let value = value.clone();
@@ -280,7 +385,8 @@ impl MusicClient {
     /// # Errors
     ///
     /// Any [`MusicError`] from the two steps.
-    pub async fn enter(&self, key: &str) -> Result<CriticalSection, MusicError> {
+    pub async fn enter(&self, key: impl AsRef<str>) -> Result<CriticalSection, MusicError> {
+        let key = key.as_ref();
         let lock_ref = self.create_lock_ref(key).await?;
         let entered_at = self.sim.now();
         self.acquire_lock(key, lock_ref).await?;
@@ -289,6 +395,9 @@ impl MusicClient {
             key: key.to_string(),
             lock_ref,
             entered_at,
+            write_mode: self.write_mode(),
+            pending: RefCell::new(VecDeque::new()),
+            poisoned: Cell::new(None),
         })
     }
 
@@ -300,14 +409,16 @@ impl MusicClient {
     ///
     /// # Errors
     ///
-    /// Any [`MusicError`] from the per-key steps.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `keys` is empty.
-    pub async fn enter_many(&self, keys: &[&str]) -> Result<MultiCriticalSection, MusicError> {
-        assert!(!keys.is_empty(), "enter_many needs at least one key");
-        let mut sorted: Vec<&str> = keys.to_vec();
+    /// [`MusicError::EmptyKeySet`] for an empty `keys`, otherwise any
+    /// [`MusicError`] from the per-key steps.
+    pub async fn enter_many(
+        &self,
+        keys: &[impl AsRef<str>],
+    ) -> Result<MultiCriticalSection, MusicError> {
+        if keys.is_empty() {
+            return Err(MusicError::EmptyKeySet);
+        }
+        let mut sorted: Vec<&str> = keys.iter().map(AsRef::as_ref).collect();
         sorted.sort_unstable();
         sorted.dedup();
         let mut sections: Vec<CriticalSection> = Vec::with_capacity(sorted.len());
@@ -344,30 +455,56 @@ impl MultiCriticalSection {
         self.sections
             .iter()
             .find(|s| s.key() == key)
-            .ok_or(MusicError::NoLongerHolder)
+            .ok_or(MusicError::NotInSection)
     }
 
-    /// `criticalGet` on one of the held keys.
+    /// Flush barrier on key crossings: before operating on `key`, every
+    /// *other* section's pipelined writes are flushed, so per-key program
+    /// order inside the multi-section is acknowledged in the order the
+    /// application crossed between keys.
+    async fn flush_others(&self, key: &str) -> Result<(), MusicError> {
+        for s in &self.sections {
+            if s.key() != key && s.in_flight() > 0 {
+                s.flush().await?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `criticalGet` on one of the held keys. Crossing to `key` flushes the
+    /// other sections' pipelined writes first.
     ///
     /// # Errors
     ///
-    /// [`MusicError::NoLongerHolder`] if `key` is not part of this critical
+    /// [`MusicError::NotInSection`] if `key` is not part of this critical
     /// section; otherwise see [`MusicClient::critical_get`].
-    pub async fn get(&self, key: &str) -> Result<Option<Bytes>, MusicError> {
-        self.section(key)?.get().await
+    pub async fn get(&self, key: impl AsRef<str>) -> Result<Option<Bytes>, MusicError> {
+        let key = key.as_ref();
+        let section = self.section(key)?;
+        self.flush_others(key).await?;
+        section.get().await
     }
 
-    /// `criticalPut` on one of the held keys.
+    /// `criticalPut` on one of the held keys. Crossing to `key` flushes the
+    /// other sections' pipelined writes first.
     ///
     /// # Errors
     ///
-    /// [`MusicError::NoLongerHolder`] if `key` is not part of this critical
+    /// [`MusicError::NotInSection`] if `key` is not part of this critical
     /// section; otherwise see [`MusicClient::critical_put`].
-    pub async fn put(&self, key: &str, value: Bytes) -> Result<(), MusicError> {
-        self.section(key)?.put(value).await
+    pub async fn put(
+        &self,
+        key: impl AsRef<str>,
+        value: impl Into<Bytes>,
+    ) -> Result<(), MusicError> {
+        let key = key.as_ref();
+        let section = self.section(key)?;
+        self.flush_others(key).await?;
+        section.put(value).await
     }
 
     /// Releases every held lock, in reverse (anti-lexicographic) order.
+    /// Each per-key release flushes that key's pipelined writes first.
     ///
     /// # Errors
     ///
@@ -389,13 +526,21 @@ impl MultiCriticalSection {
 /// A held critical section: the Listing-1 pattern as a guard object.
 ///
 /// Call [`CriticalSection::release`] when done; merely dropping the guard
-/// leaves the lock to the failure detector (as a crashed client would).
+/// leaves the lock to the failure detector (as a crashed client would) —
+/// including any pipelined writes still in flight.
 #[derive(Debug)]
 pub struct CriticalSection {
     client: MusicClient,
     key: String,
     lock_ref: LockRef,
     entered_at: music_simnet::time::SimTime,
+    write_mode: WriteMode,
+    /// Issued-but-unacknowledged pipelined puts, in issue order.
+    pending: RefCell<VecDeque<PendingPut>>,
+    /// Set once a flush fails: every further operation (including release)
+    /// fails with this error, because an unacknowledged write may still
+    /// land and only a resynchronizing handoff is safe (§III-A).
+    poisoned: Cell<Option<MusicError>>,
 }
 
 impl CriticalSection {
@@ -409,34 +554,185 @@ impl CriticalSection {
         &self.key
     }
 
+    /// The write mode this section was entered with.
+    pub fn write_mode(&self) -> WriteMode {
+        self.write_mode
+    }
+
+    /// How many pipelined puts are currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    fn check_poisoned(&self) -> Result<(), MusicError> {
+        match self.poisoned.get() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// `criticalGet` of the guarded key — guaranteed to return the *true
-    /// value* (Latest-State Property).
+    /// value* (Latest-State Property). A flush barrier: all pipelined
+    /// writes are acknowledged before the read is issued.
     ///
     /// # Errors
     ///
-    /// See [`MusicClient::critical_get`].
+    /// See [`MusicClient::critical_get`]; also any flush error.
     pub async fn get(&self) -> Result<Option<Bytes>, MusicError> {
+        self.flush().await?;
         self.client.critical_get(&self.key, self.lock_ref).await
     }
 
     /// `criticalPut` of the guarded key — on success the written value is
     /// the new true value.
     ///
+    /// Under [`WriteMode::Sync`] this awaits the quorum acknowledgment;
+    /// under [`WriteMode::Pipelined`] it behaves like
+    /// [`CriticalSection::put_async`].
+    ///
     /// # Errors
     ///
     /// See [`MusicClient::critical_put`].
-    pub async fn put(&self, value: Bytes) -> Result<(), MusicError> {
-        self.client
-            .critical_put(&self.key, self.lock_ref, value)
-            .await
+    pub async fn put(&self, value: impl Into<Bytes>) -> Result<(), MusicError> {
+        match self.write_mode {
+            WriteMode::Sync => {
+                self.check_poisoned()?;
+                self.client
+                    .critical_put(&self.key, self.lock_ref, value)
+                    .await
+            }
+            WriteMode::Pipelined { .. } => self.put_async(value).await,
+        }
     }
 
-    /// Exits the critical section, releasing the lock.
+    /// Issues a `criticalPut` without awaiting its quorum ack. Returns once
+    /// the write is issued; if the in-flight window is full, the oldest
+    /// pending put is awaited (and re-driven if it failed) first.
+    ///
+    /// Available in every write mode — in [`WriteMode::Sync`] the window is
+    /// 1, i.e. each issue first drains the previous put.
     ///
     /// # Errors
     ///
+    /// Issue errors ([`MusicError::NoLongerHolder`], [`MusicError::Expired`],
+    /// [`MusicError::Unavailable`]) and any error from settling the oldest
+    /// pending put. After an error the section is poisoned: see
+    /// [`CriticalSection::flush`].
+    pub async fn put_async(&self, value: impl Into<Bytes>) -> Result<(), MusicError> {
+        self.check_poisoned()?;
+        let value = value.into();
+        let window = self.write_mode.window();
+        loop {
+            let oldest = {
+                let mut pending = self.pending.borrow_mut();
+                if pending.len() < window {
+                    break;
+                }
+                pending.pop_front().expect("window is non-empty")
+            };
+            self.settle(oldest).await?;
+        }
+        let key = self.key.clone();
+        let lock_ref = self.lock_ref;
+        let pp = self
+            .client
+            .critical_with_retry("criticalPut", move |r| {
+                let key = key.clone();
+                let value = value.clone();
+                async move { r.critical_put_async(&key, lock_ref, value).await }
+            })
+            .await?;
+        let depth = {
+            let mut pending = self.pending.borrow_mut();
+            pending.push_back(pp);
+            pending.len()
+        };
+        self.client.note_inflight(depth);
+        Ok(())
+    }
+
+    /// Awaits one pending put; a store failure re-drives the write with its
+    /// original stamp (program order inside the section must not be
+    /// reordered by retries). A terminal failure poisons the section.
+    async fn settle(&self, pp: PendingPut) -> Result<(), MusicError> {
+        let (value, elapsed, res) = pp.outcome().await;
+        let err = match res {
+            Ok(()) => return Ok(()),
+            Err(CriticalError::NoLongerHolder) => MusicError::NoLongerHolder,
+            Err(CriticalError::Expired) => MusicError::Expired,
+            Err(CriticalError::NotYetHolder) | Err(CriticalError::Store(_)) => {
+                let key = self.key.clone();
+                let lock_ref = self.lock_ref;
+                match self
+                    .client
+                    .critical_with_retry("criticalPut", move |r| {
+                        let key = key.clone();
+                        let value = value.clone();
+                        async move { r.critical_put_resume(&key, lock_ref, value, elapsed).await }
+                    })
+                    .await
+                {
+                    Ok(()) => return Ok(()),
+                    Err(e) => e,
+                }
+            }
+        };
+        // Some write of this section may never be acknowledged: poison the
+        // section, drop the remaining pending puts (their writes keep
+        // propagating, like a crashed holder's), and mark the synchFlag so
+        // the next holder resynchronizes. The mark is best-effort — if it
+        // fails too, the failed release leaves the reference queued and the
+        // failure detector's forcedRelease sets the flag before dequeueing.
+        self.poisoned.set(Some(err));
+        self.pending.borrow_mut().clear();
+        self.client.note_flush_failure();
+        self.mark_synch_best_effort().await;
+        Err(err)
+    }
+
+    /// One `markSynch` attempt per replica, stopping at the first success.
+    async fn mark_synch_best_effort(&self) {
+        for r in &self.client.replicas {
+            if r.mark_synch(&self.key, self.lock_ref).await.is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// Flush barrier: awaits every outstanding pipelined put, re-driving
+    /// failed writes. No-op when nothing is in flight.
+    ///
+    /// # Errors
+    ///
+    /// The settling error, after marking the `synchFlag` and poisoning the
+    /// section — all further operations (including release) fail, leaving
+    /// the lock to the failure detector's resynchronizing preemption.
+    pub async fn flush(&self) -> Result<(), MusicError> {
+        self.check_poisoned()?;
+        let n = self.pending.borrow().len();
+        if n == 0 {
+            return Ok(());
+        }
+        self.client.note_flush(&self.key, self.lock_ref, n as u64);
+        loop {
+            let Some(pp) = self.pending.borrow_mut().pop_front() else {
+                return Ok(());
+            };
+            self.settle(pp).await?;
+        }
+    }
+
+    /// Exits the critical section, releasing the lock. A flush barrier: the
+    /// lock is handed off only after every pipelined write of this section
+    /// is quorum-acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Any flush error (the lock is then *not* released — the failure
+    /// detector will preempt it with a resynchronizing `forcedRelease`), or
     /// [`MusicError::Unavailable`] if no replica can reach the lock store.
     pub async fn release(self) -> Result<(), MusicError> {
+        self.flush().await?;
         let res = self.client.release_lock(&self.key, self.lock_ref).await;
         if res.is_ok() {
             self.client.primary().stats().record(

@@ -30,6 +30,44 @@ pub enum PeekMode {
     Quorum,
 }
 
+/// How a [`crate::client::CriticalSection`] issues its `criticalPut`s.
+///
+/// Entry consistency only requires a holder's writes to be visible to the
+/// *next* holder, so intra-section writes need not each wait for their
+/// quorum ack — they only have to be acknowledged by the time the lock is
+/// handed off. [`WriteMode::Pipelined`] exploits that: puts are issued
+/// asynchronously with a bounded in-flight window, and `release` /
+/// `criticalGet` / multi-key crossings act as flush barriers.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum WriteMode {
+    /// Every `put` awaits its quorum ack before returning (the paper's
+    /// behaviour; one WAN RTT per put).
+    #[default]
+    Sync,
+    /// `put`s return once issued; at most `window` quorum writes are in
+    /// flight at a time. A window of 1 degenerates to `Sync` order with
+    /// deferred error reporting.
+    Pipelined {
+        /// Maximum quorum writes in flight per critical section.
+        window: usize,
+    },
+}
+
+impl WriteMode {
+    /// The in-flight window this mode allows (1 for [`WriteMode::Sync`]).
+    pub fn window(self) -> usize {
+        match self {
+            WriteMode::Sync => 1,
+            WriteMode::Pipelined { window } => window.max(1),
+        }
+    }
+
+    /// Whether puts are issued asynchronously.
+    pub fn is_pipelined(self) -> bool {
+        matches!(self, WriteMode::Pipelined { .. })
+    }
+}
+
 /// Tunables of a MUSIC deployment.
 #[derive(Clone, Debug)]
 pub struct MusicConfig {
@@ -53,6 +91,8 @@ pub struct MusicConfig {
     pub put_mode: PutMode,
     /// How lock-queue heads are peeked (local vs. quorum; ablation).
     pub peek_mode: PeekMode,
+    /// How critical sections issue their puts (sync vs. pipelined).
+    pub write_mode: WriteMode,
 }
 
 impl Default for MusicConfig {
@@ -65,6 +105,7 @@ impl Default for MusicConfig {
             failure_timeout: SimDuration::from_secs(30),
             put_mode: PutMode::Quorum,
             peek_mode: PeekMode::Local,
+            write_mode: WriteMode::Sync,
         }
     }
 }
@@ -74,6 +115,15 @@ impl MusicConfig {
     pub fn mscp() -> Self {
         MusicConfig {
             put_mode: PutMode::Lwt,
+            ..Self::default()
+        }
+    }
+
+    /// A config whose critical sections pipeline their puts with the given
+    /// in-flight window.
+    pub fn pipelined(window: usize) -> Self {
+        MusicConfig {
+            write_mode: WriteMode::Pipelined { window },
             ..Self::default()
         }
     }
@@ -90,5 +140,15 @@ mod tests {
         assert!(c.acquire_poll < c.failure_timeout);
         assert_eq!(c.put_mode, PutMode::Quorum);
         assert_eq!(MusicConfig::mscp().put_mode, PutMode::Lwt);
+        assert_eq!(c.write_mode, WriteMode::Sync);
+    }
+
+    #[test]
+    fn write_mode_windows_are_positive() {
+        assert_eq!(WriteMode::Sync.window(), 1);
+        assert_eq!(WriteMode::Pipelined { window: 16 }.window(), 16);
+        assert_eq!(WriteMode::Pipelined { window: 0 }.window(), 1);
+        assert!(MusicConfig::pipelined(8).write_mode.is_pipelined());
+        assert!(!WriteMode::Sync.is_pipelined());
     }
 }

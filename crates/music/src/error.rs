@@ -67,25 +67,69 @@ impl From<StoreError> for CriticalError {
 pub enum MusicError {
     /// Retries across MUSIC replicas exhausted without success; the client
     /// must not attempt further operations on this key in this critical
-    /// section.
-    Unavailable,
+    /// section. Carries the last underlying store error, when one was
+    /// observed.
+    Unavailable {
+        /// The final [`StoreError`] before the retry budget ran out
+        /// (`None` when the failure was not store-level, e.g. a holder
+        /// view that never caught up).
+        last: Option<StoreError>,
+    },
     /// The client was told it is no longer the lock holder.
     NoLongerHolder,
     /// The critical section expired (duration bound `T`).
     Expired,
+    /// A client was constructed with an empty replica list.
+    NoReplicas,
+    /// `enter_many` was called with an empty key set.
+    EmptyKeySet,
+    /// A multi-key operation named a key that is not part of the held
+    /// section.
+    NotInSection,
+}
+
+impl MusicError {
+    /// An [`MusicError::Unavailable`] with no underlying store error.
+    pub fn unavailable() -> Self {
+        MusicError::Unavailable { last: None }
+    }
+
+    /// The last underlying store error, if this is
+    /// [`MusicError::Unavailable`] with one attached.
+    pub fn store_cause(&self) -> Option<StoreError> {
+        match self {
+            MusicError::Unavailable { last } => *last,
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for MusicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MusicError::Unavailable => write!(f, "operation failed after retries at all replicas"),
+            MusicError::Unavailable { last: None } => {
+                write!(f, "operation failed after retries at all replicas")
+            }
+            MusicError::Unavailable { last: Some(e) } => {
+                write!(f, "operation failed after retries at all replicas: {e}")
+            }
             MusicError::NoLongerHolder => write!(f, "you are no longer the lock holder"),
             MusicError::Expired => write!(f, "critical section exceeded its maximum duration"),
+            MusicError::NoReplicas => write!(f, "a client needs at least one replica"),
+            MusicError::EmptyKeySet => write!(f, "a multi-key section needs at least one key"),
+            MusicError::NotInSection => write!(f, "key is not part of this critical section"),
         }
     }
 }
 
-impl std::error::Error for MusicError {}
+impl std::error::Error for MusicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MusicError::Unavailable { last: Some(e) } => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -105,5 +149,21 @@ mod tests {
         assert!(CriticalError::Expired
             .to_string()
             .contains("maximum duration"));
+        assert!(MusicError::NotInSection.to_string().contains("not part"));
+        assert!(MusicError::EmptyKeySet.to_string().contains("one key"));
+        assert!(MusicError::NoReplicas.to_string().contains("one replica"));
+    }
+
+    #[test]
+    fn unavailable_carries_the_last_store_error() {
+        let plain = MusicError::unavailable();
+        assert_eq!(plain.store_cause(), None);
+        assert!(std::error::Error::source(&plain).is_none());
+        let e = MusicError::Unavailable {
+            last: Some(StoreError::Contention),
+        };
+        assert_eq!(e.store_cause(), Some(StoreError::Contention));
+        assert!(e.to_string().contains("contention"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

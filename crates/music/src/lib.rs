@@ -62,11 +62,11 @@ pub mod timestamp;
 pub mod watchdog;
 
 pub use client::{CriticalSection, MultiCriticalSection, MusicClient};
-pub use config::{MusicConfig, PeekMode, PutMode};
+pub use config::{MusicConfig, PeekMode, PutMode, WriteMode};
 pub use error::{AcquireOutcome, CriticalError, MusicError};
 pub use music_lockstore::LockRef;
 pub use repair::RepairDaemon;
-pub use replica::MusicReplica;
+pub use replica::{MusicReplica, PendingPut};
 pub use stats::{OpKind, OpStats};
 pub use system::{MusicSystem, MusicSystemBuilder};
 pub use timestamp::{V2s, VectorTimestamp};

@@ -11,6 +11,7 @@ use bytes::Bytes;
 
 use music_lockstore::{LockRef, LockStore};
 use music_quorumstore::{DataRow, Put, ReplicatedTable, RowSnapshot, StoreError};
+use music_simnet::executor::JoinHandle;
 use music_simnet::net::{Network, NodeId};
 use music_simnet::time::{SimDuration, SimTime};
 use music_telemetry::{EventKind, Recorder, Scope, TraceId};
@@ -422,6 +423,158 @@ impl MusicReplica {
         Ok(())
     }
 
+    /// Pipelined `criticalPut`: runs the holder guard and stamps the write
+    /// like [`MusicReplica::critical_put`], but returns as soon as the
+    /// quorum write is *issued*. The returned [`PendingPut`] resolves when
+    /// a quorum acknowledges (emitting `critPutAck` at that instant).
+    ///
+    /// Always a quorum write — the pipelined window is defined over the
+    /// quorum store's commutative last-write-wins semantics, which LWTs do
+    /// not have.
+    ///
+    /// # Errors
+    ///
+    /// See [`CriticalError`] for the *issue* step (guard / local peek).
+    /// Store errors of the write itself surface when the pending put is
+    /// awaited; such a write is unacknowledged and may still land.
+    pub async fn critical_put_async(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        value: Bytes,
+    ) -> Result<PendingPut, CriticalError> {
+        Self::assert_client_key(key);
+        let span = self.span_start("criticalPut", key);
+        let t0 = self.now();
+        let elapsed = match self.critical_guard(key, lock_ref).await {
+            Ok(e) => e,
+            Err(e) => {
+                self.span_end(span, "criticalPut", key, false);
+                return Err(e);
+            }
+        };
+        // Strictly above the synchronization re-write at elapsed 0.
+        let elapsed = elapsed.max(SimDuration::from_micros(1));
+        let stamp = self.v2s.scalar(VectorTimestamp::new(lock_ref, elapsed));
+        let digest = music_telemetry::digest(&value);
+        self.emit(|| EventKind::CritPutStart {
+            key: key.to_string(),
+            lock_ref: lock_ref.value(),
+            digest,
+        });
+        // The write itself runs detached (inheriting this span's trace
+        // tag), so the caller can keep issuing puts while it is in flight.
+        let me = self.clone();
+        let key_owned = key.to_string();
+        let write =
+            self.data
+                .write_quorum_spawned(self.node, key, Put::value(value.clone()), stamp);
+        let handle = self.net.sim().spawn(async move {
+            let r = write.await;
+            if r.is_ok() {
+                me.stats.record(OpKind::CriticalPut, me.now() - t0);
+                me.count("crit_puts", 1);
+                me.emit(|| EventKind::CritPutAck {
+                    key: key_owned.clone(),
+                    lock_ref: lock_ref.value(),
+                    digest,
+                });
+            }
+            r.map_err(CriticalError::from)
+        });
+        self.span_end(span, "criticalPut", key, true);
+        Ok(PendingPut {
+            value,
+            elapsed,
+            handle,
+        })
+    }
+
+    /// Re-drives a pipelined put whose quorum write failed, replaying the
+    /// **original** stamp (`v2s(lock_ref, elapsed)`): a retry must not mint
+    /// a fresh (higher) stamp, or a retried early write could clobber a
+    /// later write of the same section under last-write-wins. Emits only
+    /// `critPutAck` on success — the original `critPutStart` is still the
+    /// outstanding logical write.
+    ///
+    /// # Errors
+    ///
+    /// See [`CriticalError`]; the guard re-runs against current state, so a
+    /// preempted or expired holder is rejected here.
+    pub async fn critical_put_resume(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        value: Bytes,
+        elapsed: SimDuration,
+    ) -> Result<(), CriticalError> {
+        Self::assert_client_key(key);
+        let span = self.span_start("criticalPut", key);
+        let t0 = self.now();
+        let r = self
+            .critical_put_resume_inner(key, lock_ref, value, elapsed, t0)
+            .await;
+        self.span_end(span, "criticalPut", key, r.is_ok());
+        r
+    }
+
+    async fn critical_put_resume_inner(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        value: Bytes,
+        elapsed: SimDuration,
+        t0: SimTime,
+    ) -> Result<(), CriticalError> {
+        self.critical_guard(key, lock_ref).await?;
+        let stamp = self.v2s.scalar(VectorTimestamp::new(lock_ref, elapsed));
+        let digest = music_telemetry::digest(&value);
+        self.data
+            .write_quorum(self.node, key, Put::value(value), stamp)
+            .await?;
+        self.stats.record(OpKind::CriticalPut, self.now() - t0);
+        self.count("crit_puts", 1);
+        self.emit(|| EventKind::CritPutAck {
+            key: key.to_string(),
+            lock_ref: lock_ref.value(),
+            digest,
+        });
+        Ok(())
+    }
+
+    /// Marks `key`'s `synchFlag` on behalf of a holder whose flush failed:
+    /// some pipelined write is unacknowledged, so the *next* holder must
+    /// resynchronize exactly as after a forced release. Stamped at
+    /// `v2s(lock_ref, 0) + δ` — above this holder's grant-time reset,
+    /// below the next holder's (§IV-B).
+    ///
+    /// Best-effort from the client's perspective: if this write also fails,
+    /// safety still holds because the failed flush fails the release, the
+    /// reference stays queued, and the failure detector's `forcedRelease`
+    /// quorum-writes the flag before dequeueing it.
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] when the data store cannot reach a quorum.
+    pub async fn mark_synch(&self, key: &str, lock_ref: LockRef) -> Result<(), StoreError> {
+        Self::assert_client_key(key);
+        let span = self.span_start("markSynch", key);
+        let stamp = self.v2s.forced_release_stamp(lock_ref, self.cfg.delta);
+        let r = self
+            .data
+            .write_quorum(self.node, &synch_key(key), Put::value(FLAG_TRUE), stamp)
+            .await;
+        if r.is_ok() {
+            self.count("synch_marks", 1);
+            self.emit(|| EventKind::SynchMark {
+                key: key.to_string(),
+                lock_ref: lock_ref.value(),
+            });
+        }
+        self.span_end(span, "markSynch", key, r.is_ok());
+        r
+    }
+
     /// `criticalGet`: reads the latest (true) value of `key` for the
     /// current lockholder. Cost: one value quorum read.
     ///
@@ -595,5 +748,52 @@ impl MusicReplica {
     ) -> Result<Option<(LockRef, Option<SimTime>)>, StoreError> {
         let head = self.peek(key).await?;
         Ok(head.map(|(r, e)| (r, e.start_time)))
+    }
+}
+
+/// A pipelined `criticalPut` that has been issued but not yet quorum
+/// acknowledged (see [`MusicReplica::critical_put_async`]).
+///
+/// Dropping a pending put does **not** cancel the write — it keeps
+/// propagating, exactly like a crashed holder's in-flight put.
+#[derive(Debug)]
+pub struct PendingPut {
+    value: Bytes,
+    elapsed: SimDuration,
+    handle: JoinHandle<Result<(), CriticalError>>,
+}
+
+impl PendingPut {
+    /// The value being written (for retries).
+    pub fn value(&self) -> &Bytes {
+        &self.value
+    }
+
+    /// Elapsed-in-section time the write was stamped with; a retry must
+    /// replay this stamp (see [`MusicReplica::critical_put_resume`]).
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Awaits the quorum acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// [`CriticalError::Store`] if the quorum write failed; the write is
+    /// then unacknowledged and may still land.
+    pub async fn wait(self) -> Result<(), CriticalError> {
+        self.handle.await
+    }
+
+    /// Awaits the acknowledgment, returning the retry context alongside
+    /// the outcome.
+    pub async fn outcome(self) -> (Bytes, SimDuration, Result<(), CriticalError>) {
+        let PendingPut {
+            value,
+            elapsed,
+            handle,
+        } = self;
+        let r = handle.await;
+        (value, elapsed, r)
     }
 }

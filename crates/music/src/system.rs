@@ -278,7 +278,7 @@ impl MusicSystem {
         let home = self.replicas[site].node();
         let mut ordered = self.replicas.clone();
         ordered.sort_by_key(|r| self.net.propagation(home, r.node()));
-        MusicClient::new(self.sim.clone(), ordered)
+        MusicClient::new(self.sim.clone(), ordered).expect("site has at least one replica")
     }
 
     /// Whether the data store is *defined* for `key` (§IV-A): fewer than a

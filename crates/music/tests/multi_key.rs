@@ -39,10 +39,15 @@ fn multi_key_section_reads_and_writes_all_keys() {
         mcs.put("beta", b("b1")).await.unwrap();
         assert_eq!(mcs.get("alpha").await.unwrap(), Some(b("a1")));
         assert_eq!(mcs.get("beta").await.unwrap(), Some(b("b1")));
-        // A key outside the set is refused.
+        // A key outside the set is refused — and distinguishably so: the
+        // caller's bug (NotInSection), not a protocol preemption.
         assert_eq!(
             mcs.get("gamma").await.unwrap_err(),
-            MusicError::NoLongerHolder
+            MusicError::NotInSection
+        );
+        assert_eq!(
+            mcs.put("gamma", b("g1")).await.unwrap_err(),
+            MusicError::NotInSection
         );
         mcs.release().await.unwrap();
 
@@ -101,8 +106,7 @@ fn inverse_acquisition_orders_do_not_deadlock() {
 }
 
 #[test]
-#[should_panic(expected = "at least one key")]
-fn empty_key_set_panics() {
+fn empty_key_set_is_an_error_not_a_panic() {
     let sys = MusicSystemBuilder::new()
         .profile(LatencyProfile::one_l())
         .net_config(quiet())
@@ -111,6 +115,8 @@ fn empty_key_set_panics() {
     let sim = sys.sim().clone();
     let client = sys.client_at_site(0);
     sim.block_on(async move {
-        let _ = client.enter_many(&[]).await;
+        let empty: [&str; 0] = [];
+        let err = client.enter_many(&empty).await.unwrap_err();
+        assert_eq!(err, MusicError::EmptyKeySet);
     });
 }

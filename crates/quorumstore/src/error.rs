@@ -15,6 +15,16 @@ pub enum StoreError {
     Contention,
 }
 
+impl StoreError {
+    /// Stable camel-case code for telemetry fields.
+    pub fn code(self) -> &'static str {
+        match self {
+            StoreError::Unavailable => "unavailable",
+            StoreError::Contention => "contention",
+        }
+    }
+}
+
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -37,5 +47,11 @@ mod tests {
             "quorum of replicas unavailable"
         );
         assert!(StoreError::Contention.to_string().contains("contention"));
+    }
+
+    #[test]
+    fn codes_are_camel_case() {
+        assert_eq!(StoreError::Unavailable.code(), "unavailable");
+        assert_eq!(StoreError::Contention.code(), "contention");
     }
 }

@@ -343,6 +343,65 @@ impl<P: Partition> ReplicatedTable<P> {
         self.write_with_cl(coord, key, mutation, stamp, need).await
     }
 
+    /// Starts a quorum write without awaiting it: the returned handle
+    /// resolves once a majority has acknowledged (or the operation timed
+    /// out). The fan-out happens immediately; this is the primitive the
+    /// pipelined `criticalPut` path and [`ReplicatedTable::write_quorum_many`]
+    /// build their bounded in-flight windows on.
+    pub fn write_quorum_spawned(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> JoinHandle<Result<(), StoreError>> {
+        let table = self.clone();
+        let key = key.to_string();
+        self.inner
+            .net
+            .sim()
+            .spawn(async move { table.write_quorum(coord, &key, mutation, stamp).await })
+    }
+
+    /// Windowed multi-put: issues the `(key, mutation, stamp)` writes in
+    /// order with at most `window` quorum writes in flight, then drains the
+    /// tail. All writes are *started* even after a failure (each key's
+    /// mutation still propagates eventually); the first error is returned
+    /// after the drain.
+    ///
+    /// # Errors
+    ///
+    /// The first [`StoreError`] any of the writes reported.
+    pub async fn write_quorum_many(
+        &self,
+        coord: NodeId,
+        items: Vec<(String, P::Mutation, WriteStamp)>,
+        window: usize,
+    ) -> Result<(), StoreError> {
+        let window = window.max(1);
+        let mut in_flight = std::collections::VecDeque::new();
+        let mut first_err = None;
+        for (key, mutation, stamp) in items {
+            while in_flight.len() >= window {
+                let handle: JoinHandle<Result<(), StoreError>> =
+                    in_flight.pop_front().expect("non-empty window");
+                if let Err(e) = handle.await {
+                    first_err.get_or_insert(e);
+                }
+            }
+            in_flight.push_back(self.write_quorum_spawned(coord, &key, mutation, stamp));
+        }
+        while let Some(handle) = in_flight.pop_front() {
+            if let Err(e) = handle.await {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
     async fn write_with_cl(
         &self,
         coord: NodeId,

@@ -539,3 +539,55 @@ fn sharded_nine_node_cluster_places_and_serves_keys() {
         assert_eq!(sites.len(), 3, "{key} must span all sites");
     }
 }
+
+#[test]
+fn windowed_multi_put_overlaps_quorum_round_trips() {
+    // 16 writes to the same key with a window of 8 must take far fewer
+    // than 16 sequential quorum RTTs (~54ms each on 1Us): the window keeps
+    // 8 writes in flight at once.
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, sim) = (f.table.clone(), f.clients[0], f.sim.clone());
+    let elapsed = f.sim.block_on(async move {
+        let items: Vec<_> = (0..16u64)
+            .map(|i| {
+                (
+                    "k".to_string(),
+                    Put::value(Bytes::from(format!("v{i}"))),
+                    WriteStamp::new(i + 1),
+                )
+            })
+            .collect();
+        let t0 = sim.now();
+        table.write_quorum_many(client, items, 8).await.unwrap();
+        sim.now() - t0
+    });
+    let sequential = SimDuration::from_millis(16 * 50);
+    assert!(
+        elapsed < sequential / 3,
+        "windowed writes took {elapsed}, not far below {sequential}"
+    );
+    // Last-stamp-wins: the final value is the highest-stamped write.
+    let snap = f.sim.block_on({
+        let table = f.table.clone();
+        let client = f.clients[0];
+        async move { table.read_quorum(client, "k").await.unwrap() }
+    });
+    assert_eq!(snap.value, Some(Bytes::from("v15".to_string())));
+}
+
+#[test]
+fn windowed_multi_put_reports_the_first_error_after_draining() {
+    let f = fixture(LatencyProfile::one_us());
+    let (table, client, net) = (f.table.clone(), f.clients[0], f.net.clone());
+    // Two replicas down: no quorum anywhere.
+    net.set_node_up(f.store_nodes[1], false);
+    net.set_node_up(f.store_nodes[2], false);
+    f.sim.block_on(async move {
+        let items = vec![
+            ("k".to_string(), Put::value(b("a")), WriteStamp::new(1)),
+            ("k".to_string(), Put::value(b("b")), WriteStamp::new(2)),
+        ];
+        let err = table.write_quorum_many(client, items, 4).await.unwrap_err();
+        assert_eq!(err, StoreError::Unavailable);
+    });
+}

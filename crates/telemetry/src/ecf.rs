@@ -102,12 +102,20 @@ struct KeyState {
     /// Digest of the authoritative ("true") value once one is known.
     /// `Some(None)` = the key is known absent; `None` = not yet pinned.
     true_value: Option<Option<u64>>,
+    /// Issue order of the pinned put, when the pin came from an ack.
+    /// Pipelined acks can arrive out of issue order; the store's
+    /// last-write-wins value is the latest-*stamped* (= latest-issued)
+    /// write, so a late ack of an earlier put must not steal the pin.
+    true_order: Option<u64>,
     /// Digests that may legitimately be observed instead of
     /// `true_value`: writes in flight when their writer lost the lock,
     /// plus dominated acks (see module docs).
     acceptable: BTreeSet<u64>,
-    /// Un-acknowledged put digests per reference.
-    in_flight: BTreeMap<u64, BTreeSet<u64>>,
+    /// Un-acknowledged puts per reference, as `(issue order, digest)` in
+    /// issue order.
+    in_flight: BTreeMap<u64, Vec<(u64, u64)>>,
+    /// Next issue-order number for this key.
+    next_order: u64,
 }
 
 /// Replays `events` (in slice order, which must be seq order) and checks
@@ -158,7 +166,7 @@ pub fn check(events: &[Event]) -> EcfReport {
                 // landed (and may be pinned by the next grant's
                 // resynchronization): keep those digests acceptable.
                 if let Some(pending) = st.in_flight.remove(lock_ref) {
-                    st.acceptable.extend(pending);
+                    st.acceptable.extend(pending.into_iter().map(|(_, d)| d));
                 }
             }
             EventKind::CritPutStart {
@@ -167,7 +175,12 @@ pub fn check(events: &[Event]) -> EcfReport {
                 digest,
             } => {
                 let st = keys.entry(key).or_default();
-                st.in_flight.entry(*lock_ref).or_default().insert(*digest);
+                let order = st.next_order;
+                st.next_order += 1;
+                st.in_flight
+                    .entry(*lock_ref)
+                    .or_default()
+                    .push((order, *digest));
             }
             EventKind::CritPutAck {
                 key,
@@ -175,15 +188,30 @@ pub fn check(events: &[Event]) -> EcfReport {
                 digest,
             } => {
                 let st = keys.entry(key).or_default();
-                if let Some(fl) = st.in_flight.get_mut(lock_ref) {
-                    fl.remove(digest);
-                }
+                // Match the ack to its start; an ack without a recorded
+                // start (degenerate traces) counts as the newest issue.
+                let order = {
+                    let fl = st.in_flight.entry(*lock_ref).or_default();
+                    match fl.iter().position(|&(_, d)| d == *digest) {
+                        Some(i) => fl.remove(i).0,
+                        None => {
+                            let o = st.next_order;
+                            st.next_order += 1;
+                            o
+                        }
+                    }
+                };
                 if st.holder == Some(*lock_ref) {
-                    // Acknowledged by the current holder: this is the new
-                    // true value, superseding everything else.
                     report.put_acks += 1;
-                    st.true_value = Some(Some(*digest));
-                    st.acceptable.clear();
+                    // Acknowledged by the current holder: the new true
+                    // value — unless a *later-issued* (higher-stamped) put
+                    // already acked, in which case this late ack is
+                    // dominated under last-write-wins and changes nothing.
+                    if st.true_order.is_none_or(|pinned| order >= pinned) {
+                        st.true_value = Some(Some(*digest));
+                        st.true_order = Some(order);
+                        st.acceptable.clear();
+                    }
                 } else {
                     // Ack from a preempted holder: dominated, not the
                     // true value — but a grant-time resynchronization may
@@ -218,6 +246,7 @@ pub fn check(events: &[Event]) -> EcfReport {
                     // The holder's read fixes the true value (Latest-State:
                     // what it saw is what subsequent holders must build on).
                     st.true_value = Some(observed);
+                    st.true_order = None;
                     st.acceptable.clear();
                 } else {
                     report.violations.push(format!(
@@ -448,5 +477,74 @@ mod tests {
     fn seq_regression_is_flagged() {
         let trace = [grant(5, 1), release(3, 1)];
         assert!(!check(&trace).ok());
+    }
+
+    fn put_start(seq: u64, r: u64, d: u64) -> Event {
+        ev(
+            seq,
+            EventKind::CritPutStart {
+                key: "k".into(),
+                lock_ref: r,
+                digest: d,
+            },
+        )
+    }
+
+    #[test]
+    fn out_of_order_acks_pin_the_latest_issued_write() {
+        // Pipelined holder: two puts in flight, acks arrive inverted.
+        // Last-write-wins is decided by issue (stamp) order, so the true
+        // value is 0xb even though 0xa acked last.
+        let trace = [
+            grant(0, 1),
+            put_start(1, 1, 0xa),
+            put_start(2, 1, 0xb),
+            put_ack(3, 1, 0xb),
+            put_ack(4, 1, 0xa), // late ack of the earlier put: dominated
+            get(5, 1, Some(0xb)),
+            release(6, 1),
+            grant(7, 2),
+            get(8, 2, Some(0xb)),
+        ];
+        let r = check(&trace);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.put_acks, 2);
+
+        // Reading the dominated value instead is a violation.
+        let bad = [
+            grant(0, 1),
+            put_start(1, 1, 0xa),
+            put_start(2, 1, 0xb),
+            put_ack(3, 1, 0xb),
+            put_ack(4, 1, 0xa),
+            get(5, 1, Some(0xa)),
+        ];
+        assert!(!check(&bad).ok());
+    }
+
+    #[test]
+    fn pipelined_crash_leaves_every_in_flight_write_acceptable() {
+        // A pipelined holder dies with several writes in flight; the next
+        // holder may observe any of them (or the last acknowledged value).
+        let forced = ev(
+            5,
+            EventKind::LockForcedRelease {
+                key: "k".into(),
+                lock_ref: 1,
+            },
+        );
+        for observed in [Some(0xa), Some(0xb), Some(0xc)] {
+            let trace = [
+                grant(0, 1),
+                put_ack(1, 1, 0xa),
+                put_start(2, 1, 0xb),
+                put_start(3, 1, 0xc),
+                forced.clone(),
+                grant(6, 2),
+                get(7, 2, observed),
+            ];
+            let r = check(&trace);
+            assert!(r.ok(), "observed {observed:?}: {:?}", r.violations);
+        }
     }
 }

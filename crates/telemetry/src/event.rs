@@ -216,12 +216,34 @@ pub enum EventKind {
         /// Digest of the returned value (`None` = key absent).
         digest: Option<u64>,
     },
+    /// A critical-section flush barrier began awaiting in-flight pipelined
+    /// writes (`release`, `criticalGet`, or a multi-key crossing).
+    CsFlush {
+        /// Key whose section is flushing.
+        key: String,
+        /// Holder reference.
+        lock_ref: u64,
+        /// Pipelined writes outstanding when the barrier started.
+        pending: u64,
+    },
+    /// A holder marked the `synchFlag` after a failed flush: some pipelined
+    /// write could not be acknowledged, so the next holder must
+    /// resynchronize.
+    SynchMark {
+        /// Key whose flag was set.
+        key: String,
+        /// Holder reference the failed flush belonged to.
+        lock_ref: u64,
+    },
     /// A client abandoned a replica and moved to the next one.
     ClientFailover {
         /// Operation being retried.
         op: &'static str,
         /// Failures so far in this operation.
         attempt: u32,
+        /// Stable code of the failure that triggered the move
+        /// (`unavailable`, `contention`, `notYetHolder`).
+        cause: &'static str,
     },
     /// The watchdog preempted a presumed-failed holder.
     WatchdogPreempt {
@@ -260,6 +282,8 @@ impl EventKind {
             EventKind::CritPutStart { .. } => "critPutStart",
             EventKind::CritPutAck { .. } => "critPutAck",
             EventKind::CritGet { .. } => "critGet",
+            EventKind::CsFlush { .. } => "csFlush",
+            EventKind::SynchMark { .. } => "synchMark",
             EventKind::ClientFailover { .. } => "clientFailover",
             EventKind::WatchdogPreempt { .. } => "watchdogPreempt",
             EventKind::RepairRound { .. } => "repairRound",
@@ -366,8 +390,25 @@ impl EventKind {
                     None => out.push_str("null"),
                 }
             }
-            EventKind::ClientFailover { op, attempt } => {
-                let _ = write!(out, ",\"op\":\"{op}\",\"attempt\":{attempt}");
+            EventKind::CsFlush {
+                key,
+                lock_ref,
+                pending,
+            } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"ref\":{lock_ref},\"pending\":{pending}");
+            }
+            EventKind::SynchMark { key, lock_ref } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"ref\":{lock_ref}");
+            }
+            EventKind::ClientFailover { op, attempt, cause } => {
+                let _ = write!(
+                    out,
+                    ",\"op\":\"{op}\",\"attempt\":{attempt},\"cause\":\"{cause}\""
+                );
             }
             EventKind::RepairRound { repaired } => {
                 let _ = write!(out, ",\"repaired\":{repaired}");

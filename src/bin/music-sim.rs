@@ -157,26 +157,41 @@ fn cmd_trace(profile: LatencyProfile, seed: u64) {
 }
 
 fn cmd_verify() {
-    use music_repro::modelcheck::{CheckOutcome, Checker, MusicModel};
+    use music_repro::modelcheck::{CheckOutcome, Checker, MusicModel, Scope};
     println!("== bounded model check of the ECF invariants (§V) ==");
-    let out = Checker::default().run(&MusicModel::default());
-    match out {
-        CheckOutcome::Ok {
-            states,
-            depth,
-            truncated,
-        } => {
-            println!("  OK: {states} states explored (depth {depth}, truncated: {truncated})");
-            println!("  invariants: critical-section, synchFlag, latest-state, queue sanity");
-        }
-        CheckOutcome::Violation { message, trace, .. } => {
-            println!("  VIOLATION: {message}");
-            for step in trace {
-                println!("    {step}");
+    let scopes = [
+        ("sync puts", MusicModel::default()),
+        (
+            "pipelined puts (window 2)",
+            MusicModel::new(Scope {
+                max_puts: 2,
+                pipeline_window: 2,
+                ..Scope::default()
+            }),
+        ),
+    ];
+    for (name, model) in scopes {
+        let out = Checker::default().run(&model);
+        match out {
+            CheckOutcome::Ok {
+                states,
+                depth,
+                truncated,
+            } => {
+                println!(
+                    "  {name}: OK, {states} states explored (depth {depth}, truncated: {truncated})"
+                );
             }
-            std::process::exit(1);
+            CheckOutcome::Violation { message, trace, .. } => {
+                println!("  {name}: VIOLATION: {message}");
+                for step in trace {
+                    println!("    {step}");
+                }
+                std::process::exit(1);
+            }
         }
     }
+    println!("  invariants: critical-section, synchFlag, latest-state, queue sanity");
 }
 
 fn main() {

@@ -11,7 +11,7 @@
 //! the recorder is off, counting, or tracing.
 
 use bytes::Bytes;
-use music::{AcquireOutcome, MusicConfig, MusicSystemBuilder, RepairDaemon, Watchdog};
+use music::{AcquireOutcome, MusicConfig, MusicSystemBuilder, RepairDaemon, Watchdog, WriteMode};
 use music_simnet::prelude::*;
 use music_telemetry::{check, EcfReport, Event, MetricsSnapshot, Recorder};
 
@@ -142,6 +142,63 @@ pub fn run_chaos(profile: LatencyProfile, seed: u64, recorder: Recorder) -> Trac
             "notes: get -> {:?}",
             r.get("notes").await.expect("get").map(|v| v.len())
         ));
+
+        // Phase 5 — a clean *pipelined* critical section: puts are issued
+        // with a bounded in-flight window; the criticalGet and the release
+        // act as flush barriers.
+        let piped = sys2
+            .client_at_site(1)
+            .with_write_mode(WriteMode::Pipelined { window: 4 });
+        let cs = piped.enter("delta").await.expect("enter delta");
+        let mut peak = 0usize;
+        for i in 0..8 {
+            cs.put_async(Bytes::from(format!("delta-v{i}").into_bytes()))
+                .await
+                .expect("put_async");
+            peak = peak.max(cs.in_flight());
+        }
+        log.push(format!("delta: 8 pipelined puts, peak in-flight {peak}"));
+        cs.flush().await.expect("flush");
+        log.push(format!("delta: flushed, in-flight {}", cs.in_flight()));
+        let v = cs.get().await.expect("get");
+        log.push(format!(
+            "delta: get -> {:?}",
+            v.map(|v| String::from_utf8_lossy(&v).into_owned())
+        ));
+        cs.release().await.expect("release");
+
+        // Phase 6 — a pipelined lockholder crashing with writes still in
+        // flight: the unacknowledged quorum writes keep propagating like a
+        // crashed holder's (§IV-B), the watchdog preempts with a
+        // resynchronizing forcedRelease, and the takeover reads cleanly.
+        let dog = Watchdog::new(sys2.replica(0).clone(), SimDuration::from_millis(500));
+        dog.watch("delta");
+        dog.spawn();
+        let piped2 = sys2
+            .client_at_site(2)
+            .with_write_mode(WriteMode::Pipelined { window: 4 });
+        let cs = piped2.enter("delta").await.expect("re-enter delta");
+        // Cut site 2 off *after* entering: issuing only needs the local
+        // lock-store peek, so the puts launch but their quorum writes hang.
+        sys2.net().partition_site(SiteId(2), true);
+        cs.put_async(b("delta-inflight-1")).await.expect("issue 1");
+        cs.put_async(b("delta-inflight-2")).await.expect("issue 2");
+        log.push(format!(
+            "delta: crashed with {} writes in flight",
+            cs.in_flight()
+        ));
+        drop(cs); // the holder dies; nobody flushes or releases
+        sys2.net().partition_site(SiteId(2), false);
+        let takeover = sys2.client_at_site(0);
+        let cs = takeover.enter("delta").await.expect("takeover enter");
+        let v = cs.get().await.expect("takeover get");
+        log.push(format!(
+            "delta: takeover read {:?} ({} preemptions)",
+            v.map(|v| String::from_utf8_lossy(&v).into_owned()),
+            dog.preemptions()
+        ));
+        cs.release().await.expect("takeover release");
+        dog.stop();
         log
     });
 

@@ -180,6 +180,7 @@ fn facade_smoke_all_crates() {
         max_crashes: 1,
         max_forced: 1,
         stale_puts: true,
+        pipeline_window: 0,
     });
     let out = modelcheck::Checker::default().run(&model);
     assert!(out.is_ok());
