@@ -13,11 +13,15 @@
 //! 4. **Pipeline window** — how deep an in-flight put window pays off
 //!    inside one critical section (the beyond-the-paper `WriteMode`
 //!    series): returns diminish once the window covers the batch.
+//! 5. **Lease window** — how long a release-time lease must be to cover
+//!    a client's think time between sections (the beyond-the-paper
+//!    `MUSIC-L` series): a window shorter than the idle gap expires
+//!    before re-entry and every section pays the full lock protocol.
 
 use bytes::Bytes;
-use music::PeekMode;
+use music::{OpKind, PeekMode};
 use music_bench::music_runners::music_cs_latency;
-use music_bench::setup::{bench_net_config, fast_mode, music_system_with, Mode};
+use music_bench::setup::{bench_net_config, fast_mode, music_system, music_system_with, Mode};
 use music_bench::{print_header, print_row, print_table, ratio};
 use music_lockstore::LockStore;
 use music_quorumstore::TableConfig;
@@ -90,6 +94,40 @@ fn create_race_within(backoff: SimDuration, racers: usize, deadline: SimDuration
     }
     sim.run_until(SimTime::ZERO + deadline);
     (completions.get(), retries.get())
+}
+
+/// Repeated one-put critical sections on one key with an idle gap between
+/// them; a lease pays off only while it outlives the gap. Returns the mean
+/// warm-section latency in ms and how many entries paid the full lock
+/// protocol (`createLockRef` count; 1 = only the cold first entry).
+fn lease_reentry_with_gap(window_us: u64, idle: SimDuration, sections: usize) -> (f64, u64) {
+    let mode = if window_us == 0 {
+        Mode::Music
+    } else {
+        Mode::MusicLeased(window_us)
+    };
+    let sys = music_system(LatencyProfile::one_us(), mode, 1, 41);
+    let sim = sys.sim().clone();
+    let client = sys.client_at_site(0);
+    let total = std::rc::Rc::new(std::cell::Cell::new(0.0f64));
+    let total2 = std::rc::Rc::clone(&total);
+    let sim2 = sim.clone();
+    let handle = sim.spawn(async move {
+        for s in 0..sections {
+            let t0 = sim2.now();
+            let cs = client.enter("warm").await.expect("enter");
+            cs.put(Bytes::from_static(b"x")).await.expect("put");
+            cs.release().await.expect("release");
+            if s > 0 {
+                total2.set(total2.get() + (sim2.now() - t0).as_millis_f64());
+            }
+            sim2.sleep(idle).await;
+        }
+        let _ = client.relinquish("warm").await;
+    });
+    sim.run_until_complete(handle);
+    let full = sys.stats().count(OpKind::CreateLockRef) as u64;
+    (total.get() / (sections - 1) as f64, full)
 }
 
 fn main() {
@@ -197,4 +235,41 @@ fn main() {
     }
     print_table(&["window", "CS latency (s)", "speedup vs sync"], &rows);
     print_row("speedup saturates once the window covers the batch's quorum round-trips");
+
+    print_header(
+        "Ablation 5",
+        "lease window vs. 1 s think time: warm re-entry latency, 1Us",
+    );
+    let warm_sections = if fast { 3 } else { 6 };
+    let idle = SimDuration::from_secs(1);
+    let mut rows = Vec::new();
+    let mut off_ms = 0.0;
+    for (label, window_us) in [
+        ("off", 0u64),
+        ("100ms", 100_000),
+        ("10s", 10_000_000),
+        ("60s", 60_000_000),
+    ] {
+        let (ms, full) = lease_reentry_with_gap(window_us, idle, warm_sections);
+        if window_us == 0 {
+            off_ms = ms;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{ms:.0}"),
+            format!("{full}/{warm_sections}"),
+            format!("{:.2}x", ratio(off_ms, ms)),
+        ]);
+    }
+    print_table(
+        &[
+            "lease",
+            "warm entry+CS (ms)",
+            "full-protocol entries",
+            "vs off",
+        ],
+        &rows,
+    );
+    print_row("a lease shorter than the think time is worse than none: every re-entry");
+    print_row("falls back to the lock protocol AND must first break its own dead lease");
 }

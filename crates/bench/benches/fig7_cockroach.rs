@@ -7,7 +7,7 @@
 //! ~2-4x faster across batch and data sizes.
 
 use music_bench::cdb_runners::cdb_cs_latency;
-use music_bench::music_runners::music_cs_latency;
+use music_bench::music_runners::{music_cs_latency, music_reentry_latency};
 use music_bench::setup::{fast_mode, Mode};
 use music_bench::{print_header, print_row, print_table, ratio};
 use music_simnet::topology::LatencyProfile;
@@ -47,6 +47,17 @@ fn main() {
         .section
         .mean()
         .as_secs_f64();
+        let leased = music_reentry_latency(
+            LatencyProfile::one_us(),
+            Mode::MusicLeased(600_000_000),
+            batch,
+            10,
+            sections + 1,
+            9,
+        )
+        .section
+        .mean()
+        .as_secs_f64();
         let cdb = cdb_cs_latency(LatencyProfile::one_us(), batch, 10, sections, 9)
             .mean()
             .as_secs_f64();
@@ -54,9 +65,11 @@ fn main() {
             batch.to_string(),
             format!("{music:.2}"),
             format!("{piped:.2}"),
+            format!("{leased:.2}"),
             format!("{cdb:.2}"),
             format!("{:.2}x", ratio(cdb, music)),
             format!("{:.2}x", ratio(music, piped)),
+            format!("{:.2}x", ratio(music, leased)),
         ]);
     }
     print_table(
@@ -64,14 +77,19 @@ fn main() {
             "batch",
             "MUSIC (s)",
             "MUSIC-P16 (s)",
+            "MUSIC-L (s)",
             "CockroachDB (s)",
             "Cdb/MUSIC",
             "MUSIC/P16",
+            "MUSIC/L",
         ],
         &rows,
     );
     print_row("paper: CockroachDB ~2-4x slower, widening with batch size");
     print_row("beyond the paper: MUSIC-P16 pipelines the batch's puts (flush on release)");
+    print_row(
+        "beyond the paper: MUSIC-L re-enters the same key under a 600s lease (warm sections)",
+    );
 
     print_header(
         "Fig. 7(b)",

@@ -96,6 +96,41 @@ pub fn music_write_throughput(run: &ThroughputRun) -> f64 {
     let t_hi = t_lo + run.window;
     let value = Bytes::from(payload(run.value_size));
 
+    if matches!(run.mode, Mode::MusicLeased(_)) {
+        // The leased series goes through the client API (the lease cache
+        // lives there): each thread re-enters its private key, so every
+        // section after the first skips the lock protocol.
+        for t in 0..run.threads {
+            let client = sys.client_at_site(t % replica_count);
+            let key = format!("bench-{t}");
+            let counter = Rc::clone(&counter);
+            let sim2 = sim.clone();
+            let value = value.clone();
+            let batch = run.batch;
+            let stagger = SimDuration::from_micros((t as u64 * 7919) % 200_000);
+            sim.spawn(async move {
+                sim2.sleep(stagger).await;
+                loop {
+                    let Ok(cs) = client.enter(&key).await else {
+                        sim2.sleep(SimDuration::from_millis(5)).await;
+                        continue;
+                    };
+                    for _ in 0..batch {
+                        match cs.put(value.clone()).await {
+                            Ok(()) => count_if_in_window(&counter, sim2.now(), t_lo, t_hi),
+                            Err(_) => return,
+                        }
+                    }
+                    // A failed release abandons the ref to the failure
+                    // detector; re-entry then takes the slow path.
+                    let _ = cs.release().await;
+                }
+            });
+        }
+        sim.run_until(t_hi);
+        return counter.get() as f64 / run.window.as_secs_f64();
+    }
+
     for t in 0..run.threads {
         // Spread threads over every MUSIC replica (replicas scale with the
         // store cluster, as in Fig. 1's production deployment).
@@ -298,6 +333,59 @@ pub fn music_cs_latency(
     }
 }
 
+/// Mean-latency run over *repeated* critical sections on one key by one
+/// client — the lease fast path's target workload (a client re-entering
+/// the section it just left). Goes through the client API because the
+/// lease cache lives there; under a lease-less mode every re-entry pays
+/// the full lock protocol, making this the control series.
+///
+/// The first section (always a cold, full-protocol entry) is excluded
+/// from the histogram as warm-up.
+pub fn music_reentry_latency(
+    profile: LatencyProfile,
+    mode: Mode,
+    batch: usize,
+    value_size: usize,
+    sections: usize,
+    seed: u64,
+) -> LatencyResult {
+    let sys = music_system(profile, mode, 1, seed);
+    let sim = sys.sim().clone();
+    let client = sys.client_at_site(0);
+    let value = Bytes::from(payload(value_size));
+    let section_hist = Rc::new(std::cell::RefCell::new(Histogram::new()));
+    let hist2 = Rc::clone(&section_hist);
+    let sim2 = sim.clone();
+    let handle = sim.spawn(async move {
+        for s in 0..sections {
+            let t0 = sim2.now();
+            let cs = client
+                .enter("reentry")
+                .await
+                .expect("quiet benches never nack");
+            for _ in 0..batch {
+                cs.put(value.clone())
+                    .await
+                    .expect("quiet benches never nack");
+            }
+            cs.release().await.expect("quiet benches never nack");
+            if s > 0 {
+                hist2.borrow_mut().record(sim2.now() - t0);
+            }
+        }
+        // Surrender any standing lease so the queue drains.
+        let _ = client.relinquish("reentry").await;
+    });
+    sys.stats().reset();
+    sim.run_until_complete(handle);
+    let section = section_hist.borrow().clone();
+    LatencyResult {
+        section,
+        ops: sys.stats().clone(),
+        counters: sys.recorder().metrics(),
+    }
+}
+
 /// Mean latency of the lock-free eventual put (CassaEV), single thread.
 pub fn cassa_ev_latency(
     profile: LatencyProfile,
@@ -374,6 +462,35 @@ mod tests {
         );
         // Same number of acknowledged puts either way.
         assert_eq!(piped.ops.count(OpKind::CriticalPut), 100);
+    }
+
+    #[test]
+    fn lease_fast_path_reenters_at_least_2x_faster() {
+        // The ISSUE's acceptance bar: uncontended re-entry of an empty
+        // critical section at 1Us under the lease fast path is >=2x
+        // faster than WriteMode::Sync full entry. Sync re-entry pays
+        // create(4 RTT) + grant(1 RTT) + release(4 RTT); the leased one
+        // pays only the release LWT (4 RTT) — entry itself is local.
+        let sync = music_reentry_latency(LatencyProfile::one_us(), Mode::Music, 0, 10, 4, 9);
+        let leased = music_reentry_latency(
+            LatencyProfile::one_us(),
+            Mode::MusicLeased(60_000_000),
+            0,
+            10,
+            4,
+            9,
+        );
+        let s = sync.section.mean().as_millis_f64();
+        let l = leased.section.mean().as_millis_f64();
+        assert!(
+            l * 2.0 <= s,
+            "leased re-entry {l}ms must be >=2x faster than sync {s}ms"
+        );
+        // Every warm section took the fast path: exactly one cold
+        // createLockRef, three leased re-entries.
+        assert_eq!(leased.ops.count(OpKind::CreateLockRef), 1);
+        assert_eq!(leased.ops.count(OpKind::LeaseReenter), 3);
+        assert_eq!(sync.ops.count(OpKind::LeaseReenter), 0);
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub enum Mode {
     /// MUSIC with pipelined critical puts: quorum writes issued with this
     /// in-flight window, flushed at release (the beyond-the-paper series).
     MusicPipelined(usize),
+    /// MUSIC with lease-cached lock re-entry: clean releases retain a
+    /// lease of this many microseconds, so repeated critical sections on
+    /// the same key by the same client skip the lock protocol entirely
+    /// (the second beyond-the-paper series).
+    MusicLeased(u64),
 }
 
 impl std::fmt::Display for Mode {
@@ -23,6 +28,7 @@ impl std::fmt::Display for Mode {
             Mode::Music => write!(f, "MUSIC"),
             Mode::Mscp => write!(f, "MSCP"),
             Mode::MusicPipelined(w) => write!(f, "MUSIC-P{w}"),
+            Mode::MusicLeased(_) => write!(f, "MUSIC-L"),
         }
     }
 }
@@ -65,12 +71,16 @@ pub fn fast_mode() -> bool {
 pub fn bench_music_config(mode: Mode) -> MusicConfig {
     MusicConfig {
         put_mode: match mode {
-            Mode::Music | Mode::MusicPipelined(_) => PutMode::Quorum,
+            Mode::Music | Mode::MusicPipelined(_) | Mode::MusicLeased(_) => PutMode::Quorum,
             Mode::Mscp => PutMode::Lwt,
         },
         write_mode: match mode {
             Mode::MusicPipelined(w) => WriteMode::Pipelined { window: w },
             _ => WriteMode::Sync,
+        },
+        lease_window: match mode {
+            Mode::MusicLeased(us) => Some(SimDuration::from_micros(us)),
+            _ => None,
         },
         t_max: SimDuration::from_secs(3_600),
         ..MusicConfig::default()
@@ -131,6 +141,12 @@ mod tests {
         assert!(bench_music_config(Mode::MusicPipelined(8))
             .write_mode
             .is_pipelined());
+        assert_eq!(Mode::MusicLeased(5_000_000).to_string(), "MUSIC-L");
+        assert_eq!(
+            bench_music_config(Mode::MusicLeased(5_000_000)).lease_window,
+            Some(SimDuration::from_secs(5))
+        );
+        assert_eq!(bench_music_config(Mode::Music).lease_window, None);
     }
 
     #[test]

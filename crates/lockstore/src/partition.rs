@@ -63,6 +63,11 @@ pub struct LockEntry {
     /// after its first attempt actually committed finds its own enqueue
     /// instead of minting an orphan reference.
     pub token: u64,
+    /// When set, this reference is a *lease*: pre-minted for the departing
+    /// holder at release time, valid until the recorded deadline. Travels
+    /// with the presence cell (it is written by the same LWT that inserts
+    /// the row and never changes afterwards).
+    pub lease_until: Option<SimTime>,
 }
 
 /// Mutations of a lock partition — each corresponds to one lock-table CQL
@@ -76,11 +81,38 @@ pub enum LockMutation {
         lock_ref: LockRef,
         /// The creating client's idempotency token.
         token: u64,
+        /// Lease deadline when this row is a pre-minted lease (repair
+        /// re-emission; normal `createLockRef` enqueues pass `None`).
+        lease_until: Option<SimTime>,
     },
     /// `lsDequeue`: delete the `(key, lock_ref)` row.
     Dequeue {
         /// The reference to remove.
         lock_ref: LockRef,
+    },
+    /// `releaseLock` with nothing queued behind the holder: tombstone the
+    /// released reference and pre-mint the next one as a *lease* for the
+    /// same client, in one LWT (the fast-path grant of the lease design).
+    ReleaseWithLease {
+        /// The reference being released.
+        released: LockRef,
+        /// The pre-minted successor (becomes the new queue head).
+        next_ref: LockRef,
+        /// Idempotency token of the minting call.
+        token: u64,
+        /// Lease expiry deadline.
+        until: SimTime,
+    },
+    /// A competing `createLockRef` that found an unclaimed lease at the
+    /// head: atomically collect the lease row and enqueue the competitor's
+    /// fresh reference (break-on-enqueue).
+    BreakEnqueue {
+        /// The leased reference being broken.
+        broken: LockRef,
+        /// The competitor's freshly minted reference.
+        lock_ref: LockRef,
+        /// Idempotency token of the minting call.
+        token: u64,
     },
     /// Record the critical-section start time for a granted reference.
     SetStartTime {
@@ -147,6 +179,17 @@ impl LockPartition {
         self.entries.get(&lock_ref).is_some_and(|e| e.present)
     }
 
+    /// The queue head when it is an *unclaimed* lease: a pre-minted
+    /// reference whose owner has not re-entered yet (no start time).
+    /// Returns the reference and its expiry deadline.
+    pub fn lease_head(&self) -> Option<(LockRef, SimTime)> {
+        self.head()
+            .and_then(|(r, e)| match (e.lease_until, e.start_time) {
+                (Some(until), None) => Some((r, until)),
+                _ => None,
+            })
+    }
+
     /// The entry for `lock_ref`, present or tombstoned.
     pub fn entry(&self, lock_ref: LockRef) -> Option<LockEntry> {
         self.entries.get(&lock_ref).copied()
@@ -179,10 +222,29 @@ impl LockPartition {
             e.present = other.present;
             e.stamp = other.stamp;
             e.token = other.token;
+            e.lease_until = other.lease_until;
         }
         if other.start_stamp > e.start_stamp {
             e.start_time = other.start_time;
             e.start_stamp = other.start_stamp;
+        }
+    }
+
+    /// LWW update of one presence cell (shared by every mutation arm).
+    fn set_presence(
+        &mut self,
+        lock_ref: LockRef,
+        stamp: WriteStamp,
+        present: bool,
+        token: u64,
+        lease_until: Option<SimTime>,
+    ) {
+        let e = self.entries.entry(lock_ref).or_default();
+        if stamp > e.stamp {
+            e.present = present;
+            e.stamp = stamp;
+            e.token = token;
+            e.lease_until = lease_until;
         }
     }
 }
@@ -198,21 +260,40 @@ impl Partition for LockPartition {
 
     fn apply(&mut self, mutation: &LockMutation, stamp: WriteStamp) {
         match *mutation {
-            LockMutation::Enqueue { lock_ref, token } => {
+            LockMutation::Enqueue {
+                lock_ref,
+                token,
+                lease_until,
+            } => {
                 self.guard = self.guard.max(lock_ref.value());
-                let e = self.entries.entry(lock_ref).or_default();
-                if stamp > e.stamp {
-                    e.present = true;
-                    e.stamp = stamp;
-                    e.token = token;
-                }
+                self.set_presence(lock_ref, stamp, true, token, lease_until);
             }
             LockMutation::Dequeue { lock_ref } => {
                 let e = self.entries.entry(lock_ref).or_default();
                 if stamp > e.stamp {
                     e.present = false;
                     e.stamp = stamp;
+                    e.lease_until = None;
                 }
+            }
+            LockMutation::ReleaseWithLease {
+                released,
+                next_ref,
+                token,
+                until,
+            } => {
+                self.guard = self.guard.max(next_ref.value());
+                self.set_presence(released, stamp, false, 0, None);
+                self.set_presence(next_ref, stamp, true, token, Some(until));
+            }
+            LockMutation::BreakEnqueue {
+                broken,
+                lock_ref,
+                token,
+            } => {
+                self.guard = self.guard.max(lock_ref.value());
+                self.set_presence(broken, stamp, false, 0, None);
+                self.set_presence(lock_ref, stamp, true, token, None);
             }
             LockMutation::SetStartTime { lock_ref, at } => {
                 let e = self.entries.entry(lock_ref).or_default();
@@ -241,8 +322,12 @@ impl Partition for LockPartition {
         HEADER_BYTES + 8 + 24 * s.entries.len()
     }
 
-    fn mutation_bytes(_m: &LockMutation) -> usize {
-        24
+    fn mutation_bytes(m: &LockMutation) -> usize {
+        match m {
+            // Composite mutations carry two presence cells.
+            LockMutation::ReleaseWithLease { .. } | LockMutation::BreakEnqueue { .. } => 48,
+            _ => 24,
+        }
     }
 
     fn exists(&self) -> bool {
@@ -264,6 +349,7 @@ impl Partition for LockPartition {
                     LockMutation::Enqueue {
                         lock_ref: *r,
                         token: e.token,
+                        lease_until: e.lease_until,
                     }
                 } else {
                     LockMutation::Dequeue { lock_ref: *r }
@@ -296,6 +382,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(2),
                 token: 0,
+                lease_until: None,
             },
             ts(2),
         );
@@ -303,6 +390,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(1),
                 token: 0,
+                lease_until: None,
             },
             ts(1),
         );
@@ -310,6 +398,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(3),
                 token: 0,
+                lease_until: None,
             },
             ts(3),
         );
@@ -329,6 +418,7 @@ mod tests {
                 &LockMutation::Enqueue {
                     lock_ref: LockRef::new(i),
                     token: 0,
+                    lease_until: None,
                 },
                 ts(i),
             );
@@ -346,6 +436,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(1),
                 token: 0,
+                lease_until: None,
             },
             ts(1),
         );
@@ -362,6 +453,7 @@ mod tests {
                 &LockMutation::Enqueue {
                     lock_ref: LockRef::new(i),
                     token: 0,
+                    lease_until: None,
                 },
                 ts(i),
             );
@@ -382,6 +474,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(1),
                 token: 0,
+                lease_until: None,
             },
             ts(1),
         );
@@ -415,6 +508,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(1),
                 token: 0,
+                lease_until: None,
             },
             ts(1),
         );
@@ -422,6 +516,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(1),
                 token: 0,
+                lease_until: None,
             },
             ts(1),
         );
@@ -435,6 +530,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(2),
                 token: 0,
+                lease_until: None,
             },
             ts(3),
         );
@@ -447,6 +543,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(1),
                 token: 0,
+                lease_until: None,
             },
             ts(1),
         );
@@ -461,6 +558,7 @@ mod tests {
                 LockMutation::Enqueue {
                     lock_ref: LockRef::new(1),
                     token: 0,
+                    lease_until: None,
                 },
                 ts(1),
             ),
@@ -468,6 +566,7 @@ mod tests {
                 LockMutation::Enqueue {
                     lock_ref: LockRef::new(2),
                     token: 0,
+                    lease_until: None,
                 },
                 ts(2),
             ),
@@ -514,6 +613,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(1),
                 token: 77,
+                lease_until: None,
             },
             ts(1),
         );
@@ -521,6 +621,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(2),
                 token: 88,
+                lease_until: None,
             },
             ts(2),
         );
@@ -547,6 +648,7 @@ mod tests {
                 &LockMutation::Enqueue {
                     lock_ref: LockRef::new(i),
                     token: i,
+                    lease_until: None,
                 },
                 ts(2 * i),
             );
@@ -572,6 +674,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: recent,
                 token: 0,
+                lease_until: None,
             },
             ts(1),
         );
@@ -589,6 +692,7 @@ mod tests {
             &LockMutation::Enqueue {
                 lock_ref: LockRef::new(1),
                 token: 42,
+                lease_until: None,
             },
             ts(5),
         );

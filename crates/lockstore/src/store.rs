@@ -6,6 +6,19 @@ use music_simnet::time::SimTime;
 
 use crate::partition::{LockEntry, LockMutation, LockPartition, LockRef};
 
+/// Result of a lease-aware enqueue ([`LockStore::generate_and_enqueue_guarded`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EnqueueOutcome {
+    /// A fresh reference was minted and enqueued (possibly breaking an
+    /// authorized lease in the same LWT).
+    Minted(LockRef),
+    /// The queue head is an *unclaimed lease* the caller was not authorized
+    /// to break: nothing was enqueued. The caller must force
+    /// resynchronization (write the synch flag) and retry with this
+    /// reference as the authorized break target.
+    LeaseBlocked(LockRef),
+}
+
 /// The replicated lock store.
 ///
 /// One [`LockStore`] is shared by every MUSIC replica in the simulation;
@@ -87,17 +100,85 @@ impl LockStore {
         coord: NodeId,
         key: &str,
     ) -> Result<LockRef, StoreError> {
+        match self.enqueue_inner(coord, key, None, false).await? {
+            EnqueueOutcome::Minted(r) => Ok(r),
+            // Lease-oblivious enqueues never block: they queue up behind a
+            // leased head like behind any other holder (safe — the lease
+            // acts as a normal queue head until it expires or is claimed).
+            EnqueueOutcome::LeaseBlocked(_) => unreachable!("lease-oblivious enqueue blocked"),
+        }
+    }
+
+    /// Lease-aware `lsGenerateAndEnqueue`: like
+    /// [`LockStore::generate_and_enqueue`], but when the queue head is an
+    /// *unclaimed lease* the enqueue either **breaks** it (collects the
+    /// leased row and enqueues the fresh reference in the same LWT — only
+    /// when the caller passes that reference as `break_authorized`, proving
+    /// it already forced resynchronization) or **declines** and reports
+    /// [`EnqueueOutcome::LeaseBlocked`] so the caller can write the synch
+    /// flag first. A *claimed* lease (start time set) is an active holder
+    /// and is queued behind normally.
+    ///
+    /// Cost: one LWT = 4 WAN round trips (plus the caller's flag write on
+    /// the blocked path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] exactly like
+    /// [`LockStore::generate_and_enqueue`].
+    pub async fn generate_and_enqueue_guarded(
+        &self,
+        coord: NodeId,
+        key: &str,
+        break_authorized: Option<LockRef>,
+    ) -> Result<EnqueueOutcome, StoreError> {
+        self.enqueue_inner(coord, key, break_authorized, true).await
+    }
+
+    async fn enqueue_inner(
+        &self,
+        coord: NodeId,
+        key: &str,
+        break_authorized: Option<LockRef>,
+        lease_aware: bool,
+    ) -> Result<EnqueueOutcome, StoreError> {
         // Unique per invocation (coordinator id in the high bits).
         let token = (u64::from(coord.0) << 40) | self.next_token.get();
         self.next_token.set(self.next_token.get() + 1);
         let minted = std::cell::Cell::new(LockRef::NONE);
+        let blocked = std::cell::Cell::new(LockRef::NONE);
+        let broke = std::cell::Cell::new(LockRef::NONE);
         self.table
             .lwt(coord, key, |snap, suggested| {
+                // The closure may run once per ballot attempt: re-derive
+                // every outcome cell from the latest snapshot.
+                blocked.set(LockRef::NONE);
+                broke.set(LockRef::NONE);
                 if let Some(existing) = snap.find_token(token) {
                     // A previous ballot attempt of this very call already
                     // committed: adopt it rather than minting an orphan.
                     minted.set(existing);
                     return None;
+                }
+                if lease_aware {
+                    if let Some((leased, _until)) = snap.lease_head() {
+                        if break_authorized != Some(leased) {
+                            minted.set(LockRef::NONE);
+                            blocked.set(leased);
+                            return None;
+                        }
+                        let next = LockRef::new(snap.guard() + 1);
+                        minted.set(next);
+                        broke.set(leased);
+                        return Some((
+                            LockMutation::BreakEnqueue {
+                                broken: leased,
+                                lock_ref: next,
+                                token,
+                            },
+                            suggested,
+                        ));
+                    }
                 }
                 let next = LockRef::new(snap.guard() + 1);
                 minted.set(next);
@@ -105,25 +186,122 @@ impl LockStore {
                     LockMutation::Enqueue {
                         lock_ref: next,
                         token,
+                        lease_until: None,
                     },
                     suggested,
                 ))
             })
             .await?;
-        let rec = self.table.net().recorder();
-        if rec.is_tracing() {
-            let sim = self.table.net().sim();
-            rec.record(
-                sim.now().as_micros(),
-                sim.trace(),
-                coord.0,
-                music_telemetry::EventKind::LockEnqueue {
-                    key: key.to_string(),
-                    lock_ref: minted.get().value(),
-                },
-            );
+        if blocked.get() != LockRef::NONE {
+            return Ok(EnqueueOutcome::LeaseBlocked(blocked.get()));
         }
-        Ok(minted.get())
+        let rec = self.table.net().recorder();
+        if rec.is_on() {
+            if broke.get() != LockRef::NONE {
+                rec.count(music_telemetry::Scope::Node(coord.0), "lease_breaks", 1);
+            }
+            if rec.is_tracing() {
+                let sim = self.table.net().sim();
+                if broke.get() != LockRef::NONE {
+                    rec.record(
+                        sim.now().as_micros(),
+                        sim.trace(),
+                        coord.0,
+                        music_telemetry::EventKind::LeaseBreak {
+                            key: key.to_string(),
+                            lock_ref: broke.get().value(),
+                        },
+                    );
+                }
+                rec.record(
+                    sim.now().as_micros(),
+                    sim.trace(),
+                    coord.0,
+                    music_telemetry::EventKind::LockEnqueue {
+                        key: key.to_string(),
+                        lock_ref: minted.get().value(),
+                    },
+                );
+            }
+        }
+        Ok(EnqueueOutcome::Minted(minted.get()))
+    }
+
+    /// `releaseLock` with lease retention: dequeues `lock_ref`, and **iff**
+    /// it was the only queued reference, pre-mints the successor reference
+    /// as a lease (valid until `until`) in the same LWT. Returns the leased
+    /// reference and deadline when one was granted, `None` when the queue
+    /// had competitors (plain dequeue) or the reference was already
+    /// collected (no-op).
+    ///
+    /// Cost: one LWT = 4 WAN round trips — the same release the caller
+    /// already pays for; the lease rides along for free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] when a quorum is unreachable or ballot
+    /// contention persists.
+    pub async fn release_with_lease(
+        &self,
+        coord: NodeId,
+        key: &str,
+        lock_ref: LockRef,
+        until: SimTime,
+    ) -> Result<Option<(LockRef, SimTime)>, StoreError> {
+        let token = (u64::from(coord.0) << 40) | self.next_token.get();
+        self.next_token.set(self.next_token.get() + 1);
+        let granted = std::cell::Cell::new(LockRef::NONE);
+        self.table
+            .lwt(coord, key, |snap, suggested| {
+                granted.set(LockRef::NONE);
+                if let Some(existing) = snap.find_token(token) {
+                    // An earlier ballot of this very call already committed
+                    // the lease row: adopt it.
+                    granted.set(existing);
+                    return None;
+                }
+                if !snap.contains(lock_ref) {
+                    return None; // already collected: no-op, no lease
+                }
+                if snap.queue() == [lock_ref] {
+                    let next = LockRef::new(snap.guard() + 1);
+                    granted.set(next);
+                    Some((
+                        LockMutation::ReleaseWithLease {
+                            released: lock_ref,
+                            next_ref: next,
+                            token,
+                            until,
+                        },
+                        suggested,
+                    ))
+                } else {
+                    // Competitors queued behind: hand over normally.
+                    Some((LockMutation::Dequeue { lock_ref }, suggested))
+                }
+            })
+            .await?;
+        if granted.get() == LockRef::NONE {
+            return Ok(None);
+        }
+        let rec = self.table.net().recorder();
+        if rec.is_on() {
+            rec.count(music_telemetry::Scope::Node(coord.0), "lease_grants", 1);
+            if rec.is_tracing() {
+                let sim = self.table.net().sim();
+                rec.record(
+                    sim.now().as_micros(),
+                    sim.trace(),
+                    coord.0,
+                    music_telemetry::EventKind::LeaseGrant {
+                        key: key.to_string(),
+                        lock_ref: granted.get().value(),
+                        until_us: until.as_micros(),
+                    },
+                );
+            }
+        }
+        Ok(Some((granted.get(), until)))
     }
 
     /// `lsPeek`: eventual read of the **closest** replica's queue head.

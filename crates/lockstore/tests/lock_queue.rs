@@ -182,3 +182,136 @@ fn enqueue_costs_four_rtts_and_peek_is_local() {
     // Peek = intra-site round trip ≈ the paper's ~0.67ms local peek.
     assert_eq!(peek.as_micros(), 200);
 }
+
+#[test]
+fn interleaved_enqueue_dequeue_from_three_sites_stays_monotone() {
+    // Three workers (one per site) hammer one key: enqueue, poll the local
+    // replica until at the head, dequeue, repeat. Every worker's observed
+    // head sequence must be non-decreasing (a queue never goes backwards
+    // at any single replica), minted references globally unique, and the
+    // whole dance must drain (no deadlock, no lost dequeue).
+    let f = fixture();
+    let sim = f.sim.clone();
+    let minted = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let drained = std::rc::Rc::new(std::cell::Cell::new(0u32));
+    for w in 0..3usize {
+        let locks = f.locks.clone();
+        let coord = f.coords[w];
+        let minted = std::rc::Rc::clone(&minted);
+        let drained = std::rc::Rc::clone(&drained);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let mut last_head = LockRef::NONE;
+            for _ in 0..3 {
+                let r = loop {
+                    match locks.generate_and_enqueue(coord, "hot").await {
+                        Ok(r) => break r,
+                        Err(_) => continue, // ballot race: client retries
+                    }
+                };
+                minted.borrow_mut().push(r);
+                loop {
+                    let Ok(Some((head, _))) = locks.peek_local(coord, "hot").await else {
+                        sim2.sleep(SimDuration::from_millis(5)).await;
+                        continue;
+                    };
+                    assert!(
+                        head >= last_head,
+                        "head went backwards at one replica: {last_head} -> {head}"
+                    );
+                    last_head = head;
+                    if head == r {
+                        break;
+                    }
+                    assert!(head < r, "our un-dequeued ref was passed over");
+                    sim2.sleep(SimDuration::from_millis(5)).await;
+                }
+                while locks.dequeue(coord, "hot", r).await.is_err() {
+                    sim2.sleep(SimDuration::from_millis(5)).await;
+                }
+                drained.set(drained.get() + 1);
+            }
+        });
+    }
+    sim.run();
+    assert_eq!(drained.get(), 9, "every section entered and exited");
+    let mut refs = minted.borrow().clone();
+    refs.sort_unstable();
+    refs.dedup();
+    assert_eq!(refs.len(), 9, "lock references must be unique");
+}
+
+#[test]
+fn lease_rows_keep_the_queue_monotone_under_contention() {
+    use music_lockstore::EnqueueOutcome;
+    let f = fixture();
+    let (locks, sim) = (f.locks.clone(), f.sim.clone());
+    let coords = f.coords.clone();
+    f.sim.block_on(async move {
+        // The owner runs a clean section and retains a lease: the release
+        // LWT tombstones its ref and pre-mints the successor as the head.
+        let r1 = locks.generate_and_enqueue(coords[0], "hot").await.unwrap();
+        let until = sim.now() + SimDuration::from_secs(60);
+        let (leased, granted_until) = locks
+            .release_with_lease(coords[0], "hot", r1, until)
+            .await
+            .unwrap()
+            .expect("nothing queued: lease retained");
+        assert_eq!(leased, LockRef::new(r1.value() + 1), "successor pre-minted");
+        assert_eq!(granted_until, until);
+
+        // Lease-oblivious enqueues from the other sites queue up *behind*
+        // the standing lease; references stay strictly increasing.
+        let r3 = locks.generate_and_enqueue(coords[1], "hot").await.unwrap();
+        let r4 = locks.generate_and_enqueue(coords[2], "hot").await.unwrap();
+        assert!(leased < r3 && r3 < r4, "minted behind the leased head");
+        let (head, entry) = locks
+            .peek_quorum(coords[1], "hot")
+            .await
+            .unwrap()
+            .expect("head");
+        assert_eq!(head, leased, "the leased row IS the queue head");
+        assert!(entry.lease_until.is_some());
+
+        // A lease-aware enqueue must decline while the lease stands
+        // unclaimed (the caller still has to force resynchronization)...
+        match locks
+            .generate_and_enqueue_guarded(coords[1], "hot", None)
+            .await
+            .unwrap()
+        {
+            EnqueueOutcome::LeaseBlocked(b) => assert_eq!(b, leased),
+            EnqueueOutcome::Minted(r) => panic!("enqueued {r} over a standing lease"),
+        }
+        // ...and break it atomically once authorized: the leased row goes,
+        // the breaker's fresh reference lands in the same LWT.
+        let broke = match locks
+            .generate_and_enqueue_guarded(coords[1], "hot", Some(leased))
+            .await
+            .unwrap()
+        {
+            EnqueueOutcome::Minted(r) => r,
+            EnqueueOutcome::LeaseBlocked(b) => panic!("authorized break declined on {b}"),
+        };
+        assert!(broke > r4, "the breaker queues at the tail");
+
+        // The queue drains in FIFO order with the lease row gone.
+        let mut seen = Vec::new();
+        for expect in [r3, r4, broke] {
+            let (head, entry) = locks
+                .peek_quorum(coords[2], "hot")
+                .await
+                .unwrap()
+                .expect("head");
+            assert_eq!(head, expect);
+            assert!(entry.lease_until.is_none(), "no lease row after the break");
+            seen.push(head);
+            locks.dequeue(coords[2], "hot", head).await.unwrap();
+        }
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "heads monotone");
+        assert!(
+            locks.peek_quorum(coords[0], "hot").await.unwrap().is_none(),
+            "queue drained"
+        );
+    });
+}

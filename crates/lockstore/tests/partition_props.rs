@@ -9,9 +9,13 @@ use proptest::prelude::*;
 
 fn arb_mutation() -> impl Strategy<Value = LockMutation> {
     prop_oneof![
-        (1u64..6).prop_map(|r| LockMutation::Enqueue {
-            lock_ref: LockRef::new(r),
-            token: r
+        (1u64..6, 0u64..1000).prop_map(|(r, lease)| {
+            LockMutation::Enqueue {
+                lock_ref: LockRef::new(r),
+                token: r,
+                // 0 = no lease, otherwise a leased row (repair re-emission).
+                lease_until: (lease > 0).then(|| SimTime::from_micros(lease)),
+            }
         }),
         (1u64..6).prop_map(|r| LockMutation::Dequeue {
             lock_ref: LockRef::new(r)
@@ -20,11 +24,29 @@ fn arb_mutation() -> impl Strategy<Value = LockMutation> {
             lock_ref: LockRef::new(r),
             at: SimTime::from_micros(t),
         }),
+        (1u64..6, 1u64..6, 1u64..1000).prop_map(|(a, b, u)| LockMutation::ReleaseWithLease {
+            released: LockRef::new(a),
+            next_ref: LockRef::new(b),
+            token: a ^ 0x10,
+            until: SimTime::from_micros(u),
+        }),
+        (1u64..6, 1u64..6).prop_map(|(a, b)| LockMutation::BreakEnqueue {
+            broken: LockRef::new(a),
+            lock_ref: LockRef::new(b),
+            token: a ^ 0x20,
+        }),
     ]
 }
 
 fn fingerprint(p: &LockPartition) -> String {
-    format!("{:?} {:?}", p.guard(), p.queue())
+    // Guard, queued refs, and each row's lease deadline: everything the
+    // lease fast path can observe must converge, not just the queue shape.
+    let rows: Vec<(u64, Option<SimTime>)> = p
+        .queue()
+        .iter()
+        .map(|r| (r.value(), p.entry(*r).expect("queued").lease_until))
+        .collect();
+    format!("{:?} {:?}", p.guard(), rows)
 }
 
 proptest! {
@@ -90,7 +112,10 @@ proptest! {
             match op {
                 0 => {
                     let next = LockRef::new(p.guard() + 1);
-                    p.apply(&LockMutation::Enqueue { lock_ref: next, token: 0 }, WriteStamp::new(stamp));
+                    p.apply(
+                        &LockMutation::Enqueue { lock_ref: next, token: 0, lease_until: None },
+                        WriteStamp::new(stamp),
+                    );
                 }
                 _ => {
                     if let Some((head, _)) = p.head() {

@@ -50,6 +50,15 @@ pub enum Phase {
     PutWait,
     /// `criticalGet` reply in flight, carrying the read value.
     GetWait(u8),
+    /// Released with a lease retained: `lock_ref` is the pre-minted leased
+    /// reference (the queue head), claimable without the lock protocol.
+    Leased,
+    /// Wants to enqueue but found an unclaimed lease on this ref; the
+    /// break's `synchFlag := true` write is outstanding.
+    BreakFlagWait(u8),
+    /// Break flag acked; the break LWT (dequeue lease + enqueue own ref)
+    /// is pending.
+    BreakReady(u8),
     /// Released and finished.
     Done,
     /// Crashed; pending writes stay pending forever.
@@ -101,6 +110,12 @@ pub struct State {
     pub forced_used: u8,
     /// Fresh-value counter for puts.
     pub next_value: u8,
+    /// The standing lease, if any: `(owner client, leased lockRef)`. Set
+    /// by `releaseLease`, cleared whenever the leased reference leaves the
+    /// queue (break, revocation, relinquish, or the owner's own release).
+    pub lease: Option<(u8, u8)>,
+    /// Leases minted so far (bound — each mints a fresh lockRef).
+    pub leases_used: u8,
 }
 
 /// Exploration bounds, in the spirit of Alloy scopes.
@@ -122,6 +137,14 @@ pub struct Scope {
     /// to this many puts without awaiting their acks; `criticalGet` and
     /// `release` are flush barriers (enabled only at zero pending).
     pub pipeline_window: u8,
+    /// Enable the lease extension: a release with nothing queued behind it
+    /// may retain a lease (pre-minted next lockRef at the queue head),
+    /// claimable by the owner without the lock protocol and breakable by
+    /// competitors through a flag-first break.
+    pub lease: bool,
+    /// Maximum leases minted overall (each mints a fresh lockRef, so this
+    /// bounds the state space).
+    pub max_leases: u8,
 }
 
 impl Default for Scope {
@@ -133,6 +156,8 @@ impl Default for Scope {
             max_forced: 2,
             stale_puts: true,
             pipeline_window: 0,
+            lease: false,
+            max_leases: 0,
         }
     }
 }
@@ -162,6 +187,19 @@ pub struct MusicModel {
     /// lock off with puts still in flight — must break the
     /// critical-section invariant for the next holder.
     pub release_without_flush: bool,
+    /// Mutant: lease breaks skip the flag-first protocol (the break is a
+    /// bare dequeue-and-enqueue LWT) *and* the owner claims without
+    /// revalidating against the queue — so a broken lease can still be
+    /// reused. Must break the synchFlag invariant: the stale claimant's
+    /// writes carry a lockRef at or above the true timestamp with no flag
+    /// raised (§IV-B's undefined-store hazard).
+    pub reuse_after_break: bool,
+    /// Mutant: the daemon revokes a leased queue head in a single step,
+    /// without writing the `synchFlag` first — i.e. *not* "exactly like a
+    /// preempted holder". An invisibly claimed lease (the claim is a
+    /// consistency-ONE write the daemon's view may lack) then loses its
+    /// flag cover mid-put.
+    pub stale_lease: bool,
 }
 
 impl Default for MusicModel {
@@ -180,6 +218,8 @@ impl MusicModel {
             dequeue_before_flag_ack: false,
             get_without_flush: false,
             release_without_flush: false,
+            reuse_after_break: false,
+            stale_lease: false,
         }
     }
 
@@ -271,6 +311,16 @@ impl MusicModel {
             s.flag.push(pair);
         }
     }
+
+    /// Removes `r` from the queue, clearing the standing lease if `r` is
+    /// the leased reference — every dequeue site must keep the lease view
+    /// consistent with the queue.
+    fn remove_ref(s: &mut State, r: u8) {
+        s.queue.retain(|q| *q != r);
+        if s.lease.is_some_and(|(_, lr)| lr == r) {
+            s.lease = None;
+        }
+    }
 }
 
 impl Model for MusicModel {
@@ -304,6 +354,8 @@ impl Model for MusicModel {
             daemon: Daemon::Idle,
             forced_used: 0,
             next_value: 1,
+            lease: None,
+            leases_used: 0,
         }]
     }
 
@@ -316,12 +368,44 @@ impl Model for MusicModel {
             let is_head = head == Some(c.lock_ref) && c.lock_ref != 0;
             match c.phase {
                 Phase::Idle => {
+                    // Plain enqueue, behind whatever is queued (including a
+                    // visibly claimed lease) — always safe.
                     let mut n = s.clone();
                     n.guard += 1;
                     n.queue.push(n.guard);
                     n.clients[ci].lock_ref = n.guard;
                     n.clients[ci].phase = Phase::HasRef;
                     out.push((format!("c{ci}:createLockRef({})", n.guard), n));
+                    // A standing lease is broken rather than queued behind.
+                    // The break is allowed even when the owner has already
+                    // claimed: the claim is a consistency-ONE write the
+                    // break LWT's snapshot may not have seen yet.
+                    if let Some((_, r)) = s.lease {
+                        if self.reuse_after_break {
+                            // Mutant: the break is a bare dequeue+enqueue
+                            // with no flag cover.
+                            let mut n = s.clone();
+                            Self::remove_ref(&mut n, r);
+                            n.guard += 1;
+                            n.queue.push(n.guard);
+                            n.clients[ci].lock_ref = n.guard;
+                            n.clients[ci].phase = Phase::HasRef;
+                            out.push((format!("c{ci}:leaseBreakUnflagged({r})"), n));
+                        } else {
+                            let mut n = s.clone();
+                            let delta = if self.delta_zero { 0 } else { 1 };
+                            Self::push_flag(
+                                &mut n,
+                                FlagPair {
+                                    ts: (r, delta),
+                                    value: true,
+                                    acked: false,
+                                },
+                            );
+                            n.clients[ci].phase = Phase::BreakFlagWait(r);
+                            out.push((format!("c{ci}:breakFlag({r})"), n));
+                        }
+                    }
                 }
                 Phase::HasRef if is_head => {
                     for flag_val in Self::flag_read_candidates(s) {
@@ -437,9 +521,28 @@ impl Model for MusicModel {
                     // releaseLock — also a flush barrier under pipelining.
                     if c.pending == 0 || self.release_without_flush {
                         let mut n = s.clone();
-                        n.queue.retain(|r| *r != c.lock_ref);
+                        Self::remove_ref(&mut n, c.lock_ref);
                         n.clients[ci].phase = Phase::Done;
                         out.push((format!("c{ci}:release"), n));
+                        // Lease-retaining release: only when nothing is
+                        // queued behind us — the release LWT then dequeues
+                        // our ref and pre-mints the successor as a lease,
+                        // atomically.
+                        if self.scope.lease
+                            && s.leases_used < self.scope.max_leases
+                            && s.queue.len() == 1
+                            && s.queue[0] == c.lock_ref
+                        {
+                            let mut n = s.clone();
+                            Self::remove_ref(&mut n, c.lock_ref);
+                            n.guard += 1;
+                            n.queue.push(n.guard);
+                            n.lease = Some((ci as u8, n.guard));
+                            n.leases_used += 1;
+                            n.clients[ci].lock_ref = n.guard;
+                            n.clients[ci].phase = Phase::Leased;
+                            out.push((format!("c{ci}:releaseLease({})", n.guard), n));
+                        }
                     }
                 }
                 Phase::PutWait => {
@@ -459,6 +562,57 @@ impl Model for MusicModel {
                     let mut n = s.clone();
                     n.clients[ci].phase = Phase::Critical;
                     out.push((format!("c{ci}:getDone"), n));
+                }
+                Phase::Leased => {
+                    let standing =
+                        s.lease == Some((ci as u8, c.lock_ref)) && s.queue.contains(&c.lock_ref);
+                    if standing || self.reuse_after_break {
+                        // Fast re-entry: revalidate (still queued, still
+                        // leased) and claim — no LWT, no flag read. The
+                        // mutant claims on the stale cached grant alone.
+                        let mut n = s.clone();
+                        n.clients[ci].phase = Phase::Critical;
+                        out.push((format!("c{ci}:leaseClaim({})", c.lock_ref), n));
+                    }
+                    if standing {
+                        // Voluntary surrender: release the pre-minted ref
+                        // through the normal LWT path.
+                        let mut n = s.clone();
+                        Self::remove_ref(&mut n, c.lock_ref);
+                        n.clients[ci].phase = Phase::Done;
+                        out.push((format!("c{ci}:leaseRelinquish({})", c.lock_ref), n));
+                    } else {
+                        // Broken or revoked under us: the slow path would
+                        // re-enter from scratch; model it as done.
+                        let mut n = s.clone();
+                        n.clients[ci].phase = Phase::Done;
+                        out.push((format!("c{ci}:leaseLost({})", c.lock_ref), n));
+                    }
+                }
+                Phase::BreakFlagWait(r) => {
+                    let mut n = s.clone();
+                    let delta = if self.delta_zero { 0 } else { 1 };
+                    if let Some(p) = n
+                        .flag
+                        .iter_mut()
+                        .find(|p| !p.acked && p.ts == (r, delta) && p.value)
+                    {
+                        p.acked = true;
+                    }
+                    n.clients[ci].phase = Phase::BreakReady(r);
+                    out.push((format!("c{ci}:breakFlagAck({r})"), n));
+                }
+                Phase::BreakReady(r) => {
+                    // The break LWT: dequeue the leased ref (if still
+                    // there — it may have been revoked or relinquished
+                    // meanwhile) and enqueue a fresh one atomically.
+                    let mut n = s.clone();
+                    Self::remove_ref(&mut n, r);
+                    n.guard += 1;
+                    n.queue.push(n.guard);
+                    n.clients[ci].lock_ref = n.guard;
+                    n.clients[ci].phase = Phase::HasRef;
+                    out.push((format!("c{ci}:leaseBreak({r})"), n));
                 }
                 _ => {}
             }
@@ -491,11 +645,24 @@ impl Model for MusicModel {
                         if self.dequeue_before_flag_ack {
                             // Mutant: pop the queue immediately; the flag
                             // write is still in flight.
-                            n.queue.retain(|q| *q != r);
+                            Self::remove_ref(&mut n, r);
                         }
                         n.daemon = Daemon::FlagWait(r);
                         n.forced_used += 1;
                         out.push((format!("daemon:forceFlag({r})"), n));
+                    }
+                    // Mutant: an (apparently expired, apparently
+                    // unclaimed) leased head is garbage-collected in one
+                    // step, with no resynchronizing flag write.
+                    if self.stale_lease && s.forced_used < self.scope.max_forced {
+                        if let Some((_, r)) = s.lease {
+                            if head == Some(r) {
+                                let mut n = s.clone();
+                                Self::remove_ref(&mut n, r);
+                                n.forced_used += 1;
+                                out.push((format!("daemon:staleRevoke({r})"), n));
+                            }
+                        }
                     }
                 }
             }
@@ -514,7 +681,7 @@ impl Model for MusicModel {
             }
             Daemon::Dequeue(r) => {
                 let mut n = s.clone();
-                n.queue.retain(|q| *q != r);
+                Self::remove_ref(&mut n, r);
                 n.daemon = Daemon::Idle;
                 out.push((format!("daemon:forceDequeue({r})"), n));
             }
@@ -532,6 +699,18 @@ impl Model for MusicModel {
         }
         if s.queue.iter().any(|r| *r == 0 || *r > s.guard) {
             return Err(format!("queue outside minted refs: {:?}", s.queue));
+        }
+
+        // Lease sanity: a standing lease names a minted, still-queued
+        // reference owned by a real client — every dequeue site must have
+        // cleared it otherwise.
+        if let Some((o, r)) = s.lease {
+            if o as usize >= s.clients.len() || r == 0 || r > s.guard || !s.queue.contains(&r) {
+                return Err(format!(
+                    "lease sanity: lease ({o}, {r}) inconsistent with queue {:?} / guard {}",
+                    s.queue, s.guard
+                ));
+            }
         }
 
         let true_pair = Self::true_pair(s);

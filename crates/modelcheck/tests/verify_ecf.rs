@@ -149,11 +149,7 @@ fn scope_without_stale_views_is_clean_and_smaller() {
 fn three_client_scope_is_clean() {
     let model = MusicModel::new(Scope {
         clients: 3,
-        max_puts: 1,
-        max_crashes: 1,
-        max_forced: 2,
-        stale_puts: true,
-        pipeline_window: 0,
+        ..Scope::default()
     });
     let out = Checker {
         max_states: 20_000_000,
@@ -246,6 +242,88 @@ fn mutant_release_without_flush_is_caught() {
         CheckOutcome::Ok { .. } => {
             panic!("release-without-flush mutant must violate an invariant")
         }
+    }
+}
+
+fn lease_scope() -> Scope {
+    Scope {
+        lease: true,
+        max_leases: 2,
+        ..Scope::default()
+    }
+}
+
+#[test]
+fn lease_scope_satisfies_all_invariants() {
+    // The lease extension: clean releases retain a pre-minted leased ref
+    // at the queue head; owners claim it with no LWT and no flag read;
+    // competitors break it flag-first; the daemon may force-release a
+    // leased head like any other. ECF must survive every interleaving,
+    // including breaks racing invisible claims.
+    let model = MusicModel::new(lease_scope());
+    let out = Checker::default().run(&model);
+    match &out {
+        CheckOutcome::Ok {
+            states, truncated, ..
+        } => {
+            assert!(!truncated, "scope must be fully explored");
+            assert!(*states > 10_000, "non-trivial state space, got {states}");
+        }
+        CheckOutcome::Violation { message, trace, .. } => {
+            panic!(
+                "unexpected violation: {message}\ntrace:\n  {}",
+                trace.join("\n  ")
+            );
+        }
+    }
+}
+
+#[test]
+fn mutant_reuse_after_break_is_caught() {
+    // If breaks skip the flag-first protocol and owners claim without
+    // revalidating, a broken lease can be reused: the stale claimant
+    // writes at a lockRef at/above the true timestamp with no flag
+    // raised — exactly §IV-B's undefined-store hazard.
+    let model = MusicModel {
+        reuse_after_break: true,
+        ..MusicModel::new(lease_scope())
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("synchFlag")
+                    || message.contains("critical-section")
+                    || message.contains("latest-state"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(!trace.is_empty());
+        }
+        CheckOutcome::Ok { .. } => panic!("reuse-after-break mutant must violate an invariant"),
+    }
+}
+
+#[test]
+fn mutant_stale_lease_revocation_is_caught() {
+    // The watchdog must revoke expired leases *exactly like preempted
+    // holders* (resynchronizing flag write first). A one-step revocation
+    // drops the flag cover of an invisibly claimed lease mid-put.
+    let model = MusicModel {
+        stale_lease: true,
+        ..MusicModel::new(lease_scope())
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("synchFlag")
+                    || message.contains("critical-section")
+                    || message.contains("latest-state"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(!trace.is_empty());
+        }
+        CheckOutcome::Ok { .. } => panic!("stale-lease mutant must violate an invariant"),
     }
 }
 

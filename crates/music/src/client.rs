@@ -20,17 +20,19 @@
 //! never arrive.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 
 use bytes::Bytes;
 
 use music_lockstore::LockRef;
 use music_quorumstore::StoreError;
 use music_simnet::executor::Sim;
+use music_simnet::time::{SimDuration, SimTime};
 
 use crate::config::WriteMode;
 use crate::error::{AcquireOutcome, CriticalError, MusicError};
-use crate::replica::{MusicReplica, PendingPut};
+use crate::replica::{LeaseGrant, MusicReplica, PendingPut};
 use crate::stats::OpKind;
 
 /// A MUSIC client bound to an ordered list of replicas (closest first).
@@ -45,6 +47,12 @@ pub struct MusicClient {
     sim: Sim,
     /// Per-client override of the deployment's configured write mode.
     write_mode: Option<WriteMode>,
+    /// Per-client override of the deployment's configured lease window.
+    lease_window: Option<SimDuration>,
+    /// Leases retained by this client's clean releases, by key. Shared
+    /// across clones so a cloned handle sees (and consumes) the same
+    /// grants — a lease belongs to the client, not to one handle.
+    leases: Rc<RefCell<HashMap<String, LeaseGrant>>>,
 }
 
 impl MusicClient {
@@ -61,6 +69,8 @@ impl MusicClient {
             replicas,
             sim,
             write_mode: None,
+            lease_window: None,
+            leases: Rc::new(RefCell::new(HashMap::new())),
         })
     }
 
@@ -72,10 +82,31 @@ impl MusicClient {
         self
     }
 
+    /// This client with lease retention enabled at the given window,
+    /// regardless of the deployment config: clean releases retain a lease
+    /// and re-entries within `window` take the 0-RTT fast path.
+    #[must_use]
+    pub fn with_lease_window(mut self, window: SimDuration) -> Self {
+        self.lease_window = Some(window);
+        self
+    }
+
     /// The write mode sections entered through this client use.
     pub fn write_mode(&self) -> WriteMode {
         self.write_mode
             .unwrap_or(self.primary().config().write_mode)
+    }
+
+    /// The lease window in effect for this client, if leasing is on.
+    pub fn lease_window(&self) -> Option<SimDuration> {
+        self.lease_window.or(self.primary().config().lease_window)
+    }
+
+    /// The lease this client currently holds on `key`, if any. The grant
+    /// may already be expired — it is consumed (and validated) by the next
+    /// [`MusicClient::enter`].
+    pub fn lease(&self, key: impl AsRef<str>) -> Option<LeaseGrant> {
+        self.leases.borrow().get(key.as_ref()).copied()
     }
 
     /// The replica currently preferred by this client.
@@ -382,15 +413,30 @@ impl MusicClient {
     /// `acquireLock` (Listing 1), returning a guard for the critical
     /// operations.
     ///
+    /// When this client holds an unexpired lease on `key` (retained by a
+    /// previous clean release under a configured lease window), entry
+    /// takes the fast path instead: the pre-minted leased reference is
+    /// revalidated against the local lock-store replica and claimed with
+    /// a single intra-site write — no LWT, no quorum read. Any doubt
+    /// (lease broken, expired, or the local view stale for too long)
+    /// falls back to the full protocol.
+    ///
     /// # Errors
     ///
     /// Any [`MusicError`] from the two steps.
     pub async fn enter(&self, key: impl AsRef<str>) -> Result<CriticalSection, MusicError> {
         let key = key.as_ref();
+        if let Some(lock_ref) = self.try_lease_reenter(key).await {
+            return Ok(self.section(key, lock_ref, self.sim.now()));
+        }
         let lock_ref = self.create_lock_ref(key).await?;
         let entered_at = self.sim.now();
         self.acquire_lock(key, lock_ref).await?;
-        Ok(CriticalSection {
+        Ok(self.section(key, lock_ref, entered_at))
+    }
+
+    fn section(&self, key: &str, lock_ref: LockRef, entered_at: SimTime) -> CriticalSection {
+        CriticalSection {
             client: self.clone(),
             key: key.to_string(),
             lock_ref,
@@ -398,7 +444,47 @@ impl MusicClient {
             write_mode: self.write_mode(),
             pending: RefCell::new(VecDeque::new()),
             poisoned: Cell::new(None),
-        })
+        }
+    }
+
+    /// Attempts the lease fast path on `key`: consumes the cached grant,
+    /// revalidates it at the primary replica, and returns the leased
+    /// reference on success. `None` means "take the slow path" (which is
+    /// always safe — a still-standing lease of our own would be broken by
+    /// our own `createLockRef`, merely wasting the grant).
+    async fn try_lease_reenter(&self, key: &str) -> Option<LockRef> {
+        self.lease_window()?;
+        let grant = self.leases.borrow_mut().remove(key)?;
+        if self.sim.now() >= grant.until {
+            return None;
+        }
+        let poll = self.primary().config().acquire_poll;
+        // A couple of polls tolerate a local replica that has not yet
+        // applied the release LWT; beyond that, fall back rather than spin.
+        for _ in 0..3 {
+            match self.primary().lease_reenter(key, grant.lock_ref).await {
+                Ok(AcquireOutcome::Acquired) => return Some(grant.lock_ref),
+                Ok(AcquireOutcome::NotYet) => self.sim.sleep(poll).await,
+                Ok(AcquireOutcome::NoLongerHolder) | Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    /// Voluntarily surrenders the lease this client holds on `key`, if
+    /// any: the pre-minted reference is released through the normal LWT
+    /// path so other clients need not break (or wait out) the lease.
+    ///
+    /// # Errors
+    ///
+    /// [`MusicError::Unavailable`] after the retry budget is exhausted.
+    pub async fn relinquish(&self, key: impl AsRef<str>) -> Result<(), MusicError> {
+        let key = key.as_ref();
+        let grant = self.leases.borrow_mut().remove(key);
+        match grant {
+            Some(g) => self.release_lock(key, g.lock_ref).await,
+            None => Ok(()),
+        }
     }
 
     /// Enters a critical section over *several* keys, following the
@@ -731,9 +817,17 @@ impl CriticalSection {
     /// Any flush error (the lock is then *not* released — the failure
     /// detector will preempt it with a resynchronizing `forcedRelease`), or
     /// [`MusicError::Unavailable`] if no replica can reach the lock store.
+    ///
+    /// When the client has a lease window in effect, a clean release with
+    /// nothing queued behind it retains a lease: the next
+    /// [`MusicClient::enter`] on this key within the window skips the lock
+    /// protocol entirely.
     pub async fn release(self) -> Result<(), MusicError> {
         self.flush().await?;
-        let res = self.client.release_lock(&self.key, self.lock_ref).await;
+        let res = match self.client.lease_window() {
+            Some(window) => self.release_leased(window).await,
+            None => self.client.release_lock(&self.key, self.lock_ref).await,
+        };
         if res.is_ok() {
             self.client.primary().stats().record(
                 OpKind::CriticalSection,
@@ -741,5 +835,29 @@ impl CriticalSection {
             );
         }
         res
+    }
+
+    /// Lease-retaining release: one LWT, same cost as a plain release,
+    /// caching the grant (if one was retained) on the client.
+    async fn release_leased(&self, window: SimDuration) -> Result<(), MusicError> {
+        let key = self.key.clone();
+        let lock_ref = self.lock_ref;
+        let granted = self
+            .client
+            .with_failover("releaseLock", |r| {
+                let key = key.clone();
+                async move { r.release_lock_leased(&key, lock_ref, window).await }
+            })
+            .await?;
+        let mut leases = self.client.leases.borrow_mut();
+        match granted {
+            Some(g) => {
+                leases.insert(self.key.clone(), g);
+            }
+            None => {
+                leases.remove(&self.key);
+            }
+        }
+        Ok(())
     }
 }

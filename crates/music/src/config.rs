@@ -93,6 +93,13 @@ pub struct MusicConfig {
     pub peek_mode: PeekMode,
     /// How critical sections issue their puts (sync vs. pipelined).
     pub write_mode: WriteMode,
+    /// When set, clean releases retain a *lease* of this duration: the
+    /// release LWT pre-mints the next lock reference for the departing
+    /// client iff nothing is queued behind it, and a re-entry within the
+    /// window skips `createLockRef` + the grant's quorum read entirely
+    /// (0 extra WAN RTTs). `None` (the default) disables leasing and
+    /// preserves the paper's exact protocol.
+    pub lease_window: Option<SimDuration>,
 }
 
 impl Default for MusicConfig {
@@ -106,6 +113,7 @@ impl Default for MusicConfig {
             put_mode: PutMode::Quorum,
             peek_mode: PeekMode::Local,
             write_mode: WriteMode::Sync,
+            lease_window: None,
         }
     }
 }
@@ -127,6 +135,15 @@ impl MusicConfig {
             ..Self::default()
         }
     }
+
+    /// A config whose clean releases retain a lease of duration `window`
+    /// (the lease-cached fast re-entry path).
+    pub fn leased(window: SimDuration) -> Self {
+        MusicConfig {
+            lease_window: Some(window),
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +158,10 @@ mod tests {
         assert_eq!(c.put_mode, PutMode::Quorum);
         assert_eq!(MusicConfig::mscp().put_mode, PutMode::Lwt);
         assert_eq!(c.write_mode, WriteMode::Sync);
+        assert_eq!(c.lease_window, None, "leasing is opt-in");
+        let leased = MusicConfig::leased(SimDuration::from_secs(5));
+        assert_eq!(leased.lease_window, Some(SimDuration::from_secs(5)));
+        assert!(leased.lease_window.unwrap() < leased.failure_timeout);
     }
 
     #[test]

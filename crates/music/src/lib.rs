@@ -66,7 +66,7 @@ pub use config::{MusicConfig, PeekMode, PutMode, WriteMode};
 pub use error::{AcquireOutcome, CriticalError, MusicError};
 pub use music_lockstore::LockRef;
 pub use repair::RepairDaemon;
-pub use replica::{MusicReplica, PendingPut};
+pub use replica::{LeaseGrant, MusicReplica, PendingPut};
 pub use stats::{OpKind, OpStats};
 pub use system::{MusicSystem, MusicSystemBuilder};
 pub use timestamp::{V2s, VectorTimestamp};

@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 
-use music_lockstore::{LockRef, LockStore};
+use music_lockstore::{EnqueueOutcome, LockRef, LockStore};
 use music_quorumstore::{DataRow, Put, ReplicatedTable, RowSnapshot, StoreError};
 use music_simnet::executor::JoinHandle;
 use music_simnet::net::{Network, NodeId};
@@ -35,6 +35,17 @@ fn is_internal_key(key: &str) -> bool {
 
 const FLAG_TRUE: Bytes = Bytes::from_static(b"1");
 const FLAG_FALSE: Bytes = Bytes::from_static(b"0");
+
+/// A lease retained by a clean release: the pre-minted successor reference
+/// and the deadline until which the departing client may re-enter without
+/// paying the LWT (see [`MusicReplica::release_lock_leased`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct LeaseGrant {
+    /// The pre-minted (already enqueued) lock reference.
+    pub lock_ref: LockRef,
+    /// Expiry deadline; past it the watchdog revokes the lease.
+    pub until: SimTime,
+}
 
 fn flag_is_true(snap: &RowSnapshot) -> bool {
     snap.value.as_deref() == Some(b"1")
@@ -209,12 +220,128 @@ impl MusicReplica {
         Self::assert_client_key(key);
         let span = self.span_start("createLockRef", key);
         let t0 = self.now();
-        let r = self.locks.generate_and_enqueue(self.node, key).await;
+        let r = self.create_lock_ref_inner(key).await;
         if r.is_ok() {
             self.stats.record(OpKind::CreateLockRef, self.now() - t0);
         }
         self.span_end(span, "createLockRef", key, r.is_ok());
         r
+    }
+
+    async fn create_lock_ref_inner(&self, key: &str) -> Result<LockRef, StoreError> {
+        let mut authorized: Option<LockRef> = None;
+        // Bounded break attempts: back-to-back lease grants by a hot
+        // leaseholder could otherwise starve this enqueue. The fallback
+        // below is always safe — it queues behind the lease exactly like
+        // behind any live holder.
+        for _ in 0..4 {
+            match self
+                .locks
+                .generate_and_enqueue_guarded(self.node, key, authorized)
+                .await?
+            {
+                EnqueueOutcome::Minted(r) => return Ok(r),
+                EnqueueOutcome::LeaseBlocked(leased) => {
+                    // Force resynchronization *before* breaking the lease:
+                    // the leaseholder may have re-entered invisibly (the
+                    // claim is a CL.ONE start-time write the break LWT's
+                    // quorum read can miss) with puts already in flight —
+                    // exactly the mid-put preemption of §IV-B, so the break
+                    // must leave the synchFlag set for the next holder.
+                    // Stamped like a forcedRelease of the leased reference:
+                    // above any reset it could have issued, below the next
+                    // holder's.
+                    let stamp = self.v2s.forced_release_stamp(leased, self.cfg.delta);
+                    self.data
+                        .write_quorum(self.node, &synch_key(key), Put::value(FLAG_TRUE), stamp)
+                        .await?;
+                    authorized = Some(leased);
+                }
+            }
+        }
+        self.locks.generate_and_enqueue(self.node, key).await
+    }
+
+    /// Lease fast re-entry: claims the pre-minted leased reference with
+    /// **zero extra WAN round trips** — one local peek to revalidate that
+    /// the lease still heads the queue, then the same cheap CL.ONE
+    /// start-time write the normal grant path uses. Returns
+    /// [`AcquireOutcome::Acquired`] on success; any other outcome means the
+    /// lease is gone (broken, revoked, or not yet visible locally) and the
+    /// caller must fall back to `createLockRef` + `acquireLock`.
+    ///
+    /// Skipping the grant path's `synchFlag` quorum read is sound: between
+    /// a *clean* release-with-lease and this re-entry, the flag can only
+    /// have been raised for this reference by a `forcedRelease` or a lease
+    /// break — and both also dequeue the reference, which this
+    /// revalidation (or the per-operation holder guard, for a stale local
+    /// view) detects; in the residual stale-peek race our writes carry
+    /// dominated `v2s` stamps, the standard preempted-holder safety of
+    /// §IV-B.
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] when the lock store does not answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` contains the reserved internal separator `'\u{1}'`.
+    pub async fn lease_reenter(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<AcquireOutcome, StoreError> {
+        Self::assert_client_key(key);
+        let span = self.span_start("leaseReenter", key);
+        let r = self.lease_reenter_inner(key, lock_ref).await;
+        if matches!(r, Ok(AcquireOutcome::Acquired)) {
+            self.count("lease_hits", 1);
+            self.count("lock_grants", 1);
+            self.emit(|| EventKind::LockGrant {
+                key: key.to_string(),
+                lock_ref: lock_ref.value(),
+            });
+        }
+        self.span_end(span, "leaseReenter", key, r.is_ok());
+        r
+    }
+
+    async fn lease_reenter_inner(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<AcquireOutcome, StoreError> {
+        let t0 = self.now();
+        let head = self.peek(key).await?;
+        let Some((head, entry)) = head else {
+            // Local lock-store replica has not learned the lease row yet.
+            return Ok(AcquireOutcome::NotYet);
+        };
+        if lock_ref > head {
+            return Ok(AcquireOutcome::NotYet);
+        }
+        if lock_ref < head {
+            return Ok(AcquireOutcome::NoLongerHolder);
+        }
+        let Some(until) = entry.lease_until else {
+            // Head matches but is not a lease row: claim through the slow
+            // path (defensive; should not happen for a cached grant).
+            return Ok(AcquireOutcome::NoLongerHolder);
+        };
+        if self.now() >= until {
+            // Expired: the watchdog may already be revoking it. Take the
+            // slow path (which resynchronizes) rather than racing it.
+            return Ok(AcquireOutcome::NoLongerHolder);
+        }
+        // Claim: record the section start for the duration bound T and the
+        // failure detector, like the normal grant path (§VI).
+        if entry.start_time.is_none() {
+            self.locks
+                .set_start_time(self.node, key, lock_ref, self.now())
+                .await?;
+        }
+        self.stats.record(OpKind::LeaseReenter, self.now() - t0);
+        Ok(AcquireOutcome::Acquired)
     }
 
     /// `acquireLock`: returns [`AcquireOutcome::Acquired`] iff `lock_ref`
@@ -633,13 +760,77 @@ impl MusicReplica {
                 return Ok(()); // lock was forcibly released already
             }
         }
-        self.locks.dequeue(self.node, key, lock_ref).await?;
-        self.stats.record(OpKind::ReleaseLock, self.now() - t0);
+        // Emit at abdication, *before* the dequeue commits: a successor's
+        // local peek can observe the dequeue (and record its grant) before
+        // this coordinator's LWT round returns, so emitting afterwards
+        // would order the grant ahead of the release in the trace. From
+        // here the holder never acts again, so this is the release point
+        // as far as exclusivity is concerned; if the LWT nacks, the retry
+        // re-emits and the checker treats the duplicate as a no-op.
         self.emit(|| EventKind::LockRelease {
             key: key.to_string(),
             lock_ref: lock_ref.value(),
         });
+        self.locks.dequeue(self.node, key, lock_ref).await?;
+        self.stats.record(OpKind::ReleaseLock, self.now() - t0);
         Ok(())
+    }
+
+    /// `releaseLock` with lease retention: like
+    /// [`MusicReplica::release_lock`], but when nothing is queued behind
+    /// the released reference, the same LWT pre-mints the successor as a
+    /// lease valid for `window`. Returns the grant when one was retained —
+    /// the caller may then re-enter via [`MusicReplica::lease_reenter`]
+    /// within the window at zero extra WAN cost.
+    ///
+    /// Cost: one LWT = 4 WAN round trips, identical to a plain release.
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] when the lock store cannot reach a quorum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` contains the reserved internal separator `'\u{1}'`.
+    pub async fn release_lock_leased(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        window: SimDuration,
+    ) -> Result<Option<LeaseGrant>, StoreError> {
+        Self::assert_client_key(key);
+        let span = self.span_start("releaseLock", key);
+        let r = self.release_lock_leased_inner(key, lock_ref, window).await;
+        self.span_end(span, "releaseLock", key, r.is_ok());
+        r
+    }
+
+    async fn release_lock_leased_inner(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        window: SimDuration,
+    ) -> Result<Option<LeaseGrant>, StoreError> {
+        let t0 = self.now();
+        if let Some((head, _)) = self.peek(key).await? {
+            if lock_ref < head {
+                return Ok(None); // lock was forcibly released already
+            }
+        }
+        let until = self.now() + window;
+        // Emitted before the LWT for the same reason as in
+        // `release_lock_inner`: a waiter enqueued behind us may observe
+        // the dequeue and grant itself before our round returns.
+        self.emit(|| EventKind::LockRelease {
+            key: key.to_string(),
+            lock_ref: lock_ref.value(),
+        });
+        let granted = self
+            .locks
+            .release_with_lease(self.node, key, lock_ref, until)
+            .await?;
+        self.stats.record(OpKind::ReleaseLock, self.now() - t0);
+        Ok(granted.map(|(r, until)| LeaseGrant { lock_ref: r, until }))
     }
 
     /// `forcedRelease`: preempts `lock_ref` on behalf of a presumed-failed
@@ -672,14 +863,20 @@ impl MusicReplica {
         self.data
             .write_quorum(self.node, &synch_key(key), Put::value(FLAG_TRUE), stamp)
             .await?;
-        // No-op if lock_ref is not in the queue.
-        self.locks.dequeue(self.node, key, lock_ref).await?;
-        self.stats.record(OpKind::ForcedRelease, self.now() - t0);
-        self.count("forced_releases", 1);
+        // Emitted once the covering flag is durable but *before* the
+        // dequeue commits: the preempted reference's entitlement is
+        // formally dead here (any write it still lands is dominated by
+        // the flag's stamp), and the successor's grant — which a local
+        // peek may record before our LWT round returns — must sort after
+        // this event in the trace.
         self.emit(|| EventKind::LockForcedRelease {
             key: key.to_string(),
             lock_ref: lock_ref.value(),
         });
+        // No-op if lock_ref is not in the queue.
+        self.locks.dequeue(self.node, key, lock_ref).await?;
+        self.stats.record(OpKind::ForcedRelease, self.now() - t0);
+        self.count("forced_releases", 1);
         Ok(())
     }
 

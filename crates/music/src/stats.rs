@@ -26,6 +26,8 @@ pub enum OpKind {
     CriticalGet,
     /// `releaseLock` — one LWT.
     ReleaseLock,
+    /// Lease fast re-entry: local revalidation + CL.ONE claim.
+    LeaseReenter,
     /// Lock-free eventual `get`.
     EventualGet,
     /// Lock-free eventual `put` (the CassaEV baseline op).
@@ -38,7 +40,7 @@ pub enum OpKind {
 
 impl OpKind {
     /// All kinds, for iteration in reports.
-    pub const ALL: [OpKind; 11] = [
+    pub const ALL: [OpKind; 12] = [
         OpKind::CreateLockRef,
         OpKind::AcquirePeek,
         OpKind::AcquireGrant,
@@ -46,6 +48,7 @@ impl OpKind {
         OpKind::MscpPut,
         OpKind::CriticalGet,
         OpKind::ReleaseLock,
+        OpKind::LeaseReenter,
         OpKind::EventualGet,
         OpKind::EventualPut,
         OpKind::ForcedRelease,
@@ -63,6 +66,7 @@ impl std::fmt::Display for OpKind {
             OpKind::MscpPut => "criticalPut(LWT)",
             OpKind::CriticalGet => "criticalGet",
             OpKind::ReleaseLock => "releaseLock",
+            OpKind::LeaseReenter => "leaseReenter",
             OpKind::EventualGet => "get",
             OpKind::EventualPut => "put",
             OpKind::ForcedRelease => "forcedRelease",
@@ -151,6 +155,7 @@ mod tests {
     fn display_names_match_paper_vocabulary() {
         assert_eq!(OpKind::CreateLockRef.to_string(), "createLockRef");
         assert_eq!(OpKind::MscpPut.to_string(), "criticalPut(LWT)");
-        assert_eq!(OpKind::ALL.len(), 11);
+        assert_eq!(OpKind::LeaseReenter.to_string(), "leaseReenter");
+        assert_eq!(OpKind::ALL.len(), 12);
     }
 }

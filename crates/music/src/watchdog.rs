@@ -22,6 +22,10 @@ use crate::replica::MusicReplica;
 struct Observation {
     head: LockRef,
     first_seen: SimTime,
+    /// Whether the head had a start time when last observed. A lease claim
+    /// (start time appearing on an unchanged head) is progress: it resets
+    /// the staleness clock just like a head change does.
+    started: bool,
 }
 
 /// A watchdog task bound to one MUSIC replica.
@@ -38,6 +42,7 @@ pub struct Watchdog {
     watched: Rc<RefCell<HashMap<String, Observation>>>,
     running: Rc<std::cell::Cell<bool>>,
     preemptions: Rc<std::cell::Cell<u64>>,
+    lease_revocations: Rc<std::cell::Cell<u64>>,
 }
 
 impl Watchdog {
@@ -49,6 +54,7 @@ impl Watchdog {
             watched: Rc::new(RefCell::new(HashMap::new())),
             running: Rc::new(std::cell::Cell::new(false)),
             preemptions: Rc::new(std::cell::Cell::new(0)),
+            lease_revocations: Rc::new(std::cell::Cell::new(0)),
         }
     }
 
@@ -60,6 +66,7 @@ impl Watchdog {
             .or_insert(Observation {
                 head: LockRef::NONE,
                 first_seen: SimTime::ZERO,
+                started: false,
             });
     }
 
@@ -68,9 +75,15 @@ impl Watchdog {
         self.running.set(false);
     }
 
-    /// Total forced releases issued by this watchdog.
+    /// Total forced releases issued by this watchdog (including lease
+    /// revocations).
     pub fn preemptions(&self) -> u64 {
         self.preemptions.get()
+    }
+
+    /// How many of the forced releases revoked an expired, unclaimed lease.
+    pub fn lease_revocations(&self) -> u64 {
+        self.lease_revocations.get()
     }
 
     /// Spawns the periodic scan loop on the replica's simulation.
@@ -92,55 +105,81 @@ impl Watchdog {
     /// One scan over all watched keys (also callable directly for
     /// deterministic tests). Uses a single range scan of the local
     /// lock-store replica rather than one peek per key.
+    ///
+    /// Lease handling: an *unclaimed* leased head is not a stuck holder —
+    /// it is a standing reservation, exempt from the staleness timeout
+    /// until its deadline; once the deadline passes unclaimed, it is
+    /// revoked immediately (same resynchronizing `forcedRelease` as a
+    /// preemption). A *claimed* lease (start time set) is an ordinary
+    /// holder, and the claim itself resets the staleness clock.
     pub async fn scan_once(&self) {
         let timeout = self.replica.config().failure_timeout;
         let now = self.replica.data().net().sim().now();
         let Ok(heads) = self.replica.locks().scan_heads(self.replica.node()).await else {
             return; // store unavailable; try next round
         };
-        let head_of: std::collections::HashMap<String, LockRef> =
-            heads.into_iter().map(|(k, r, _)| (k, r)).collect();
+        let head_of: std::collections::HashMap<String, (LockRef, music_lockstore::LockEntry)> =
+            heads.into_iter().map(|(k, r, e)| (k, (r, e))).collect();
         let keys: Vec<String> = self.watched.borrow().keys().cloned().collect();
         for key in keys {
-            let Some(&head) = head_of.get(&key) else {
+            let Some(&(head, entry)) = head_of.get(&key) else {
                 // Queue currently empty: reset the observation but keep
                 // watching — new references may arrive at any time.
                 if let Some(obs) = self.watched.borrow_mut().get_mut(&key) {
                     obs.head = LockRef::NONE;
                     obs.first_seen = now;
+                    obs.started = false;
                 }
                 continue;
             };
+            let claimed = entry.start_time.is_some();
             let stale_since = {
                 let mut watched = self.watched.borrow_mut();
                 let obs = watched.entry(key.clone()).or_insert(Observation {
                     head: LockRef::NONE,
                     first_seen: now,
+                    started: false,
                 });
                 if obs.head != head {
                     obs.head = head;
                     obs.first_seen = now;
+                    obs.started = claimed;
+                } else if claimed && !obs.started {
+                    obs.started = true;
+                    obs.first_seen = now;
                 }
                 obs.first_seen
             };
-            if now - stale_since >= timeout {
+            let expired_lease = match (claimed, entry.lease_until) {
+                // A standing, unclaimed lease within its window: leave it
+                // alone no matter how long it has sat at the head.
+                (false, Some(until)) if now < until => continue,
+                (false, Some(_)) => true,
+                _ => false,
+            };
+            if expired_lease || now - stale_since >= timeout {
                 if std::env::var("MUSIC_WATCHDOG_TRACE").is_ok() {
                     eprintln!(
                         "[watchdog] t={now} preempting {head} on {key} (stale since {stale_since})"
                     );
                 }
-                // Presumed failed (or orphaned): preempt. The release is
-                // safe even if the holder is actually alive (ECF).
+                // Presumed failed (or orphaned, or an expired lease never
+                // claimed): preempt. The release is safe even if the
+                // holder is actually alive (ECF).
                 if self.replica.forced_release(&key, head).await.is_ok() {
                     self.preemptions.set(self.preemptions.get() + 1);
+                    if expired_lease {
+                        self.lease_revocations.set(self.lease_revocations.get() + 1);
+                    }
                     let rec = self.replica.recorder();
                     if rec.is_on() {
                         let node = self.replica.node().0;
-                        rec.count(
-                            music_telemetry::Scope::Node(node),
-                            "watchdog_preemptions",
-                            1,
-                        );
+                        let counter = if expired_lease {
+                            "watchdog_lease_revocations"
+                        } else {
+                            "watchdog_preemptions"
+                        };
+                        rec.count(music_telemetry::Scope::Node(node), counter, 1);
                         if rec.is_tracing() {
                             let sim = self.replica.data().net().sim();
                             rec.record(
@@ -157,6 +196,7 @@ impl Watchdog {
                     if let Some(obs) = self.watched.borrow_mut().get_mut(&key) {
                         obs.head = LockRef::NONE;
                         obs.first_seen = now;
+                        obs.started = false;
                     }
                 }
             }

@@ -68,6 +68,19 @@ fn every_op_kind_is_recorded() {
         let cs = client.enter("k2").await.unwrap();
         cs.put(b("w")).await.unwrap();
         cs.release().await.unwrap();
+
+        // leaseReenter: a clean release under a lease window retains a
+        // grant, and the next enter on the same key claims it locally.
+        let leased = sys2
+            .client_at_site(1)
+            .with_lease_window(SimDuration::from_secs(60));
+        let cs = leased.enter("k3").await.unwrap();
+        cs.release().await.unwrap();
+        assert!(leased.lease("k3").is_some(), "clean release retains lease");
+        let cs = leased.enter("k3").await.unwrap();
+        cs.release().await.unwrap();
+        leased.relinquish("k3").await.unwrap();
+        assert!(leased.lease("k3").is_none());
     });
 
     let stats = sys.stats();

@@ -80,3 +80,77 @@ proptest! {
         prop_assert_eq!(m.lock_ref_of(m.scalar(ts)), ts.lock_ref);
     }
 }
+
+// ---- Adversarial boundaries (lease-era hardening) ----
+//
+// A lease-minted successor is `guard + 1` stamped from elapsed 0, so the
+// exact fences — elapsed one tick under `T`, references one step under
+// `max_lock_ref`, and the forcedRelease stamp's `δ` — are the places an
+// off-by-one would corrupt last-write-wins ordering.
+
+proptest! {
+    /// The last representable microseconds under `T` never collide with
+    /// the successor's earliest stamps — the boundary every lease mint
+    /// (`guard + 1`, elapsed 0) crosses at claim time.
+    #[test]
+    fn boundary_elapsed_never_collides_with_successor(
+        lr in 1u64..1_000_000,
+        t_old in (T_MICROS - 3)..T_MICROS,
+        t_new in 0u64..3,
+    ) {
+        let m = v2s();
+        let last = VectorTimestamp::new(LockRef::new(lr), SimDuration::from_micros(t_old));
+        let first = VectorTimestamp::new(LockRef::new(lr + 1), SimDuration::from_micros(t_new));
+        prop_assert!(m.scalar(last) < m.scalar(first));
+    }
+
+    /// Near `max_lock_ref`: order preservation and the lockRef round trip
+    /// still hold at boundary elapsed values.
+    #[test]
+    fn near_max_lock_ref_order_and_round_trip(
+        off_a in 1u64..1_000,
+        off_b in 1u64..1_000,
+        t_pick in 0usize..5,
+    ) {
+        let m = v2s();
+        let t = [0, 1, T_MICROS / 2, T_MICROS - 2, T_MICROS - 1][t_pick];
+        let max = m.max_lock_ref();
+        let a = VectorTimestamp::new(LockRef::new(max - off_a), SimDuration::from_micros(t));
+        let b = VectorTimestamp::new(LockRef::new(max - off_b), SimDuration::from_micros(t));
+        prop_assert_eq!(a.cmp(&b), m.scalar(a).cmp(&m.scalar(b)));
+        prop_assert_eq!(m.lock_ref_of(m.scalar(a)), a.lock_ref);
+    }
+
+    /// A run of lease-minted successors (`guard + 1` per clean release)
+    /// stays strictly monotone and within the §X-A3 overflow bound even
+    /// when it starts just under `max_lock_ref`.
+    #[test]
+    fn lease_mint_chain_monotone_near_bound(
+        off in 8u64..10_000,
+        chain in 1usize..8,
+        t in 0u64..T_MICROS,
+    ) {
+        let m = v2s();
+        let start = m.max_lock_ref() - off; // off >= chain keeps the run in range
+        let mut prev = m.scalar(VectorTimestamp::new(LockRef::new(start), SimDuration::from_micros(t)));
+        for i in 1..=chain as u64 {
+            let next = m.scalar(VectorTimestamp::new(LockRef::new(start + i), SimDuration::ZERO));
+            prop_assert!(next > prev);
+            prev = next;
+        }
+        prop_assert!(prev.value() < (1u64 << 63) + T_MICROS);
+    }
+
+    /// §IV-B at the fence: the forced stamp `(r, δ)` dominates the
+    /// holder's writes stamped strictly before `δ` and yields at `δ`
+    /// exactly — not one microsecond off on either side.
+    #[test]
+    fn forced_stamp_fence_is_exact(lr in 1u64..1_000_000, delta_us in 1u64..T_MICROS) {
+        let m = v2s();
+        let forced = m.forced_release_stamp(LockRef::new(lr), SimDuration::from_micros(delta_us));
+        let before = m.scalar(VectorTimestamp::new(LockRef::new(lr), SimDuration::from_micros(delta_us - 1)));
+        let at = m.scalar(VectorTimestamp::new(LockRef::new(lr), SimDuration::from_micros(delta_us)));
+        prop_assert!(before < forced);
+        prop_assert!(at >= forced);
+    }
+}

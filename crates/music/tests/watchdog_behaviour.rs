@@ -149,3 +149,174 @@ fn stop_halts_the_scan_loop() {
     sim.run();
     assert_eq!(sim.now(), t, "no further watchdog activity after stop");
 }
+
+// ---- Lease handling (driven through `scan_once` for determinism) ----
+
+use music::{AcquireOutcome as AO, LockRef};
+
+#[test]
+fn standing_lease_is_exempt_from_the_staleness_timeout() {
+    let sys = system(SimDuration::from_secs(2));
+    let sim = sys.sim().clone();
+    let dog = Watchdog::new(sys.replica(1).clone(), SimDuration::from_millis(250));
+    dog.watch("leased");
+    let sys2 = sys.clone();
+    let dog2 = dog.clone();
+    let h = sim.spawn(async move {
+        let r = sys2.replica(0).clone();
+        let lr = r.create_lock_ref("leased").await.unwrap();
+        while r.acquire_lock("leased", lr).await.unwrap() != AO::Acquired {}
+        let grant = r
+            .release_lock_leased("leased", lr, SimDuration::from_secs(60))
+            .await
+            .unwrap()
+            .expect("clean release retains the lease");
+        assert_eq!(grant.lock_ref, LockRef::new(lr.value() + 1));
+        // Scan far past the failure timeout: the unclaimed, unexpired
+        // lease is a standing reservation, not a stuck holder.
+        for _ in 0..20 {
+            dog2.scan_once().await;
+            sys2.sim().sleep(SimDuration::from_millis(500)).await;
+        }
+    });
+    sim.run_until_complete(h);
+    assert_eq!(dog.preemptions(), 0, "standing lease must not be preempted");
+    assert_eq!(dog.lease_revocations(), 0);
+}
+
+#[test]
+fn expired_unclaimed_lease_is_revoked_on_the_first_scan() {
+    // An enormous failure timeout proves the revocation is driven by the
+    // lease deadline, not by the staleness clock.
+    let sys = system(SimDuration::from_secs(1_000));
+    let sim = sys.sim().clone();
+    let dog = Watchdog::new(sys.replica(1).clone(), SimDuration::from_millis(250));
+    dog.watch("leased");
+    let sys2 = sys.clone();
+    let dog2 = dog.clone();
+    let h = sim.spawn(async move {
+        let r = sys2.replica(0).clone();
+        let lr = r.create_lock_ref("leased").await.unwrap();
+        while r.acquire_lock("leased", lr).await.unwrap() != AO::Acquired {}
+        r.release_lock_leased("leased", lr, SimDuration::from_millis(500))
+            .await
+            .unwrap()
+            .expect("lease granted");
+        // Let the lease lapse unclaimed, plus propagation slack.
+        sys2.sim().sleep(SimDuration::from_secs(2)).await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.lease_revocations(), 1, "revoked on the first scan");
+        // The key is free again: a newcomer enters without breaking.
+        let b = sys2.replica(2).clone();
+        let lr2 = b.create_lock_ref("leased").await.unwrap();
+        let deadline = sys2.sim().now() + SimDuration::from_secs(30);
+        loop {
+            match b.acquire_lock("leased", lr2).await.unwrap() {
+                AO::Acquired => break,
+                _ => {
+                    assert!(sys2.sim().now() < deadline);
+                    sys2.sim().sleep(SimDuration::from_millis(100)).await;
+                }
+            }
+        }
+        b.release_lock("leased", lr2).await.unwrap();
+    });
+    sim.run_until_complete(h);
+    assert_eq!(dog.preemptions(), 1, "a revocation is a forced release");
+    assert_eq!(dog.lease_revocations(), 1);
+}
+
+#[test]
+fn lease_claim_resets_the_staleness_clock() {
+    let sys = system(SimDuration::from_secs(2));
+    let sim = sys.sim().clone();
+    let dog = Watchdog::new(sys.replica(1).clone(), SimDuration::from_millis(250));
+    dog.watch("leased");
+    let sys2 = sys.clone();
+    let dog2 = dog.clone();
+    let h = sim.spawn(async move {
+        let r = sys2.replica(0).clone();
+        let lr = r.create_lock_ref("leased").await.unwrap();
+        while r.acquire_lock("leased", lr).await.unwrap() != AO::Acquired {}
+        let grant = r
+            .release_lock_leased("leased", lr, SimDuration::from_secs(60))
+            .await
+            .unwrap()
+            .expect("lease granted");
+        // Sit unclaimed well past the failure timeout, observing scans.
+        sys2.sim().sleep(SimDuration::from_secs(3)).await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.preemptions(), 0, "exempt while unclaimed");
+        // Claim it: from here the holder is ordinary again.
+        assert_eq!(
+            r.lease_reenter("leased", grant.lock_ref).await.unwrap(),
+            AO::Acquired
+        );
+        dog2.scan_once().await; // observes the claim; clock starts now
+        sys2.sim().sleep(SimDuration::from_secs(1)).await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.preemptions(), 0, "claimed and within the timeout");
+        // ...but a claimed holder that stalls is preempted normally, and
+        // it is NOT counted as a lease revocation.
+        sys2.sim().sleep(SimDuration::from_secs(3)).await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.preemptions(), 1, "stalled claimant preempted");
+        assert_eq!(dog2.lease_revocations(), 0);
+    });
+    sim.run_until_complete(h);
+}
+
+#[test]
+fn revocation_racing_reentry_stays_exclusive() {
+    // The owner's cached grant and the watchdog race after expiry. The
+    // re-entry path refuses to claim an expired lease (it cannot know
+    // whether the revocation already committed), so the race resolves to
+    // the slow path and exactly one revocation.
+    let sys = system(SimDuration::from_secs(1_000));
+    let sim = sys.sim().clone();
+    let dog = Watchdog::new(sys.replica(1).clone(), SimDuration::from_millis(250));
+    dog.watch("leased");
+    let sys2 = sys.clone();
+    let dog2 = dog.clone();
+    let h = sim.spawn(async move {
+        let r = sys2.replica(0).clone();
+        let lr = r.create_lock_ref("leased").await.unwrap();
+        while r.acquire_lock("leased", lr).await.unwrap() != AO::Acquired {}
+        r.critical_put("leased", lr, Bytes::from_static(b"pre-crash"))
+            .await
+            .unwrap();
+        let grant = r
+            .release_lock_leased("leased", lr, SimDuration::from_millis(500))
+            .await
+            .unwrap()
+            .expect("lease granted");
+        sys2.sim().sleep(SimDuration::from_secs(2)).await;
+        // Owner wakes first with its stale grant: it must refuse.
+        assert_eq!(
+            r.lease_reenter("leased", grant.lock_ref).await.unwrap(),
+            AO::NoLongerHolder,
+            "an expired grant must not be claimed"
+        );
+        dog2.scan_once().await;
+        assert_eq!(dog2.lease_revocations(), 1);
+        // Owner falls back to the slow path and still sees its own value.
+        let lr2 = r.create_lock_ref("leased").await.unwrap();
+        let deadline = sys2.sim().now() + SimDuration::from_secs(30);
+        loop {
+            match r.acquire_lock("leased", lr2).await.unwrap() {
+                AO::Acquired => break,
+                _ => {
+                    assert!(sys2.sim().now() < deadline);
+                    sys2.sim().sleep(SimDuration::from_millis(100)).await;
+                }
+            }
+        }
+        assert_eq!(
+            r.critical_get("leased", lr2).await.unwrap(),
+            Some(Bytes::from_static(b"pre-crash"))
+        );
+        r.release_lock("leased", lr2).await.unwrap();
+    });
+    sim.run_until_complete(h);
+    assert_eq!(dog.preemptions(), 1);
+}

@@ -252,6 +252,23 @@ pub enum EventKind {
         /// The preempted reference.
         lock_ref: u64,
     },
+    /// A clean release left a *lease*: the successor reference was
+    /// pre-minted for the departing holder (nothing was queued behind it).
+    LeaseGrant {
+        /// Lock queue key.
+        key: String,
+        /// The pre-minted (leased) reference.
+        lock_ref: u64,
+        /// Lease expiry deadline, in virtual microseconds.
+        until_us: u64,
+    },
+    /// A competing enqueue atomically broke an unclaimed lease.
+    LeaseBreak {
+        /// Lock queue key.
+        key: String,
+        /// The broken (collected) leased reference.
+        lock_ref: u64,
+    },
     /// The anti-entropy daemon finished one sweep.
     RepairRound {
         /// Keys that had diverged and were repaired this sweep.
@@ -286,6 +303,8 @@ impl EventKind {
             EventKind::SynchMark { .. } => "synchMark",
             EventKind::ClientFailover { .. } => "clientFailover",
             EventKind::WatchdogPreempt { .. } => "watchdogPreempt",
+            EventKind::LeaseGrant { .. } => "leaseGrant",
+            EventKind::LeaseBreak { .. } => "leaseBreak",
             EventKind::RepairRound { .. } => "repairRound",
         }
     }
@@ -348,10 +367,20 @@ impl EventKind {
             | EventKind::LockGrant { key, lock_ref }
             | EventKind::LockRelease { key, lock_ref }
             | EventKind::LockForcedRelease { key, lock_ref }
-            | EventKind::WatchdogPreempt { key, lock_ref } => {
+            | EventKind::WatchdogPreempt { key, lock_ref }
+            | EventKind::LeaseBreak { key, lock_ref } => {
                 out.push_str(",\"key\":");
                 push_str(out, key);
                 let _ = write!(out, ",\"ref\":{lock_ref}");
+            }
+            EventKind::LeaseGrant {
+                key,
+                lock_ref,
+                until_us,
+            } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"ref\":{lock_ref},\"until_us\":{until_us}");
             }
             EventKind::OpStart { op, key } => {
                 let _ = write!(out, ",\"op\":\"{op}\",\"key\":");

@@ -169,6 +169,14 @@ fn cmd_verify() {
                 ..Scope::default()
             }),
         ),
+        (
+            "leased re-entry (2 leases)",
+            MusicModel::new(Scope {
+                lease: true,
+                max_leases: 2,
+                ..Scope::default()
+            }),
+        ),
     ];
     for (name, model) in scopes {
         let out = Checker::default().run(&model);

@@ -181,6 +181,8 @@ fn facade_smoke_all_crates() {
         max_forced: 1,
         stale_puts: true,
         pipeline_window: 0,
+        lease: false,
+        max_leases: 0,
     });
     let out = modelcheck::Checker::default().run(&model);
     assert!(out.is_ok());
