@@ -1,0 +1,111 @@
+//! Deterministic jittered exponential backoff.
+//!
+//! "Standard back-off mechanisms can be used to alleviate the cost of
+//! polling" (§III-A). A *fixed* exponential schedule, however, makes
+//! co-located contenders poll in lockstep: every waiter that entered the
+//! queue in the same round wakes at the same virtual instant and hammers
+//! the same lock-store replica together. This module adds *equal jitter*
+//! (half deterministic, half pseudo-random) on top of the exponential
+//! curve while staying a **pure function** of its inputs — no RNG state,
+//! no wall clock — so a seeded simulation replays byte-identically and
+//! two clients with different salts drift apart.
+//!
+//! The delay for attempt `a` is drawn uniformly (by a splitmix64 hash of
+//! `(salt, a)`) from `[2^min(a+1,6)·base/2, 2^min(a+1,6)·base]` and is
+//! therefore always within `[base, 64·base]`.
+
+use music_simnet::time::SimDuration;
+
+/// The exponential cap: no delay exceeds `64 × base` (§III-A backoff,
+/// capped at six doublings).
+pub const MAX_BACKOFF_FACTOR: u64 = 64;
+
+/// splitmix64 — a tiny, well-mixed, allocation-free hash finalizer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds arbitrary labelled parts into one backoff salt. Deterministic:
+/// the same parts always yield the same salt.
+pub fn salt(parts: &[u64]) -> u64 {
+    let mut acc = 0x4D55_5349_435F_4243u64; // "MUSIC_BC"
+    for &p in parts {
+        acc = splitmix64(acc ^ p);
+    }
+    acc
+}
+
+/// Hashes a string into a salt part (FNV-1a).
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The jittered delay before retry/poll number `attempt` (0-based).
+///
+/// Pure: `delay(base, attempt, salt)` always returns the same duration
+/// for the same inputs, and the result is always within
+/// `[base, MAX_BACKOFF_FACTOR × base]`.
+pub fn delay(base: SimDuration, attempt: u32, salt: u64) -> SimDuration {
+    let base_us = base.as_micros().max(1);
+    let cap_us = base_us.saturating_mul(MAX_BACKOFF_FACTOR);
+    // Exponential raw target: 2·base, 4·base, … capped at 64·base.
+    let doublings = attempt.saturating_add(1).min(6);
+    let raw = base_us.saturating_mul(1u64 << doublings).min(cap_us);
+    // Equal jitter: keep half, randomize the other half.
+    let half = raw / 2;
+    let jitter = splitmix64(salt ^ (u64::from(attempt) << 32)) % (raw - half + 1);
+    SimDuration::from_micros((half + jitter).clamp(base_us, cap_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_pure_and_bounded() {
+        let base = SimDuration::from_millis(2);
+        for attempt in 0..40 {
+            for s in [0u64, 1, 42, u64::MAX] {
+                let d = delay(base, attempt, s);
+                assert_eq!(d, delay(base, attempt, s), "pure function");
+                assert!(d >= base, "attempt {attempt}: {d:?} below base");
+                assert!(d <= base * 64, "attempt {attempt}: {d:?} above cap");
+            }
+        }
+    }
+
+    #[test]
+    fn different_salts_drift_apart() {
+        let base = SimDuration::from_millis(2);
+        let a: Vec<_> = (0..8).map(|i| delay(base, i, salt(&[1]))).collect();
+        let b: Vec<_> = (0..8).map(|i| delay(base, i, salt(&[2]))).collect();
+        assert_ne!(a, b, "two salts should not poll in lockstep");
+    }
+
+    #[test]
+    fn exponential_envelope_grows() {
+        let base = SimDuration::from_millis(2);
+        // The *upper* envelope doubles until the cap: attempt 5 and later
+        // may reach 64×base, attempt 0 at most 2×base.
+        assert!(delay(base, 0, 7) <= base * 2);
+        for s in 0..64u64 {
+            assert!(delay(base, 9, s) >= base * 32, "late attempts stay large");
+        }
+    }
+
+    #[test]
+    fn salt_and_hash_are_stable() {
+        assert_eq!(salt(&[1, 2]), salt(&[1, 2]));
+        assert_ne!(salt(&[1, 2]), salt(&[2, 1]));
+        assert_eq!(hash_str("acquireLock"), hash_str("acquireLock"));
+        assert_ne!(hash_str("a"), hash_str("b"));
+    }
+}

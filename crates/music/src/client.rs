@@ -30,8 +30,10 @@ use music_quorumstore::StoreError;
 use music_simnet::executor::Sim;
 use music_simnet::time::{SimDuration, SimTime};
 
+use crate::backoff;
 use crate::config::WriteMode;
-use crate::error::{AcquireOutcome, CriticalError, MusicError};
+use crate::error::{AcquireOutcome, AttemptTrail, CriticalError, MusicError};
+use crate::health::ReplicaHealth;
 use crate::replica::{LeaseGrant, MusicReplica, PendingPut};
 use crate::stats::OpKind;
 
@@ -53,6 +55,10 @@ pub struct MusicClient {
     /// across clones so a cloned handle sees (and consumes) the same
     /// grants — a lease belongs to the client, not to one handle.
     leases: Rc<RefCell<HashMap<String, LeaseGrant>>>,
+    /// Per-replica circuit breakers, shared across clones: what one
+    /// handle learned about a dead replica benefits every section the
+    /// client runs.
+    health: Rc<ReplicaHealth>,
 }
 
 impl MusicClient {
@@ -65,12 +71,20 @@ impl MusicClient {
         if replicas.is_empty() {
             return Err(MusicError::NoReplicas);
         }
+        let cfg = replicas[0].config();
+        let health = ReplicaHealth::new(
+            replicas.iter().map(|r| r.node().0).collect(),
+            cfg.breaker_threshold,
+            cfg.breaker_cooldown,
+            replicas[0].recorder(),
+        );
         Ok(MusicClient {
             replicas,
             sim,
             write_mode: None,
             lease_window: None,
             leases: Rc::new(RefCell::new(HashMap::new())),
+            health: Rc::new(health),
         })
     }
 
@@ -178,8 +192,22 @@ impl MusicClient {
         }
     }
 
+    /// The deterministic jitter salt for this client's `op_name` retries:
+    /// a pure hash of the op and the client's home node, so co-located
+    /// clients drift apart while a seeded run replays byte-identically.
+    fn backoff_salt(&self, op_name: &'static str, extra: u64) -> u64 {
+        backoff::salt(&[
+            backoff::hash_str(op_name),
+            u64::from(self.primary().node().0),
+            extra,
+        ])
+    }
+
     /// Runs `op` against replicas in preference order until one succeeds,
-    /// up to the configured retry budget.
+    /// up to the configured retry budget. Replicas whose circuit breaker
+    /// is open are skipped, so a crashed primary does not burn the whole
+    /// budget; failed attempts are separated by jittered exponential
+    /// backoff.
     async fn with_failover<T, F, Fut>(
         &self,
         op_name: &'static str,
@@ -190,19 +218,32 @@ impl MusicClient {
         Fut: std::future::Future<Output = Result<T, StoreError>>,
     {
         let budget = self.retries().max(1);
-        let mut last = None;
+        let base = self.primary().config().acquire_poll;
+        let salt = self.backoff_salt(op_name, 0);
+        let mut trail = AttemptTrail::new();
         for attempt in 0..budget {
-            let replica = self.replicas[attempt as usize % self.replicas.len()].clone();
+            let idx = self
+                .health
+                .pick(attempt as usize, self.sim.now(), self.sim.trace());
+            let replica = self.replicas[idx].clone();
             match op(replica).await {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    self.health
+                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    return Ok(v);
+                }
                 Err(e) => {
-                    last = Some(e);
+                    self.health
+                        .on_failure(idx, self.sim.now(), self.sim.trace());
+                    trail.note(e);
                     self.note_failover(op_name, attempt + 1, e.code());
-                    continue;
+                    if attempt + 1 < budget {
+                        self.sim.sleep(backoff::delay(base, attempt, salt)).await;
+                    }
                 }
             }
         }
-        Err(MusicError::Unavailable { last })
+        Err(MusicError::Unavailable { attempts: trail })
     }
 
     /// Polls `acquireLock` (with the configured back-off) until the lock is
@@ -221,30 +262,46 @@ impl MusicClient {
         let key = key.as_ref();
         let base_poll = self.primary().config().acquire_poll;
         // "Standard back-off mechanisms can be used to alleviate the cost
-        // of polling" (§III-A): exponential, capped at 64× the base.
-        let poll_cap = base_poll * 64;
-        let mut poll = base_poll;
+        // of polling" (§III-A): exponential with deterministic jitter,
+        // always within [base, 64×base], so co-located contenders do not
+        // poll in lockstep.
+        let salt = self.backoff_salt("acquireLock", lock_ref.value() ^ backoff::hash_str(key));
+        let mut polls = 0u32;
         let mut consecutive_failures = 0;
+        let mut trail = AttemptTrail::new();
         let mut replica_idx = 0usize;
         loop {
-            let replica = &self.replicas[replica_idx % self.replicas.len()];
+            let idx = self
+                .health
+                .pick(replica_idx, self.sim.now(), self.sim.trace());
+            let replica = &self.replicas[idx];
             match replica.acquire_lock(key, lock_ref).await {
-                Ok(AcquireOutcome::Acquired) => return Ok(()),
-                Ok(AcquireOutcome::NotYet) => {
-                    consecutive_failures = 0;
-                    self.sim.sleep(poll).await;
-                    poll = (poll * 2).min(poll_cap);
+                Ok(outcome) => {
+                    // Any protocol-level answer proves the replica alive.
+                    self.health
+                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    match outcome {
+                        AcquireOutcome::Acquired => return Ok(()),
+                        AcquireOutcome::NoLongerHolder => return Err(MusicError::NoLongerHolder),
+                        AcquireOutcome::NotYet => {
+                            consecutive_failures = 0;
+                            self.sim.sleep(backoff::delay(base_poll, polls, salt)).await;
+                            polls = polls.saturating_add(1);
+                        }
+                    }
                 }
-                Ok(AcquireOutcome::NoLongerHolder) => return Err(MusicError::NoLongerHolder),
                 Err(e) => {
+                    self.health
+                        .on_failure(idx, self.sim.now(), self.sim.trace());
+                    trail.note(e);
                     consecutive_failures += 1;
                     if consecutive_failures >= self.retries().max(1) {
-                        return Err(MusicError::Unavailable { last: Some(e) });
+                        return Err(MusicError::Unavailable { attempts: trail });
                     }
-                    replica_idx += 1; // fail over
+                    replica_idx = idx + 1; // fail over
                     self.note_failover("acquireLock", consecutive_failures, e.code());
-                    self.sim.sleep(poll).await;
-                    poll = (poll * 2).min(poll_cap);
+                    self.sim.sleep(backoff::delay(base_poll, polls, salt)).await;
+                    polls = polls.saturating_add(1);
                 }
             }
         }
@@ -278,38 +335,66 @@ impl MusicClient {
     {
         let poll = self.primary().config().acquire_poll;
         let budget = self.retries().max(1);
-        let mut failures = 0;
-        let mut last = None;
+        let salt = self.backoff_salt(op_name, 1);
+        let mut failures = 0u32;
+        let mut trail = AttemptTrail::new();
         let mut replica_idx = 0usize;
         loop {
-            let replica = self.replicas[replica_idx % self.replicas.len()].clone();
+            let idx = self
+                .health
+                .pick(replica_idx, self.sim.now(), self.sim.trace());
+            let replica = self.replicas[idx].clone();
             match op(replica).await {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    self.health
+                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    return Ok(v);
+                }
                 Err(CriticalError::NotYetHolder) => {
+                    // The replica answered — alive, merely a stale view.
+                    self.health
+                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    trail.note_opaque();
                     failures += 1;
                     if failures >= budget {
-                        return Err(MusicError::Unavailable { last });
+                        return Err(MusicError::Unavailable { attempts: trail });
                     }
                     // A persistently stale local lock-store view at one
                     // replica must not starve the holder: rotate replicas
                     // after a few polls.
-                    if failures % 4 == 0 {
-                        replica_idx += 1;
+                    if failures.is_multiple_of(4) {
+                        replica_idx = idx + 1;
                         self.note_failover(op_name, failures, "notYetHolder");
                     }
-                    self.sim.sleep(poll).await;
+                    // Stale-view polls wait one jittered base interval
+                    // (convergence is local; exponential growth would
+                    // only delay the holder).
+                    let nonce = salt.wrapping_add(u64::from(failures));
+                    self.sim.sleep(backoff::delay(poll, 0, nonce)).await;
                 }
-                Err(CriticalError::NoLongerHolder) => return Err(MusicError::NoLongerHolder),
-                Err(CriticalError::Expired) => return Err(MusicError::Expired),
+                Err(CriticalError::NoLongerHolder) => {
+                    self.health
+                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    return Err(MusicError::NoLongerHolder);
+                }
+                Err(CriticalError::Expired) => {
+                    self.health
+                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    return Err(MusicError::Expired);
+                }
                 Err(CriticalError::Store(e)) => {
+                    self.health
+                        .on_failure(idx, self.sim.now(), self.sim.trace());
+                    trail.note(e);
                     failures += 1;
-                    last = Some(e);
                     if failures >= budget {
-                        return Err(MusicError::Unavailable { last });
+                        return Err(MusicError::Unavailable { attempts: trail });
                     }
-                    replica_idx += 1;
+                    replica_idx = idx + 1;
                     self.note_failover(op_name, failures, e.code());
-                    self.sim.sleep(poll).await;
+                    self.sim
+                        .sleep(backoff::delay(poll, failures - 1, salt))
+                        .await;
                 }
             }
         }

@@ -87,6 +87,12 @@ pub struct MusicConfig {
     /// lock. Deliberately imperfect: a slow-but-alive holder will be
     /// preempted (false failure detection, §IV-B).
     pub failure_timeout: SimDuration,
+    /// Consecutive failures at one replica before the client's circuit
+    /// breaker opens and fail-over skips that replica outright.
+    pub breaker_threshold: u32,
+    /// How long an open breaker quarantines a replica before admitting a
+    /// probationary half-open probe.
+    pub breaker_cooldown: SimDuration,
     /// How `criticalPut` writes the data store (MUSIC vs. MSCP).
     pub put_mode: PutMode,
     /// How lock-queue heads are peeked (local vs. quorum; ablation).
@@ -110,6 +116,8 @@ impl Default for MusicConfig {
             acquire_poll: SimDuration::from_millis(2),
             client_retries: 8,
             failure_timeout: SimDuration::from_secs(30),
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(1),
             put_mode: PutMode::Quorum,
             peek_mode: PeekMode::Local,
             write_mode: WriteMode::Sync,
@@ -155,6 +163,8 @@ mod tests {
         let c = MusicConfig::default();
         assert!(c.delta < c.t_max);
         assert!(c.acquire_poll < c.failure_timeout);
+        assert!(c.breaker_threshold >= 1);
+        assert!(c.breaker_cooldown < c.failure_timeout);
         assert_eq!(c.put_mode, PutMode::Quorum);
         assert_eq!(MusicConfig::mscp().put_mode, PutMode::Lwt);
         assert_eq!(c.write_mode, WriteMode::Sync);

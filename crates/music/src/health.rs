@@ -1,0 +1,292 @@
+//! Per-replica health tracking: a circuit breaker with probationary
+//! half-open probes.
+//!
+//! `MusicClient` fails over across replicas in distance order, but a
+//! plain rotation keeps steering attempts into replicas it has just seen
+//! fail — with a crashed primary, every operation burns part of its retry
+//! budget re-discovering the same dead node. [`ReplicaHealth`] gives the
+//! client a memory: after `threshold` consecutive failures a replica's
+//! breaker *opens* and the replica is skipped outright; once the cooldown
+//! elapses the breaker turns *half-open* and admits exactly one
+//! probationary probe. A successful probe closes the breaker (and records
+//! how long the replica was quarantined — the recovery-time histogram); a
+//! failed probe re-opens it for another cooldown.
+//!
+//! All state lives behind a `RefCell` shared by the client's clones, and
+//! every transition is driven by the caller's virtual `now` — no wall
+//! clock, no randomness, so seeded runs replay byte-identically.
+
+use std::cell::RefCell;
+
+use music_simnet::time::{SimDuration, SimTime};
+use music_telemetry::{EventKind, Recorder, Scope};
+
+/// Breaker state for one replica.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum State {
+    /// Healthy (or not yet proven otherwise); counts consecutive failures.
+    Closed { failures: u32 },
+    /// Quarantined until `until`; `opened_at` anchors the recovery timer.
+    Open { until: SimTime, opened_at: SimTime },
+    /// Cooldown elapsed: one probationary probe is in flight.
+    HalfOpen { opened_at: SimTime },
+}
+
+/// Shared per-replica circuit breakers for one client (and its clones).
+#[derive(Debug)]
+pub struct ReplicaHealth {
+    /// Replica node ids, in the client's preference order (telemetry
+    /// attribution only).
+    nodes: Vec<u32>,
+    states: RefCell<Vec<State>>,
+    threshold: u32,
+    cooldown: SimDuration,
+    recorder: Recorder,
+}
+
+impl ReplicaHealth {
+    /// Breakers for `nodes.len()` replicas, all starting closed.
+    pub fn new(nodes: Vec<u32>, threshold: u32, cooldown: SimDuration, recorder: Recorder) -> Self {
+        let states = vec![State::Closed { failures: 0 }; nodes.len()];
+        ReplicaHealth {
+            nodes,
+            states: RefCell::new(states),
+            threshold: threshold.max(1),
+            cooldown,
+            recorder,
+        }
+    }
+
+    /// Number of tracked replicas.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no replicas are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether replica `idx`'s breaker is open (still cooling down) at
+    /// `now`.
+    pub fn is_open(&self, idx: usize, now: SimTime) -> bool {
+        matches!(self.states.borrow()[idx], State::Open { until, .. } if now < until)
+    }
+
+    /// Picks the replica for the next attempt: the first admitted replica
+    /// at or after `preferred` in preference order. An open breaker whose
+    /// cooldown has elapsed is admitted as a half-open probe; a breaker
+    /// already probing is skipped. If every replica is quarantined the
+    /// preferred one is returned anyway — a client with no admissible
+    /// replica must still try *somewhere* rather than fail without an
+    /// attempt.
+    pub fn pick(&self, preferred: usize, now: SimTime, trace: u64) -> usize {
+        let n = self.nodes.len();
+        for off in 0..n {
+            let idx = (preferred + off) % n;
+            let mut states = self.states.borrow_mut();
+            match states[idx] {
+                State::Closed { .. } => return idx,
+                State::Open { until, opened_at } if now >= until => {
+                    states[idx] = State::HalfOpen { opened_at };
+                    drop(states);
+                    self.note_probe(idx, now, trace);
+                    return idx;
+                }
+                State::Open { .. } | State::HalfOpen { .. } => {}
+            }
+        }
+        preferred % n
+    }
+
+    /// Reports that replica `idx` answered (any protocol-level answer —
+    /// even "not yet holder" proves the node is alive). Closes an open or
+    /// half-open breaker, recording the quarantine duration.
+    pub fn on_success(&self, idx: usize, now: SimTime, trace: u64) {
+        let prev = {
+            let mut states = self.states.borrow_mut();
+            std::mem::replace(&mut states[idx], State::Closed { failures: 0 })
+        };
+        match prev {
+            State::Closed { .. } => {}
+            State::Open { opened_at, .. } | State::HalfOpen { opened_at } => {
+                self.note_close(idx, now, trace, now.saturating_since(opened_at));
+            }
+        }
+    }
+
+    /// Reports that replica `idx` failed to answer. Trips the breaker
+    /// after `threshold` consecutive failures; a failed half-open probe
+    /// re-opens immediately (keeping the original `opened_at` so the
+    /// recovery histogram spans the whole outage).
+    pub fn on_failure(&self, idx: usize, now: SimTime, trace: u64) {
+        let tripped = {
+            let mut states = self.states.borrow_mut();
+            match states[idx] {
+                State::Closed { failures } => {
+                    let failures = failures + 1;
+                    if failures >= self.threshold {
+                        states[idx] = State::Open {
+                            until: now + self.cooldown,
+                            opened_at: now,
+                        };
+                        Some(failures)
+                    } else {
+                        states[idx] = State::Closed { failures };
+                        None
+                    }
+                }
+                State::HalfOpen { opened_at } => {
+                    states[idx] = State::Open {
+                        until: now + self.cooldown,
+                        opened_at,
+                    };
+                    None
+                }
+                State::Open { opened_at, .. } => {
+                    // Used via the all-quarantined fallback: extend the
+                    // cooldown, keep the outage anchor.
+                    states[idx] = State::Open {
+                        until: now + self.cooldown,
+                        opened_at,
+                    };
+                    None
+                }
+            }
+        };
+        if let Some(failures) = tripped {
+            self.note_trip(idx, now, trace, failures);
+        }
+    }
+
+    fn note_trip(&self, idx: usize, now: SimTime, trace: u64, failures: u32) {
+        let node = self.nodes[idx];
+        self.recorder.count(Scope::Node(node), "breaker_trips", 1);
+        if self.recorder.is_tracing() {
+            self.recorder.record(
+                now.as_micros(),
+                trace,
+                node,
+                EventKind::BreakerTrip { node, failures },
+            );
+        }
+    }
+
+    fn note_probe(&self, idx: usize, now: SimTime, trace: u64) {
+        let node = self.nodes[idx];
+        self.recorder.count(Scope::Node(node), "breaker_probes", 1);
+        if self.recorder.is_tracing() {
+            self.recorder.record(
+                now.as_micros(),
+                trace,
+                node,
+                EventKind::BreakerProbe { node },
+            );
+        }
+    }
+
+    fn note_close(&self, idx: usize, now: SimTime, trace: u64, open_for: SimDuration) {
+        let node = self.nodes[idx];
+        let open_us = open_for.as_micros();
+        self.recorder.count(Scope::Node(node), "breaker_closes", 1);
+        self.recorder
+            .observe(Scope::Node(node), "replica_recovery_us", open_us);
+        if self.recorder.is_tracing() {
+            self.recorder.record(
+                now.as_micros(),
+                trace,
+                node,
+                EventKind::BreakerClose { node, open_us },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn health() -> ReplicaHealth {
+        ReplicaHealth::new(
+            vec![10, 11, 12],
+            3,
+            SimDuration::from_millis(1),
+            Recorder::metrics_only(),
+        )
+    }
+
+    #[test]
+    fn trips_after_threshold_and_skips_open_replicas() {
+        let h = health();
+        assert_eq!(h.pick(0, t(0), 0), 0);
+        h.on_failure(0, t(0), 0);
+        h.on_failure(0, t(1), 0);
+        assert!(!h.is_open(0, t(1)), "below threshold stays closed");
+        h.on_failure(0, t(2), 0);
+        assert!(h.is_open(0, t(2)));
+        assert_eq!(h.pick(0, t(3), 0), 1, "open replica is skipped");
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let h = health();
+        h.on_failure(0, t(0), 0);
+        h.on_failure(0, t(1), 0);
+        h.on_success(0, t(2), 0);
+        h.on_failure(0, t(3), 0);
+        h.on_failure(0, t(4), 0);
+        assert!(!h.is_open(0, t(4)), "count restarted after a success");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let h = health();
+        for i in 0..3 {
+            h.on_failure(0, t(i), 0);
+        }
+        // Cooldown not elapsed: skipped. Elapsed: admitted as the probe.
+        assert_eq!(h.pick(0, t(500), 0), 1);
+        assert_eq!(h.pick(0, t(1_200), 0), 0, "half-open probe admitted");
+        // While the probe is in flight the replica is not re-admitted.
+        assert_eq!(h.pick(0, t(1_300), 0), 1);
+        h.on_failure(0, t(1_400), 0);
+        assert!(h.is_open(0, t(1_500)), "failed probe re-opens");
+        assert_eq!(h.pick(0, t(2_600), 0), 0, "second probe after cooldown");
+        h.on_success(0, t(2_700), 0);
+        assert_eq!(h.pick(0, t(2_800), 0), 0, "closed again");
+    }
+
+    #[test]
+    fn all_quarantined_falls_back_to_preferred() {
+        let h = health();
+        for idx in 0..3 {
+            for i in 0..3 {
+                h.on_failure(idx, t(i), 0);
+            }
+        }
+        assert_eq!(h.pick(1, t(10), 0), 1);
+    }
+
+    #[test]
+    fn recovery_histogram_spans_the_whole_outage() {
+        let rec = Recorder::metrics_only();
+        let h = ReplicaHealth::new(vec![7], 1, SimDuration::from_millis(1), rec.clone());
+        h.on_failure(0, t(100), 0); // opens at 100
+        assert_eq!(h.pick(0, t(1_200), 0), 0); // probe
+        h.on_failure(0, t(1_250), 0); // probe fails, opened_at stays 100
+        assert_eq!(h.pick(0, t(2_400), 0), 0); // probe again
+        h.on_success(0, t(2_500), 0);
+        let m = rec.metrics();
+        let hist = m
+            .histogram(Scope::Node(7), "replica_recovery_us")
+            .expect("recovery histogram");
+        assert_eq!(hist.samples, vec![2_400], "2500 - opened_at(100)");
+        assert_eq!(m.get(Scope::Node(7), "breaker_trips"), 1);
+        assert_eq!(m.get(Scope::Node(7), "breaker_probes"), 2);
+        assert_eq!(m.get(Scope::Node(7), "breaker_closes"), 1);
+    }
+}

@@ -51,9 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod health;
+pub mod nemesis;
 pub mod repair;
 pub mod replica;
 pub mod stats;
@@ -63,8 +66,10 @@ pub mod watchdog;
 
 pub use client::{CriticalSection, MultiCriticalSection, MusicClient};
 pub use config::{MusicConfig, PeekMode, PutMode, WriteMode};
-pub use error::{AcquireOutcome, CriticalError, MusicError};
+pub use error::{AcquireOutcome, AttemptTrail, CriticalError, MusicError};
+pub use health::ReplicaHealth;
 pub use music_lockstore::LockRef;
+pub use nemesis::{run_nemesis, NemesisOptions, NemesisRun, RunMode};
 pub use repair::RepairDaemon;
 pub use replica::{LeaseGrant, MusicReplica, PendingPut};
 pub use stats::{OpKind, OpStats};

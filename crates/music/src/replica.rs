@@ -255,6 +255,18 @@ impl MusicReplica {
                     self.data
                         .write_quorum(self.node, &synch_key(key), Put::value(FLAG_TRUE), stamp)
                         .await?;
+                    // The break deposes the leased reference exactly like a
+                    // forcedRelease does, and is recorded the same way:
+                    // after the covering flag is durable, before the
+                    // collecting LWT commits, so a successor's grant sorts
+                    // after it in the trace. If the break then loses to a
+                    // concurrent claim, the event is spuriously early — the
+                    // checker treats the claimed section's acts as stale
+                    // (the safe direction) rather than missing a deposal.
+                    self.emit(|| EventKind::LockForcedRelease {
+                        key: key.to_string(),
+                        lock_ref: leased.value(),
+                    });
                     authorized = Some(leased);
                 }
             }
@@ -340,6 +352,12 @@ impl MusicReplica {
                 .set_start_time(self.node, key, lock_ref, self.now())
                 .await?;
         }
+        // Same zombie-grant revalidation as the slow path: the watchdog may
+        // have revoked the lease while the startTime write was in flight.
+        match self.peek(key).await? {
+            Some((head, _)) if head == lock_ref => {}
+            _ => return Ok(AcquireOutcome::NoLongerHolder),
+        }
         self.stats.record(OpKind::LeaseReenter, self.now() - t0);
         Ok(AcquireOutcome::Acquired)
     }
@@ -348,9 +366,15 @@ impl MusicReplica {
     /// is first in the queue; synchronizes the data store first when the
     /// `synchFlag` is set (a previous holder was preempted mid-put).
     ///
-    /// Cost: a local peek; plus, for the winning poll, a `synchFlag` quorum
-    /// read — and only after a forced release, a value quorum read, a value
-    /// quorum write, and a `synchFlag` quorum write (§IV-A).
+    /// Cost: a local peek; plus, for the winning poll, a lock-queue quorum
+    /// confirmation of headship and a `synchFlag` quorum read (issued
+    /// concurrently: one quorum RTT of wall-clock) — and only
+    /// after a forced release, a value quorum read, a value quorum write,
+    /// and a `synchFlag` quorum write (§IV-A, hardened: confirming
+    /// headship at quorum *before* any grant side effect closes the
+    /// gappy-local-view misgrant a nemesis schedule can produce, and keeps
+    /// the §III-A synchronization rewrite from poisoning the key with an
+    /// unjustified `v2s(ref, 0)` stamp).
     ///
     /// # Errors
     ///
@@ -383,7 +407,7 @@ impl MusicReplica {
         let t0 = self.now();
         let head = self.peek(key).await?;
         self.stats.record(OpKind::AcquirePeek, self.now() - t0);
-        let Some((head, entry)) = head else {
+        let Some((head, _)) = head else {
             // Local lock-store replica not updated yet: retry.
             return Ok(AcquireOutcome::NotYet);
         };
@@ -394,9 +418,55 @@ impl MusicReplica {
             return Ok(AcquireOutcome::NoLongerHolder);
         }
 
-        // We are first in the queue: the grant path.
+        // We are first in the *local* queue: the grant path. Before any
+        // grant side effect, confirm headship at *quorum*. The waiting
+        // polls stay local (they run many times per section, the cost
+        // §IV-A avoids), but the winning poll must not trust the local
+        // view alone: a restarted or loss-degraded lock replica can serve
+        // a *gappy* queue — later enqueues applied, an earlier one never
+        // delivered — whose local head skips still-queued references
+        // entirely. Acting on such a misgrant is worse than a zombie
+        // grant: the §III-A synchronization below re-writes the current
+        // value under `v2s(ourRef, 0)`, and if `ourRef` has unconfirmed
+        // predecessors that stamp *poisons* the key — every write by the
+        // genuine intervening holders is silently dominated, so their
+        // acked puts never become visible (a latest-state violation with
+        // no release event anywhere near it). Confirming first keeps the
+        // rewrite stamp justified: our reference really is the head, so
+        // `v2s(ourRef, 0)` dominates exactly the writes §IV-B says it may.
+        //
+        // One lock-queue quorum read per granted section, overlapped with
+        // the synchFlag quorum read the grant already pays, so the grant
+        // still costs one quorum RTT of wall-clock (Fig. 5(b)). Reading
+        // the flag concurrently is sound: both reads are side-effect-free
+        // and every grant side effect below stays gated on the
+        // confirmation succeeding. The §IV-B flag-visibility argument
+        // survives the overlap because both reads start only after the
+        // *local* head observation — and a genuine local head means the
+        // dequeue LWT committed, which in turn means the forced release's
+        // flag quorum write completed before it, so our flag read's quorum
+        // must intersect it. (A spurious gappy-view head fails the
+        // confirmation and the flag value is discarded unused.) A
+        // forcedRelease can still land *after* this confirmation and
+        // before the caller acts — that residual zombie window is the one
+        // §IV-B argues safe (dominated stamps), the trace checker excuses
+        // (deposed-reference accounting), and the per-operation holder
+        // guards cut short.
         let t0 = self.now();
-        let flag = self.data.read_quorum(self.node, &synch_key(key)).await?;
+        let flag_read = {
+            let data = self.data.clone();
+            let node = self.node;
+            let skey = synch_key(key);
+            self.net
+                .sim()
+                .spawn(async move { data.read_quorum(node, &skey).await })
+        };
+        let entry = match self.locks.peek_quorum(self.node, key).await? {
+            Some((head, entry)) if head == lock_ref => entry,
+            Some((head, _)) if lock_ref > head => return Ok(AcquireOutcome::NotYet),
+            _ => return Ok(AcquireOutcome::NoLongerHolder),
+        };
+        let flag = flag_read.await?;
         if flag_is_true(&flag) {
             // A previous holder may have died mid-criticalPut: synchronize.
             // Quorum-read the key, re-write the result under our lockRef
@@ -728,6 +798,10 @@ impl MusicReplica {
         let t0 = self.now();
         self.critical_guard(key, lock_ref).await?;
         let snap = self.data.read_quorum(self.node, key).await?;
+        // Re-run the guard after the quorum read: a forcedRelease landing
+        // while the read was in flight deposed this reference, and the
+        // value must not be returned (or recorded) as a holder's read.
+        self.critical_guard(key, lock_ref).await?;
         self.stats.record(OpKind::CriticalGet, self.now() - t0);
         self.count("crit_gets", 1);
         self.emit(|| EventKind::CritGet {

@@ -10,7 +10,7 @@
 //! the ECF semantics (and §IV-B) guarantee.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use music_lockstore::LockRef;
@@ -39,7 +39,10 @@ struct Observation {
 pub struct Watchdog {
     replica: MusicReplica,
     interval: SimDuration,
-    watched: Rc<RefCell<HashMap<String, Observation>>>,
+    /// Keyed observations in key order, so that two keys becoming
+    /// preemptable in the same scan are always preempted in the same
+    /// order (replay determinism).
+    watched: Rc<RefCell<BTreeMap<String, Observation>>>,
     running: Rc<std::cell::Cell<bool>>,
     preemptions: Rc<std::cell::Cell<u64>>,
     lease_revocations: Rc<std::cell::Cell<u64>>,
@@ -51,7 +54,7 @@ impl Watchdog {
         Watchdog {
             replica,
             interval,
-            watched: Rc::new(RefCell::new(HashMap::new())),
+            watched: Rc::new(RefCell::new(BTreeMap::new())),
             running: Rc::new(std::cell::Cell::new(false)),
             preemptions: Rc::new(std::cell::Cell::new(0)),
             lease_revocations: Rc::new(std::cell::Cell::new(0)),

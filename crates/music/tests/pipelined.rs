@@ -244,13 +244,14 @@ fn unavailable_names_its_store_cause() {
         let client = sys2.client_at_site(0);
         // The lock store needs a quorum even to create a reference.
         let err = client.enter("k").await.unwrap_err();
-        assert_eq!(
-            err,
-            MusicError::Unavailable {
-                last: Some(StoreError::Unavailable)
-            }
-        );
+        assert!(matches!(err, MusicError::Unavailable { .. }), "{err:?}");
         assert_eq!(err.store_cause(), Some(StoreError::Unavailable));
+        let trail = err.attempt_trail().expect("per-attempt causes");
+        assert!(trail.attempts() >= 1);
+        assert!(trail
+            .causes()
+            .iter()
+            .all(|c| *c == Some(StoreError::Unavailable)));
     });
     let named = rec.events().iter().any(|e| {
         matches!(

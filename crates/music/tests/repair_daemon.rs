@@ -76,6 +76,71 @@ fn daemon_heals_stale_local_views_after_a_long_partition() {
 }
 
 #[test]
+fn daemon_converges_stale_views_after_an_asymmetric_partition_heals() {
+    // Gray failure: site 2 can *send* but not *receive* — its acks and
+    // requests leave, nothing comes back in. Quorum writes at site 0
+    // still commit (sites 0+1), while site 2's replica silently misses
+    // every replication delta. After the one-way cut heals, one
+    // `sweep_once` must converge the straggler without quorum traffic.
+    let sys = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .net_config(NetConfig {
+            service_fixed: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX / 2,
+            loss: 0.0,
+            jitter_frac: 0.0,
+        })
+        .seed(29)
+        .build();
+    let sim = sys.sim().clone();
+    let sys2 = sys.clone();
+
+    sim.block_on({
+        let sys = sys2.clone();
+        async move {
+            // Cut only the *incoming* direction at site 2.
+            sys.net().partition_direction(SiteId(0), SiteId(2), false);
+            sys.net().partition_direction(SiteId(1), SiteId(2), false);
+            let r = sys.replica(0).clone();
+            let lr = r.create_lock_ref("route").await.unwrap();
+            while r.acquire_lock("route", lr).await.unwrap() != AcquireOutcome::Acquired {}
+            r.critical_put("route", lr, b("healed-value"))
+                .await
+                .unwrap();
+            r.release_lock("route", lr).await.unwrap();
+            // Outlast the retransmission window so the miss is permanent.
+            sys.sim().sleep(SimDuration::from_secs(30)).await;
+            sys.net().partition_direction(SiteId(0), SiteId(2), true);
+            sys.net().partition_direction(SiteId(1), SiteId(2), true);
+        }
+    });
+    sim.run();
+    let stale = sim.block_on({
+        let r = sys2.replica(2).clone();
+        async move { r.get("route").await.unwrap() }
+    });
+    assert_eq!(stale, None, "one-way cut left site 2's local view stale");
+
+    let daemon = RepairDaemon::new(sys2.replica(1).clone(), SimDuration::from_secs(60));
+    sim.block_on({
+        let daemon = daemon.clone();
+        async move { daemon.sweep_once().await }
+    });
+    sim.run();
+    assert!(daemon.repaired() >= 1, "sweep repaired nothing");
+
+    let healed = sim.block_on({
+        let r = sys2.replica(2).clone();
+        async move { r.get("route").await.unwrap() }
+    });
+    assert_eq!(
+        healed,
+        Some(b("healed-value")),
+        "sweep converged the asymmetric straggler"
+    );
+}
+
+#[test]
 fn daemon_loop_runs_and_stops() {
     let sys = MusicSystemBuilder::new()
         .profile(LatencyProfile::one_l())

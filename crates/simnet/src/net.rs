@@ -14,8 +14,14 @@
 //! Failure injection:
 //! * [`Network::set_link`] / [`Network::partition_site`] — drop traffic on
 //!   selected node pairs (network partition),
+//! * [`Network::set_link_one_way`] / [`Network::partition_direction`] —
+//!   *asymmetric* cuts: one direction of a link (or site pair) drops
+//!   while the reverse keeps flowing,
 //! * [`Network::set_node_up`] — crash / recover a node,
-//! * [`NetConfig::loss`] — iid message loss.
+//! * [`NetConfig::loss`] — iid message loss, adjustable at runtime with
+//!   [`Network::set_loss`] (loss bursts),
+//! * [`Network::set_service_multiplier`] — *gray failure*: a node that is
+//!   up and reachable but services every message `k×` slower.
 //!
 //! A transmission that is lost, partitioned, or addressed to/from a dead
 //! node **never completes** — exactly what the sender of a lost packet
@@ -79,6 +85,9 @@ struct NodeState {
     site: SiteId,
     up: bool,
     busy_until: SimTime,
+    /// Gray-failure dial: every service reservation at this node is
+    /// stretched by this factor (1.0 = healthy).
+    service_mult: f64,
 }
 
 #[derive(Debug, Default)]
@@ -105,6 +114,9 @@ struct Inner {
     sim: Sim,
     profile: LatencyProfile,
     cfg: NetConfig,
+    /// Live loss probability — starts at `cfg.loss`, adjustable at runtime
+    /// for loss bursts.
+    loss: std::cell::Cell<f64>,
     nodes: RefCell<Vec<NodeState>>,
     /// Ordered pairs (from, to) whose traffic is dropped.
     cut_links: RefCell<HashSet<(NodeId, NodeId)>>,
@@ -146,6 +158,7 @@ impl Network {
             inner: Rc::new(Inner {
                 sim,
                 profile,
+                loss: std::cell::Cell::new(cfg.loss),
                 cfg,
                 nodes: RefCell::new(Vec::new()),
                 cut_links: RefCell::new(HashSet::new()),
@@ -183,6 +196,7 @@ impl Network {
             site,
             up: true,
             busy_until: SimTime::ZERO,
+            service_mult: 1.0,
         });
         NodeId(nodes.len() as u32 - 1)
     }
@@ -219,6 +233,76 @@ impl Network {
             cut.insert((a, b));
             cut.insert((b, a));
         }
+    }
+
+    /// Cuts (`connected = false`) or heals only the `from → to` direction
+    /// of a link. The reverse direction is untouched — the asymmetric
+    /// (gray) partition in which A still hears B but B no longer hears A.
+    pub fn set_link_one_way(&self, from: NodeId, to: NodeId, connected: bool) {
+        let mut cut = self.inner.cut_links.borrow_mut();
+        if connected {
+            cut.remove(&(from, to));
+        } else {
+            cut.insert((from, to));
+        }
+    }
+
+    /// Cuts (or heals) every `from-site → to-site` directed link: traffic
+    /// from `from` never reaches `to`, while `to → from` keeps flowing.
+    /// Intra-site traffic is untouched.
+    pub fn partition_direction(&self, from: SiteId, to: SiteId, connected: bool) {
+        let nodes = self.inner.nodes.borrow();
+        let senders: Vec<NodeId> = (0..nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| nodes[n.0 as usize].site == from)
+            .collect();
+        let receivers: Vec<NodeId> = (0..nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| nodes[n.0 as usize].site == to)
+            .collect();
+        drop(nodes);
+        for &s in &senders {
+            for &r in &receivers {
+                self.set_link_one_way(s, r, connected);
+            }
+        }
+    }
+
+    /// Sets a node's gray-failure service-time multiplier: every message
+    /// serviced at `node` (sent or received) takes `mult ×` its healthy
+    /// cost. `1.0` restores health; values above 1 model a slow-but-alive
+    /// node — degraded disks, CPU steal, GC stalls — that no liveness
+    /// check catches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mult` is not finite and positive.
+    pub fn set_service_multiplier(&self, node: NodeId, mult: f64) {
+        assert!(
+            mult.is_finite() && mult > 0.0,
+            "service multiplier must be finite and positive"
+        );
+        self.inner.nodes.borrow_mut()[node.0 as usize].service_mult = mult;
+    }
+
+    /// The node's current gray-failure multiplier (1.0 = healthy).
+    pub fn service_multiplier(&self, node: NodeId) -> f64 {
+        self.inner.nodes.borrow()[node.0 as usize].service_mult
+    }
+
+    /// Changes the iid message-loss probability at runtime (loss bursts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a probability.
+    pub fn set_loss(&self, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.inner.loss.set(loss);
+    }
+
+    /// The current iid message-loss probability.
+    pub fn loss(&self) -> f64 {
+        self.inner.loss.get()
     }
 
     /// Partitions an entire site from the rest of the network (or heals it
@@ -304,11 +388,17 @@ impl Network {
     }
 
     /// Reserves service at `node`'s FIFO queue starting no earlier than
-    /// `earliest`, returning the completion instant.
+    /// `earliest`, returning the completion instant. A gray-failed node
+    /// stretches the service time by its multiplier.
     fn reserve(&self, node: NodeId, earliest: SimTime, service: SimDuration) -> SimTime {
         let (start, done) = {
             let mut nodes = self.inner.nodes.borrow_mut();
             let st = &mut nodes[node.0 as usize];
+            let service = if st.service_mult != 1.0 {
+                service.mul_f64(st.service_mult)
+            } else {
+                service
+            };
             let start = earliest.max(st.busy_until);
             let done = start + service;
             st.busy_until = done;
@@ -346,11 +436,11 @@ impl Network {
         }
         self.telemetry_send(from, to, bytes);
         let lost = {
-            let cfg = &self.inner.cfg;
+            let loss = self.inner.loss.get();
             let nodes = self.inner.nodes.borrow();
             let dead = !nodes[from.0 as usize].up || !nodes[to.0 as usize].up;
             let cut = self.inner.cut_links.borrow().contains(&(from, to));
-            let unlucky = cfg.loss > 0.0 && self.inner.rng.borrow_mut().gen_bool(cfg.loss);
+            let unlucky = loss > 0.0 && self.inner.rng.borrow_mut().gen_bool(loss);
             if dead {
                 Some(DropReason::EndpointDown)
             } else if cut {
@@ -878,6 +968,145 @@ mod tests {
         });
         assert_eq!(out, 7);
         assert_eq!(calls.get(), 1, "handler ran exactly once after healing");
+    }
+
+    #[test]
+    fn one_way_cut_is_asymmetric() {
+        let (sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        net.set_link_one_way(a, b, false);
+        let (fwd, rev) = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                let fwd = timeout(&sim, SimDuration::from_millis(500), net.transmit(a, b, 1)).await;
+                let rev = timeout(&sim, SimDuration::from_millis(500), net.transmit(b, a, 1)).await;
+                (fwd, rev)
+            }
+        });
+        assert_eq!(fwd, Err(Elapsed), "cut direction drops");
+        assert_eq!(rev, Ok(()), "reverse direction still flows");
+        // Healing the direction restores it.
+        net.set_link_one_way(a, b, true);
+        let fwd = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                timeout(&sim, SimDuration::from_millis(500), net.transmit(a, b, 1)).await
+            }
+        });
+        assert_eq!(fwd, Ok(()));
+    }
+
+    #[test]
+    fn bidirectional_heal_clears_one_way_cuts() {
+        let (_sim, net, n) = three_site_net(quiet_cfg());
+        let (a, b) = (n[0], n[1]);
+        net.set_link_one_way(a, b, false);
+        net.set_link(a, b, true); // full heal covers the directed cut
+        assert!(!net.inner.cut_links.borrow().contains(&(a, b)));
+    }
+
+    #[test]
+    fn partition_direction_cuts_site_pair_one_way() {
+        let sim = Sim::new();
+        let net = Network::new(sim.clone(), LatencyProfile::one_us(), quiet_cfg(), 1);
+        let a1 = net.add_node(SiteId(0));
+        let a2 = net.add_node(SiteId(0));
+        let b = net.add_node(SiteId(1));
+        let c = net.add_node(SiteId(2));
+        net.partition_direction(SiteId(0), SiteId(1), false);
+        let (fwd1, fwd2, rev, other) = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                let t = SimDuration::from_millis(500);
+                let fwd1 = timeout(&sim, t, net.transmit(a1, b, 1)).await;
+                let fwd2 = timeout(&sim, t, net.transmit(a2, b, 1)).await;
+                let rev = timeout(&sim, t, net.transmit(b, a1, 1)).await;
+                let other = timeout(&sim, t, net.transmit(a1, c, 1)).await;
+                (fwd1, fwd2, rev, other)
+            }
+        });
+        assert_eq!((fwd1, fwd2), (Err(Elapsed), Err(Elapsed)));
+        assert_eq!(rev, Ok(()), "reverse site direction flows");
+        assert_eq!(other, Ok(()), "unrelated site pair flows");
+        net.partition_direction(SiteId(0), SiteId(1), true);
+        let fwd = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                timeout(&sim, SimDuration::from_millis(500), net.transmit(a1, b, 1)).await
+            }
+        });
+        assert_eq!(fwd, Ok(()));
+    }
+
+    #[test]
+    fn gray_failure_stretches_service_time() {
+        let mut cfg = quiet_cfg();
+        cfg.service_fixed = SimDuration::from_micros(100);
+        let sim = Sim::new();
+        let net = Network::new(sim.clone(), LatencyProfile::one_us(), cfg, 42);
+        let a = net.add_node(SiteId(0));
+        let b = net.add_node(SiteId(1));
+        assert_eq!(net.service_multiplier(b), 1.0);
+        net.set_service_multiplier(b, 10.0);
+        let t = sim.block_on({
+            let net = net.clone();
+            async move {
+                net.transmit(a, b, 0).await;
+                net.sim().now()
+            }
+        });
+        // 100us tx at the healthy sender + one-way 26.895ms + 10×100us rx
+        // at the gray receiver.
+        assert_eq!(t.as_micros(), 100 + 26_895 + 1_000);
+        // Healing restores the healthy cost.
+        net.set_service_multiplier(b, 1.0);
+        let t0 = sim.now();
+        let t1 = sim.block_on({
+            let net = net.clone();
+            async move {
+                net.transmit(a, b, 0).await;
+                net.sim().now()
+            }
+        });
+        assert_eq!((t1 - t0).as_micros(), 100 + 26_895 + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_service_multiplier_panics() {
+        let (_sim, net, n) = three_site_net(quiet_cfg());
+        net.set_service_multiplier(n[0], 0.0);
+    }
+
+    #[test]
+    fn loss_bursts_apply_and_heal() {
+        let sim = Sim::new();
+        let net = Network::new(sim.clone(), LatencyProfile::one_l(), quiet_cfg(), 7);
+        let a = net.add_node(SiteId(0));
+        let b = net.add_node(SiteId(1));
+        assert_eq!(net.loss(), 0.0);
+        net.set_loss(1.0);
+        let during = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                timeout(&sim, SimDuration::from_millis(100), net.transmit(a, b, 1)).await
+            }
+        });
+        assert_eq!(during, Err(Elapsed), "burst drops everything");
+        net.set_loss(0.0);
+        let after = sim.block_on({
+            let net = net.clone();
+            async move {
+                let sim = net.sim().clone();
+                timeout(&sim, SimDuration::from_millis(100), net.transmit(a, b, 1)).await
+            }
+        });
+        assert_eq!(after, Ok(()), "healed burst delivers again");
     }
 
     #[test]

@@ -20,6 +20,25 @@
 //! `v2s` stamping makes them invisible rather than impossible, so a
 //! correct run can contain them. A holder's read is the authoritative
 //! observation that collapses the acceptable set back to one value.
+//!
+//! The same reasoning extends to the other two acts a preempted-but-alive
+//! reference can still perform (§IV-B permits all of them transiently,
+//! because the local lock peek is eventual by design, §IV-A):
+//!
+//! * a **zombie grant** — an `acquireLock` round that was already in
+//!   flight when the forced release landed announces `lockGrant` *after*
+//!   the `lockForcedRelease`. The reference's entitlement is formally
+//!   dead (the covering `synchFlag` stamp dominates anything it writes),
+//!   so the grant is void: counted as `zombie_grants`, it does not
+//!   reinstate holdership and does not overlap the successor's grant;
+//! * a **stale read** — a `critGet` whose guard passed before the
+//!   preemption but whose quorum read completed after it. Counted as
+//!   `stale_reads`; its value is not checked (read-only, and the client
+//!   will learn `youAreNoLongerLockHolder` on its next guarded act).
+//!
+//! Both remain violations for references that were *never* force-released:
+//! a grant overlapping a live holder, or a read by a reference that never
+//! held (or cleanly released) the lock, is a genuine exclusivity breach.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -41,6 +60,13 @@ pub struct EcfReport {
     pub stale_put_acks: u64,
     /// Forced releases observed.
     pub forced_releases: u64,
+    /// Grants announced for a reference *after* its forced release (an
+    /// acquire round that raced the failure detector): void, not an
+    /// overlap. See the module docs.
+    pub zombie_grants: u64,
+    /// Critical reads that completed after their reference was forcibly
+    /// released: allowed transiently, value unchecked.
+    pub stale_reads: u64,
 }
 
 impl EcfReport {
@@ -57,13 +83,16 @@ impl EcfReport {
         let _ = write!(
             out,
             ",\"ok\":{},\"grants\":{},\"readsChecked\":{},\"putAcks\":{},\
-             \"stalePutAcks\":{},\"forcedReleases\":{},\"violations\":[",
+             \"stalePutAcks\":{},\"forcedReleases\":{},\"zombieGrants\":{},\
+             \"staleReads\":{},\"violations\":[",
             self.ok(),
             self.grants,
             self.reads_checked,
             self.put_acks,
             self.stale_put_acks,
-            self.forced_releases
+            self.forced_releases,
+            self.zombie_grants,
+            self.stale_reads
         );
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
@@ -80,10 +109,13 @@ impl std::fmt::Display for EcfReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ecf: {} ({} grants, {} reads checked, {} put acks ({} stale), {} forced releases",
+            "ecf: {} ({} grants ({} zombie), {} reads checked ({} stale), \
+             {} put acks ({} stale), {} forced releases",
             if self.ok() { "OK" } else { "VIOLATED" },
             self.grants,
+            self.zombie_grants,
             self.reads_checked,
+            self.stale_reads,
             self.put_acks,
             self.stale_put_acks,
             self.forced_releases
@@ -116,6 +148,9 @@ struct KeyState {
     in_flight: BTreeMap<u64, Vec<(u64, u64)>>,
     /// Next issue-order number for this key.
     next_order: u64,
+    /// References that have been forcibly released; their late grants and
+    /// reads are void/stale rather than violations (see module docs).
+    deposed: BTreeSet<u64>,
 }
 
 /// Replays `events` (in slice order, which must be seq order) and checks
@@ -138,6 +173,12 @@ pub fn check(events: &[Event]) -> EcfReport {
         match &e.kind {
             EventKind::LockGrant { key, lock_ref } => {
                 let st = keys.entry(key).or_default();
+                // A grant announced after the reference's forced release is
+                // the zombie-grant race: void, not a reinstatement.
+                if st.deposed.contains(lock_ref) {
+                    report.zombie_grants += 1;
+                    continue;
+                }
                 report.grants += 1;
                 // Re-granting the reference that already holds the lock is
                 // a duplicate winning poll, not an overlap.
@@ -155,10 +196,11 @@ pub fn check(events: &[Event]) -> EcfReport {
             EventKind::LockRelease { key, lock_ref }
             | EventKind::LockForcedRelease { key, lock_ref } => {
                 let forced = matches!(e.kind, EventKind::LockForcedRelease { .. });
+                let st = keys.entry(key).or_default();
                 if forced {
                     report.forced_releases += 1;
+                    st.deposed.insert(*lock_ref);
                 }
-                let st = keys.entry(key).or_default();
                 if st.holder == Some(*lock_ref) {
                     st.holder = None;
                 }
@@ -227,6 +269,12 @@ pub fn check(events: &[Event]) -> EcfReport {
             } => {
                 let st = keys.entry(key).or_default();
                 if st.holder != Some(*lock_ref) {
+                    // A deposed reference's read that completed after its
+                    // forced release: transiently allowed, value unchecked.
+                    if st.deposed.contains(lock_ref) {
+                        report.stale_reads += 1;
+                        continue;
+                    }
                     report.violations.push(format!(
                         "exclusivity: critical read on {key:?} at seq {} by {lock_ref}, \
                          which does not hold the lock (holder: {:?})",
@@ -477,6 +525,75 @@ mod tests {
     fn seq_regression_is_flagged() {
         let trace = [grant(5, 1), release(3, 1)];
         assert!(!check(&trace).ok());
+    }
+
+    fn forced(seq: u64, r: u64) -> Event {
+        ev(
+            seq,
+            EventKind::LockForcedRelease {
+                key: "k".into(),
+                lock_ref: r,
+            },
+        )
+    }
+
+    #[test]
+    fn zombie_grant_after_forced_release_is_void() {
+        // Reference 1's acquire round was in flight when the watchdog
+        // preempted it; its grant lands after the forcedRelease. It must
+        // not reinstate holdership — the successor's grant is legitimate.
+        let trace = [
+            grant(0, 1),
+            forced(1, 1),
+            grant(2, 1), // zombie
+            grant(3, 2),
+            release(4, 2),
+        ];
+        let r = check(&trace);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.zombie_grants, 1);
+        assert_eq!(r.grants, 2, "zombie grants are not counted as grants");
+        let json = r.to_json();
+        assert!(json.contains("\"zombieGrants\":1"), "{json}");
+    }
+
+    #[test]
+    fn zombie_grant_does_not_excuse_a_genuine_overlap() {
+        // Reference 3 was never force-released: granting it over a live
+        // holder stays a violation even amid zombie traffic.
+        let trace = [grant(0, 1), forced(1, 1), grant(2, 2), grant(3, 3)];
+        let r = check(&trace);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("grant of 3"));
+    }
+
+    #[test]
+    fn deposed_reference_read_is_counted_not_flagged() {
+        // The guard passed before the preemption; the quorum read
+        // completed after it. Transiently allowed, value unchecked.
+        let trace = [
+            grant(0, 1),
+            put_ack(1, 1, 0xa),
+            forced(2, 1),
+            get(3, 1, Some(0xa)),
+            grant(4, 2),
+            get(5, 2, Some(0xa)),
+        ];
+        let r = check(&trace);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.stale_reads, 1);
+        assert_eq!(r.reads_checked, 1, "only the holder's read is checked");
+        assert!(r.to_json().contains("\"staleReads\":1"));
+    }
+
+    #[test]
+    fn cleanly_released_reference_read_is_still_flagged() {
+        // A clean releaser knows it released: reading afterwards is a
+        // client bug, not a failure-detection race.
+        let trace = [grant(0, 1), release(1, 1), get(2, 1, None)];
+        let r = check(&trace);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("does not hold"));
     }
 
     fn put_start(seq: u64, r: u64, d: u64) -> Event {

@@ -274,6 +274,47 @@ pub enum EventKind {
         /// Keys that had diverged and were repaired this sweep.
         repaired: u64,
     },
+    /// The nemesis injected a fault into the running system.
+    FaultInject {
+        /// Fault vocabulary word (`crash`, `restart`, `partitionSite`,
+        /// `asymLink`, `lossBurst`, `grayNode`).
+        fault: &'static str,
+        /// What the fault hit (`n3`, `site2`, `site0->site1`, `net`).
+        target: String,
+        /// Fault-specific magnitude: gray multiplier ×1000, loss in ppm,
+        /// 0 when not applicable.
+        param: u64,
+    },
+    /// The nemesis healed a previously injected fault.
+    FaultHeal {
+        /// Fault vocabulary word (matches the inject event).
+        fault: &'static str,
+        /// What was healed.
+        target: String,
+    },
+    /// A client's per-replica circuit breaker opened: the replica is
+    /// skipped by fail-over until a cooldown elapses.
+    BreakerTrip {
+        /// The tripped replica's node.
+        node: u32,
+        /// Consecutive failures that opened the breaker.
+        failures: u32,
+    },
+    /// An open breaker's cooldown elapsed and the client is sending one
+    /// probationary (half-open) probe to the replica.
+    BreakerProbe {
+        /// The probed replica's node.
+        node: u32,
+    },
+    /// A probe succeeded: the breaker closed and the replica rejoined the
+    /// fail-over rotation.
+    BreakerClose {
+        /// The re-admitted replica's node.
+        node: u32,
+        /// How long the breaker was open, in virtual microseconds —
+        /// the client-observed recovery time.
+        open_us: u64,
+    },
 }
 
 impl EventKind {
@@ -306,6 +347,11 @@ impl EventKind {
             EventKind::LeaseGrant { .. } => "leaseGrant",
             EventKind::LeaseBreak { .. } => "leaseBreak",
             EventKind::RepairRound { .. } => "repairRound",
+            EventKind::FaultInject { .. } => "faultInject",
+            EventKind::FaultHeal { .. } => "faultHeal",
+            EventKind::BreakerTrip { .. } => "breakerTrip",
+            EventKind::BreakerProbe { .. } => "breakerProbe",
+            EventKind::BreakerClose { .. } => "breakerClose",
         }
     }
 
@@ -441,6 +487,28 @@ impl EventKind {
             }
             EventKind::RepairRound { repaired } => {
                 let _ = write!(out, ",\"repaired\":{repaired}");
+            }
+            EventKind::FaultInject {
+                fault,
+                target,
+                param,
+            } => {
+                let _ = write!(out, ",\"fault\":\"{fault}\",\"target\":");
+                push_str(out, target);
+                let _ = write!(out, ",\"param\":{param}");
+            }
+            EventKind::FaultHeal { fault, target } => {
+                let _ = write!(out, ",\"fault\":\"{fault}\",\"target\":");
+                push_str(out, target);
+            }
+            EventKind::BreakerTrip { node, failures } => {
+                let _ = write!(out, ",\"replica\":{node},\"failures\":{failures}");
+            }
+            EventKind::BreakerProbe { node } => {
+                let _ = write!(out, ",\"replica\":{node}");
+            }
+            EventKind::BreakerClose { node, open_us } => {
+                let _ = write!(out, ",\"replica\":{node},\"open_us\":{open_us}");
             }
         }
     }

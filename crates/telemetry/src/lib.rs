@@ -51,7 +51,7 @@ mod recorder;
 
 pub use ecf::{check, EcfReport};
 pub use event::{to_json_lines, DropReason, Event, EventKind, LwtPhase, TraceId};
-pub use metrics::{MetricEntry, MetricsRegistry, MetricsSnapshot, Scope};
+pub use metrics::{HistEntry, MetricEntry, MetricsRegistry, MetricsSnapshot, Scope};
 pub use recorder::Recorder;
 
 /// FNV-1a digest of a byte string — the value fingerprint carried by

@@ -29,13 +29,15 @@ impl fmt::Display for Scope {
     }
 }
 
-/// Monotone counters plus max-tracking gauges, keyed by `(scope, name)`.
+/// Monotone counters plus max-tracking gauges and sample histograms,
+/// keyed by `(scope, name)`.
 ///
-/// Backed by a `BTreeMap` so iteration (and therefore every snapshot and
+/// Backed by `BTreeMap`s so iteration (and therefore every snapshot and
 /// JSON export) is deterministically ordered.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     values: BTreeMap<(Scope, &'static str), u64>,
+    hists: BTreeMap<(Scope, &'static str), Vec<u64>>,
 }
 
 impl MetricsRegistry {
@@ -56,6 +58,12 @@ impl MetricsRegistry {
         *slot = (*slot).max(v);
     }
 
+    /// Appends one sample to the histogram `(scope, name)` — used for
+    /// duration distributions like replica recovery times.
+    pub fn observe(&mut self, scope: Scope, name: &'static str, v: u64) {
+        self.hists.entry((scope, name)).or_default().push(v);
+    }
+
     /// Current value of `(scope, name)`; zero if never touched.
     pub fn get(&self, scope: Scope, name: &'static str) -> u64 {
         self.values.get(&(scope, name)).copied().unwrap_or(0)
@@ -68,6 +76,15 @@ impl MetricsRegistry {
                 .values
                 .iter()
                 .map(|(&(scope, name), &value)| MetricEntry { scope, name, value })
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(&(scope, name), samples)| HistEntry {
+                    scope,
+                    name,
+                    samples: samples.clone(),
+                })
                 .collect(),
         }
     }
@@ -84,11 +101,47 @@ pub struct MetricEntry {
     pub value: u64,
 }
 
+/// One `(scope, name, samples)` histogram row of a snapshot, in
+/// observation order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistEntry {
+    /// What the histogram is attributed to.
+    pub scope: Scope,
+    /// Histogram name.
+    pub name: &'static str,
+    /// Every observed sample, in observation order.
+    pub samples: Vec<u64>,
+}
+
+impl HistEntry {
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Largest sample (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest sample (zero when empty).
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+}
+
 /// A deterministic, point-in-time view of a [`MetricsRegistry`].
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct MetricsSnapshot {
-    /// All rows, sorted by `(scope, name)`.
+    /// All counter/gauge rows, sorted by `(scope, name)`.
     pub entries: Vec<MetricEntry>,
+    /// All histogram rows, sorted by `(scope, name)`.
+    pub hists: Vec<HistEntry>,
 }
 
 impl MetricsSnapshot {
@@ -109,13 +162,32 @@ impl MetricsSnapshot {
             .sum()
     }
 
+    /// The histogram `(scope, name)`, if any samples were observed.
+    pub fn histogram(&self, scope: Scope, name: &'static str) -> Option<&HistEntry> {
+        self.hists
+            .iter()
+            .find(|h| h.scope == scope && h.name == name)
+    }
+
+    /// Every sample of histogram `name` across all scopes, in `(scope,
+    /// observation)` order.
+    pub fn histogram_samples(&self, name: &'static str) -> Vec<u64> {
+        self.hists
+            .iter()
+            .filter(|h| h.name == name)
+            .flat_map(|h| h.samples.iter().copied())
+            .collect()
+    }
+
     /// Whether the snapshot holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.hists.is_empty()
     }
 
     /// One JSON object on a single line:
-    /// `{"kind":"metrics","counters":{"node:0/msgs_sent":12,...}}`.
+    /// `{"kind":"metrics","counters":{"node:0/msgs_sent":12,...}}`, plus a
+    /// `"hists"` object (count/sum/min/max per histogram) when any
+    /// histogram holds samples.
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
         let mut out = String::from("{\"kind\":\"metrics\",\"counters\":{");
@@ -126,7 +198,26 @@ impl MetricsSnapshot {
             push_str(&mut out, &format!("{}/{}", e.scope, e.name));
             let _ = write!(out, ":{}", e.value);
         }
-        out.push_str("}}");
+        out.push('}');
+        if !self.hists.is_empty() {
+            out.push_str(",\"hists\":{");
+            for (i, h) in self.hists.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_str(&mut out, &format!("{}/{}", h.scope, h.name));
+                let _ = write!(
+                    out,
+                    ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max()
+                );
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 }
@@ -162,5 +253,35 @@ mod tests {
         );
         assert_eq!(snap.total("a"), 2);
         assert_eq!(snap.get(Scope::Site(1), "b"), 1);
+    }
+
+    #[test]
+    fn histograms_accumulate_samples_and_render_summaries() {
+        let mut m = MetricsRegistry::new();
+        m.observe(Scope::Node(2), "recovery_us", 30);
+        m.observe(Scope::Node(2), "recovery_us", 10);
+        m.observe(Scope::Node(1), "recovery_us", 7);
+        let snap = m.snapshot();
+        let h = snap.histogram(Scope::Node(2), "recovery_us").unwrap();
+        assert_eq!(h.samples, vec![30, 10], "observation order preserved");
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (2, 40, 10, 30));
+        assert_eq!(snap.histogram_samples("recovery_us"), vec![7, 30, 10]);
+        assert!(snap.histogram(Scope::Global, "recovery_us").is_none());
+        assert_eq!(
+            snap.to_json(),
+            "{\"kind\":\"metrics\",\"counters\":{},\
+             \"hists\":{\"node:1/recovery_us\":{\"count\":1,\"sum\":7,\"min\":7,\"max\":7},\
+             \"node:2/recovery_us\":{\"count\":2,\"sum\":40,\"min\":10,\"max\":30}}}"
+        );
+    }
+
+    #[test]
+    fn counter_only_json_is_unchanged_by_the_hist_field() {
+        let mut m = MetricsRegistry::new();
+        m.add(Scope::Global, "a", 1);
+        assert_eq!(
+            m.snapshot().to_json(),
+            "{\"kind\":\"metrics\",\"counters\":{\"global/a\":1}}"
+        );
     }
 }

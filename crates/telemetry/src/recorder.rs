@@ -117,6 +117,13 @@ impl Recorder {
         }
     }
 
+    /// Appends one histogram sample (no-op when off).
+    pub fn observe(&self, scope: Scope, name: &'static str, v: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.borrow_mut().observe(scope, name, v);
+        }
+    }
+
     /// A copy of the event log so far, in sequence order.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {

@@ -5,6 +5,8 @@
 //! music-sim latency [profile]     # Fig. 5(b)-style operation breakdown
 //! music-sim throughput [profile]  # quick Fig. 4(a)-style comparison
 //! music-sim trace [p] [--seed N]  # seeded chaos run as a JSON-lines trace
+//! music-sim nemesis [p|all] [--seed N] [--schedules K] [--mode M]
+//!                                 # randomized fault schedules + ECF verdicts
 //! music-sim verify                # bounded model check of the ECF invariants
 //! music-sim profiles              # print the Table II latency profiles
 //! ```
@@ -156,6 +158,92 @@ fn cmd_trace(profile: LatencyProfile, seed: u64) {
     }
 }
 
+/// `music-sim nemesis [profile|all] [--seed N] [--schedules K] [--mode M]
+/// [--no-replay]`: runs `K` seeded nemesis fault schedules per profile
+/// (seeds `N..N+K`), each against a randomized multi-client workload, and
+/// prints one JSON verdict line per schedule. Unless `--mode` pins one,
+/// the write mode cycles sync → pipelined → leased by seed. Every
+/// schedule is re-run and its event log and metrics must replay
+/// byte-identically (`--no-replay` skips that). Exits 1 if any schedule
+/// violates ECF or fails to replay.
+fn cmd_nemesis(
+    profiles: Vec<LatencyProfile>,
+    seed0: u64,
+    schedules: u64,
+    mode: Option<music::nemesis::RunMode>,
+    replay: bool,
+) {
+    use music::nemesis::{run_nemesis, NemesisOptions, RunMode};
+    use music_repro::telemetry::{to_json_lines, Recorder};
+    let mut failures = 0u64;
+    for profile in &profiles {
+        for i in 0..schedules {
+            let seed = seed0 + i;
+            let m = mode.unwrap_or(RunMode::ALL[(seed % 3) as usize]);
+            let run = run_nemesis(
+                profile.clone(),
+                seed,
+                NemesisOptions::new(m),
+                Recorder::tracing(),
+            );
+            let replay_identical = if replay {
+                let again = run_nemesis(
+                    profile.clone(),
+                    seed,
+                    NemesisOptions::new(m),
+                    Recorder::tracing(),
+                );
+                to_json_lines(&run.events) == to_json_lines(&again.events)
+                    && run.metrics.to_json() == again.metrics.to_json()
+            } else {
+                true
+            };
+            let ok = run.report.ok() && replay_identical;
+            println!(
+                "{{\"kind\":\"nemesis\",\"profile\":\"{}\",\"seed\":{seed},\
+                 \"mode\":\"{}\",\"ok\":{ok},\"faults\":{},\"sectionsOk\":{},\
+                 \"sectionsAbandoned\":{},\"grants\":{},\"zombieGrants\":{},\
+                 \"staleReads\":{},\"stalePutAcks\":{},\"forcedReleases\":{},\
+                 \"replayIdentical\":{replay_identical},\"finalTimeUs\":{}}}",
+                profile.name(),
+                m.name(),
+                run.schedule.len(),
+                run.sections_ok,
+                run.sections_abandoned,
+                run.report.grants,
+                run.report.zombie_grants,
+                run.report.stale_reads,
+                run.report.stale_put_acks,
+                run.report.forced_releases,
+                run.final_time_us,
+            );
+            if !ok {
+                failures += 1;
+                eprintln!(
+                    "nemesis FAILED: profile={} seed={seed} mode={}",
+                    profile.name(),
+                    m.name()
+                );
+                eprintln!("  schedule:");
+                for line in &run.schedule {
+                    eprintln!("    {line}");
+                }
+                for line in &run.outcomes {
+                    eprintln!("  {line}");
+                }
+                if !replay_identical {
+                    eprintln!("  replay diverged (event log or metrics not byte-identical)");
+                }
+                eprintln!("  {}", run.report.to_json());
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("nemesis: {failures} schedule(s) failed");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_verify() {
     use music_repro::modelcheck::{CheckOutcome, Checker, MusicModel, Scope};
     println!("== bounded model check of the ECF invariants (§V) ==");
@@ -208,6 +296,9 @@ fn main() {
     // Flags may appear anywhere after the command; the first free operand
     // is the latency profile.
     let mut seed = 1u64;
+    let mut schedules = 8u64;
+    let mut mode: Option<music::nemesis::RunMode> = None;
+    let mut replay = true;
     let mut profile_arg: Option<&str> = None;
     let mut rest = args[2.min(args.len())..].iter();
     while let Some(a) = rest.next() {
@@ -218,6 +309,19 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs an integer");
             }
+            "--schedules" => {
+                schedules = rest
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--schedules needs an integer");
+            }
+            "--mode" => {
+                let m = rest.next().expect("--mode needs sync|pipelined|leased");
+                mode = Some(
+                    music::nemesis::RunMode::parse(m).expect("--mode needs sync|pipelined|leased"),
+                );
+            }
+            "--no-replay" => replay = false,
             other => profile_arg = Some(other),
         }
     }
@@ -227,6 +331,14 @@ fn main() {
         "latency" => cmd_latency(profile),
         "throughput" => cmd_throughput(profile),
         "trace" => cmd_trace(profile, seed),
+        "nemesis" => {
+            let profiles = if profile_arg == Some("all") {
+                LatencyProfile::table_ii()
+            } else {
+                vec![profile]
+            };
+            cmd_nemesis(profiles, seed, schedules, mode, replay);
+        }
         "verify" => cmd_verify(),
         "profiles" => cmd_profiles(),
         _ => {
@@ -237,6 +349,9 @@ fn main() {
             println!("  latency     per-operation latency breakdown (Fig. 5(b))");
             println!("  throughput  quick CassaEV / MUSIC / MSCP comparison (Fig. 4(a))");
             println!("  trace       seeded chaos run -> JSON-lines event trace + ECF verdict");
+            println!("  nemesis     randomized fault schedules -> per-schedule ECF verdicts");
+            println!("              [profile|all] [--seed N] [--schedules K]");
+            println!("              [--mode sync|pipelined|leased] [--no-replay]");
             println!("  verify      bounded model check of the ECF invariants (§V)");
             println!("  profiles    print the Table II latency profiles");
             println!();

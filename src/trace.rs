@@ -198,13 +198,33 @@ pub fn run_chaos(profile: LatencyProfile, seed: u64, recorder: Recorder) -> Trac
         fixer.sweep_once().await;
         log.push(format!("repair: {} keys healed", fixer.repaired()));
 
-        // Phase 4 — lock-free traffic for the eventual paths.
+        // Phase 4 — lock-free traffic for the eventual paths. Retried like
+        // every other quorum op here: under the run's 1% loss an unlucky
+        // seed can transiently exhaust a single op's retransmits.
         let r = sys2.replica(1).clone();
-        r.put("notes", b("eventual")).await.expect("put");
-        log.push(format!(
-            "notes: get -> {:?}",
-            r.get("notes").await.expect("get").map(|v| v.len())
-        ));
+        for attempt in 0.. {
+            match r.put("notes", b("eventual")).await {
+                Ok(()) => break,
+                Err(e) => {
+                    assert!(attempt < 10, "notes put: {e:?}");
+                    sys2.sim().sleep(SimDuration::from_millis(50)).await;
+                }
+            }
+        }
+        let mut notes = None;
+        for attempt in 0.. {
+            match r.get("notes").await {
+                Ok(v) => {
+                    notes = v;
+                    break;
+                }
+                Err(e) => {
+                    assert!(attempt < 10, "notes get: {e:?}");
+                    sys2.sim().sleep(SimDuration::from_millis(50)).await;
+                }
+            }
+        }
+        log.push(format!("notes: get -> {:?}", notes.map(|v| v.len())));
 
         // Phase 5 — a clean *pipelined* critical section: puts are issued
         // with a bounded in-flight window; the criticalGet and the release

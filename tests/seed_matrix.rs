@@ -7,6 +7,7 @@
 //! `MUSIC_SEEDS="3,17"` (comma-separated) overrides the built-in matrix;
 //! the CI seed-matrix job uses it to shard seeds across runners.
 
+use music::nemesis::{run_nemesis, NemesisOptions, RunMode};
 use music_repro::telemetry::{to_json_lines, Recorder};
 use music_repro::trace::run_chaos;
 use music_simnet::prelude::*;
@@ -51,6 +52,35 @@ fn every_seed_is_ecf_clean() {
             run.metrics.total("watchdog_preemptions") >= 2,
             "seed {seed}: watchdog never preempted a dead holder"
         );
+    }
+}
+
+#[test]
+fn every_seed_survives_nemesis_schedules() {
+    // Beyond the fixed chaos scenario: two *randomized* nemesis fault
+    // schedules per seed (distinct write modes), each of which must come
+    // out ECF-clean. Sharded by the same MUSIC_SEEDS variable as above.
+    for seed in seeds() {
+        for salt in [0u64, 1] {
+            let nemesis_seed = seed.wrapping_mul(2).wrapping_add(salt);
+            let mode = RunMode::ALL[(nemesis_seed % 3) as usize];
+            let run = run_nemesis(
+                LatencyProfile::one_us(),
+                nemesis_seed,
+                NemesisOptions::new(mode),
+                Recorder::tracing(),
+            );
+            assert!(
+                run.report.ok(),
+                "seed {seed} (nemesis seed {nemesis_seed}, mode {}) violated ECF: {}",
+                mode.name(),
+                run.report.to_json()
+            );
+            assert!(
+                run.sections_ok >= 1,
+                "seed {seed}: nemesis workload made no progress"
+            );
+        }
     }
 }
 
