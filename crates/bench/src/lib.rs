@@ -27,6 +27,7 @@
 
 pub mod cdb_runners;
 pub mod music_runners;
+pub mod profile;
 pub mod report;
 pub mod setup;
 pub mod ycsb_runner;

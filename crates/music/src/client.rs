@@ -29,6 +29,7 @@ use music_lockstore::LockRef;
 use music_quorumstore::StoreError;
 use music_simnet::executor::Sim;
 use music_simnet::time::{SimDuration, SimTime};
+use music_telemetry::{SpanId, SpanPhase};
 
 use crate::backoff;
 use crate::config::WriteMode;
@@ -190,6 +191,58 @@ impl MusicClient {
                 depth as u64,
             );
         }
+    }
+
+    /// Opens a phase span parented on the task's current span, attributed
+    /// to this client's home (primary) replica. No-op unless tracing;
+    /// returns `(span, previous tag)` for [`MusicClient::span_close`].
+    fn span_open(&self, phase: SpanPhase, key: &str) -> (SpanId, u64) {
+        let rec = self.primary().recorder();
+        if !rec.is_tracing() {
+            return (0, 0);
+        }
+        let parent = self.sim.span();
+        let id = rec.span_open(
+            self.sim.now().as_micros(),
+            parent,
+            self.sim.trace(),
+            self.primary().node().0,
+            self.primary().site(),
+            phase,
+            key,
+        );
+        self.sim.set_span(id);
+        (id, parent)
+    }
+
+    /// Closes a phase span and restores the task's previous span tag.
+    fn span_close(&self, token: (SpanId, u64)) {
+        let (id, parent) = token;
+        if id == 0 {
+            return;
+        }
+        self.primary()
+            .recorder()
+            .span_close(self.sim.now().as_micros(), id);
+        self.sim.set_span(parent);
+    }
+
+    /// Records one slow-path lock grant for fairness accounting: the
+    /// enqueue→grant latency lands in this site's histogram, so a far
+    /// site's starvation shows up as a runaway per-site p99.9 (ROADMAP
+    /// item 3's instrument).
+    fn note_grant(&self, entered: SimTime) {
+        let rec = self.primary().recorder();
+        if !rec.is_on() {
+            return;
+        }
+        let site = music_telemetry::Scope::Site(self.primary().site());
+        rec.count(site, "sections_entered", 1);
+        rec.observe(
+            site,
+            "grant_wait_us",
+            (self.sim.now() - entered).as_micros(),
+        );
     }
 
     /// The deterministic jitter salt for this client's `op_name` retries:
@@ -511,16 +564,46 @@ impl MusicClient {
     /// Any [`MusicError`] from the two steps.
     pub async fn enter(&self, key: impl AsRef<str>) -> Result<CriticalSection, MusicError> {
         let key = key.as_ref();
+        let t0 = self.sim.now();
+        // The section root span stays open until release (or drop) and
+        // every phase below — including replica-side headship confirms —
+        // parents onto it through the task's span tag.
+        let section_span = self.span_open(SpanPhase::Section, key);
         if let Some(lock_ref) = self.try_lease_reenter(key).await {
-            return Ok(self.section(key, lock_ref, self.sim.now()));
+            return Ok(self.section(key, lock_ref, self.sim.now(), section_span));
         }
-        let lock_ref = self.create_lock_ref(key).await?;
+        let acquire_span = self.span_open(SpanPhase::LockAcquire, key);
+        let enqueue_span = self.span_open(SpanPhase::Enqueue, key);
+        let lock_ref = self.create_lock_ref(key).await;
+        self.span_close(enqueue_span);
+        let lock_ref = match lock_ref {
+            Ok(r) => r,
+            Err(e) => {
+                self.span_close(acquire_span);
+                self.span_close(section_span);
+                return Err(e);
+            }
+        };
         let entered_at = self.sim.now();
-        self.acquire_lock(key, lock_ref).await?;
-        Ok(self.section(key, lock_ref, entered_at))
+        let head_wait_span = self.span_open(SpanPhase::HeadWait, key);
+        let acquired = self.acquire_lock(key, lock_ref).await;
+        self.span_close(head_wait_span);
+        self.span_close(acquire_span);
+        if let Err(e) = acquired {
+            self.span_close(section_span);
+            return Err(e);
+        }
+        self.note_grant(t0);
+        Ok(self.section(key, lock_ref, entered_at, section_span))
     }
 
-    fn section(&self, key: &str, lock_ref: LockRef, entered_at: SimTime) -> CriticalSection {
+    fn section(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        entered_at: SimTime,
+        span: (SpanId, u64),
+    ) -> CriticalSection {
         CriticalSection {
             client: self.clone(),
             key: key.to_string(),
@@ -529,6 +612,8 @@ impl MusicClient {
             write_mode: self.write_mode(),
             pending: RefCell::new(VecDeque::new()),
             poisoned: Cell::new(None),
+            span: Cell::new(span.0),
+            span_parent: span.1,
         }
     }
 
@@ -544,16 +629,22 @@ impl MusicClient {
             return None;
         }
         let poll = self.primary().config().acquire_poll;
+        let span = self.span_open(SpanPhase::LeaseReenter, key);
         // A couple of polls tolerate a local replica that has not yet
         // applied the release LWT; beyond that, fall back rather than spin.
+        let mut reentered = None;
         for _ in 0..3 {
             match self.primary().lease_reenter(key, grant.lock_ref).await {
-                Ok(AcquireOutcome::Acquired) => return Some(grant.lock_ref),
+                Ok(AcquireOutcome::Acquired) => {
+                    reentered = Some(grant.lock_ref);
+                    break;
+                }
                 Ok(AcquireOutcome::NotYet) => self.sim.sleep(poll).await,
-                Ok(AcquireOutcome::NoLongerHolder) | Err(_) => return None,
+                Ok(AcquireOutcome::NoLongerHolder) | Err(_) => break,
             }
         }
-        None
+        self.span_close(span);
+        reentered
     }
 
     /// Voluntarily surrenders the lease this client holds on `key`, if
@@ -712,6 +803,10 @@ pub struct CriticalSection {
     /// fails with this error, because an unacknowledged write may still
     /// land and only a resynchronizing handoff is safe (§III-A).
     poisoned: Cell<Option<MusicError>>,
+    /// The open `cs` root span (0 when tracing is off or already closed).
+    span: Cell<SpanId>,
+    /// Task span tag to restore when the root span closes.
+    span_parent: u64,
 }
 
 impl CriticalSection {
@@ -742,6 +837,27 @@ impl CriticalSection {
         }
     }
 
+    /// Closes the section's root span (idempotent). Runs on release *and*
+    /// on drop, so abandoned sections still close their span — an
+    /// unclosed `cs` span in a trace means a task died mid-section.
+    fn close_section_span(&self) {
+        let id = self.span.replace(0);
+        if id == 0 {
+            return;
+        }
+        let sim = &self.client.sim;
+        self.client
+            .primary()
+            .recorder()
+            .span_close(sim.now().as_micros(), id);
+        // Restore the enclosing tag only if this guard's span is still the
+        // current one — a guard dropped from a foreign task must not
+        // clobber that task's tag.
+        if sim.span() == id {
+            sim.set_span(self.span_parent);
+        }
+    }
+
     /// `criticalGet` of the guarded key — guaranteed to return the *true
     /// value* (Latest-State Property). A flush barrier: all pipelined
     /// writes are acknowledged before the read is issued.
@@ -751,7 +867,10 @@ impl CriticalSection {
     /// See [`MusicClient::critical_get`]; also any flush error.
     pub async fn get(&self) -> Result<Option<Bytes>, MusicError> {
         self.flush().await?;
-        self.client.critical_get(&self.key, self.lock_ref).await
+        let span = self.client.span_open(SpanPhase::DataGet, &self.key);
+        let r = self.client.critical_get(&self.key, self.lock_ref).await;
+        self.client.span_close(span);
+        r
     }
 
     /// `criticalPut` of the guarded key — on success the written value is
@@ -768,9 +887,13 @@ impl CriticalSection {
         match self.write_mode {
             WriteMode::Sync => {
                 self.check_poisoned()?;
-                self.client
+                let span = self.client.span_open(SpanPhase::DataPut, &self.key);
+                let r = self
+                    .client
                     .critical_put(&self.key, self.lock_ref, value)
-                    .await
+                    .await;
+                self.client.span_close(span);
+                r
             }
             WriteMode::Pipelined { .. } => self.put_async(value).await,
         }
@@ -793,6 +916,17 @@ impl CriticalSection {
         self.check_poisoned()?;
         let value = value.into();
         let window = self.write_mode.window();
+        // The span covers the *issue* (window drain + guard + quorum
+        // launch): pipelined acks land later and are accounted by the
+        // flush span, which is exactly the decomposition the pipelining
+        // optimization is supposed to show off.
+        let span = self.client.span_open(SpanPhase::DataPut, &self.key);
+        let r = self.put_async_inner(value, window).await;
+        self.client.span_close(span);
+        r
+    }
+
+    async fn put_async_inner(&self, value: Bytes, window: usize) -> Result<(), MusicError> {
         loop {
             let oldest = {
                 let mut pending = self.pending.borrow_mut();
@@ -885,6 +1019,13 @@ impl CriticalSection {
             return Ok(());
         }
         self.client.note_flush(&self.key, self.lock_ref, n as u64);
+        let span = self.client.span_open(SpanPhase::Flush, &self.key);
+        let r = self.drain_pending().await;
+        self.client.span_close(span);
+        r
+    }
+
+    async fn drain_pending(&self) -> Result<(), MusicError> {
         loop {
             let Some(pp) = self.pending.borrow_mut().pop_front() else {
                 return Ok(());
@@ -910,8 +1051,18 @@ impl CriticalSection {
     pub async fn release(self) -> Result<(), MusicError> {
         self.flush().await?;
         let res = match self.client.lease_window() {
-            Some(window) => self.release_leased(window).await,
-            None => self.client.release_lock(&self.key, self.lock_ref).await,
+            Some(window) => {
+                let span = self.client.span_open(SpanPhase::LeaseHandoff, &self.key);
+                let res = self.release_leased(window).await;
+                self.client.span_close(span);
+                res
+            }
+            None => {
+                let span = self.client.span_open(SpanPhase::Release, &self.key);
+                let res = self.client.release_lock(&self.key, self.lock_ref).await;
+                self.client.span_close(span);
+                res
+            }
         };
         if res.is_ok() {
             self.client.primary().stats().record(
@@ -919,6 +1070,7 @@ impl CriticalSection {
                 self.client.sim.now() - self.entered_at,
             );
         }
+        self.close_section_span();
         res
     }
 
@@ -944,5 +1096,11 @@ impl CriticalSection {
             }
         }
         Ok(())
+    }
+}
+
+impl Drop for CriticalSection {
+    fn drop(&mut self) {
+        self.close_section_span();
     }
 }

@@ -14,7 +14,7 @@ use music_quorumstore::{DataRow, Put, ReplicatedTable, RowSnapshot, StoreError};
 use music_simnet::executor::JoinHandle;
 use music_simnet::net::{Network, NodeId};
 use music_simnet::time::{SimDuration, SimTime};
-use music_telemetry::{EventKind, Recorder, Scope, TraceId};
+use music_telemetry::{EventKind, Recorder, Scope, SpanId, SpanPhase, TraceId};
 
 use crate::config::{MusicConfig, PeekMode, PutMode};
 use crate::error::{AcquireOutcome, CriticalError};
@@ -90,6 +90,12 @@ impl MusicReplica {
     /// The network node this replica runs at.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The site this replica's node lives at (per-site attribution of
+    /// grant latency and phase spans).
+    pub fn site(&self) -> u32 {
+        self.net.site_of(self.node).0
     }
 
     /// This replica's configuration.
@@ -184,6 +190,40 @@ impl MusicReplica {
             },
         );
         sim.set_trace(prev);
+    }
+
+    /// Opens a phase span parented on the task's current span (no-op
+    /// unless tracing). Returns `(span, previous tag)` for
+    /// [`MusicReplica::phase_close`].
+    fn phase_open(&self, phase: SpanPhase, key: &str) -> (SpanId, u64) {
+        let rec = self.net.recorder();
+        if !rec.is_tracing() {
+            return (0, 0);
+        }
+        let sim = self.net.sim();
+        let parent = sim.span();
+        let id = rec.span_open(
+            sim.now().as_micros(),
+            parent,
+            sim.trace(),
+            self.node.0,
+            self.site(),
+            phase,
+            key,
+        );
+        sim.set_span(id);
+        (id, parent)
+    }
+
+    /// Closes a phase span and restores the task's previous span tag.
+    fn phase_close(&self, token: (SpanId, u64)) {
+        let (id, parent) = token;
+        if id == 0 {
+            return;
+        }
+        let sim = self.net.sim();
+        self.net.recorder().span_close(sim.now().as_micros(), id);
+        sim.set_span(parent);
     }
 
     /// Lock-queue head view per the configured [`PeekMode`].
@@ -452,6 +492,21 @@ impl MusicReplica {
         // §IV-B argues safe (dominated stamps), the trace checker excuses
         // (deposed-reference accounting), and the per-operation holder
         // guards cut short.
+        let span = self.phase_open(SpanPhase::HeadConfirm, key);
+        let r = self.confirm_and_grant(key, lock_ref).await;
+        self.phase_close(span);
+        r
+    }
+
+    /// The winning poll's grant path: quorum headship confirm overlapped
+    /// with the `synchFlag` read, optional §III-A synchronization, and the
+    /// `startTime` write. Split out of `acquire_lock_inner` so the
+    /// `lock.headConfirm` span covers exactly this quorum-priced section.
+    async fn confirm_and_grant(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<AcquireOutcome, StoreError> {
         let t0 = self.now();
         let flag_read = {
             let data = self.data.clone();

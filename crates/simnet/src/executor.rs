@@ -73,6 +73,11 @@ struct TaskSlot {
     /// Telemetry trace tag: saved across polls so a span id set inside a
     /// task survives its awaits, and inherited by tasks it spawns.
     trace_tag: Cell<u64>,
+    /// Telemetry span tag (the *current phase span*, distinct from the
+    /// trace): same save/restore discipline as `trace_tag`, so nested
+    /// phase spans parent correctly even when concurrent critical
+    /// sections interleave at await points.
+    span_tag: Cell<u64>,
 }
 
 struct TimerEntry {
@@ -115,6 +120,53 @@ struct Inner {
     /// the ambient tag between polls). Purely observational bookkeeping —
     /// it never influences scheduling.
     current_trace: Cell<u64>,
+    /// Span tag of the code currently running (see `TaskSlot::span_tag`).
+    current_span: Cell<u64>,
+    /// Executor hot-path counters (see [`ExecutorProfile`]): pure `Cell`
+    /// increments, so profiling never perturbs the schedule.
+    profile: ProfileCells,
+}
+
+#[derive(Default)]
+struct ProfileCells {
+    tasks_spawned: Cell<u64>,
+    task_polls: Cell<u64>,
+    timers_set: Cell<u64>,
+    timers_fired: Cell<u64>,
+    timers_cancelled: Cell<u64>,
+    max_ready_queue: Cell<u64>,
+    max_timer_heap: Cell<u64>,
+}
+
+/// A snapshot of the executor's hot-path counters — the simulator's own
+/// performance profile. Every field is a deterministic function of the
+/// schedule, so profiles replay byte-identically for a fixed seed; pair
+/// them with a wall-clock measurement around [`Sim::run`] to get
+/// events-per-wall-second (the ROADMAP item 1 baseline).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorProfile {
+    /// Tasks ever spawned.
+    pub tasks_spawned: u64,
+    /// Future polls executed (the executor's unit of work).
+    pub task_polls: u64,
+    /// Timers registered.
+    pub timers_set: u64,
+    /// Timers that fired and advanced (or held) the clock.
+    pub timers_fired: u64,
+    /// Timers cancelled before firing (dropped `Sleep`s, timeout losers).
+    pub timers_cancelled: u64,
+    /// High-water mark of the ready queue (scheduler burst width).
+    pub max_ready_queue: u64,
+    /// High-water mark of the timer heap (pending-timeout pressure).
+    pub max_timer_heap: u64,
+}
+
+impl ExecutorProfile {
+    /// Total scheduler events (polls + timer fires) — the denominator of
+    /// the simulator's events/sec figures.
+    pub fn events(&self) -> u64 {
+        self.task_polls + self.timers_fired
+    }
 }
 
 /// Handle to the simulation runtime: clock, spawner, and run loop.
@@ -154,6 +206,8 @@ impl Sim {
                 timer_seq: Cell::new(0),
                 live: Cell::new(0),
                 current_trace: Cell::new(0),
+                current_span: Cell::new(0),
+                profile: ProfileCells::default(),
             }),
         }
     }
@@ -180,6 +234,36 @@ impl Sim {
     /// observational: scheduling, timers, and randomness are unaffected.
     pub fn set_trace(&self, tag: u64) {
         self.inner.current_trace.set(tag);
+    }
+
+    /// The phase-span tag of the currently running task (`0` = no open
+    /// span). Distinct from [`Sim::trace`]: the trace names a whole
+    /// client-visible operation, the span names the *currently open
+    /// phase* within it. Inherited by spawned tasks and preserved across
+    /// awaits, so instrumentation deep in the stack can parent its spans
+    /// onto the caller's without threading ids through every signature.
+    pub fn span(&self) -> u64 {
+        self.inner.current_span.get()
+    }
+
+    /// Sets the current task's span tag (see [`Sim::span`]). Purely
+    /// observational, like [`Sim::set_trace`].
+    pub fn set_span(&self, tag: u64) {
+        self.inner.current_span.set(tag);
+    }
+
+    /// A snapshot of the executor's hot-path counters.
+    pub fn profile(&self) -> ExecutorProfile {
+        let p = &self.inner.profile;
+        ExecutorProfile {
+            tasks_spawned: p.tasks_spawned.get(),
+            task_polls: p.task_polls.get(),
+            timers_set: p.timers_set.get(),
+            timers_fired: p.timers_fired.get(),
+            timers_cancelled: p.timers_cancelled.get(),
+            max_ready_queue: p.max_ready_queue.get(),
+            max_timer_heap: p.max_timer_heap.get(),
+        }
     }
 
     /// Spawns a task onto the executor and returns a [`JoinHandle`] for its
@@ -229,10 +313,17 @@ impl Sim {
             // Causal inheritance: a spawned task belongs to the span that
             // spawned it until it opens a span of its own.
             trace_tag: Cell::new(self.inner.current_trace.get()),
+            span_tag: Cell::new(self.inner.current_span.get()),
         });
         self.inner.tasks.borrow_mut()[id] = Some(slot);
         self.inner.live.set(self.inner.live.get() + 1);
-        self.inner.ready.lock().push_back(id);
+        let p = &self.inner.profile;
+        p.tasks_spawned.set(p.tasks_spawned.get() + 1);
+        let mut ready = self.inner.ready.lock();
+        ready.push_back(id);
+        p.max_ready_queue
+            .set(p.max_ready_queue.get().max(ready.len() as u64));
+        drop(ready);
         JoinHandle { state }
     }
 
@@ -242,12 +333,17 @@ impl Sim {
         let seq = self.inner.timer_seq.get();
         self.inner.timer_seq.set(seq + 1);
         let cancelled = Rc::new(Cell::new(false));
-        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+        let mut timers = self.inner.timers.borrow_mut();
+        timers.push(Reverse(TimerEntry {
             deadline,
             seq,
             waker,
             cancelled: Rc::clone(&cancelled),
         }));
+        let p = &self.inner.profile;
+        p.timers_set.set(p.timers_set.get() + 1);
+        p.max_timer_heap
+            .set(p.max_timer_heap.get().max(timers.len() as u64));
         cancelled
     }
 
@@ -276,13 +372,18 @@ impl Sim {
         };
         slot.waker_state.queued.store(false, Ordering::Relaxed);
         let mut cx = Context::from_waker(&slot.waker);
-        // Swap the task's trace tag in around the poll so `Sim::trace`
-        // always names the span of the code actually running, across
-        // awaits and interleavings.
+        let p = &self.inner.profile;
+        p.task_polls.set(p.task_polls.get() + 1);
+        // Swap the task's trace and span tags in around the poll so
+        // `Sim::trace` / `Sim::span` always name the operation and phase
+        // of the code actually running, across awaits and interleavings.
         let outer_trace = self.inner.current_trace.replace(slot.trace_tag.get());
+        let outer_span = self.inner.current_span.replace(slot.span_tag.get());
         let poll = slot.future.borrow_mut().as_mut().poll(&mut cx);
         slot.trace_tag
             .set(self.inner.current_trace.replace(outer_trace));
+        slot.span_tag
+            .set(self.inner.current_span.replace(outer_span));
         if poll.is_ready() {
             self.inner.tasks.borrow_mut()[id] = None;
             self.inner.free.borrow_mut().push(id);
@@ -296,7 +397,13 @@ impl Sim {
     fn step(&self, horizon: SimTime) -> bool {
         let mut polled_any = false;
         loop {
-            let next = self.inner.ready.lock().pop_front();
+            let next = {
+                let mut ready = self.inner.ready.lock();
+                let p = &self.inner.profile;
+                p.max_ready_queue
+                    .set(p.max_ready_queue.get().max(ready.len() as u64));
+                ready.pop_front()
+            };
             match next {
                 Some(id) => {
                     self.poll_task(id);
@@ -313,6 +420,8 @@ impl Sim {
                 match timers.peek() {
                     Some(Reverse(e)) if e.cancelled.get() => {
                         timers.pop();
+                        let p = &self.inner.profile;
+                        p.timers_cancelled.set(p.timers_cancelled.get() + 1);
                     }
                     Some(Reverse(e)) if e.deadline <= horizon => {
                         break timers.pop().map(|Reverse(e)| e);
@@ -325,6 +434,8 @@ impl Sim {
             Some(e) => {
                 debug_assert!(e.deadline >= self.inner.now.get(), "time went backwards");
                 self.inner.now.set(e.deadline.max(self.inner.now.get()));
+                let p = &self.inner.profile;
+                p.timers_fired.set(p.timers_fired.get() + 1);
                 e.waker.wake();
                 true
             }
@@ -666,6 +777,76 @@ mod tests {
             h.await
         });
         assert_eq!(child_tag, 7);
+    }
+
+    #[test]
+    fn span_tags_are_isolated_per_task_and_inherited() {
+        let sim = Sim::new();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        for (tag, ms) in [(10u64, 30u64), (20, 10), (30, 20)] {
+            let sim2 = sim.clone();
+            let seen = Rc::clone(&seen);
+            sim.spawn(async move {
+                sim2.set_span(tag);
+                sim2.sleep(SimDuration::from_millis(ms)).await;
+                seen.borrow_mut().push((tag, sim2.span()));
+            });
+        }
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![(20, 20), (30, 30), (10, 10)]);
+
+        let sim2 = sim.clone();
+        let child = sim.block_on(async move {
+            sim2.set_span(77);
+            let sim3 = sim2.clone();
+            let h = sim2.spawn(async move {
+                sim3.sleep(SimDuration::from_millis(1)).await;
+                sim3.span()
+            });
+            sim2.set_span(0);
+            h.await
+        });
+        assert_eq!(child, 77, "spawned task inherits the span at spawn time");
+    }
+
+    #[test]
+    fn profile_counts_polls_timers_and_depths() {
+        let sim = Sim::new();
+        for i in 0..4u64 {
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                sim2.sleep(SimDuration::from_millis(i + 1)).await;
+            });
+        }
+        // One cancelled timer: the loser of a drop race.
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let long = sim2.sleep(SimDuration::from_secs(99));
+            drop(long);
+        });
+        sim.run();
+        let p = sim.profile();
+        assert_eq!(p.tasks_spawned, 5);
+        assert_eq!(p.timers_fired, 4);
+        assert_eq!(p.timers_set, 4, "the dropped sleep never registered");
+        assert!(p.task_polls >= 9, "each sleeper polls at least twice");
+        assert_eq!(p.events(), p.task_polls + p.timers_fired);
+        assert!(p.max_ready_queue >= 4);
+        assert!(p.max_timer_heap >= 1);
+        // Deterministic: an identical schedule yields an identical profile.
+        let sim_b = Sim::new();
+        for i in 0..4u64 {
+            let s = sim_b.clone();
+            sim_b.spawn(async move {
+                s.sleep(SimDuration::from_millis(i + 1)).await;
+            });
+        }
+        let s = sim_b.clone();
+        sim_b.spawn(async move {
+            drop(s.sleep(SimDuration::from_secs(99)));
+        });
+        sim_b.run();
+        assert_eq!(sim_b.profile(), p);
     }
 
     #[test]

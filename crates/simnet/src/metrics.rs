@@ -124,7 +124,7 @@ impl Histogram {
         Some(SimDuration::from_micros(self.samples[rank - 1]))
     }
 
-    /// The standard report row: count, mean, p50/p95/p99, and max.
+    /// The standard report row: count, mean, p50/p95/p99/p99.9, and max.
     /// Safe on an empty histogram (the percentile/max fields are `None`
     /// and render as `-`).
     pub fn summary(&mut self) -> Summary {
@@ -135,6 +135,7 @@ impl Histogram {
             p50: self.try_percentile(0.50),
             p95: self.try_percentile(0.95),
             p99: self.try_percentile(0.99),
+            p999: self.try_percentile(0.999),
             max: (count > 0).then(|| self.max()),
         }
     }
@@ -193,6 +194,10 @@ pub struct Summary {
     pub p95: Option<SimDuration>,
     /// 99th percentile, if any samples exist.
     pub p99: Option<SimDuration>,
+    /// 99.9th percentile, if any samples exist — the tail the far-site
+    /// starvation analysis watches (a fair lock keeps p99.9 close to
+    /// p99; a starving site's p99.9 runs away).
+    pub p999: Option<SimDuration>,
     /// Largest sample, if any samples exist.
     pub max: Option<SimDuration>,
 }
@@ -210,12 +215,13 @@ impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} mean={} p50={} p95={} p99={} max={}",
+            "n={} mean={} p50={} p95={} p99={} p999={} max={}",
             self.count,
             Self::fmt_opt((self.count > 0).then_some(self.mean)),
             Self::fmt_opt(self.p50),
             Self::fmt_opt(self.p95),
             Self::fmt_opt(self.p99),
+            Self::fmt_opt(self.p999),
             Self::fmt_opt(self.max),
         )
     }
@@ -364,11 +370,27 @@ mod tests {
         assert_eq!(s.p50.unwrap().as_millis(), 5);
         assert_eq!(s.p95.unwrap().as_millis(), 10);
         assert_eq!(s.p99.unwrap().as_millis(), 10);
+        assert_eq!(s.p999.unwrap().as_millis(), 10);
         assert_eq!(s.max.unwrap().as_millis(), 10);
         assert_eq!(
             s.to_string(),
-            "n=10 mean=5.50 p50=5.00 p95=10.00 p99=10.00 max=10.00"
+            "n=10 mean=5.50 p50=5.00 p95=10.00 p99=10.00 p999=10.00 max=10.00"
         );
+    }
+
+    #[test]
+    fn p999_separates_from_p99_on_large_tails() {
+        // 500 samples at 1ms plus one 500ms straggler: nearest-rank puts
+        // p99.9 at rank ceil(0.999·501) = 501 — the straggler — while
+        // p99 (rank 496) stays in the body.
+        let mut h = Histogram::new();
+        for _ in 0..500 {
+            h.record(SimDuration::from_millis(1));
+        }
+        h.record(SimDuration::from_millis(500));
+        let s = h.summary();
+        assert_eq!(s.p99.unwrap().as_millis(), 1);
+        assert_eq!(s.p999.unwrap().as_millis(), 500);
     }
 
     #[test]
@@ -377,7 +399,7 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.count, 0);
         assert_eq!(s.p50, None);
-        assert_eq!(s.to_string(), "n=0 mean=- p50=- p95=- p99=- max=-");
+        assert_eq!(s.to_string(), "n=0 mean=- p50=- p95=- p99=- p999=- max=-");
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!   layers (MUSIC op → quorum store → Paxos LWT → network messages);
 //! * a **metrics registry** ([`MetricsRegistry`]) of per-node / per-site /
 //!   per-link counters and gauges, snapshot-able and JSON-exportable;
+//! * a hierarchical **span layer** ([`span`]): every critical section
+//!   becomes a tree of timed phase spans (enqueue LWT → head-wait →
+//!   headship confirm → data ops → flush → release), with a
+//!   well-formedness checker and a Chrome-trace-event export;
 //! * a trace-based **ECF checker** ([`ecf::check`]) that replays a
 //!   recorded event log and verifies the paper's Exclusivity and
 //!   Latest-State properties (§IV);
@@ -48,11 +52,13 @@ mod event;
 mod json;
 mod metrics;
 mod recorder;
+pub mod span;
 
 pub use ecf::{check, EcfReport};
 pub use event::{to_json_lines, DropReason, Event, EventKind, LwtPhase, TraceId};
 pub use metrics::{HistEntry, MetricEntry, MetricsRegistry, MetricsSnapshot, Scope};
 pub use recorder::Recorder;
+pub use span::{Span, SpanId, SpanPhase, SpanReport};
 
 /// FNV-1a digest of a byte string — the value fingerprint carried by
 /// critical-put/get events so the ECF checker can compare values without

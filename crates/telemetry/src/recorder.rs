@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use crate::event::{Event, EventKind, TraceId};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, Scope};
+use crate::span::{Span, SpanId, SpanPhase};
 
 #[derive(Debug)]
 struct Inner {
@@ -12,6 +13,7 @@ struct Inner {
     seq: Cell<u64>,
     next_trace: Cell<u64>,
     events: RefCell<Vec<Event>>,
+    spans: RefCell<Vec<Span>>,
     metrics: RefCell<MetricsRegistry>,
 }
 
@@ -55,6 +57,7 @@ impl Recorder {
                 seq: Cell::new(0),
                 next_trace: Cell::new(0),
                 events: RefCell::new(Vec::new()),
+                spans: RefCell::new(Vec::new()),
                 metrics: RefCell::new(MetricsRegistry::new()),
             })),
         }
@@ -124,6 +127,72 @@ impl Recorder {
         }
     }
 
+    /// Opens a phase span (no-op unless tracing; returns `0` then).
+    ///
+    /// `parent` is the enclosing span (`0` for a root); the caller
+    /// threads it explicitly — typically via the simulator's per-task
+    /// span tag — because concurrent critical sections interleave at
+    /// await points, so an implicit recorder-level stack would attribute
+    /// children to the wrong section. Pure bookkeeping, like every other
+    /// recorder call: the virtual-time schedule is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_open(
+        &self,
+        at_us: u64,
+        parent: SpanId,
+        trace: TraceId,
+        node: u32,
+        site: u32,
+        phase: SpanPhase,
+        key: &str,
+    ) -> SpanId {
+        let Some(i) = &self.inner else { return 0 };
+        if !i.capture_events {
+            return 0;
+        }
+        let mut spans = i.spans.borrow_mut();
+        let id = spans.len() as u64 + 1;
+        spans.push(Span {
+            id,
+            parent,
+            trace,
+            node,
+            site,
+            phase,
+            key: key.to_string(),
+            start_us: at_us,
+            end_us: None,
+        });
+        id
+    }
+
+    /// Closes span `id` at `at_us` (no-op for id `0`, unknown ids, or
+    /// already-closed spans).
+    pub fn span_close(&self, at_us: u64, id: SpanId) {
+        let Some(i) = &self.inner else { return };
+        if id == 0 || !i.capture_events {
+            return;
+        }
+        if let Some(s) = i.spans.borrow_mut().get_mut(id as usize - 1) {
+            if s.end_us.is_none() {
+                s.end_us = Some(at_us);
+            }
+        }
+    }
+
+    /// A copy of the span log so far, in open order (ids dense from 1).
+    pub fn spans(&self) -> Vec<Span> {
+        match &self.inner {
+            Some(i) => i.spans.borrow().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of spans opened so far.
+    pub fn span_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.spans.borrow().len())
+    }
+
     /// A copy of the event log so far, in sequence order.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
@@ -188,5 +257,25 @@ mod tests {
         let r2 = r.clone();
         r2.record(7, 0, 0, EventKind::RepairRound { repaired: 2 });
         assert_eq!(r.event_count(), 3);
+    }
+
+    #[test]
+    fn spans_capture_only_when_tracing() {
+        let off = Recorder::metrics_only();
+        assert_eq!(off.span_open(1, 0, 0, 0, 0, SpanPhase::Section, "k"), 0);
+        assert_eq!(off.span_count(), 0);
+
+        let r = Recorder::tracing();
+        let root = r.span_open(10, 0, 1, 2, 0, SpanPhase::Section, "k");
+        let child = r.span_open(12, root, 1, 2, 0, SpanPhase::DataPut, "k");
+        assert_eq!((root, child), (1, 2));
+        r.span_close(20, child);
+        r.span_close(30, root);
+        r.span_close(99, root); // double close is a no-op
+        let spans = r.spans();
+        assert_eq!(spans[0].end_us, Some(30));
+        assert_eq!(spans[1].parent, root);
+        assert_eq!(spans[1].duration_us(), Some(8));
+        assert!(crate::span::check(&spans).ok());
     }
 }

@@ -1,0 +1,442 @@
+//! Hierarchical phase spans over the flat event log.
+//!
+//! Every critical section becomes a **trace**: a tree of timed spans whose
+//! phases follow the MUSIC lock protocol (§V) — the enqueue LWT, the
+//! head-wait poll loop, the quorum headship confirm, each data op, the
+//! pipelined flush barrier, and the release / lease handoff. Spans are
+//! pure bookkeeping on the [`crate::Recorder`]: opening or closing one
+//! never consumes randomness, spawns tasks, or touches timers, so a
+//! seeded simulation replays the identical span tree byte-for-byte.
+//!
+//! The module also provides:
+//! * [`check`] — a well-formedness checker (unclosed spans, inverted
+//!   intervals, children escaping their parent's interval);
+//! * [`to_chrome_trace`] — a Chrome-trace-event (`chrome://tracing` /
+//!   Perfetto) export, one complete (`"ph":"X"`) event per span, grouped
+//!   by site (pid) and section (tid);
+//! * [`durations_by_phase`] — the per-phase latency decomposition the
+//!   `music-sim profile` subcommand turns into p50/p95/p99 tables.
+
+use std::collections::BTreeMap;
+
+use crate::event::TraceId;
+use crate::json::push_str;
+
+/// Identifier of one span; `0` means "no span" (recording off, or root).
+pub type SpanId = u64;
+
+/// The phase taxonomy of a MUSIC critical section.
+///
+/// Names are stable (they appear in `BENCH_*.json` and the Chrome trace
+/// export): dotted lower-camel, grouped by subsystem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanPhase {
+    /// The whole critical section (root span), entry to release.
+    Section,
+    /// Lock acquisition: createLockRef + acquireLock until granted.
+    LockAcquire,
+    /// The enqueue LWT (createLockRef), including lease-break retries.
+    Enqueue,
+    /// Client-side head-wait: polling until the local view shows headship.
+    HeadWait,
+    /// Quorum headship confirm (+ synchFlag read and optional §III-A
+    /// synchronization) on the winning poll.
+    HeadConfirm,
+    /// Lease-cached fast-path re-entry (skips the lock protocol).
+    LeaseReenter,
+    /// One criticalPut (synchronous) or its pipelined issue.
+    DataPut,
+    /// One criticalGet (quorum read).
+    DataGet,
+    /// Pipelined flush barrier: draining in-flight puts.
+    Flush,
+    /// releaseLock: the dequeue LWT handing the queue head onward.
+    Release,
+    /// release with lease retention: local handoff, no dequeue LWT.
+    LeaseHandoff,
+}
+
+impl SpanPhase {
+    /// The stable wire name of this phase.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Section => "cs",
+            SpanPhase::LockAcquire => "lock.acquire",
+            SpanPhase::Enqueue => "lock.enqueue",
+            SpanPhase::HeadWait => "lock.headWait",
+            SpanPhase::HeadConfirm => "lock.headConfirm",
+            SpanPhase::LeaseReenter => "lease.reenter",
+            SpanPhase::DataPut => "data.put",
+            SpanPhase::DataGet => "data.get",
+            SpanPhase::Flush => "cs.flush",
+            SpanPhase::Release => "lock.release",
+            SpanPhase::LeaseHandoff => "lock.leaseHandoff",
+        }
+    }
+
+    /// All phases, in taxonomy order (the order `BENCH_*.json` tables use).
+    pub const ALL: [SpanPhase; 11] = [
+        SpanPhase::Section,
+        SpanPhase::LockAcquire,
+        SpanPhase::Enqueue,
+        SpanPhase::HeadWait,
+        SpanPhase::HeadConfirm,
+        SpanPhase::LeaseReenter,
+        SpanPhase::DataPut,
+        SpanPhase::DataGet,
+        SpanPhase::Flush,
+        SpanPhase::Release,
+        SpanPhase::LeaseHandoff,
+    ];
+}
+
+/// One timed span. Ids are dense (span `n` lives at index `n-1` of the
+/// recorder's span log), so parent lookups are O(1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// This span's id (monotone from 1).
+    pub id: SpanId,
+    /// Enclosing span, or `0` for a root.
+    pub parent: SpanId,
+    /// Trace id active when the span opened (0 if none).
+    pub trace: TraceId,
+    /// Node the instrumented code ran at.
+    pub node: u32,
+    /// Site of that node (WAN attribution: far-site spans spend their
+    /// time on inter-site RTTs).
+    pub site: u32,
+    /// Protocol phase.
+    pub phase: SpanPhase,
+    /// The key under the critical section (empty if not applicable).
+    pub key: String,
+    /// Virtual open timestamp (µs).
+    pub start_us: u64,
+    /// Virtual close timestamp (µs); `None` while open / if never closed.
+    pub end_us: Option<u64>,
+}
+
+impl Span {
+    /// Duration in µs, if closed.
+    pub fn duration_us(&self) -> Option<u64> {
+        self.end_us.map(|e| e.saturating_sub(self.start_us))
+    }
+
+    /// Serializes this span as one JSON object (span-tree form).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"span\":");
+        out.push_str(&self.id.to_string());
+        out.push_str(",\"parent\":");
+        out.push_str(&self.parent.to_string());
+        out.push_str(",\"trace\":");
+        out.push_str(&self.trace.to_string());
+        out.push_str(",\"node\":");
+        out.push_str(&self.node.to_string());
+        out.push_str(",\"site\":");
+        out.push_str(&self.site.to_string());
+        out.push_str(",\"phase\":");
+        push_str(out, self.phase.name());
+        out.push_str(",\"key\":");
+        push_str(out, &self.key);
+        out.push_str(",\"start_us\":");
+        out.push_str(&self.start_us.to_string());
+        match self.end_us {
+            Some(e) => {
+                out.push_str(",\"end_us\":");
+                out.push_str(&e.to_string());
+            }
+            None => out.push_str(",\"end_us\":null"),
+        }
+        out.push('}');
+    }
+}
+
+/// Serializes spans as JSON lines (one object per line), byte-stable for
+/// a fixed span log.
+pub fn spans_to_json_lines(spans: &[Span]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96);
+    for s in spans {
+        s.write_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Verdict of [`check`]: span-tree well-formedness.
+#[derive(Clone, Debug, Default)]
+pub struct SpanReport {
+    /// Total spans inspected.
+    pub spans: usize,
+    /// Spans never closed (crash/drop paths close sections, so a healthy
+    /// run reports 0 here).
+    pub unclosed: usize,
+    /// Structural violations: dangling parents, inverted intervals,
+    /// children escaping the parent interval.
+    pub malformed: Vec<String>,
+}
+
+impl SpanReport {
+    /// True when every span closed cleanly inside its parent.
+    pub fn ok(&self) -> bool {
+        self.unclosed == 0 && self.malformed.is_empty()
+    }
+
+    /// One-line JSON summary.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"spans\":");
+        out.push_str(&self.spans.to_string());
+        out.push_str(",\"unclosed\":");
+        out.push_str(&self.unclosed.to_string());
+        out.push_str(",\"malformed\":[");
+        for (i, m) in self.malformed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, m);
+        }
+        out.push_str("],\"ok\":");
+        out.push_str(if self.ok() { "true" } else { "false" });
+        out.push('}');
+        out
+    }
+}
+
+/// Checks span-tree well-formedness: every parent id must refer to an
+/// earlier span, intervals must not be inverted, and a closed child must
+/// lie within its (closed) parent's interval.
+pub fn check(spans: &[Span]) -> SpanReport {
+    let mut report = SpanReport {
+        spans: spans.len(),
+        ..SpanReport::default()
+    };
+    for s in spans {
+        if s.end_us.is_none() {
+            report.unclosed += 1;
+        }
+        if let Some(e) = s.end_us {
+            if e < s.start_us {
+                report.malformed.push(format!(
+                    "span {} ({}) ends before it starts",
+                    s.id,
+                    s.phase.name()
+                ));
+            }
+        }
+        if s.parent != 0 {
+            let Some(p) = spans
+                .get(s.parent as usize - 1)
+                .filter(|p| p.id == s.parent)
+            else {
+                report.malformed.push(format!(
+                    "span {} ({}) has dangling parent {}",
+                    s.id,
+                    s.phase.name(),
+                    s.parent
+                ));
+                continue;
+            };
+            if s.start_us < p.start_us {
+                report.malformed.push(format!(
+                    "span {} ({}) starts before parent {} ({})",
+                    s.id,
+                    s.phase.name(),
+                    p.id,
+                    p.phase.name()
+                ));
+            }
+            if let (Some(se), Some(pe)) = (s.end_us, p.end_us) {
+                if se > pe {
+                    report.malformed.push(format!(
+                        "span {} ({}) outlives parent {} ({})",
+                        s.id,
+                        s.phase.name(),
+                        p.id,
+                        p.phase.name()
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The root span id of `s` (follows parents; a root returns its own id).
+fn root_of(spans: &[Span], s: &Span) -> SpanId {
+    let mut cur = s;
+    loop {
+        if cur.parent == 0 {
+            return cur.id;
+        }
+        match spans
+            .get(cur.parent as usize - 1)
+            .filter(|p| p.id == cur.parent)
+        {
+            Some(p) => cur = p,
+            None => return cur.id,
+        }
+    }
+}
+
+/// Exports spans in the Chrome trace event format (the JSON-array form
+/// `chrome://tracing` and Perfetto load directly).
+///
+/// Each closed span becomes one complete event (`"ph":"X"`); an unclosed
+/// span becomes a zero-duration event flagged `"unclosed":true` so it
+/// stays visible. Rows group by site (`pid`) and by root span — i.e. one
+/// critical section per track (`tid`). Output is byte-stable for a fixed
+/// span log.
+pub fn to_chrome_trace(spans: &[Span]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 160);
+    out.push_str("[\n");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("{\"name\":");
+        push_str(&mut out, s.phase.name());
+        out.push_str(",\"cat\":\"music\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&s.start_us.to_string());
+        out.push_str(",\"dur\":");
+        out.push_str(&s.duration_us().unwrap_or(0).to_string());
+        out.push_str(",\"pid\":");
+        out.push_str(&s.site.to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&root_of(spans, s).to_string());
+        out.push_str(",\"args\":{\"span\":");
+        out.push_str(&s.id.to_string());
+        out.push_str(",\"parent\":");
+        out.push_str(&s.parent.to_string());
+        out.push_str(",\"trace\":");
+        out.push_str(&s.trace.to_string());
+        out.push_str(",\"node\":");
+        out.push_str(&s.node.to_string());
+        out.push_str(",\"key\":");
+        push_str(&mut out, &s.key);
+        if s.end_us.is_none() {
+            out.push_str(",\"unclosed\":true");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Closed-span durations grouped by phase name, in taxonomy order. The
+/// input order is preserved within each phase (spans close in virtual-time
+/// order, so the vectors come out time-sorted per phase).
+pub fn durations_by_phase(spans: &[Span]) -> BTreeMap<&'static str, Vec<u64>> {
+    let mut by: BTreeMap<SpanPhase, Vec<u64>> = BTreeMap::new();
+    for s in spans {
+        if let Some(d) = s.duration_us() {
+            by.entry(s.phase).or_default().push(d);
+        }
+    }
+    // Re-key by name in taxonomy order (BTreeMap over the enum already
+    // iterates in declaration order thanks to the derived Ord).
+    by.into_iter().map(|(p, v)| (p.name(), v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: SpanId, parent: SpanId, phase: SpanPhase, start: u64, end: Option<u64>) -> Span {
+        Span {
+            id,
+            parent,
+            trace: 0,
+            node: 0,
+            site: 0,
+            phase,
+            key: "k".into(),
+            start_us: start,
+            end_us: end,
+        }
+    }
+
+    #[test]
+    fn clean_tree_passes() {
+        let spans = vec![
+            span(1, 0, SpanPhase::Section, 0, Some(100)),
+            span(2, 1, SpanPhase::LockAcquire, 0, Some(60)),
+            span(3, 2, SpanPhase::Enqueue, 0, Some(20)),
+            span(4, 2, SpanPhase::HeadWait, 20, Some(60)),
+            span(5, 1, SpanPhase::DataPut, 60, Some(90)),
+        ];
+        let r = check(&spans);
+        assert!(r.ok(), "{}", r.to_json());
+        assert_eq!(r.spans, 5);
+    }
+
+    #[test]
+    fn unclosed_span_is_detected() {
+        let spans = vec![span(1, 0, SpanPhase::Section, 0, None)];
+        let r = check(&spans);
+        assert!(!r.ok());
+        assert_eq!(r.unclosed, 1);
+    }
+
+    #[test]
+    fn inverted_interval_is_malformed() {
+        let spans = vec![span(1, 0, SpanPhase::DataPut, 50, Some(10))];
+        let r = check(&spans);
+        assert!(!r.ok());
+        assert!(r.malformed[0].contains("ends before it starts"));
+    }
+
+    #[test]
+    fn child_escaping_parent_is_malformed() {
+        let spans = vec![
+            span(1, 0, SpanPhase::Section, 10, Some(50)),
+            span(2, 1, SpanPhase::DataPut, 5, Some(60)),
+        ];
+        let r = check(&spans);
+        assert_eq!(r.malformed.len(), 2); // starts-before + outlives
+    }
+
+    #[test]
+    fn dangling_parent_is_malformed() {
+        let spans = vec![span(1, 9, SpanPhase::DataPut, 0, Some(1))];
+        let r = check(&spans);
+        assert!(r.malformed[0].contains("dangling parent"));
+    }
+
+    #[test]
+    fn chrome_trace_groups_by_root() {
+        let spans = vec![
+            span(1, 0, SpanPhase::Section, 0, Some(100)),
+            span(2, 1, SpanPhase::DataPut, 10, Some(20)),
+            span(3, 0, SpanPhase::Section, 0, None),
+        ];
+        let json = to_chrome_trace(&spans);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":1")); // child rides its root's track
+        assert!(json.contains("\"unclosed\":true"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn durations_group_by_phase_name() {
+        let spans = vec![
+            span(1, 0, SpanPhase::Section, 0, Some(100)),
+            span(2, 1, SpanPhase::DataPut, 0, Some(30)),
+            span(3, 1, SpanPhase::DataPut, 30, Some(40)),
+            span(4, 1, SpanPhase::Flush, 40, None),
+        ];
+        let by = durations_by_phase(&spans);
+        assert_eq!(by["cs"], vec![100]);
+        assert_eq!(by["data.put"], vec![30, 10]);
+        assert!(!by.contains_key("cs.flush")); // unclosed spans excluded
+    }
+
+    #[test]
+    fn json_lines_are_stable() {
+        let spans = vec![span(1, 0, SpanPhase::Enqueue, 3, Some(9))];
+        assert_eq!(
+            spans_to_json_lines(&spans),
+            "{\"span\":1,\"parent\":0,\"trace\":0,\"node\":0,\"site\":0,\
+             \"phase\":\"lock.enqueue\",\"key\":\"k\",\"start_us\":3,\"end_us\":9}\n"
+        );
+    }
+}

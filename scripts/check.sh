@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Repo gate: formatting, lints, and the tier-1 build+test cycle.
 # Run from anywhere; operates on the workspace root.
+#   --bench   additionally run the BENCH regression gate against the
+#             committed BENCH_baseline.json (what CI's bench-gate job does)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -13,5 +23,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
+
+if [[ "$run_bench" == 1 ]]; then
+  echo "== BENCH regression gate (fresh run vs. committed baseline) =="
+  tmp=$(mktemp -t BENCH_fresh.XXXXXX.json)
+  ./target/release/music-sim profile --seed 7 --mode all \
+    --out "$tmp" --compare BENCH_baseline.json --tolerance 10
+  rm -f "$tmp"
+fi
 
 echo "OK"

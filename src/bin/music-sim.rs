@@ -5,6 +5,10 @@
 //! music-sim latency [profile]     # Fig. 5(b)-style operation breakdown
 //! music-sim throughput [profile]  # quick Fig. 4(a)-style comparison
 //! music-sim trace [p] [--seed N]  # seeded chaos run as a JSON-lines trace
+//!                [--spans] [--node N] [--site S] [--trace-id T]
+//! music-sim profile [--seed N] [--mode sync|pipelined|leased|all]
+//!                [--compare BASELINE] [--mutant-slow-us U]
+//!                                 # span-profiling workloads -> BENCH_<name>.json
 //! music-sim nemesis [p|all] [--seed N] [--schedules K] [--mode M]
 //!                                 # randomized fault schedules + ECF verdicts
 //! music-sim verify                # bounded model check of the ECF invariants
@@ -143,18 +147,155 @@ fn cmd_throughput(profile: LatencyProfile) {
     println!("  (full sweeps: cargo bench -p music-bench)");
 }
 
-/// `music-sim trace [profile] [--seed N]`: runs the seeded chaos scenario
-/// with full tracing and prints JSON lines — one per event, then a
-/// `metrics` line, then an `ecf` verdict line. Output is byte-identical
-/// across runs with the same seed and profile.
-fn cmd_trace(profile: LatencyProfile, seed: u64) {
+/// `music-sim trace [profile] [--seed N] [--spans] [--node N] [--site S]
+/// [--trace-id T]`: runs the seeded chaos scenario with full tracing.
+///
+/// Default output is JSON lines — one per event (after any `--node` /
+/// `--site` / `--trace-id` filter), then a `metrics` line, then an `ecf`
+/// verdict line. With `--spans` it instead prints the (filtered) span
+/// tree in the Chrome trace event format (load in `chrome://tracing` or
+/// Perfetto), with the span report and ECF verdict on stderr. The ECF and
+/// span checkers always see the *full* log; filters only trim what is
+/// printed. Output is byte-identical across runs with the same seed and
+/// profile.
+#[allow(clippy::fn_params_excessive_bools)]
+fn cmd_trace(
+    profile: LatencyProfile,
+    seed: u64,
+    spans: bool,
+    node: Option<u32>,
+    site: Option<u32>,
+    trace_id: Option<u64>,
+) {
+    use music_repro::telemetry::span::to_chrome_trace;
     use music_repro::telemetry::{to_json_lines, Recorder};
+    use music_repro::trace::{filter_events, filter_spans};
     let run = music_repro::trace::run_chaos(profile, seed, Recorder::tracing());
-    print!("{}", to_json_lines(&run.events));
+    if spans {
+        print!(
+            "{}",
+            to_chrome_trace(&filter_spans(&run.spans, node, site, trace_id))
+        );
+        eprintln!("{}", run.span_report.to_json());
+        eprintln!("{}", run.report.to_json());
+        if !run.report.ok() || !run.span_report.ok() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    print!(
+        "{}",
+        to_json_lines(&filter_events(
+            &run.events,
+            &run.node_sites,
+            node,
+            site,
+            trace_id
+        ))
+    );
     println!("{}", run.metrics.to_json());
     println!("{}", run.report.to_json());
     if !run.report.ok() {
         std::process::exit(1);
+    }
+}
+
+/// `music-sim profile [--seed N] [--mode sync|pipelined|leased|all]
+/// [--name NAME] [--out FILE] [--compare FILE] [--tolerance PCT]
+/// [--mutant-slow-us U]`: runs the canonical seeded span-profiling
+/// workload and writes the `BENCH_<name>.json` artifact.
+///
+/// Every figure in the artifact is virtual-time-derived, so replays of
+/// the same seed are byte-identical — the file is a committable baseline.
+/// `--compare FILE` additionally runs the regression gate against a
+/// committed baseline and exits 1 on any deviation beyond `--tolerance`
+/// (percent, default 10). `--mutant-slow-us` adds artificial per-message
+/// service latency — the deliberately slowed run CI uses to prove the
+/// gate actually fires.
+fn cmd_profile(
+    seed: u64,
+    mode: Option<&str>,
+    name: &str,
+    out_path: Option<&str>,
+    compare_path: Option<&str>,
+    tolerance_pct: f64,
+    mutant_slow_us: u64,
+) {
+    use music_bench::profile::{
+        bench_json, compare_benches, run_mode_profile, ModeKey, ProfileOptions,
+    };
+    let keys: Vec<ModeKey> = match mode {
+        None | Some("all") => ModeKey::ALL.to_vec(),
+        Some(m) => vec![ModeKey::parse(m).expect("--mode needs sync|pipelined|leased|all")],
+    };
+    let opts = ProfileOptions {
+        seed,
+        handicap_us: mutant_slow_us,
+        ..ProfileOptions::default()
+    };
+    let wall = std::time::Instant::now();
+    let mut modes = Vec::new();
+    for key in keys {
+        let m = run_mode_profile(key, &opts);
+        println!(
+            "{:<9} {} sections in {:.1} virtual s — {} protocol ops, {} sim events",
+            m.key.name(),
+            m.sections,
+            m.virtual_us as f64 / 1e6,
+            m.protocol_ops,
+            m.executor.events(),
+        );
+        for (phase, st) in &m.phases {
+            println!(
+                "  {phase:<16} n={:<4} p50={:>9}µs p95={:>9}µs p99={:>9}µs p99.9={:>9}µs",
+                st.count, st.p50_us, st.p95_us, st.p99_us, st.p999_us
+            );
+        }
+        for s in &m.sites {
+            println!(
+                "  site {} grant-wait: entered={:<3} p50={:>9}µs p99.9={:>9}µs",
+                s.site, s.entered, s.wait.p50_us, s.wait.p999_us
+            );
+        }
+        if !m.span_report.ok() {
+            eprintln!("span check FAILED: {}", m.span_report.to_json());
+            std::process::exit(1);
+        }
+        modes.push(m);
+    }
+    let json = bench_json(name, &opts, &modes);
+    let total_events: u64 = modes.iter().map(|m| m.executor.events()).sum();
+    eprintln!(
+        "(wall clock: {:.2}s, ~{:.0} sim events/s)",
+        wall.elapsed().as_secs_f64(),
+        total_events as f64 / wall.elapsed().as_secs_f64().max(1e-9)
+    );
+    let out_file = out_path
+        .map(String::from)
+        .unwrap_or_else(|| format!("BENCH_{name}.json"));
+    std::fs::write(&out_file, &json).expect("write BENCH artifact");
+    println!("wrote {out_file}");
+    if let Some(base_path) = compare_path {
+        let baseline = std::fs::read_to_string(base_path).expect("read baseline");
+        match compare_benches(&baseline, &json, tolerance_pct / 100.0) {
+            Ok(violations) if violations.is_empty() => {
+                println!("regression gate: OK against {base_path} (±{tolerance_pct}%)");
+            }
+            Ok(violations) => {
+                eprintln!(
+                    "regression gate: {} violation(s) against {base_path}:",
+                    violations.len()
+                );
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("regression gate: cannot compare: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -297,8 +438,17 @@ fn main() {
     // is the latency profile.
     let mut seed = 1u64;
     let mut schedules = 8u64;
-    let mut mode: Option<music::nemesis::RunMode> = None;
+    let mut mode_raw: Option<String> = None;
     let mut replay = true;
+    let mut spans = false;
+    let mut node: Option<u32> = None;
+    let mut site: Option<u32> = None;
+    let mut trace_id: Option<u64> = None;
+    let mut name = String::from("baseline");
+    let mut out_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut tolerance_pct = 10.0f64;
+    let mut mutant_slow_us = 0u64;
     let mut profile_arg: Option<&str> = None;
     let mut rest = args[2.min(args.len())..].iter();
     while let Some(a) = rest.next() {
@@ -316,12 +466,52 @@ fn main() {
                     .expect("--schedules needs an integer");
             }
             "--mode" => {
-                let m = rest.next().expect("--mode needs sync|pipelined|leased");
-                mode = Some(
-                    music::nemesis::RunMode::parse(m).expect("--mode needs sync|pipelined|leased"),
-                );
+                mode_raw = Some(rest.next().expect("--mode needs an operand").clone());
             }
             "--no-replay" => replay = false,
+            "--spans" => spans = true,
+            "--node" => {
+                node = Some(
+                    rest.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--node needs an integer"),
+                );
+            }
+            "--site" => {
+                site = Some(
+                    rest.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--site needs an integer"),
+                );
+            }
+            "--trace-id" => {
+                trace_id = Some(
+                    rest.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--trace-id needs an integer"),
+                );
+            }
+            "--name" => {
+                name = rest.next().expect("--name needs an operand").clone();
+            }
+            "--out" => {
+                out_path = Some(rest.next().expect("--out needs a path").clone());
+            }
+            "--compare" => {
+                compare_path = Some(rest.next().expect("--compare needs a path").clone());
+            }
+            "--tolerance" => {
+                tolerance_pct = rest
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance needs a number (percent)");
+            }
+            "--mutant-slow-us" => {
+                mutant_slow_us = rest
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--mutant-slow-us needs an integer");
+            }
             other => profile_arg = Some(other),
         }
     }
@@ -330,13 +520,25 @@ fn main() {
         "demo" => cmd_demo(profile),
         "latency" => cmd_latency(profile),
         "throughput" => cmd_throughput(profile),
-        "trace" => cmd_trace(profile, seed),
+        "trace" => cmd_trace(profile, seed, spans, node, site, trace_id),
+        "profile" => cmd_profile(
+            seed,
+            mode_raw.as_deref(),
+            &name,
+            out_path.as_deref(),
+            compare_path.as_deref(),
+            tolerance_pct,
+            mutant_slow_us,
+        ),
         "nemesis" => {
             let profiles = if profile_arg == Some("all") {
                 LatencyProfile::table_ii()
             } else {
                 vec![profile]
             };
+            let mode = mode_raw.as_deref().map(|m| {
+                music::nemesis::RunMode::parse(m).expect("--mode needs sync|pipelined|leased")
+            });
             cmd_nemesis(profiles, seed, schedules, mode, replay);
         }
         "verify" => cmd_verify(),
@@ -349,6 +551,12 @@ fn main() {
             println!("  latency     per-operation latency breakdown (Fig. 5(b))");
             println!("  throughput  quick CassaEV / MUSIC / MSCP comparison (Fig. 4(a))");
             println!("  trace       seeded chaos run -> JSON-lines event trace + ECF verdict");
+            println!("              [--spans] (Chrome-trace span export)");
+            println!("              [--node N] [--site S] [--trace-id T] (output filters)");
+            println!("  profile     seeded span-profiling workloads -> BENCH_<name>.json");
+            println!("              [--seed N] [--mode sync|pipelined|leased|all] [--name NAME]");
+            println!("              [--out FILE] [--compare BASELINE] [--tolerance PCT]");
+            println!("              [--mutant-slow-us U]");
             println!("  nemesis     randomized fault schedules -> per-schedule ECF verdicts");
             println!("              [profile|all] [--seed N] [--schedules K]");
             println!("              [--mode sync|pipelined|leased] [--no-replay]");

@@ -18,7 +18,10 @@ use music::{
     WriteMode,
 };
 use music_simnet::prelude::*;
-use music_telemetry::{check, EcfReport, Event, MetricsSnapshot, Recorder};
+use music_telemetry::span::check as check_spans;
+use music_telemetry::{
+    check, EcfReport, Event, MetricsSnapshot, Recorder, Span, SpanReport, TraceId,
+};
 
 /// `criticalGet` with retries: under the run's 1% loss a quorum read can
 /// transiently exhaust its retransmits on an unlucky seed; a scripted
@@ -61,6 +64,48 @@ pub struct TraceRun {
     pub metrics: MetricsSnapshot,
     /// ECF checker verdict over `events`.
     pub report: EcfReport,
+    /// The recorded span log (empty unless the recorder was tracing).
+    pub spans: Vec<Span>,
+    /// Span-tree well-formedness verdict over `spans`.
+    pub span_report: SpanReport,
+    /// Site of each node, indexed by node id (for `--site` filtering).
+    pub node_sites: Vec<u32>,
+}
+
+/// Events surviving the `music-sim trace` output filters. `node_sites`
+/// maps node id → site (see [`TraceRun::node_sites`]); `None` filters
+/// pass everything. Filtering applies to the *printed* lines only — the
+/// ECF checker always sees the full log.
+pub fn filter_events(
+    events: &[Event],
+    node_sites: &[u32],
+    node: Option<u32>,
+    site: Option<u32>,
+    trace: Option<TraceId>,
+) -> Vec<Event> {
+    events
+        .iter()
+        .filter(|e| node.is_none_or(|n| e.node == n))
+        .filter(|e| site.is_none_or(|s| node_sites.get(e.node as usize).copied() == Some(s)))
+        .filter(|e| trace.is_none_or(|t| e.trace == t))
+        .cloned()
+        .collect()
+}
+
+/// Spans surviving the same filters (spans carry their site directly).
+pub fn filter_spans(
+    spans: &[Span],
+    node: Option<u32>,
+    site: Option<u32>,
+    trace: Option<TraceId>,
+) -> Vec<Span> {
+    spans
+        .iter()
+        .filter(|s| node.is_none_or(|n| s.node == n))
+        .filter(|s| site.is_none_or(|x| s.site == x))
+        .filter(|s| trace.is_none_or(|t| s.trace == t))
+        .cloned()
+        .collect()
 }
 
 /// Runs the seeded chaos scenario with `recorder` installed and returns
@@ -346,11 +391,19 @@ pub fn run_chaos(profile: LatencyProfile, seed: u64, recorder: Recorder) -> Trac
     let events = recorder.events();
     let metrics = recorder.metrics();
     let report = check(&events);
+    let spans = recorder.spans();
+    let span_report = check_spans(&spans);
+    let node_sites = (0..sys.net().node_count() as u32)
+        .map(|n| sys.net().site_of(NodeId(n)).0)
+        .collect();
     TraceRun {
         outcomes,
         final_time_us,
         events,
         metrics,
         report,
+        spans,
+        span_report,
+        node_sites,
     }
 }

@@ -52,6 +52,23 @@ fn every_seed_is_ecf_clean() {
             run.metrics.total("watchdog_preemptions") >= 2,
             "seed {seed}: watchdog never preempted a dead holder"
         );
+        // Core protocol counters must be live under every schedule: a
+        // zeroed counter here means the scenario silently stopped
+        // exercising that path (the profiler's BENCH artifacts build on
+        // these same totals).
+        for counter in ["lock_grants", "quorum_writes", "quorum_reads", "cs_flushes"] {
+            assert!(
+                run.metrics.total(counter) > 0,
+                "seed {seed}: counter {counter} never fired"
+            );
+        }
+        // And the span layer must have both produced and closed a tree.
+        assert!(
+            run.span_report.ok(),
+            "seed {seed}: malformed span tree: {}",
+            run.span_report.to_json()
+        );
+        assert!(run.spans.len() >= 20, "seed {seed}: too few spans");
     }
 }
 
