@@ -367,6 +367,152 @@ impl Partition for LockPartition {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wire codecs: lock state crosses sockets in remote deployments
+// (`music-node` hosts the lock table; `RemoteTable<LockPartition, _>` is
+// the coordinator). Implemented here because the entries' private LWW
+// stamps must survive the trip bit-for-bit — replica convergence and
+// read-repair divergence detection both compare full cell state.
+// ---------------------------------------------------------------------------
+
+use music_runtime::{Wire, WireError, WireReader};
+
+impl Wire for LockRef {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(LockRef(u64::decode(r)?))
+    }
+}
+
+impl Wire for LockEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.present.encode(buf);
+        self.stamp.encode(buf);
+        self.start_time.encode(buf);
+        self.start_stamp.encode(buf);
+        self.token.encode(buf);
+        self.lease_until.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(LockEntry {
+            present: bool::decode(r)?,
+            stamp: Wire::decode(r)?,
+            start_time: Wire::decode(r)?,
+            start_stamp: Wire::decode(r)?,
+            token: u64::decode(r)?,
+            lease_until: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for LockMutation {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match *self {
+            LockMutation::Enqueue {
+                lock_ref,
+                token,
+                lease_until,
+            } => {
+                buf.push(0);
+                lock_ref.encode(buf);
+                token.encode(buf);
+                lease_until.encode(buf);
+            }
+            LockMutation::Dequeue { lock_ref } => {
+                buf.push(1);
+                lock_ref.encode(buf);
+            }
+            LockMutation::ReleaseWithLease {
+                released,
+                next_ref,
+                token,
+                until,
+            } => {
+                buf.push(2);
+                released.encode(buf);
+                next_ref.encode(buf);
+                token.encode(buf);
+                until.encode(buf);
+            }
+            LockMutation::BreakEnqueue {
+                broken,
+                lock_ref,
+                token,
+            } => {
+                buf.push(3);
+                broken.encode(buf);
+                lock_ref.encode(buf);
+                token.encode(buf);
+            }
+            LockMutation::SetStartTime { lock_ref, at } => {
+                buf.push(4);
+                lock_ref.encode(buf);
+                at.encode(buf);
+            }
+            LockMutation::RaiseGuard { to } => {
+                buf.push(5);
+                to.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => LockMutation::Enqueue {
+                lock_ref: Wire::decode(r)?,
+                token: u64::decode(r)?,
+                lease_until: Wire::decode(r)?,
+            },
+            1 => LockMutation::Dequeue {
+                lock_ref: Wire::decode(r)?,
+            },
+            2 => LockMutation::ReleaseWithLease {
+                released: Wire::decode(r)?,
+                next_ref: Wire::decode(r)?,
+                token: u64::decode(r)?,
+                until: Wire::decode(r)?,
+            },
+            3 => LockMutation::BreakEnqueue {
+                broken: Wire::decode(r)?,
+                lock_ref: Wire::decode(r)?,
+                token: u64::decode(r)?,
+            },
+            4 => LockMutation::SetStartTime {
+                lock_ref: Wire::decode(r)?,
+                at: Wire::decode(r)?,
+            },
+            5 => LockMutation::RaiseGuard {
+                to: u64::decode(r)?,
+            },
+            _ => return Err(WireError("invalid lock mutation tag")),
+        })
+    }
+}
+
+impl Wire for LockPartition {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.guard.encode(buf);
+        (self.entries.len() as u32).encode(buf);
+        for (r, e) in &self.entries {
+            r.encode(buf);
+            e.encode(buf);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let guard = u64::decode(r)?;
+        let n = r.u32()? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let lr = LockRef::decode(r)?;
+            let e = LockEntry::decode(r)?;
+            entries.insert(lr, e);
+        }
+        Ok(LockPartition { guard, entries })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +828,71 @@ mod tests {
         // Queue is empty and guard preserved.
         assert!(p.head().is_none());
         assert_eq!(p.guard(), TOMBSTONE_GRACE + 200);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_full_cell_state() {
+        let mut p = LockPartition::default();
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(1),
+                token: 42,
+                lease_until: Some(SimTime::from_micros(9_000)),
+            },
+            ts(5),
+        );
+        p.apply(
+            &LockMutation::SetStartTime {
+                lock_ref: LockRef::new(1),
+                at: SimTime::from_micros(500),
+            },
+            ts(6),
+        );
+        p.apply(
+            &LockMutation::Enqueue {
+                lock_ref: LockRef::new(2),
+                token: 43,
+                lease_until: None,
+            },
+            ts(7),
+        );
+        p.apply(
+            &LockMutation::Dequeue {
+                lock_ref: LockRef::new(2),
+            },
+            ts(8),
+        );
+        let back = LockPartition::from_slice(&p.to_vec()).unwrap();
+        assert_eq!(back, p, "codec must be lossless (stamps included)");
+        let muts = [
+            LockMutation::Enqueue {
+                lock_ref: LockRef::new(3),
+                token: 9,
+                lease_until: None,
+            },
+            LockMutation::Dequeue {
+                lock_ref: LockRef::new(3),
+            },
+            LockMutation::ReleaseWithLease {
+                released: LockRef::new(3),
+                next_ref: LockRef::new(4),
+                token: 10,
+                until: SimTime::from_micros(77),
+            },
+            LockMutation::BreakEnqueue {
+                broken: LockRef::new(4),
+                lock_ref: LockRef::new(5),
+                token: 11,
+            },
+            LockMutation::SetStartTime {
+                lock_ref: LockRef::new(5),
+                at: SimTime::from_micros(88),
+            },
+            LockMutation::RaiseGuard { to: 99 },
+        ];
+        for m in muts {
+            assert_eq!(LockMutation::from_slice(&m.to_vec()).unwrap(), m);
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Coordinator-side lock store operations.
 
-use music_quorumstore::{ReplicatedTable, StoreError, TableConfig, WriteStamp};
+use music_quorumstore::{ReplicatedTable, StoreError, TableApi, TableConfig, WriteStamp};
+use music_runtime::Runtime;
 use music_simnet::net::{Network, NodeId};
 use music_simnet::time::SimTime;
 
@@ -20,6 +21,11 @@ pub enum EnqueueOutcome {
 }
 
 /// The replicated lock store.
+///
+/// Generic over the backing table: the default `Tbl` is the in-simulation
+/// [`ReplicatedTable`]; a remote deployment instantiates
+/// `LockStore<RemoteTable<LockPartition, T>>` and the same coordinator
+/// logic (the LWT decide closures below) runs over sockets.
 ///
 /// One [`LockStore`] is shared by every MUSIC replica in the simulation;
 /// operations take the calling replica's [`NodeId`] so messages originate
@@ -55,21 +61,23 @@ pub enum EnqueueOutcome {
 /// });
 /// ```
 #[derive(Clone, Debug)]
-pub struct LockStore {
-    table: ReplicatedTable<LockPartition>,
+pub struct LockStore<Tbl = ReplicatedTable<LockPartition>> {
+    table: Tbl,
     next_token: std::rc::Rc<std::cell::Cell<u64>>,
 }
 
-impl LockStore {
+impl LockStore<ReplicatedTable<LockPartition>> {
     /// Creates a lock store replicated over `nodes` with replication factor
-    /// `rf`.
+    /// `rf` (simulated-network backing).
     pub fn new(net: Network, nodes: Vec<NodeId>, rf: usize, cfg: TableConfig) -> Self {
         Self::from_table(ReplicatedTable::new(net, nodes, rf, cfg))
     }
+}
 
-    /// Wraps an existing replicated table (for sharing nodes with a data
-    /// store in experiments).
-    pub fn from_table(table: ReplicatedTable<LockPartition>) -> Self {
+impl<Tbl: TableApi<LockPartition>> LockStore<Tbl> {
+    /// Wraps an existing backing table (for sharing nodes with a data
+    /// store in experiments, or for a remote deployment).
+    pub fn from_table(table: Tbl) -> Self {
         LockStore {
             table,
             next_token: std::rc::Rc::new(std::cell::Cell::new(1)),
@@ -77,7 +85,7 @@ impl LockStore {
     }
 
     /// The underlying table (instrumentation and tests).
-    pub fn table(&self) -> &ReplicatedTable<LockPartition> {
+    pub fn table(&self) -> &Tbl {
         &self.table
     }
 
@@ -195,17 +203,17 @@ impl LockStore {
         if blocked.get() != LockRef::NONE {
             return Ok(EnqueueOutcome::LeaseBlocked(blocked.get()));
         }
-        let rec = self.table.net().recorder();
+        let rec = self.table.recorder();
         if rec.is_on() {
             if broke.get() != LockRef::NONE {
                 rec.count(music_telemetry::Scope::Node(coord.0), "lease_breaks", 1);
             }
             if rec.is_tracing() {
-                let sim = self.table.net().sim();
+                let rt = self.table.rt();
                 if broke.get() != LockRef::NONE {
                     rec.record(
-                        sim.now().as_micros(),
-                        sim.trace(),
+                        rt.now().as_micros(),
+                        rt.trace(),
                         coord.0,
                         music_telemetry::EventKind::LeaseBreak {
                             key: key.to_string(),
@@ -214,8 +222,8 @@ impl LockStore {
                     );
                 }
                 rec.record(
-                    sim.now().as_micros(),
-                    sim.trace(),
+                    rt.now().as_micros(),
+                    rt.trace(),
                     coord.0,
                     music_telemetry::EventKind::LockEnqueue {
                         key: key.to_string(),
@@ -284,14 +292,14 @@ impl LockStore {
         if granted.get() == LockRef::NONE {
             return Ok(None);
         }
-        let rec = self.table.net().recorder();
+        let rec = self.table.recorder();
         if rec.is_on() {
             rec.count(music_telemetry::Scope::Node(coord.0), "lease_grants", 1);
             if rec.is_tracing() {
-                let sim = self.table.net().sim();
+                let rt = self.table.rt();
                 rec.record(
-                    sim.now().as_micros(),
-                    sim.trace(),
+                    rt.now().as_micros(),
+                    rt.trace(),
                     coord.0,
                     music_telemetry::EventKind::LeaseGrant {
                         key: key.to_string(),

@@ -1,0 +1,180 @@
+//! `music-load`: drives critical sections through a running `music-node`
+//! cluster over real sockets, then verifies the results.
+//!
+//! Workload: `--clients` concurrent clients each loop over `--keys`
+//! counter keys; every iteration is one full critical section —
+//! `enter → criticalGet → parse → criticalPut(n+1) → release`. Because
+//! every increment is a read-modify-write under the key's lock, the final
+//! counter values must sum to exactly the number of sections completed:
+//! any lost update, phantom grant, or stale read shows up as a mismatch.
+//!
+//! Exits 0 only if every requested section completed, zero protocol
+//! errors were observed, and the final counters verify.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use music::node::{remote_client, LoadConfig, RemoteMusicClient, CLIENT_ID_BASE};
+use music::{MusicConfig, MusicError};
+use music_runtime::{NativeRuntime, Runtime};
+use music_telemetry::Recorder;
+
+const USAGE: &str = "usage: music-load --peers \"1=host:port,...\" \
+[--sections N] [--clients N] [--keys N] [--rf N]";
+
+fn counter_key(k: u64) -> String {
+    format!("counter-{k}")
+}
+
+fn decode_counter(raw: Option<Bytes>) -> Result<u64, String> {
+    match raw {
+        None => Ok(0),
+        Some(b) => b
+            .as_ref()
+            .try_into()
+            .map(u64::from_be_bytes)
+            .map_err(|_| format!("counter value has width {} (want 8)", b.len())),
+    }
+}
+
+/// One critical section: increment `key`'s counter read-modify-write.
+async fn increment(client: &RemoteMusicClient, key: &str) -> Result<(), String> {
+    let cs = client.enter(key).await.map_err(|e| e.to_string())?;
+    let prev = cs.get().await.map_err(|e| e.to_string())?;
+    // A malformed counter is a protocol error, not a client bug: abandon
+    // the section so the run fails loudly.
+    let next = decode_counter(prev)? + 1;
+    cs.put(Bytes::copy_from_slice(&next.to_be_bytes()))
+        .await
+        .map_err(|e| e.to_string())?;
+    cs.release().await.map_err(|e| e.to_string())
+}
+
+fn main() {
+    let cfg = match LoadConfig::from_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("music-load: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let rt = NativeRuntime::new();
+    let recorder = Recorder::off();
+    let completed: Rc<RefCell<HashMap<String, u64>>> = Rc::new(RefCell::new(HashMap::new()));
+    let errors: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let started = Instant::now();
+
+    let mut handles = Vec::new();
+    for c in 0..cfg.clients {
+        // Spread sections round-robin so any client count divides the work.
+        let quota = cfg.sections / u64::from(cfg.clients)
+            + u64::from(u64::from(c) < cfg.sections % u64::from(cfg.clients));
+        if quota == 0 {
+            continue;
+        }
+        let client = match remote_client(
+            &rt,
+            CLIENT_ID_BASE + c,
+            &cfg.peers,
+            cfg.rf,
+            MusicConfig::default(),
+            recorder.clone(),
+        ) {
+            Ok(client) => client,
+            Err(e) => {
+                eprintln!("music-load: client {c} setup failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let completed = Rc::clone(&completed);
+        let errors = Rc::clone(&errors);
+        let keys = u64::from(cfg.keys);
+        handles.push(rt.spawn(async move {
+            for i in 0..quota {
+                let key = counter_key((u64::from(c) + i) % keys);
+                match increment(&client, &key).await {
+                    Ok(()) => *completed.borrow_mut().entry(key).or_insert(0) += 1,
+                    Err(e) => errors
+                        .borrow_mut()
+                        .push(format!("client {c} section on {key}: {e}")),
+                }
+            }
+        }));
+    }
+    rt.block_on(async move {
+        for h in handles {
+            h.await;
+        }
+    });
+
+    let done: u64 = completed.borrow().values().sum();
+    let errs = errors.borrow().clone();
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "music-load: {done}/{} sections completed, {} errors in {secs:.2}s ({:.1} sections/s)",
+        cfg.sections,
+        errs.len(),
+        done as f64 / secs.max(1e-9),
+    );
+    for e in &errs {
+        eprintln!("music-load: error: {e}");
+    }
+
+    // Verify: read every counter under its lock; the values must sum to
+    // exactly the sections completed, key by key.
+    let verifier = match remote_client(
+        &rt,
+        CLIENT_ID_BASE + cfg.clients,
+        &cfg.peers,
+        cfg.rf,
+        MusicConfig::default(),
+        recorder,
+    ) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("music-load: verifier setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let keys = u64::from(cfg.keys);
+    let expected = completed.borrow().clone();
+    let mismatches = rt.block_on(async move {
+        let mut mismatches = Vec::new();
+        for k in 0..keys {
+            let key = counter_key(k);
+            let want = expected.get(&key).copied().unwrap_or(0);
+            let read = async {
+                let cs = verifier.enter(&key).await?;
+                let v = cs.get().await?;
+                cs.release().await?;
+                Ok::<_, MusicError>(v)
+            }
+            .await;
+            match read.map(decode_counter) {
+                Ok(Ok(got)) if got == want => {}
+                Ok(Ok(got)) => mismatches.push(format!("{key}: counter {got}, want {want}")),
+                Ok(Err(e)) => mismatches.push(format!("{key}: {e}")),
+                Err(e) => mismatches.push(format!("{key}: verify read failed: {e}")),
+            }
+        }
+        mismatches
+    });
+    for m in &mismatches {
+        eprintln!("music-load: verify: {m}");
+    }
+
+    if done == cfg.sections && errs.is_empty() && mismatches.is_empty() {
+        println!(
+            "music-load: counter check OK ({} keys, total {done})",
+            cfg.keys
+        );
+    } else {
+        eprintln!("music-load: FAILED");
+        std::process::exit(1);
+    }
+}

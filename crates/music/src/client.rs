@@ -7,6 +7,11 @@
 //! [`CriticalSection`] packages the Listing-1 pattern (create → poll
 //! acquire → critical ops → release).
 //!
+//! Like [`MusicReplica`], the client is generic over the runtime split: the
+//! defaults run on the deterministic simulator, while `music-load` runs the
+//! identical retry/fail-over/pipelining logic over `NativeRuntime` +
+//! `RemoteTable`.
+//!
 //! # Write modes
 //!
 //! Under [`WriteMode::Sync`] every [`CriticalSection::put`] awaits its
@@ -21,12 +26,14 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::rc::Rc;
 
 use bytes::Bytes;
 
-use music_lockstore::LockRef;
-use music_quorumstore::StoreError;
+use music_lockstore::{LockPartition, LockRef};
+use music_quorumstore::{DataRow, ReplicatedTable, StoreError, TableApi};
+use music_runtime::Runtime;
 use music_simnet::executor::Sim;
 use music_simnet::time::{SimDuration, SimTime};
 use music_telemetry::{SpanId, SpanPhase};
@@ -44,10 +51,9 @@ use crate::stats::OpKind;
 ///
 /// See [`crate::system::MusicSystemBuilder`] for a runnable end-to-end
 /// example.
-#[derive(Clone, Debug)]
-pub struct MusicClient {
-    replicas: Vec<MusicReplica>,
-    sim: Sim,
+pub struct MusicClient<RT = Sim, D = ReplicatedTable<DataRow>, L = ReplicatedTable<LockPartition>> {
+    replicas: Vec<MusicReplica<RT, D, L>>,
+    rt: RT,
     /// Per-client override of the deployment's configured write mode.
     write_mode: Option<WriteMode>,
     /// Per-client override of the deployment's configured lease window.
@@ -62,13 +68,41 @@ pub struct MusicClient {
     health: Rc<ReplicaHealth>,
 }
 
-impl MusicClient {
+impl<RT: Clone, D: Clone, L: Clone> Clone for MusicClient<RT, D, L> {
+    fn clone(&self) -> Self {
+        MusicClient {
+            replicas: self.replicas.clone(),
+            rt: self.rt.clone(),
+            write_mode: self.write_mode,
+            lease_window: self.lease_window,
+            leases: self.leases.clone(),
+            health: self.health.clone(),
+        }
+    }
+}
+
+impl<RT, D, L> fmt::Debug for MusicClient<RT, D, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MusicClient")
+            .field("replicas", &self.replicas.len())
+            .field("write_mode", &self.write_mode)
+            .field("lease_window", &self.lease_window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<RT, D, L> MusicClient<RT, D, L>
+where
+    RT: Runtime,
+    D: TableApi<DataRow, Rt = RT>,
+    L: TableApi<LockPartition, Rt = RT>,
+{
     /// Creates a client that prefers `replicas[0]` and fails over in order.
     ///
     /// # Errors
     ///
     /// [`MusicError::NoReplicas`] if `replicas` is empty.
-    pub fn new(sim: Sim, replicas: Vec<MusicReplica>) -> Result<Self, MusicError> {
+    pub fn new(rt: RT, replicas: Vec<MusicReplica<RT, D, L>>) -> Result<Self, MusicError> {
         if replicas.is_empty() {
             return Err(MusicError::NoReplicas);
         }
@@ -81,7 +115,7 @@ impl MusicClient {
         );
         Ok(MusicClient {
             replicas,
-            sim,
+            rt,
             write_mode: None,
             lease_window: None,
             leases: Rc::new(RefCell::new(HashMap::new())),
@@ -91,6 +125,10 @@ impl MusicClient {
 
     /// This client with its write mode overridden (sections entered through
     /// it pipeline or not regardless of the deployment config).
+    ///
+    /// This is a *per-client* override for running mixed modes over one
+    /// deployment; to configure the deployment itself, use
+    /// [`MusicConfig::builder`](crate::MusicConfig::builder)`.write_mode(..)`.
     #[must_use]
     pub fn with_write_mode(mut self, mode: WriteMode) -> Self {
         self.write_mode = Some(mode);
@@ -100,6 +138,9 @@ impl MusicClient {
     /// This client with lease retention enabled at the given window,
     /// regardless of the deployment config: clean releases retain a lease
     /// and re-entries within `window` take the 0-RTT fast path.
+    ///
+    /// This is a *per-client* override; to enable leasing deployment-wide,
+    /// use [`MusicConfig::builder`](crate::MusicConfig::builder)`.lease_window(..)`.
     #[must_use]
     pub fn with_lease_window(mut self, window: SimDuration) -> Self {
         self.lease_window = Some(window);
@@ -125,7 +166,7 @@ impl MusicClient {
     }
 
     /// The replica currently preferred by this client.
-    pub fn primary(&self) -> &MusicReplica {
+    pub fn primary(&self) -> &MusicReplica<RT, D, L> {
         &self.replicas[0]
     }
 
@@ -143,8 +184,8 @@ impl MusicClient {
         rec.count(music_telemetry::Scope::Global, "client_failovers", 1);
         if rec.is_tracing() {
             rec.record(
-                self.sim.now().as_micros(),
-                self.sim.trace(),
+                self.rt.now().as_micros(),
+                self.rt.trace(),
                 self.primary().node().0,
                 music_telemetry::EventKind::ClientFailover { op, attempt, cause },
             );
@@ -160,8 +201,8 @@ impl MusicClient {
         rec.count(music_telemetry::Scope::Global, "cs_flushes", 1);
         if rec.is_tracing() {
             rec.record(
-                self.sim.now().as_micros(),
-                self.sim.trace(),
+                self.rt.now().as_micros(),
+                self.rt.trace(),
                 self.primary().node().0,
                 music_telemetry::EventKind::CsFlush {
                     key: key.to_string(),
@@ -201,17 +242,17 @@ impl MusicClient {
         if !rec.is_tracing() {
             return (0, 0);
         }
-        let parent = self.sim.span();
+        let parent = self.rt.span();
         let id = rec.span_open(
-            self.sim.now().as_micros(),
+            self.rt.now().as_micros(),
             parent,
-            self.sim.trace(),
+            self.rt.trace(),
             self.primary().node().0,
             self.primary().site(),
             phase,
             key,
         );
-        self.sim.set_span(id);
+        self.rt.set_span(id);
         (id, parent)
     }
 
@@ -223,8 +264,8 @@ impl MusicClient {
         }
         self.primary()
             .recorder()
-            .span_close(self.sim.now().as_micros(), id);
-        self.sim.set_span(parent);
+            .span_close(self.rt.now().as_micros(), id);
+        self.rt.set_span(parent);
     }
 
     /// Records one slow-path lock grant for fairness accounting: the
@@ -238,11 +279,7 @@ impl MusicClient {
         }
         let site = music_telemetry::Scope::Site(self.primary().site());
         rec.count(site, "sections_entered", 1);
-        rec.observe(
-            site,
-            "grant_wait_us",
-            (self.sim.now() - entered).as_micros(),
-        );
+        rec.observe(site, "grant_wait_us", (self.rt.now() - entered).as_micros());
     }
 
     /// The deterministic jitter salt for this client's `op_name` retries:
@@ -267,7 +304,7 @@ impl MusicClient {
         mut op: F,
     ) -> Result<T, MusicError>
     where
-        F: FnMut(MusicReplica) -> Fut,
+        F: FnMut(MusicReplica<RT, D, L>) -> Fut,
         Fut: std::future::Future<Output = Result<T, StoreError>>,
     {
         let budget = self.retries().max(1);
@@ -277,21 +314,19 @@ impl MusicClient {
         for attempt in 0..budget {
             let idx = self
                 .health
-                .pick(attempt as usize, self.sim.now(), self.sim.trace());
+                .pick(attempt as usize, self.rt.now(), self.rt.trace());
             let replica = self.replicas[idx].clone();
             match op(replica).await {
                 Ok(v) => {
-                    self.health
-                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_success(idx, self.rt.now(), self.rt.trace());
                     return Ok(v);
                 }
                 Err(e) => {
-                    self.health
-                        .on_failure(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_failure(idx, self.rt.now(), self.rt.trace());
                     trail.note(e);
                     self.note_failover(op_name, attempt + 1, e.code());
                     if attempt + 1 < budget {
-                        self.sim.sleep(backoff::delay(base, attempt, salt)).await;
+                        self.rt.sleep(backoff::delay(base, attempt, salt)).await;
                     }
                 }
             }
@@ -326,26 +361,24 @@ impl MusicClient {
         loop {
             let idx = self
                 .health
-                .pick(replica_idx, self.sim.now(), self.sim.trace());
+                .pick(replica_idx, self.rt.now(), self.rt.trace());
             let replica = &self.replicas[idx];
             match replica.acquire_lock(key, lock_ref).await {
                 Ok(outcome) => {
                     // Any protocol-level answer proves the replica alive.
-                    self.health
-                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_success(idx, self.rt.now(), self.rt.trace());
                     match outcome {
                         AcquireOutcome::Acquired => return Ok(()),
                         AcquireOutcome::NoLongerHolder => return Err(MusicError::NoLongerHolder),
                         AcquireOutcome::NotYet => {
                             consecutive_failures = 0;
-                            self.sim.sleep(backoff::delay(base_poll, polls, salt)).await;
+                            self.rt.sleep(backoff::delay(base_poll, polls, salt)).await;
                             polls = polls.saturating_add(1);
                         }
                     }
                 }
                 Err(e) => {
-                    self.health
-                        .on_failure(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_failure(idx, self.rt.now(), self.rt.trace());
                     trail.note(e);
                     consecutive_failures += 1;
                     if consecutive_failures >= self.retries().max(1) {
@@ -353,7 +386,7 @@ impl MusicClient {
                     }
                     replica_idx = idx + 1; // fail over
                     self.note_failover("acquireLock", consecutive_failures, e.code());
-                    self.sim.sleep(backoff::delay(base_poll, polls, salt)).await;
+                    self.rt.sleep(backoff::delay(base_poll, polls, salt)).await;
                     polls = polls.saturating_add(1);
                 }
             }
@@ -383,7 +416,7 @@ impl MusicClient {
         mut op: F,
     ) -> Result<T, MusicError>
     where
-        F: FnMut(MusicReplica) -> Fut,
+        F: FnMut(MusicReplica<RT, D, L>) -> Fut,
         Fut: std::future::Future<Output = Result<T, CriticalError>>,
     {
         let poll = self.primary().config().acquire_poll;
@@ -395,18 +428,16 @@ impl MusicClient {
         loop {
             let idx = self
                 .health
-                .pick(replica_idx, self.sim.now(), self.sim.trace());
+                .pick(replica_idx, self.rt.now(), self.rt.trace());
             let replica = self.replicas[idx].clone();
             match op(replica).await {
                 Ok(v) => {
-                    self.health
-                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_success(idx, self.rt.now(), self.rt.trace());
                     return Ok(v);
                 }
                 Err(CriticalError::NotYetHolder) => {
                     // The replica answered — alive, merely a stale view.
-                    self.health
-                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_success(idx, self.rt.now(), self.rt.trace());
                     trail.note_opaque();
                     failures += 1;
                     if failures >= budget {
@@ -423,21 +454,18 @@ impl MusicClient {
                     // (convergence is local; exponential growth would
                     // only delay the holder).
                     let nonce = salt.wrapping_add(u64::from(failures));
-                    self.sim.sleep(backoff::delay(poll, 0, nonce)).await;
+                    self.rt.sleep(backoff::delay(poll, 0, nonce)).await;
                 }
                 Err(CriticalError::NoLongerHolder) => {
-                    self.health
-                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_success(idx, self.rt.now(), self.rt.trace());
                     return Err(MusicError::NoLongerHolder);
                 }
                 Err(CriticalError::Expired) => {
-                    self.health
-                        .on_success(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_success(idx, self.rt.now(), self.rt.trace());
                     return Err(MusicError::Expired);
                 }
                 Err(CriticalError::Store(e)) => {
-                    self.health
-                        .on_failure(idx, self.sim.now(), self.sim.trace());
+                    self.health.on_failure(idx, self.rt.now(), self.rt.trace());
                     trail.note(e);
                     failures += 1;
                     if failures >= budget {
@@ -445,7 +473,7 @@ impl MusicClient {
                     }
                     replica_idx = idx + 1;
                     self.note_failover(op_name, failures, e.code());
-                    self.sim
+                    self.rt
                         .sleep(backoff::delay(poll, failures - 1, salt))
                         .await;
                 }
@@ -562,15 +590,18 @@ impl MusicClient {
     /// # Errors
     ///
     /// Any [`MusicError`] from the two steps.
-    pub async fn enter(&self, key: impl AsRef<str>) -> Result<CriticalSection, MusicError> {
+    pub async fn enter(
+        &self,
+        key: impl AsRef<str>,
+    ) -> Result<CriticalSection<RT, D, L>, MusicError> {
         let key = key.as_ref();
-        let t0 = self.sim.now();
+        let t0 = self.rt.now();
         // The section root span stays open until release (or drop) and
         // every phase below — including replica-side headship confirms —
         // parents onto it through the task's span tag.
         let section_span = self.span_open(SpanPhase::Section, key);
         if let Some(lock_ref) = self.try_lease_reenter(key).await {
-            return Ok(self.section(key, lock_ref, self.sim.now(), section_span));
+            return Ok(self.section(key, lock_ref, self.rt.now(), section_span));
         }
         let acquire_span = self.span_open(SpanPhase::LockAcquire, key);
         let enqueue_span = self.span_open(SpanPhase::Enqueue, key);
@@ -584,7 +615,7 @@ impl MusicClient {
                 return Err(e);
             }
         };
-        let entered_at = self.sim.now();
+        let entered_at = self.rt.now();
         let head_wait_span = self.span_open(SpanPhase::HeadWait, key);
         let acquired = self.acquire_lock(key, lock_ref).await;
         self.span_close(head_wait_span);
@@ -603,7 +634,7 @@ impl MusicClient {
         lock_ref: LockRef,
         entered_at: SimTime,
         span: (SpanId, u64),
-    ) -> CriticalSection {
+    ) -> CriticalSection<RT, D, L> {
         CriticalSection {
             client: self.clone(),
             key: key.to_string(),
@@ -625,7 +656,7 @@ impl MusicClient {
     async fn try_lease_reenter(&self, key: &str) -> Option<LockRef> {
         self.lease_window()?;
         let grant = self.leases.borrow_mut().remove(key)?;
-        if self.sim.now() >= grant.until {
+        if self.rt.now() >= grant.until {
             return None;
         }
         let poll = self.primary().config().acquire_poll;
@@ -639,7 +670,7 @@ impl MusicClient {
                     reentered = Some(grant.lock_ref);
                     break;
                 }
-                Ok(AcquireOutcome::NotYet) => self.sim.sleep(poll).await,
+                Ok(AcquireOutcome::NotYet) => self.rt.sleep(poll).await,
                 Ok(AcquireOutcome::NoLongerHolder) | Err(_) => break,
             }
         }
@@ -676,14 +707,14 @@ impl MusicClient {
     pub async fn enter_many(
         &self,
         keys: &[impl AsRef<str>],
-    ) -> Result<MultiCriticalSection, MusicError> {
+    ) -> Result<MultiCriticalSection<RT, D, L>, MusicError> {
         if keys.is_empty() {
             return Err(MusicError::EmptyKeySet);
         }
         let mut sorted: Vec<&str> = keys.iter().map(AsRef::as_ref).collect();
         sorted.sort_unstable();
         sorted.dedup();
-        let mut sections: Vec<CriticalSection> = Vec::with_capacity(sorted.len());
+        let mut sections: Vec<CriticalSection<RT, D, L>> = Vec::with_capacity(sorted.len());
         for key in sorted {
             match self.enter(key).await {
                 Ok(cs) => sections.push(cs),
@@ -703,17 +734,30 @@ impl MusicClient {
 
 /// A critical section spanning several keys, held in lexicographic order.
 #[derive(Debug)]
-pub struct MultiCriticalSection {
-    sections: Vec<CriticalSection>,
+pub struct MultiCriticalSection<
+    RT = Sim,
+    D = ReplicatedTable<DataRow>,
+    L = ReplicatedTable<LockPartition>,
+> where
+    RT: Runtime,
+    D: TableApi<DataRow, Rt = RT>,
+    L: TableApi<LockPartition, Rt = RT>,
+{
+    sections: Vec<CriticalSection<RT, D, L>>,
 }
 
-impl MultiCriticalSection {
+impl<RT, D, L> MultiCriticalSection<RT, D, L>
+where
+    RT: Runtime,
+    D: TableApi<DataRow, Rt = RT>,
+    L: TableApi<LockPartition, Rt = RT>,
+{
     /// The held keys, in acquisition (lexicographic) order.
     pub fn keys(&self) -> Vec<&str> {
         self.sections.iter().map(|s| s.key()).collect()
     }
 
-    fn section(&self, key: &str) -> Result<&CriticalSection, MusicError> {
+    fn section(&self, key: &str) -> Result<&CriticalSection<RT, D, L>, MusicError> {
         self.sections
             .iter()
             .find(|s| s.key() == key)
@@ -790,15 +834,22 @@ impl MultiCriticalSection {
 /// Call [`CriticalSection::release`] when done; merely dropping the guard
 /// leaves the lock to the failure detector (as a crashed client would) —
 /// including any pipelined writes still in flight.
-#[derive(Debug)]
-pub struct CriticalSection {
-    client: MusicClient,
+pub struct CriticalSection<
+    RT = Sim,
+    D = ReplicatedTable<DataRow>,
+    L = ReplicatedTable<LockPartition>,
+> where
+    RT: Runtime,
+    D: TableApi<DataRow, Rt = RT>,
+    L: TableApi<LockPartition, Rt = RT>,
+{
+    client: MusicClient<RT, D, L>,
     key: String,
     lock_ref: LockRef,
-    entered_at: music_simnet::time::SimTime,
+    entered_at: SimTime,
     write_mode: WriteMode,
     /// Issued-but-unacknowledged pipelined puts, in issue order.
-    pending: RefCell<VecDeque<PendingPut>>,
+    pending: RefCell<VecDeque<PendingPut<RT>>>,
     /// Set once a flush fails: every further operation (including release)
     /// fails with this error, because an unacknowledged write may still
     /// land and only a resynchronizing handoff is safe (§III-A).
@@ -809,7 +860,28 @@ pub struct CriticalSection {
     span_parent: u64,
 }
 
-impl CriticalSection {
+impl<RT, D, L> fmt::Debug for CriticalSection<RT, D, L>
+where
+    RT: Runtime,
+    D: TableApi<DataRow, Rt = RT>,
+    L: TableApi<LockPartition, Rt = RT>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CriticalSection")
+            .field("key", &self.key)
+            .field("lock_ref", &self.lock_ref)
+            .field("write_mode", &self.write_mode)
+            .field("in_flight", &self.pending.borrow().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<RT, D, L> CriticalSection<RT, D, L>
+where
+    RT: Runtime,
+    D: TableApi<DataRow, Rt = RT>,
+    L: TableApi<LockPartition, Rt = RT>,
+{
     /// The lock reference held by this critical section.
     pub fn lock_ref(&self) -> LockRef {
         self.lock_ref
@@ -845,16 +917,16 @@ impl CriticalSection {
         if id == 0 {
             return;
         }
-        let sim = &self.client.sim;
+        let rt = &self.client.rt;
         self.client
             .primary()
             .recorder()
-            .span_close(sim.now().as_micros(), id);
+            .span_close(rt.now().as_micros(), id);
         // Restore the enclosing tag only if this guard's span is still the
         // current one — a guard dropped from a foreign task must not
         // clobber that task's tag.
-        if sim.span() == id {
-            sim.set_span(self.span_parent);
+        if rt.span() == id {
+            rt.set_span(self.span_parent);
         }
     }
 
@@ -959,7 +1031,7 @@ impl CriticalSection {
     /// Awaits one pending put; a store failure re-drives the write with its
     /// original stamp (program order inside the section must not be
     /// reordered by retries). A terminal failure poisons the section.
-    async fn settle(&self, pp: PendingPut) -> Result<(), MusicError> {
+    async fn settle(&self, pp: PendingPut<RT>) -> Result<(), MusicError> {
         let (value, elapsed, res) = pp.outcome().await;
         let err = match res {
             Ok(()) => return Ok(()),
@@ -1067,7 +1139,7 @@ impl CriticalSection {
         if res.is_ok() {
             self.client.primary().stats().record(
                 OpKind::CriticalSection,
-                self.client.sim.now() - self.entered_at,
+                self.client.rt.now() - self.entered_at,
             );
         }
         self.close_section_span();
@@ -1099,7 +1171,12 @@ impl CriticalSection {
     }
 }
 
-impl Drop for CriticalSection {
+impl<RT, D, L> Drop for CriticalSection<RT, D, L>
+where
+    RT: Runtime,
+    D: TableApi<DataRow, Rt = RT>,
+    L: TableApi<LockPartition, Rt = RT>,
+{
     fn drop(&mut self) {
         self.close_section_span();
     }

@@ -127,30 +127,157 @@ impl Default for MusicConfig {
 }
 
 impl MusicConfig {
-    /// A config with the MSCP baseline's LWT critical puts.
-    pub fn mscp() -> Self {
-        MusicConfig {
-            put_mode: PutMode::Lwt,
-            ..Self::default()
+    /// Starts a [`MusicConfigBuilder`] seeded with the defaults — the one
+    /// entry point for assembling a config (the accreted one-off
+    /// constructors `mscp`/`pipelined`/`leased` are deprecated shims over
+    /// it since 0.6.0).
+    pub fn builder() -> MusicConfigBuilder {
+        MusicConfigBuilder {
+            cfg: MusicConfig::default(),
         }
+    }
+
+    /// A config with the MSCP baseline's LWT critical puts.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use MusicConfig::builder().put_mode(PutMode::Lwt).build()"
+    )]
+    pub fn mscp() -> Self {
+        Self::builder().put_mode(PutMode::Lwt).build()
     }
 
     /// A config whose critical sections pipeline their puts with the given
     /// in-flight window.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use MusicConfig::builder().write_mode(WriteMode::Pipelined { window }).build()"
+    )]
     pub fn pipelined(window: usize) -> Self {
-        MusicConfig {
-            write_mode: WriteMode::Pipelined { window },
-            ..Self::default()
-        }
+        Self::builder()
+            .write_mode(WriteMode::Pipelined { window })
+            .build()
     }
 
     /// A config whose clean releases retain a lease of duration `window`
     /// (the lease-cached fast re-entry path).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use MusicConfig::builder().lease_window(window).build()"
+    )]
     pub fn leased(window: SimDuration) -> Self {
-        MusicConfig {
-            lease_window: Some(window),
-            ..Self::default()
-        }
+        Self::builder().lease_window(window).build()
+    }
+}
+
+/// Fluent builder for [`MusicConfig`], seeded with the defaults by
+/// [`MusicConfig::builder`]. Every knob has a setter; unset knobs keep
+/// their default.
+///
+/// ```
+/// use music::config::{MusicConfig, PutMode, WriteMode};
+/// use music_simnet::time::SimDuration;
+///
+/// let cfg = MusicConfig::builder()
+///     .put_mode(PutMode::Lwt)
+///     .write_mode(WriteMode::Pipelined { window: 8 })
+///     .lease_window(SimDuration::from_secs(5))
+///     .build();
+/// assert_eq!(cfg.put_mode, PutMode::Lwt);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MusicConfigBuilder {
+    cfg: MusicConfig,
+}
+
+impl MusicConfigBuilder {
+    /// Sets `T`, the maximum duration of one critical section.
+    #[must_use]
+    pub fn t_max(mut self, t_max: SimDuration) -> Self {
+        self.cfg.t_max = t_max;
+        self
+    }
+
+    /// Sets `δ`, the `forcedRelease` synch-flag stamp offset.
+    #[must_use]
+    pub fn delta(mut self, delta: SimDuration) -> Self {
+        self.cfg.delta = delta;
+        self
+    }
+
+    /// Sets the `acquireLock` polling interval.
+    #[must_use]
+    pub fn acquire_poll(mut self, poll: SimDuration) -> Self {
+        self.cfg.acquire_poll = poll;
+        self
+    }
+
+    /// Sets the cross-replica client retry budget.
+    #[must_use]
+    pub fn client_retries(mut self, retries: u32) -> Self {
+        self.cfg.client_retries = retries;
+        self
+    }
+
+    /// Sets the failure detector's presumed-dead timeout.
+    #[must_use]
+    pub fn failure_timeout(mut self, timeout: SimDuration) -> Self {
+        self.cfg.failure_timeout = timeout;
+        self
+    }
+
+    /// Sets the circuit-breaker consecutive-failure threshold.
+    #[must_use]
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        self.cfg.breaker_threshold = threshold;
+        self
+    }
+
+    /// Sets the circuit-breaker quarantine cooldown.
+    #[must_use]
+    pub fn breaker_cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.cfg.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Sets how `criticalPut` writes the data store (MUSIC vs. MSCP).
+    #[must_use]
+    pub fn put_mode(mut self, mode: PutMode) -> Self {
+        self.cfg.put_mode = mode;
+        self
+    }
+
+    /// Sets how lock-queue heads are peeked (local vs. quorum).
+    #[must_use]
+    pub fn peek_mode(mut self, mode: PeekMode) -> Self {
+        self.cfg.peek_mode = mode;
+        self
+    }
+
+    /// Sets how critical sections issue their puts (sync vs. pipelined).
+    #[must_use]
+    pub fn write_mode(mut self, mode: WriteMode) -> Self {
+        self.cfg.write_mode = mode;
+        self
+    }
+
+    /// Enables lease retention on clean releases with the given window.
+    #[must_use]
+    pub fn lease_window(mut self, window: SimDuration) -> Self {
+        self.cfg.lease_window = Some(window);
+        self
+    }
+
+    /// Disables lease retention (the default; named for symmetry so a
+    /// builder chain can override an earlier [`Self::lease_window`]).
+    #[must_use]
+    pub fn no_lease(mut self) -> Self {
+        self.cfg.lease_window = None;
+        self
+    }
+
+    /// Finishes the chain.
+    pub fn build(self) -> MusicConfig {
+        self.cfg
     }
 }
 
@@ -166,10 +293,13 @@ mod tests {
         assert!(c.breaker_threshold >= 1);
         assert!(c.breaker_cooldown < c.failure_timeout);
         assert_eq!(c.put_mode, PutMode::Quorum);
-        assert_eq!(MusicConfig::mscp().put_mode, PutMode::Lwt);
+        let mscp = MusicConfig::builder().put_mode(PutMode::Lwt).build();
+        assert_eq!(mscp.put_mode, PutMode::Lwt);
         assert_eq!(c.write_mode, WriteMode::Sync);
         assert_eq!(c.lease_window, None, "leasing is opt-in");
-        let leased = MusicConfig::leased(SimDuration::from_secs(5));
+        let leased = MusicConfig::builder()
+            .lease_window(SimDuration::from_secs(5))
+            .build();
         assert_eq!(leased.lease_window, Some(SimDuration::from_secs(5)));
         assert!(leased.lease_window.unwrap() < leased.failure_timeout);
     }
@@ -179,7 +309,37 @@ mod tests {
         assert_eq!(WriteMode::Sync.window(), 1);
         assert_eq!(WriteMode::Pipelined { window: 16 }.window(), 16);
         assert_eq!(WriteMode::Pipelined { window: 0 }.window(), 1);
-        assert!(MusicConfig::pipelined(8).write_mode.is_pipelined());
+        let pipelined = MusicConfig::builder()
+            .write_mode(WriteMode::Pipelined { window: 8 })
+            .build();
+        assert!(pipelined.write_mode.is_pipelined());
         assert!(!WriteMode::Sync.is_pipelined());
+    }
+
+    /// The deprecated one-off constructors must stay exact shims over the
+    /// builder until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        assert_eq!(
+            MusicConfig::mscp().put_mode,
+            MusicConfig::builder()
+                .put_mode(PutMode::Lwt)
+                .build()
+                .put_mode
+        );
+        assert_eq!(
+            MusicConfig::pipelined(8).write_mode,
+            WriteMode::Pipelined { window: 8 }
+        );
+        assert_eq!(
+            MusicConfig::leased(SimDuration::from_secs(5)).lease_window,
+            Some(SimDuration::from_secs(5))
+        );
+        let chained = MusicConfig::builder()
+            .lease_window(SimDuration::from_secs(5))
+            .no_lease()
+            .build();
+        assert_eq!(chained.lease_window, None);
     }
 }

@@ -57,6 +57,7 @@ pub mod config;
 pub mod error;
 pub mod health;
 pub mod nemesis;
+pub mod node;
 pub mod repair;
 pub mod replica;
 pub mod stats;
@@ -64,8 +65,26 @@ pub mod system;
 pub mod timestamp;
 pub mod watchdog;
 
+/// One-stop imports for embedding MUSIC: the client-facing surface plus
+/// the runtime traits it is generic over.
+///
+/// ```
+/// use music::prelude::*;
+/// ```
+///
+/// Deployment wiring stays out: sim experiments import
+/// [`system::MusicSystemBuilder`], socket deployments [`node`].
+pub mod prelude {
+    pub use crate::client::{CriticalSection, MultiCriticalSection, MusicClient};
+    pub use crate::config::{MusicConfig, MusicConfigBuilder, PeekMode, PutMode, WriteMode};
+    pub use crate::error::{AcquireOutcome, CriticalError, MusicError};
+    pub use crate::replica::MusicReplica;
+    pub use crate::stats::{OpKind, OpStats};
+    pub use music_runtime::{RtJoinHandle, Runtime, SimRuntime, Transport};
+}
+
 pub use client::{CriticalSection, MultiCriticalSection, MusicClient};
-pub use config::{MusicConfig, PeekMode, PutMode, WriteMode};
+pub use config::{MusicConfig, MusicConfigBuilder, PeekMode, PutMode, WriteMode};
 pub use error::{AcquireOutcome, AttemptTrail, CriticalError, MusicError};
 pub use health::ReplicaHealth;
 pub use music_lockstore::LockRef;

@@ -6,12 +6,22 @@
 //! requests and reports success or failure. All ECF guarantees come from
 //! the algorithms here plus the stores' semantics — replicas themselves
 //! hold no authoritative state and can be lost or bypassed freely.
+//!
+//! The replica is generic over the runtime split (see `music-runtime`): a
+//! [`Runtime`] `RT` supplies the clock, timers, and task spawning, and two
+//! [`TableApi`] back-ends `D`/`L` supply the data table and the lock-store
+//! table. The defaults (`Sim` + [`ReplicatedTable`]) are the deterministic
+//! simulator deployment every test runs on; `music-node`/`music-load` run
+//! the same code over `NativeRuntime` + `RemoteTable`.
+
+use std::fmt;
 
 use bytes::Bytes;
 
-use music_lockstore::{EnqueueOutcome, LockRef, LockStore};
-use music_quorumstore::{DataRow, Put, ReplicatedTable, RowSnapshot, StoreError};
-use music_simnet::executor::JoinHandle;
+use music_lockstore::{EnqueueOutcome, LockPartition, LockRef, LockStore};
+use music_quorumstore::{DataRow, Put, ReplicatedTable, RowSnapshot, StoreError, TableApi};
+use music_runtime::Runtime;
+use music_simnet::executor::Sim;
 use music_simnet::net::{Network, NodeId};
 use music_simnet::time::{SimDuration, SimTime};
 use music_telemetry::{EventKind, Recorder, Scope, SpanId, SpanPhase, TraceId};
@@ -51,23 +61,54 @@ fn flag_is_true(snap: &RowSnapshot) -> bool {
     snap.value.as_deref() == Some(b"1")
 }
 
-/// A MUSIC replica bound to a network node.
+/// A MUSIC replica bound to a node identity.
 ///
 /// Cheap to clone; all clones share the same back-end handles and stats
-/// sink. Build deployments with [`crate::system::MusicSystemBuilder`].
-#[derive(Clone, Debug)]
-pub struct MusicReplica {
+/// sink. Build simulated deployments with
+/// [`crate::system::MusicSystemBuilder`]; build socket deployments with
+/// [`MusicReplica::with_runtime`] over a `RemoteTable`.
+pub struct MusicReplica<RT = Sim, D = ReplicatedTable<DataRow>, L = ReplicatedTable<LockPartition>>
+{
     node: NodeId,
-    net: Network,
-    locks: LockStore,
-    data: ReplicatedTable<DataRow>,
+    rt: RT,
+    site: u32,
+    recorder: Recorder,
+    locks: LockStore<L>,
+    data: D,
     v2s: V2s,
     cfg: MusicConfig,
     stats: OpStats,
 }
 
+impl<RT: Clone, D: Clone, L: Clone> Clone for MusicReplica<RT, D, L> {
+    fn clone(&self) -> Self {
+        MusicReplica {
+            node: self.node,
+            rt: self.rt.clone(),
+            site: self.site,
+            recorder: self.recorder.clone(),
+            locks: self.locks.clone(),
+            data: self.data.clone(),
+            v2s: self.v2s,
+            cfg: self.cfg.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl<RT, D, L> fmt::Debug for MusicReplica<RT, D, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MusicReplica")
+            .field("node", &self.node)
+            .field("site", &self.site)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
 impl MusicReplica {
-    /// Creates a replica at `node` over shared store handles.
+    /// Creates a simulated replica at `node` over shared store handles,
+    /// inheriting clock, site placement, and recorder from the network.
     pub fn new(
         node: NodeId,
         net: Network,
@@ -76,9 +117,38 @@ impl MusicReplica {
         cfg: MusicConfig,
         stats: OpStats,
     ) -> Self {
+        let rt = net.sim().clone();
+        let site = net.site_of(node).0;
+        let recorder = net.recorder();
+        MusicReplica::with_runtime(node, rt, site, recorder, locks, data, cfg, stats)
+    }
+}
+
+impl<RT, D, L> MusicReplica<RT, D, L>
+where
+    RT: Runtime,
+    D: TableApi<DataRow, Rt = RT>,
+    L: TableApi<LockPartition, Rt = RT>,
+{
+    /// Creates a replica over an explicit runtime and back-end pair; the
+    /// runtime-generic twin of [`MusicReplica::new`]. `site` attributes
+    /// grant latency and phase spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_runtime(
+        node: NodeId,
+        rt: RT,
+        site: u32,
+        recorder: Recorder,
+        locks: LockStore<L>,
+        data: D,
+        cfg: MusicConfig,
+        stats: OpStats,
+    ) -> Self {
         MusicReplica {
             node,
-            net,
+            rt,
+            site,
+            recorder,
             locks,
             data,
             v2s: V2s::new(cfg.t_max),
@@ -87,7 +157,7 @@ impl MusicReplica {
         }
     }
 
-    /// The network node this replica runs at.
+    /// The node this replica runs at.
     pub fn node(&self) -> NodeId {
         self.node
     }
@@ -95,7 +165,7 @@ impl MusicReplica {
     /// The site this replica's node lives at (per-site attribution of
     /// grant latency and phase spans).
     pub fn site(&self) -> u32 {
-        self.net.site_of(self.node).0
+        self.site
     }
 
     /// This replica's configuration.
@@ -109,38 +179,47 @@ impl MusicReplica {
     }
 
     /// The lock store handle (instrumentation/tests).
-    pub fn locks(&self) -> &LockStore {
+    pub fn locks(&self) -> &LockStore<L> {
         &self.locks
     }
 
     /// The data table handle (instrumentation/tests).
-    pub fn data(&self) -> &ReplicatedTable<DataRow> {
+    pub fn data(&self) -> &D {
         &self.data
     }
 
-    fn now(&self) -> SimTime {
-        self.net.sim().now()
+    /// The runtime this replica schedules on.
+    pub fn runtime(&self) -> &RT {
+        &self.rt
     }
 
-    /// The telemetry recorder shared through the network (see
+    fn now(&self) -> SimTime {
+        self.rt.now()
+    }
+
+    /// The telemetry recorder shared through the deployment (see
     /// [`crate::system::MusicSystemBuilder::telemetry`]).
     pub fn recorder(&self) -> Recorder {
-        self.net.recorder()
+        self.recorder.clone()
     }
 
     /// Emits a telemetry event attributed to this replica's node, under the
     /// running task's trace tag. No-op unless tracing.
     fn emit(&self, kind: impl FnOnce() -> EventKind) {
-        let rec = self.net.recorder();
+        let rec = &self.recorder;
         if rec.is_tracing() {
-            let sim = self.net.sim();
-            rec.record(sim.now().as_micros(), sim.trace(), self.node.0, kind());
+            rec.record(
+                self.rt.now().as_micros(),
+                self.rt.trace(),
+                self.node.0,
+                kind(),
+            );
         }
     }
 
     /// Bumps a per-node counter. No-op when the recorder is off.
     fn count(&self, name: &'static str, n: u64) {
-        let rec = self.net.recorder();
+        let rec = &self.recorder;
         if rec.is_on() {
             rec.count(Scope::Node(self.node.0), name, n);
         }
@@ -151,16 +230,15 @@ impl MusicReplica {
     /// and emits `opStart`. Returns the tag to restore in
     /// [`MusicReplica::span_end`]. No-op (returns 0) unless tracing.
     fn span_start(&self, op: &'static str, key: &str) -> TraceId {
-        let rec = self.net.recorder();
+        let rec = &self.recorder;
         if !rec.is_tracing() {
             return 0;
         }
-        let sim = self.net.sim();
-        let prev = sim.trace();
+        let prev = self.rt.trace();
         let trace = rec.next_trace();
-        sim.set_trace(trace);
+        self.rt.set_trace(trace);
         rec.record(
-            sim.now().as_micros(),
+            self.rt.now().as_micros(),
             trace,
             self.node.0,
             EventKind::OpStart {
@@ -174,14 +252,13 @@ impl MusicReplica {
     /// Closes an operation span: emits `opEnd` and restores the task's
     /// previous trace tag.
     fn span_end(&self, prev: TraceId, op: &'static str, key: &str, ok: bool) {
-        let rec = self.net.recorder();
+        let rec = &self.recorder;
         if !rec.is_tracing() {
             return;
         }
-        let sim = self.net.sim();
         rec.record(
-            sim.now().as_micros(),
-            sim.trace(),
+            self.rt.now().as_micros(),
+            self.rt.trace(),
             self.node.0,
             EventKind::OpEnd {
                 op,
@@ -189,29 +266,28 @@ impl MusicReplica {
                 ok,
             },
         );
-        sim.set_trace(prev);
+        self.rt.set_trace(prev);
     }
 
     /// Opens a phase span parented on the task's current span (no-op
     /// unless tracing). Returns `(span, previous tag)` for
     /// [`MusicReplica::phase_close`].
     fn phase_open(&self, phase: SpanPhase, key: &str) -> (SpanId, u64) {
-        let rec = self.net.recorder();
+        let rec = &self.recorder;
         if !rec.is_tracing() {
             return (0, 0);
         }
-        let sim = self.net.sim();
-        let parent = sim.span();
+        let parent = self.rt.span();
         let id = rec.span_open(
-            sim.now().as_micros(),
+            self.rt.now().as_micros(),
             parent,
-            sim.trace(),
+            self.rt.trace(),
             self.node.0,
             self.site(),
             phase,
             key,
         );
-        sim.set_span(id);
+        self.rt.set_span(id);
         (id, parent)
     }
 
@@ -221,9 +297,8 @@ impl MusicReplica {
         if id == 0 {
             return;
         }
-        let sim = self.net.sim();
-        self.net.recorder().span_close(sim.now().as_micros(), id);
-        sim.set_span(parent);
+        self.recorder.span_close(self.rt.now().as_micros(), id);
+        self.rt.set_span(parent);
     }
 
     /// Lock-queue head view per the configured [`PeekMode`].
@@ -512,8 +587,7 @@ impl MusicReplica {
             let data = self.data.clone();
             let node = self.node;
             let skey = synch_key(key);
-            self.net
-                .sim()
+            self.rt
                 .spawn(async move { data.read_quorum(node, &skey).await })
         };
         let entry = match self.locks.peek_quorum(self.node, key).await? {
@@ -694,7 +768,7 @@ impl MusicReplica {
         key: &str,
         lock_ref: LockRef,
         value: Bytes,
-    ) -> Result<PendingPut, CriticalError> {
+    ) -> Result<PendingPut<RT>, CriticalError> {
         Self::assert_client_key(key);
         let span = self.span_start("criticalPut", key);
         let t0 = self.now();
@@ -721,7 +795,7 @@ impl MusicReplica {
         let write =
             self.data
                 .write_quorum_spawned(self.node, key, Put::value(value.clone()), stamp);
-        let handle = self.net.sim().spawn(async move {
+        let handle = self.rt.spawn(async move {
             let r = write.await;
             if r.is_ok() {
                 me.stats.record(OpKind::CriticalPut, me.now() - t0);
@@ -1082,14 +1156,22 @@ impl MusicReplica {
 ///
 /// Dropping a pending put does **not** cancel the write — it keeps
 /// propagating, exactly like a crashed holder's in-flight put.
-#[derive(Debug)]
-pub struct PendingPut {
+pub struct PendingPut<RT: Runtime = Sim> {
     value: Bytes,
     elapsed: SimDuration,
-    handle: JoinHandle<Result<(), CriticalError>>,
+    handle: RT::JoinHandle<Result<(), CriticalError>>,
 }
 
-impl PendingPut {
+impl<RT: Runtime> fmt::Debug for PendingPut<RT> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PendingPut")
+            .field("value", &self.value)
+            .field("elapsed", &self.elapsed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<RT: Runtime> PendingPut<RT> {
     /// The value being written (for retries).
     pub fn value(&self) -> &Bytes {
         &self.value

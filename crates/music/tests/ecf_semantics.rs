@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use music::{
-    AcquireOutcome, CriticalError, MusicConfig, MusicSystem, MusicSystemBuilder, Watchdog,
+    AcquireOutcome, CriticalError, MusicConfig, MusicSystem, MusicSystemBuilder, PutMode, Watchdog,
 };
 use music_simnet::prelude::*;
 
@@ -396,7 +396,7 @@ fn mscp_mode_critical_puts_use_lwt() {
     let sys = MusicSystemBuilder::new()
         .profile(LatencyProfile::one_us())
         .net_config(quiet_net())
-        .music_config(MusicConfig::mscp())
+        .music_config(MusicConfig::builder().put_mode(PutMode::Lwt).build())
         .seed(4)
         .build();
     let sim = sys.sim().clone();

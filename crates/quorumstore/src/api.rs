@@ -1,0 +1,179 @@
+//! [`TableApi`]: the coordinator-facing store interface the MUSIC protocol
+//! layers are generic over.
+//!
+//! The MUSIC replica and the lock store do not care *where* a table's
+//! replicas live — they need quorum reads/writes, LWTs, and scans with the
+//! paper's semantics. This trait captures exactly that surface, with two
+//! implementations:
+//!
+//! * [`ReplicatedTable`] — replicas held in-process and reached over the
+//!   deterministic simulated network. Every method delegates verbatim to
+//!   the existing inherent method, so protocol code compiled against this
+//!   impl behaves byte-for-byte like code that called the table directly.
+//! * [`RemoteTable`](crate::remote::RemoteTable) — replicas hosted by other
+//!   processes (`music-node`) and reached through a
+//!   [`Transport`](music_runtime::Transport): real sockets in production,
+//!   the simulated transport in tests.
+//!
+//! The associated [`TableApi::Rt`] runtime carries the clock, timers, and
+//! spawner the protocol layer above uses for its own timeouts and
+//! background tasks, so one type parameter pins both the store flavour and
+//! the runtime flavour.
+
+use std::fmt;
+
+use music_runtime::Runtime;
+use music_simnet::executor::Sim;
+use music_simnet::net::NodeId;
+use music_telemetry::Recorder;
+
+use crate::error::StoreError;
+use crate::partition::Partition;
+use crate::stamp::WriteStamp;
+use crate::table::{LwtOutcome, ReplicatedTable};
+
+/// The coordinator-facing surface of a replicated table of `P` partitions.
+///
+/// Methods mirror [`ReplicatedTable`]'s inherent operations one-for-one;
+/// see those for full semantics and failure modes. Implementations are
+/// cheap-to-clone handles (like the stores they front).
+#[allow(async_fn_in_trait)] // single-threaded runtimes: futures are !Send by design
+pub trait TableApi<P: Partition>: Clone + fmt::Debug + 'static {
+    /// The runtime this table's coordinator operations run on.
+    type Rt: Runtime;
+
+    /// The runtime handle (clock/timers/spawner) protocol layers share.
+    fn rt(&self) -> &Self::Rt;
+
+    /// The telemetry recorder operations report into.
+    fn recorder(&self) -> Recorder;
+
+    /// Eventual-consistency read (CL=ONE); see [`ReplicatedTable::read_one`].
+    async fn read_one(&self, coord: NodeId, key: &str) -> Result<P::Snapshot, StoreError>;
+
+    /// Quorum read (`dsGetQuorum`); see [`ReplicatedTable::read_quorum`].
+    async fn read_quorum(&self, coord: NodeId, key: &str) -> Result<P::Snapshot, StoreError>;
+
+    /// Eventual-consistency write (CL=ONE); see [`ReplicatedTable::write_one`].
+    async fn write_one(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> Result<(), StoreError>;
+
+    /// Quorum write (`dsPutQuorum`); see [`ReplicatedTable::write_quorum`].
+    async fn write_quorum(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> Result<(), StoreError>;
+
+    /// Starts a quorum write without awaiting it; see
+    /// [`ReplicatedTable::write_quorum_spawned`].
+    fn write_quorum_spawned(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> <Self::Rt as Runtime>::JoinHandle<Result<(), StoreError>>;
+
+    /// Four-phase light-weight transaction; see [`ReplicatedTable::lwt`].
+    async fn lwt(
+        &self,
+        coord: NodeId,
+        key: &str,
+        decide: impl FnMut(&P::Snapshot, WriteStamp) -> Option<(P::Mutation, WriteStamp)>,
+    ) -> Result<LwtOutcome<P>, StoreError>;
+
+    /// Sorted live keys at the nearest replica; see
+    /// [`ReplicatedTable::list_keys_local`].
+    async fn list_keys_local(&self, coord: NodeId) -> Result<Vec<String>, StoreError>;
+
+    /// Range scan at the nearest replica; see
+    /// [`ReplicatedTable::scan_local`].
+    ///
+    /// Remote implementations ship whole partitions over the wire (as a
+    /// real range scan returns rows) and run `extract` client-side, so the
+    /// extractor never crosses a socket.
+    async fn scan_local<R: 'static>(
+        &self,
+        coord: NodeId,
+        extract: impl Fn(&P) -> R + 'static,
+    ) -> Result<Vec<(String, R)>, StoreError>;
+}
+
+impl<P: Partition> TableApi<P> for ReplicatedTable<P> {
+    type Rt = Sim;
+
+    fn rt(&self) -> &Sim {
+        self.net().sim()
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.net().recorder()
+    }
+
+    async fn read_one(&self, coord: NodeId, key: &str) -> Result<P::Snapshot, StoreError> {
+        ReplicatedTable::read_one(self, coord, key).await
+    }
+
+    async fn read_quorum(&self, coord: NodeId, key: &str) -> Result<P::Snapshot, StoreError> {
+        ReplicatedTable::read_quorum(self, coord, key).await
+    }
+
+    async fn write_one(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> Result<(), StoreError> {
+        ReplicatedTable::write_one(self, coord, key, mutation, stamp).await
+    }
+
+    async fn write_quorum(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> Result<(), StoreError> {
+        ReplicatedTable::write_quorum(self, coord, key, mutation, stamp).await
+    }
+
+    fn write_quorum_spawned(
+        &self,
+        coord: NodeId,
+        key: &str,
+        mutation: P::Mutation,
+        stamp: WriteStamp,
+    ) -> <Sim as Runtime>::JoinHandle<Result<(), StoreError>> {
+        ReplicatedTable::write_quorum_spawned(self, coord, key, mutation, stamp)
+    }
+
+    async fn lwt(
+        &self,
+        coord: NodeId,
+        key: &str,
+        decide: impl FnMut(&P::Snapshot, WriteStamp) -> Option<(P::Mutation, WriteStamp)>,
+    ) -> Result<LwtOutcome<P>, StoreError> {
+        ReplicatedTable::lwt(self, coord, key, decide).await
+    }
+
+    async fn list_keys_local(&self, coord: NodeId) -> Result<Vec<String>, StoreError> {
+        ReplicatedTable::list_keys_local(self, coord).await
+    }
+
+    async fn scan_local<R: 'static>(
+        &self,
+        coord: NodeId,
+        extract: impl Fn(&P) -> R + 'static,
+    ) -> Result<Vec<(String, R)>, StoreError> {
+        ReplicatedTable::scan_local(self, coord, extract).await
+    }
+}

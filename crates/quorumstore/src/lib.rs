@@ -14,7 +14,13 @@
 //! the simulated network with the same four-phase structure as Cassandra's
 //! light-weight transactions.
 //!
-//! ## Quickstart
+//! Protocol layers should program against [`TableApi`], the runtime-generic
+//! entry point: [`ReplicatedTable`] implements it over the deterministic
+//! simulator, and [`RemoteTable`] implements it over a
+//! [`Transport`](music_runtime::Transport) (real sockets via `music-node`,
+//! or the simulated transport in tests).
+//!
+//! ## Quickstart (simulated runtime)
 //!
 //! ```
 //! use music_quorumstore::{DataRow, Put, ReplicatedTable, TableConfig, WriteStamp};
@@ -44,14 +50,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod error;
 pub mod partition;
+pub mod remote;
 pub mod ring;
 pub mod stamp;
 pub mod table;
 
+pub use api::TableApi;
 pub use error::StoreError;
 pub use partition::{DataRow, Partition, Put, RowSnapshot, HEADER_BYTES};
+pub use remote::{serve_frame, RemoteTable, StoreReq};
 pub use ring::{key_hash, Placement};
 pub use stamp::WriteStamp;
-pub use table::{LwtOutcome, Proposal, ReplicatedTable, TableConfig};
+pub use table::{LwtOutcome, Proposal, ReplicatedTable, TableConfig, TableReplica};

@@ -102,37 +102,76 @@ impl<P: Partition> fmt::Debug for LwtOutcome<P> {
     }
 }
 
-struct TableReplica<P: Partition> {
+/// Replica-side state of one store node: its partitions plus the per-key
+/// Paxos acceptors the LWT path drives. In the simulation every replica
+/// lives inside [`ReplicatedTable`]; a real deployment hosts one
+/// `TableReplica` per `music-node` process and serves it over sockets via
+/// [`crate::remote::serve_frame`].
+pub struct TableReplica<P: Partition> {
     partitions: HashMap<String, P>,
     paxos: HashMap<String, Acceptor<Proposal<P>>>,
 }
 
+impl<P: Partition> Default for TableReplica<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<P: Partition> TableReplica<P> {
-    fn new() -> Self {
+    /// An empty replica.
+    pub fn new() -> Self {
         TableReplica {
             partitions: HashMap::new(),
             paxos: HashMap::new(),
         }
     }
 
-    fn snapshot(&mut self, key: &str) -> P::Snapshot {
+    /// Snapshot of `key`'s partition (creating it empty if absent).
+    pub fn snapshot(&mut self, key: &str) -> P::Snapshot {
         self.partitions
             .entry(key.to_string())
             .or_default()
             .snapshot()
     }
 
-    fn apply(&mut self, key: &str, mutation: &P::Mutation, stamp: WriteStamp) {
+    /// Applies a stamped mutation to `key`'s partition.
+    pub fn apply(&mut self, key: &str, mutation: &P::Mutation, stamp: WriteStamp) {
         self.partitions
             .entry(key.to_string())
             .or_default()
             .apply(mutation, stamp);
     }
 
-    fn acceptor(&mut self, key: &str) -> &mut Acceptor<Proposal<P>> {
+    /// The Paxos acceptor guarding `key`'s LWT rounds.
+    pub fn acceptor(&mut self, key: &str) -> &mut Acceptor<Proposal<P>> {
         self.paxos
             .entry(key.to_string())
             .or_insert_with(Acceptor::new)
+    }
+
+    /// Sorted keys of all live partitions (the full-table scan primitive).
+    pub fn live_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .partitions
+            .iter()
+            .filter(|(_, p)| p.exists())
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// All live partitions, sorted by key (the range-scan primitive).
+    pub fn live_partitions(&self) -> Vec<(String, P)> {
+        let mut rows: Vec<(String, P)> = self
+            .partitions
+            .iter()
+            .filter(|(_, p)| p.exists())
+            .map(|(k, p)| (k.clone(), p.clone()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
     }
 }
 

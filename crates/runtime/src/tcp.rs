@@ -1,0 +1,565 @@
+//! [`TcpTransport`]: request/response messaging over real TCP sockets.
+//!
+//! Frames are length-prefixed little-endian: `[u32 len][u64 corr][payload]`
+//! where `len` counts the correlation id plus payload. Each peer pair uses
+//! one outbound connection per direction — requests flow out on the
+//! initiator's connection and responses return on the same socket, matched
+//! by correlation id.
+//!
+//! Threading model: the protocol state machines run single-threaded on a
+//! [`NativeRuntime`]; this module adds per-connection OS threads that only
+//! move bytes — a reader and a writer per established connection, plus an
+//! accept loop per server. Inbound requests are queued to the executor
+//! thread and served there by [`TcpServer`]'s drain task, so replica state
+//! needs no locks.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use music_simnet::net::NodeId;
+use music_simnet::time::{SimDuration, SimTime};
+
+use crate::native::NativeRuntime;
+use crate::rt::Runtime;
+use crate::transport::{RequestFuture, Transport, TransportError};
+
+/// Largest accepted frame (a snapshot of a huge partition still fits).
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<(u64, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(8..=MAX_FRAME).contains(&len) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad frame length",
+        ));
+    }
+    let mut corr_buf = [0u8; 8];
+    stream.read_exact(&mut corr_buf)?;
+    let mut payload = vec![0u8; len as usize - 8];
+    stream.read_exact(&mut payload)?;
+    Ok(Some((u64::from_le_bytes(corr_buf), payload)))
+}
+
+fn frame(corr: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + payload.len());
+    buf.extend_from_slice(&((payload.len() as u32 + 8).to_le_bytes()));
+    buf.extend_from_slice(&corr.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Spawns the writer thread for one connection: drains framed messages
+/// from a channel onto the socket.
+fn spawn_writer(mut stream: TcpStream, label: String) -> Sender<Vec<u8>> {
+    let (tx, rx) = channel::<Vec<u8>>();
+    std::thread::Builder::new()
+        .name(format!("tcp-writer-{label}"))
+        .spawn(move || {
+            while let Ok(buf) = rx.recv() {
+                if stream.write_all(&buf).is_err() {
+                    break;
+                }
+            }
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        })
+        .expect("spawn writer thread");
+    tx
+}
+
+/// One in-flight outbound request.
+#[derive(Default)]
+struct Pending {
+    result: Option<Result<Vec<u8>, TransportError>>,
+    waker: Option<Waker>,
+}
+
+type PendingMap = Arc<Mutex<HashMap<u64, Pending>>>;
+
+/// An established outbound connection.
+struct Conn {
+    tx: Sender<Vec<u8>>,
+    pending: PendingMap,
+    dead: Arc<AtomicBool>,
+}
+
+/// Future resolving to a response payload (or transport failure).
+struct ResponseFuture {
+    pending: PendingMap,
+    corr: u64,
+}
+
+impl std::future::Future for ResponseFuture {
+    type Output = Result<Vec<u8>, TransportError>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut map = self.pending.lock().expect("pending map poisoned");
+        match map.get_mut(&self.corr) {
+            None => Poll::Ready(Err(TransportError::Closed)),
+            Some(slot) => match slot.result.take() {
+                Some(res) => {
+                    map.remove(&self.corr);
+                    Poll::Ready(res)
+                }
+                None => {
+                    slot.waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            },
+        }
+    }
+}
+
+impl Drop for ResponseFuture {
+    fn drop(&mut self) {
+        // Abandoned (timed out) request: forget the correlation slot.
+        if let Ok(mut map) = self.pending.lock() {
+            map.remove(&self.corr);
+        }
+    }
+}
+
+struct TcpInner {
+    rt: NativeRuntime,
+    addrs: HashMap<u32, SocketAddr>,
+    conns: Mutex<HashMap<u32, Conn>>,
+    next_corr: AtomicU64,
+}
+
+/// The socket-backed [`Transport`]. Clones share one connection pool.
+///
+/// Lives on the executor thread only (like the protocol state it serves);
+/// the IO threads it spawns share the per-connection maps, not this handle.
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Rc<TcpInner>,
+}
+
+impl TcpTransport {
+    /// Creates a transport over `rt` that reaches each node id at the given
+    /// socket address.
+    pub fn new(rt: NativeRuntime, addrs: HashMap<u32, SocketAddr>) -> Self {
+        TcpTransport {
+            inner: Rc::new(TcpInner {
+                rt,
+                addrs,
+                conns: Mutex::new(HashMap::new()),
+                next_corr: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The addresses this transport routes to.
+    pub fn addrs(&self) -> &HashMap<u32, SocketAddr> {
+        &self.inner.addrs
+    }
+
+    /// Drops every pooled connection (used at shutdown; writer/reader
+    /// threads exit as their sockets close).
+    pub fn disconnect_all(&self) {
+        self.inner.conns.lock().expect("conn pool poisoned").clear();
+    }
+
+    fn connect(&self, to: u32) -> Result<(), TransportError> {
+        let addr = *self
+            .inner
+            .addrs
+            .get(&to)
+            .ok_or(TransportError::UnknownNode(to))?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+            .map_err(|e| TransportError::Connect(format!("{addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let dead = Arc::new(AtomicBool::new(false));
+        let tx = spawn_writer(
+            stream
+                .try_clone()
+                .map_err(|e| TransportError::Connect(format!("clone stream: {e}")))?,
+            format!("to-{to}"),
+        );
+        // Reader: complete pending requests as responses arrive; on EOF or
+        // error, fail everything still outstanding.
+        {
+            let pending = Arc::clone(&pending);
+            let dead = Arc::clone(&dead);
+            let mut stream = stream;
+            std::thread::Builder::new()
+                .name(format!("tcp-reader-to-{to}"))
+                .spawn(move || {
+                    while let Ok(Some((corr, payload))) = read_frame(&mut stream) {
+                        let mut map = pending.lock().expect("pending map poisoned");
+                        if let Some(slot) = map.get_mut(&corr) {
+                            slot.result = Some(Ok(payload));
+                            if let Some(w) = slot.waker.take() {
+                                w.wake();
+                            }
+                        }
+                    }
+                    dead.store(true, Ordering::Release);
+                    let mut map = pending.lock().expect("pending map poisoned");
+                    for (_, slot) in map.iter_mut() {
+                        if slot.result.is_none() {
+                            slot.result = Some(Err(TransportError::Closed));
+                            if let Some(w) = slot.waker.take() {
+                                w.wake();
+                            }
+                        }
+                    }
+                })
+                .expect("spawn reader thread");
+        }
+        self.inner
+            .conns
+            .lock()
+            .expect("conn pool poisoned")
+            .insert(to, Conn { tx, pending, dead });
+        Ok(())
+    }
+
+    fn send_request(&self, to: u32, payload: &[u8]) -> Result<ResponseFuture, TransportError> {
+        // Reconnect once if the pooled connection is missing or dead.
+        for _ in 0..2 {
+            let needs_connect = {
+                let conns = self.inner.conns.lock().expect("conn pool poisoned");
+                !matches!(conns.get(&to), Some(c) if !c.dead.load(Ordering::Acquire))
+            };
+            if needs_connect {
+                self.connect(to)?;
+            }
+            let corr = self.inner.next_corr.fetch_add(1, Ordering::Relaxed);
+            let (tx, pending) = {
+                let conns = self.inner.conns.lock().expect("conn pool poisoned");
+                let c = conns.get(&to).expect("just connected");
+                (c.tx.clone(), Arc::clone(&c.pending))
+            };
+            pending
+                .lock()
+                .expect("pending map poisoned")
+                .insert(corr, Pending::default());
+            if tx.send(frame(corr, payload)).is_ok() {
+                return Ok(ResponseFuture { pending, corr });
+            }
+            // Writer gone: drop the stale conn and retry the loop once.
+            pending.lock().expect("pending map poisoned").remove(&corr);
+            self.inner
+                .conns
+                .lock()
+                .expect("conn pool poisoned")
+                .remove(&to);
+        }
+        Err(TransportError::Closed)
+    }
+}
+
+impl Runtime for TcpTransport {
+    type Sleep = <NativeRuntime as Runtime>::Sleep;
+    type JoinHandle<T: 'static> = <NativeRuntime as Runtime>::JoinHandle<T>;
+
+    fn now(&self) -> SimTime {
+        self.inner.rt.now()
+    }
+    fn sleep(&self, dur: SimDuration) -> Self::Sleep {
+        self.inner.rt.sleep(dur)
+    }
+    fn sleep_until(&self, deadline: SimTime) -> Self::Sleep {
+        self.inner.rt.sleep_until(deadline)
+    }
+    fn spawn<F>(&self, future: F) -> Self::JoinHandle<F::Output>
+    where
+        F: std::future::Future + 'static,
+        F::Output: 'static,
+    {
+        self.inner.rt.spawn(future)
+    }
+    fn trace(&self) -> u64 {
+        self.inner.rt.trace()
+    }
+    fn set_trace(&self, tag: u64) {
+        self.inner.rt.set_trace(tag)
+    }
+    fn span(&self) -> u64 {
+        self.inner.rt.span()
+    }
+    fn set_span(&self, tag: u64) {
+        self.inner.rt.set_span(tag)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&self, _from: NodeId, to: NodeId, payload: Vec<u8>) -> RequestFuture {
+        match self.send_request(to.0, &payload) {
+            Ok(fut) => Box::pin(fut),
+            Err(e) => Box::pin(std::future::ready(Err(e))),
+        }
+    }
+}
+
+/// An inbound request waiting to be served on the executor thread.
+struct InboundReq {
+    corr: u64,
+    payload: Vec<u8>,
+    reply: Sender<Vec<u8>>,
+}
+
+struct ServerShared {
+    inbox: Mutex<VecDeque<InboundReq>>,
+    waker: Mutex<Option<Waker>>,
+    shutdown: AtomicBool,
+}
+
+impl ServerShared {
+    fn wake(&self) {
+        if let Some(w) = self.waker.lock().expect("server waker poisoned").take() {
+            w.wake();
+        }
+    }
+}
+
+/// Completes when the inbox is non-empty or shutdown was requested.
+struct InboxWait {
+    shared: Arc<ServerShared>,
+}
+
+impl std::future::Future for InboxWait {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.shared.shutdown.load(Ordering::Acquire)
+            || !self.shared.inbox.lock().expect("inbox poisoned").is_empty()
+        {
+            return Poll::Ready(());
+        }
+        *self.shared.waker.lock().expect("server waker poisoned") = Some(cx.waker().clone());
+        // Re-check after registering: an IO thread may have pushed between
+        // the emptiness check and the waker store.
+        if self.shared.shutdown.load(Ordering::Acquire)
+            || !self.shared.inbox.lock().expect("inbox poisoned").is_empty()
+        {
+            return Poll::Ready(());
+        }
+        Poll::Pending
+    }
+}
+
+/// A listening server: accepts connections and serves each inbound request
+/// on the executor thread through the registered handler.
+///
+/// `bind` is runtime-free (and the result is `Send`), so a caller can bind
+/// ports on a coordinating thread and hand each server to the thread that
+/// owns its [`NativeRuntime`].
+pub struct TcpServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+}
+
+impl TcpServer {
+    /// Binds `addr` (port 0 picks a free port) and starts the accept loop.
+    /// Requests are queued until [`TcpServer::serve`] installs a handler.
+    pub fn bind(addr: SocketAddr) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            inbox: Mutex::new(VecDeque::new()),
+            waker: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("tcp-accept-{local_addr}"))
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        stream.set_nodelay(true).ok();
+                        let peer = stream
+                            .peer_addr()
+                            .map(|a| a.to_string())
+                            .unwrap_or_else(|_| "?".into());
+                        let reply = spawn_writer(
+                            match stream.try_clone() {
+                                Ok(s) => s,
+                                Err(_) => continue,
+                            },
+                            format!("serve-{peer}"),
+                        );
+                        let shared = Arc::clone(&shared);
+                        let mut stream = stream;
+                        std::thread::Builder::new()
+                            .name(format!("tcp-serve-{peer}"))
+                            .spawn(move || {
+                                while let Ok(Some((corr, payload))) = read_frame(&mut stream) {
+                                    shared.inbox.lock().expect("inbox poisoned").push_back(
+                                        InboundReq {
+                                            corr,
+                                            payload,
+                                            reply: reply.clone(),
+                                        },
+                                    );
+                                    shared.wake();
+                                }
+                            })
+                            .expect("spawn serve thread");
+                    }
+                })
+                .expect("spawn accept thread");
+        }
+        Ok(TcpServer { shared, local_addr })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A flag shared with the drain task; setting it (via
+    /// [`TcpServer::shutdown`]) stops serving.
+    pub fn shutdown_handle(&self) -> TcpServerHandle {
+        TcpServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.local_addr,
+        }
+    }
+
+    /// Spawns the drain task on `rt`: every inbound request is passed to
+    /// `handler` (synchronously, on the executor thread) and its return
+    /// payload sent back. Returns a handle resolving at shutdown.
+    pub fn serve(
+        self,
+        rt: &NativeRuntime,
+        mut handler: impl FnMut(&[u8]) -> Vec<u8> + 'static,
+    ) -> <NativeRuntime as Runtime>::JoinHandle<()> {
+        let shared = Arc::clone(&self.shared);
+        rt.spawn(async move {
+            loop {
+                loop {
+                    let req = shared.inbox.lock().expect("inbox poisoned").pop_front();
+                    match req {
+                        Some(req) => {
+                            let resp = handler(&req.payload);
+                            // A send failure means the requester hung up;
+                            // nothing to do, drop the response.
+                            let _ = req.reply.send(frame(req.corr, &resp));
+                        }
+                        None => break,
+                    }
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                InboxWait {
+                    shared: Arc::clone(&shared),
+                }
+                .await;
+            }
+        })
+    }
+}
+
+/// Cross-thread shutdown handle for a [`TcpServer`].
+#[derive(Clone)]
+pub struct TcpServerHandle {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+}
+
+impl TcpServerHandle {
+    /// Stops the accept loop and the drain task. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_over_loopback() {
+        let server = TcpServer::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || {
+            let server_rt = NativeRuntime::new();
+            let done = server.serve(&server_rt, |req| {
+                let s = String::from_utf8(req.to_vec()).unwrap();
+                format!("ack:{s}").into_bytes()
+            });
+            server_rt.block_on(done);
+        });
+
+        let rt = NativeRuntime::new();
+        let t = TcpTransport::new(rt.clone(), HashMap::from([(1u32, addr)]));
+        let t2 = t.clone();
+        let out = rt.block_on(async move {
+            let raw = t2.request(NodeId(0), NodeId(1), b"ping".to_vec()).await?;
+            Ok::<_, TransportError>(String::from_utf8(raw).unwrap())
+        });
+        assert_eq!(out.unwrap(), "ack:ping");
+
+        handle.shutdown();
+        t.disconnect_all();
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_peer_errors_fast() {
+        let rt = NativeRuntime::new();
+        let t = TcpTransport::new(rt.clone(), HashMap::new());
+        let t2 = t.clone();
+        let out = rt.block_on(async move { t2.request(NodeId(0), NodeId(9), vec![0]).await });
+        assert_eq!(out, Err(TransportError::UnknownNode(9)));
+    }
+
+    #[test]
+    fn concurrent_requests_are_correlated() {
+        let server = TcpServer::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || {
+            let server_rt = NativeRuntime::new();
+            let done = server.serve(&server_rt, |req| req.to_vec()); // echo
+            server_rt.block_on(done);
+        });
+
+        let rt = NativeRuntime::new();
+        let t = TcpTransport::new(rt.clone(), HashMap::from([(1u32, addr)]));
+        let t2 = t.clone();
+        let outs = rt.block_on(async move {
+            let handles: Vec<_> = (0..16u8)
+                .map(|i| {
+                    let t3 = t2.clone();
+                    t2.spawn(async move { t3.request(NodeId(0), NodeId(1), vec![i; 3]).await })
+                })
+                .collect();
+            let mut outs = Vec::new();
+            for h in handles {
+                outs.push(h.await.unwrap());
+            }
+            outs
+        });
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out, &vec![i as u8; 3]);
+        }
+        handle.shutdown();
+        t.disconnect_all();
+        server_thread.join().unwrap();
+    }
+}

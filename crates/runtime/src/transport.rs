@@ -1,0 +1,132 @@
+//! The [`Transport`] sub-trait: typed request/response messaging between
+//! named nodes, plus the retry helper protocol code uses for reliable
+//! fan-out.
+//!
+//! Two implementations:
+//!
+//! * [`SimTransport`](crate::sim_transport::SimTransport) — routes payloads
+//!   through `music_simnet::net::Network`, so remote-style stores can be
+//!   exercised deterministically (latency profiles, partitions, loss) in
+//!   tests;
+//! * [`TcpTransport`](crate::tcp::TcpTransport) — length-prefixed frames
+//!   over real TCP sockets, used by `music-node` / `music-load`.
+
+use std::future::Future;
+use std::pin::Pin;
+
+use music_simnet::net::NodeId;
+use music_simnet::time::SimDuration;
+
+use crate::combinators::timeout;
+use crate::rt::Runtime;
+use crate::wire::{Wire, WireError};
+
+/// A request that could not be completed by the transport.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TransportError {
+    /// No route/connection to the peer could be established.
+    Connect(String),
+    /// The connection died before a response arrived.
+    Closed,
+    /// The peer answered, but the payload failed to decode.
+    Codec(&'static str),
+    /// The peer has no node serving the requested id.
+    UnknownNode(u32),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Connect(e) => write!(f, "connect failed: {e}"),
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::Codec(e) => write!(f, "codec error: {e}"),
+            TransportError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Codec(e.0)
+    }
+}
+
+/// Boxed response future (transports are object-shaped behind `Rc` cores;
+/// one allocation per request is noise next to a socket round trip).
+pub type RequestFuture = Pin<Box<dyn Future<Output = Result<Vec<u8>, TransportError>>>>;
+
+/// A [`Runtime`] that can also carry request/response payloads between
+/// named nodes. `from` names the requesting node (used for telemetry and,
+/// on the simulated transport, latency lookup); `to` the serving node.
+pub trait Transport: Runtime {
+    /// Sends `payload` to `to` and resolves with the response payload.
+    ///
+    /// The returned future is detached from `&self` (safe to spawn). A
+    /// response that never arrives manifests as an error on real sockets
+    /// and as a never-completing future on the simulated transport — either
+    /// way, callers guard with [`timeout`].
+    fn request(&self, from: NodeId, to: NodeId, payload: Vec<u8>) -> RequestFuture;
+}
+
+/// Typed request/response: encode, send, decode.
+pub async fn call<T, Req, Resp>(
+    transport: &T,
+    from: NodeId,
+    to: NodeId,
+    req: &Req,
+) -> Result<Resp, TransportError>
+where
+    T: Transport,
+    Req: Wire,
+    Resp: Wire,
+{
+    let raw = transport.request(from, to, req.to_vec()).await?;
+    Ok(Resp::from_slice(&raw)?)
+}
+
+/// Typed request with retries, mirroring the simulator's `rpc_reliable`:
+/// `attempts` tries total, re-sending after `retry_after` when an attempt
+/// errors or stalls. The last attempt is not raced against a timer (callers
+/// wrap whole operations in their own timeout).
+pub async fn call_reliable<T, Req, Resp>(
+    transport: &T,
+    from: NodeId,
+    to: NodeId,
+    req: &Req,
+    attempts: u32,
+    retry_after: SimDuration,
+) -> Result<Resp, TransportError>
+where
+    T: Transport,
+    Req: Wire,
+    Resp: Wire,
+{
+    let payload = req.to_vec();
+    let mut last_err = TransportError::Closed;
+    for attempt in 0..attempts.max(1) {
+        let last = attempt + 1 == attempts.max(1);
+        let fut = transport.request(from, to, payload.clone());
+        let outcome = if last {
+            Some(fut.await)
+        } else {
+            // A timeout (None) means the request stalled: retransmit.
+            timeout(transport, retry_after, fut).await.ok()
+        };
+        match outcome {
+            Some(Ok(raw)) => return Ok(Resp::from_slice(&raw)?),
+            Some(Err(e)) => {
+                last_err = e;
+                if last {
+                    break;
+                }
+                // Errored fast (e.g. connection refused): pace retries so a
+                // dead peer is not hammered in a tight loop.
+                transport.sleep(retry_after).await;
+            }
+            None => last_err = TransportError::Closed,
+        }
+    }
+    Err(last_err)
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Brings up a 3-node `music-node` cluster on localhost and drives critical
+# sections through it with `music-load` over real TCP sockets.
+#
+# Environment overrides:
+#   SECTIONS (default 120)  total critical sections to complete (>= 100
+#                           for the CI acceptance gate)
+#   CLIENTS  (default 3)    concurrent load clients
+#   KEYS     (default 4)    distinct counter keys under contention
+#   BASE_PORT (default 7401) first node port (nodes use three consecutive)
+#   LOG_DIR  (default mktemp) where node/load logs land
+#   SKIP_BUILD=1            reuse existing target/release binaries
+set -euo pipefail
+
+SECTIONS="${SECTIONS:-120}"
+CLIENTS="${CLIENTS:-3}"
+KEYS="${KEYS:-4}"
+BASE_PORT="${BASE_PORT:-7401}"
+LOG_DIR="${LOG_DIR:-$(mktemp -d /tmp/music-cluster.XXXXXX)}"
+
+cd "$(dirname "$0")/.."
+mkdir -p "$LOG_DIR"
+
+if [[ "${SKIP_BUILD:-0}" != "1" ]]; then
+  echo "local_cluster: building music-node / music-load (release)..."
+  cargo build --release -p music --bins
+fi
+BIN=target/release
+
+PEERS="1=127.0.0.1:${BASE_PORT},2=127.0.0.1:$((BASE_PORT + 1)),3=127.0.0.1:$((BASE_PORT + 2))"
+
+pids=()
+cleanup() {
+  for p in "${pids[@]}"; do
+    kill "$p" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+for i in 1 2 3; do
+  port=$((BASE_PORT + i - 1))
+  "$BIN/music-node" --id "$i" --listen "127.0.0.1:${port}" --peers "$PEERS" \
+    >"$LOG_DIR/node$i.log" 2>&1 &
+  pids+=("$!")
+done
+
+# Wait (up to ~10s per node) for each listener to accept connections.
+for i in 1 2 3; do
+  port=$((BASE_PORT + i - 1))
+  up=0
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/${port}") 2>/dev/null; then
+      exec 3>&- 3<&- || true
+      up=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [[ "$up" != "1" ]]; then
+    echo "local_cluster: node $i never listened on port $port" >&2
+    cat "$LOG_DIR/node$i.log" >&2 || true
+    exit 1
+  fi
+done
+
+echo "local_cluster: 3 nodes up on ports ${BASE_PORT}-$((BASE_PORT + 2)) (logs in $LOG_DIR)"
+echo "local_cluster: driving $SECTIONS sections ($CLIENTS clients, $KEYS keys)..."
+
+if "$BIN/music-load" --peers "$PEERS" --sections "$SECTIONS" \
+    --clients "$CLIENTS" --keys "$KEYS" 2>&1 | tee "$LOG_DIR/load.log"; then
+  echo "local_cluster: OK"
+else
+  status=$?
+  echo "local_cluster: FAILED (exit $status); node logs:" >&2
+  tail -n 40 "$LOG_DIR"/node*.log >&2 || true
+  exit "$status"
+fi
