@@ -24,7 +24,7 @@ use music_simnet::executor::ExecutorProfile;
 use music_simnet::time::SimDuration;
 use music_simnet::topology::LatencyProfile;
 use music_telemetry::span::{check, durations_by_phase};
-use music_telemetry::{Recorder, Scope, Span, SpanReport};
+use music_telemetry::{OnlineConfig, OnlineReport, Recorder, Scope, Span, SpanReport};
 use music_workload::sweep::payload;
 
 use crate::setup::{bench_music_config, bench_net_config, Mode};
@@ -195,6 +195,11 @@ pub struct ModeProfile {
     pub span_report: SpanReport,
     /// The raw span log (for Chrome-trace export and tests).
     pub spans: Vec<Span>,
+    /// Streaming checker verdict, computed while the workload ran.
+    pub online: OnlineReport,
+    /// Whether the streaming ECF core matched the offline replay of the
+    /// same event log exactly (it must).
+    pub online_matches_offline: bool,
 }
 
 /// Counter totals every BENCH artifact carries, in emission order.
@@ -224,6 +229,8 @@ pub fn run_mode_profile(key: ModeKey, opts: &ProfileOptions) -> ModeProfile {
     let sites = profile.site_count();
     let mut net = bench_net_config();
     net.service_fixed += SimDuration::from_micros(opts.handicap_us);
+    let recorder = Recorder::tracing();
+    recorder.attach_online(OnlineConfig::unbounded());
     let sys = MusicSystemBuilder::new()
         .profile(profile)
         .net_config(net)
@@ -232,7 +239,7 @@ pub fn run_mode_profile(key: ModeKey, opts: &ProfileOptions) -> ModeProfile {
         .replicas_per_site(1)
         .replication_factor(3)
         .seed(opts.seed)
-        .telemetry(Recorder::tracing())
+        .telemetry(recorder)
         .build();
     let sim = sys.sim().clone();
     let value = Bytes::from(payload(opts.value_size));
@@ -300,6 +307,11 @@ pub fn run_mode_profile(key: ModeKey, opts: &ProfileOptions) -> ModeProfile {
     let snapshot = sys.recorder().metrics();
     let spans = sys.recorder().spans();
     let span_report = check(&spans);
+    let online = sys
+        .recorder()
+        .online_report()
+        .expect("streaming checker attached above");
+    let online_matches_offline = online.ecf == music_telemetry::check(&sys.recorder().events());
     let phases = durations_by_phase(&spans)
         .into_iter()
         .map(|(name, samples)| (name, PhaseStats::from_samples(samples)))
@@ -336,6 +348,8 @@ pub fn run_mode_profile(key: ModeKey, opts: &ProfileOptions) -> ModeProfile {
         sites: site_rows,
         span_report,
         spans,
+        online,
+        online_matches_offline,
     }
 }
 
@@ -463,10 +477,19 @@ pub fn bench_json(name: &str, opts: &ProfileOptions, modes: &[ModeProfile]) -> S
         out.push_str("      },\n");
         let _ = writeln!(
             out,
-            "      \"spans\": {{\"total\": {}, \"unclosed\": {}, \"ok\": {}}}",
+            "      \"spans\": {{\"total\": {}, \"unclosed\": {}, \"ok\": {}}},",
             m.span_report.spans,
             m.span_report.unclosed,
             m.span_report.ok()
+        );
+        let _ = writeln!(
+            out,
+            "      \"online\": {{\"ok\": {}, \"ecf_equal\": {}, \"queue_checked\": {}, \
+             \"queue_violations\": {}}}",
+            m.online.ok(),
+            m.online_matches_offline,
+            m.online.queue_checked,
+            m.online.queue_violations.len()
         );
         out.push_str(if i + 1 < modes.len() {
             "    },\n"

@@ -8,8 +8,17 @@
 //! counter values must sum to exactly the number of sections completed:
 //! any lost update, phantom grant, or stale read shows up as a mismatch.
 //!
+//! `--online-sample N` additionally streams every protocol event through
+//! the in-process online checker (ECF + lock-queue refinement) while the
+//! load runs, checking keys whose digest is divisible by `N` in O(live
+//! keys) memory — no event log is stored. `--retries K` retries the
+//! *idempotent-safe* steps (enter, get, release) up to `K` times per
+//! section; puts are never retried, because a timed-out put may have
+//! landed and redoing it in a fresh section would double-increment.
+//!
 //! Exits 0 only if every requested section completed, zero protocol
-//! errors were observed, and the final counters verify.
+//! errors were observed, the final counters verify, and (when sampling)
+//! the online checker reports no violation.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -18,15 +27,17 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use music::node::{remote_client, LoadConfig, RemoteMusicClient, CLIENT_ID_BASE};
-use music::{MusicConfig, MusicError};
+use music::{MusicConfig, MusicError, PeekMode};
+use music_runtime::prelude::SimDuration;
 use music_runtime::{NativeRuntime, Runtime};
-use music_telemetry::Recorder;
+use music_telemetry::{OnlineConfig, Recorder};
 
 const USAGE: &str = "usage: music-load --peers \"1=host:port,...\" \
-[--sections N] [--clients N] [--keys N] [--rf N]";
+[--sections N] [--clients N] [--keys N] [--rf N] \
+[--online-sample N] [--key-prefix P] [--retries K] [--peek local|quorum]";
 
-fn counter_key(k: u64) -> String {
-    format!("counter-{k}")
+fn counter_key(prefix: &str, k: u64) -> String {
+    format!("{prefix}-{k}")
 }
 
 fn decode_counter(raw: Option<Bytes>) -> Result<u64, String> {
@@ -41,16 +52,60 @@ fn decode_counter(raw: Option<Bytes>) -> Result<u64, String> {
 }
 
 /// One critical section: increment `key`'s counter read-modify-write.
-async fn increment(client: &RemoteMusicClient, key: &str) -> Result<(), String> {
-    let cs = client.enter(key).await.map_err(|e| e.to_string())?;
-    let prev = cs.get().await.map_err(|e| e.to_string())?;
+///
+/// `retries` bounds re-attempts of the safe steps only. A failed `enter`
+/// left nothing held (an orphaned queue ref is the watchdog's job); a
+/// failed `get` holds the lock and rereads; a failed `release` retries
+/// the idempotent release op itself. A failed `put` aborts the section:
+/// the ack may have been lost after the write landed, so any redo would
+/// not be a read-modify-write anymore.
+async fn increment(
+    rt: &NativeRuntime,
+    client: &RemoteMusicClient,
+    key: &str,
+    retries: u32,
+) -> Result<(), String> {
+    let mut budget = retries;
+    let backoff = async |budget: &mut u32, e: MusicError| -> Result<(), String> {
+        if *budget == 0 {
+            return Err(e.to_string());
+        }
+        *budget -= 1;
+        rt.sleep(SimDuration::from_millis(100)).await;
+        Ok(())
+    };
+    let cs = loop {
+        match client.enter(key).await {
+            Ok(cs) => break cs,
+            Err(e) => backoff(&mut budget, e).await?,
+        }
+    };
+    let prev = loop {
+        match cs.get().await {
+            Ok(v) => break v,
+            Err(e) => backoff(&mut budget, e).await?,
+        }
+    };
     // A malformed counter is a protocol error, not a client bug: abandon
     // the section so the run fails loudly.
     let next = decode_counter(prev)? + 1;
     cs.put(Bytes::copy_from_slice(&next.to_be_bytes()))
         .await
         .map_err(|e| e.to_string())?;
-    cs.release().await.map_err(|e| e.to_string())
+    // `release` consumes the section; on failure, retry the underlying
+    // idempotent release op directly with the captured reference.
+    let lock_ref = cs.lock_ref();
+    let mut last = match cs.release().await {
+        Ok(()) => return Ok(()),
+        Err(e) => e,
+    };
+    loop {
+        backoff(&mut budget, last).await?;
+        match client.release_lock(key, lock_ref).await {
+            Ok(()) => return Ok(()),
+            Err(e) => last = e,
+        }
+    }
 }
 
 fn main() {
@@ -64,7 +119,20 @@ fn main() {
     };
 
     let rt = NativeRuntime::new();
-    let recorder = Recorder::off();
+    // Quorum peeks survive any single node's death; local peeks are the
+    // paper's default and pin each key's grant polling to its primary.
+    let music_cfg = if cfg.peek_quorum {
+        MusicConfig::builder().peek_mode(PeekMode::Quorum).build()
+    } else {
+        MusicConfig::default()
+    };
+    // With sampling on, the recorder feeds the streaming checker and
+    // stores nothing; otherwise it is fully off.
+    let recorder = if cfg.online_sample > 0 {
+        Recorder::online(OnlineConfig::unbounded().with_sampling(cfg.online_sample))
+    } else {
+        Recorder::off()
+    };
     let completed: Rc<RefCell<HashMap<String, u64>>> = Rc::new(RefCell::new(HashMap::new()));
     let errors: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let started = Instant::now();
@@ -82,7 +150,7 @@ fn main() {
             CLIENT_ID_BASE + c,
             &cfg.peers,
             cfg.rf,
-            MusicConfig::default(),
+            music_cfg.clone(),
             recorder.clone(),
         ) {
             Ok(client) => client,
@@ -94,10 +162,13 @@ fn main() {
         let completed = Rc::clone(&completed);
         let errors = Rc::clone(&errors);
         let keys = u64::from(cfg.keys);
+        let prefix = cfg.key_prefix.clone();
+        let retries = cfg.retries;
+        let rt2 = rt.clone();
         handles.push(rt.spawn(async move {
             for i in 0..quota {
-                let key = counter_key((u64::from(c) + i) % keys);
-                match increment(&client, &key).await {
+                let key = counter_key(&prefix, (u64::from(c) + i) % keys);
+                match increment(&rt2, &client, &key, retries).await {
                     Ok(()) => *completed.borrow_mut().entry(key).or_insert(0) += 1,
                     Err(e) => errors
                         .borrow_mut()
@@ -132,8 +203,8 @@ fn main() {
         CLIENT_ID_BASE + cfg.clients,
         &cfg.peers,
         cfg.rf,
-        MusicConfig::default(),
-        recorder,
+        music_cfg,
+        recorder.clone(),
     ) {
         Ok(client) => client,
         Err(e) => {
@@ -143,16 +214,33 @@ fn main() {
     };
     let keys = u64::from(cfg.keys);
     let expected = completed.borrow().clone();
+    let prefix = cfg.key_prefix.clone();
+    let retries = cfg.retries;
+    let rt2 = rt.clone();
     let mismatches = rt.block_on(async move {
         let mut mismatches = Vec::new();
         for k in 0..keys {
-            let key = counter_key(k);
+            let key = counter_key(&prefix, k);
             let want = expected.get(&key).copied().unwrap_or(0);
             let read = async {
-                let cs = verifier.enter(&key).await?;
-                let v = cs.get().await?;
-                cs.release().await?;
-                Ok::<_, MusicError>(v)
+                let mut budget = retries;
+                loop {
+                    let attempt = async {
+                        let cs = verifier.enter(&key).await?;
+                        let v = cs.get().await?;
+                        cs.release().await?;
+                        Ok::<_, MusicError>(v)
+                    }
+                    .await;
+                    match attempt {
+                        Ok(v) => return Ok(v),
+                        Err(e) if budget == 0 => return Err(e),
+                        Err(_) => {
+                            budget -= 1;
+                            rt2.sleep(SimDuration::from_millis(100)).await;
+                        }
+                    }
+                }
             }
             .await;
             match read.map(decode_counter) {
@@ -168,7 +256,20 @@ fn main() {
         eprintln!("music-load: verify: {m}");
     }
 
-    if done == cfg.sections && errs.is_empty() && mismatches.is_empty() {
+    // With sampling on, the streaming checker saw every event the clients
+    // and verifier emitted: report its verdict and fail on violations.
+    let mut online_clean = true;
+    if let Some(rep) = recorder.online_report() {
+        println!("music-load: {rep}");
+        if !rep.ok() {
+            online_clean = false;
+            for v in rep.ecf.violations.iter().chain(&rep.queue_violations) {
+                eprintln!("music-load: online: {v}");
+            }
+        }
+    }
+
+    if done == cfg.sections && errs.is_empty() && mismatches.is_empty() && online_clean {
         println!(
             "music-load: counter check OK ({} keys, total {done})",
             cfg.keys

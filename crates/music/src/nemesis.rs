@@ -34,7 +34,10 @@ use music_simnet::executor::Sim;
 use music_simnet::net::{NetConfig, Network, NodeId};
 use music_simnet::time::{SimDuration, SimTime};
 use music_simnet::topology::{LatencyProfile, SiteId};
-use music_telemetry::{check, EcfReport, Event, EventKind, MetricsSnapshot, Recorder, Scope};
+use music_telemetry::{
+    check, EcfReport, Event, EventKind, MetricsSnapshot, OnlineConfig, OnlineReport, Recorder,
+    Scope,
+};
 
 use crate::config::{MusicConfig, WriteMode};
 use crate::repair::RepairDaemon;
@@ -176,6 +179,10 @@ pub struct NemesisRun {
     pub metrics: MetricsSnapshot,
     /// ECF checker verdict over `events`.
     pub report: EcfReport,
+    /// Streaming checker verdict computed *during* the run (`None`
+    /// unless the recorder was tracing). Its ECF core must equal
+    /// [`NemesisRun::report`]; its queue layer must be clean.
+    pub online: Option<OnlineReport>,
 }
 
 /// Draws the node-lane schedule: sequential, gap-separated faults so at
@@ -417,6 +424,11 @@ pub fn run_nemesis(
     options: NemesisOptions,
     recorder: Recorder,
 ) -> NemesisRun {
+    // Check the run as it executes: attach the streaming checker unless
+    // the caller already configured one.
+    if recorder.is_tracing() && recorder.online_report().is_none() {
+        recorder.attach_online(OnlineConfig::unbounded());
+    }
     let net_cfg = NetConfig {
         loss: 0.005,
         jitter_frac: 0.05,
@@ -516,6 +528,7 @@ pub fn run_nemesis(
     let events = recorder.events();
     let metrics = recorder.metrics();
     let report = check(&events);
+    let online = recorder.online_report();
     NemesisRun {
         schedule,
         outcomes,
@@ -525,6 +538,7 @@ pub fn run_nemesis(
         events,
         metrics,
         report,
+        online,
     }
 }
 

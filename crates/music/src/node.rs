@@ -442,11 +442,28 @@ pub struct LoadConfig {
     pub clients: u32,
     /// Number of distinct counter keys the sections contend over.
     pub keys: u32,
+    /// Streaming-checker key sampling: `0` disables the online checker;
+    /// `N >= 1` checks keys whose digest is divisible by `N` (so `1`
+    /// checks every key) in O(live keys) memory as the load runs.
+    pub online_sample: u64,
+    /// Counter-key prefix (`counter` by default). Distinct prefixes give
+    /// repeated passes against one cluster fresh, independent counters.
+    pub key_prefix: String,
+    /// Transient-failure retries per section for the *safe* operations
+    /// (enter, get, release). Puts are never retried by the driver: a
+    /// timed-out put may have landed, and blindly re-entering to redo it
+    /// would double-increment the counter.
+    pub retries: u32,
+    /// Peek quorum lock-queue heads instead of reading the key's primary
+    /// replica (`--peek quorum`). Local peeks pin each key to one store
+    /// node; a load that must survive a node crash needs quorum peeks.
+    pub peek_quorum: bool,
 }
 
 impl LoadConfig {
     /// Parses `music-load` arguments: `--peers LIST`, `--rf N`,
-    /// `--sections N`, `--clients N`, `--keys N`.
+    /// `--sections N`, `--clients N`, `--keys N`, `--online-sample N`,
+    /// `--key-prefix P`, `--retries N`, `--peek local|quorum`.
     ///
     /// # Errors
     ///
@@ -457,6 +474,10 @@ impl LoadConfig {
         let mut sections: u64 = 100;
         let mut clients: u32 = 3;
         let mut keys: u32 = 4;
+        let mut online_sample: u64 = 0;
+        let mut key_prefix = String::from("counter");
+        let mut retries: u32 = 0;
+        let mut peek_quorum = false;
 
         let args: Vec<String> = args.into_iter().collect();
         let mut it = args.iter();
@@ -472,6 +493,18 @@ impl LoadConfig {
                 "--sections" => sections = parse_num(flag, take()?)?,
                 "--clients" => clients = parse_num(flag, take()?)?,
                 "--keys" => keys = parse_num(flag, take()?)?,
+                "--online-sample" => online_sample = parse_num(flag, take()?)?,
+                "--key-prefix" => key_prefix = take()?.to_string(),
+                "--retries" => retries = parse_num(flag, take()?)?,
+                "--peek" => {
+                    peek_quorum = match take()? {
+                        "local" => false,
+                        "quorum" => true,
+                        other => {
+                            return Err(format!("`--peek` must be local or quorum, got `{other}`"))
+                        }
+                    }
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -483,12 +516,19 @@ impl LoadConfig {
         if sections == 0 || clients == 0 || keys == 0 {
             return Err("--sections, --clients, and --keys must be positive".to_string());
         }
+        if key_prefix.is_empty() {
+            return Err("--key-prefix must be non-empty".to_string());
+        }
         Ok(LoadConfig {
             peers,
             rf,
             sections,
             clients,
             keys,
+            online_sample,
+            key_prefix,
+            retries,
+            peek_quorum,
         })
     }
 }
@@ -573,6 +613,42 @@ mod tests {
         assert_eq!(cfg.clients, 3);
         assert_eq!(cfg.keys, 4);
         assert_eq!(cfg.rf, 1);
+        assert_eq!(cfg.online_sample, 0);
+        assert_eq!(cfg.key_prefix, "counter");
+        assert_eq!(cfg.retries, 0);
+        assert!(!cfg.peek_quorum);
+    }
+
+    #[test]
+    fn load_args_online_and_retry_flags() {
+        let cfg = LoadConfig::from_args(
+            [
+                "--peers",
+                "1=127.0.0.1:7101",
+                "--online-sample",
+                "2",
+                "--key-prefix",
+                "kill9",
+                "--retries",
+                "5",
+                "--peek",
+                "quorum",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cfg.online_sample, 2);
+        assert_eq!(cfg.key_prefix, "kill9");
+        assert_eq!(cfg.retries, 5);
+        assert!(cfg.peek_quorum);
+        assert!(LoadConfig::from_args(
+            ["--peers", "1=127.0.0.1:7101", "--peek", "eventual"].map(String::from)
+        )
+        .is_err());
+        assert!(LoadConfig::from_args(
+            ["--peers", "1=127.0.0.1:7101", "--key-prefix", ""].map(String::from)
+        )
+        .is_err());
     }
 
     #[test]

@@ -491,6 +491,65 @@ impl TcpServerHandle {
 mod tests {
     use super::*;
 
+    /// A connected loopback socket pair: write raw bytes on one end, run
+    /// the framing decoder on the other.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn frames_roundtrip_including_the_empty_payload() {
+        let (mut client, mut server) = socket_pair();
+        client.write_all(&frame(7, b"payload")).unwrap();
+        // len == 8 (bare correlation id, empty payload) is the floor and
+        // must be accepted.
+        client.write_all(&frame(u64::MAX, b"")).unwrap();
+        assert_eq!(
+            read_frame(&mut server).unwrap(),
+            Some((7, b"payload".to_vec()))
+        );
+        assert_eq!(read_frame(&mut server).unwrap(), Some((u64::MAX, vec![])));
+        // A clean hang-up between frames is EOF, not an error.
+        drop(client);
+        assert_eq!(read_frame(&mut server).unwrap(), None);
+    }
+
+    #[test]
+    fn undersized_frame_length_is_rejected() {
+        let (mut client, mut server) = socket_pair();
+        // len < 8 cannot even hold the correlation id.
+        client.write_all(&7u32.to_le_bytes()).unwrap();
+        client.write_all(&[0u8; 7]).unwrap();
+        let err = read_frame(&mut server).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected_before_allocating() {
+        let (mut client, mut server) = socket_pair();
+        // A corrupt length prefix just past the cap must be refused up
+        // front — not trusted as a 4 GiB allocation size.
+        client.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+        let err = read_frame(&mut server).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_short_frame() {
+        let (mut client, mut server) = socket_pair();
+        // Header promises 92 payload bytes; the peer dies after 3.
+        client.write_all(&100u32.to_le_bytes()).unwrap();
+        client.write_all(&1u64.to_le_bytes()).unwrap();
+        client.write_all(&[0xAB; 3]).unwrap();
+        drop(client);
+        let err = read_frame(&mut server).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
     #[test]
     fn request_response_over_loopback() {
         let server = TcpServer::bind("127.0.0.1:0".parse().unwrap()).unwrap();

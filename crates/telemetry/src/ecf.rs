@@ -45,7 +45,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::event::{Event, EventKind};
 
 /// Outcome of replaying one event log through the checker.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EcfReport {
     /// Violations found (empty iff `ok`).
     pub violations: Vec<String>,
@@ -78,30 +78,23 @@ impl EcfReport {
     /// One JSON object on a single line, e.g.
     /// `{"kind":"ecf","ok":true,"grants":3,...,"violations":[]}`.
     pub fn to_json(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::from("{\"kind\":\"ecf\"");
-        let _ = write!(
-            out,
-            ",\"ok\":{},\"grants\":{},\"readsChecked\":{},\"putAcks\":{},\
-             \"stalePutAcks\":{},\"forcedReleases\":{},\"zombieGrants\":{},\
-             \"staleReads\":{},\"violations\":[",
-            self.ok(),
-            self.grants,
-            self.reads_checked,
-            self.put_acks,
-            self.stale_put_acks,
-            self.forced_releases,
-            self.zombie_grants,
-            self.stale_reads
-        );
-        for (i, v) in self.violations.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            crate::json::push_str(&mut out, v);
-        }
-        out.push_str("]}");
-        out
+        let mut o = crate::json::Obj::new("ecf");
+        self.write_fields(&mut o);
+        o.finish()
+    }
+
+    /// Writes this report's fields into `o` (shared with the online
+    /// report, which embeds the same ECF core under the same field names).
+    pub(crate) fn write_fields(&self, o: &mut crate::json::Obj) {
+        o.bool("ok", self.ok())
+            .u64("grants", self.grants)
+            .u64("readsChecked", self.reads_checked)
+            .u64("putAcks", self.put_acks)
+            .u64("stalePutAcks", self.stale_put_acks)
+            .u64("forcedReleases", self.forced_releases)
+            .u64("zombieGrants", self.zombie_grants)
+            .u64("staleReads", self.stale_reads)
+            .str_list("violations", &self.violations);
     }
 }
 

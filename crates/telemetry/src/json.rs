@@ -28,6 +28,64 @@ pub(crate) fn push_hex(out: &mut String, v: u64) {
     out.push('"');
 }
 
+/// Builder for one single-line JSON object — the shared serializer behind
+/// every checker report (`EcfReport`, `OnlineReport`, ...). Fields are
+/// emitted in call order so the output stays byte-stable.
+pub(crate) struct Obj {
+    out: String,
+}
+
+impl Obj {
+    /// Opens an object tagged `{"kind":"<kind>", ...`.
+    pub(crate) fn new(kind: &str) -> Self {
+        let mut out = String::from("{\"kind\":");
+        push_str(&mut out, kind);
+        Obj { out }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.out.push(',');
+        push_str(&mut self.out, k);
+        self.out.push(':');
+    }
+
+    /// Emits `"k":true|false`.
+    pub(crate) fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emits `"k":<n>`.
+    pub(crate) fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        use std::fmt::Write;
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Emits `"k":["s",...]` with every element string-escaped.
+    pub(crate) fn str_list(&mut self, k: &str, items: &[String]) -> &mut Self {
+        self.key(k);
+        self.out.push('[');
+        for (i, v) in items.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            push_str(&mut self.out, v);
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Closes the object and returns the line.
+    pub(crate) fn finish(self) -> String {
+        let mut out = self.out;
+        out.push('}');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +102,17 @@ mod tests {
         let mut out = String::new();
         push_hex(&mut out, 0x2a);
         assert_eq!(out, "\"000000000000002a\"");
+    }
+
+    #[test]
+    fn obj_builder_emits_fields_in_call_order() {
+        let mut o = Obj::new("ecf");
+        o.bool("ok", true)
+            .u64("grants", 3)
+            .str_list("violations", &["a\"b".to_string()]);
+        assert_eq!(
+            o.finish(),
+            "{\"kind\":\"ecf\",\"ok\":true,\"grants\":3,\"violations\":[\"a\\\"b\"]}"
+        );
     }
 }

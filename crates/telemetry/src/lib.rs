@@ -17,6 +17,10 @@
 //! * a trace-based **ECF checker** ([`ecf::check`]) that replays a
 //!   recorded event log and verifies the paper's Exclusivity and
 //!   Latest-State properties (§IV);
+//! * a streaming **online checker** ([`online`]) — the same ECF
+//!   predicates evaluated incrementally in O(live keys) memory, plus a
+//!   lock-queue refinement layer, attachable to any recorder so the run
+//!   is checked *while it executes*;
 //! * JSON-lines serialization of events and metric snapshots (hand
 //!   rolled — no external JSON dependency), byte-stable across runs with
 //!   the same seed.
@@ -51,12 +55,14 @@ pub mod ecf;
 mod event;
 mod json;
 mod metrics;
+pub mod online;
 mod recorder;
 pub mod span;
 
 pub use ecf::{check, EcfReport};
 pub use event::{to_json_lines, DropReason, Event, EventKind, LwtPhase, TraceId};
 pub use metrics::{HistEntry, MetricEntry, MetricsRegistry, MetricsSnapshot, Scope};
+pub use online::{check_online, OnlineChecker, OnlineConfig, OnlineReport};
 pub use recorder::Recorder;
 pub use span::{Span, SpanId, SpanPhase, SpanReport};
 

@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use crate::event::{Event, EventKind, TraceId};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, Scope};
+use crate::online::{OnlineChecker, OnlineConfig, OnlineReport};
 use crate::span::{Span, SpanId, SpanPhase};
 
 #[derive(Debug)]
@@ -15,6 +16,7 @@ struct Inner {
     events: RefCell<Vec<Event>>,
     spans: RefCell<Vec<Span>>,
     metrics: RefCell<MetricsRegistry>,
+    online: RefCell<Option<OnlineChecker>>,
 }
 
 /// A cheap, clonable handle to one telemetry sink.
@@ -50,6 +52,16 @@ impl Recorder {
         Self::with_capture(true)
     }
 
+    /// A recorder that feeds every event through a streaming
+    /// [`OnlineChecker`] *without* storing the log: memory stays
+    /// O(live keys) however long the run is. Metrics still accumulate.
+    /// This is the mode `music-load` uses against a live cluster.
+    pub fn online(cfg: OnlineConfig) -> Self {
+        let r = Self::with_capture(false);
+        r.attach_online(cfg);
+        r
+    }
+
     fn with_capture(capture_events: bool) -> Self {
         Recorder {
             inner: Some(Rc::new(Inner {
@@ -59,8 +71,26 @@ impl Recorder {
                 events: RefCell::new(Vec::new()),
                 spans: RefCell::new(Vec::new()),
                 metrics: RefCell::new(MetricsRegistry::new()),
+                online: RefCell::new(None),
             })),
         }
+    }
+
+    /// Attaches a streaming checker to an active recorder; every event
+    /// recorded from now on is checked as it arrives. No-op when the
+    /// recorder is off.
+    pub fn attach_online(&self, cfg: OnlineConfig) {
+        if let Some(i) = &self.inner {
+            *i.online.borrow_mut() = Some(OnlineChecker::new(cfg));
+        }
+    }
+
+    /// Snapshot of the attached streaming checker's verdict (`None` when
+    /// no checker is attached).
+    pub fn online_report(&self) -> Option<OnlineReport> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.online.borrow().as_ref().map(OnlineChecker::report))
     }
 
     /// Whether any recording (metrics or events) is active.
@@ -68,11 +98,15 @@ impl Recorder {
         self.inner.is_some()
     }
 
-    /// Whether the event log is being captured. Instrumentation sites
-    /// check this before building event payloads (key strings etc.) so a
-    /// disabled recorder costs one branch.
+    /// Whether event payloads must be built at instrumentation sites:
+    /// true when the log is captured *or* a streaming checker is
+    /// attached (it consumes events without storing them).
+    /// Instrumentation checks this before building payloads (key strings
+    /// etc.) so a disabled recorder costs one branch.
     pub fn is_tracing(&self) -> bool {
-        self.inner.as_ref().is_some_and(|i| i.capture_events)
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.capture_events || i.online.borrow().is_some())
     }
 
     /// Mints the next trace id (monotone from 1). Returns `0` when the
@@ -89,21 +123,30 @@ impl Recorder {
     }
 
     /// Appends one event (no-op unless tracing). `at_us` is the virtual
-    /// timestamp; the recorder assigns the sequence number.
+    /// timestamp; the recorder assigns the sequence number. When a
+    /// streaming checker is attached the event is checked here, as it
+    /// happens — and only *stored* if the log is also being captured.
     pub fn record(&self, at_us: u64, trace: TraceId, node: u32, kind: EventKind) {
         let Some(i) = &self.inner else { return };
-        if !i.capture_events {
+        let mut online = i.online.borrow_mut();
+        if !i.capture_events && online.is_none() {
             return;
         }
         let seq = i.seq.get();
         i.seq.set(seq + 1);
-        i.events.borrow_mut().push(Event {
+        let e = Event {
             seq,
             at_us,
             trace,
             node,
             kind,
-        });
+        };
+        if let Some(c) = online.as_mut() {
+            c.push(&e);
+        }
+        if i.capture_events {
+            i.events.borrow_mut().push(e);
+        }
     }
 
     /// Adds `n` to a counter (no-op when off).
@@ -257,6 +300,77 @@ mod tests {
         let r2 = r.clone();
         r2.record(7, 0, 0, EventKind::RepairRound { repaired: 2 });
         assert_eq!(r.event_count(), 3);
+    }
+
+    #[test]
+    fn online_recorder_checks_without_storing() {
+        let r = Recorder::online(crate::online::OnlineConfig::unbounded());
+        assert!(r.is_on());
+        assert!(r.is_tracing(), "instrumentation must build payloads");
+        r.record(
+            0,
+            0,
+            0,
+            EventKind::LockEnqueue {
+                key: "k".into(),
+                lock_ref: 1,
+            },
+        );
+        r.record(
+            1,
+            0,
+            0,
+            EventKind::LockGrant {
+                key: "k".into(),
+                lock_ref: 1,
+            },
+        );
+        r.record(
+            2,
+            0,
+            0,
+            EventKind::LockRelease {
+                key: "k".into(),
+                lock_ref: 1,
+            },
+        );
+        assert!(r.events().is_empty(), "log must not accumulate");
+        let rep = r.online_report().expect("checker attached");
+        assert!(
+            rep.ok(),
+            "{:?} {:?}",
+            rep.ecf.violations,
+            rep.queue_violations
+        );
+        assert_eq!(rep.ecf.grants, 1);
+        assert_eq!(rep.events_seen, 3);
+    }
+
+    #[test]
+    fn attached_checker_sees_the_same_stream_as_the_log() {
+        let r = Recorder::tracing();
+        r.attach_online(crate::online::OnlineConfig::unbounded());
+        r.record(
+            1,
+            0,
+            0,
+            EventKind::LockGrant {
+                key: "k".into(),
+                lock_ref: 1,
+            },
+        );
+        r.record(
+            2,
+            0,
+            0,
+            EventKind::LockGrant {
+                key: "k".into(),
+                lock_ref: 2,
+            },
+        );
+        let rep = r.online_report().expect("checker attached");
+        assert_eq!(rep.ecf, crate::ecf::check(&r.events()));
+        assert!(!rep.ok());
     }
 
     #[test]

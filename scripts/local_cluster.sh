@@ -10,6 +10,11 @@
 #   BASE_PORT (default 7401) first node port (nodes use three consecutive)
 #   LOG_DIR  (default mktemp) where node/load logs land
 #   SKIP_BUILD=1            reuse existing target/release binaries
+#   ONLINE_SAMPLE (default 1) online-checker key sampling for the first
+#                           pass (0 turns the streaming checker off)
+#   KILL9=0                 skip the second pass (kill -9 one node while
+#                           sections are in flight; the survivors' 2/3
+#                           quorum must finish the run and verify clean)
 set -euo pipefail
 
 SECTIONS="${SECTIONS:-120}"
@@ -17,6 +22,8 @@ CLIENTS="${CLIENTS:-3}"
 KEYS="${KEYS:-4}"
 BASE_PORT="${BASE_PORT:-7401}"
 LOG_DIR="${LOG_DIR:-$(mktemp -d /tmp/music-cluster.XXXXXX)}"
+ONLINE_SAMPLE="${ONLINE_SAMPLE:-1}"
+KILL9="${KILL9:-1}"
 
 cd "$(dirname "$0")/.."
 mkdir -p "$LOG_DIR"
@@ -68,11 +75,55 @@ echo "local_cluster: 3 nodes up on ports ${BASE_PORT}-$((BASE_PORT + 2)) (logs i
 echo "local_cluster: driving $SECTIONS sections ($CLIENTS clients, $KEYS keys)..."
 
 if "$BIN/music-load" --peers "$PEERS" --sections "$SECTIONS" \
-    --clients "$CLIENTS" --keys "$KEYS" 2>&1 | tee "$LOG_DIR/load.log"; then
+    --clients "$CLIENTS" --keys "$KEYS" \
+    --online-sample "$ONLINE_SAMPLE" 2>&1 | tee "$LOG_DIR/load.log"; then
   echo "local_cluster: OK"
 else
   status=$?
   echo "local_cluster: FAILED (exit $status); node logs:" >&2
   tail -n 40 "$LOG_DIR"/node*.log >&2 || true
+  exit "$status"
+fi
+
+if [[ "$KILL9" != "1" ]]; then
+  exit 0
+fi
+
+# ---------------------------------------------------------------------------
+# Pass 2: kill -9 one storage node while sections are in flight. With RF=3
+# the surviving 2/3 quorum keeps every store operation live; quorum peeks
+# keep lock-grant polling off the dead primary; the bounded retry budget
+# absorbs the operations that were talking to the victim when it died. The
+# load must still complete every section, verify the counters, and keep
+# the streaming checker clean.
+# ---------------------------------------------------------------------------
+# Several times the first pass's work so the victim dies with plenty of
+# sections still to go, even on a fast machine.
+KILL9_SECTIONS="${KILL9_SECTIONS:-$((SECTIONS * 4))}"
+echo "local_cluster: kill-9 pass: driving $KILL9_SECTIONS sections, then killing node 3..."
+
+"$BIN/music-load" --peers "$PEERS" --sections "$KILL9_SECTIONS" \
+  --clients "$CLIENTS" --keys "$KEYS" \
+  --key-prefix kill9 --online-sample 1 --retries 40 --peek quorum \
+  >"$LOG_DIR/load-kill9.log" 2>&1 &
+load_pid=$!
+
+# Let the load reach steady state, then hard-kill the last node (nodes 1
+# and 2 stay up; node 1 also serves the key scans). No SIGTERM grace — the
+# point is an abrupt process death mid-section.
+sleep 0.5
+victim="${pids[2]}"
+kill -9 "$victim" 2>/dev/null || true
+echo "local_cluster: killed node 3 (pid $victim)"
+
+if wait "$load_pid"; then
+  cat "$LOG_DIR/load-kill9.log"
+  echo "local_cluster: kill-9 pass OK"
+else
+  status=$?
+  echo "local_cluster: kill-9 pass FAILED (exit $status); load log:" >&2
+  cat "$LOG_DIR/load-kill9.log" >&2 || true
+  echo "local_cluster: surviving node logs:" >&2
+  tail -n 40 "$LOG_DIR"/node[12].log >&2 || true
   exit "$status"
 fi

@@ -20,7 +20,8 @@ use music::{
 use music_simnet::prelude::*;
 use music_telemetry::span::check as check_spans;
 use music_telemetry::{
-    check, EcfReport, Event, MetricsSnapshot, Recorder, Span, SpanReport, TraceId,
+    check, EcfReport, Event, MetricsSnapshot, OnlineConfig, OnlineReport, Recorder, Span,
+    SpanReport, TraceId,
 };
 
 /// `criticalGet` with retries: under the run's 1% loss a quorum read can
@@ -64,6 +65,10 @@ pub struct TraceRun {
     pub metrics: MetricsSnapshot,
     /// ECF checker verdict over `events`.
     pub report: EcfReport,
+    /// The streaming checker's verdict, computed *during* the run
+    /// (`None` unless the recorder was tracing). Its ECF core must equal
+    /// [`TraceRun::report`]; its queue layer must be clean.
+    pub online: Option<OnlineReport>,
     /// The recorded span log (empty unless the recorder was tracing).
     pub spans: Vec<Span>,
     /// Span-tree well-formedness verdict over `spans`.
@@ -111,6 +116,11 @@ pub fn filter_spans(
 /// Runs the seeded chaos scenario with `recorder` installed and returns
 /// the recorded telemetry plus the replayed ECF verdict.
 pub fn run_chaos(profile: LatencyProfile, seed: u64, recorder: Recorder) -> TraceRun {
+    // Check the run as it executes: attach the streaming checker unless
+    // the caller already configured one (e.g. a sampling window).
+    if recorder.is_tracing() && recorder.online_report().is_none() {
+        recorder.attach_online(OnlineConfig::unbounded());
+    }
     let net_cfg = NetConfig {
         loss: 0.01,
         jitter_frac: 0.05,
@@ -391,6 +401,7 @@ pub fn run_chaos(profile: LatencyProfile, seed: u64, recorder: Recorder) -> Trac
     let events = recorder.events();
     let metrics = recorder.metrics();
     let report = check(&events);
+    let online = recorder.online_report();
     let spans = recorder.spans();
     let span_report = check_spans(&spans);
     let node_sites = (0..sys.net().node_count() as u32)
@@ -402,6 +413,7 @@ pub fn run_chaos(profile: LatencyProfile, seed: u64, recorder: Recorder) -> Trac
         events,
         metrics,
         report,
+        online,
         spans,
         span_report,
         node_sites,

@@ -3,7 +3,7 @@
 //! partitions — produces a trace the checker accepts, while deliberate
 //! corruptions of the same trace are flagged.
 
-use music_repro::telemetry::{check, EventKind, Recorder};
+use music_repro::telemetry::{check, check_online, EventKind, Recorder};
 use music_repro::trace::run_chaos;
 use music_simnet::prelude::*;
 
@@ -19,6 +19,14 @@ fn chaos_trace_satisfies_ecf() {
     assert!(run.report.grants >= 4, "expected >= 4 grants");
     assert!(run.report.forced_releases >= 1, "watchdog never preempted");
     assert!(run.report.reads_checked >= 2, "no critical reads checked");
+    // The streaming checker, attached during the run, agrees in full.
+    let online = run.online.expect("tracing run carries an online report");
+    assert_eq!(online.ecf, run.report, "online verdict diverged");
+    assert!(
+        online.queue_violations.is_empty(),
+        "queue refinement false-positive: {:?}",
+        online.queue_violations
+    );
 }
 
 #[test]
@@ -43,6 +51,8 @@ fn corrupted_read_digest_is_flagged() {
         "expected a latest-state violation, got {:?}",
         report.violations
     );
+    // The streaming checker catches it too, with the identical verdict.
+    assert_eq!(check_online(&events).ecf, report);
 }
 
 #[test]
@@ -68,4 +78,6 @@ fn overlapping_grant_is_flagged() {
         "expected an exclusivity violation, got {:?}",
         report.violations
     );
+    // The streaming checker catches it too, with the identical verdict.
+    assert_eq!(check_online(&events).ecf, report);
 }
