@@ -116,6 +116,14 @@ pub struct State {
     pub lease: Option<(u8, u8)>,
     /// Leases minted so far (bound — each mints a fresh lockRef).
     pub leases_used: u8,
+    /// Whether the standing lease's `lease_until` has passed in *true*
+    /// time (drift scopes only). Set by the `time:leaseExpire` event while
+    /// the lease is unclaimed; cleared whenever the lease itself clears.
+    /// With per-node skew bounded by ε, the claim guard (`local + ε <
+    /// until`) admits claims only strictly before this event and the break
+    /// guard (`local − ε > until`) admits revocations only strictly after
+    /// it — the model encodes exactly that disjointness.
+    pub lease_expired: bool,
 }
 
 /// Exploration bounds, in the spirit of Alloy scopes.
@@ -145,6 +153,13 @@ pub struct Scope {
     /// Maximum leases minted overall (each mints a fresh lockRef, so this
     /// bounds the state space).
     pub max_leases: u8,
+    /// Enable bounded clock drift (the ε-guard model): a standing
+    /// *unclaimed* lease may expire in true time (`time:leaseExpire`);
+    /// once it has, the ε claim guard turns the owner's fast re-entry
+    /// away, and the watchdog may garbage-collect the reference in a
+    /// single step (`daemon:driftRevoke`) — safe precisely because the
+    /// two guards are disjoint around the expiry instant.
+    pub drift: bool,
 }
 
 impl Default for Scope {
@@ -158,6 +173,7 @@ impl Default for Scope {
             pipeline_window: 0,
             lease: false,
             max_leases: 0,
+            drift: false,
         }
     }
 }
@@ -200,6 +216,18 @@ pub struct MusicModel {
     /// consistency-ONE write the daemon's view may lack) then loses its
     /// flag cover mid-put.
     pub stale_lease: bool,
+    /// Mutant: a holder whose clock runs slow by more than ε claims its
+    /// lease even after true-time expiry — the claim guard's `local + ε <
+    /// until` check passes on the skewed clock although the watchdog is
+    /// already entitled to collect the reference. The claim races the
+    /// one-step GC and the resurrected holder writes with no flag cover.
+    pub drift_slow_claim: bool,
+    /// Mutant: a watchdog whose clock runs fast by more than ε collects a
+    /// lease *before* true-time expiry — the break guard's `local − ε >
+    /// until` check passes on the skewed clock although the owner may
+    /// still legitimately claim (or already has, invisibly). The one-step
+    /// GC then revokes a live holder with no resynchronizing flag write.
+    pub drift_fast_revoke: bool,
 }
 
 impl Default for MusicModel {
@@ -220,6 +248,8 @@ impl MusicModel {
             release_without_flush: false,
             reuse_after_break: false,
             stale_lease: false,
+            drift_slow_claim: false,
+            drift_fast_revoke: false,
         }
     }
 
@@ -319,6 +349,7 @@ impl MusicModel {
         s.queue.retain(|q| *q != r);
         if s.lease.is_some_and(|(_, lr)| lr == r) {
             s.lease = None;
+            s.lease_expired = false;
         }
     }
 }
@@ -356,6 +387,7 @@ impl Model for MusicModel {
             next_value: 1,
             lease: None,
             leases_used: 0,
+            lease_expired: false,
         }]
     }
 
@@ -566,7 +598,12 @@ impl Model for MusicModel {
                 Phase::Leased => {
                     let standing =
                         s.lease == Some((ci as u8, c.lock_ref)) && s.queue.contains(&c.lock_ref);
-                    if standing || self.reuse_after_break {
+                    // The ε claim guard: once the lease has expired in true
+                    // time, every ≤ε-skewed clock reads it as expired or
+                    // within the rejection margin — a correct owner never
+                    // claims. The slow-clock mutant claims anyway.
+                    let fresh = !s.lease_expired || self.drift_slow_claim;
+                    if (standing && fresh) || self.reuse_after_break {
                         // Fast re-entry: revalidate (still queued, still
                         // leased) and claim — no LWT, no flag read. The
                         // mutant claims on the stale cached grant alone.
@@ -626,6 +663,21 @@ impl Model for MusicModel {
             }
         }
 
+        // True-time lease expiry (drift scopes). Only an *unclaimed* lease
+        // expires: claiming rewrites `start_time`, moving the entry from
+        // lease-GC jurisdiction to the ordinary staleness timeout — and the
+        // ε claim guard guarantees every claim lands strictly before this
+        // instant in true time.
+        if self.scope.drift && !s.lease_expired {
+            if let Some((o, r)) = s.lease {
+                if s.clients[o as usize].phase == Phase::Leased {
+                    let mut n = s.clone();
+                    n.lease_expired = true;
+                    out.push((format!("time:leaseExpire({r})"), n));
+                }
+            }
+        }
+
         // Forced-release daemon (imperfect failure detection: may fire on
         // any current head at any time).
         match s.daemon {
@@ -662,6 +714,30 @@ impl Model for MusicModel {
                                 n.forced_used += 1;
                                 out.push((format!("daemon:staleRevoke({r})"), n));
                             }
+                        }
+                    }
+                }
+                // Watchdog lease GC under drift: an expired, unclaimed
+                // leased head is collected in one step — no flag write,
+                // because the pre-minted reference never stamped a data
+                // write and the ε guards put every claim strictly before
+                // the expiry instant. The daemon does NOT re-check the
+                // owner's phase (the claim is a consistency-ONE write its
+                // view may lack); disjointness alone makes this safe.
+                if let Some((_, r)) = s.lease {
+                    if head == Some(r) {
+                        if self.scope.drift && s.lease_expired {
+                            let mut n = s.clone();
+                            Self::remove_ref(&mut n, r);
+                            out.push((format!("daemon:driftRevoke({r})"), n));
+                        }
+                        // Mutant: a >ε-fast clock reads a live lease as
+                        // expired and collects it while the owner may still
+                        // claim — or invisibly already has.
+                        if self.drift_fast_revoke && !s.lease_expired {
+                            let mut n = s.clone();
+                            Self::remove_ref(&mut n, r);
+                            out.push((format!("daemon:driftFastRevoke({r})"), n));
                         }
                     }
                 }
@@ -711,6 +787,9 @@ impl Model for MusicModel {
                     s.queue, s.guard
                 ));
             }
+        }
+        if s.lease_expired && s.lease.is_none() {
+            return Err("lease sanity: expiry bit set with no standing lease".to_string());
         }
 
         let true_pair = Self::true_pair(s);

@@ -327,6 +327,108 @@ fn mutant_stale_lease_revocation_is_caught() {
     }
 }
 
+fn drift_scope() -> Scope {
+    Scope {
+        drift: true,
+        ..lease_scope()
+    }
+}
+
+#[test]
+fn drift_scope_satisfies_all_invariants() {
+    // Bounded clock drift: unclaimed leases may expire in true time, the
+    // ε claim guard turns expired claims away, and the watchdog collects
+    // the expired reference in a single step without re-checking whether
+    // the owner claimed. ECF must survive every interleaving — the guards'
+    // disjointness around the expiry instant is the whole argument.
+    let model = MusicModel::new(drift_scope());
+    let out = Checker::default().run(&model);
+    match &out {
+        CheckOutcome::Ok {
+            states, truncated, ..
+        } => {
+            assert!(!truncated, "scope must be fully explored");
+            assert!(*states > 10_000, "non-trivial state space, got {states}");
+        }
+        CheckOutcome::Violation { message, trace, .. } => {
+            panic!(
+                "unexpected violation: {message}\ntrace:\n  {}",
+                trace.join("\n  ")
+            );
+        }
+    }
+}
+
+#[test]
+fn drift_scope_explores_the_expiry_events() {
+    // The drift scope must genuinely add behaviour, not just a dead bit.
+    let a = Checker::default().run(&MusicModel::new(lease_scope()));
+    let b = Checker::default().run(&MusicModel::new(drift_scope()));
+    assert!(a.is_ok() && b.is_ok());
+    assert!(
+        b.states_explored() > a.states_explored(),
+        "expiry adds states: {} !> {}",
+        b.states_explored(),
+        a.states_explored()
+    );
+}
+
+#[test]
+fn mutant_drift_slow_claim_is_caught() {
+    // A holder slow by more than ε claims an expired lease: the watchdog's
+    // one-step GC then collects the reference out from under an (invisibly)
+    // claimed holder, whose writes lose their flag cover mid-put.
+    let model = MusicModel {
+        drift_slow_claim: true,
+        ..MusicModel::new(drift_scope())
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("synchFlag")
+                    || message.contains("critical-section")
+                    || message.contains("latest-state"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(!trace.is_empty());
+            assert!(
+                trace.iter().any(|l| l.contains("leaseExpire")),
+                "counterexample must pass through the expiry event: {trace:?}"
+            );
+        }
+        CheckOutcome::Ok { .. } => panic!("slow-clock claim mutant must violate an invariant"),
+    }
+}
+
+#[test]
+fn mutant_drift_fast_revoke_is_caught() {
+    // A watchdog fast by more than ε collects a *live* lease in one step:
+    // the owner's legitimate claim races the GC and the revoked holder
+    // writes with no resynchronizing flag raised.
+    let model = MusicModel {
+        drift_fast_revoke: true,
+        ..MusicModel::new(drift_scope())
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("synchFlag")
+                    || message.contains("critical-section")
+                    || message.contains("latest-state"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(!trace.is_empty());
+            assert!(
+                trace.iter().any(|l| l.contains("driftFastRevoke")),
+                "counterexample must pass through the premature GC: {trace:?}"
+            );
+        }
+        CheckOutcome::Ok { .. } => panic!("fast-clock revoke mutant must violate an invariant"),
+    }
+}
+
 #[test]
 fn violation_traces_are_replayable() {
     // The counterexample trace must be a genuine path: replay it through

@@ -186,6 +186,20 @@ fn main() {
     let done: u64 = completed.borrow().values().sum();
     let errs = errors.borrow().clone();
     let secs = started.elapsed().as_secs_f64();
+    // Machine-readable throughput line: `local_cluster.sh` extracts it
+    // into the `BENCH_load.json` artifact (the socket-cluster point of
+    // the BENCH trajectory, alongside the simulator's `BENCH_*.json`).
+    println!(
+        "{{\"kind\":\"benchLoad\",\"sections\":{},\"completed\":{done},\"errors\":{},\
+         \"clients\":{},\"keys\":{},\"onlineSample\":{},\"elapsedSecs\":{secs:.3},\
+         \"sectionsPerSec\":{:.1}}}",
+        cfg.sections,
+        errs.len(),
+        cfg.clients,
+        cfg.keys,
+        cfg.online_sample,
+        done as f64 / secs.max(1e-9),
+    );
     println!(
         "music-load: {done}/{} sections completed, {} errors in {secs:.2}s ({:.1} sections/s)",
         cfg.sections,

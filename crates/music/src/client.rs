@@ -66,6 +66,15 @@ pub struct MusicClient<RT = Sim, D = ReplicatedTable<DataRow>, L = ReplicatedTab
     /// handle learned about a dead replica benefits every section the
     /// client runs.
     health: Rc<ReplicaHealth>,
+    /// Session stamp floor, by key: `(lockRef, last stamped elapsed µs)`
+    /// of the newest put this client issued. Each replica keeps its own
+    /// per-key floor, but a mid-section fail-over routes successive puts
+    /// of *one* section through replicas whose drifted clocks can
+    /// disagree by up to 2ε — enough to invert the v2s stamps of writes
+    /// issued close together, so the older write wins last-write-wins.
+    /// The client is the section's single writer, so it carries the floor
+    /// to whichever replica executes; shared across clones like `leases`.
+    stamp_floors: Rc<RefCell<HashMap<String, (u64, u64)>>>,
 }
 
 impl<RT: Clone, D: Clone, L: Clone> Clone for MusicClient<RT, D, L> {
@@ -77,6 +86,7 @@ impl<RT: Clone, D: Clone, L: Clone> Clone for MusicClient<RT, D, L> {
             lease_window: self.lease_window,
             leases: self.leases.clone(),
             health: self.health.clone(),
+            stamp_floors: self.stamp_floors.clone(),
         }
     }
 }
@@ -89,6 +99,40 @@ impl<RT, D, L> fmt::Debug for MusicClient<RT, D, L> {
             .field("lease_window", &self.lease_window)
             .finish_non_exhaustive()
     }
+}
+
+/// The client's session stamp floor for `key` under `lock_ref`, or zero
+/// if no put of this section has been stamped yet (a stale entry from an
+/// earlier lock reference does not constrain the new section — the higher
+/// reference already dominates in the v2s scalar).
+fn session_floor(
+    floors: &RefCell<HashMap<String, (u64, u64)>>,
+    key: &str,
+    lock_ref: LockRef,
+) -> SimDuration {
+    match floors.borrow().get(key) {
+        Some(&(r, e)) if r == lock_ref.value() => SimDuration::from_micros(e),
+        _ => SimDuration::ZERO,
+    }
+}
+
+/// Advances the session stamp floor with the elapsed a replica stamped a
+/// put with (recorded at *issue* time — later puts of the section must
+/// stamp above even unacknowledged earlier ones).
+fn note_stamp(
+    floors: &RefCell<HashMap<String, (u64, u64)>>,
+    key: &str,
+    lock_ref: LockRef,
+    elapsed: SimDuration,
+) {
+    let mut floors = floors.borrow_mut();
+    let entry = floors
+        .entry(key.to_string())
+        .or_insert((lock_ref.value(), 0));
+    if entry.0 != lock_ref.value() {
+        *entry = (lock_ref.value(), 0);
+    }
+    entry.1 = entry.1.max(elapsed.as_micros());
 }
 
 impl<RT, D, L> MusicClient<RT, D, L>
@@ -120,6 +164,7 @@ where
             lease_window: None,
             leases: Rc::new(RefCell::new(HashMap::new())),
             health: Rc::new(health),
+            stamp_floors: Rc::new(RefCell::new(HashMap::new())),
         })
     }
 
@@ -500,7 +545,13 @@ where
         self.critical_with_retry("criticalPut", |r| {
             let key = key.to_string();
             let value = value.clone();
-            async move { r.critical_put(&key, lock_ref, value).await }
+            let floors = self.stamp_floors.clone();
+            async move {
+                let floor = session_floor(&floors, &key, lock_ref);
+                let elapsed = r.critical_put_floored(&key, lock_ref, value, floor).await?;
+                note_stamp(&floors, &key, lock_ref, elapsed);
+                Ok(())
+            }
         })
         .await
     }
@@ -656,7 +707,11 @@ where
     async fn try_lease_reenter(&self, key: &str) -> Option<LockRef> {
         self.lease_window()?;
         let grant = self.leases.borrow_mut().remove(key)?;
-        if self.rt.now() >= grant.until {
+        // Conservative ε-aware pre-check on the client's own clock: within
+        // ε of expiry a drift-shifted watchdog may already be revoking, so
+        // skip the fast path. The replica-side guard is authoritative.
+        let eps = self.primary().config().clock_epsilon;
+        if !crate::timestamp::lease_claimable(self.rt.now(), grant.until, eps) {
             return None;
         }
         let poll = self.primary().config().acquire_poll;
@@ -1011,12 +1066,21 @@ where
         }
         let key = self.key.clone();
         let lock_ref = self.lock_ref;
+        let floors = self.client.stamp_floors.clone();
         let pp = self
             .client
             .critical_with_retry("criticalPut", move |r| {
                 let key = key.clone();
                 let value = value.clone();
-                async move { r.critical_put_async(&key, lock_ref, value).await }
+                let floors = floors.clone();
+                async move {
+                    let floor = session_floor(&floors, &key, lock_ref);
+                    let pp = r
+                        .critical_put_async_floored(&key, lock_ref, value, floor)
+                        .await?;
+                    note_stamp(&floors, &key, lock_ref, pp.elapsed());
+                    Ok(pp)
+                }
             })
             .await?;
         let depth = {

@@ -106,6 +106,15 @@ pub struct MusicConfig {
     /// (0 extra WAN RTTs). `None` (the default) disables leasing and
     /// preserves the paper's exact protocol.
     pub lease_window: Option<SimDuration>,
+    /// `ε`: the clock-uncertainty bound every time-based lease decision
+    /// must absorb. A lease is claimed only while `local_now + ε < expiry`
+    /// and revoked only once `local_now − ε > expiry`
+    /// ([`crate::timestamp::lease_claimable`] /
+    /// [`crate::timestamp::lease_breakable`]), so as long as every node's
+    /// clock skew stays within ε the fast path is drift-safe; skew beyond
+    /// ε is the documented unsafe region (DESIGN.md §8). `ZERO` (the
+    /// default) reproduces the pre-drift strict comparisons exactly.
+    pub clock_epsilon: SimDuration,
 }
 
 impl Default for MusicConfig {
@@ -122,6 +131,7 @@ impl Default for MusicConfig {
             peek_mode: PeekMode::Local,
             write_mode: WriteMode::Sync,
             lease_window: None,
+            clock_epsilon: SimDuration::ZERO,
         }
     }
 }
@@ -275,6 +285,14 @@ impl MusicConfigBuilder {
         self
     }
 
+    /// Sets `ε`, the clock-uncertainty bound for lease claim/break and
+    /// watchdog revocation decisions.
+    #[must_use]
+    pub fn clock_epsilon(mut self, epsilon: SimDuration) -> Self {
+        self.cfg.clock_epsilon = epsilon;
+        self
+    }
+
     /// Finishes the chain.
     pub fn build(self) -> MusicConfig {
         self.cfg
@@ -302,6 +320,16 @@ mod tests {
             .build();
         assert_eq!(leased.lease_window, Some(SimDuration::from_secs(5)));
         assert!(leased.lease_window.unwrap() < leased.failure_timeout);
+        assert_eq!(
+            c.clock_epsilon,
+            SimDuration::ZERO,
+            "ε defaults to zero: strict pre-drift comparisons"
+        );
+        let eps = MusicConfig::builder()
+            .clock_epsilon(SimDuration::from_millis(2))
+            .build();
+        assert_eq!(eps.clock_epsilon, SimDuration::from_millis(2));
+        assert!(eps.clock_epsilon < eps.lease_window.unwrap_or(eps.failure_timeout));
     }
 
     #[test]

@@ -88,10 +88,12 @@ pub use config::{MusicConfig, MusicConfigBuilder, PeekMode, PutMode, WriteMode};
 pub use error::{AcquireOutcome, AttemptTrail, CriticalError, MusicError};
 pub use health::ReplicaHealth;
 pub use music_lockstore::LockRef;
-pub use nemesis::{run_nemesis, NemesisOptions, NemesisRun, RunMode};
+pub use nemesis::{
+    run_drift_unsafe_demo, run_nemesis, DriftDemo, DriftLane, NemesisOptions, NemesisRun, RunMode,
+};
 pub use repair::RepairDaemon;
 pub use replica::{LeaseGrant, MusicReplica, PendingPut};
 pub use stats::{OpKind, OpStats};
-pub use system::{MusicSystem, MusicSystemBuilder};
-pub use timestamp::{V2s, VectorTimestamp};
+pub use system::{ClockDrift, MusicSystem, MusicSystemBuilder};
+pub use timestamp::{lease_breakable, lease_claimable, V2s, VectorTimestamp};
 pub use watchdog::Watchdog;

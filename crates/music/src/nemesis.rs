@@ -40,8 +40,10 @@ use music_telemetry::{
 };
 
 use crate::config::{MusicConfig, WriteMode};
+use crate::error::AcquireOutcome;
 use crate::repair::RepairDaemon;
-use crate::system::{MusicSystem, MusicSystemBuilder};
+use crate::replica::MusicReplica;
+use crate::system::{ClockDrift, MusicSystem, MusicSystemBuilder};
 use crate::watchdog::Watchdog;
 
 /// Which client-visible protocol variant a nemesis run exercises.
@@ -74,6 +76,22 @@ impl RunMode {
     }
 }
 
+/// The clock-drift lane: a standing, whole-run fault giving every MUSIC
+/// replica a seeded skewed clock (|skew| ≤ `max_skew` for the run), while
+/// the protocol's drift-safe lease guards assume an uncertainty bound of
+/// `epsilon` ([`MusicConfig::clock_epsilon`]).
+///
+/// With `max_skew <= epsilon` every schedule must stay ECF-clean with a
+/// clean queue refinement; `max_skew > epsilon` is the documented unsafe
+/// region (see [`run_drift_unsafe_demo`]).
+#[derive(Copy, Clone, Debug)]
+pub struct DriftLane {
+    /// Per-replica skew budget over the run.
+    pub max_skew: SimDuration,
+    /// The ε the lease guards are configured with.
+    pub epsilon: SimDuration,
+}
+
 /// Tunables of one nemesis run. The defaults are what the CLI and CI use.
 #[derive(Clone, Debug)]
 pub struct NemesisOptions {
@@ -89,6 +107,8 @@ pub struct NemesisOptions {
     pub node_faults: usize,
     /// Faults drawn for the degradation lane.
     pub degradation_faults: usize,
+    /// Clock-drift lane (`None` keeps every node on true virtual time).
+    pub drift: Option<DriftLane>,
 }
 
 impl NemesisOptions {
@@ -101,7 +121,15 @@ impl NemesisOptions {
             keys: 2,
             node_faults: 4,
             degradation_faults: 2,
+            drift: None,
         }
+    }
+
+    /// These options with the clock-drift lane enabled.
+    #[must_use]
+    pub fn with_drift(mut self, max_skew: SimDuration, epsilon: SimDuration) -> Self {
+        self.drift = Some(DriftLane { max_skew, epsilon });
+        self
     }
 }
 
@@ -438,6 +466,7 @@ pub fn run_nemesis(
         // Tight enough that abandoned sections clear within a run.
         failure_timeout: SimDuration::from_secs(4),
         breaker_cooldown: SimDuration::from_millis(500),
+        clock_epsilon: options.drift.map_or(SimDuration::ZERO, |d| d.epsilon),
         ..MusicConfig::default()
     };
     let sys = MusicSystemBuilder::new()
@@ -446,18 +475,44 @@ pub fn run_nemesis(
         .music_config(music_cfg)
         .seed(seed)
         .telemetry(recorder.clone())
+        .clock_drift(options.drift.map(|d| ClockDrift::bounded(d.max_skew)))
         .build();
     let sim = sys.sim().clone();
     let sites = profile.site_count();
 
+    // The drift lane is a standing fault: every replica's clock is skewed
+    // for the whole run, recorded up front (one inject per drifted node,
+    // never healed — skew does not go away).
+    if let Some(d) = options.drift {
+        for r in sys.replicas() {
+            record_fault(
+                sys.net(),
+                "clockDrift",
+                format!("n{}", r.node().0),
+                d.max_skew.as_micros(),
+                false,
+            );
+        }
+    }
+
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x004E_454D_4553_4953); // "NEMESIS"
     let node_lane = plan_node_lane(&mut rng, &sys, sites, options.node_faults);
     let degradation_lane = plan_degradation_lane(&mut rng, &sys, options.degradation_faults);
-    let schedule: Vec<String> = node_lane
+    let mut schedule: Vec<String> = node_lane
         .iter()
         .chain(degradation_lane.iter())
         .map(PlannedFault::describe)
         .collect();
+    if let Some(d) = options.drift {
+        schedule.insert(
+            0,
+            format!(
+                "0us standing clockDrift all-replicas max_skew={}us epsilon={}us",
+                d.max_skew.as_micros(),
+                d.epsilon.as_micros()
+            ),
+        );
+    }
 
     let sys2 = sys.clone();
     let (sections_ok, sections_abandoned, outcomes) = sim.block_on(async move {
@@ -539,6 +594,177 @@ pub fn run_nemesis(
         metrics,
         report,
         online,
+    }
+}
+
+/// Everything the scripted beyond-ε demonstration produces (see
+/// [`run_drift_unsafe_demo`]).
+#[derive(Debug)]
+pub struct DriftDemo {
+    /// Lease revocations the (true-clock) watchdog issued: 1 in every
+    /// region — the revocation itself is always legitimate.
+    pub revocations: u64,
+    /// Outcome names of the holder's two claim attempts, in order.
+    pub claim_outcomes: Vec<&'static str>,
+    /// `leaseDriftReject{guard:"claim"}` events recorded: the ε guard
+    /// turning away a claim that fell inside the uncertainty margin.
+    pub claim_drift_rejects: u64,
+    /// The recorded event log (empty unless the recorder was tracing).
+    pub events: Vec<Event>,
+    /// Counter snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Offline ECF verdict — clean in *every* region: end-to-end ECF
+    /// excuses the resurrection as a zombie grant (`v2s` domination keeps
+    /// the data plane safe), which is exactly why the queue-refinement
+    /// layer exists.
+    pub report: EcfReport,
+    /// Streaming verdict; in the unsafe region its queue layer records a
+    /// `re-grant of collected reference` violation.
+    pub online: Option<OnlineReport>,
+    /// Final virtual time, in microseconds.
+    pub final_time_us: u64,
+}
+
+/// The documented unsafe region, demonstrated deterministically.
+///
+/// Script: a holder whose clock runs `holder_slow_by` behind true time
+/// mints a 1 s lease on its own (slow) clock; the revocation's propagation
+/// toward the holder's site is frozen (an asymmetric cut standing in for
+/// the WAN commit-propagation window); past `until + ε` a true-clock
+/// watchdog at another site legitimately revokes the unclaimed lease; the
+/// holder then re-claims twice off its stale local view.
+///
+/// * `holder_slow_by` well beyond `2ε` (plus the revocation's quorum
+///   latency): the ε claim guard passes, the collected reference is
+///   resurrected, and the second claim's grant announcement is flagged by
+///   the lock-queue refinement (`re-grant of collected reference`).
+/// * `holder_slow_by` within the ε envelope: the guard rejects the claim
+///   — inside the margin with a `leaseDriftReject` event, beyond it as a
+///   plain expiry — and every verdict stays clean.
+///
+/// Deterministic: identical arguments replay byte-identical event logs.
+pub fn run_drift_unsafe_demo(
+    holder_slow_by: SimDuration,
+    epsilon: SimDuration,
+    recorder: Recorder,
+) -> DriftDemo {
+    if recorder.is_tracing() && recorder.online_report().is_none() {
+        recorder.attach_online(OnlineConfig::unbounded());
+    }
+    let music_cfg = MusicConfig {
+        failure_timeout: SimDuration::from_secs(4),
+        clock_epsilon: epsilon,
+        ..MusicConfig::default()
+    };
+    let sys = MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .net_config(NetConfig {
+            loss: 0.0,
+            jitter_frac: 0.0,
+            ..NetConfig::default()
+        })
+        .music_config(music_cfg)
+        .seed(7)
+        .telemetry(recorder.clone())
+        .build();
+    let sim = sys.sim().clone();
+    // The holder's replica, re-created over a clock running
+    // `holder_slow_by` behind true virtual time (a pure offset: the worst
+    // case for the claim guard, and the easiest to reason about).
+    let base = sys.replica(0).clone();
+    let slow_rt = sim.with_drift(music_simnet::clock::DriftSpec {
+        offset_us: -(holder_slow_by.as_micros() as i64),
+        ..music_simnet::clock::DriftSpec::NONE
+    });
+    let slow = MusicReplica::with_runtime(
+        base.node(),
+        slow_rt,
+        base.site(),
+        sys.recorder(),
+        sys.locks().clone(),
+        sys.data().clone(),
+        base.config().clone(),
+        sys.stats().clone(),
+    );
+    let sys2 = sys.clone();
+    let (revocations, claim_outcomes) = sim.block_on(async move {
+        let net = sys2.net().clone();
+        let sim = sys2.sim().clone();
+        let key = "drift-demo";
+        // One clean leased section through the slow replica: the clean
+        // release mints the successor lease on the holder's slow clock,
+        // so `until` lands `holder_slow_by` early in true time.
+        let r1 = slow.create_lock_ref(key).await.expect("enqueue");
+        loop {
+            match slow.acquire_lock(key, r1).await.expect("acquire") {
+                AcquireOutcome::Acquired => break,
+                _ => sim.sleep(SimDuration::from_millis(5)).await,
+            }
+        }
+        slow.critical_put(key, r1, Bytes::from_static(b"v1"))
+            .await
+            .expect("put");
+        let grant = slow
+            .release_lock_leased(key, r1, SimDuration::from_secs(1))
+            .await
+            .expect("release")
+            .expect("lease retained");
+        // Freeze the revocation's propagation toward the holder's site:
+        // messages from site 1 (the watchdog's) to site 0 vanish, so the
+        // holder's local lock-store view keeps the lease at head — the
+        // WAN commit-propagation window, stretched wide enough to script
+        // against.
+        net.partition_direction(SiteId(1), SiteId(0), false);
+        // Past `until + ε`, a true-clock watchdog at site 1 legitimately
+        // revokes the unclaimed lease.
+        sim.sleep_until(grant.until + epsilon + SimDuration::from_millis(5))
+            .await;
+        let dog = Watchdog::new(sys2.replica(1).clone(), SimDuration::from_millis(100));
+        dog.watch(key);
+        dog.scan_once().await;
+        // The slow holder re-claims off its stale local view, twice (the
+        // claim is idempotent for a live lease, so a duplicate winning
+        // poll is ordinarily benign — on a collected reference it is the
+        // resurrection's detectable footprint).
+        let mut claims = Vec::new();
+        for _ in 0..2 {
+            let outcome = slow.lease_reenter(key, grant.lock_ref).await;
+            claims.push(match outcome {
+                Ok(AcquireOutcome::Acquired) => "acquired",
+                Ok(AcquireOutcome::NotYet) => "notYet",
+                Ok(AcquireOutcome::NoLongerHolder) => "noLongerHolder",
+                Err(_) => "error",
+            });
+            sim.sleep(SimDuration::from_millis(1)).await;
+        }
+        // Heal and let the stores converge before the verdict.
+        net.partition_direction(SiteId(1), SiteId(0), true);
+        sim.sleep(SimDuration::from_secs(1)).await;
+        (dog.lease_revocations(), claims)
+    });
+    let final_time_us = sys.sim().now().as_micros();
+    let events = recorder.events();
+    let claim_drift_rejects = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                &e.kind,
+                EventKind::LeaseDriftReject { guard, .. } if *guard == "claim"
+            )
+        })
+        .count() as u64;
+    let metrics = recorder.metrics();
+    let report = check(&events);
+    let online = recorder.online_report();
+    DriftDemo {
+        revocations,
+        claim_outcomes,
+        claim_drift_rejects,
+        events,
+        metrics,
+        report,
+        online,
+        final_time_us,
     }
 }
 

@@ -14,7 +14,10 @@
 //! simulator deployment every test runs on; `music-node`/`music-load` run
 //! the same code over `NativeRuntime` + `RemoteTable`.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 use bytes::Bytes;
 
@@ -29,7 +32,7 @@ use music_telemetry::{EventKind, Recorder, Scope, SpanId, SpanPhase, TraceId};
 use crate::config::{MusicConfig, PeekMode, PutMode};
 use crate::error::{AcquireOutcome, CriticalError};
 use crate::stats::{OpKind, OpStats};
-use crate::timestamp::{V2s, VectorTimestamp};
+use crate::timestamp::{lease_claimable, V2s, VectorTimestamp};
 
 /// Reserved separator for internal keys; client keys must not contain it.
 const INTERNAL_SEP: char = '\u{1}';
@@ -78,6 +81,16 @@ pub struct MusicReplica<RT = Sim, D = ReplicatedTable<DataRow>, L = ReplicatedTa
     v2s: V2s,
     cfg: MusicConfig,
     stats: OpStats,
+    /// Per-key floor on the `elapsed` component of put stamps, as
+    /// `key → (lockRef, last stamped elapsed µs)`. A drifting local clock
+    /// need not be *strictly* increasing (a slow rate or a clamped
+    /// backward step stalls local time), and the data store breaks
+    /// equal-stamp ties by value bytes, not issue order — so successive
+    /// puts of one section must be forced onto strictly increasing
+    /// stamps or a later put can lose last-write-wins to an earlier one.
+    /// All of a reference's puts are issued through one replica, so a
+    /// replica-local floor suffices.
+    stamp_floor: Rc<RefCell<HashMap<String, (u64, u64)>>>,
 }
 
 impl<RT: Clone, D: Clone, L: Clone> Clone for MusicReplica<RT, D, L> {
@@ -92,6 +105,7 @@ impl<RT: Clone, D: Clone, L: Clone> Clone for MusicReplica<RT, D, L> {
             v2s: self.v2s,
             cfg: self.cfg.clone(),
             stats: self.stats.clone(),
+            stamp_floor: self.stamp_floor.clone(),
         }
     }
 }
@@ -154,6 +168,7 @@ where
             v2s: V2s::new(cfg.t_max),
             cfg,
             stats,
+            stamp_floor: Rc::new(RefCell::new(HashMap::new())),
         }
     }
 
@@ -455,9 +470,22 @@ where
             // path (defensive; should not happen for a cached grant).
             return Ok(AcquireOutcome::NoLongerHolder);
         };
-        if self.now() >= until {
-            // Expired: the watchdog may already be revoking it. Take the
-            // slow path (which resynchronizes) rather than racing it.
+        let now = self.now();
+        if !lease_claimable(now, until, self.cfg.clock_epsilon) {
+            // Expired — or within ε of expiry on this node's (possibly
+            // skewed) clock, where a drift-shifted watchdog may already be
+            // revoking it. Take the slow path (which resynchronizes)
+            // rather than racing it.
+            if now < until {
+                self.count("lease_drift_rejects", 1);
+                self.emit(|| EventKind::LeaseDriftReject {
+                    key: key.to_string(),
+                    lock_ref: lock_ref.value(),
+                    guard: "claim",
+                    now_us: now.as_micros(),
+                    until_us: until.as_micros(),
+                });
+            }
             return Ok(AcquireOutcome::NoLongerHolder);
         }
         // Claim: record the section start for the duration bound T and the
@@ -700,9 +728,69 @@ where
     ) -> Result<(), CriticalError> {
         Self::assert_client_key(key);
         let span = self.span_start("criticalPut", key);
-        let r = self.critical_put_inner(key, lock_ref, put, mode).await;
+        let r = self
+            .critical_put_inner(key, lock_ref, put, mode, SimDuration::ZERO)
+            .await
+            .map(|_| ());
         self.span_end(span, "criticalPut", key, r.is_ok());
         r
+    }
+
+    /// [`MusicReplica::critical_put`] with an external stamp floor and the
+    /// stamped elapsed returned. The floor is the client's *session* floor:
+    /// after a mid-section fail-over, successive puts of one section run on
+    /// different replicas whose drifted clocks can disagree by up to 2ε, so
+    /// each replica's own `elapsed = now − start_time` is not monotone
+    /// across the hand-off. The client threads the last stamped elapsed
+    /// through so the new replica stamps strictly above it, keeping
+    /// last-write-wins aligned with issue order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MusicReplica::critical_put`].
+    pub async fn critical_put_floored(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        value: Bytes,
+        floor: SimDuration,
+    ) -> Result<SimDuration, CriticalError> {
+        Self::assert_client_key(key);
+        let span = self.span_start("criticalPut", key);
+        let r = self
+            .critical_put_inner(key, lock_ref, Put::value(value), self.cfg.put_mode, floor)
+            .await;
+        self.span_end(span, "criticalPut", key, r.is_ok());
+        r
+    }
+
+    /// Monotonizes the `elapsed` component of a fresh put stamp: at least
+    /// 1µs (strictly above the grant-time synchronization re-write at
+    /// elapsed 0), strictly above every stamp this replica already minted
+    /// for `key` under `lock_ref` ([`Self::stamp_floor`], covering a
+    /// stalled or stepped-back local clock), and strictly above the
+    /// caller-supplied `floor` (the client session floor, covering
+    /// cross-replica fail-over under clock skew).
+    fn stamped_elapsed(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        elapsed: SimDuration,
+        floor: SimDuration,
+    ) -> SimDuration {
+        let mut floors = self.stamp_floor.borrow_mut();
+        let entry = floors
+            .entry(key.to_string())
+            .or_insert((lock_ref.value(), 0));
+        if entry.0 != lock_ref.value() {
+            *entry = (lock_ref.value(), 0);
+        }
+        let bumped = elapsed
+            .as_micros()
+            .max(entry.1 + 1)
+            .max(floor.as_micros().saturating_add(1));
+        entry.1 = bumped;
+        SimDuration::from_micros(bumped)
     }
 
     async fn critical_put_inner(
@@ -711,11 +799,11 @@ where
         lock_ref: LockRef,
         put: Put,
         mode: PutMode,
-    ) -> Result<(), CriticalError> {
+        floor: SimDuration,
+    ) -> Result<SimDuration, CriticalError> {
         let t0 = self.now();
         let elapsed = self.critical_guard(key, lock_ref).await?;
-        // Strictly above the synchronization re-write at elapsed 0.
-        let elapsed = elapsed.max(SimDuration::from_micros(1));
+        let elapsed = self.stamped_elapsed(key, lock_ref, elapsed, floor);
         let stamp = self.v2s.scalar(VectorTimestamp::new(lock_ref, elapsed));
         // Deletes have no digest; the checker tracks valued writes only.
         let digest = put.value.as_deref().map(music_telemetry::digest);
@@ -746,7 +834,7 @@ where
                 digest: d,
             });
         }
-        Ok(())
+        Ok(elapsed)
     }
 
     /// Pipelined `criticalPut`: runs the holder guard and stamps the write
@@ -769,6 +857,26 @@ where
         lock_ref: LockRef,
         value: Bytes,
     ) -> Result<PendingPut<RT>, CriticalError> {
+        self.critical_put_async_floored(key, lock_ref, value, SimDuration::ZERO)
+            .await
+    }
+
+    /// [`MusicReplica::critical_put_async`] with an external stamp floor —
+    /// see [`MusicReplica::critical_put_floored`] for why fail-over across
+    /// skewed replica clocks needs one. The stamped elapsed is available on
+    /// the returned [`PendingPut::elapsed`] *at issue time*, so the client
+    /// can advance its session floor before the ack lands.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MusicReplica::critical_put_async`].
+    pub async fn critical_put_async_floored(
+        &self,
+        key: &str,
+        lock_ref: LockRef,
+        value: Bytes,
+        floor: SimDuration,
+    ) -> Result<PendingPut<RT>, CriticalError> {
         Self::assert_client_key(key);
         let span = self.span_start("criticalPut", key);
         let t0 = self.now();
@@ -779,8 +887,7 @@ where
                 return Err(e);
             }
         };
-        // Strictly above the synchronization re-write at elapsed 0.
-        let elapsed = elapsed.max(SimDuration::from_micros(1));
+        let elapsed = self.stamped_elapsed(key, lock_ref, elapsed, floor);
         let stamp = self.v2s.scalar(VectorTimestamp::new(lock_ref, elapsed));
         let digest = music_telemetry::digest(&value);
         self.emit(|| EventKind::CritPutStart {

@@ -11,14 +11,51 @@ use bytes::Bytes;
 
 use music_lockstore::LockStore;
 use music_quorumstore::{DataRow, ReplicatedTable, TableConfig};
+use music_simnet::clock::DriftSpec;
 use music_simnet::executor::Sim;
 use music_simnet::net::{NetConfig, Network, NodeId};
+use music_simnet::time::SimDuration;
 use music_simnet::topology::{LatencyProfile, SiteId};
 
 use crate::client::MusicClient;
 use crate::config::MusicConfig;
 use crate::replica::{synch_key, MusicReplica};
 use crate::stats::OpStats;
+
+/// Per-node clock drift for a simulated deployment: every MUSIC replica
+/// (and its co-spawned daemons) reads time through its own seeded skewed
+/// clock whose |local − true| stays within `max_skew` over `horizon`.
+///
+/// Event delivery and timer scheduling stay on true virtual time, so a
+/// seeded run replays byte-identically with or without telemetry; only the
+/// *timestamps* nodes take (lease expiries, watchdog staleness scans) are
+/// skewed. Pair with [`MusicConfig::clock_epsilon`](crate::MusicConfig):
+/// the drift-safe lease guards tolerate exactly `max_skew ≤ ε`.
+#[derive(Copy, Clone, Debug)]
+pub struct ClockDrift {
+    /// Per-node skew budget: |local − true| ≤ `max_skew` over `horizon`.
+    pub max_skew: SimDuration,
+    /// Virtual-time horizon the budget is guaranteed over.
+    pub horizon: SimDuration,
+}
+
+impl ClockDrift {
+    /// A drift budget over a 120-second horizon — generous for every
+    /// simulated workload in this repo (nemesis runs quiesce in ~10 s).
+    pub fn bounded(max_skew: SimDuration) -> Self {
+        ClockDrift {
+            max_skew,
+            horizon: SimDuration::from_secs(120),
+        }
+    }
+
+    /// The deterministic per-node drift spec this configuration assigns to
+    /// `node` under deployment seed `seed`.
+    pub fn spec_for(&self, seed: u64, node: NodeId) -> DriftSpec {
+        let node_seed = seed ^ (u64::from(node.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DriftSpec::bounded(node_seed, self.max_skew, self.horizon)
+    }
+}
 
 /// Builder for a complete simulated MUSIC deployment.
 ///
@@ -54,6 +91,7 @@ pub struct MusicSystemBuilder {
     rf: usize,
     seed: u64,
     recorder: music_telemetry::Recorder,
+    drift: Option<ClockDrift>,
 }
 
 impl Default for MusicSystemBuilder {
@@ -76,7 +114,15 @@ impl MusicSystemBuilder {
             rf: 3,
             seed: 0,
             recorder: music_telemetry::Recorder::off(),
+            drift: None,
         }
+    }
+
+    /// Gives every MUSIC replica a seeded skewed clock (see [`ClockDrift`]).
+    /// `None` (the default) keeps all nodes on true virtual time.
+    pub fn clock_drift(mut self, drift: Option<ClockDrift>) -> Self {
+        self.drift = drift;
+        self
     }
 
     /// Installs a telemetry recorder: every layer (network, stores, MUSIC
@@ -180,9 +226,15 @@ impl MusicSystemBuilder {
         for _round in 0..self.replicas_per_site {
             for s in 0..sites {
                 let node = net.add_node(SiteId(s as u32));
-                replicas.push(MusicReplica::new(
+                let rt = match &self.drift {
+                    Some(d) => sim.with_drift(d.spec_for(self.seed, node)),
+                    None => sim.clone(),
+                };
+                replicas.push(MusicReplica::with_runtime(
                     node,
-                    net.clone(),
+                    rt,
+                    net.site_of(node).0,
+                    net.recorder(),
                     locks.clone(),
                     data.clone(),
                     self.music_cfg.clone(),

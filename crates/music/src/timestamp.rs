@@ -15,7 +15,7 @@
 
 use music_lockstore::LockRef;
 use music_quorumstore::WriteStamp;
-use music_simnet::time::SimDuration;
+use music_simnet::time::{SimDuration, SimTime};
 
 /// A MUSIC vector timestamp: `(lockRef, elapsed-in-critical-section)`.
 ///
@@ -131,6 +131,32 @@ impl V2s {
     }
 }
 
+/// Drift-safe lease **claim** guard: a node whose local clock reads `now`
+/// may act on a lease expiring at `expiry` only when `now + ε < expiry` —
+/// the claim stays valid even if the local clock runs up to `ε` slow, so
+/// under per-node skew ≤ ε a claim never lands after the true expiry.
+///
+/// All arithmetic is saturating (`SimTime + SimDuration` saturates at
+/// `u64::MAX` µs), so the guard is total: near the representable bound the
+/// sum pins at `SimTime::MAX` and the claim is refused — fail closed.
+pub fn lease_claimable(now: SimTime, expiry: SimTime, epsilon: SimDuration) -> bool {
+    now + epsilon < expiry
+}
+
+/// Drift-safe lease **break** guard: a watchdog (or competitor acting on
+/// time rather than the break flag) whose local clock reads `now` may
+/// retire a lease expiring at `expiry` only when `now − ε > expiry` — the
+/// revocation stays valid even if the local clock runs up to `ε` fast, so
+/// under per-node skew ≤ ε a live lease is never revoked early.
+///
+/// For every `(now, expiry, ε)` at most one of [`lease_claimable`] and
+/// `lease_breakable` holds (they are mutually exclusive — verified
+/// exhaustively in this module's tests), and each is monotone in ε: a
+/// larger uncertainty bound only ever makes both sides more conservative.
+pub fn lease_breakable(now: SimTime, expiry: SimTime, epsilon: SimDuration) -> bool {
+    now.saturating_since(expiry) > epsilon
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +221,137 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_t_rejected() {
         V2s::new(SimDuration::ZERO);
+    }
+
+    // ---- ε-guard properties (seeded sweeps in lieu of proptest) ----
+
+    /// Deterministic 64-bit generator for the guard sweeps.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Values that stress every regime of the guards: zero, small, the
+    /// v2s reference bound for the default T, and the saturation edge.
+    fn interesting_micros() -> Vec<u64> {
+        let ref_bound = v2s().max_lock_ref().saturating_mul(600_000_000);
+        vec![
+            0,
+            1,
+            2,
+            999,
+            1_000_000,
+            ref_bound.saturating_sub(1),
+            ref_bound,
+            ref_bound.saturating_add(1),
+            u64::MAX - 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ]
+    }
+
+    #[test]
+    fn guards_are_mutually_exclusive_everywhere() {
+        // Exhaustive over the interesting grid, then a seeded random sweep:
+        // no (now, expiry, ε) may be simultaneously claimable and breakable.
+        let grid = interesting_micros();
+        for &n in &grid {
+            for &e in &grid {
+                for &eps in &grid {
+                    let now = SimTime::from_micros(n);
+                    let exp = SimTime::from_micros(e);
+                    let eps = SimDuration::from_micros(eps);
+                    assert!(
+                        !(lease_claimable(now, exp, eps) && lease_breakable(now, exp, eps)),
+                        "both guards fired for now={n} expiry={e} eps={eps:?}"
+                    );
+                }
+            }
+        }
+        let mut s = 0xD01F_ACE5u64;
+        for _ in 0..100_000 {
+            let now = SimTime::from_micros(splitmix(&mut s));
+            let exp = SimTime::from_micros(splitmix(&mut s));
+            let eps = SimDuration::from_micros(splitmix(&mut s));
+            assert!(
+                !(lease_claimable(now, exp, eps) && lease_breakable(now, exp, eps)),
+                "both guards fired for now={now:?} expiry={exp:?} eps={eps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guards_are_monotone_in_epsilon() {
+        // Growing ε can only retract a guard, never grant one: claimable
+        // and breakable are both antitone in ε.
+        let mut s = 0x5EED_0001u64;
+        for _ in 0..50_000 {
+            let now = SimTime::from_micros(splitmix(&mut s));
+            let exp = SimTime::from_micros(splitmix(&mut s));
+            let e1 = splitmix(&mut s);
+            let e2 = e1.saturating_add(splitmix(&mut s) % 1_000_000_000);
+            let (small, large) = (SimDuration::from_micros(e1), SimDuration::from_micros(e2));
+            if lease_claimable(now, exp, large) {
+                assert!(
+                    lease_claimable(now, exp, small),
+                    "claim guard not antitone at now={now:?} expiry={exp:?}"
+                );
+            }
+            if lease_breakable(now, exp, large) {
+                assert!(
+                    lease_breakable(now, exp, small),
+                    "break guard not antitone at now={now:?} expiry={exp:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guards_fail_closed_at_the_saturation_edge() {
+        // Near u64::MAX µs (far beyond the §X-A3 v2s bound) the saturating
+        // sums pin instead of wrapping: neither guard can fire spuriously.
+        let eps = SimDuration::from_micros(10);
+        let max = SimTime::from_micros(u64::MAX);
+        assert!(!lease_claimable(max, max, eps));
+        assert!(
+            !lease_claimable(SimTime::from_micros(u64::MAX - 5), max, eps),
+            "now + ε saturates to MAX, which is not < MAX"
+        );
+        assert!(lease_breakable(
+            max,
+            SimTime::from_micros(u64::MAX - 11),
+            eps
+        ));
+        assert!(!lease_breakable(max, max, eps));
+        // At the v2s reference bound for T = 600s everything still behaves:
+        // a lease minted at the last representable reference's epoch.
+        let bound = v2s().max_lock_ref().saturating_mul(600_000_000);
+        let expiry = SimTime::from_micros(bound);
+        assert!(lease_claimable(
+            SimTime::from_micros(bound - 100),
+            expiry,
+            eps
+        ));
+        assert!(lease_breakable(
+            SimTime::from_micros(bound.saturating_add(100)),
+            expiry,
+            eps
+        ));
+    }
+
+    #[test]
+    fn zero_epsilon_reduces_to_strict_comparison() {
+        let mut s = 0xABCD_EF01u64;
+        for _ in 0..20_000 {
+            let n = splitmix(&mut s);
+            let e = splitmix(&mut s);
+            let now = SimTime::from_micros(n);
+            let exp = SimTime::from_micros(e);
+            assert_eq!(lease_claimable(now, exp, SimDuration::ZERO), n < e);
+            assert_eq!(lease_breakable(now, exp, SimDuration::ZERO), n > e);
+        }
     }
 }

@@ -17,6 +17,7 @@ use music_lockstore::LockRef;
 use music_simnet::time::{SimDuration, SimTime};
 
 use crate::replica::MusicReplica;
+use crate::timestamp::lease_breakable;
 
 #[derive(Debug)]
 struct Observation {
@@ -46,6 +47,7 @@ pub struct Watchdog {
     running: Rc<std::cell::Cell<bool>>,
     preemptions: Rc<std::cell::Cell<u64>>,
     lease_revocations: Rc<std::cell::Cell<u64>>,
+    drift_defers: Rc<std::cell::Cell<u64>>,
 }
 
 impl Watchdog {
@@ -58,6 +60,7 @@ impl Watchdog {
             running: Rc::new(std::cell::Cell::new(false)),
             preemptions: Rc::new(std::cell::Cell::new(0)),
             lease_revocations: Rc::new(std::cell::Cell::new(0)),
+            drift_defers: Rc::new(std::cell::Cell::new(0)),
         }
     }
 
@@ -89,13 +92,54 @@ impl Watchdog {
         self.lease_revocations.get()
     }
 
+    /// How many revocations were deferred because the lease deadline fell
+    /// inside the configured clock-uncertainty margin ε: this node's clock
+    /// read the lease as expired, but a clock running ε slower would not —
+    /// so a drift-shifted holder may still legitimately claim it.
+    pub fn drift_defers(&self) -> u64 {
+        self.drift_defers.get()
+    }
+
+    /// Records one ε-deferred revocation (counter + telemetry).
+    fn note_drift_defer(&self, key: &str, head: LockRef, now: SimTime, until: SimTime) {
+        self.drift_defers.set(self.drift_defers.get() + 1);
+        let rec = self.replica.recorder();
+        if !rec.is_on() {
+            return;
+        }
+        let node = self.replica.node().0;
+        rec.count(
+            music_telemetry::Scope::Node(node),
+            "watchdog_drift_defers",
+            1,
+        );
+        if rec.is_tracing() {
+            let rt = self.replica.runtime();
+            rec.record(
+                rt.now().as_micros(),
+                rt.trace(),
+                node,
+                music_telemetry::EventKind::LeaseDriftReject {
+                    key: key.to_string(),
+                    lock_ref: head.value(),
+                    guard: "break",
+                    now_us: now.as_micros(),
+                    until_us: until.as_micros(),
+                },
+            );
+        }
+    }
+
     /// Spawns the periodic scan loop on the replica's simulation.
     pub fn spawn(&self) {
         if self.running.replace(true) {
             return; // already running
         }
         let this = self.clone();
-        let sim = this.replica.data().net().sim().clone();
+        // The replica's runtime, not the network's: a drifted deployment
+        // hands each replica a skewed clock, and the watchdog must judge
+        // lease expiries on the same (local) clock its replica uses.
+        let sim = this.replica.runtime().clone();
         let sim2 = sim.clone();
         sim.spawn(async move {
             while this.running.get() {
@@ -117,7 +161,8 @@ impl Watchdog {
     /// holder, and the claim itself resets the staleness clock.
     pub async fn scan_once(&self) {
         let timeout = self.replica.config().failure_timeout;
-        let now = self.replica.data().net().sim().now();
+        let eps = self.replica.config().clock_epsilon;
+        let now = self.replica.runtime().now();
         let Ok(heads) = self.replica.locks().scan_heads(self.replica.node()).await else {
             return; // store unavailable; try next round
         };
@@ -154,10 +199,21 @@ impl Watchdog {
                 obs.first_seen
             };
             let expired_lease = match (claimed, entry.lease_until) {
-                // A standing, unclaimed lease within its window: leave it
-                // alone no matter how long it has sat at the head.
-                (false, Some(until)) if now < until => continue,
-                (false, Some(_)) => true,
+                // A standing, unclaimed lease: exempt from the staleness
+                // timeout no matter how long it has sat at the head, and
+                // revoked only once its deadline is more than ε past on
+                // this node's clock (drift-safe break guard: a holder
+                // whose clock runs up to ε slow may still legitimately
+                // claim until then).
+                (false, Some(until)) => {
+                    if !lease_breakable(now, until, eps) {
+                        if now >= until {
+                            self.note_drift_defer(&key, head, now, until);
+                        }
+                        continue;
+                    }
+                    true
+                }
                 _ => false,
             };
             if expired_lease || now - stale_since >= timeout {
@@ -184,7 +240,7 @@ impl Watchdog {
                         };
                         rec.count(music_telemetry::Scope::Node(node), counter, 1);
                         if rec.is_tracing() {
-                            let sim = self.replica.data().net().sim();
+                            let sim = self.replica.runtime();
                             rec.record(
                                 sim.now().as_micros(),
                                 sim.trace(),

@@ -266,6 +266,178 @@ fn lease_claim_resets_the_staleness_clock() {
     sim.run_until_complete(h);
 }
 
+// ---- Skewed observer clocks (the ε break guard) ----
+
+use music::MusicReplica;
+use music_simnet::clock::DriftSpec;
+
+const EPS: SimDuration = SimDuration::from_millis(100);
+
+fn eps_system(failure_timeout: SimDuration) -> music::MusicSystem {
+    MusicSystemBuilder::new()
+        .profile(LatencyProfile::one_us())
+        .net_config(quiet())
+        .music_config(MusicConfig {
+            failure_timeout,
+            clock_epsilon: EPS,
+            ..MusicConfig::default()
+        })
+        .seed(77)
+        .build()
+}
+
+/// A clone of the replica at `site` whose clock reads `offset_us` ahead
+/// (negative = behind) of true virtual time.
+fn skewed_replica(sys: &music::MusicSystem, site: usize, offset_us: i64) -> MusicReplica {
+    let base = sys.replica(site).clone();
+    let rt = sys.sim().with_drift(DriftSpec {
+        offset_us,
+        ..DriftSpec::NONE
+    });
+    MusicReplica::with_runtime(
+        base.node(),
+        rt,
+        base.site(),
+        sys.recorder(),
+        sys.locks().clone(),
+        sys.data().clone(),
+        base.config().clone(),
+        sys.stats().clone(),
+    )
+}
+
+#[test]
+fn fast_scan_does_not_revoke_a_live_lease() {
+    // The watchdog's clock runs ε fast: right at the edge of what the
+    // deployment promises. Pre-ε-guard, such an observer would revoke a
+    // lease up to ε before its true deadline — stealing it from a
+    // legitimate claimant.
+    let sys = eps_system(SimDuration::from_secs(1_000));
+    let sim = sys.sim().clone();
+    let fast = skewed_replica(&sys, 1, EPS.as_micros() as i64);
+    let dog = Watchdog::new(fast, SimDuration::from_millis(250));
+    dog.watch("leased");
+    let sys2 = sys.clone();
+    let dog2 = dog.clone();
+    let h = sim.spawn(async move {
+        let r = sys2.replica(0).clone();
+        let lr = r.create_lock_ref("leased").await.unwrap();
+        while r.acquire_lock("leased", lr).await.unwrap() != AO::Acquired {}
+        let grant = r
+            .release_lock_leased("leased", lr, SimDuration::from_secs(1))
+            .await
+            .unwrap()
+            .expect("lease granted");
+        // 150 ms of true time before the deadline: the fast observer's
+        // clock already reads the lease as within 50 ms of expiry (alive),
+        // and shortly after as expired — neither may revoke.
+        sys2.sim()
+            .sleep_until(SimTime::from_micros(grant.until.as_micros() - 150_000))
+            .await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.preemptions(), 0, "live lease revoked by a fast scan");
+        assert_eq!(dog2.drift_defers(), 0, "observer still reads it as live");
+        // The true-clock owner claims the lease it is still entitled to.
+        assert_eq!(
+            r.lease_reenter("leased", grant.lock_ref).await.unwrap(),
+            AO::Acquired,
+            "the live lease must remain claimable"
+        );
+        dog2.scan_once().await;
+        assert_eq!(dog2.preemptions(), 0);
+    });
+    sim.run_until_complete(h);
+    assert_eq!(dog.lease_revocations(), 0);
+}
+
+#[test]
+fn fast_scan_defers_inside_the_margin_then_revokes_past_it() {
+    let sys = eps_system(SimDuration::from_secs(1_000));
+    let sim = sys.sim().clone();
+    let fast = skewed_replica(&sys, 1, EPS.as_micros() as i64);
+    let dog = Watchdog::new(fast, SimDuration::from_millis(250));
+    dog.watch("leased");
+    let sys2 = sys.clone();
+    let dog2 = dog.clone();
+    let h = sim.spawn(async move {
+        let r = sys2.replica(0).clone();
+        let lr = r.create_lock_ref("leased").await.unwrap();
+        while r.acquire_lock("leased", lr).await.unwrap() != AO::Acquired {}
+        let grant = r
+            .release_lock_leased("leased", lr, SimDuration::from_secs(1))
+            .await
+            .unwrap()
+            .expect("lease granted");
+        // 50 ms of true time before the deadline: the fast observer reads
+        // the lease as 50 ms expired — inside the ε margin, where a
+        // slower-clocked owner could still legitimately claim. Defer.
+        sys2.sim()
+            .sleep_until(SimTime::from_micros(grant.until.as_micros() - 50_000))
+            .await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.preemptions(), 0, "margin revocation must defer");
+        assert_eq!(dog2.drift_defers(), 1, "the deferral is counted");
+        // 150 ms of true time past the deadline: even a clock ε *slow*
+        // would now read it expired — revoke.
+        sys2.sim()
+            .sleep_until(grant.until + SimDuration::from_millis(150))
+            .await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.lease_revocations(), 1, "expired past ε: revoked");
+    });
+    sim.run_until_complete(h);
+    assert_eq!(dog.preemptions(), 1);
+}
+
+#[test]
+fn slow_scan_still_revokes_an_expired_unclaimed_lease() {
+    // The observer's clock runs ε slow: revocation is delayed (never
+    // lost) — once even the slow clock is more than ε past the deadline,
+    // the lease is collected like any other.
+    let sys = eps_system(SimDuration::from_secs(1_000));
+    let sim = sys.sim().clone();
+    let slow = skewed_replica(&sys, 1, -(EPS.as_micros() as i64));
+    let dog = Watchdog::new(slow, SimDuration::from_millis(250));
+    dog.watch("leased");
+    let sys2 = sys.clone();
+    let dog2 = dog.clone();
+    let h = sim.spawn(async move {
+        let r = sys2.replica(0).clone();
+        let lr = r.create_lock_ref("leased").await.unwrap();
+        while r.acquire_lock("leased", lr).await.unwrap() != AO::Acquired {}
+        let grant = r
+            .release_lock_leased("leased", lr, SimDuration::from_millis(500))
+            .await
+            .unwrap()
+            .expect("lease granted");
+        // 50 ms of true time past the deadline: the slow observer still
+        // reads the lease as live. No revocation, no defer.
+        sys2.sim()
+            .sleep_until(grant.until + SimDuration::from_millis(50))
+            .await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.preemptions(), 0);
+        assert_eq!(dog2.drift_defers(), 0);
+        // 150 ms past: the slow clock reads 50 ms expired — inside the
+        // margin, deferred.
+        sys2.sim()
+            .sleep_until(grant.until + SimDuration::from_millis(150))
+            .await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.preemptions(), 0);
+        assert_eq!(dog2.drift_defers(), 1);
+        // 250 ms past: the slow clock is ε past the deadline plus 50 ms —
+        // beyond the margin, revoked.
+        sys2.sim()
+            .sleep_until(grant.until + SimDuration::from_millis(250))
+            .await;
+        dog2.scan_once().await;
+        assert_eq!(dog2.lease_revocations(), 1, "late scan still revokes");
+    });
+    sim.run_until_complete(h);
+    assert_eq!(dog.preemptions(), 1);
+}
+
 #[test]
 fn revocation_racing_reentry_stays_exclusive() {
     // The owner's cached grant and the watchdog race after expiry. The

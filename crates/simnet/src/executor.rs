@@ -39,6 +39,7 @@ use std::task::{Context, Poll, Wake, Waker};
 
 use parking_lot::Mutex;
 
+use crate::clock::{DriftClock, DriftSpec};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a spawned task, used internally for wakeups.
@@ -172,9 +173,16 @@ impl ExecutorProfile {
 /// Handle to the simulation runtime: clock, spawner, and run loop.
 ///
 /// `Sim` is a cheap reference-counted handle; clone it freely into tasks.
+///
+/// A handle can optionally carry a **drift lens** ([`Sim::with_drift`]):
+/// [`Sim::now`] through such a handle reads a node-local skewed clock while
+/// scheduling, timers, and event delivery stay on true virtual time
+/// ([`Sim::true_now`]) — the model of a fleet whose nodes' clocks drift.
 #[derive(Clone)]
 pub struct Sim {
     inner: Rc<Inner>,
+    /// Per-handle clock-skew lens; `None` reads true virtual time.
+    skew: Option<Rc<DriftClock>>,
 }
 
 impl fmt::Debug for Sim {
@@ -209,12 +217,42 @@ impl Sim {
                 current_span: Cell::new(0),
                 profile: ProfileCells::default(),
             }),
+            skew: None,
         }
     }
 
-    /// Current virtual time.
+    /// Current time as this handle's node observes it: true virtual time,
+    /// mapped through the drift lens when one is attached
+    /// ([`Sim::with_drift`]).
     pub fn now(&self) -> SimTime {
+        match &self.skew {
+            Some(clock) => clock.local(self.inner.now.get()),
+            None => self.inner.now.get(),
+        }
+    }
+
+    /// Current **true** virtual time, ignoring any drift lens. This is the
+    /// clock that orders event delivery and timer firing.
+    pub fn true_now(&self) -> SimTime {
         self.inner.now.get()
+    }
+
+    /// A handle onto the same simulation whose [`Sim::now`] reads a
+    /// node-local clock skewed by `spec`. Scheduling is untouched: timers
+    /// and tasks created through the skewed handle still run on true
+    /// virtual time (interval timers behave like `CLOCK_MONOTONIC` — skew
+    /// affects timestamps, not durations), so attaching drift never changes
+    /// the event schedule and byte-replay is preserved.
+    pub fn with_drift(&self, spec: DriftSpec) -> Sim {
+        Sim {
+            inner: Rc::clone(&self.inner),
+            skew: Some(Rc::new(DriftClock::new(spec))),
+        }
+    }
+
+    /// The drift spec of this handle's lens, if one is attached.
+    pub fn drift_spec(&self) -> Option<&DriftSpec> {
+        self.skew.as_ref().map(|c| c.spec())
     }
 
     /// Number of tasks that have been spawned and not yet completed.
@@ -348,13 +386,29 @@ impl Sim {
     }
 
     /// Returns a future that completes after `dur` of virtual time.
+    ///
+    /// Durations are *true* time even through a drifted handle: a skewed
+    /// clock changes what timestamps a node reads, not how fast its
+    /// interval timers run (`CLOCK_MONOTONIC` semantics).
     pub fn sleep(&self, dur: SimDuration) -> Sleep {
-        self.sleep_until(self.now() + dur)
+        let deadline = self.true_now() + dur;
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registration: None,
+        }
     }
 
-    /// Returns a future that completes when the virtual clock reaches
-    /// `deadline`.
+    /// Returns a future that completes when this handle's clock reads
+    /// `deadline`. Through a drifted handle the deadline is interpreted on
+    /// the node-local clock and converted to true time at call site (the
+    /// remaining local wait is taken at face value), so the timer itself
+    /// still rides the true-time heap.
     pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        let deadline = match &self.skew {
+            Some(_) => self.true_now() + deadline.saturating_since(self.now()),
+            None => deadline,
+        };
         Sleep {
             sim: self.clone(),
             deadline,
@@ -557,7 +611,9 @@ pub struct Sleep {
 impl Future for Sleep {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.sim.now() >= self.deadline {
+        // The deadline was resolved to true time at creation; comparing
+        // against the skewed clock here would double-apply the drift.
+        if self.sim.true_now() >= self.deadline {
             // Fired (or created in the past): nothing left to cancel.
             self.registration = None;
             Poll::Ready(())
@@ -847,6 +903,87 @@ mod tests {
         });
         sim_b.run();
         assert_eq!(sim_b.profile(), p);
+    }
+
+    #[test]
+    fn drifted_handle_skews_now_but_not_scheduling() {
+        let sim = Sim::new();
+        let fast = sim.with_drift(DriftSpec {
+            offset_us: 2_000,
+            rate_ppm: 0,
+            step_us: 0,
+            step_window: SimDuration::from_secs(1),
+            seed: 0,
+        });
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(fast.now(), SimTime::from_micros(2_000));
+        assert_eq!(fast.true_now(), SimTime::ZERO);
+
+        // A sleep through the skewed handle takes true duration.
+        let fast2 = fast.clone();
+        let h = sim.spawn(async move {
+            fast2.sleep(SimDuration::from_millis(10)).await;
+            (fast2.true_now(), fast2.now())
+        });
+        let (true_t, local_t) = sim.run_until_complete(h);
+        assert_eq!(true_t.as_millis(), 10);
+        assert_eq!(local_t.as_micros(), 12_000);
+    }
+
+    #[test]
+    fn drifted_sleep_until_interprets_the_local_clock() {
+        let sim = Sim::new();
+        let slow = sim.with_drift(DriftSpec {
+            offset_us: -3_000,
+            rate_ppm: 0,
+            step_us: 0,
+            step_window: SimDuration::from_secs(1),
+            seed: 0,
+        });
+        let slow2 = slow.clone();
+        let h = sim.spawn(async move {
+            // Move past the offset so the local clock is out of its zero
+            // clamp, then wait for local deadline 12ms: the local clock
+            // reads true − 3ms, so the true wait runs to 15ms and the local
+            // clock lands exactly on the deadline.
+            slow2.sleep(SimDuration::from_millis(10)).await;
+            slow2.sleep_until(SimTime::from_micros(12_000)).await;
+            (slow2.true_now(), slow2.now())
+        });
+        let (true_t, local_t) = sim.run_until_complete(h);
+        assert_eq!(true_t.as_micros(), 15_000);
+        assert_eq!(local_t.as_micros(), 12_000);
+    }
+
+    #[test]
+    fn drift_does_not_change_the_schedule() {
+        // The same workload with and without drifted handles produces the
+        // identical executor profile: drift touches timestamps only.
+        let run = |drift: bool| {
+            let sim = Sim::new();
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for (i, ms) in [(0u64, 30u64), (1, 10), (2, 20)] {
+                let handle = if drift {
+                    sim.with_drift(DriftSpec::bounded(
+                        i,
+                        SimDuration::from_millis(5),
+                        SimDuration::from_secs(60),
+                    ))
+                } else {
+                    sim.clone()
+                };
+                let order = Rc::clone(&order);
+                sim.spawn(async move {
+                    handle.sleep(SimDuration::from_millis(ms)).await;
+                    let _ = handle.now(); // read the (possibly skewed) clock
+                    order.borrow_mut().push(i);
+                });
+            }
+            sim.run();
+            let seen = order.borrow().clone();
+            (seen, sim.profile(), sim.now())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod combinators;
 pub mod executor;
 pub mod metrics;
@@ -47,6 +48,7 @@ pub mod topology;
 
 /// Convenient glob import of the types almost every consumer needs.
 pub mod prelude {
+    pub use crate::clock::{DriftClock, DriftSpec};
     pub use crate::combinators::{join_all, never, quorum, timeout, yield_now, Elapsed};
     pub use crate::executor::{JoinHandle, Sim};
     pub use crate::metrics::{Histogram, Throughput};

@@ -269,6 +269,24 @@ pub enum EventKind {
         /// The broken (collected) leased reference.
         lock_ref: u64,
     },
+    /// A time-based lease decision was withheld inside the ε
+    /// clock-uncertainty margin: a re-entry claim whose remaining validity
+    /// was below ε (`guard: "claim"`), or a watchdog revocation whose
+    /// overdue margin was below ε (`guard: "break"`). Either way the
+    /// decider fell back to the conservative path — drift-safety working
+    /// as designed, not an anomaly.
+    LeaseDriftReject {
+        /// Lock queue key.
+        key: String,
+        /// The leased reference the decision was about.
+        lock_ref: u64,
+        /// Which ε guard deferred: `claim` or `break`.
+        guard: &'static str,
+        /// The decider's node-local clock reading, in microseconds.
+        now_us: u64,
+        /// Lease expiry deadline, in microseconds.
+        until_us: u64,
+    },
     /// The anti-entropy daemon finished one sweep.
     RepairRound {
         /// Keys that had diverged and were repaired this sweep.
@@ -346,6 +364,7 @@ impl EventKind {
             EventKind::WatchdogPreempt { .. } => "watchdogPreempt",
             EventKind::LeaseGrant { .. } => "leaseGrant",
             EventKind::LeaseBreak { .. } => "leaseBreak",
+            EventKind::LeaseDriftReject { .. } => "leaseDriftReject",
             EventKind::RepairRound { .. } => "repairRound",
             EventKind::FaultInject { .. } => "faultInject",
             EventKind::FaultHeal { .. } => "faultHeal",
@@ -427,6 +446,20 @@ impl EventKind {
                 out.push_str(",\"key\":");
                 push_str(out, key);
                 let _ = write!(out, ",\"ref\":{lock_ref},\"until_us\":{until_us}");
+            }
+            EventKind::LeaseDriftReject {
+                key,
+                lock_ref,
+                guard,
+                now_us,
+                until_us,
+            } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(
+                    out,
+                    ",\"ref\":{lock_ref},\"guard\":\"{guard}\",\"now_us\":{now_us},\"until_us\":{until_us}"
+                );
             }
             EventKind::OpStart { op, key } => {
                 let _ = write!(out, ",\"op\":\"{op}\",\"key\":");

@@ -77,6 +77,10 @@ echo "local_cluster: driving $SECTIONS sections ($CLIENTS clients, $KEYS keys)..
 if "$BIN/music-load" --peers "$PEERS" --sections "$SECTIONS" \
     --clients "$CLIENTS" --keys "$KEYS" \
     --online-sample "$ONLINE_SAMPLE" 2>&1 | tee "$LOG_DIR/load.log"; then
+  # Extract the machine-readable throughput line into the BENCH
+  # trajectory artifact (sections/sec over real TCP sockets).
+  grep '"kind":"benchLoad"' "$LOG_DIR/load.log" >"$LOG_DIR/BENCH_load.json" || true
+  echo "local_cluster: wrote $LOG_DIR/BENCH_load.json"
   echo "local_cluster: OK"
 else
   status=$?

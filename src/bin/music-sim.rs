@@ -10,7 +10,8 @@
 //!                [--compare BASELINE] [--mutant-slow-us U]
 //!                                 # span-profiling workloads -> BENCH_<name>.json
 //! music-sim nemesis [p|all] [--seed N] [--schedules K] [--mode M]
-//!                [--online]       # randomized fault schedules + ECF verdicts
+//!                [--online] [--drift-us E]
+//!                                 # randomized fault schedules + ECF verdicts
 //! music-sim verify [--online]     # bounded model check of the ECF invariants
 //!                                 # (--online: differential checker sweep)
 //! music-sim profiles              # print the Table II latency profiles
@@ -315,16 +316,20 @@ fn cmd_profile(
 }
 
 /// `music-sim nemesis [profile|all] [--seed N] [--schedules K] [--mode M]
-/// [--no-replay] [--online]`: runs `K` seeded nemesis fault schedules per
-/// profile (seeds `N..N+K`), each against a randomized multi-client
-/// workload, and prints one JSON verdict line per schedule. Unless
-/// `--mode` pins one, the write mode cycles sync → pipelined → leased by
-/// seed. Every schedule is re-run and its event log and metrics must
-/// replay byte-identically (`--no-replay` skips that). `--online` adds
-/// the differential lane: the streaming checker's verdict — computed
-/// during the run — must equal the offline replay exactly and its queue
-/// refinement layer must be clean, per schedule. Exits 1 if any schedule
-/// violates ECF, fails to replay, or (with `--online`) diverges.
+/// [--no-replay] [--online] [--drift-us E]`: runs `K` seeded nemesis
+/// fault schedules per profile (seeds `N..N+K`), each against a
+/// randomized multi-client workload, and prints one JSON verdict line per
+/// schedule. Unless `--mode` pins one, the write mode cycles sync →
+/// pipelined → leased by seed. Every schedule is re-run and its event log
+/// and metrics must replay byte-identically (`--no-replay` skips that).
+/// `--online` adds the differential lane: the streaming checker's verdict
+/// — computed during the run — must equal the offline replay exactly and
+/// its queue refinement layer must be clean, per schedule. `--drift-us E`
+/// composes the clock-drift lane with every schedule: each replica's
+/// clock drifts within ±E µs and the ε lease guards are configured with
+/// ε = E µs — the drift-safe envelope, which must stay ECF-clean.
+/// Exits 1 if any schedule violates ECF, fails to replay, or (with
+/// `--online`) diverges.
 fn cmd_nemesis(
     profiles: Vec<LatencyProfile>,
     seed0: u64,
@@ -332,27 +337,29 @@ fn cmd_nemesis(
     mode: Option<music::nemesis::RunMode>,
     replay: bool,
     online: bool,
+    drift_us: u64,
 ) {
     use music::nemesis::{run_nemesis, NemesisOptions, RunMode};
     use music_repro::telemetry::{to_json_lines, Recorder};
+    let options = |m| {
+        let opts = NemesisOptions::new(m);
+        if drift_us > 0 {
+            opts.with_drift(
+                SimDuration::from_micros(drift_us),
+                SimDuration::from_micros(drift_us),
+            )
+        } else {
+            opts
+        }
+    };
     let mut failures = 0u64;
     for profile in &profiles {
         for i in 0..schedules {
             let seed = seed0 + i;
             let m = mode.unwrap_or(RunMode::ALL[(seed % 3) as usize]);
-            let run = run_nemesis(
-                profile.clone(),
-                seed,
-                NemesisOptions::new(m),
-                Recorder::tracing(),
-            );
+            let run = run_nemesis(profile.clone(), seed, options(m), Recorder::tracing());
             let replay_identical = if replay {
-                let again = run_nemesis(
-                    profile.clone(),
-                    seed,
-                    NemesisOptions::new(m),
-                    Recorder::tracing(),
-                );
+                let again = run_nemesis(profile.clone(), seed, options(m), Recorder::tracing());
                 to_json_lines(&run.events) == to_json_lines(&again.events)
                     && run.metrics.to_json() == again.metrics.to_json()
             } else {
@@ -374,6 +381,7 @@ fn cmd_nemesis(
             let ok = run.report.ok() && replay_identical && (!online || online_ok);
             println!(
                 "{{\"kind\":\"nemesis\",\"profile\":\"{}\",\"seed\":{seed},\
+                 \"driftUs\":{drift_us},\
                  \"mode\":\"{}\",\"ok\":{ok},\"faults\":{},\"sectionsOk\":{},\
                  \"sectionsAbandoned\":{},\"grants\":{},\"zombieGrants\":{},\
                  \"staleReads\":{},\"stalePutAcks\":{},\"forcedReleases\":{},\
@@ -500,6 +508,15 @@ fn cmd_verify() {
                 ..Scope::default()
             }),
         ),
+        (
+            "drift-guarded leases (ε claim/break)",
+            MusicModel::new(Scope {
+                lease: true,
+                max_leases: 2,
+                drift: true,
+                ..Scope::default()
+            }),
+        ),
     ];
     for (name, model) in scopes {
         let out = Checker::default().run(&model);
@@ -544,6 +561,7 @@ fn main() {
     let mut compare_path: Option<String> = None;
     let mut tolerance_pct = 10.0f64;
     let mut mutant_slow_us = 0u64;
+    let mut drift_us = 0u64;
     let mut profile_arg: Option<&str> = None;
     let mut rest = args[2.min(args.len())..].iter();
     while let Some(a) = rest.next() {
@@ -608,6 +626,12 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--mutant-slow-us needs an integer");
             }
+            "--drift-us" => {
+                drift_us = rest
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--drift-us needs an integer (µs; max skew = ε)");
+            }
             other => profile_arg = Some(other),
         }
     }
@@ -635,7 +659,7 @@ fn main() {
             let mode = mode_raw.as_deref().map(|m| {
                 music::nemesis::RunMode::parse(m).expect("--mode needs sync|pipelined|leased")
             });
-            cmd_nemesis(profiles, seed, schedules, mode, replay, online);
+            cmd_nemesis(profiles, seed, schedules, mode, replay, online, drift_us);
         }
         "verify" => {
             if online {
@@ -663,6 +687,7 @@ fn main() {
             println!("              [profile|all] [--seed N] [--schedules K]");
             println!("              [--mode sync|pipelined|leased] [--no-replay]");
             println!("              [--online] (streaming verdict must equal offline)");
+            println!("              [--drift-us E] (replica clocks skewed within ±E µs, ε = E)");
             println!("  verify      bounded model check of the ECF invariants (§V)");
             println!("              [--online] (differential online-vs-offline sweep)");
             println!("  profiles    print the Table II latency profiles");

@@ -183,6 +183,7 @@ fn facade_smoke_all_crates() {
         pipeline_window: 0,
         lease: false,
         max_leases: 0,
+        drift: false,
     });
     let out = modelcheck::Checker::default().run(&model);
     assert!(out.is_ok());
