@@ -114,6 +114,27 @@ pub enum LockMutation {
         /// Idempotency token of the minting call.
         token: u64,
     },
+    /// Combined enqueue (waiter batching): mint `count` consecutive
+    /// references in one LWT round, optionally collecting an unclaimed
+    /// lease at the head in the same round (the batched twin of
+    /// [`LockMutation::BreakEnqueue`]). Reference `first + i` carries
+    /// idempotency token `token + i`, so the whole batch keeps queue
+    /// (ascending-reference) order — waiter `i` of the round is strictly
+    /// behind waiter `i − 1`, which keeps the FIFO-with-preemption
+    /// refinement clean.
+    EnqueueBatch {
+        /// An unclaimed leased head collected by this round, or
+        /// [`LockRef::NONE`] when the batch queues without breaking.
+        broken: LockRef,
+        /// The first freshly minted reference; the batch occupies
+        /// `first .. first + count`.
+        first: LockRef,
+        /// How many references the batch mints (≥ 1).
+        count: u32,
+        /// Idempotency token of the round's first waiter; waiter `i` gets
+        /// `token + i`.
+        token: u64,
+    },
     /// Record the critical-section start time for a granted reference.
     SetStartTime {
         /// The granted reference.
@@ -295,6 +316,27 @@ impl Partition for LockPartition {
                 self.set_presence(broken, stamp, false, 0, None);
                 self.set_presence(lock_ref, stamp, true, token, None);
             }
+            LockMutation::EnqueueBatch {
+                broken,
+                first,
+                count,
+                token,
+            } => {
+                let count = u64::from(count.max(1));
+                self.guard = self.guard.max(first.value() + count - 1);
+                if broken != LockRef::NONE {
+                    self.set_presence(broken, stamp, false, 0, None);
+                }
+                for i in 0..count {
+                    self.set_presence(
+                        LockRef::new(first.value() + i),
+                        stamp,
+                        true,
+                        token + i,
+                        None,
+                    );
+                }
+            }
             LockMutation::SetStartTime { lock_ref, at } => {
                 let e = self.entries.entry(lock_ref).or_default();
                 if stamp > e.start_stamp {
@@ -326,6 +368,8 @@ impl Partition for LockPartition {
         match m {
             // Composite mutations carry two presence cells.
             LockMutation::ReleaseWithLease { .. } | LockMutation::BreakEnqueue { .. } => 48,
+            // One cell per minted reference plus the (possible) break cell.
+            LockMutation::EnqueueBatch { count, .. } => 24 + 24 * (*count).max(1) as usize,
             _ => 24,
         }
     }
@@ -455,6 +499,18 @@ impl Wire for LockMutation {
                 buf.push(5);
                 to.encode(buf);
             }
+            LockMutation::EnqueueBatch {
+                broken,
+                first,
+                count,
+                token,
+            } => {
+                buf.push(6);
+                broken.encode(buf);
+                first.encode(buf);
+                count.encode(buf);
+                token.encode(buf);
+            }
         }
     }
 
@@ -485,6 +541,12 @@ impl Wire for LockMutation {
             },
             5 => LockMutation::RaiseGuard {
                 to: u64::decode(r)?,
+            },
+            6 => LockMutation::EnqueueBatch {
+                broken: Wire::decode(r)?,
+                first: Wire::decode(r)?,
+                count: u32::decode(r)?,
+                token: u64::decode(r)?,
             },
             _ => return Err(WireError("invalid lock mutation tag")),
         })
@@ -889,10 +951,124 @@ mod tests {
                 at: SimTime::from_micros(88),
             },
             LockMutation::RaiseGuard { to: 99 },
+            LockMutation::EnqueueBatch {
+                broken: LockRef::new(5),
+                first: LockRef::new(6),
+                count: 3,
+                token: 12,
+            },
         ];
         for m in muts {
             assert_eq!(LockMutation::from_slice(&m.to_vec()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn enqueue_batch_mints_consecutive_refs_in_queue_order() {
+        let mut p = LockPartition::default();
+        p.apply(
+            &LockMutation::EnqueueBatch {
+                broken: LockRef::NONE,
+                first: LockRef::new(1),
+                count: 3,
+                token: 100,
+            },
+            ts(1),
+        );
+        assert_eq!(
+            p.queue(),
+            vec![LockRef::new(1), LockRef::new(2), LockRef::new(3)]
+        );
+        assert_eq!(p.guard(), 3);
+        // Waiter i's token is token + i: each waiter adopts its own ref on
+        // an idempotent retry.
+        assert_eq!(p.find_token(100), Some(LockRef::new(1)));
+        assert_eq!(p.find_token(102), Some(LockRef::new(3)));
+        // None of the batch rows is a lease.
+        for r in p.queue() {
+            assert_eq!(p.entry(r).unwrap().lease_until, None);
+        }
+    }
+
+    #[test]
+    fn enqueue_batch_collects_a_leased_head_in_the_same_round() {
+        let mut p = LockPartition::default();
+        p.apply(
+            &LockMutation::ReleaseWithLease {
+                released: LockRef::new(1),
+                next_ref: LockRef::new(2),
+                token: 7,
+                until: SimTime::from_micros(5_000),
+            },
+            ts(1),
+        );
+        assert!(p.lease_head().is_some());
+        p.apply(
+            &LockMutation::EnqueueBatch {
+                broken: LockRef::new(2),
+                first: LockRef::new(3),
+                count: 2,
+                token: 50,
+            },
+            ts(2),
+        );
+        assert!(!p.contains(LockRef::new(2)), "lease collected");
+        assert_eq!(p.queue(), vec![LockRef::new(3), LockRef::new(4)]);
+        assert_eq!(p.guard(), 4);
+    }
+
+    #[test]
+    fn enqueue_batch_converges_under_permutations() {
+        let muts = [
+            (
+                LockMutation::EnqueueBatch {
+                    broken: LockRef::NONE,
+                    first: LockRef::new(1),
+                    count: 2,
+                    token: 10,
+                },
+                ts(1),
+            ),
+            (
+                LockMutation::Dequeue {
+                    lock_ref: LockRef::new(1),
+                },
+                ts(2),
+            ),
+            (
+                LockMutation::EnqueueBatch {
+                    broken: LockRef::NONE,
+                    first: LockRef::new(3),
+                    count: 2,
+                    token: 20,
+                },
+                ts(3),
+            ),
+        ];
+        let orders = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let mut results = Vec::new();
+        for order in orders {
+            let mut p = LockPartition::default();
+            for i in order {
+                let (m, s) = muts[i];
+                p.apply(&m, s);
+            }
+            results.push((p.queue(), p.guard()));
+        }
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(
+            results[0].0,
+            vec![LockRef::new(2), LockRef::new(3), LockRef::new(4)]
+        );
     }
 
     #[test]

@@ -20,6 +20,25 @@ pub enum EnqueueOutcome {
     LeaseBlocked(LockRef),
 }
 
+/// Result of a combined (batched) enqueue
+/// ([`LockStore::generate_and_enqueue_batch_guarded`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BatchOutcome {
+    /// `count` consecutive references `first .. first + count` were minted
+    /// and enqueued in one LWT round (possibly collecting an authorized
+    /// lease in the same round). Waiter `i` of the round owns `first + i`.
+    Minted {
+        /// The round's first (lowest) minted reference.
+        first: LockRef,
+        /// How many references were minted.
+        count: u32,
+    },
+    /// The queue head is an *unclaimed lease* the caller was not authorized
+    /// to break: nothing was enqueued (same contract as
+    /// [`EnqueueOutcome::LeaseBlocked`]).
+    LeaseBlocked(LockRef),
+}
+
 /// The replicated lock store.
 ///
 /// Generic over the backing table: the default `Tbl` is the in-simulation
@@ -233,6 +252,169 @@ impl<Tbl: TableApi<LockPartition>> LockStore<Tbl> {
             }
         }
         Ok(EnqueueOutcome::Minted(minted.get()))
+    }
+
+    /// Combined `lsGenerateAndEnqueue`: mints `count` consecutive
+    /// references for `count` same-key waiters in **one** LWT round (the
+    /// enqueue-combining optimization — under a flash crowd, `count`
+    /// waiters pay one consensus write instead of `count`). References are
+    /// assigned to waiters in arrival order, ascending, so the combined
+    /// round preserves exactly the FIFO order a sequence of single
+    /// enqueues would have produced.
+    ///
+    /// Lease-aware with the same contract as
+    /// [`LockStore::generate_and_enqueue_guarded`]: an unclaimed leased
+    /// head either blocks the round ([`BatchOutcome::LeaseBlocked`]) or,
+    /// when `break_authorized` names it, is collected by the same LWT.
+    /// When `lease_aware` is false the batch queues behind a leased head
+    /// like behind any live holder (the bounded-break fallback).
+    ///
+    /// Cost: one LWT = 4 WAN round trips for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] exactly like
+    /// [`LockStore::generate_and_enqueue`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub async fn generate_and_enqueue_batch_guarded(
+        &self,
+        coord: NodeId,
+        key: &str,
+        count: u32,
+        break_authorized: Option<LockRef>,
+        lease_aware: bool,
+    ) -> Result<BatchOutcome, StoreError> {
+        assert!(count > 0, "batch enqueue needs at least one waiter");
+        // Consecutive tokens so waiter i of a retried (already committed)
+        // round adopts its own row via `find_token(token + i)`.
+        let token = (u64::from(coord.0) << 40) | self.next_token.get();
+        self.next_token
+            .set(self.next_token.get() + u64::from(count));
+        let minted = std::cell::Cell::new(LockRef::NONE);
+        let blocked = std::cell::Cell::new(LockRef::NONE);
+        let broke = std::cell::Cell::new(LockRef::NONE);
+        self.table
+            .lwt(coord, key, |snap, suggested| {
+                blocked.set(LockRef::NONE);
+                broke.set(LockRef::NONE);
+                if let Some(existing) = snap.find_token(token) {
+                    // An earlier ballot of this very round already
+                    // committed the whole batch: adopt it.
+                    minted.set(existing);
+                    return None;
+                }
+                let mut broken = LockRef::NONE;
+                if let Some((leased, _until)) = snap.lease_head() {
+                    if lease_aware {
+                        if break_authorized != Some(leased) {
+                            minted.set(LockRef::NONE);
+                            blocked.set(leased);
+                            return None;
+                        }
+                        broken = leased;
+                        broke.set(leased);
+                    }
+                }
+                let first = LockRef::new(snap.guard() + 1);
+                minted.set(first);
+                Some((
+                    LockMutation::EnqueueBatch {
+                        broken,
+                        first,
+                        count,
+                        token,
+                    },
+                    suggested,
+                ))
+            })
+            .await?;
+        if blocked.get() != LockRef::NONE {
+            return Ok(BatchOutcome::LeaseBlocked(blocked.get()));
+        }
+        let first = minted.get();
+        let rec = self.table.recorder();
+        if rec.is_on() {
+            if broke.get() != LockRef::NONE {
+                rec.count(music_telemetry::Scope::Node(coord.0), "lease_breaks", 1);
+            }
+            if count > 1 {
+                rec.count(music_telemetry::Scope::Node(coord.0), "enqueue_combines", 1);
+                rec.count(
+                    music_telemetry::Scope::Node(coord.0),
+                    "combined_refs",
+                    u64::from(count),
+                );
+            }
+            if rec.is_tracing() {
+                let rt = self.table.rt();
+                if broke.get() != LockRef::NONE {
+                    rec.record(
+                        rt.now().as_micros(),
+                        rt.trace(),
+                        coord.0,
+                        music_telemetry::EventKind::LeaseBreak {
+                            key: key.to_string(),
+                            lock_ref: broke.get().value(),
+                        },
+                    );
+                }
+                rec.record(
+                    rt.now().as_micros(),
+                    rt.trace(),
+                    coord.0,
+                    music_telemetry::EventKind::EnqueueCombine {
+                        key: key.to_string(),
+                        first: first.value(),
+                        count,
+                    },
+                );
+                // One `lockEnqueue` per minted reference, in ascending
+                // (queue) order — the stream the refinement checker sees is
+                // indistinguishable from `count` well-ordered singles.
+                for i in 0..u64::from(count) {
+                    rec.record(
+                        rt.now().as_micros(),
+                        rt.trace(),
+                        coord.0,
+                        music_telemetry::EventKind::LockEnqueue {
+                            key: key.to_string(),
+                            lock_ref: first.value() + i,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(BatchOutcome::Minted { first, count })
+    }
+
+    /// Current queue depth at the **closest** replica: a cheap, possibly
+    /// stale contention signal (admission control reads this before paying
+    /// the enqueue LWT).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the local replica does not answer.
+    pub async fn queue_depth_local(&self, coord: NodeId, key: &str) -> Result<usize, StoreError> {
+        let snap = self.table.read_one(coord, key).await?;
+        Ok(snap.queue().len())
+    }
+
+    /// The local view's queue position of `lock_ref` (0 = head), `None`
+    /// if the reference is not in the local queue view. The same cheap
+    /// intra-site peek as [`LockStore::queue_depth_local`]; the adaptive
+    /// acquire loop uses it to pace its polls proportionally to how deep
+    /// it is queued (tight near the head, stretched when deep).
+    pub async fn queue_position_local(
+        &self,
+        coord: NodeId,
+        key: &str,
+        lock_ref: LockRef,
+    ) -> Result<Option<usize>, StoreError> {
+        let snap = self.table.read_one(coord, key).await?;
+        Ok(snap.queue().iter().position(|r| *r == lock_ref))
     }
 
     /// `releaseLock` with lease retention: dequeues `lock_ref`, and **iff**

@@ -28,13 +28,17 @@
 //! * **Latest-State Property** — a completed `criticalGet` by the
 //!   lockholder carries the true value;
 //! * queue sanity (unique, increasing lock references bounded by the
-//!   guard).
+//!   guard);
+//! * **lease-floor invariant** (adaptive scopes) — the auto-tuned lease
+//!   window never drops below the safety floor that keeps the ε
+//!   claim/break guards disjoint.
 //!
-//! The tests also check three *mutants* the way one probes an Alloy model:
-//! setting the `forcedRelease` timestamp bump δ to zero, skipping the
-//! synchronization in `acquireLock`, and dequeuing a forced reference
-//! before its `synchFlag` write is acknowledged must all produce
-//! counterexamples.
+//! The tests also check a family of *mutants* the way one probes an Alloy
+//! model: δ = 0 forced releases, skipped synchronization, dequeue before
+//! flag ack, pipelined flush-barrier skips, lease reuse-after-break and
+//! one-step revocations, >ε clock-drift claims/revokes, reverse-order
+//! enqueue combining, and a window tuner that forgets the safety floor —
+//! every one must produce a counterexample.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -124,6 +124,12 @@ pub struct State {
     /// guard (`local − ε > until`) admits revocations only strictly after
     /// it — the model encodes exactly that disjointness.
     pub lease_expired: bool,
+    /// The standing lease's *tuned window* (adaptive scopes only; 0 when
+    /// no lease stands or the tuner is off). The contention controller may
+    /// shrink or stretch it, but never below [`MusicModel::WINDOW_FLOOR`]:
+    /// the floor is what keeps the ε claim/break guards disjoint, so
+    /// "window ≥ floor whenever a lease stands" is itself an invariant.
+    pub lease_window: u8,
 }
 
 /// Exploration bounds, in the spirit of Alloy scopes.
@@ -160,6 +166,15 @@ pub struct Scope {
     /// single step (`daemon:driftRevoke`) — safe precisely because the
     /// two guards are disjoint around the expiry instant.
     pub drift: bool,
+    /// Enable enqueue combining: two idle clients may enqueue together in
+    /// one batch LWT, minting consecutive lockRefs in arrival order. The
+    /// combiner is an optimization, so the clean scope must satisfy every
+    /// invariant exactly as the singles-only scope does.
+    pub combine: bool,
+    /// Enable the lease-window auto-tuner: while a lease stands, the
+    /// controller may halve or double its window, clamped to
+    /// [`MusicModel::WINDOW_FLOOR`] / the initial window.
+    pub adaptive_window: bool,
 }
 
 impl Default for Scope {
@@ -174,6 +189,8 @@ impl Default for Scope {
             lease: false,
             max_leases: 0,
             drift: false,
+            combine: false,
+            adaptive_window: false,
         }
     }
 }
@@ -228,6 +245,14 @@ pub struct MusicModel {
     /// still legitimately claim (or already has, invisibly). The one-step
     /// GC then revokes a live holder with no resynchronizing flag write.
     pub drift_fast_revoke: bool,
+    /// Mutant: the enqueue combiner writes the batch in reverse arrival
+    /// order — the batch LWT's refs no longer ascend, breaking the queue's
+    /// strictly-increasing sanity (and with it FIFO-with-preemption).
+    pub combine_unordered: bool,
+    /// Mutant: the window tuner shrinks without clamping to the safety
+    /// floor. A window below the floor collapses the ε guard margin, so
+    /// the lease-floor invariant must flag it.
+    pub window_below_floor: bool,
 }
 
 impl Default for MusicModel {
@@ -237,6 +262,12 @@ impl Default for MusicModel {
 }
 
 impl MusicModel {
+    /// The smallest lease window the tuner may ever set: below this the
+    /// ε claim/break guards are no longer disjoint around expiry.
+    pub const WINDOW_FLOOR: u8 = 1;
+    /// The window a fresh lease starts with in adaptive scopes.
+    pub const WINDOW_INIT: u8 = 3;
+
     /// Model with the given scope, no mutations.
     pub fn new(scope: Scope) -> Self {
         MusicModel {
@@ -250,6 +281,8 @@ impl MusicModel {
             stale_lease: false,
             drift_slow_claim: false,
             drift_fast_revoke: false,
+            combine_unordered: false,
+            window_below_floor: false,
         }
     }
 
@@ -350,6 +383,7 @@ impl MusicModel {
         if s.lease.is_some_and(|(_, lr)| lr == r) {
             s.lease = None;
             s.lease_expired = false;
+            s.lease_window = 0;
         }
     }
 }
@@ -388,6 +422,7 @@ impl Model for MusicModel {
             lease: None,
             leases_used: 0,
             lease_expired: false,
+            lease_window: 0,
         }]
     }
 
@@ -408,6 +443,35 @@ impl Model for MusicModel {
                     n.clients[ci].lock_ref = n.guard;
                     n.clients[ci].phase = Phase::HasRef;
                     out.push((format!("c{ci}:createLockRef({})", n.guard), n));
+                    // Enqueue combining: a co-located idle peer joins this
+                    // client's round and the leader writes both refs in one
+                    // batch LWT, consecutive and in arrival order. (With a
+                    // standing lease the break path governs instead.)
+                    if self.scope.combine && s.lease.is_none() {
+                        for cj in (ci + 1)..s.clients.len() {
+                            if s.clients[cj].phase != Phase::Idle {
+                                continue;
+                            }
+                            let mut n = s.clone();
+                            let first = n.guard + 1;
+                            let second = n.guard + 2;
+                            n.guard += 2;
+                            if self.combine_unordered {
+                                // Mutant: the batch lands in reverse
+                                // arrival order.
+                                n.queue.push(second);
+                                n.queue.push(first);
+                            } else {
+                                n.queue.push(first);
+                                n.queue.push(second);
+                            }
+                            n.clients[ci].lock_ref = first;
+                            n.clients[ci].phase = Phase::HasRef;
+                            n.clients[cj].lock_ref = second;
+                            n.clients[cj].phase = Phase::HasRef;
+                            out.push((format!("c{ci}+c{cj}:enqueueBatch({first},{second})"), n));
+                        }
+                    }
                     // A standing lease is broken rather than queued behind.
                     // The break is allowed even when the owner has already
                     // claimed: the claim is a consistency-ONE write the
@@ -571,6 +635,9 @@ impl Model for MusicModel {
                             n.queue.push(n.guard);
                             n.lease = Some((ci as u8, n.guard));
                             n.leases_used += 1;
+                            if self.scope.adaptive_window {
+                                n.lease_window = Self::WINDOW_INIT;
+                            }
                             n.clients[ci].lock_ref = n.guard;
                             n.clients[ci].phase = Phase::Leased;
                             out.push((format!("c{ci}:releaseLease({})", n.guard), n));
@@ -660,6 +727,32 @@ impl Model for MusicModel {
                 let mut n = s.clone();
                 n.clients[ci].phase = Phase::Crashed;
                 out.push((format!("c{ci}:crash"), n));
+            }
+        }
+
+        // Lease-window auto-tuning (adaptive scopes): while a lease
+        // stands, the contention controller may halve the window (clamped
+        // to the safety floor — the mutant forgets the clamp) or double it
+        // back toward the initial ceiling.
+        if self.scope.adaptive_window {
+            if let Some((_, r)) = s.lease {
+                let w = s.lease_window;
+                let shrunk = if self.window_below_floor {
+                    w / 2
+                } else {
+                    (w / 2).max(Self::WINDOW_FLOOR)
+                };
+                if shrunk != w {
+                    let mut n = s.clone();
+                    n.lease_window = shrunk;
+                    out.push((format!("tuner:shrinkWindow({r},{w}->{shrunk})"), n));
+                }
+                let grown = (w.saturating_mul(2)).min(Self::WINDOW_INIT);
+                if grown != w {
+                    let mut n = s.clone();
+                    n.lease_window = grown;
+                    out.push((format!("tuner:growWindow({r},{w}->{grown})"), n));
+                }
             }
         }
 
@@ -790,6 +883,25 @@ impl Model for MusicModel {
         }
         if s.lease_expired && s.lease.is_none() {
             return Err("lease sanity: expiry bit set with no standing lease".to_string());
+        }
+
+        // Lease-floor invariant (adaptive scopes): the auto-tuned window
+        // never drops below the safety floor while a lease stands — the
+        // floor is what keeps the ε claim/break guards disjoint.
+        if self.scope.adaptive_window {
+            if s.lease.is_some() && s.lease_window < Self::WINDOW_FLOOR {
+                return Err(format!(
+                    "lease-floor invariant: tuned window {} below safety floor {}",
+                    s.lease_window,
+                    Self::WINDOW_FLOOR
+                ));
+            }
+            if s.lease.is_none() && s.lease_window != 0 {
+                return Err(format!(
+                    "lease-floor invariant: dangling window {} with no standing lease",
+                    s.lease_window
+                ));
+            }
         }
 
         let true_pair = Self::true_pair(s);

@@ -429,6 +429,111 @@ fn mutant_drift_fast_revoke_is_caught() {
     }
 }
 
+fn adaptive_scope() -> Scope {
+    Scope {
+        combine: true,
+        adaptive_window: true,
+        ..lease_scope()
+    }
+}
+
+#[test]
+fn adaptive_scope_satisfies_all_invariants() {
+    // The contention-adaptive extensions: enqueue combining (batch LWTs
+    // minting consecutive refs in arrival order) and the lease-window
+    // auto-tuner (halve/double, clamped to the safety floor). Both are
+    // optimizations layered on the lease protocol, so every invariant —
+    // including the new lease-floor one — must hold across the whole
+    // interleaving space.
+    let model = MusicModel::new(adaptive_scope());
+    let out = Checker::default().run(&model);
+    match &out {
+        CheckOutcome::Ok {
+            states, truncated, ..
+        } => {
+            assert!(!truncated, "scope must be fully explored");
+            assert!(*states > 10_000, "non-trivial state space, got {states}");
+        }
+        CheckOutcome::Violation { message, trace, .. } => {
+            panic!(
+                "unexpected violation: {message}\ntrace:\n  {}",
+                trace.join("\n  ")
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_scope_explores_the_combining_and_tuning_events() {
+    // Combining and tuning must genuinely add behaviour over the plain
+    // lease scope, not just dead scope bits.
+    let a = Checker::default().run(&MusicModel::new(lease_scope()));
+    let b = Checker::default().run(&MusicModel::new(adaptive_scope()));
+    assert!(a.is_ok() && b.is_ok());
+    assert!(
+        b.states_explored() > a.states_explored(),
+        "adaptive events add states: {} !> {}",
+        b.states_explored(),
+        a.states_explored()
+    );
+}
+
+#[test]
+fn mutant_combine_unordered_is_caught() {
+    // A combiner that writes the batch in reverse arrival order mints a
+    // non-ascending queue segment: queue sanity (and with it the
+    // FIFO-with-preemption refinement) must flag it immediately.
+    let model = MusicModel {
+        combine_unordered: true,
+        ..MusicModel::new(Scope {
+            combine: true,
+            ..Scope::default()
+        })
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("queue not strictly increasing"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(
+                trace.iter().any(|l| l.contains("enqueueBatch")),
+                "counterexample must pass through the batch LWT: {trace:?}"
+            );
+        }
+        CheckOutcome::Ok { .. } => panic!("unordered-combine mutant must violate queue sanity"),
+    }
+}
+
+#[test]
+fn mutant_window_below_floor_is_caught() {
+    // A tuner that shrinks without clamping eventually drives the lease
+    // window below the safety floor — the margin that keeps the ε
+    // claim/break guards disjoint. The lease-floor invariant must flag the
+    // first sub-floor state.
+    let model = MusicModel {
+        window_below_floor: true,
+        ..MusicModel::new(adaptive_scope())
+    };
+    let out = Checker::default().run(&model);
+    match out {
+        CheckOutcome::Violation { message, trace, .. } => {
+            assert!(
+                message.contains("lease-floor"),
+                "unexpected violation kind: {message}"
+            );
+            assert!(
+                trace.iter().any(|l| l.contains("shrinkWindow")),
+                "counterexample must pass through the tuner: {trace:?}"
+            );
+        }
+        CheckOutcome::Ok { .. } => {
+            panic!("window-below-floor mutant must violate the lease-floor invariant")
+        }
+    }
+}
+
 #[test]
 fn violation_traces_are_replayable() {
     // The counterexample trace must be a genuine path: replay it through

@@ -8,6 +8,12 @@
 //! counter values must sum to exactly the number of sections completed:
 //! any lost update, phantom grant, or stale read shows up as a mismatch.
 //!
+//! `--zipf-theta F` skews key selection Zipfian (θ=1.2 is the paper's
+//! hotspot setting); `--flash-crowd` converges every client on key 0 for
+//! the middle half of its quota and enables the contention-adaptive
+//! controller, so the crowd is absorbed by enqueue combining and the
+//! admission guard instead of livelocking the enqueue LWTs.
+//!
 //! `--online-sample N` additionally streams every protocol event through
 //! the in-process online checker (ECF + lock-queue refinement) while the
 //! load runs, checking keys whose digest is divisible by `N` in O(live
@@ -27,14 +33,18 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use music::node::{remote_client, LoadConfig, RemoteMusicClient, CLIENT_ID_BASE};
-use music::{MusicConfig, MusicError, PeekMode};
+use music::{ContentionKnobs, MusicConfig, MusicError, PeekMode};
 use music_runtime::prelude::SimDuration;
 use music_runtime::{NativeRuntime, Runtime};
 use music_telemetry::{OnlineConfig, Recorder};
+use music_workload::Zipfian;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 const USAGE: &str = "usage: music-load --peers \"1=host:port,...\" \
 [--sections N] [--clients N] [--keys N] [--rf N] \
-[--online-sample N] [--key-prefix P] [--retries K] [--peek local|quorum]";
+[--online-sample N] [--key-prefix P] [--retries K] [--peek local|quorum] \
+[--zipf-theta F] [--flash-crowd]";
 
 fn counter_key(prefix: &str, k: u64) -> String {
     format!("{prefix}-{k}")
@@ -71,7 +81,13 @@ async fn increment(
             return Err(e.to_string());
         }
         *budget -= 1;
-        rt.sleep(SimDuration::from_millis(100)).await;
+        // The admission guard's fast-reject names its own comeback time;
+        // everything else gets the flat transient-failure pause.
+        let pause = match e {
+            MusicError::Overloaded { retry_after } => retry_after,
+            _ => SimDuration::from_millis(100),
+        };
+        rt.sleep(pause).await;
         Ok(())
     };
     let cs = loop {
@@ -121,11 +137,17 @@ fn main() {
     let rt = NativeRuntime::new();
     // Quorum peeks survive any single node's death; local peeks are the
     // paper's default and pin each key's grant polling to its primary.
-    let music_cfg = if cfg.peek_quorum {
-        MusicConfig::builder().peek_mode(PeekMode::Quorum).build()
-    } else {
-        MusicConfig::default()
-    };
+    // Flash crowds run with the contention-adaptive controller on: the
+    // whole point of that pass is the hot-key convergence the controller
+    // exists to absorb.
+    let mut music_builder = MusicConfig::builder();
+    if cfg.peek_quorum {
+        music_builder = music_builder.peek_mode(PeekMode::Quorum);
+    }
+    if cfg.flash_crowd {
+        music_builder = music_builder.contention(ContentionKnobs::adaptive());
+    }
+    let music_cfg = music_builder.build();
     // With sampling on, the recorder feeds the streaming checker and
     // stores nothing; otherwise it is fully off.
     let recorder = if cfg.online_sample > 0 {
@@ -164,10 +186,23 @@ fn main() {
         let keys = u64::from(cfg.keys);
         let prefix = cfg.key_prefix.clone();
         let retries = cfg.retries;
+        let zipf_theta = cfg.zipf_theta;
+        let flash_crowd = cfg.flash_crowd;
         let rt2 = rt.clone();
         handles.push(rt.spawn(async move {
+            let zipf = (zipf_theta > 0.0).then(|| Zipfian::with_theta(keys, zipf_theta));
+            let mut rng = SmallRng::seed_from_u64(0x6d75_7369_635f_6c64 ^ u64::from(c));
             for i in 0..quota {
-                let key = counter_key(&prefix, (u64::from(c) + i) % keys);
+                // Flash crowd: the middle half of the quota converges on
+                // key 0; the edges keep the configured key distribution.
+                let k = if flash_crowd && i >= quota / 4 && i < quota - quota / 4 {
+                    0
+                } else if let Some(zipf) = &zipf {
+                    zipf.sample(&mut rng)
+                } else {
+                    (u64::from(c) + i) % keys
+                };
+                let key = counter_key(&prefix, k);
                 match increment(&rt2, &client, &key, retries).await {
                     Ok(()) => *completed.borrow_mut().entry(key).or_insert(0) += 1,
                     Err(e) => errors

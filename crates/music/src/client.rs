@@ -40,6 +40,7 @@ use music_telemetry::{SpanId, SpanPhase};
 
 use crate::backoff;
 use crate::config::WriteMode;
+use crate::contention::ContentionController;
 use crate::error::{AcquireOutcome, AttemptTrail, CriticalError, MusicError};
 use crate::health::ReplicaHealth;
 use crate::replica::{LeaseGrant, MusicReplica, PendingPut};
@@ -75,6 +76,13 @@ pub struct MusicClient<RT = Sim, D = ReplicatedTable<DataRow>, L = ReplicatedTab
     /// The client is the section's single writer, so it carries the floor
     /// to whichever replica executes; shared across clones like `leases`.
     stamp_floors: Rc<RefCell<HashMap<String, (u64, u64)>>>,
+    /// The contention-adaptive controller ([`crate::contention`]): per-key
+    /// strategy (spin-then-queue vs. enqueue-and-stretch), enqueue
+    /// combining, lease auto-tuning/suspension, and admission control.
+    /// Inert unless the deployment config enables it; shared across clones
+    /// like `leases` — contention is a property of the client, not of one
+    /// handle.
+    contention: ContentionController,
 }
 
 impl<RT: Clone, D: Clone, L: Clone> Clone for MusicClient<RT, D, L> {
@@ -87,6 +95,7 @@ impl<RT: Clone, D: Clone, L: Clone> Clone for MusicClient<RT, D, L> {
             leases: self.leases.clone(),
             health: self.health.clone(),
             stamp_floors: self.stamp_floors.clone(),
+            contention: self.contention.clone(),
         }
     }
 }
@@ -157,6 +166,7 @@ where
             cfg.breaker_cooldown,
             replicas[0].recorder(),
         );
+        let contention = ContentionController::new(cfg.contention);
         Ok(MusicClient {
             replicas,
             rt,
@@ -165,7 +175,14 @@ where
             leases: Rc::new(RefCell::new(HashMap::new())),
             health: Rc::new(health),
             stamp_floors: Rc::new(RefCell::new(HashMap::new())),
+            contention,
         })
+    }
+
+    /// The contention controller driving this client's adaptive behavior
+    /// (instrumentation/tests; inert when the config leaves it disabled).
+    pub fn contention(&self) -> &ContentionController {
+        &self.contention
     }
 
     /// This client with its write mode overridden (sections entered through
@@ -313,18 +330,76 @@ where
         self.rt.set_span(parent);
     }
 
-    /// Records one slow-path lock grant for fairness accounting: the
-    /// enqueue→grant latency lands in this site's histogram, so a far
-    /// site's starvation shows up as a runaway per-site p99.9 (ROADMAP
-    /// item 3's instrument).
-    fn note_grant(&self, entered: SimTime) {
+    /// Records one per-key grant for fairness accounting and feeds the
+    /// contention controller: the enqueue→grant latency lands in this
+    /// site's histogram (so a far site's starvation shows up as a runaway
+    /// per-site p99.9) *and* in the key's grant-wait EWMA, which drives
+    /// the spin-vs-queue hysteresis. A strategy switch is recorded as a
+    /// `strategySwitch` event.
+    fn note_grant(&self, key: &str, entered: SimTime) {
+        let wait = self.rt.now() - entered;
+        if let Some((mode, ewma)) = self.contention.on_grant_wait(key, wait.as_micros()) {
+            let rec = self.primary().recorder();
+            if rec.is_on() {
+                rec.count(music_telemetry::Scope::Global, "strategy_switches", 1);
+                if rec.is_tracing() {
+                    rec.record(
+                        self.rt.now().as_micros(),
+                        self.rt.trace(),
+                        self.primary().node().0,
+                        music_telemetry::EventKind::StrategySwitch {
+                            key: key.to_string(),
+                            mode: mode.label(),
+                            wait_us: ewma,
+                        },
+                    );
+                }
+            }
+        }
         let rec = self.primary().recorder();
         if !rec.is_on() {
             return;
         }
         let site = music_telemetry::Scope::Site(self.primary().site());
         rec.count(site, "sections_entered", 1);
-        rec.observe(site, "grant_wait_us", (self.rt.now() - entered).as_micros());
+        rec.observe(site, "grant_wait_us", wait.as_micros());
+    }
+
+    /// The graceful-degradation floor: when the admission guard is
+    /// configured, peek the local queue depth and fast-reject with
+    /// [`MusicError::Overloaded`] once the bound is reached — a bounded
+    /// queue and a bounded rejection instead of an unbounded pile-up. The
+    /// depth peek is the same cheap intra-site read the acquire polls use;
+    /// a peek failure fails *open* (admission control must never make an
+    /// unavailable system less available).
+    async fn admission_check(&self, key: &str) -> Result<(), MusicError> {
+        if self.contention.admission_bound() == 0 {
+            return Ok(());
+        }
+        let primary = self.primary();
+        let Ok(depth) = primary.locks().queue_depth_local(primary.node(), key).await else {
+            return Ok(());
+        };
+        let Err(retry_after) = self.contention.admit(depth) else {
+            return Ok(());
+        };
+        let rec = primary.recorder();
+        if rec.is_on() {
+            rec.count(music_telemetry::Scope::Global, "admission_rejects", 1);
+            if rec.is_tracing() {
+                rec.record(
+                    self.rt.now().as_micros(),
+                    self.rt.trace(),
+                    primary.node().0,
+                    music_telemetry::EventKind::AdmissionReject {
+                        key: key.to_string(),
+                        depth: depth as u64,
+                        retry_after_us: retry_after.as_micros(),
+                    },
+                );
+            }
+        }
+        Err(MusicError::Overloaded { retry_after })
     }
 
     /// The deterministic jitter salt for this client's `op_name` retries:
@@ -393,7 +468,20 @@ where
         lock_ref: LockRef,
     ) -> Result<(), MusicError> {
         let key = key.as_ref();
-        let base_poll = self.primary().config().acquire_poll;
+        let raw_poll = self.primary().config().acquire_poll;
+        // Contention-adaptive polling: when the controller is on, each
+        // `NotYet` peeks the *local* queue position and paces the next
+        // poll proportionally to the depth — tight near the head (a
+        // handoff is one release away), stretched when deep (nothing can
+        // change for at least `pos` handoffs). A failed peek falls back
+        // to a short bounded schedule seeded by the Cool-mode spin budget;
+        // the Hot-mode `stretch` applies to the failover backoff only.
+        // All of it collapses to the plain blind-exponential schedule
+        // when the controller is disabled (spin = 0, stretch = 0, no
+        // position peek).
+        let spin = self.contention.spin_budget(key);
+        let stretch = self.contention.backoff_shift(key);
+        let base_poll = SimDuration::from_micros(raw_poll.as_micros() << stretch);
         // "Standard back-off mechanisms can be used to alleviate the cost
         // of polling" (§III-A): exponential with deterministic jitter,
         // always within [base, 64×base], so co-located contenders do not
@@ -417,7 +505,46 @@ where
                         AcquireOutcome::NoLongerHolder => return Err(MusicError::NoLongerHolder),
                         AcquireOutcome::NotYet => {
                             consecutive_failures = 0;
-                            self.rt.sleep(backoff::delay(base_poll, polls, salt)).await;
+                            let delay = if self.contention.enabled() {
+                                match replica
+                                    .locks()
+                                    .queue_position_local(replica.node(), key, lock_ref)
+                                    .await
+                                {
+                                    // Next in line (or an unconfirmed
+                                    // head): poll tight, the handoff is
+                                    // one release away.
+                                    Ok(Some(pos)) if pos <= 1 => backoff::delay(raw_poll, 0, salt),
+                                    // Deep in the queue: pace the poll by
+                                    // the position — nothing can change
+                                    // for at least `pos` handoffs. The
+                                    // position *is* the stretch; layering
+                                    // the Hot-mode shift on top would
+                                    // over-delay the eventual handoff.
+                                    Ok(Some(pos)) => {
+                                        let scaled = SimDuration::from_micros(
+                                            raw_poll.as_micros().saturating_mul(pos.min(16) as u64),
+                                        );
+                                        backoff::delay(scaled, 0, salt)
+                                    }
+                                    // Not in the local view yet (or the
+                                    // peek failed): local convergence is
+                                    // quick, so retry on a short bounded
+                                    // schedule — never the accumulated
+                                    // blind exponent, which after a long
+                                    // paced wait would sleep for the full
+                                    // 64× cap at the worst moment.
+                                    _ => backoff::delay(
+                                        raw_poll,
+                                        polls.saturating_sub(spin).min(4),
+                                        salt,
+                                    ),
+                                }
+                            } else {
+                                let attempt = polls.saturating_sub(spin);
+                                backoff::delay(base_poll, attempt, salt)
+                            };
+                            self.rt.sleep(delay).await;
                             polls = polls.saturating_add(1);
                         }
                     }
@@ -647,16 +774,54 @@ where
     ) -> Result<CriticalSection<RT, D, L>, MusicError> {
         let key = key.as_ref();
         let t0 = self.rt.now();
+        self.contention.on_enter(key, t0.as_micros());
+        // The lease fast path consumes no queue slot, so it is exempt from
+        // admission control; a suspended lease (anti-starvation cooloff)
+        // is surrendered below instead of being re-used.
+        let holds_lease = self.leases.borrow().contains_key(key);
+        if !holds_lease {
+            self.admission_check(key).await?;
+        }
         // The section root span stays open until release (or drop) and
         // every phase below — including replica-side headship confirms —
         // parents onto it through the task's span tag.
         let section_span = self.span_open(SpanPhase::Section, key);
-        if let Some(lock_ref) = self.try_lease_reenter(key).await {
+        if holds_lease && !self.contention.lease_retention_allowed(key) {
+            // Anti-starvation: while retention is suspended, hand the key
+            // back through the FIFO queue instead of monopolizing it via
+            // 0-RTT re-entries. Best-effort — a failed relinquish leaves
+            // the lease to competitors' break path or the watchdog.
+            let _ = self.relinquish(key).await;
+        } else if let Some(lock_ref) = self.try_lease_reenter(key).await {
+            // Counted as an entered section only under the adaptive
+            // controller: the starvation instrument must see a site's
+            // 0-RTT lease monopoly, but the pre-adaptive accounting (and
+            // the committed BENCH baselines) counts slow-path grants only.
+            if self.contention.enabled() {
+                self.note_grant(key, t0);
+            }
             return Ok(self.section(key, lock_ref, self.rt.now(), section_span));
+        }
+        // Anti-starvation politeness: while lease retention is suspended
+        // the key is known-contended, so an empty queue means a
+        // competitor's enqueue is in flight, not that the key is free —
+        // we can re-enqueue in microseconds while a far site pays 4 WAN
+        // round trips to land a reference. Give it a bounded head start
+        // and queue behind it; observing one refreshes the suspension.
+        if let Some(patience) = self.contention.enqueue_yield(key) {
+            self.yield_to_competitors(key, patience).await;
         }
         let acquire_span = self.span_open(SpanPhase::LockAcquire, key);
         let enqueue_span = self.span_open(SpanPhase::Enqueue, key);
-        let lock_ref = self.create_lock_ref(key).await;
+        let lock_ref = if self.contention.combine_now(key) {
+            self.with_failover("createLockRef", |r| {
+                let key = key.to_string();
+                async move { r.create_lock_ref_combined(&key).await }
+            })
+            .await
+        } else {
+            self.create_lock_ref(key).await
+        };
         self.span_close(enqueue_span);
         let lock_ref = match lock_ref {
             Ok(r) => r,
@@ -675,7 +840,7 @@ where
             self.span_close(section_span);
             return Err(e);
         }
-        self.note_grant(t0);
+        self.note_grant(key, t0);
         Ok(self.section(key, lock_ref, entered_at, section_span))
     }
 
@@ -726,11 +891,55 @@ where
                     break;
                 }
                 Ok(AcquireOutcome::NotYet) => self.rt.sleep(poll).await,
-                Ok(AcquireOutcome::NoLongerHolder) | Err(_) => break,
+                Ok(AcquireOutcome::NoLongerHolder) => {
+                    // Our cached lease was broken or revoked: direct
+                    // evidence of competitors on this key. Suspend lease
+                    // retention for the cooloff (anti-starvation).
+                    self.contention.note_lease_contention(key);
+                    break;
+                }
+                Err(_) => break,
             }
         }
         self.span_close(span);
         reentered
+    }
+
+    /// The anti-starvation yield (see [`ContentionKnobs::yield_patience`](
+    /// crate::contention::ContentionKnobs)): polls the cheap local queue
+    /// view until a competitor's reference appears (then refreshes the
+    /// lease-contention suspension and returns — we enqueue *behind*
+    /// them) or the patience runs out (the competitor left; retention may
+    /// resume once the cooloff decays). A peek failure ends the yield:
+    /// politeness must never reduce availability.
+    async fn yield_to_competitors(&self, key: &str, patience: SimDuration) {
+        let primary = self.primary();
+        // Coarse polling: the point is to notice a competitor's enqueue
+        // within a few tens of milliseconds (one WAN hop's precision),
+        // not to race it — a tight poll here would multiply RPC load on
+        // every suspended key for no fairness gain.
+        let poll =
+            SimDuration::from_micros(primary.config().acquire_poll.as_micros().saturating_mul(4));
+        let deadline = self.rt.now() + patience;
+        let salt = self.backoff_salt("enqueueYield", backoff::hash_str(key));
+        let mut attempt = 0u32;
+        loop {
+            match primary.locks().queue_depth_local(primary.node(), key).await {
+                Ok(0) => {}
+                Ok(_) => {
+                    self.contention.note_lease_contention(key);
+                    return;
+                }
+                Err(_) => return,
+            }
+            if self.rt.now() >= deadline {
+                return;
+            }
+            self.rt
+                .sleep(backoff::delay(poll, attempt.min(3), salt))
+                .await;
+            attempt = attempt.saturating_add(1);
+        }
     }
 
     /// Voluntarily surrenders the lease this client holds on `key`, if
@@ -1186,8 +1395,20 @@ where
     /// protocol entirely.
     pub async fn release(self) -> Result<(), MusicError> {
         self.flush().await?;
-        let res = match self.client.lease_window() {
+        // Lease retention rides on a configured window, gated by the
+        // anti-starvation rule: while the key is Hot or inside a
+        // lease-contention cooloff, release plainly so competitors get the
+        // FIFO queue instead of a 0-RTT monopoly.
+        let retain = self
+            .client
+            .lease_window()
+            .filter(|_| self.client.contention.lease_retention_allowed(&self.key));
+        let res = match retain {
             Some(window) => {
+                // Auto-tune the minted window from the observed think-time
+                // EWMA, clamped to the safety floor/ceiling (identity when
+                // the controller is disabled).
+                let window = self.client.contention.auto_window(&self.key, window);
                 let span = self.client.span_open(SpanPhase::LeaseHandoff, &self.key);
                 let res = self.release_leased(window).await;
                 self.client.span_close(span);
@@ -1201,6 +1422,9 @@ where
             }
         };
         if res.is_ok() {
+            self.client
+                .contention
+                .on_release(&self.key, self.client.rt.now().as_micros());
             self.client.primary().stats().record(
                 OpKind::CriticalSection,
                 self.client.rt.now() - self.entered_at,
@@ -1229,6 +1453,10 @@ where
             }
             None => {
                 leases.remove(&self.key);
+                // The release found competitors queued behind us (or the
+                // reference already collected): the key is contended, so
+                // suspend lease retention for the cooloff.
+                self.client.contention.note_lease_contention(&self.key);
             }
         }
         Ok(())

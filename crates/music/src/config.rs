@@ -2,6 +2,8 @@
 
 use music_simnet::time::SimDuration;
 
+use crate::contention::ContentionKnobs;
+
 /// How `criticalPut` reaches the data store — the paper's MUSIC-vs-MSCP
 /// axis (§VIII-b).
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -115,6 +117,13 @@ pub struct MusicConfig {
     /// ε is the documented unsafe region (DESIGN.md §8). `ZERO` (the
     /// default) reproduces the pre-drift strict comparisons exactly.
     pub clock_epsilon: SimDuration,
+    /// The contention-adaptive locking controller
+    /// ([`crate::contention`]): per-key spin-then-queue strategy
+    /// switching, enqueue combining, lease-window auto-tuning, admission
+    /// control, and the anti-starvation lease-suspension rule. Disabled
+    /// by default — a default config behaves exactly like the
+    /// pre-adaptive protocol.
+    pub contention: ContentionKnobs,
 }
 
 impl Default for MusicConfig {
@@ -132,6 +141,7 @@ impl Default for MusicConfig {
             write_mode: WriteMode::Sync,
             lease_window: None,
             clock_epsilon: SimDuration::ZERO,
+            contention: ContentionKnobs::default(),
         }
     }
 }
@@ -293,9 +303,31 @@ impl MusicConfigBuilder {
         self
     }
 
+    /// Installs the contention-adaptive locking knobs (validated at
+    /// [`Self::build`]).
+    #[must_use]
+    pub fn contention(mut self, knobs: ContentionKnobs) -> Self {
+        self.cfg.contention = knobs;
+        self
+    }
+
+    /// Enables the contention controller with its default thresholds.
+    #[must_use]
+    pub fn adaptive(mut self) -> Self {
+        self.cfg.contention = ContentionKnobs::adaptive();
+        self
+    }
+
     /// Finishes the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when enabled contention knobs are inconsistent (inverted
+    /// hysteresis thresholds or an inverted lease clamp).
     pub fn build(self) -> MusicConfig {
-        self.cfg
+        let mut cfg = self.cfg;
+        cfg.contention = cfg.contention.validate();
+        cfg
     }
 }
 
@@ -330,6 +362,13 @@ mod tests {
             .build();
         assert_eq!(eps.clock_epsilon, SimDuration::from_millis(2));
         assert!(eps.clock_epsilon < eps.lease_window.unwrap_or(eps.failure_timeout));
+        assert!(
+            !c.contention.enabled,
+            "contention adaptation is opt-in: default config is the pre-adaptive protocol"
+        );
+        let adaptive = MusicConfig::builder().adaptive().build();
+        assert!(adaptive.contention.enabled);
+        assert!(adaptive.contention.hot_exit_us < adaptive.contention.hot_enter_us);
     }
 
     #[test]

@@ -1,0 +1,710 @@
+//! Per-key contention-adaptive locking: the controller that lets MUSIC
+//! survive a flash crowd without livelock or starvation.
+//!
+//! The controller is fed by *measured* signals — the grant-wait the client
+//! already observes per section, the think time between sections, and the
+//! queue depth the lock store reports — and drives three behaviors:
+//!
+//! 1. **spin-then-queue** — below the contention threshold ([`Mode::Cool`])
+//!    the acquire loop runs a bounded budget of tight optimistic head
+//!    polls (cheap local peeks) before paying jittered exponential
+//!    backoff; above it ([`Mode::Hot`]) the client enqueues immediately
+//!    (claiming its FIFO position early) and stretches the poll backoff so
+//!    a deep queue is not hammered.
+//! 2. **lease-window auto-tuning** — the static `lease_window` knob is
+//!    replaced by an EWMA of observed think time, clamped to a safety
+//!    floor/ceiling (a mis-sized window is worse than none — Ablation 5).
+//! 3. **enqueue combining** — in `Hot` mode, same-key waiter enqueues are
+//!    batched into one LWT round (`LockMutation::EnqueueBatch`),
+//!    preserving arrival order so the FIFO-with-preemption refinement
+//!    stays clean.
+//!
+//! Two guard rails complete the graceful-degradation floor: a bounded
+//! queue-depth **admission guard** that fast-rejects with
+//! [`MusicError::Overloaded`](crate::MusicError) instead of livelocking,
+//! and an **anti-starvation** rule that suspends the lease fast path for a
+//! key when the grant-wait EWMA exceeds the fairness bound or the lease is
+//! observed contended (a broken lease at re-enter, or a release that found
+//! competitors queued) — so a near client cannot monopolize a hot key via
+//! 0-RTT lease re-entries while far sites pay the break path forever.
+//! While suspended, an `enter` that finds the queue empty also *yields*
+//! (bounded by [`ContentionKnobs::yield_patience`]) for a competitor's
+//! enqueue to land before racing its own in: suspension alone is not
+//! enough when the monopolist can re-enqueue in microseconds and the far
+//! site needs 4 WAN round trips to get a reference into the queue.
+//!
+//! All state transitions go through **hysteresis** (strictly separated
+//! enter/exit thresholds), so no constant input signal can make the
+//! controller oscillate; the arithmetic is pure, integer-only, and
+//! overflow-free (see the `ewma_update` / `next_mode` / `clamp_window`
+//! properties in the tests), which keeps seeded simulations byte-identical.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use music_simnet::time::SimDuration;
+
+/// The per-key locking strategy the controller selects.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// Low contention: spin (bounded tight head polls) before backing
+    /// off; enqueue singly; lease retention allowed.
+    #[default]
+    Cool,
+    /// High contention: enqueue immediately through the combiner, stretch
+    /// backoff, and suspend lease retention (anti-starvation).
+    Hot,
+}
+
+impl Mode {
+    /// Stable label for telemetry (`strategySwitch` events).
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Cool => "cool",
+            Mode::Hot => "hot",
+        }
+    }
+}
+
+/// Tunables for the contention controller. Off by default — a default
+/// [`MusicConfig`](crate::MusicConfig) behaves exactly as before this
+/// module existed (every baseline trace and BENCH artifact is unchanged).
+#[derive(Copy, Clone, Debug)]
+pub struct ContentionKnobs {
+    /// Master switch; `false` (the default) disables every adaptive
+    /// behavior and all controller bookkeeping.
+    pub enabled: bool,
+    /// EWMA smoothing: α = 1 / 2^`ewma_shift`.
+    pub ewma_shift: u32,
+    /// Grant-wait EWMA (µs) at or above which a key switches to
+    /// [`Mode::Hot`].
+    pub hot_enter_us: u64,
+    /// Grant-wait EWMA (µs) at or below which a hot key cools down. Must
+    /// be strictly below [`ContentionKnobs::hot_enter_us`] (the
+    /// constructor enforces the gap), so the switch has hysteresis and
+    /// cannot oscillate on a constant signal.
+    pub hot_exit_us: u64,
+    /// Bounded optimistic head polls (spins) the acquire loop runs before
+    /// exponential backoff, in `Cool` mode. `Hot` mode spins zero times.
+    pub spin_polls: u32,
+    /// In `Hot` mode the acquire backoff base is stretched by
+    /// 2^`hot_backoff_shift`.
+    pub hot_backoff_shift: u32,
+    /// Batch same-key waiter enqueues into one LWT round while `Hot`.
+    pub combine: bool,
+    /// Admission guard: reject `enter` when the observed queue depth
+    /// reaches this bound. `0` disables the guard.
+    pub max_queue_depth: usize,
+    /// Base client back-off suggested by an admission rejection; the
+    /// suggestion grows linearly with the excess depth (capped at 64×).
+    pub retry_after_base: SimDuration,
+    /// Auto-tuned lease-window clamp floor: never mint a lease shorter
+    /// than this (a too-short lease is pure overhead — it is broken or
+    /// revoked before the think time elapses).
+    pub lease_floor: SimDuration,
+    /// Auto-tuned lease-window clamp ceiling: never mint a lease longer
+    /// than this (a too-long lease holds competitors hostage for the
+    /// whole break path).
+    pub lease_ceil: SimDuration,
+    /// Anti-starvation fairness bound: when a key's grant-wait EWMA (µs)
+    /// exceeds this, lease retention is suspended for the key so every
+    /// entry goes through the FIFO queue. `0` means "use `hot_enter_us`".
+    pub fairness_wait_us: u64,
+    /// How many sections lease retention stays suspended after observed
+    /// lease contention (a broken lease at re-enter, or competitors
+    /// queued at release).
+    pub lease_cooloff: u32,
+    /// Anti-starvation politeness bound: while lease retention is
+    /// suspended (the key is known-contended), an `enter` that finds the
+    /// local lock queue *empty* waits up to this long for a competitor's
+    /// reference to land before enqueueing its own — a near client can
+    /// re-enqueue in microseconds while a far site pays 4 WAN round
+    /// trips, so racing into the empty queue re-creates the monopoly the
+    /// suspension just broke. Observing a competitor refreshes the
+    /// suspension. `0` disables the yield.
+    pub yield_patience: SimDuration,
+}
+
+impl Default for ContentionKnobs {
+    fn default() -> Self {
+        ContentionKnobs {
+            enabled: false,
+            ewma_shift: 2,
+            hot_enter_us: 400_000,
+            hot_exit_us: 100_000,
+            spin_polls: 8,
+            hot_backoff_shift: 2,
+            combine: true,
+            max_queue_depth: 0,
+            retry_after_base: SimDuration::from_millis(25),
+            lease_floor: SimDuration::from_millis(5),
+            lease_ceil: SimDuration::from_secs(8),
+            fairness_wait_us: 0,
+            lease_cooloff: 8,
+            yield_patience: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl ContentionKnobs {
+    /// An enabled controller with the default thresholds, including the
+    /// graceful-degradation floor: a bounded lock queue (admission guard)
+    /// so a flash crowd is fast-rejected with a retry hint instead of
+    /// piling thirty LWT proposers onto one key's ballot.
+    pub fn adaptive() -> Self {
+        ContentionKnobs {
+            enabled: true,
+            max_queue_depth: 16,
+            ..ContentionKnobs::default()
+        }
+    }
+
+    /// Validates and normalizes the knobs: the hysteresis gap must be
+    /// strict (`hot_exit < hot_enter`), the clamp well-ordered
+    /// (`lease_floor ≤ lease_ceil`). Called by the config builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `enabled` and a constraint is violated.
+    pub fn validate(self) -> Self {
+        if self.enabled {
+            assert!(
+                self.hot_exit_us < self.hot_enter_us,
+                "hysteresis requires hot_exit_us < hot_enter_us"
+            );
+            assert!(
+                self.lease_floor <= self.lease_ceil,
+                "lease clamp floor must not exceed ceiling"
+            );
+            assert!(self.ewma_shift < 32, "ewma_shift out of range");
+        }
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pure controller arithmetic (property-tested).
+// ---------------------------------------------------------------------------
+
+/// One EWMA step with α = 1 / 2^`shift`: moves `prev` toward `sample` by
+/// `max(1, |sample − prev| / 2^shift)`.
+///
+/// Total (no overflow for any inputs) and **bounded**: the result always
+/// lies in `[min(prev, sample), max(prev, sample)]`, so a bounded signal
+/// keeps the EWMA bounded, and a constant signal converges to it in
+/// finitely many steps (the `max(1,·)` floor prevents the integer
+/// division from stalling short of the target).
+pub const fn ewma_update(prev: u64, sample: u64, shift: u32) -> u64 {
+    if sample >= prev {
+        let d = sample - prev;
+        if d == 0 {
+            prev
+        } else {
+            let step = d >> shift;
+            prev + if step == 0 { 1 } else { step }
+        }
+    } else {
+        let d = prev - sample;
+        let step = d >> shift;
+        prev - if step == 0 { 1 } else { step }
+    }
+}
+
+/// The hysteresis step: `Cool → Hot` at or above `enter`, `Hot → Cool` at
+/// or below `exit`; anywhere between the thresholds the mode is sticky.
+///
+/// With `exit < enter` (enforced by [`ContentionKnobs::validate`]) no
+/// constant `ewma` can produce more than one switch: after a `Cool → Hot`
+/// transition at `ewma ≥ enter > exit`, `Hot → Cool` would need
+/// `ewma ≤ exit` — a contradiction, and symmetrically for the other
+/// direction.
+pub const fn next_mode(mode: Mode, ewma: u64, enter: u64, exit: u64) -> Mode {
+    match mode {
+        Mode::Cool => {
+            if ewma >= enter {
+                Mode::Hot
+            } else {
+                Mode::Cool
+            }
+        }
+        Mode::Hot => {
+            if ewma <= exit {
+                Mode::Cool
+            } else {
+                Mode::Hot
+            }
+        }
+    }
+}
+
+/// Sizes a lease window from the think-time EWMA: twice the observed
+/// think time (so an ordinary re-entry lands comfortably inside the
+/// window), clamped to `[floor, ceil]`. Saturating, so no input can
+/// overflow or escape the clamp.
+pub const fn clamp_window(think_ewma_us: u64, floor_us: u64, ceil_us: u64) -> u64 {
+    let want = think_ewma_us.saturating_mul(2);
+    let lo = if want < floor_us { floor_us } else { want };
+    if lo > ceil_us {
+        ceil_us
+    } else {
+        lo
+    }
+}
+
+/// The back-off an admission rejection suggests: the base grows linearly
+/// with the excess queue depth, capped at 64× (mirroring the jittered
+/// exponential backoff's range cap).
+pub const fn overload_retry_after_us(depth: usize, bound: usize, base_us: u64) -> u64 {
+    let excess = if depth >= bound { depth - bound + 1 } else { 1 };
+    let mult = if excess > 64 { 64 } else { excess as u64 };
+    base_us.saturating_mul(mult)
+}
+
+// ---------------------------------------------------------------------------
+// Per-key controller state.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct KeyState {
+    mode: Mode,
+    wait_ewma_us: u64,
+    think_ewma_us: u64,
+    /// Virtual-time instant of the last release (µs), for think-time
+    /// measurement.
+    last_release_us: Option<u64>,
+    /// Sections left before lease retention may resume.
+    lease_suspended: u32,
+}
+
+/// The per-client contention controller: one [`KeyState`] per touched
+/// key, updated from signals the client measures anyway. Cheap to clone
+/// (shared state), deterministic (no wall clock, no RNG).
+#[derive(Clone, Debug)]
+pub struct ContentionController {
+    knobs: ContentionKnobs,
+    keys: Rc<RefCell<HashMap<String, KeyState>>>,
+}
+
+impl ContentionController {
+    /// Builds a controller over validated knobs.
+    pub fn new(knobs: ContentionKnobs) -> Self {
+        ContentionController {
+            knobs: knobs.validate(),
+            keys: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// Whether any adaptive behavior is active.
+    pub fn enabled(&self) -> bool {
+        self.knobs.enabled
+    }
+
+    /// The knobs this controller runs with.
+    pub fn knobs(&self) -> &ContentionKnobs {
+        &self.knobs
+    }
+
+    /// Current strategy for `key`.
+    pub fn mode(&self, key: &str) -> Mode {
+        if !self.knobs.enabled {
+            return Mode::Cool;
+        }
+        self.keys.borrow().get(key).map_or(Mode::Cool, |s| s.mode)
+    }
+
+    /// Feeds one measured grant wait; returns `Some((new_mode, ewma))`
+    /// when the hysteresis switched strategy (for the `strategySwitch`
+    /// event).
+    pub fn on_grant_wait(&self, key: &str, wait_us: u64) -> Option<(Mode, u64)> {
+        if !self.knobs.enabled {
+            return None;
+        }
+        let mut keys = self.keys.borrow_mut();
+        let s = keys.entry(key.to_string()).or_default();
+        s.wait_ewma_us = ewma_update(s.wait_ewma_us, wait_us, self.knobs.ewma_shift);
+        let next = next_mode(
+            s.mode,
+            s.wait_ewma_us,
+            self.knobs.hot_enter_us,
+            self.knobs.hot_exit_us,
+        );
+        let fairness = if self.knobs.fairness_wait_us == 0 {
+            self.knobs.hot_enter_us
+        } else {
+            self.knobs.fairness_wait_us
+        };
+        if s.wait_ewma_us >= fairness {
+            // Anti-starvation: a site waiting this long must not feed a
+            // lease monopoly; force every entry through the FIFO queue
+            // for a cooloff.
+            s.lease_suspended = s.lease_suspended.max(self.knobs.lease_cooloff);
+        }
+        if next != s.mode {
+            s.mode = next;
+            return Some((next, s.wait_ewma_us));
+        }
+        None
+    }
+
+    /// Notes an `enter` starting at virtual-time `now_us`: measures the
+    /// think time since the previous release and decays the lease
+    /// suspension by one section.
+    pub fn on_enter(&self, key: &str, now_us: u64) {
+        if !self.knobs.enabled {
+            return;
+        }
+        let mut keys = self.keys.borrow_mut();
+        let s = keys.entry(key.to_string()).or_default();
+        if let Some(rel) = s.last_release_us.take() {
+            let think = now_us.saturating_sub(rel);
+            s.think_ewma_us = ewma_update(s.think_ewma_us, think, self.knobs.ewma_shift);
+        }
+        s.lease_suspended = s.lease_suspended.saturating_sub(1);
+    }
+
+    /// Notes a release at virtual-time `now_us` (think-time measurement
+    /// anchor).
+    pub fn on_release(&self, key: &str, now_us: u64) {
+        if !self.knobs.enabled {
+            return;
+        }
+        let mut keys = self.keys.borrow_mut();
+        let s = keys.entry(key.to_string()).or_default();
+        s.last_release_us = Some(now_us);
+    }
+
+    /// Notes observed lease contention on `key` — the cached lease was
+    /// found broken at re-enter, or the release saw competitors queued.
+    /// Suspends lease retention for the configured cooloff.
+    pub fn note_lease_contention(&self, key: &str) {
+        if !self.knobs.enabled {
+            return;
+        }
+        let mut keys = self.keys.borrow_mut();
+        let s = keys.entry(key.to_string()).or_default();
+        s.lease_suspended = s.lease_suspended.max(self.knobs.lease_cooloff);
+    }
+
+    /// The politeness bound for an `enter` on `key`, when one applies:
+    /// `Some(patience)` while lease retention is suspended (or the key is
+    /// `Hot`) and the yield is configured — the caller should wait up to
+    /// `patience` for a competitor to appear in an empty queue before
+    /// enqueueing. `None` means enqueue immediately.
+    pub fn enqueue_yield(&self, key: &str) -> Option<SimDuration> {
+        if !self.knobs.enabled || self.knobs.yield_patience == SimDuration::ZERO {
+            return None;
+        }
+        if self.lease_retention_allowed(key) {
+            None
+        } else {
+            Some(self.knobs.yield_patience)
+        }
+    }
+
+    /// Whether the client may retain a lease on `key` at release time.
+    /// `false` while the key is `Hot` or inside a lease-contention
+    /// cooloff (the anti-starvation rule).
+    pub fn lease_retention_allowed(&self, key: &str) -> bool {
+        if !self.knobs.enabled {
+            return true;
+        }
+        let keys = self.keys.borrow();
+        keys.get(key)
+            .is_none_or(|s| s.mode == Mode::Cool && s.lease_suspended == 0)
+    }
+
+    /// The auto-tuned lease window for `key`: sized from the think-time
+    /// EWMA, clamped to the safety floor/ceiling. Falls back to the
+    /// static `window` while no think time has been observed yet, still
+    /// clamped (the tuner must never mint below the floor).
+    pub fn auto_window(&self, key: &str, window: SimDuration) -> SimDuration {
+        if !self.knobs.enabled {
+            return window;
+        }
+        let floor = self.knobs.lease_floor.as_micros();
+        let ceil = self.knobs.lease_ceil.as_micros();
+        let think = self.keys.borrow().get(key).map_or(0, |s| s.think_ewma_us);
+        let us = if think == 0 {
+            clamp_window(window.as_micros() / 2, floor, ceil)
+        } else {
+            clamp_window(think, floor, ceil)
+        };
+        SimDuration::from_micros(us)
+    }
+
+    /// How many tight optimistic head polls the acquire loop may run
+    /// before exponential backoff: the spin budget in `Cool`, zero in
+    /// `Hot`.
+    pub fn spin_budget(&self, key: &str) -> u32 {
+        if !self.knobs.enabled {
+            return 0;
+        }
+        match self.mode(key) {
+            Mode::Cool => self.knobs.spin_polls,
+            Mode::Hot => 0,
+        }
+    }
+
+    /// Left-shift applied to the acquire backoff base for `key` (stretch
+    /// under contention): 0 in `Cool`, `hot_backoff_shift` in `Hot`.
+    pub fn backoff_shift(&self, key: &str) -> u32 {
+        if !self.knobs.enabled {
+            return 0;
+        }
+        match self.mode(key) {
+            Mode::Cool => 0,
+            Mode::Hot => self.knobs.hot_backoff_shift,
+        }
+    }
+
+    /// Whether same-key enqueues should go through the combiner right
+    /// now: only when enabled, configured, and the key is `Hot` (in
+    /// `Cool` the extra round coordination is pure overhead).
+    pub fn combine_now(&self, key: &str) -> bool {
+        self.knobs.enabled && self.knobs.combine && self.mode(key) == Mode::Hot
+    }
+
+    /// The admission guard: `Err(retry_after)` when `depth` has reached
+    /// the configured bound (the graceful-degradation floor). `Ok(())`
+    /// when admission control is off or the queue has room.
+    pub fn admit(&self, depth: usize) -> Result<(), SimDuration> {
+        if !self.knobs.enabled || self.knobs.max_queue_depth == 0 {
+            return Ok(());
+        }
+        let bound = self.knobs.max_queue_depth;
+        if depth < bound {
+            return Ok(());
+        }
+        Err(SimDuration::from_micros(overload_retry_after_us(
+            depth,
+            bound,
+            self.knobs.retry_after_base.as_micros(),
+        )))
+    }
+
+    /// The configured admission bound (`0` = off) — lets the client skip
+    /// the depth peek entirely when the guard is off.
+    pub fn admission_bound(&self) -> usize {
+        if self.knobs.enabled {
+            self.knobs.max_queue_depth
+        } else {
+            0
+        }
+    }
+
+    /// The grant-wait EWMA for `key` (instrumentation/tests).
+    pub fn wait_ewma_us(&self, key: &str) -> u64 {
+        self.keys.borrow().get(key).map_or(0, |s| s.wait_ewma_us)
+    }
+
+    /// The think-time EWMA for `key` (instrumentation/tests).
+    pub fn think_ewma_us(&self, key: &str) -> u64 {
+        self.keys.borrow().get(key).map_or(0, |s| s.think_ewma_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ewma_is_bounded_between_prev_and_sample() {
+        // Property: for ANY (prev, sample, shift) the update lands in
+        // [min, max] — randomized over the full u64 range, overflow-free.
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..50_000 {
+            let prev: u64 = rng.gen();
+            let sample: u64 = rng.gen();
+            let shift: u32 = rng.gen_range(0..32);
+            let next = ewma_update(prev, sample, shift);
+            assert!(next >= prev.min(sample) && next <= prev.max(sample));
+        }
+    }
+
+    #[test]
+    fn ewma_converges_to_a_constant_signal() {
+        for shift in 0..8 {
+            let mut v = 1_000_000u64;
+            for _ in 0..10_000 {
+                v = ewma_update(v, 250, shift);
+            }
+            assert_eq!(v, 250, "shift {shift} must converge");
+            let mut up = 0u64;
+            for _ in 0..10_000 {
+                up = ewma_update(up, 777, shift);
+            }
+            assert_eq!(up, 777);
+        }
+    }
+
+    #[test]
+    fn hysteresis_never_oscillates_on_constant_input() {
+        // Property: for any constant signal and any exit < enter, the
+        // mode switches at most once over an arbitrarily long run.
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            let enter = rng.gen_range(1..u64::MAX);
+            let exit = rng.gen_range(0..enter);
+            let signal: u64 = rng.gen();
+            let mut mode = if rng.gen() { Mode::Cool } else { Mode::Hot };
+            let mut switches = 0;
+            for _ in 0..64 {
+                let next = next_mode(mode, signal, enter, exit);
+                if next != mode {
+                    switches += 1;
+                    mode = next;
+                }
+            }
+            assert!(switches <= 1, "constant signal {signal} oscillated");
+        }
+    }
+
+    #[test]
+    fn clamp_window_respects_floor_and_ceiling_for_any_input() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..50_000 {
+            let floor = rng.gen_range(0..u64::MAX / 2);
+            let ceil = rng.gen_range(floor..u64::MAX);
+            let think: u64 = rng.gen();
+            let w = clamp_window(think, floor, ceil);
+            assert!(
+                w >= floor && w <= ceil,
+                "window {w} escaped [{floor},{ceil}]"
+            );
+        }
+        // Saturation edge: think * 2 overflows, still clamped.
+        assert_eq!(clamp_window(u64::MAX, 5, 100), 100);
+        // Zero think maps to the floor.
+        assert_eq!(clamp_window(0, 5, 100), 5);
+    }
+
+    #[test]
+    fn overload_retry_grows_with_excess_and_caps() {
+        let base = 1_000;
+        let r0 = overload_retry_after_us(4, 4, base);
+        let r1 = overload_retry_after_us(8, 4, base);
+        assert!(r1 > r0);
+        assert_eq!(overload_retry_after_us(10_000, 4, base), base * 64);
+        // Degenerate inputs stay total.
+        assert_eq!(overload_retry_after_us(0, 4, base), base);
+        assert!(overload_retry_after_us(usize::MAX, 1, u64::MAX) == u64::MAX);
+    }
+
+    #[test]
+    fn controller_switches_hot_and_back_with_hysteresis() {
+        let knobs = ContentionKnobs {
+            enabled: true,
+            hot_enter_us: 1_000,
+            hot_exit_us: 200,
+            ewma_shift: 0, // EWMA follows the sample exactly
+            ..ContentionKnobs::default()
+        };
+        let c = ContentionController::new(knobs);
+        assert_eq!(c.mode("k"), Mode::Cool);
+        let sw = c.on_grant_wait("k", 5_000).expect("switches hot");
+        assert_eq!(sw.0, Mode::Hot);
+        assert_eq!(c.mode("k"), Mode::Hot);
+        assert_eq!(c.spin_budget("k"), 0);
+        assert!(c.backoff_shift("k") > 0);
+        assert!(c.combine_now("k"));
+        // Between the thresholds: sticky.
+        assert!(c.on_grant_wait("k", 500).is_none());
+        assert_eq!(c.mode("k"), Mode::Hot);
+        // Below exit: cools down.
+        let sw = c.on_grant_wait("k", 10).expect("cools");
+        assert_eq!(sw.0, Mode::Cool);
+        assert!(c.spin_budget("k") > 0);
+        assert!(!c.combine_now("k"));
+    }
+
+    #[test]
+    fn lease_retention_suspends_under_contention_and_recovers() {
+        let knobs = ContentionKnobs {
+            enabled: true,
+            lease_cooloff: 2,
+            ..ContentionKnobs::default()
+        };
+        let c = ContentionController::new(knobs);
+        assert!(c.lease_retention_allowed("k"));
+        c.note_lease_contention("k");
+        assert!(!c.lease_retention_allowed("k"));
+        c.on_enter("k", 1);
+        assert!(!c.lease_retention_allowed("k"));
+        c.on_enter("k", 2);
+        assert!(c.lease_retention_allowed("k"), "cooloff elapsed");
+    }
+
+    #[test]
+    fn auto_window_tracks_think_time_within_clamp() {
+        let knobs = ContentionKnobs {
+            enabled: true,
+            ewma_shift: 0,
+            lease_floor: SimDuration::from_micros(1_000),
+            lease_ceil: SimDuration::from_micros(50_000),
+            ..ContentionKnobs::default()
+        };
+        let c = ContentionController::new(knobs);
+        // No observation yet: static window, clamped.
+        let w = c.auto_window("k", SimDuration::from_secs(2));
+        assert_eq!(w, SimDuration::from_micros(50_000));
+        // Observe a 10ms think time: window = 2 × think.
+        c.on_release("k", 1_000);
+        c.on_enter("k", 11_000);
+        let w = c.auto_window("k", SimDuration::from_secs(2));
+        assert_eq!(w, SimDuration::from_micros(20_000));
+        // A tiny think time cannot dip below the floor.
+        c.on_release("k", 20_000);
+        c.on_enter("k", 20_001);
+        for _ in 0..4 {
+            c.on_release("k", 30_000);
+            c.on_enter("k", 30_001);
+        }
+        let w = c.auto_window("k", SimDuration::from_secs(2));
+        assert!(w >= SimDuration::from_micros(1_000));
+    }
+
+    #[test]
+    fn admission_guard_rejects_at_bound_with_growing_backoff() {
+        let knobs = ContentionKnobs {
+            enabled: true,
+            max_queue_depth: 4,
+            retry_after_base: SimDuration::from_micros(100),
+            ..ContentionKnobs::default()
+        };
+        let c = ContentionController::new(knobs);
+        assert!(c.admit(0).is_ok());
+        assert!(c.admit(3).is_ok());
+        let r4 = c.admit(4).unwrap_err();
+        let r9 = c.admit(9).unwrap_err();
+        assert!(r9 > r4);
+    }
+
+    #[test]
+    fn disabled_controller_is_inert() {
+        let c = ContentionController::new(ContentionKnobs::default());
+        assert!(!c.enabled());
+        assert!(c.on_grant_wait("k", u64::MAX).is_none());
+        assert_eq!(c.mode("k"), Mode::Cool);
+        assert_eq!(c.spin_budget("k"), 0);
+        assert_eq!(c.backoff_shift("k"), 0);
+        assert!(!c.combine_now("k"));
+        assert!(c.admit(usize::MAX).is_ok());
+        assert!(c.lease_retention_allowed("k"));
+        let w = SimDuration::from_secs(2);
+        assert_eq!(c.auto_window("k", w), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn inverted_thresholds_rejected() {
+        let _ = ContentionController::new(ContentionKnobs {
+            enabled: true,
+            hot_enter_us: 100,
+            hot_exit_us: 100,
+            ..ContentionKnobs::default()
+        });
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use music_quorumstore::StoreError;
+use music_simnet::time::SimDuration;
 
 /// Outcome of one `acquireLock` poll (§IV-A).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -177,6 +178,16 @@ pub enum MusicError {
     /// A multi-key operation named a key that is not part of the held
     /// section.
     NotInSection,
+    /// The admission guard fast-rejected the entry because the key's
+    /// lock queue has reached the configured depth bound
+    /// ([`crate::contention::ContentionKnobs::max_queue_depth`]) — the
+    /// graceful-degradation floor under a flash crowd. The client should
+    /// back off for at least `retry_after` before re-trying; the
+    /// suggestion grows with the observed excess depth.
+    Overloaded {
+        /// Suggested minimum back-off before re-attempting the entry.
+        retry_after: SimDuration,
+    },
 }
 
 impl MusicError {
@@ -227,6 +238,11 @@ impl fmt::Display for MusicError {
             MusicError::NoReplicas => write!(f, "a client needs at least one replica"),
             MusicError::EmptyKeySet => write!(f, "a multi-key section needs at least one key"),
             MusicError::NotInSection => write!(f, "key is not part of this critical section"),
+            MusicError::Overloaded { retry_after } => write!(
+                f,
+                "lock queue is at its admission bound; retry after {} µs",
+                retry_after.as_micros()
+            ),
         }
     }
 }
@@ -261,6 +277,11 @@ mod tests {
             .to_string()
             .contains("maximum duration"));
         assert!(MusicError::NotInSection.to_string().contains("not part"));
+        let overloaded = MusicError::Overloaded {
+            retry_after: SimDuration::from_micros(2_500),
+        };
+        assert!(overloaded.to_string().contains("admission bound"));
+        assert!(overloaded.to_string().contains("2500"));
         assert!(MusicError::EmptyKeySet.to_string().contains("one key"));
         assert!(MusicError::NoReplicas.to_string().contains("one replica"));
     }

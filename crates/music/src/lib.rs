@@ -54,6 +54,7 @@
 pub mod backoff;
 pub mod client;
 pub mod config;
+pub mod contention;
 pub mod error;
 pub mod health;
 pub mod nemesis;
@@ -77,6 +78,7 @@ pub mod watchdog;
 pub mod prelude {
     pub use crate::client::{CriticalSection, MultiCriticalSection, MusicClient};
     pub use crate::config::{MusicConfig, MusicConfigBuilder, PeekMode, PutMode, WriteMode};
+    pub use crate::contention::{ContentionController, ContentionKnobs, Mode as ContentionMode};
     pub use crate::error::{AcquireOutcome, CriticalError, MusicError};
     pub use crate::replica::MusicReplica;
     pub use crate::stats::{OpKind, OpStats};
@@ -85,6 +87,7 @@ pub mod prelude {
 
 pub use client::{CriticalSection, MultiCriticalSection, MusicClient};
 pub use config::{MusicConfig, MusicConfigBuilder, PeekMode, PutMode, WriteMode};
+pub use contention::{ContentionController, ContentionKnobs};
 pub use error::{AcquireOutcome, AttemptTrail, CriticalError, MusicError};
 pub use health::ReplicaHealth;
 pub use music_lockstore::LockRef;

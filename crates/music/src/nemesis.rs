@@ -38,6 +38,7 @@ use music_telemetry::{
     check, EcfReport, Event, EventKind, MetricsSnapshot, OnlineConfig, OnlineReport, Recorder,
     Scope,
 };
+use music_workload::FlashCrowd;
 
 use crate::config::{MusicConfig, WriteMode};
 use crate::error::AcquireOutcome;
@@ -109,6 +110,13 @@ pub struct NemesisOptions {
     pub degradation_faults: usize,
     /// Clock-drift lane (`None` keeps every node on true virtual time).
     pub drift: Option<DriftLane>,
+    /// Flash-crowd lane: the middle half of every client's sections
+    /// converges on one hot key (a [`music_workload::FlashCrowd`]
+    /// schedule), and the clients run with the contention-adaptive
+    /// controller enabled — so strategy switches, enqueue combining, and
+    /// lease-retention suspension are all exercised *while* the other
+    /// lanes crash nodes, cut sites, and drift clocks.
+    pub flash_crowd: bool,
 }
 
 impl NemesisOptions {
@@ -122,6 +130,7 @@ impl NemesisOptions {
             node_faults: 4,
             degradation_faults: 2,
             drift: None,
+            flash_crowd: false,
         }
     }
 
@@ -129,6 +138,14 @@ impl NemesisOptions {
     #[must_use]
     pub fn with_drift(mut self, max_skew: SimDuration, epsilon: SimDuration) -> Self {
         self.drift = Some(DriftLane { max_skew, epsilon });
+        self
+    }
+
+    /// These options with the flash-crowd lane enabled (hot-key workload
+    /// plus the contention-adaptive controller).
+    #[must_use]
+    pub fn with_flash_crowd(mut self) -> Self {
+        self.flash_crowd = true;
         self
     }
 }
@@ -380,6 +397,7 @@ async fn run_client(
     sections: usize,
     keys: usize,
     seed: u64,
+    flash_crowd: bool,
 ) -> (u64, u64, String) {
     let sim = sys.sim().clone();
     let mut rng = SmallRng::seed_from_u64(seed ^ (client_id as u64).wrapping_mul(0x9E37));
@@ -394,10 +412,24 @@ async fn run_client(
             client = client.with_lease_window(SimDuration::from_secs(2));
         }
     }
+    // Flash-crowd lane: the middle half of each client's sections lands
+    // on the hot key k0 (every client's crowd window coincides, measured
+    // in section counts), the rest stay background-uniform.
+    let mut crowd = flash_crowd.then(|| {
+        FlashCrowd::new(
+            keys as u64,
+            sections as u64 / 4,
+            sections as u64 / 2,
+            seed ^ (client_id as u64).wrapping_mul(0xF1A5),
+        )
+    });
     let mut ok = 0u64;
     let mut abandoned = 0u64;
     for section in 0..sections {
-        let key = format!("k{}", rng.gen_range(0..keys));
+        let key = match crowd.as_mut() {
+            Some(fc) => format!("k{}", fc.next_key()),
+            None => format!("k{}", rng.gen_range(0..keys)),
+        };
         // Stagger entries so clients contend but not in lockstep.
         sim.sleep(SimDuration::from_micros(rng.gen_range(50_000..600_000)))
             .await;
@@ -467,6 +499,11 @@ pub fn run_nemesis(
         failure_timeout: SimDuration::from_secs(4),
         breaker_cooldown: SimDuration::from_millis(500),
         clock_epsilon: options.drift.map_or(SimDuration::ZERO, |d| d.epsilon),
+        contention: if options.flash_crowd {
+            crate::contention::ContentionKnobs::adaptive()
+        } else {
+            crate::contention::ContentionKnobs::default()
+        },
         ..MusicConfig::default()
     };
     let sys = MusicSystemBuilder::new()
@@ -510,6 +547,17 @@ pub fn run_nemesis(
                 "0us standing clockDrift all-replicas max_skew={}us epsilon={}us",
                 d.max_skew.as_micros(),
                 d.epsilon.as_micros()
+            ),
+        );
+    }
+    if options.flash_crowd {
+        schedule.insert(
+            0,
+            format!(
+                "0us standing flashCrowd all-clients hot-key=k0 \
+                 crowd-sections={}..{} adaptive-controller=on",
+                options.sections_per_client / 4,
+                options.sections_per_client / 4 + options.sections_per_client / 2
             ),
         );
     }
@@ -557,6 +605,7 @@ pub fn run_nemesis(
                 options.sections_per_client,
                 options.keys,
                 seed,
+                options.flash_crowd,
             )));
         }
         let mut ok = 0u64;

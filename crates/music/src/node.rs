@@ -458,12 +458,23 @@ pub struct LoadConfig {
     /// replica (`--peek quorum`). Local peeks pin each key to one store
     /// node; a load that must survive a node crash needs quorum peeks.
     pub peek_quorum: bool,
+    /// Zipfian skew for key selection (`--zipf-theta F`). `0` keeps the
+    /// default uniform round-robin; higher values concentrate sections on
+    /// the low-numbered keys (θ=1.2 is the paper's hotspot setting).
+    pub zipf_theta: f64,
+    /// Flash-crowd mode (`--flash-crowd`): the middle half of every
+    /// client's section quota targets key 0, converging all clients on
+    /// one hot key at once. The driver enables the contention-adaptive
+    /// controller so the crowd is absorbed (combining, admission guard)
+    /// instead of livelocking the enqueue LWTs.
+    pub flash_crowd: bool,
 }
 
 impl LoadConfig {
     /// Parses `music-load` arguments: `--peers LIST`, `--rf N`,
     /// `--sections N`, `--clients N`, `--keys N`, `--online-sample N`,
-    /// `--key-prefix P`, `--retries N`, `--peek local|quorum`.
+    /// `--key-prefix P`, `--retries N`, `--peek local|quorum`,
+    /// `--zipf-theta F`, `--flash-crowd`.
     ///
     /// # Errors
     ///
@@ -478,6 +489,8 @@ impl LoadConfig {
         let mut key_prefix = String::from("counter");
         let mut retries: u32 = 0;
         let mut peek_quorum = false;
+        let mut zipf_theta: f64 = 0.0;
+        let mut flash_crowd = false;
 
         let args: Vec<String> = args.into_iter().collect();
         let mut it = args.iter();
@@ -496,6 +509,8 @@ impl LoadConfig {
                 "--online-sample" => online_sample = parse_num(flag, take()?)?,
                 "--key-prefix" => key_prefix = take()?.to_string(),
                 "--retries" => retries = parse_num(flag, take()?)?,
+                "--zipf-theta" => zipf_theta = parse_num(flag, take()?)?,
+                "--flash-crowd" => flash_crowd = true,
                 "--peek" => {
                     peek_quorum = match take()? {
                         "local" => false,
@@ -519,6 +534,11 @@ impl LoadConfig {
         if key_prefix.is_empty() {
             return Err("--key-prefix must be non-empty".to_string());
         }
+        if !zipf_theta.is_finite() || zipf_theta < 0.0 {
+            return Err(format!(
+                "--zipf-theta `{zipf_theta}` must be finite and >= 0"
+            ));
+        }
         Ok(LoadConfig {
             peers,
             rf,
@@ -529,6 +549,8 @@ impl LoadConfig {
             key_prefix,
             retries,
             peek_quorum,
+            zipf_theta,
+            flash_crowd,
         })
     }
 }
@@ -617,6 +639,33 @@ mod tests {
         assert_eq!(cfg.key_prefix, "counter");
         assert_eq!(cfg.retries, 0);
         assert!(!cfg.peek_quorum);
+        assert_eq!(cfg.zipf_theta, 0.0);
+        assert!(!cfg.flash_crowd);
+    }
+
+    #[test]
+    fn load_args_contention_flags() {
+        let cfg = LoadConfig::from_args(
+            [
+                "--peers",
+                "1=127.0.0.1:7101",
+                "--zipf-theta",
+                "1.2",
+                "--flash-crowd",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cfg.zipf_theta, 1.2);
+        assert!(cfg.flash_crowd);
+        assert!(LoadConfig::from_args(
+            ["--peers", "1=127.0.0.1:7101", "--zipf-theta", "-1"].map(String::from)
+        )
+        .is_err());
+        assert!(LoadConfig::from_args(
+            ["--peers", "1=127.0.0.1:7101", "--zipf-theta", "NaN"].map(String::from)
+        )
+        .is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 
-use music_lockstore::{EnqueueOutcome, LockPartition, LockRef, LockStore};
+use music_lockstore::{BatchOutcome, EnqueueOutcome, LockPartition, LockRef, LockStore};
 use music_quorumstore::{DataRow, Put, ReplicatedTable, RowSnapshot, StoreError, TableApi};
 use music_runtime::Runtime;
 use music_simnet::executor::Sim;
@@ -64,6 +64,33 @@ fn flag_is_true(snap: &RowSnapshot) -> bool {
     snap.value.as_deref() == Some(b"1")
 }
 
+/// A forming enqueue-combining round on one key (see
+/// [`MusicReplica::create_lock_ref_combined`]): the first arrival becomes
+/// the round's *leader*, later arrivals park and are assigned consecutive
+/// indices in arrival order — which becomes lock-reference order, so the
+/// FIFO-with-preemption queue refinement is preserved exactly as if each
+/// waiter had enqueued itself.
+struct CombineRound {
+    /// Waiters in the round so far, the leader included.
+    joiners: u32,
+    /// The settlement cell parked waiters poll.
+    slots: Rc<RefCell<CombineSlots>>,
+}
+
+/// Outcome of one combining round, filled by the leader.
+#[derive(Default)]
+struct CombineSlots {
+    /// The leader's batch LWT has settled (successfully or not).
+    done: bool,
+    /// The round failed (store nack or persistent lease block); every
+    /// member falls back to the single enqueue path independently.
+    failed: bool,
+    /// First minted reference; waiter `i` owns `first + i`.
+    first: LockRef,
+    /// How many references the round minted.
+    count: u32,
+}
+
 /// A MUSIC replica bound to a node identity.
 ///
 /// Cheap to clone; all clones share the same back-end handles and stats
@@ -91,6 +118,48 @@ pub struct MusicReplica<RT = Sim, D = ReplicatedTable<DataRow>, L = ReplicatedTa
     /// All of a reference's puts are issued through one replica, so a
     /// replica-local floor suffices.
     stamp_floor: Rc<RefCell<HashMap<String, (u64, u64)>>>,
+    /// Forming enqueue-combining rounds, by key. Shared across clones —
+    /// co-located clients hold clones of the same replica, so their
+    /// same-key enqueues meet here and batch into one LWT round.
+    combiner: Rc<RefCell<HashMap<String, CombineRound>>>,
+    /// In-flight lock-LWT markers, by key, shared across clones. Releases
+    /// and combining-round leaders mark their LWT here; a forming round's
+    /// leader *waits* for the marker to clear before launching (waiters
+    /// keep joining meanwhile), so same-site proposers chain into
+    /// consecutive batched rounds instead of preempting each other's
+    /// ballots — and a release, which never waits, always goes first: the
+    /// handoff is the critical path, the enqueue is not.
+    lock_lwt_gate: Rc<RefCell<HashMap<String, u32>>>,
+}
+
+/// RAII marker for one in-flight lock LWT on one key (see
+/// [`MusicReplica::lock_lwt_gate`]); drop-based so every early return and
+/// `?` inside the LWT path clears the marker.
+struct GateGuard {
+    gate: Rc<RefCell<HashMap<String, u32>>>,
+    key: String,
+}
+
+impl GateGuard {
+    fn mark(gate: &Rc<RefCell<HashMap<String, u32>>>, key: &str) -> GateGuard {
+        *gate.borrow_mut().entry(key.to_string()).or_insert(0) += 1;
+        GateGuard {
+            gate: gate.clone(),
+            key: key.to_string(),
+        }
+    }
+}
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        let mut gate = self.gate.borrow_mut();
+        if let Some(n) = gate.get_mut(&self.key) {
+            *n -= 1;
+            if *n == 0 {
+                gate.remove(&self.key);
+            }
+        }
+    }
 }
 
 impl<RT: Clone, D: Clone, L: Clone> Clone for MusicReplica<RT, D, L> {
@@ -106,6 +175,8 @@ impl<RT: Clone, D: Clone, L: Clone> Clone for MusicReplica<RT, D, L> {
             cfg: self.cfg.clone(),
             stats: self.stats.clone(),
             stamp_floor: self.stamp_floor.clone(),
+            combiner: self.combiner.clone(),
+            lock_lwt_gate: self.lock_lwt_gate.clone(),
         }
     }
 }
@@ -169,7 +240,15 @@ where
             cfg,
             stats,
             stamp_floor: Rc::new(RefCell::new(HashMap::new())),
+            combiner: Rc::new(RefCell::new(HashMap::new())),
+            lock_lwt_gate: Rc::new(RefCell::new(HashMap::new())),
         }
+    }
+
+    /// Whether a same-key lock LWT (a release or a combining round) is in
+    /// flight through this replica's clones.
+    fn lock_lwt_in_flight(&self, key: &str) -> bool {
+        self.lock_lwt_gate.borrow().contains_key(key)
     }
 
     /// The node this replica runs at.
@@ -359,6 +438,9 @@ where
     }
 
     async fn create_lock_ref_inner(&self, key: &str) -> Result<LockRef, StoreError> {
+        // Mark (never wait on) the gate: combining-round leaders chain
+        // behind this enqueue's LWT instead of racing its ballots.
+        let _gate = GateGuard::mark(&self.lock_lwt_gate, key);
         let mut authorized: Option<LockRef> = None;
         // Bounded break attempts: back-to-back lease grants by a hot
         // leaseholder could otherwise starve this enqueue. The fallback
@@ -402,6 +484,178 @@ where
             }
         }
         self.locks.generate_and_enqueue(self.node, key).await
+    }
+
+    /// `createLockRef` through the **enqueue combiner** (the Hot-mode path
+    /// of [`crate::contention`]): same-key concurrent callers on this
+    /// replica's clones are batched into one
+    /// [`LockMutation::EnqueueBatch`](music_lockstore::LockMutation) LWT
+    /// round — one consensus write for the whole batch instead of one per
+    /// waiter, which is exactly the round-trip amplification a flash crowd
+    /// dies of. Arrival order becomes reference order, so the queue
+    /// refinement cannot tell a combined round from individual enqueues.
+    ///
+    /// The first caller on a key becomes the round *leader*: it waits one
+    /// `acquire_poll` gather window for co-arriving waiters, closes the
+    /// round, and runs the batch LWT (with the same bounded lease-break
+    /// loop as the single path). Parked waiters poll the round's
+    /// settlement cell and receive `first + index`. Any round failure
+    /// degrades every member to the plain single-enqueue path — combining
+    /// is an optimization, never a correctness dependency.
+    ///
+    /// # Errors
+    ///
+    /// Nacks with [`StoreError`] exactly like
+    /// [`MusicReplica::create_lock_ref`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` contains the reserved internal separator `'\u{1}'`.
+    pub async fn create_lock_ref_combined(&self, key: &str) -> Result<LockRef, StoreError> {
+        Self::assert_client_key(key);
+        let span = self.span_start("createLockRef", key);
+        let t0 = self.now();
+        let r = self.create_lock_ref_combined_inner(key).await;
+        if r.is_ok() {
+            self.stats.record(OpKind::CreateLockRef, self.now() - t0);
+        }
+        self.span_end(span, "createLockRef", key, r.is_ok());
+        r
+    }
+
+    async fn create_lock_ref_combined_inner(&self, key: &str) -> Result<LockRef, StoreError> {
+        let (is_leader, index, slots) = {
+            let mut rounds = self.combiner.borrow_mut();
+            match rounds.get_mut(key) {
+                Some(round) => {
+                    round.joiners += 1;
+                    (false, round.joiners - 1, round.slots.clone())
+                }
+                None => {
+                    let slots = Rc::new(RefCell::new(CombineSlots::default()));
+                    rounds.insert(
+                        key.to_string(),
+                        CombineRound {
+                            joiners: 1,
+                            slots: slots.clone(),
+                        },
+                    );
+                    (true, 0, slots)
+                }
+            }
+        };
+        if is_leader {
+            // Gather window: a few poll intervals for co-arriving waiters
+            // to join, scaled by the local queue depth — when the queue is
+            // already `d` deep, a joiner's section is at least `d`
+            // handoffs away, so holding the round open a little longer
+            // costs nothing and batches the trickle of re-enqueues into
+            // fewer LWT rounds. Skipped when a same-key lock LWT is
+            // already in flight: the wait on the gate below *is* the
+            // gather window then.
+            if !self.lock_lwt_in_flight(key) {
+                let polls = match self.locks.queue_depth_local(self.node, key).await {
+                    Ok(d) if d > 1 => d.min(8) as u64,
+                    _ => 1,
+                };
+                self.rt
+                    .sleep(SimDuration::from_micros(
+                        self.cfg.acquire_poll.as_micros().saturating_mul(polls),
+                    ))
+                    .await;
+            }
+            // Chain on the gate: launching a ballot against an in-flight
+            // release or sibling round would only preempt it (the 5ms-base
+            // exponential ballot backoff is exactly what a flash crowd
+            // dies of). The round stays open while we wait, so later
+            // arrivals still join it.
+            while self.lock_lwt_in_flight(key) {
+                self.rt.sleep(self.cfg.acquire_poll).await;
+            }
+            // Close the round *before* the LWT: arrivals during the round
+            // form the next one (its leader chains on the gate behind this
+            // round's LWT).
+            let count = {
+                let mut rounds = self.combiner.borrow_mut();
+                let round = rounds.remove(key).expect("leader owns the forming round");
+                round.joiners
+            };
+            let _gate = GateGuard::mark(&self.lock_lwt_gate, key);
+            let res = self.enqueue_batch_with_breaks(key, count).await;
+            match res {
+                Ok(BatchOutcome::Minted { first, count: n }) => {
+                    let mut s = slots.borrow_mut();
+                    s.done = true;
+                    s.first = first;
+                    s.count = n;
+                    Ok(first)
+                }
+                Ok(BatchOutcome::LeaseBlocked(_)) | Err(_) => {
+                    {
+                        let mut s = slots.borrow_mut();
+                        s.done = true;
+                        s.failed = true;
+                    }
+                    // Leader degrades to the single path; the parked
+                    // waiters observe `failed` and do the same.
+                    self.create_lock_ref_inner(key).await
+                }
+            }
+        } else {
+            loop {
+                {
+                    let s = slots.borrow();
+                    if s.done {
+                        if !s.failed && index < s.count {
+                            return Ok(LockRef::new(s.first.value() + u64::from(index)));
+                        }
+                        break;
+                    }
+                }
+                self.rt.sleep(self.cfg.acquire_poll).await;
+            }
+            self.create_lock_ref_inner(key).await
+        }
+    }
+
+    /// The combined twin of `create_lock_ref_inner`'s bounded-break loop:
+    /// up to 4 authorized lease breaks (each preceded by the covering
+    /// `synchFlag` write, §IV-B), then gives up with the blocking lease so
+    /// the round can degrade to single enqueues.
+    async fn enqueue_batch_with_breaks(
+        &self,
+        key: &str,
+        count: u32,
+    ) -> Result<BatchOutcome, StoreError> {
+        let mut authorized: Option<LockRef> = None;
+        let mut last_blocked = LockRef::NONE;
+        for _ in 0..4 {
+            match self
+                .locks
+                .generate_and_enqueue_batch_guarded(self.node, key, count, authorized, true)
+                .await?
+            {
+                BatchOutcome::Minted { first, count } => {
+                    return Ok(BatchOutcome::Minted { first, count })
+                }
+                BatchOutcome::LeaseBlocked(leased) => {
+                    // Same break protocol as the single path: resynchronize
+                    // *before* deposing the leaseholder, stamped like a
+                    // forcedRelease of the leased reference.
+                    let stamp = self.v2s.forced_release_stamp(leased, self.cfg.delta);
+                    self.data
+                        .write_quorum(self.node, &synch_key(key), Put::value(FLAG_TRUE), stamp)
+                        .await?;
+                    self.emit(|| EventKind::LockForcedRelease {
+                        key: key.to_string(),
+                        lock_ref: leased.value(),
+                    });
+                    authorized = Some(leased);
+                    last_blocked = leased;
+                }
+            }
+        }
+        Ok(BatchOutcome::LeaseBlocked(last_blocked))
     }
 
     /// Lease fast re-entry: claims the pre-minted leased reference with
@@ -1064,6 +1318,11 @@ where
     }
 
     async fn release_lock_inner(&self, key: &str, lock_ref: LockRef) -> Result<(), StoreError> {
+        // Mark the gate so combining-round leaders chain behind this
+        // release instead of preempting its ballots; marking is pure
+        // bookkeeping (no await), so the path is unchanged when no
+        // combiner runs.
+        let _gate = GateGuard::mark(&self.lock_lwt_gate, key);
         let t0 = self.now();
         if let Some((head, _)) = self.peek(key).await? {
             if lock_ref < head {
@@ -1121,6 +1380,8 @@ where
         lock_ref: LockRef,
         window: SimDuration,
     ) -> Result<Option<LeaseGrant>, StoreError> {
+        // Same gate marking as `release_lock_inner`: releases go first.
+        let _gate = GateGuard::mark(&self.lock_lwt_gate, key);
         let t0 = self.now();
         if let Some((head, _)) = self.peek(key).await? {
             if lock_ref < head {

@@ -333,6 +333,39 @@ pub enum EventKind {
         /// the client-observed recovery time.
         open_us: u64,
     },
+    /// The contention controller switched a key's locking strategy
+    /// (hysteresis-gated: `cool → hot` when the grant-wait EWMA crosses
+    /// the enter threshold, `hot → cool` below the exit threshold).
+    StrategySwitch {
+        /// Lock queue key.
+        key: String,
+        /// The strategy switched *to* (`"hot"` or `"cool"`).
+        mode: &'static str,
+        /// The grant-wait EWMA (µs) that triggered the switch.
+        wait_us: u64,
+    },
+    /// A combined enqueue round minted `count` consecutive references in
+    /// one LWT (waiter batching under contention).
+    EnqueueCombine {
+        /// Lock queue key.
+        key: String,
+        /// The round's first minted reference.
+        first: u64,
+        /// How many references the round minted.
+        count: u32,
+    },
+    /// The admission guard fast-rejected an `enter` because the observed
+    /// queue depth exceeded the configured bound (graceful-degradation
+    /// floor — the caller backs off for `retry_after_us` instead of
+    /// piling onto the queue).
+    AdmissionReject {
+        /// Lock queue key.
+        key: String,
+        /// Observed queue depth at rejection.
+        depth: u64,
+        /// Suggested client back-off, in microseconds.
+        retry_after_us: u64,
+    },
 }
 
 impl EventKind {
@@ -371,6 +404,9 @@ impl EventKind {
             EventKind::BreakerTrip { .. } => "breakerTrip",
             EventKind::BreakerProbe { .. } => "breakerProbe",
             EventKind::BreakerClose { .. } => "breakerClose",
+            EventKind::StrategySwitch { .. } => "strategySwitch",
+            EventKind::EnqueueCombine { .. } => "enqueueCombine",
+            EventKind::AdmissionReject { .. } => "admissionReject",
         }
     }
 
@@ -542,6 +578,28 @@ impl EventKind {
             }
             EventKind::BreakerClose { node, open_us } => {
                 let _ = write!(out, ",\"replica\":{node},\"open_us\":{open_us}");
+            }
+            EventKind::StrategySwitch { key, mode, wait_us } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"mode\":\"{mode}\",\"wait_us\":{wait_us}");
+            }
+            EventKind::EnqueueCombine { key, first, count } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(out, ",\"first\":{first},\"count\":{count}");
+            }
+            EventKind::AdmissionReject {
+                key,
+                depth,
+                retry_after_us,
+            } => {
+                out.push_str(",\"key\":");
+                push_str(out, key);
+                let _ = write!(
+                    out,
+                    ",\"depth\":{depth},\"retry_after_us\":{retry_after_us}"
+                );
             }
         }
     }

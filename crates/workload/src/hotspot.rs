@@ -1,0 +1,246 @@
+//! Hotspot workload shapes for the contention-adaptive experiments: the
+//! **flash crowd** (every client converges on one key at once) and the
+//! **diurnal sweep** (the hot key's skew rises and falls like a day's
+//! traffic), both deterministic per seed.
+//!
+//! These generators produce *key index streams* — the caller maps indices
+//! to its own key namespace (`music-load` uses `key{i}`, the sim harness
+//! whatever prefix it runs with) — so one shape serves the deterministic
+//! simulator, the socket cluster, and the nemesis lanes alike.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipfian::Zipfian;
+
+/// A flash crowd over `keys` keys: outside the crowd window keys are drawn
+/// uniformly (background traffic); inside it, every draw lands on the hot
+/// key (index 0). The phase boundaries are expressed in *operation
+/// counts*, so the shape is runtime-agnostic and replays identically for a
+/// given seed.
+///
+/// # Examples
+///
+/// ```
+/// use music_workload::FlashCrowd;
+///
+/// let mut fc = FlashCrowd::new(8, 10, 20, 7);
+/// let draws: Vec<u64> = (0..40).map(|_| fc.next_key()).collect();
+/// assert!(draws[10..30].iter().all(|&k| k == 0), "crowd phase is all-hot");
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlashCrowd {
+    keys: u64,
+    /// Operations before the crowd arrives.
+    warmup_ops: u64,
+    /// Operations the crowd lasts.
+    crowd_ops: u64,
+    issued: u64,
+    rng: SmallRng,
+}
+
+impl FlashCrowd {
+    /// A crowd over `keys` keys, arriving after `warmup_ops` draws and
+    /// lasting `crowd_ops` draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys == 0`.
+    pub fn new(keys: u64, warmup_ops: u64, crowd_ops: u64, seed: u64) -> Self {
+        assert!(keys > 0, "need at least one key");
+        FlashCrowd {
+            keys,
+            warmup_ops,
+            crowd_ops,
+            issued: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether the next draw falls inside the crowd window.
+    pub fn in_crowd(&self) -> bool {
+        self.issued >= self.warmup_ops && self.issued < self.warmup_ops + self.crowd_ops
+    }
+
+    /// Draws the next key index.
+    pub fn next_key(&mut self) -> u64 {
+        let in_crowd = self.in_crowd();
+        self.issued += 1;
+        // Burn one uniform draw either way so the background stream is
+        // unchanged by where the crowd window sits.
+        let uniform = self.rng.gen_range(0..self.keys);
+        if in_crowd {
+            0
+        } else {
+            uniform
+        }
+    }
+}
+
+/// A diurnal contention sweep: the Zipfian skew θ ramps linearly from
+/// `theta_lo` up to `theta_hi` over the first half of the stream and back
+/// down over the second — a full "day" of rising and falling contention,
+/// exercising both hysteresis directions of the adaptive controller.
+#[derive(Clone, Debug)]
+pub struct DiurnalSweep {
+    keys: u64,
+    theta_lo: f64,
+    theta_hi: f64,
+    total_ops: u64,
+    /// Re-deriving the Zipfian table per draw would be quadratic; the
+    /// sweep quantizes θ into a fixed number of steps and rebuilds the
+    /// sampler only on step changes.
+    steps: u64,
+    current_step: u64,
+    zipf: Zipfian,
+    issued: u64,
+    rng: SmallRng,
+}
+
+impl DiurnalSweep {
+    /// How many distinct θ plateaus one sweep passes through (per
+    /// direction — the descent revisits the same plateaus in reverse).
+    pub const THETA_STEPS: u64 = 8;
+
+    /// A sweep over `keys` keys, `total_ops` draws, ramping θ from
+    /// `theta_lo` to `theta_hi` and back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys == 0`, `total_ops == 0`, or the θ bounds are not
+    /// `0 < theta_lo ≤ theta_hi`.
+    pub fn new(keys: u64, total_ops: u64, theta_lo: f64, theta_hi: f64, seed: u64) -> Self {
+        assert!(keys > 0, "need at least one key");
+        assert!(total_ops > 0, "need at least one op");
+        assert!(
+            theta_lo > 0.0 && theta_lo <= theta_hi,
+            "need 0 < theta_lo <= theta_hi"
+        );
+        DiurnalSweep {
+            keys,
+            theta_lo,
+            theta_hi,
+            total_ops,
+            steps: Self::THETA_STEPS,
+            current_step: 0,
+            zipf: Zipfian::with_theta(keys, theta_lo),
+            issued: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The θ in effect for the next draw.
+    pub fn theta_now(&self) -> f64 {
+        let pos = self.issued.min(self.total_ops - 1) as f64 / self.total_ops as f64;
+        // Triangle wave: 0 → 1 over the first half, 1 → 0 over the second.
+        let ramp = 1.0 - (2.0 * pos - 1.0).abs();
+        self.theta_lo + (self.theta_hi - self.theta_lo) * ramp
+    }
+
+    /// Draws the next key index (0 = hottest).
+    pub fn next_key(&mut self) -> u64 {
+        let theta = self.theta_now();
+        let span = (self.theta_hi - self.theta_lo).max(f64::EPSILON);
+        let step = (((theta - self.theta_lo) / span) * self.steps as f64).round() as u64;
+        if step != self.current_step {
+            self.current_step = step;
+            let quantized = self.theta_lo + span * step as f64 / self.steps as f64;
+            self.zipf = Zipfian::with_theta(self.keys, quantized);
+        }
+        self.issued += 1;
+        self.zipf.sample(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_crowd_phases_are_exact() {
+        let mut fc = FlashCrowd::new(16, 5, 10, 3);
+        let draws: Vec<u64> = (0..25).map(|_| fc.next_key()).collect();
+        assert!(draws.iter().all(|&k| k < 16));
+        assert!(draws[5..15].iter().all(|&k| k == 0), "crowd hits key 0");
+        // Background phases are uniform-ish: more than one key appears.
+        let distinct: std::collections::HashSet<_> =
+            draws[..5].iter().chain(&draws[15..]).collect();
+        assert!(distinct.len() > 1, "background traffic is spread");
+    }
+
+    #[test]
+    fn flash_crowd_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut fc = FlashCrowd::new(8, 10, 20, seed);
+            (0..50).map(|_| fc.next_key()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn flash_crowd_window_position_does_not_change_background() {
+        // The background stream must be a pure function of the seed, not
+        // of where the crowd sits — required for apples-to-apples
+        // before/after comparisons.
+        let mut early = FlashCrowd::new(8, 0, 5, 9);
+        let mut late = FlashCrowd::new(8, 40, 5, 9);
+        let e: Vec<u64> = (0..50).map(|_| early.next_key()).collect();
+        let l: Vec<u64> = (0..50).map(|_| late.next_key()).collect();
+        // Outside both windows the draws coincide.
+        assert_eq!(e[5..40], l[5..40]);
+    }
+
+    #[test]
+    fn diurnal_sweep_peaks_mid_stream() {
+        let mut sw = DiurnalSweep::new(50, 1000, 0.5, 1.2, 11);
+        let mut mid_hot = 0u64;
+        let mut edge_hot = 0u64;
+        for i in 0..1000 {
+            let k = sw.next_key();
+            assert!(k < 50);
+            if k == 0 {
+                if (400..600).contains(&i) {
+                    mid_hot += 1;
+                } else if !(200..800).contains(&i) {
+                    edge_hot += 1;
+                }
+            }
+        }
+        // 200 mid-stream draws at θ≈1.2 vs 400 edge draws at θ≈0.5: the
+        // mid-stream *rate* of hot-key hits must dominate.
+        assert!(
+            mid_hot * 2 > edge_hot,
+            "peak contention mid-stream: mid {mid_hot} vs edge {edge_hot}"
+        );
+    }
+
+    #[test]
+    fn diurnal_sweep_theta_is_a_triangle() {
+        let sw = DiurnalSweep::new(10, 100, 0.5, 1.2, 1);
+        let mut s = sw.clone();
+        let mut thetas = Vec::new();
+        for _ in 0..100 {
+            thetas.push(s.theta_now());
+            s.next_key();
+        }
+        let peak = thetas
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!((40..60).contains(&peak), "θ peaks mid-stream, at {peak}");
+        assert!(thetas[0] < 0.6 && thetas[99] < 0.6, "edges stay low");
+    }
+
+    #[test]
+    fn diurnal_sweep_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut sw = DiurnalSweep::new(20, 200, 0.6, 1.4, seed);
+            (0..200).map(|_| sw.next_key()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(2), draw(2));
+        assert_ne!(draw(2), draw(3));
+    }
+}

@@ -1,16 +1,20 @@
 //! # music-workload
 //!
 //! Workload generation for the MUSIC experiments: a YCSB-faithful Zipfian
-//! key chooser ([`zipfian`]), the R / UR / U operation mixes of Fig. 9
-//! ([`ycsb`]), and the batch-size / data-size sweep constants of
-//! Figs. 6–7 ([`sweep`]).
+//! key chooser ([`zipfian`], generalized to θ ≥ 1 for hotspot skews), the
+//! R / UR / U operation mixes of Fig. 9 ([`ycsb`]), the batch-size /
+//! data-size sweep constants of Figs. 6–7 ([`sweep`]), and the
+//! contention-adaptive hotspot shapes — flash crowd and diurnal sweep
+//! ([`hotspot`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hotspot;
 pub mod sweep;
 pub mod ycsb;
 pub mod zipfian;
 
+pub use hotspot::{DiurnalSweep, FlashCrowd};
 pub use ycsb::{Op, WorkloadKind, WorkloadSpec, YcsbGenerator};
 pub use zipfian::Zipfian;

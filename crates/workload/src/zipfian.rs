@@ -23,9 +23,21 @@ use rand::Rng;
 pub struct Zipfian {
     n: u64,
     theta: f64,
-    alpha: f64,
     zetan: f64,
-    eta: f64,
+    sampler: Sampler,
+}
+
+/// How draws are produced. The closed-form YCSB rejection formula uses
+/// `alpha = 1/(1-θ)`, singular at θ = 1 — so skews of 1 and above (the
+/// flash-crowd territory of `θ = 1.2`) fall back to an exact inverse-CDF
+/// table with binary search. The θ < 1 path is kept bit-identical to the
+/// original generator so every seeded workload replays unchanged.
+#[derive(Clone, Debug)]
+enum Sampler {
+    /// Gray et al.'s closed-form approximation (valid for θ in (0,1)).
+    Ycsb { alpha: f64, eta: f64 },
+    /// Cumulative distribution table: entry `i` is `P(value ≤ i)`.
+    Cdf(Vec<f64>),
 }
 
 impl Zipfian {
@@ -41,24 +53,45 @@ impl Zipfian {
         Self::with_theta(n, Self::DEFAULT_THETA)
     }
 
-    /// Creates a generator over `0..n` with skew `theta` in `(0, 1)`.
+    /// Creates a generator over `0..n` with skew `theta > 0`.
+    ///
+    /// Skews in `(0, 1)` use YCSB's closed-form sampler; skews of 1 and
+    /// above (e.g. the flash-crowd θ = 1.2) use an exact CDF table with
+    /// binary-search inversion, so the population must fit one
+    /// (`n ≤ 2^20` for θ ≥ 1).
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    /// Panics if `n == 0`, `theta ≤ 0`, `theta` is not finite, or
+    /// `theta ≥ 1` with `n > 2^20`.
     pub fn with_theta(n: u64, theta: f64) -> Self {
         assert!(n > 0, "need at least one item");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta in (0,1)");
+        assert!(theta > 0.0 && theta.is_finite(), "theta must be positive");
         let zetan = Self::zeta(n, theta);
-        let zeta2 = Self::zeta(2, theta);
-        let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        let sampler = if theta < 1.0 {
+            let zeta2 = Self::zeta(2, theta);
+            let alpha = 1.0 / (1.0 - theta);
+            let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+            Sampler::Ycsb { alpha, eta }
+        } else {
+            assert!(n <= 1 << 20, "CDF table skew needs n <= 2^20");
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0;
+            for i in 1..=n {
+                acc += 1.0 / (i as f64).powf(theta) / zetan;
+                cdf.push(acc);
+            }
+            // Guard the float tail: the last entry must cover u = 1.0.
+            if let Some(last) = cdf.last_mut() {
+                *last = 1.0;
+            }
+            Sampler::Cdf(cdf)
+        };
         Zipfian {
             n,
             theta,
-            alpha,
             zetan,
-            eta,
+            sampler,
         }
     }
 
@@ -72,18 +105,32 @@ impl Zipfian {
         self.n
     }
 
+    /// The configured skew θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
     /// Draws one value in `0..n` (0 = most popular).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
-        let uz = u * self.zetan;
-        if uz < 1.0 {
-            return 0;
+        match &self.sampler {
+            Sampler::Ycsb { alpha, eta } => {
+                let uz = u * self.zetan;
+                if uz < 1.0 {
+                    return 0;
+                }
+                if uz < 1.0 + 0.5f64.powf(self.theta) {
+                    return 1;
+                }
+                let v = (self.n as f64 * (eta * u - eta + 1.0).powf(*alpha)) as u64;
+                v.min(self.n - 1)
+            }
+            Sampler::Cdf(cdf) => {
+                // First index whose cumulative mass covers the draw.
+                let i = cdf.partition_point(|&c| c < u);
+                (i as u64).min(self.n - 1)
+            }
         }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
-            return 1;
-        }
-        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
-        v.min(self.n - 1)
     }
 
     /// Draws a *scrambled* value: Zipfian popularity spread uniformly over
@@ -184,5 +231,48 @@ mod tests {
     #[should_panic(expected = "at least one item")]
     fn zero_population_panics() {
         Zipfian::new(0);
+    }
+
+    #[test]
+    fn high_skew_samples_in_range_and_monotone() {
+        let z = Zipfian::with_theta(50, 1.2);
+        assert!((z.theta() - 1.2).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut counts = vec![0u64; 50];
+        for _ in 0..200_000 {
+            let v = z.sample(&mut rng);
+            assert!(v < 50);
+            counts[v as usize] += 1;
+        }
+        let head: u64 = counts[..5].iter().sum();
+        let mid: u64 = counts[5..20].iter().sum();
+        let tail: u64 = counts[20..].iter().sum();
+        assert!(head > mid && mid > tail, "θ=1.2 still rank-monotone");
+        // θ = 1.2 concentrates strictly more mass on item 0 than θ = 0.99:
+        // theory P(0) = 1/H_{50,θ} — ≈ 0.222 at 0.99, ≈ 0.324 at 1.2.
+        let p0 = counts[0] as f64 / 200_000.0;
+        assert!(p0 > 0.28, "P(item 0) = {p0} under θ = 1.2");
+    }
+
+    #[test]
+    fn boundary_skew_theta_one_works() {
+        // θ = 1 is the YCSB formula's singularity; the CDF sampler covers it.
+        let z = Zipfian::with_theta(10, 1.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+            assert!(z.sample_scrambled(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn high_skew_determinism_per_seed() {
+        let z = Zipfian::with_theta(500, 1.5);
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
     }
 }

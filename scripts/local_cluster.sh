@@ -15,6 +15,10 @@
 #   KILL9=0                 skip the second pass (kill -9 one node while
 #                           sections are in flight; the survivors' 2/3
 #                           quorum must finish the run and verify clean)
+#   FLASH=0                 skip the third pass (flash crowd: every client
+#                           converges on one hot key with the contention-
+#                           adaptive controller on; the run must finish
+#                           clean and the counters must verify)
 set -euo pipefail
 
 SECTIONS="${SECTIONS:-120}"
@@ -24,6 +28,7 @@ BASE_PORT="${BASE_PORT:-7401}"
 LOG_DIR="${LOG_DIR:-$(mktemp -d /tmp/music-cluster.XXXXXX)}"
 ONLINE_SAMPLE="${ONLINE_SAMPLE:-1}"
 KILL9="${KILL9:-1}"
+FLASH="${FLASH:-1}"
 
 cd "$(dirname "$0")/.."
 mkdir -p "$LOG_DIR"
@@ -129,5 +134,35 @@ else
   cat "$LOG_DIR/load-kill9.log" >&2 || true
   echo "local_cluster: surviving node logs:" >&2
   tail -n 40 "$LOG_DIR"/node[12].log >&2 || true
+  exit "$status"
+fi
+
+if [[ "$FLASH" != "1" ]]; then
+  exit 0
+fi
+
+# ---------------------------------------------------------------------------
+# Pass 3: flash crowd over real sockets. Every client converges on one hot
+# key for the middle half of its quota (the edges stay Zipfian θ=1.2), with
+# the contention-adaptive controller on: enqueue combining collapses the
+# same-site waiter storm into single LWT rounds and the admission guard
+# fast-rejects overflow instead of letting the enqueue LWTs livelock. The
+# run must complete every section against the surviving 2/3 quorum from
+# pass 2, verify the counters key by key, and keep the streaming checker
+# clean.
+# ---------------------------------------------------------------------------
+FLASH_SECTIONS="${FLASH_SECTIONS:-$SECTIONS}"
+FLASH_CLIENTS="${FLASH_CLIENTS:-$((CLIENTS * 2))}"
+echo "local_cluster: flash-crowd pass: $FLASH_SECTIONS sections, $FLASH_CLIENTS clients on one hot key..."
+
+if "$BIN/music-load" --peers "$PEERS" --sections "$FLASH_SECTIONS" \
+    --clients "$FLASH_CLIENTS" --keys "$KEYS" \
+    --key-prefix flash --zipf-theta 1.2 --flash-crowd \
+    --online-sample 1 --retries 40 --peek quorum 2>&1 | tee "$LOG_DIR/load-flash.log"; then
+  echo "local_cluster: flash-crowd pass OK"
+else
+  status=$?
+  echo "local_cluster: flash-crowd pass FAILED (exit $status); load log:" >&2
+  cat "$LOG_DIR/load-flash.log" >&2 || true
   exit "$status"
 fi

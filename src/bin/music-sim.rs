@@ -315,6 +315,15 @@ fn cmd_profile(
     }
 }
 
+/// The optional nemesis lanes, bundled so `cmd_nemesis` keeps a flat
+/// signature as lanes accrete.
+struct NemesisLanes {
+    replay: bool,
+    online: bool,
+    drift_us: u64,
+    flash_crowd: bool,
+}
+
 /// `music-sim nemesis [profile|all] [--seed N] [--schedules K] [--mode M]
 /// [--no-replay] [--online] [--drift-us E]`: runs `K` seeded nemesis
 /// fault schedules per profile (seeds `N..N+K`), each against a
@@ -328,6 +337,10 @@ fn cmd_profile(
 /// composes the clock-drift lane with every schedule: each replica's
 /// clock drifts within ±E µs and the ε lease guards are configured with
 /// ε = E µs — the drift-safe envelope, which must stay ECF-clean.
+/// `--flash-crowd` composes the flash-crowd lane: every client's middle
+/// sections converge on one hot key while the contention-adaptive
+/// controller (spin-then-queue, enqueue combining, lease auto-tuning,
+/// anti-starvation) is enabled.
 /// Exits 1 if any schedule violates ECF, fails to replay, or (with
 /// `--online`) diverges.
 fn cmd_nemesis(
@@ -335,14 +348,24 @@ fn cmd_nemesis(
     seed0: u64,
     schedules: u64,
     mode: Option<music::nemesis::RunMode>,
-    replay: bool,
-    online: bool,
-    drift_us: u64,
+    lanes: NemesisLanes,
 ) {
     use music::nemesis::{run_nemesis, NemesisOptions, RunMode};
+    let NemesisLanes {
+        replay,
+        online,
+        drift_us,
+        flash_crowd,
+    } = lanes;
     use music_repro::telemetry::{to_json_lines, Recorder};
     let options = |m| {
-        let opts = NemesisOptions::new(m);
+        let mut opts = NemesisOptions::new(m);
+        if flash_crowd {
+            // A crowd needs enough sections per client for distinct
+            // warmup / crowd / drain phases.
+            opts.sections_per_client = 8;
+            opts = opts.with_flash_crowd();
+        }
         if drift_us > 0 {
             opts.with_drift(
                 SimDuration::from_micros(drift_us),
@@ -381,7 +404,7 @@ fn cmd_nemesis(
             let ok = run.report.ok() && replay_identical && (!online || online_ok);
             println!(
                 "{{\"kind\":\"nemesis\",\"profile\":\"{}\",\"seed\":{seed},\
-                 \"driftUs\":{drift_us},\
+                 \"driftUs\":{drift_us},\"flashCrowd\":{flash_crowd},\
                  \"mode\":\"{}\",\"ok\":{ok},\"faults\":{},\"sectionsOk\":{},\
                  \"sectionsAbandoned\":{},\"grants\":{},\"zombieGrants\":{},\
                  \"staleReads\":{},\"stalePutAcks\":{},\"forcedReleases\":{},\
@@ -517,6 +540,16 @@ fn cmd_verify() {
                 ..Scope::default()
             }),
         ),
+        (
+            "contention-adaptive (combining + window tuner)",
+            MusicModel::new(Scope {
+                lease: true,
+                max_leases: 2,
+                combine: true,
+                adaptive_window: true,
+                ..Scope::default()
+            }),
+        ),
     ];
     for (name, model) in scopes {
         let out = Checker::default().run(&model);
@@ -539,7 +572,40 @@ fn cmd_verify() {
             }
         }
     }
-    println!("  invariants: critical-section, synchFlag, latest-state, queue sanity");
+    println!("  invariants: critical-section, synchFlag, latest-state, queue sanity, lease-floor");
+}
+
+/// `music-sim compare <baseline.json> <fresh.json> [--tolerance PCT]`:
+/// the standalone BENCH regression gate. Compares every numeric leaf the
+/// baseline names against the fresh artifact (extra fresh keys are fine —
+/// additive evolution) and exits non-zero past the tolerance. CI uses it
+/// to gate the socket-cluster `BENCH_load.json` against its committed
+/// baseline, which deliberately omits wall-clock fields (`elapsedSecs`,
+/// `sectionsPerSec` vary by runner) so the gate pins the structural
+/// outcome: every section completed, zero errors, checker sampling on.
+fn cmd_compare(base_path: &str, fresh_path: &str, tolerance_pct: f64) {
+    use music_bench::profile::compare_benches;
+    let baseline = std::fs::read_to_string(base_path).expect("read baseline");
+    let fresh = std::fs::read_to_string(fresh_path).expect("read fresh artifact");
+    match compare_benches(&baseline, &fresh, tolerance_pct / 100.0) {
+        Ok(violations) if violations.is_empty() => {
+            println!("regression gate: {fresh_path} OK against {base_path} (±{tolerance_pct}%)");
+        }
+        Ok(violations) => {
+            eprintln!(
+                "regression gate: {} violation(s) against {base_path}:",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("regression gate: cannot compare: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -562,7 +628,8 @@ fn main() {
     let mut tolerance_pct = 10.0f64;
     let mut mutant_slow_us = 0u64;
     let mut drift_us = 0u64;
-    let mut profile_arg: Option<&str> = None;
+    let mut flash_crowd = false;
+    let mut free: Vec<&str> = Vec::new();
     let mut rest = args[2.min(args.len())..].iter();
     while let Some(a) = rest.next() {
         match a.as_str() {
@@ -632,9 +699,11 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--drift-us needs an integer (µs; max skew = ε)");
             }
-            other => profile_arg = Some(other),
+            "--flash-crowd" => flash_crowd = true,
+            other => free.push(other),
         }
     }
+    let profile_arg = free.first().copied();
     let profile = profile_by_name(profile_arg);
     match cmd {
         "demo" => cmd_demo(profile),
@@ -659,7 +728,18 @@ fn main() {
             let mode = mode_raw.as_deref().map(|m| {
                 music::nemesis::RunMode::parse(m).expect("--mode needs sync|pipelined|leased")
             });
-            cmd_nemesis(profiles, seed, schedules, mode, replay, online, drift_us);
+            cmd_nemesis(
+                profiles,
+                seed,
+                schedules,
+                mode,
+                NemesisLanes {
+                    replay,
+                    online,
+                    drift_us,
+                    flash_crowd,
+                },
+            );
         }
         "verify" => {
             if online {
@@ -667,6 +747,15 @@ fn main() {
             } else {
                 cmd_verify();
             }
+        }
+        "compare" => {
+            let (Some(base_path), Some(fresh_path)) = (free.first(), free.get(1)) else {
+                eprintln!(
+                    "usage: music-sim compare <baseline.json> <fresh.json> [--tolerance PCT]"
+                );
+                std::process::exit(2);
+            };
+            cmd_compare(base_path, fresh_path, tolerance_pct);
         }
         "profiles" => cmd_profiles(),
         _ => {
@@ -683,11 +772,14 @@ fn main() {
             println!("              [--seed N] [--mode sync|pipelined|leased|all] [--name NAME]");
             println!("              [--out FILE] [--compare BASELINE] [--tolerance PCT]");
             println!("              [--mutant-slow-us U]");
+            println!("  compare     BENCH regression gate on two artifacts");
+            println!("              compare <baseline.json> <fresh.json> [--tolerance PCT]");
             println!("  nemesis     randomized fault schedules -> per-schedule ECF verdicts");
             println!("              [profile|all] [--seed N] [--schedules K]");
             println!("              [--mode sync|pipelined|leased] [--no-replay]");
             println!("              [--online] (streaming verdict must equal offline)");
             println!("              [--drift-us E] (replica clocks skewed within ±E µs, ε = E)");
+            println!("              [--flash-crowd] (hot-key crowd + adaptive controller)");
             println!("  verify      bounded model check of the ECF invariants (§V)");
             println!("              [--online] (differential online-vs-offline sweep)");
             println!("  profiles    print the Table II latency profiles");

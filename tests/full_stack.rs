@@ -184,6 +184,8 @@ fn facade_smoke_all_crates() {
         lease: false,
         max_leases: 0,
         drift: false,
+        combine: false,
+        adaptive_window: false,
     });
     let out = modelcheck::Checker::default().run(&model);
     assert!(out.is_ok());

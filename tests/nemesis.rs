@@ -122,6 +122,72 @@ fn every_mode_replays_byte_identically() {
     }
 }
 
+/// The flash-crowd lane: every client's middle sections converge on one
+/// hot key while the contention-adaptive controller runs, composed with
+/// the usual crash/partition lanes and the clock-drift lane. Each
+/// schedule must stay ECF-clean, the streaming verdict must equal the
+/// offline replay with a clean queue-refinement layer, and the run must
+/// replay byte-identically.
+#[test]
+fn flash_crowd_lane_is_ecf_clean_online_and_offline() {
+    let mut switches = 0u64;
+    for seed in seeds() {
+        let mode = RunMode::ALL[(seed % 3) as usize];
+        let mut opts = NemesisOptions::new(mode).with_flash_crowd().with_drift(
+            SimDuration::from_micros(2_000),
+            SimDuration::from_micros(2_000),
+        );
+        opts.sections_per_client = 8;
+        let run = run_nemesis(
+            LatencyProfile::one_us(),
+            seed,
+            opts.clone(),
+            Recorder::tracing(),
+        );
+        assert!(
+            run.report.ok(),
+            "flash-crowd seed {seed} mode {} violated ECF: {}",
+            mode.name(),
+            run.report.to_json()
+        );
+        let online = run.online.as_ref().expect("tracing recorder attaches it");
+        assert_eq!(
+            online.ecf, run.report,
+            "flash-crowd seed {seed}: online verdict diverged from offline"
+        );
+        assert!(
+            online.queue_violations.is_empty(),
+            "flash-crowd seed {seed}: queue refinement flagged {:?}",
+            online.queue_violations
+        );
+        assert!(
+            run.sections_ok >= 1,
+            "flash-crowd seed {seed}: no section ever completed"
+        );
+        // The lane is standing: the schedule advertises it.
+        assert!(
+            run.schedule.iter().any(|l| l.contains("flashCrowd")),
+            "flash-crowd lane missing from the schedule: {:?}",
+            run.schedule
+        );
+        switches += run.metrics.total("strategy_switches");
+        // Byte-identical replay, controller state and all.
+        let again = run_nemesis(LatencyProfile::one_us(), seed, opts, Recorder::tracing());
+        assert_eq!(
+            to_json_lines(&run.events),
+            to_json_lines(&again.events),
+            "flash-crowd seed {seed}: event log diverged on replay"
+        );
+        assert_eq!(run.metrics.to_json(), again.metrics.to_json());
+    }
+    // Across the sweep the controller must actually have adapted — the
+    // crowd drives grant waits over the hot threshold somewhere.
+    assert!(
+        switches >= 1,
+        "no schedule ever drove the controller into Hot mode"
+    );
+}
+
 /// The deposed-reference accounting surfaces in the report: across a
 /// modest sweep, at least one schedule exercises a forced release, and
 /// excusable zombie grants / stale reads are counted — never flagged.
